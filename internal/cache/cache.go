@@ -1,0 +1,390 @@
+// Package cache implements the three caches of the SCFS agent (§2.5.1):
+//
+//   - a main-memory LRU cache holding the contents of open files (hundreds of
+//     MBs in the paper),
+//   - a local-disk LRU cache acting as a large, long-term cache of whole
+//     files (GBs), validated against the coordination service before use, and
+//   - a short-lived metadata cache (hundreds of milliseconds) that absorbs
+//     the bursts of metadata calls applications issue around a single
+//     high-level action.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"scfs/internal/clock"
+)
+
+// --- memory LRU ---
+
+// Memory is a byte-budgeted LRU cache from string keys to byte slices. The
+// zero value is not usable; use NewMemory.
+type Memory struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	order    *list.List // front = most recently used
+	items    map[string]*list.Element
+	// OnEvict, if set, is called (without the lock held) with each evicted
+	// entry; the SCFS agent uses it to push evicted open files to the disk
+	// cache.
+	OnEvict func(key string, value []byte)
+
+	hits, misses int64
+}
+
+type memEntry struct {
+	key   string
+	value []byte
+}
+
+// NewMemory creates a memory cache bounded to capacity bytes.
+func NewMemory(capacity int64) *Memory {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Memory{capacity: capacity, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached value and whether it was present.
+func (m *Memory) Get(key string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.items[key]
+	if !ok {
+		m.misses++
+		return nil, false
+	}
+	m.hits++
+	m.order.MoveToFront(el)
+	val := el.Value.(*memEntry).value
+	out := make([]byte, len(val))
+	copy(out, val)
+	return out, true
+}
+
+// Put inserts or replaces the value under key, evicting least recently used
+// entries as needed to stay within the byte budget. Values larger than the
+// whole budget are not cached.
+func (m *Memory) Put(key string, value []byte) {
+	var evicted []memEntry
+	m.mu.Lock()
+	if el, ok := m.items[key]; ok {
+		old := el.Value.(*memEntry)
+		m.used -= int64(len(old.value))
+		m.order.Remove(el)
+		delete(m.items, key)
+		_ = old
+	}
+	if int64(len(value)) <= m.capacity {
+		val := make([]byte, len(value))
+		copy(val, value)
+		el := m.order.PushFront(&memEntry{key: key, value: val})
+		m.items[key] = el
+		m.used += int64(len(val))
+	}
+	for m.used > m.capacity {
+		back := m.order.Back()
+		if back == nil {
+			break
+		}
+		entry := back.Value.(*memEntry)
+		m.order.Remove(back)
+		delete(m.items, entry.key)
+		m.used -= int64(len(entry.value))
+		evicted = append(evicted, *entry)
+	}
+	onEvict := m.OnEvict
+	m.mu.Unlock()
+	if onEvict != nil {
+		for _, e := range evicted {
+			onEvict(e.key, e.value)
+		}
+	}
+}
+
+// Remove drops the entry under key if present.
+func (m *Memory) Remove(key string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.items[key]; ok {
+		entry := el.Value.(*memEntry)
+		m.used -= int64(len(entry.value))
+		m.order.Remove(el)
+		delete(m.items, key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (m *Memory) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.items)
+}
+
+// Used returns the number of cached bytes.
+func (m *Memory) Used() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.used
+}
+
+// Stats returns hit/miss counters.
+func (m *Memory) Stats() (hits, misses int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.misses
+}
+
+// --- disk LRU ---
+
+// Disk is a byte-budgeted LRU cache of whole files stored under a local
+// directory. Keys are sanitized into file names; entries survive process
+// restarts (a fresh Disk rescans the directory).
+type Disk struct {
+	mu       sync.Mutex
+	dir      string
+	capacity int64
+	used     int64
+	// lastUse orders keys for eviction.
+	lastUse map[string]time.Time
+	sizes   map[string]int64
+	seq     int64
+
+	hits, misses int64
+}
+
+// NewDisk creates (and if necessary scans) a disk cache rooted at dir bounded
+// to capacity bytes.
+func NewDisk(dir string, capacity int64) (*Disk, error) {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: creating disk cache dir: %w", err)
+	}
+	d := &Disk{dir: dir, capacity: capacity, lastUse: make(map[string]time.Time), sizes: make(map[string]int64)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("cache: scanning disk cache dir: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			continue
+		}
+		key := decodeKey(e.Name())
+		d.lastUse[key] = info.ModTime()
+		d.sizes[key] = info.Size()
+		d.used += info.Size()
+	}
+	return d, nil
+}
+
+func encodeKey(key string) string {
+	r := strings.NewReplacer("/", "_", "\\", "_", ":", "-")
+	return r.Replace(key)
+}
+
+func decodeKey(name string) string { return name }
+
+func (d *Disk) path(key string) string { return filepath.Join(d.dir, encodeKey(key)) }
+
+// Get reads a cached file.
+func (d *Disk) Get(key string) ([]byte, bool) {
+	d.mu.Lock()
+	_, ok := d.lastUse[encodeKey(key)]
+	if ok {
+		d.hits++
+		d.lastUse[encodeKey(key)] = time.Now().Add(time.Duration(d.seq))
+		d.seq++
+	} else {
+		d.misses++
+	}
+	d.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	data, err := os.ReadFile(d.path(key))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// Put writes a file to the cache, evicting the least recently used entries to
+// respect the byte budget.
+func (d *Disk) Put(key string, value []byte) error {
+	if int64(len(value)) > d.capacity {
+		return nil // larger than the whole cache: skip silently
+	}
+	if err := os.WriteFile(d.path(key), value, 0o644); err != nil {
+		return fmt.Errorf("cache: writing disk cache entry: %w", err)
+	}
+	d.mu.Lock()
+	ek := encodeKey(key)
+	if old, ok := d.sizes[ek]; ok {
+		d.used -= old
+	}
+	d.sizes[ek] = int64(len(value))
+	d.lastUse[ek] = time.Now().Add(time.Duration(d.seq))
+	d.seq++
+	d.used += int64(len(value))
+	var evict []string
+	for d.used > d.capacity {
+		oldestKey := ""
+		var oldest time.Time
+		for k, t := range d.lastUse {
+			if k == ek {
+				continue
+			}
+			if oldestKey == "" || t.Before(oldest) {
+				oldestKey, oldest = k, t
+			}
+		}
+		if oldestKey == "" {
+			break
+		}
+		d.used -= d.sizes[oldestKey]
+		delete(d.sizes, oldestKey)
+		delete(d.lastUse, oldestKey)
+		evict = append(evict, oldestKey)
+	}
+	d.mu.Unlock()
+	for _, k := range evict {
+		_ = os.Remove(filepath.Join(d.dir, k))
+	}
+	return nil
+}
+
+// Remove deletes a cached file.
+func (d *Disk) Remove(key string) {
+	d.mu.Lock()
+	ek := encodeKey(key)
+	if sz, ok := d.sizes[ek]; ok {
+		d.used -= sz
+		delete(d.sizes, ek)
+		delete(d.lastUse, ek)
+	}
+	d.mu.Unlock()
+	_ = os.Remove(d.path(key))
+}
+
+// Len returns the number of cached files.
+func (d *Disk) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.sizes)
+}
+
+// Used returns the cached byte total.
+func (d *Disk) Used() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.used
+}
+
+// Stats returns hit/miss counters.
+func (d *Disk) Stats() (hits, misses int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.hits, d.misses
+}
+
+// --- short-lived metadata cache ---
+
+// Metadata is the short-term metadata cache: entries expire after a
+// configurable duration (500 ms by default in the paper's experiments) so
+// that bursts of stat calls triggered by a single application action reuse
+// the value fetched from the coordination service without compromising
+// strong consistency for longer.
+type Metadata struct {
+	mu      sync.Mutex
+	ttl     time.Duration
+	clk     clock.Clock
+	entries map[string]metaEntry
+
+	hits, misses int64
+}
+
+type metaEntry struct {
+	value   []byte
+	expires time.Time
+}
+
+// NewMetadata creates a metadata cache with the given expiration time. A TTL
+// of zero disables caching entirely (every Get misses).
+func NewMetadata(ttl time.Duration, clk clock.Clock) *Metadata {
+	if clk == nil {
+		clk = clock.Real()
+	}
+	return &Metadata{ttl: ttl, clk: clk, entries: make(map[string]metaEntry)}
+}
+
+// TTL returns the configured expiration time.
+func (c *Metadata) TTL() time.Duration { return c.ttl }
+
+// Get returns the cached value if present and not expired.
+func (c *Metadata) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ttl <= 0 {
+		c.misses++
+		return nil, false
+	}
+	e, ok := c.entries[key]
+	if !ok || c.clk.Now().After(e.expires) {
+		if ok {
+			delete(c.entries, key)
+		}
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	out := make([]byte, len(e.value))
+	copy(out, e.value)
+	return out, true
+}
+
+// Put caches a value until the TTL elapses.
+func (c *Metadata) Put(key string, value []byte) {
+	if c.ttl <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	val := make([]byte, len(value))
+	copy(val, value)
+	c.entries[key] = metaEntry{value: val, expires: c.clk.Now().Add(c.ttl)}
+}
+
+// Invalidate drops a cached entry (used after local updates so subsequent
+// reads observe the new metadata immediately).
+func (c *Metadata) Invalidate(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.entries, key)
+}
+
+// InvalidateAll clears the cache.
+func (c *Metadata) InvalidateAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]metaEntry)
+}
+
+// Stats returns hit/miss counters.
+func (c *Metadata) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

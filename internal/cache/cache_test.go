@@ -1,0 +1,265 @@
+package cache
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"scfs/internal/clock"
+)
+
+func TestMemoryPutGet(t *testing.T) {
+	m := NewMemory(1 << 20)
+	if _, ok := m.Get("missing"); ok {
+		t.Fatal("Get on empty cache returned a value")
+	}
+	m.Put("a", []byte("value-a"))
+	got, ok := m.Get("a")
+	if !ok || string(got) != "value-a" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	// Replacing updates the value and the accounting.
+	m.Put("a", []byte("longer value a"))
+	got, _ = m.Get("a")
+	if string(got) != "longer value a" {
+		t.Fatalf("Get after replace = %q", got)
+	}
+	if m.Used() != int64(len("longer value a")) {
+		t.Fatalf("Used = %d", m.Used())
+	}
+	hits, misses := m.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("stats = %d/%d", hits, misses)
+	}
+}
+
+func TestMemoryReturnsCopies(t *testing.T) {
+	m := NewMemory(1 << 20)
+	orig := []byte("original")
+	m.Put("k", orig)
+	orig[0] = 'X' // mutating the caller's slice must not affect the cache
+	got, _ := m.Get("k")
+	if string(got) != "original" {
+		t.Fatal("cache shares the caller's buffer")
+	}
+	got[1] = 'Y' // mutating the returned slice must not affect the cache
+	got2, _ := m.Get("k")
+	if string(got2) != "original" {
+		t.Fatal("cache returned a shared buffer")
+	}
+}
+
+func TestMemoryEvictsLRU(t *testing.T) {
+	m := NewMemory(100)
+	var evicted []string
+	m.OnEvict = func(key string, value []byte) { evicted = append(evicted, key) }
+	m.Put("a", make([]byte, 40))
+	m.Put("b", make([]byte, 40))
+	// Touch "a" so "b" becomes the LRU entry.
+	if _, ok := m.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	m.Put("c", make([]byte, 40)) // exceeds 100 bytes, evicts b
+	if _, ok := m.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := m.Get("a"); !ok {
+		t.Fatal("a should have survived (recently used)")
+	}
+	if len(evicted) != 1 || evicted[0] != "b" {
+		t.Fatalf("evicted = %v", evicted)
+	}
+}
+
+func TestMemoryOversizedValueNotCached(t *testing.T) {
+	m := NewMemory(10)
+	m.Put("huge", make([]byte, 100))
+	if _, ok := m.Get("huge"); ok {
+		t.Fatal("value larger than capacity should not be cached")
+	}
+	if m.Used() != 0 {
+		t.Fatalf("Used = %d, want 0", m.Used())
+	}
+}
+
+func TestMemoryRemove(t *testing.T) {
+	m := NewMemory(1 << 10)
+	m.Put("k", []byte("v"))
+	m.Remove("k")
+	if _, ok := m.Get("k"); ok {
+		t.Fatal("entry still present after Remove")
+	}
+	if m.Len() != 0 || m.Used() != 0 {
+		t.Fatalf("Len=%d Used=%d after remove", m.Len(), m.Used())
+	}
+	m.Remove("never") // removing a missing key is a no-op
+}
+
+func TestMemoryPropertyNeverExceedsCapacity(t *testing.T) {
+	f := func(ops []uint16) bool {
+		m := NewMemory(1000)
+		for i, op := range ops {
+			key := fmt.Sprintf("k%d", int(op)%20)
+			m.Put(key, make([]byte, int(op)%300))
+			if i%3 == 0 {
+				m.Get(key)
+			}
+			if m.Used() > 1000 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskPutGetPersistence(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDisk(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("x"), 1000)
+	if err := d.Put("fid/hash1", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := d.Get("fid/hash1")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatal("disk cache round trip failed")
+	}
+	// A new Disk over the same directory sees the entry (long-term cache).
+	d2, err := NewDisk(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d2.Get("fid/hash1"); !ok {
+		t.Fatal("entry lost after re-opening the disk cache")
+	}
+	if d2.Used() == 0 || d2.Len() != 1 {
+		t.Fatalf("rescan accounting: used=%d len=%d", d2.Used(), d2.Len())
+	}
+}
+
+func TestDiskEvictionRespectsBudget(t *testing.T) {
+	d, err := NewDisk(t.TempDir(), 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := d.Put(fmt.Sprintf("f%d", i), make([]byte, 1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Used() > 2500 {
+		t.Fatalf("disk cache over budget: %d", d.Used())
+	}
+	if d.Len() > 2 {
+		t.Fatalf("too many entries kept: %d", d.Len())
+	}
+	// The most recently inserted file must still be there.
+	if _, ok := d.Get("f4"); !ok {
+		t.Fatal("most recent entry evicted")
+	}
+}
+
+func TestDiskRemoveAndMissingGet(t *testing.T) {
+	d, err := NewDisk(t.TempDir(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get("nope"); ok {
+		t.Fatal("missing entry reported present")
+	}
+	if err := d.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get("k"); !ok {
+		t.Fatal("entry missing right after Put")
+	}
+	d.Remove("k")
+	if _, ok := d.Get("k"); ok {
+		t.Fatal("entry present after Remove")
+	}
+	hits, misses := d.Stats()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("stats = %d/%d", hits, misses)
+	}
+}
+
+func TestDiskOversizedSkipped(t *testing.T) {
+	d, err := NewDisk(t.TempDir(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("big", make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 {
+		t.Fatal("oversized entry stored")
+	}
+}
+
+func TestMetadataCacheExpiry(t *testing.T) {
+	clk := clock.NewSim(time.Unix(0, 0))
+	c := NewMetadata(500*time.Millisecond, clk)
+	if c.TTL() != 500*time.Millisecond {
+		t.Fatal("TTL accessor broken")
+	}
+	c.Put("/f", []byte("meta"))
+	if got, ok := c.Get("/f"); !ok || string(got) != "meta" {
+		t.Fatal("fresh entry missing")
+	}
+	clk.Advance(400 * time.Millisecond)
+	if _, ok := c.Get("/f"); !ok {
+		t.Fatal("entry expired too early")
+	}
+	clk.Advance(200 * time.Millisecond)
+	if _, ok := c.Get("/f"); ok {
+		t.Fatal("entry survived past its TTL")
+	}
+}
+
+func TestMetadataCacheZeroTTLDisables(t *testing.T) {
+	c := NewMetadata(0, clock.Real())
+	c.Put("/f", []byte("meta"))
+	if _, ok := c.Get("/f"); ok {
+		t.Fatal("zero-TTL cache returned a value")
+	}
+	_, misses := c.Stats()
+	if misses != 1 {
+		t.Fatalf("misses = %d", misses)
+	}
+}
+
+func TestMetadataCacheInvalidate(t *testing.T) {
+	clk := clock.NewSim(time.Unix(0, 0))
+	c := NewMetadata(time.Minute, clk)
+	c.Put("/a", []byte("1"))
+	c.Put("/b", []byte("2"))
+	c.Invalidate("/a")
+	if _, ok := c.Get("/a"); ok {
+		t.Fatal("/a survived Invalidate")
+	}
+	if _, ok := c.Get("/b"); !ok {
+		t.Fatal("/b lost by Invalidate of /a")
+	}
+	c.InvalidateAll()
+	if _, ok := c.Get("/b"); ok {
+		t.Fatal("/b survived InvalidateAll")
+	}
+}
+
+func TestMetadataCacheReturnsCopies(t *testing.T) {
+	c := NewMetadata(time.Minute, clock.Real())
+	c.Put("/f", []byte("orig"))
+	got, _ := c.Get("/f")
+	got[0] = 'X'
+	got2, _ := c.Get("/f")
+	if string(got2) != "orig" {
+		t.Fatal("metadata cache shares buffers")
+	}
+}

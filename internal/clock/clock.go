@@ -1,0 +1,121 @@
+// Package clock provides an abstraction over wall-clock time so that the
+// SCFS simulators and the SCFS agent itself can run either against real time
+// (production, benchmarks) or against a manually advanced simulated clock
+// (deterministic tests).
+package clock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time source used throughout the repository.
+type Clock interface {
+	// Now returns the current time according to this clock.
+	Now() time.Time
+	// Sleep blocks the calling goroutine for at least d.
+	Sleep(d time.Duration)
+	// After returns a channel that receives the time after duration d.
+	After(d time.Duration) <-chan time.Time
+	// Since returns the time elapsed since t.
+	Since(t time.Time) time.Duration
+}
+
+// Real returns a Clock backed by the system clock.
+func Real() Clock { return realClock{} }
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) Sleep(d time.Duration)                  { time.Sleep(d) }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+func (realClock) Since(t time.Time) time.Duration        { return time.Since(t) }
+
+// Sim is a simulated clock whose time only moves when Advance is called.
+// Goroutines blocked in Sleep or waiting on After are released when the
+// simulated time passes their deadline. The zero value is not usable; use
+// NewSim.
+type Sim struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*simWaiter
+}
+
+type simWaiter struct {
+	deadline time.Time
+	ch       chan time.Time
+}
+
+// NewSim returns a simulated clock starting at the given time.
+func NewSim(start time.Time) *Sim {
+	return &Sim{now: start}
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Since returns the simulated time elapsed since t.
+func (s *Sim) Since(t time.Time) time.Duration {
+	return s.Now().Sub(t)
+}
+
+// Sleep blocks until the simulated clock has advanced by at least d.
+func (s *Sim) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-s.After(d)
+}
+
+// After returns a channel that fires once the simulated clock reaches now+d.
+func (s *Sim) After(d time.Duration) <-chan time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	deadline := s.now.Add(d)
+	if d <= 0 {
+		ch <- s.now
+		return ch
+	}
+	s.waiters = append(s.waiters, &simWaiter{deadline: deadline, ch: ch})
+	return ch
+}
+
+// Advance moves the simulated clock forward by d, waking any waiters whose
+// deadlines have passed (in deadline order).
+func (s *Sim) Advance(d time.Duration) {
+	s.mu.Lock()
+	s.now = s.now.Add(d)
+	now := s.now
+	sort.Slice(s.waiters, func(i, j int) bool {
+		return s.waiters[i].deadline.Before(s.waiters[j].deadline)
+	})
+	var remaining []*simWaiter
+	var fired []*simWaiter
+	for _, w := range s.waiters {
+		if !w.deadline.After(now) {
+			fired = append(fired, w)
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	s.waiters = remaining
+	s.mu.Unlock()
+	for _, w := range fired {
+		w.ch <- now
+	}
+}
+
+// Pending reports how many goroutines are waiting on this clock. It is
+// useful for tests that need to know when everyone has parked before
+// advancing time.
+func (s *Sim) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.waiters)
+}

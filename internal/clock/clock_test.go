@@ -1,0 +1,154 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealClockNow(t *testing.T) {
+	c := Real()
+	before := time.Now()
+	got := c.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("Real().Now() = %v, want between %v and %v", got, before, after)
+	}
+}
+
+func TestRealClockSince(t *testing.T) {
+	c := Real()
+	start := c.Now()
+	if d := c.Since(start); d < 0 {
+		t.Fatalf("Since returned negative duration %v", d)
+	}
+}
+
+func TestRealClockAfter(t *testing.T) {
+	c := Real()
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(5 * time.Second):
+		t.Fatal("After(1ms) did not fire within 5s")
+	}
+}
+
+func TestSimNowStartsAtGivenTime(t *testing.T) {
+	start := time.Date(2014, 6, 19, 0, 0, 0, 0, time.UTC)
+	s := NewSim(start)
+	if !s.Now().Equal(start) {
+		t.Fatalf("Now() = %v, want %v", s.Now(), start)
+	}
+}
+
+func TestSimAdvanceMovesTime(t *testing.T) {
+	start := time.Unix(0, 0)
+	s := NewSim(start)
+	s.Advance(90 * time.Second)
+	want := start.Add(90 * time.Second)
+	if !s.Now().Equal(want) {
+		t.Fatalf("Now() = %v, want %v", s.Now(), want)
+	}
+}
+
+func TestSimAfterFiresOnAdvance(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	ch := s.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired before time advanced")
+	default:
+	}
+	s.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("After fired too early")
+	default:
+	}
+	s.Advance(2 * time.Second)
+	select {
+	case tm := <-ch:
+		if tm.Before(time.Unix(0, 0).Add(10 * time.Second)) {
+			t.Fatalf("fired with time %v before deadline", tm)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("After never fired after advancing past the deadline")
+	}
+}
+
+func TestSimAfterZeroOrNegativeFiresImmediately(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	select {
+	case <-s.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+	select {
+	case <-s.After(-time.Second):
+	default:
+		t.Fatal("After(-1s) did not fire immediately")
+	}
+}
+
+func TestSimSleepWakesSleepers(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	const sleepers = 8
+	wg.Add(sleepers)
+	for i := 0; i < sleepers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			s.Sleep(time.Duration(i+1) * time.Second)
+		}(i)
+	}
+	// Wait until all sleepers are parked.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Pending() < sleepers {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d sleepers parked", s.Pending(), sleepers)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	s.Advance(time.Duration(sleepers+1) * time.Second)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("sleepers did not wake after Advance")
+	}
+}
+
+func TestSimSleepZeroReturnsImmediately(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		s.Sleep(0)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep(0) blocked")
+	}
+}
+
+func TestSimPartialAdvanceWakesOnlyDue(t *testing.T) {
+	s := NewSim(time.Unix(0, 0))
+	early := s.After(1 * time.Second)
+	late := s.After(10 * time.Second)
+	s.Advance(5 * time.Second)
+	select {
+	case <-early:
+	case <-time.After(time.Second):
+		t.Fatal("early waiter not woken")
+	}
+	select {
+	case <-late:
+		t.Fatal("late waiter woken too early")
+	default:
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want 1", s.Pending())
+	}
+}

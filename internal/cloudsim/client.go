@@ -1,0 +1,58 @@
+package cloudsim
+
+import "scfs/internal/cloud"
+
+// client is the per-account view of a Provider; it implements
+// cloud.ObjectStore and charges the simulated network latency of every call.
+type client struct {
+	p       *Provider
+	account string
+}
+
+var _ cloud.ObjectStore = (*client)(nil)
+
+func (c *client) Provider() string { return c.p.Name() }
+func (c *client) Account() string  { return c.account }
+
+func (c *client) Put(name string, data []byte) error {
+	c.p.simulateLatency(len(data), 0)
+	return c.p.put(c.account, name, data)
+}
+
+func (c *client) Get(name string) ([]byte, error) {
+	// The payload size is only known after the lookup; approximate the
+	// transfer cost by doing the lookup first and then sleeping for the
+	// download time. The RTT is charged up front.
+	c.p.simulateLatency(0, 0)
+	data, err := c.p.get(c.account, name)
+	if err != nil {
+		return nil, err
+	}
+	c.p.simulateTransfer(0, len(data))
+	return data, nil
+}
+
+func (c *client) Head(name string) (cloud.ObjectInfo, error) {
+	c.p.simulateLatency(0, 0)
+	return c.p.head(c.account, name)
+}
+
+func (c *client) Delete(name string) error {
+	c.p.simulateLatency(0, 0)
+	return c.p.delete(c.account, name)
+}
+
+func (c *client) List(prefix string) ([]cloud.ObjectInfo, error) {
+	c.p.simulateLatency(0, 0)
+	return c.p.list(c.account, prefix)
+}
+
+func (c *client) SetACL(name string, grants []cloud.Grant) error {
+	c.p.simulateLatency(0, 0)
+	return c.p.setACL(c.account, name, grants)
+}
+
+func (c *client) GetACL(name string) ([]cloud.Grant, error) {
+	c.p.simulateLatency(0, 0)
+	return c.p.getACL(c.account, name)
+}

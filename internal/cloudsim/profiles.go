@@ -1,0 +1,82 @@
+package cloudsim
+
+import (
+	"time"
+
+	"scfs/internal/clock"
+)
+
+// ProviderKind names one of the four storage clouds used in the paper's
+// cloud-of-clouds backend (§4.1), plus a generic local profile for tests.
+type ProviderKind string
+
+const (
+	// AmazonS3 models Amazon S3 (US) as seen from the paper's client site.
+	AmazonS3 ProviderKind = "amazon-s3"
+	// AzureBlob models Windows Azure Blob storage (Europe).
+	AzureBlob ProviderKind = "azure-blob"
+	// GoogleStorage models Google Cloud Storage (US).
+	GoogleStorage ProviderKind = "google-storage"
+	// RackspaceFiles models Rackspace Cloud Files (UK).
+	RackspaceFiles ProviderKind = "rackspace-files"
+	// LocalNull is a zero-latency, strongly consistent store for unit tests.
+	LocalNull ProviderKind = "local-null"
+)
+
+// DefaultProfiles returns the latency/consistency profile for each provider
+// kind. RTTs and throughputs approximate the measurements reported for the
+// setup of the paper (client cluster in Portugal; 60–100 ms per cloud access,
+// a few MB/s of sustained throughput on medium objects). They are intended to
+// preserve ratios, not absolute bandwidth of any particular year.
+func DefaultProfiles() map[ProviderKind]Options {
+	return map[ProviderKind]Options{
+		AmazonS3: {
+			Name:              string(AmazonS3),
+			Latency:           LatencyProfile{RTT: 80 * time.Millisecond, UploadBytesPerSec: 4 << 20, DownloadBytesPerSec: 6 << 20, JitterFraction: 0.15},
+			ConsistencyWindow: 1200 * time.Millisecond,
+		},
+		AzureBlob: {
+			Name:              string(AzureBlob),
+			Latency:           LatencyProfile{RTT: 60 * time.Millisecond, UploadBytesPerSec: 4 << 20, DownloadBytesPerSec: 6 << 20, JitterFraction: 0.15},
+			ConsistencyWindow: 600 * time.Millisecond,
+		},
+		GoogleStorage: {
+			Name:              string(GoogleStorage),
+			Latency:           LatencyProfile{RTT: 90 * time.Millisecond, UploadBytesPerSec: 3 << 20, DownloadBytesPerSec: 5 << 20, JitterFraction: 0.15},
+			ConsistencyWindow: 900 * time.Millisecond,
+		},
+		RackspaceFiles: {
+			Name:              string(RackspaceFiles),
+			Latency:           LatencyProfile{RTT: 55 * time.Millisecond, UploadBytesPerSec: 3 << 20, DownloadBytesPerSec: 5 << 20, JitterFraction: 0.15},
+			ConsistencyWindow: 800 * time.Millisecond,
+		},
+		LocalNull: {
+			Name: string(LocalNull),
+		},
+	}
+}
+
+// NewProviderKind creates a provider of the given kind with the default
+// profile, applying the latency scale and clock. seed controls its private
+// randomness.
+func NewProviderKind(kind ProviderKind, latencyScale float64, clk clock.Clock, seed int64) *Provider {
+	opts, ok := DefaultProfiles()[kind]
+	if !ok {
+		opts = Options{Name: string(kind)}
+	}
+	opts.LatencyScale = latencyScale
+	opts.Clock = clk
+	opts.Seed = seed
+	return NewProvider(opts)
+}
+
+// NewCoCProviders creates the four-provider cloud-of-clouds setup used by the
+// paper (Amazon S3, Google Cloud Storage, Rackspace, Windows Azure).
+func NewCoCProviders(latencyScale float64, clk clock.Clock, seed int64) []*Provider {
+	kinds := []ProviderKind{AmazonS3, GoogleStorage, RackspaceFiles, AzureBlob}
+	out := make([]*Provider, len(kinds))
+	for i, k := range kinds {
+		out[i] = NewProviderKind(k, latencyScale, clk, seed+int64(i))
+	}
+	return out
+}

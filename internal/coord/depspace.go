@@ -1,0 +1,165 @@
+package coord
+
+import (
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"scfs/internal/depspace"
+)
+
+// Tuple layout used in the DepSpace backend. Metadata tuples are
+// <"meta", key, payload>; lock tuples are <"lock", name, owner>.
+const (
+	tagMeta = "meta"
+	tagLock = "lock"
+)
+
+// DepSpaceService adapts a DepSpace tuple-space client to the coordination
+// Service interface. This is the configuration evaluated in the paper
+// (DepSpace replicated with BFT-SMaRt).
+type DepSpaceService struct {
+	cli *depspace.Client
+	statsCounter
+}
+
+var _ Service = (*DepSpaceService)(nil)
+
+// NewDepSpaceService wraps a tuple-space client.
+func NewDepSpaceService(cli *depspace.Client) *DepSpaceService {
+	return &DepSpaceService{cli: cli}
+}
+
+func dsACL(a ACL) depspace.ACL {
+	return depspace.ACL{Owner: a.Owner, Readers: a.Readers, Writers: a.Writers}
+}
+
+func encodePayload(v []byte) string { return base64.StdEncoding.EncodeToString(v) }
+
+func decodePayload(s string) ([]byte, error) { return base64.StdEncoding.DecodeString(s) }
+
+func mapDepSpaceError(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, depspace.ErrNotFound):
+		return ErrNotFound
+	case errors.Is(err, depspace.ErrExists), errors.Is(err, depspace.ErrVersion):
+		return ErrConflict
+	case errors.Is(err, depspace.ErrDenied):
+		return ErrDenied
+	default:
+		return err
+	}
+}
+
+// GetMetadata implements Service.
+func (d *DepSpaceService) GetMetadata(key string) (Record, error) {
+	d.addRead()
+	e, err := d.cli.Rdp(depspace.Tuple{tagMeta, key, depspace.Wildcard})
+	if err != nil {
+		return Record{}, mapDepSpaceError(err)
+	}
+	val, err := decodePayload(e.Tuple[2])
+	if err != nil {
+		return Record{}, fmt.Errorf("coord: corrupt metadata payload for %q: %w", key, err)
+	}
+	return Record{Key: key, Value: val, Version: e.Version}, nil
+}
+
+// PutMetadata implements Service.
+func (d *DepSpaceService) PutMetadata(key string, value []byte, acl ACL) (uint64, error) {
+	d.addWrite()
+	v, err := d.cli.Replace(
+		depspace.Tuple{tagMeta, key, depspace.Wildcard},
+		depspace.Tuple{tagMeta, key, encodePayload(value)},
+		dsACL(acl))
+	return v, mapDepSpaceError(err)
+}
+
+// CasMetadata implements Service.
+func (d *DepSpaceService) CasMetadata(key string, value []byte, expectedVersion uint64, acl ACL) (uint64, error) {
+	d.addWrite()
+	v, _, err := d.cli.Cas(
+		depspace.Tuple{tagMeta, key, depspace.Wildcard},
+		depspace.Tuple{tagMeta, key, encodePayload(value)},
+		expectedVersion, dsACL(acl), 0)
+	return v, mapDepSpaceError(err)
+}
+
+// DeleteMetadata implements Service.
+func (d *DepSpaceService) DeleteMetadata(key string) error {
+	d.addWrite()
+	_, err := d.cli.Inp(depspace.Tuple{tagMeta, key, depspace.Wildcard})
+	if errors.Is(err, depspace.ErrNotFound) {
+		return nil
+	}
+	return mapDepSpaceError(err)
+}
+
+// ListMetadata implements Service.
+func (d *DepSpaceService) ListMetadata(prefix string) ([]Record, error) {
+	d.addList()
+	entries, err := d.cli.RdAll(depspace.Tuple{tagMeta, depspace.Wildcard, depspace.Wildcard})
+	if err != nil {
+		return nil, mapDepSpaceError(err)
+	}
+	var out []Record
+	for _, e := range entries {
+		key := e.Tuple[1]
+		if !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		val, err := decodePayload(e.Tuple[2])
+		if err != nil {
+			continue
+		}
+		out = append(out, Record{Key: key, Value: val, Version: e.Version})
+	}
+	return out, nil
+}
+
+// RenamePrefix implements Service using the DepSpace trigger extension.
+func (d *DepSpaceService) RenamePrefix(oldPrefix, newPrefix string) (int, error) {
+	d.addWrite()
+	n, err := d.cli.Rename(1, oldPrefix, newPrefix)
+	return n, mapDepSpaceError(err)
+}
+
+// TryLock implements Service: a conditional insertion of an ephemeral tuple.
+func (d *DepSpaceService) TryLock(name, owner string, ttl time.Duration) error {
+	d.addLock()
+	_, existing, err := d.cli.Cas(
+		depspace.Tuple{tagLock, name, depspace.Wildcard},
+		depspace.Tuple{tagLock, name, owner},
+		0, depspace.ACL{}, ttl)
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, depspace.ErrExists) {
+		if existing != nil && len(existing.Tuple) == 3 && existing.Tuple[2] == owner {
+			// Re-entrant acquisition by the same owner: renew the lease.
+			d.addLock()
+			if _, _, casErr := d.cli.Cas(
+				depspace.Tuple{tagLock, name, owner},
+				depspace.Tuple{tagLock, name, owner},
+				existing.Version, depspace.ACL{}, ttl); casErr == nil {
+				return nil
+			}
+		}
+		return ErrLockHeld
+	}
+	return mapDepSpaceError(err)
+}
+
+// Unlock implements Service.
+func (d *DepSpaceService) Unlock(name, owner string) error {
+	d.addLock()
+	_, err := d.cli.Inp(depspace.Tuple{tagLock, name, owner})
+	if errors.Is(err, depspace.ErrNotFound) {
+		return nil // already released or expired
+	}
+	return mapDepSpaceError(err)
+}

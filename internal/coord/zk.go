@@ -1,0 +1,205 @@
+package coord
+
+import (
+	"errors"
+	"net/url"
+	"strings"
+	"time"
+
+	"scfs/internal/zkcoord"
+)
+
+// Znode layout used by the Zookeeper-like backend.
+const (
+	zkMetaRoot = "/scfs/meta"
+	zkLockRoot = "/scfs/locks"
+)
+
+// ZKService adapts the Zookeeper-like coordination service to the Service
+// interface. ACLs are not enforced by this backend (as with plain Zookeeper
+// deployments that rely on network perimeter security); the DepSpace backend
+// is the one providing the paper's full security model.
+type ZKService struct {
+	cli *zkcoord.Client
+	statsCounter
+}
+
+var _ Service = (*ZKService)(nil)
+
+// NewZKService wraps a znode client and creates the SCFS root znodes.
+func NewZKService(cli *zkcoord.Client) (*ZKService, error) {
+	s := &ZKService{cli: cli}
+	for _, p := range []string{"/scfs", zkMetaRoot, zkLockRoot} {
+		if _, err := cli.Create(p, nil); err != nil && !errors.Is(err, zkcoord.ErrExists) {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// encodeKey flattens an SCFS key (a slash-separated path) into a single znode
+// name so the metadata table stays one level deep.
+func encodeKey(key string) string { return url.PathEscape(key) }
+
+func decodeKey(name string) string {
+	k, err := url.PathUnescape(name)
+	if err != nil {
+		return name
+	}
+	return k
+}
+
+func mapZKError(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, zkcoord.ErrNotFound):
+		return ErrNotFound
+	case errors.Is(err, zkcoord.ErrExists), errors.Is(err, zkcoord.ErrVersion):
+		return ErrConflict
+	default:
+		return err
+	}
+}
+
+// GetMetadata implements Service.
+func (z *ZKService) GetMetadata(key string) (Record, error) {
+	z.addRead()
+	data, st, err := z.cli.Get(zkMetaRoot + "/" + encodeKey(key))
+	if err != nil {
+		return Record{}, mapZKError(err)
+	}
+	return Record{Key: key, Value: data, Version: st.Version}, nil
+}
+
+// PutMetadata implements Service.
+func (z *ZKService) PutMetadata(key string, value []byte, acl ACL) (uint64, error) {
+	z.addWrite()
+	p := zkMetaRoot + "/" + encodeKey(key)
+	if _, err := z.cli.Create(p, value); err == nil {
+		return 1, nil
+	} else if !errors.Is(err, zkcoord.ErrExists) {
+		return 0, mapZKError(err)
+	}
+	st, err := z.cli.Set(p, value, zkcoord.AnyVersion)
+	if err != nil {
+		return 0, mapZKError(err)
+	}
+	return st.Version, nil
+}
+
+// CasMetadata implements Service.
+func (z *ZKService) CasMetadata(key string, value []byte, expectedVersion uint64, acl ACL) (uint64, error) {
+	z.addWrite()
+	p := zkMetaRoot + "/" + encodeKey(key)
+	if expectedVersion == 0 {
+		if _, err := z.cli.Create(p, value); err != nil {
+			return 0, mapZKError(err)
+		}
+		return 1, nil
+	}
+	st, err := z.cli.Set(p, value, int64(expectedVersion))
+	if err != nil {
+		return 0, mapZKError(err)
+	}
+	return st.Version, nil
+}
+
+// DeleteMetadata implements Service.
+func (z *ZKService) DeleteMetadata(key string) error {
+	z.addWrite()
+	err := z.cli.Delete(zkMetaRoot+"/"+encodeKey(key), zkcoord.AnyVersion)
+	if errors.Is(err, zkcoord.ErrNotFound) {
+		return nil
+	}
+	return mapZKError(err)
+}
+
+// ListMetadata implements Service.
+func (z *ZKService) ListMetadata(prefix string) ([]Record, error) {
+	z.addList()
+	names, err := z.cli.Children(zkMetaRoot)
+	if err != nil {
+		return nil, mapZKError(err)
+	}
+	var out []Record
+	for _, name := range names {
+		key := decodeKey(name)
+		if !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		data, st, err := z.cli.Get(zkMetaRoot + "/" + name)
+		if err != nil {
+			continue
+		}
+		out = append(out, Record{Key: key, Value: data, Version: st.Version})
+	}
+	return out, nil
+}
+
+// RenamePrefix implements Service. The znode backend has no server-side
+// trigger, so the rewrite is performed record by record (the reason the paper
+// added triggers to DepSpace).
+func (z *ZKService) RenamePrefix(oldPrefix, newPrefix string) (int, error) {
+	records, err := z.ListMetadata(oldPrefix)
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	for _, r := range records {
+		if r.Key != oldPrefix && !strings.HasPrefix(r.Key, oldPrefix+"/") {
+			continue
+		}
+		newKey := newPrefix + strings.TrimPrefix(r.Key, oldPrefix)
+		if _, err := z.PutMetadata(newKey, r.Value, ACL{}); err != nil {
+			return count, err
+		}
+		if err := z.DeleteMetadata(r.Key); err != nil {
+			return count, err
+		}
+		count++
+	}
+	return count, nil
+}
+
+// TryLock implements Service with an ephemeral znode per lock.
+func (z *ZKService) TryLock(name, owner string, ttl time.Duration) error {
+	z.addLock()
+	prevTTL := z.cli.SessionTTL
+	z.cli.SessionTTL = ttl
+	defer func() { z.cli.SessionTTL = prevTTL }()
+	p := zkLockRoot + "/" + encodeKey(name)
+	if _, err := z.cli.CreateEphemeral(p, []byte(owner)); err == nil {
+		return nil
+	} else if !errors.Is(err, zkcoord.ErrExists) {
+		return mapZKError(err)
+	}
+	data, _, err := z.cli.Get(p)
+	if err == nil && string(data) == owner {
+		// Same owner: renew by touching the node.
+		if _, err := z.cli.Set(p, data, zkcoord.AnyVersion); err == nil {
+			return nil
+		}
+	}
+	return ErrLockHeld
+}
+
+// Unlock implements Service.
+func (z *ZKService) Unlock(name, owner string) error {
+	z.addLock()
+	p := zkLockRoot + "/" + encodeKey(name)
+	data, _, err := z.cli.Get(p)
+	if errors.Is(err, zkcoord.ErrNotFound) {
+		return nil
+	}
+	if err != nil {
+		return mapZKError(err)
+	}
+	if string(data) != owner {
+		return ErrLockHeld
+	}
+	if err := z.cli.Delete(p, zkcoord.AnyVersion); err != nil && !errors.Is(err, zkcoord.ErrNotFound) {
+		return mapZKError(err)
+	}
+	return nil
+}

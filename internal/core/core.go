@@ -1,0 +1,353 @@
+// Package core implements the SCFS Agent, the client-side component that
+// provides the shared cloud-backed file system of the paper: a POSIX-like
+// API (internal/fsapi) with consistency-on-close semantics, whole-file
+// caching in memory and on local disk, metadata and locks kept in a
+// fault-tolerant coordination service, file data pushed to a single cloud or
+// to a cloud-of-clouds backend, private name spaces for non-shared files,
+// multi-versioning with a configurable garbage collector, and three modes of
+// operation (blocking, non-blocking, non-sharing).
+package core
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"scfs/internal/cache"
+	"scfs/internal/clock"
+	"scfs/internal/coord"
+	"scfs/internal/fsapi"
+	"scfs/internal/fsmeta"
+	"scfs/internal/storage"
+)
+
+// Mode selects the consistency/durability tradeoff of the agent (§3.1).
+type Mode int
+
+const (
+	// Blocking waits for data and metadata to be safely in the cloud(s)
+	// before close returns (durability level 2/3, strongest sharing
+	// guarantees).
+	Blocking Mode = iota
+	// NonBlocking returns from close once the data is on the local disk and
+	// queued for upload; metadata is updated and the lock released only
+	// after the upload completes, so mutual exclusion is preserved.
+	NonBlocking
+	// NonSharing dispenses with the coordination service entirely: all
+	// metadata lives in the user's private name space and uploads happen in
+	// the background (a design similar to S3QL, but optionally over a
+	// cloud-of-clouds).
+	NonSharing
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Blocking:
+		return "blocking"
+	case NonBlocking:
+		return "non-blocking"
+	case NonSharing:
+		return "non-sharing"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// GCPolicy configures the garbage collector (§2.5.3).
+type GCPolicy struct {
+	// TriggerBytes starts a collection after this many bytes have been
+	// written by the agent (the paper's W parameter). Zero disables the
+	// automatic trigger (Collect can still be called explicitly).
+	TriggerBytes int64
+	// KeepVersions is the number of most recent versions preserved per file
+	// (the paper's V parameter). Minimum 1.
+	KeepVersions int
+}
+
+// ACLPropagator pushes permission changes to the storage clouds so that
+// access control is enforced by the providers and not only by the
+// coordination service (§2.6). Implementations map the SCFS user to its
+// per-provider canonical identifiers.
+type ACLPropagator interface {
+	PropagateACL(fileID string, hashes []string, user string, perm fsapi.Permission) error
+}
+
+// Options configures an Agent.
+type Options struct {
+	// User is the SCFS principal mounting the file system.
+	User string
+	// AgentID uniquely identifies this mount (lock ownership). Defaults to
+	// User plus a random suffix.
+	AgentID string
+	// Mode selects blocking, non-blocking or non-sharing operation.
+	Mode Mode
+	// Coordination is the coordination service; required unless Mode is
+	// NonSharing.
+	Coordination coord.Service
+	// Storage is the cloud storage backend (single cloud or cloud-of-clouds).
+	Storage storage.VersionedStore
+	// PNSStorage persists the user's private name space in the cloud; it is
+	// required when UsePNS is true or Mode is NonSharing.
+	PNSStorage storage.PNSStore
+	// ACLPropagator optionally mirrors setfacl changes onto the cloud
+	// objects themselves.
+	ACLPropagator ACLPropagator
+
+	// MemoryCacheBytes bounds the main-memory cache of open files
+	// (default 256 MiB).
+	MemoryCacheBytes int64
+	// DiskCacheDir and DiskCacheBytes configure the local disk cache
+	// (default: a temporary directory, 1 GiB).
+	DiskCacheDir   string
+	DiskCacheBytes int64
+	// MetadataCacheTTL is the expiration of the short-lived metadata cache
+	// (500 ms in the paper's experiments; 0 disables it).
+	MetadataCacheTTL time.Duration
+	// LockTTL is the lease attached to ephemeral write locks (default 60s).
+	LockTTL time.Duration
+	// ReadRetryInterval is the pause of the consistency-anchor read loop.
+	ReadRetryInterval time.Duration
+
+	// UsePNS keeps the metadata of non-shared files in a private name space
+	// instead of the coordination service (§2.7).
+	UsePNS bool
+	// ForceSharedFn, if set, marks paths as shared regardless of their ACL;
+	// the PNS experiments of §4.4 use it to control the sharing percentage.
+	ForceSharedFn func(path string) bool
+
+	// GC configures garbage collection.
+	GC GCPolicy
+
+	// Clock defaults to the real clock.
+	Clock clock.Clock
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.User == "" {
+		return o, fmt.Errorf("core: Options.User is required")
+	}
+	if o.Storage == nil {
+		return o, fmt.Errorf("core: Options.Storage is required")
+	}
+	if o.Mode != NonSharing && o.Coordination == nil {
+		return o, fmt.Errorf("core: Options.Coordination is required in %s mode", o.Mode)
+	}
+	if (o.Mode == NonSharing || o.UsePNS) && o.PNSStorage == nil {
+		return o, fmt.Errorf("core: Options.PNSStorage is required when private name spaces are used")
+	}
+	if o.AgentID == "" {
+		o.AgentID = o.User + "-" + randomID()
+	}
+	if o.MemoryCacheBytes <= 0 {
+		o.MemoryCacheBytes = 256 << 20
+	}
+	if o.DiskCacheBytes <= 0 {
+		o.DiskCacheBytes = 1 << 30
+	}
+	if o.LockTTL <= 0 {
+		o.LockTTL = 60 * time.Second
+	}
+	if o.ReadRetryInterval <= 0 {
+		o.ReadRetryInterval = 50 * time.Millisecond
+	}
+	if o.GC.KeepVersions < 1 {
+		o.GC.KeepVersions = 1
+	}
+	if o.Clock == nil {
+		o.Clock = clock.Real()
+	}
+	return o, nil
+}
+
+func randomID() string {
+	b := make([]byte, 6)
+	if _, err := rand.Read(b); err != nil {
+		return fmt.Sprintf("%d", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b)
+}
+
+// Stats aggregates the agent's activity counters; experiments use them to
+// attribute latency and cost.
+type Stats struct {
+	CloudReads     int64
+	CloudWrites    int64
+	CloudBytesUp   int64
+	CloudBytesDown int64
+
+	CoordAccesses int64
+
+	MemCacheHits    int64
+	MemCacheMisses  int64
+	DiskCacheHits   int64
+	DiskCacheMisses int64
+	MetaCacheHits   int64
+	MetaCacheMisses int64
+
+	FilesOpened   int64
+	FilesClosed   int64
+	BytesWritten  int64
+	GCsTriggered  int64
+	UploadsQueued int64
+	UploadErrors  int64
+}
+
+// Agent is the SCFS client mounted at a user machine. It implements
+// fsapi.FileSystem.
+type Agent struct {
+	opts Options
+	clk  clock.Clock
+
+	memCache  *cache.Memory
+	diskCache *cache.Disk
+	metaCache *cache.Metadata
+
+	// mu protects the namespace maps and counters below.
+	mu         sync.Mutex
+	openFiles  map[string]*openFile
+	pns        *fsmeta.PNS
+	pnsDirty   bool
+	pnsVersion uint64
+	closed     bool
+
+	bytesSinceGC int64
+	gcRunning    bool
+
+	stats struct {
+		sync.Mutex
+		s Stats
+	}
+
+	// Background uploader (non-blocking and non-sharing modes).
+	uploadCh chan uploadTask
+	uploadWG sync.WaitGroup
+}
+
+var _ fsapi.FileSystem = (*Agent)(nil)
+
+// New mounts an SCFS agent with the given options.
+func New(opts Options) (*Agent, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	diskDir := opts.DiskCacheDir
+	if diskDir == "" {
+		d, err := makeTempDir()
+		if err != nil {
+			return nil, err
+		}
+		diskDir = d
+	}
+	disk, err := cache.NewDisk(diskDir, opts.DiskCacheBytes)
+	if err != nil {
+		return nil, err
+	}
+	a := &Agent{
+		opts:      opts,
+		clk:       opts.Clock,
+		memCache:  cache.NewMemory(opts.MemoryCacheBytes),
+		diskCache: disk,
+		metaCache: cache.NewMetadata(opts.MetadataCacheTTL, opts.Clock),
+		openFiles: make(map[string]*openFile),
+		uploadCh:  make(chan uploadTask, 1024),
+	}
+	// Evicted open-file contents fall back to the disk cache.
+	a.memCache.OnEvict = func(key string, value []byte) {
+		_ = a.diskCache.Put(key, value)
+	}
+	if opts.UsePNS || opts.Mode == NonSharing {
+		if err := a.loadPNS(); err != nil {
+			return nil, err
+		}
+	}
+	a.uploadWG.Add(1)
+	go a.uploadWorker()
+	return a, nil
+}
+
+func makeTempDir() (string, error) {
+	d, err := os.MkdirTemp("", "scfs-cache-")
+	if err != nil {
+		return "", fmt.Errorf("core: creating disk cache directory: %w", err)
+	}
+	return d, nil
+}
+
+// User returns the mounting principal.
+func (a *Agent) User() string { return a.opts.User }
+
+// Mode returns the operating mode.
+func (a *Agent) Mode() Mode { return a.opts.Mode }
+
+// Stats returns a snapshot of the activity counters, merging in the
+// coordination-service access count and cache statistics.
+func (a *Agent) Stats() Stats {
+	a.stats.Lock()
+	s := a.stats.s
+	a.stats.Unlock()
+	if a.opts.Coordination != nil {
+		s.CoordAccesses = a.opts.Coordination.Stats().Total()
+	}
+	s.MemCacheHits, s.MemCacheMisses = a.memCache.Stats()
+	s.DiskCacheHits, s.DiskCacheMisses = a.diskCache.Stats()
+	s.MetaCacheHits, s.MetaCacheMisses = a.metaCache.Stats()
+	return s
+}
+
+func (a *Agent) addStat(f func(*Stats)) {
+	a.stats.Lock()
+	f(&a.stats.s)
+	a.stats.Unlock()
+}
+
+// Unmount flushes pending uploads and the private name space, then releases
+// resources. The agent must not be used afterwards.
+func (a *Agent) Unmount() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	a.mu.Unlock()
+
+	close(a.uploadCh)
+	a.uploadWG.Wait()
+
+	// Final PNS flush.
+	if a.pns != nil {
+		if err := a.flushPNS(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// isShared decides whether a path's metadata must live in the coordination
+// service (shared) or may live in the PNS (private).
+func (a *Agent) isShared(md *fsmeta.Metadata) bool {
+	if a.opts.Mode == NonSharing {
+		return false
+	}
+	if !a.opts.UsePNS {
+		return true // without PNS every entry goes to the coordination service
+	}
+	if a.opts.ForceSharedFn != nil && a.opts.ForceSharedFn(md.Path) {
+		return true
+	}
+	return md.IsShared()
+}
+
+func (a *Agent) checkOpen() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return fsapi.ErrClosed
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+package core
+
+import "time"
+
+// DurabilityLevel enumerates the data-durability levels of Table 1: where a
+// write lives after each kind of system call and what failures it survives.
+type DurabilityLevel int
+
+const (
+	// DurabilityMemory (level 0): the data is only in the agent's main
+	// memory cache — a write system call.
+	DurabilityMemory DurabilityLevel = iota
+	// DurabilityLocalDisk (level 1): the data reached the local disk —
+	// fsync.
+	DurabilityLocalDisk
+	// DurabilityCloud (level 2): the data reached a single cloud provider —
+	// close with a single-cloud backend.
+	DurabilityCloud
+	// DurabilityCloudOfClouds (level 3): the data is spread over a quorum of
+	// clouds and survives f provider failures — close with the CoC backend.
+	DurabilityCloudOfClouds
+)
+
+// DurabilityInfo describes one row of Table 1.
+type DurabilityInfo struct {
+	Level         DurabilityLevel
+	Location      string
+	LatencyClass  string
+	FaultTolerated string
+	SystemCall    string
+	// TypicalLatency is the order-of-magnitude latency of reaching the level.
+	TypicalLatency time.Duration
+}
+
+// DurabilityTable returns the durability model of SCFS (Table 1 of the
+// paper). usesCoC selects whether close reaches level 2 or level 3.
+func DurabilityTable(usesCoC bool) []DurabilityInfo {
+	rows := []DurabilityInfo{
+		{Level: DurabilityMemory, Location: "main memory", LatencyClass: "microseconds", FaultTolerated: "none", SystemCall: "write", TypicalLatency: 5 * time.Microsecond},
+		{Level: DurabilityLocalDisk, Location: "local disk", LatencyClass: "milliseconds", FaultTolerated: "process/OS crash", SystemCall: "fsync", TypicalLatency: 5 * time.Millisecond},
+	}
+	if usesCoC {
+		rows = append(rows, DurabilityInfo{Level: DurabilityCloudOfClouds, Location: "cloud-of-clouds", LatencyClass: "seconds", FaultTolerated: "f cloud providers", SystemCall: "close", TypicalLatency: 2 * time.Second})
+	} else {
+		rows = append(rows, DurabilityInfo{Level: DurabilityCloud, Location: "cloud", LatencyClass: "seconds", FaultTolerated: "local disk failure", SystemCall: "close", TypicalLatency: time.Second})
+	}
+	return rows
+}
+
+// CloseDurability reports the durability level a completed close call
+// provides under the agent's mode and backend. In non-blocking and
+// non-sharing modes close only guarantees level 1 at return time — the cloud
+// level is reached asynchronously.
+func (a *Agent) CloseDurability(usesCoC bool) DurabilityLevel {
+	if a.opts.Mode != Blocking {
+		return DurabilityLocalDisk
+	}
+	if usesCoC {
+		return DurabilityCloudOfClouds
+	}
+	return DurabilityCloud
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"sync"
+)
+
+// Garbage collection (§2.5.3): SCFS keeps every version of every file (and
+// files removed by the user) until the garbage collector reclaims them. The
+// collector runs at each agent, in the background, driven by two parameters
+// set at mount time: the number of written bytes W that triggers a run and
+// the number of versions V to keep per file.
+
+// maybeStartGC launches a background collection when the number of bytes
+// written since the previous run exceeds the configured trigger.
+func (a *Agent) maybeStartGC() {
+	if a.opts.GC.TriggerBytes <= 0 {
+		return
+	}
+	a.mu.Lock()
+	if a.closed || a.gcRunning || a.bytesSinceGC < a.opts.GC.TriggerBytes {
+		a.mu.Unlock()
+		return
+	}
+	a.gcRunning = true
+	a.bytesSinceGC = 0
+	a.mu.Unlock()
+
+	a.addStat(func(s *Stats) { s.GCsTriggered++ })
+	go func() {
+		defer func() {
+			a.mu.Lock()
+			a.gcRunning = false
+			a.mu.Unlock()
+		}()
+		_, _ = a.Collect()
+	}()
+}
+
+// GCReport summarizes one garbage-collection run.
+type GCReport struct {
+	// FilesScanned is the number of metadata records examined.
+	FilesScanned int
+	// VersionsDeleted is the number of old versions removed from the cloud.
+	VersionsDeleted int
+	// FilesPurged is the number of deleted files whose data and metadata
+	// were reclaimed.
+	FilesPurged int
+}
+
+// Collect runs one synchronous garbage collection pass over the files owned
+// by this agent's user: old versions beyond the configured keep-count are
+// deleted from the cloud storage, and files previously removed by the user
+// have their remaining versions and metadata erased.
+func (a *Agent) Collect() (GCReport, error) {
+	var report GCReport
+	entries, err := a.listSubtree("/")
+	if err != nil {
+		return report, err
+	}
+	keep := a.opts.GC.KeepVersions
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for _, md := range entries {
+		if md.Owner != a.opts.User || md.IsDir() {
+			continue
+		}
+		report.FilesScanned++
+		if md.Deleted {
+			// Purge every version, then the metadata itself.
+			for _, v := range md.Versions {
+				wg.Add(1)
+				go func(fileID, hash string) {
+					defer wg.Done()
+					if err := a.opts.Storage.DeleteVersion(fileID, hash); err == nil {
+						mu.Lock()
+						report.VersionsDeleted++
+						mu.Unlock()
+					}
+				}(md.FileID, v.Hash)
+			}
+			wg.Wait()
+			if err := a.deleteMetadata(md.Path); err != nil {
+				return report, err
+			}
+			report.FilesPurged++
+			continue
+		}
+		removed := md.TrimVersions(keep)
+		if len(removed) == 0 {
+			continue
+		}
+		for _, v := range removed {
+			wg.Add(1)
+			go func(fileID, hash string) {
+				defer wg.Done()
+				if err := a.opts.Storage.DeleteVersion(fileID, hash); err == nil {
+					mu.Lock()
+					report.VersionsDeleted++
+					mu.Unlock()
+				}
+			}(md.FileID, v.Hash)
+		}
+		wg.Wait()
+		if err := a.putMetadata(md); err != nil {
+			return report, err
+		}
+	}
+	if err := a.flushPNS(); err != nil {
+		return report, err
+	}
+	return report, nil
+}

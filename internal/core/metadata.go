@@ -1,0 +1,279 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"scfs/internal/coord"
+	"scfs/internal/fsapi"
+	"scfs/internal/fsmeta"
+	"scfs/internal/storage"
+)
+
+// The metadata service of the SCFS agent (§2.5.1): it resolves metadata
+// either from the short-lived metadata cache, from the user's private name
+// space (for non-shared files, §2.7), or from the coordination service, and
+// writes updates back to the right place.
+
+// coordACL builds the coordination-service ACL for a metadata record so that
+// the coordination service (not the agent) enforces access control (§2.6).
+func coordACL(md *fsmeta.Metadata) coord.ACL {
+	return coord.ACL{Owner: md.Owner, Readers: md.Readers(), Writers: md.Writers()}
+}
+
+// getMetadata returns the metadata of path from cache, PNS or the
+// coordination service. It returns fsapi.ErrNotExist when the path has no
+// live metadata (missing or marked deleted).
+func (a *Agent) getMetadata(path string, useCache bool) (*fsmeta.Metadata, error) {
+	path = fsmeta.Clean(path)
+	if path == "/" {
+		return a.rootMetadata(), nil
+	}
+	// 1. Short-lived metadata cache.
+	if useCache {
+		if raw, ok := a.metaCache.Get(path); ok {
+			md, err := fsmeta.Decode(raw)
+			if err == nil {
+				if md.Deleted {
+					return nil, fsapi.ErrNotExist
+				}
+				return md, nil
+			}
+		}
+	}
+	// 2. Private name space (local, no network access).
+	a.mu.Lock()
+	pns := a.pns
+	a.mu.Unlock()
+	if pns != nil {
+		if md := pns.Get(path); md != nil {
+			if md.Deleted {
+				return nil, fsapi.ErrNotExist
+			}
+			return md, nil
+		}
+	}
+	// 3. Coordination service.
+	if a.opts.Coordination == nil {
+		return nil, fsapi.ErrNotExist
+	}
+	rec, err := a.opts.Coordination.GetMetadata(path)
+	if errors.Is(err, coord.ErrNotFound) {
+		return nil, fsapi.ErrNotExist
+	}
+	if errors.Is(err, coord.ErrDenied) {
+		return nil, fsapi.ErrPermission
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: reading metadata of %q: %w", path, err)
+	}
+	md, err := fsmeta.Decode(rec.Value)
+	if err != nil {
+		return nil, fmt.Errorf("core: corrupt metadata for %q: %w", path, err)
+	}
+	a.metaCache.Put(path, rec.Value)
+	if md.Deleted {
+		return nil, fsapi.ErrNotExist
+	}
+	return md, nil
+}
+
+// rootMetadata synthesizes the metadata of the mount root.
+func (a *Agent) rootMetadata() *fsmeta.Metadata {
+	return &fsmeta.Metadata{Path: "/", Type: fsapi.TypeDir, Owner: a.opts.User, Ctime: a.clk.Now(), Mtime: a.clk.Now()}
+}
+
+// putMetadata stores (or replaces) the metadata of a path in the right place
+// and refreshes the metadata cache.
+func (a *Agent) putMetadata(md *fsmeta.Metadata) error {
+	path := fsmeta.Clean(md.Path)
+	raw, err := md.Encode()
+	if err != nil {
+		return err
+	}
+	if a.isShared(md) {
+		if _, err := a.opts.Coordination.PutMetadata(path, raw, coordACL(md)); err != nil {
+			if errors.Is(err, coord.ErrDenied) {
+				return fsapi.ErrPermission
+			}
+			return fmt.Errorf("core: writing metadata of %q: %w", path, err)
+		}
+		// If the entry used to be private, drop it from the PNS.
+		a.mu.Lock()
+		if a.pns != nil && a.pns.Get(path) != nil {
+			a.pns.Remove(path)
+			a.pnsDirty = true
+		}
+		a.mu.Unlock()
+	} else {
+		a.mu.Lock()
+		a.pns.Put(md)
+		a.pnsDirty = true
+		a.mu.Unlock()
+	}
+	a.metaCache.Put(path, raw)
+	return nil
+}
+
+// deleteMetadata removes the metadata of a path from wherever it lives.
+func (a *Agent) deleteMetadata(path string) error {
+	path = fsmeta.Clean(path)
+	a.metaCache.Invalidate(path)
+	a.mu.Lock()
+	if a.pns != nil && a.pns.Get(path) != nil {
+		a.pns.Remove(path)
+		a.pnsDirty = true
+		a.mu.Unlock()
+		return nil
+	}
+	a.mu.Unlock()
+	if a.opts.Coordination == nil {
+		return nil
+	}
+	if err := a.opts.Coordination.DeleteMetadata(path); err != nil && !errors.Is(err, coord.ErrNotFound) {
+		return fmt.Errorf("core: deleting metadata of %q: %w", path, err)
+	}
+	return nil
+}
+
+// listMetadata returns the live metadata of the direct children of dir,
+// merging the coordination service and the PNS views.
+func (a *Agent) listMetadata(dir string) ([]*fsmeta.Metadata, error) {
+	dir = fsmeta.Clean(dir)
+	seen := make(map[string]*fsmeta.Metadata)
+	if a.opts.Coordination != nil {
+		prefix := dir
+		if prefix != "/" {
+			prefix += "/"
+		}
+		recs, err := a.opts.Coordination.ListMetadata(prefix)
+		if err != nil {
+			return nil, fmt.Errorf("core: listing %q: %w", dir, err)
+		}
+		for _, r := range recs {
+			md, err := fsmeta.Decode(r.Value)
+			if err != nil || md.Deleted {
+				continue
+			}
+			if md.Parent() == dir {
+				seen[md.Path] = md
+			}
+		}
+	}
+	a.mu.Lock()
+	pns := a.pns
+	a.mu.Unlock()
+	if pns != nil {
+		for _, md := range pns.List(dir) {
+			if !md.Deleted {
+				seen[md.Path] = md
+			}
+		}
+	}
+	out := make([]*fsmeta.Metadata, 0, len(seen))
+	for _, md := range seen {
+		out = append(out, md)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// listSubtree returns every live entry under prefix (excluding prefix itself),
+// used by rename and by the garbage collector.
+func (a *Agent) listSubtree(prefix string) ([]*fsmeta.Metadata, error) {
+	prefix = fsmeta.Clean(prefix)
+	seen := make(map[string]*fsmeta.Metadata)
+	if a.opts.Coordination != nil {
+		p := prefix
+		if p != "/" {
+			p += "/"
+		}
+		recs, err := a.opts.Coordination.ListMetadata(p)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range recs {
+			if md, err := fsmeta.Decode(r.Value); err == nil {
+				seen[md.Path] = md
+			}
+		}
+	}
+	a.mu.Lock()
+	pns := a.pns
+	a.mu.Unlock()
+	if pns != nil {
+		for _, md := range pns.ListPrefix(prefix) {
+			if md.Path != prefix {
+				seen[md.Path] = md
+			}
+		}
+	}
+	out := make([]*fsmeta.Metadata, 0, len(seen))
+	for _, md := range seen {
+		out = append(out, md)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// --- private name space lifecycle ---
+
+// pnsKey is the coordination-service key of the user's PNS tuple.
+func (a *Agent) pnsKey() string { return "pns:" + a.opts.User }
+
+// loadPNS fetches the user's private name space at mount time (§2.7): the
+// PNS tuple is read (and locked) in the coordination service when one is
+// available, then the serialized name space is fetched from the cloud.
+func (a *Agent) loadPNS() error {
+	if a.opts.Coordination != nil {
+		// Lock the PNS to prevent two agents logged in as the same user from
+		// corrupting it.
+		if err := a.opts.Coordination.TryLock(a.pnsKey(), a.opts.AgentID, a.opts.LockTTL); err != nil {
+			if errors.Is(err, coord.ErrLockHeld) {
+				return fmt.Errorf("core: private name space of %q is locked by another agent: %w", a.opts.User, fsapi.ErrLocked)
+			}
+			return err
+		}
+	}
+	data, err := a.opts.PNSStorage.ReadPNS(a.opts.User)
+	if errors.Is(err, storage.ErrPNSNotFound) {
+		a.pns = fsmeta.NewPNS(a.opts.User)
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("core: loading private name space: %w", err)
+	}
+	pns, err := fsmeta.DecodePNS(data)
+	if err != nil {
+		return fmt.Errorf("core: decoding private name space: %w", err)
+	}
+	a.pns = pns
+	return nil
+}
+
+// flushPNS uploads the private name space if it changed since the last flush.
+func (a *Agent) flushPNS() error {
+	a.mu.Lock()
+	if a.pns == nil || !a.pnsDirty {
+		a.mu.Unlock()
+		return nil
+	}
+	data, err := a.pns.Encode()
+	dirtyCleared := err == nil
+	if dirtyCleared {
+		a.pnsDirty = false
+	}
+	a.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := a.opts.PNSStorage.WritePNS(a.opts.User, data); err != nil {
+		a.mu.Lock()
+		a.pnsDirty = true
+		a.mu.Unlock()
+		return fmt.Errorf("core: flushing private name space: %w", err)
+	}
+	a.addStat(func(s *Stats) { s.CloudWrites++; s.CloudBytesUp += int64(len(data)) })
+	return nil
+}

@@ -1,0 +1,500 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"scfs/internal/coord"
+	"scfs/internal/fsapi"
+	"scfs/internal/fsmeta"
+	"scfs/internal/seccrypto"
+	"scfs/internal/storage"
+)
+
+// openFile is the per-path in-memory state shared by all handles opened on
+// the same path by this agent. SCFS reads and writes whole files: the full
+// contents live here while the file is open (durability level 0).
+type openFile struct {
+	agent    *Agent
+	path     string
+	meta     *fsmeta.Metadata
+	data     []byte
+	dirty    bool
+	locked   bool
+	writable bool
+	refs     int
+}
+
+// handle is one open descriptor over an openFile; it implements fsapi.Handle.
+type handle struct {
+	of     *openFile
+	flags  fsapi.OpenFlag
+	closed bool
+}
+
+var _ fsapi.Handle = (*handle)(nil)
+
+// cacheKey addresses a specific version of a file in the caches, so a cached
+// copy is valid exactly when its hash matches the metadata (the validation
+// step of §2.5.1).
+func cacheKey(fileID, hash string) string { return fileID + "@" + hash }
+
+// Open implements fsapi.FileSystem, following the open flow of Figure 4:
+// read the metadata, optionally acquire the write lock, and bring the file
+// data into the local cache.
+func (a *Agent) Open(path string, flags fsapi.OpenFlag) (fsapi.Handle, error) {
+	if err := a.checkOpen(); err != nil {
+		return nil, err
+	}
+	path = fsmeta.Clean(path)
+	if path == "/" {
+		return nil, fsapi.ErrIsDir
+	}
+
+	a.mu.Lock()
+	existing, isOpen := a.openFiles[path]
+	a.mu.Unlock()
+
+	md, err := a.getMetadata(path, true)
+	created := false
+	switch {
+	case err == nil:
+		if flags&fsapi.Create != 0 && flags&fsapi.Exclusive != 0 {
+			return nil, fsapi.ErrExist
+		}
+	case errors.Is(err, fsapi.ErrNotExist):
+		if flags&fsapi.Create == 0 {
+			return nil, fsapi.ErrNotExist
+		}
+		md, err = a.createFile(path)
+		if err != nil {
+			return nil, err
+		}
+		created = true
+	default:
+		return nil, err
+	}
+	if md.IsDir() {
+		return nil, fsapi.ErrIsDir
+	}
+	if flags.Writable() && !md.CanWrite(a.opts.User) {
+		return nil, fsapi.ErrPermission
+	}
+	if flags.Readable() && !md.CanRead(a.opts.User) {
+		return nil, fsapi.ErrPermission
+	}
+
+	// Acquire the write lock for shared files opened for writing (step 2 of
+	// the open flow). Private (PNS) files are invisible to other users and
+	// need no lock.
+	needLock := flags.Writable() && a.opts.Coordination != nil && a.isShared(md)
+	if needLock && !(isOpen && existing.locked) {
+		if err := a.opts.Coordination.TryLock(path, a.opts.AgentID, a.opts.LockTTL); err != nil {
+			if errors.Is(err, coord.ErrLockHeld) {
+				return nil, fsapi.ErrLocked
+			}
+			return nil, fmt.Errorf("core: locking %q: %w", path, err)
+		}
+	}
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	of, ok := a.openFiles[path]
+	if !ok {
+		of = &openFile{agent: a, path: path, meta: md}
+		a.openFiles[path] = of
+	}
+	of.refs++
+	if needLock {
+		of.locked = true
+	}
+	if flags.Writable() {
+		of.writable = true
+	}
+
+	// Step 3: bring the file data into memory.
+	if of.refs == 1 || of.data == nil {
+		switch {
+		case created || md.Hash == "":
+			of.data = nil
+		case flags&fsapi.Truncate != 0:
+			of.data = nil
+			of.dirty = true
+		default:
+			data, err := a.fetchData(md)
+			if err != nil {
+				of.refs--
+				if of.refs == 0 {
+					delete(a.openFiles, path)
+				}
+				return nil, err
+			}
+			of.data = data
+		}
+	} else if flags&fsapi.Truncate != 0 {
+		of.data = nil
+		of.dirty = true
+	}
+	of.meta = md
+	a.addStat(func(s *Stats) { s.FilesOpened++ })
+	return &handle{of: of, flags: flags}, nil
+}
+
+// createFile allocates metadata for a new empty file owned by the caller.
+func (a *Agent) createFile(path string) (*fsmeta.Metadata, error) {
+	parent, err := a.getMetadata(fsmeta.Clean(path[:max(1, lastSlash(path))]), true)
+	if err != nil {
+		if errors.Is(err, fsapi.ErrNotExist) {
+			return nil, fsapi.ErrNotExist
+		}
+		return nil, err
+	}
+	if !parent.IsDir() {
+		return nil, fsapi.ErrNotDir
+	}
+	if !parent.CanWrite(a.opts.User) && parent.Path != "/" {
+		return nil, fsapi.ErrPermission
+	}
+	md := fsmeta.NewFile(path, a.opts.User, "f-"+randomID(), a.clk.Now())
+	if err := a.putMetadata(md); err != nil {
+		return nil, err
+	}
+	return md, nil
+}
+
+func lastSlash(p string) int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// fetchData returns the contents of the current version of md, looking at the
+// memory cache, then the disk cache, then the cloud backend (with the
+// consistency-anchor retry loop of Figure 3).
+func (a *Agent) fetchData(md *fsmeta.Metadata) ([]byte, error) {
+	key := cacheKey(md.FileID, md.Hash)
+	if data, ok := a.memCache.Get(key); ok {
+		return data, nil
+	}
+	if data, ok := a.diskCache.Get(key); ok {
+		if seccrypto.VerifyHash(data, md.Hash) {
+			a.memCache.Put(key, data)
+			return data, nil
+		}
+		a.diskCache.Remove(key)
+	}
+	// Cloud read: loop until the version anchored in the metadata becomes
+	// visible (the storage clouds are only eventually consistent).
+	const maxAttempts = 120
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		data, err := a.opts.Storage.ReadVersion(md.FileID, md.Hash)
+		if err == nil {
+			a.addStat(func(s *Stats) { s.CloudReads++; s.CloudBytesDown += int64(len(data)) })
+			a.diskCache.Put(key, data)
+			a.memCache.Put(key, data)
+			return data, nil
+		}
+		lastErr = err
+		if !errors.Is(err, storage.ErrVersionNotFound) {
+			return nil, fmt.Errorf("core: reading %q from the cloud: %w", md.Path, err)
+		}
+		a.clk.Sleep(a.opts.ReadRetryInterval)
+	}
+	return nil, fmt.Errorf("core: version of %q never became visible: %w", md.Path, lastErr)
+}
+
+// --- handle operations ---
+
+// ReadAt implements fsapi.Handle. Reads are always served from the in-memory
+// copy (Figure 4: read only touches the memory cache).
+func (h *handle) ReadAt(p []byte, off int64) (int, error) {
+	a := h.of.agent
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if h.closed {
+		return 0, fsapi.ErrClosed
+	}
+	if !h.flags.Readable() {
+		return 0, fsapi.ErrPermission
+	}
+	if off < 0 {
+		return 0, fsapi.ErrInvalid
+	}
+	if off >= int64(len(h.of.data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.of.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt implements fsapi.Handle. Writes update only the memory cache and
+// the cached metadata (durability level 0).
+func (h *handle) WriteAt(p []byte, off int64) (int, error) {
+	a := h.of.agent
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if h.closed {
+		return 0, fsapi.ErrClosed
+	}
+	if !h.flags.Writable() {
+		return 0, fsapi.ErrReadOnly
+	}
+	if off < 0 {
+		return 0, fsapi.ErrInvalid
+	}
+	end := off + int64(len(p))
+	if end > int64(len(h.of.data)) {
+		grown := make([]byte, end)
+		copy(grown, h.of.data)
+		h.of.data = grown
+	}
+	copy(h.of.data[off:end], p)
+	h.of.dirty = true
+	h.of.meta.Size = int64(len(h.of.data))
+	h.of.meta.Mtime = a.clk.Now()
+	a.addStat(func(s *Stats) { s.BytesWritten += int64(len(p)) })
+	return len(p), nil
+}
+
+// Truncate implements fsapi.Handle.
+func (h *handle) Truncate(size int64) error {
+	a := h.of.agent
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if h.closed {
+		return fsapi.ErrClosed
+	}
+	if !h.flags.Writable() {
+		return fsapi.ErrReadOnly
+	}
+	if size < 0 {
+		return fsapi.ErrInvalid
+	}
+	cur := int64(len(h.of.data))
+	switch {
+	case size < cur:
+		h.of.data = h.of.data[:size]
+	case size > cur:
+		grown := make([]byte, size)
+		copy(grown, h.of.data)
+		h.of.data = grown
+	}
+	h.of.dirty = true
+	h.of.meta.Size = size
+	h.of.meta.Mtime = a.clk.Now()
+	return nil
+}
+
+// Fsync implements fsapi.Handle: the contents are flushed to the local disk
+// cache (durability level 1 — survives a process or OS crash, not a disk
+// failure).
+func (h *handle) Fsync() error {
+	a := h.of.agent
+	a.mu.Lock()
+	if h.closed {
+		a.mu.Unlock()
+		return fsapi.ErrClosed
+	}
+	data := append([]byte(nil), h.of.data...)
+	fileID := h.of.meta.FileID
+	a.mu.Unlock()
+	return a.diskCache.Put(fileID+"@wip", data)
+}
+
+// Stat implements fsapi.Handle.
+func (h *handle) Stat() (fsapi.FileInfo, error) {
+	a := h.of.agent
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if h.closed {
+		return fsapi.FileInfo{}, fsapi.ErrClosed
+	}
+	info := h.of.meta.FileInfo()
+	info.Size = int64(len(h.of.data))
+	return info, nil
+}
+
+// Close implements fsapi.Handle, following the close flow of Figure 4: the
+// updated data is copied to the local disk and to the storage cloud, the
+// metadata is pushed to the coordination service, and the lock is released.
+// In blocking mode all of this happens before Close returns; in non-blocking
+// and non-sharing modes the cloud synchronization happens in the background
+// while mutual exclusion is preserved (the lock is only released after the
+// upload completes).
+func (h *handle) Close() error {
+	a := h.of.agent
+	a.mu.Lock()
+	if h.closed {
+		a.mu.Unlock()
+		return fsapi.ErrClosed
+	}
+	h.closed = true
+	of := h.of
+	of.refs--
+	lastRef := of.refs == 0
+	wasDirty := of.dirty && h.flags.Writable()
+	var data []byte
+	var md *fsmeta.Metadata
+	if wasDirty {
+		data = append([]byte(nil), of.data...)
+		md = of.meta
+		of.dirty = false
+	}
+	shouldUnlock := lastRef && of.locked
+	if lastRef {
+		delete(a.openFiles, of.path)
+	}
+	a.mu.Unlock()
+
+	a.addStat(func(s *Stats) { s.FilesClosed++ })
+
+	if !wasDirty {
+		if shouldUnlock {
+			return a.unlock(of.path)
+		}
+		return nil
+	}
+
+	// Record the new version and make it locally durable (level 1).
+	hash := seccrypto.Hash(data)
+	now := a.clk.Now()
+	md.AddVersion(hash, int64(len(data)), now)
+	key := cacheKey(md.FileID, hash)
+	if err := a.diskCache.Put(key, data); err != nil {
+		return err
+	}
+	a.memCache.Put(key, data)
+
+	a.mu.Lock()
+	a.bytesSinceGC += int64(len(data))
+	a.mu.Unlock()
+	defer a.maybeStartGC()
+
+	if a.opts.Mode == Blocking {
+		if err := a.syncToCloud(md, hash, data); err != nil {
+			return err
+		}
+		if shouldUnlock {
+			return a.unlock(of.path)
+		}
+		return nil
+	}
+
+	// Non-blocking / non-sharing: enqueue the upload; the uploader updates
+	// the metadata and releases the lock when the data is in the cloud.
+	a.addStat(func(s *Stats) { s.UploadsQueued++ })
+	a.uploadCh <- uploadTask{md: md.Clone(), hash: hash, data: data, unlockPath: ifThen(shouldUnlock, of.path)}
+	return nil
+}
+
+func ifThen(cond bool, v string) string {
+	if cond {
+		return v
+	}
+	return ""
+}
+
+// syncToCloud performs the cloud side of a close: write the data version to
+// the storage backend (step w2), then anchor it by updating the metadata
+// (step w3), flushing the PNS when the file is private.
+func (a *Agent) syncToCloud(md *fsmeta.Metadata, hash string, data []byte) error {
+	if err := a.opts.Storage.WriteVersion(md.FileID, hash, data); err != nil {
+		return fmt.Errorf("core: uploading %q: %w", md.Path, err)
+	}
+	a.addStat(func(s *Stats) { s.CloudWrites++; s.CloudBytesUp += int64(len(data)) })
+	if err := a.putMetadata(md); err != nil {
+		return err
+	}
+	if !a.isShared(md) && a.pnsFor(md) {
+		if err := a.flushPNS(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pnsFor reports whether md's metadata is kept in the PNS.
+func (a *Agent) pnsFor(md *fsmeta.Metadata) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.pns != nil && a.pns.Get(md.Path) != nil
+}
+
+func (a *Agent) unlock(path string) error {
+	if a.opts.Coordination == nil {
+		return nil
+	}
+	if err := a.opts.Coordination.Unlock(path, a.opts.AgentID); err != nil {
+		return fmt.Errorf("core: unlocking %q: %w", path, err)
+	}
+	return nil
+}
+
+// --- background uploader ---
+
+type uploadTask struct {
+	md         *fsmeta.Metadata
+	hash       string
+	data       []byte
+	unlockPath string
+	// barrier, when non-nil, marks a synchronization point: the worker closes
+	// it without doing any work (used by WaitForUploads).
+	barrier chan struct{}
+}
+
+// uploadWorker drains the upload queue, preserving per-agent ordering (a
+// single worker) so later versions of a file are never overtaken by earlier
+// ones.
+func (a *Agent) uploadWorker() {
+	defer a.uploadWG.Done()
+	for task := range a.uploadCh {
+		if task.barrier != nil {
+			close(task.barrier)
+			continue
+		}
+		err := a.syncToCloud(task.md, task.hash, task.data)
+		if err != nil {
+			a.addStat(func(s *Stats) { s.UploadErrors++ })
+		}
+		if task.unlockPath != "" {
+			_ = a.unlock(task.unlockPath)
+		}
+	}
+}
+
+// WaitForUploads blocks until every queued upload at the time of the call has
+// been processed. Experiments and tests use it to measure the asynchronous
+// path deterministically.
+func (a *Agent) WaitForUploads(timeout time.Duration) error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil // Unmount already drained the queue
+	}
+	a.mu.Unlock()
+	// A barrier task is processed only after everything queued before it.
+	done := make(chan struct{})
+	a.uploadCh <- uploadTask{barrier: done}
+	select {
+	case <-done:
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("core: timed out waiting for queued uploads")
+	}
+}

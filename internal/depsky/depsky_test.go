@@ -1,0 +1,381 @@
+package depsky
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"scfs/internal/cloud"
+	"scfs/internal/cloudsim"
+)
+
+// testClouds builds n zero-latency simulated providers and returns the
+// providers plus object-store clients for one user.
+func testClouds(t *testing.T, n int) ([]*cloudsim.Provider, []cloud.ObjectStore) {
+	t.Helper()
+	providers := make([]*cloudsim.Provider, n)
+	clients := make([]cloud.ObjectStore, n)
+	for i := 0; i < n; i++ {
+		p := cloudsim.NewProvider(cloudsim.Options{Name: fmt.Sprintf("cloud-%d", i)})
+		id := p.CreateAccount("alice")
+		providers[i] = p
+		clients[i] = p.MustClient(id)
+	}
+	return providers, clients
+}
+
+func newManager(t *testing.T, protocol Protocol) ([]*cloudsim.Provider, *Manager) {
+	t.Helper()
+	providers, clients := testClouds(t, 4)
+	m, err := New(Options{Clouds: clients, F: 1, Protocol: protocol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return providers, m
+}
+
+func TestNewValidation(t *testing.T) {
+	_, clients := testClouds(t, 3)
+	if _, err := New(Options{Clouds: clients, F: 1}); !errors.Is(err, ErrNotEnoughClouds) {
+		t.Fatalf("err = %v, want ErrNotEnoughClouds", err)
+	}
+	_, clients4 := testClouds(t, 4)
+	m, err := New(Options{Clouds: clients4, F: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.F() != 1 {
+		t.Fatalf("F defaulted to %d, want 1", m.F())
+	}
+	if m.N() != 4 || m.QuorumSize() != 3 {
+		t.Fatalf("N=%d quorum=%d", m.N(), m.QuorumSize())
+	}
+}
+
+func TestWriteReadRoundTripCA(t *testing.T) {
+	_, m := newManager(t, ProtocolCA)
+	for _, size := range []int{0, 1, 100, 4096, 1 << 18} {
+		data := make([]byte, size)
+		if _, err := rand.Read(data); err != nil {
+			t.Fatal(err)
+		}
+		unit := fmt.Sprintf("file-%d", size)
+		info, err := m.Write(unit, data)
+		if err != nil {
+			t.Fatalf("Write(%d bytes): %v", size, err)
+		}
+		if info.Number != 1 || info.Size != size {
+			t.Fatalf("info = %+v", info)
+		}
+		got, gotInfo, err := m.Read(unit)
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("round trip mismatch for %d bytes", size)
+		}
+		if gotInfo.DataHash != info.DataHash {
+			t.Fatal("hash mismatch between write and read info")
+		}
+	}
+}
+
+func TestWriteReadRoundTripA(t *testing.T) {
+	_, m := newManager(t, ProtocolA)
+	data := []byte("replicated everywhere")
+	if _, err := m.Write("u", data); err != nil {
+		t.Fatal(err)
+	}
+	got, info, err := m.Read("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) || info.Protocol != ProtocolA {
+		t.Fatalf("got %q, protocol %v", got, info.Protocol)
+	}
+}
+
+func TestVersionsAccumulateAndReadNewest(t *testing.T) {
+	_, m := newManager(t, ProtocolCA)
+	for i := 1; i <= 3; i++ {
+		if _, err := m.Write("doc", []byte(fmt.Sprintf("version %d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, info, err := m.Read("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "version 3" || info.Number != 3 {
+		t.Fatalf("Read returned %q (version %d), want version 3", got, info.Number)
+	}
+	versions, err := m.ListVersions("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != 3 {
+		t.Fatalf("ListVersions returned %d, want 3", len(versions))
+	}
+}
+
+func TestReadMatchingFetchesSpecificVersion(t *testing.T) {
+	_, m := newManager(t, ProtocolCA)
+	infos := make([]VersionInfo, 0, 3)
+	for i := 1; i <= 3; i++ {
+		info, err := m.Write("doc", []byte(fmt.Sprintf("version %d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		infos = append(infos, info)
+	}
+	// Fetch the middle version by its hash (the consistency-anchor path).
+	got, info, err := m.ReadMatching("doc", infos[1].DataHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "version 2" || info.Number != 2 {
+		t.Fatalf("ReadMatching returned %q (version %d)", got, info.Number)
+	}
+	if _, _, err := m.ReadMatching("doc", "no-such-hash"); !errors.Is(err, ErrVersionNotFound) {
+		t.Fatalf("err = %v, want ErrVersionNotFound", err)
+	}
+}
+
+func TestReadMissingUnit(t *testing.T) {
+	_, m := newManager(t, ProtocolCA)
+	if _, _, err := m.Read("ghost"); !errors.Is(err, ErrUnitNotFound) {
+		t.Fatalf("err = %v, want ErrUnitNotFound", err)
+	}
+}
+
+func TestToleratesOneUnavailableCloud(t *testing.T) {
+	providers, m := newManager(t, ProtocolCA)
+	data := []byte("must survive an outage")
+	// One cloud is down during the write.
+	providers[2].SetFault(cloudsim.FaultUnavailable)
+	if _, err := m.Write("u", data); err != nil {
+		t.Fatalf("Write with one cloud down: %v", err)
+	}
+	// A different cloud is down during the read.
+	providers[2].SetFault(cloudsim.FaultNone)
+	providers[0].SetFault(cloudsim.FaultUnavailable)
+	got, _, err := m.Read("u")
+	if err != nil {
+		t.Fatalf("Read with one cloud down: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data mismatch after outage")
+	}
+}
+
+func TestToleratesOneCorruptingCloud(t *testing.T) {
+	providers, m := newManager(t, ProtocolCA)
+	data := bytes.Repeat([]byte("integrity "), 1000)
+	if _, err := m.Write("u", data); err != nil {
+		t.Fatal(err)
+	}
+	providers[1].SetFault(cloudsim.FaultCorrupt)
+	got, _, err := m.Read("u")
+	if err != nil {
+		t.Fatalf("Read with one corrupting cloud: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("corrupted data returned to the caller")
+	}
+}
+
+func TestToleratesOneCloudLosingWrites(t *testing.T) {
+	providers, m := newManager(t, ProtocolCA)
+	providers[3].SetFault(cloudsim.FaultLoseWrites)
+	data := []byte("ack'd but dropped on one cloud")
+	if _, err := m.Write("u", data); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := m.Read("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data mismatch with a write-dropping cloud")
+	}
+}
+
+func TestFailureThresholds(t *testing.T) {
+	providers, m := newManager(t, ProtocolCA)
+	if _, err := m.Write("u", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	// Writes need a quorum of n-f = 3 clouds: two outages block them.
+	providers[0].SetFault(cloudsim.FaultUnavailable)
+	providers[1].SetFault(cloudsim.FaultUnavailable)
+	if _, err := m.Write("u", []byte("new")); !errors.Is(err, ErrQuorumWrite) {
+		t.Fatalf("Write err = %v, want ErrQuorumWrite", err)
+	}
+	// Reads only need f+1 = 2 clouds (the paper: "two clouds need to be
+	// accessed to recover the file data"), so they still succeed...
+	got, _, err := m.Read("u")
+	if err != nil {
+		t.Fatalf("Read with 2 clouds down: %v", err)
+	}
+	if !bytes.Equal(got, []byte("data")) {
+		t.Fatal("read returned wrong data")
+	}
+	// ...but a third outage exceeds the read threshold as well.
+	providers[2].SetFault(cloudsim.FaultUnavailable)
+	if _, _, err := m.Read("u"); err == nil {
+		t.Fatal("Read succeeded with only one cloud reachable")
+	}
+}
+
+func TestNoSingleCloudHoldsPlaintext(t *testing.T) {
+	// Confidentiality: with DepSky-CA no single provider stores the value or
+	// anything containing it in the clear.
+	providers, m := newManager(t, ProtocolCA)
+	secretPayload := bytes.Repeat([]byte("TOPSECRET"), 200)
+	if _, err := m.Write("classified", secretPayload); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range providers {
+		id := p.CreateAccount("alice")
+		c := p.MustClient(id)
+		objs, err := c.List("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range objs {
+			data, err := c.Get(o.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bytes.Contains(data, []byte("TOPSECRET")) {
+				t.Fatalf("cloud %d stores plaintext fragment in object %s", i, o.Name)
+			}
+			var b block
+			if err := json.Unmarshal(data, &b); err != nil {
+				continue // metadata object
+			}
+			if bytes.Contains(b.Shard, []byte("TOPSECRET")) || bytes.Contains(b.Full, []byte("TOPSECRET")) {
+				t.Fatalf("cloud %d block contains plaintext", i)
+			}
+		}
+	}
+}
+
+func TestDepSkyAStoresPlaintextEverywhere(t *testing.T) {
+	// Contrast with the CA protocol: DepSky-A replicates the value verbatim,
+	// which is why SCFS uses DepSky-CA for its CoC backend.
+	providers, m := newManager(t, ProtocolA)
+	if _, err := m.Write("open", []byte("PLAINVALUE")); err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, p := range providers {
+		c := p.MustClient(p.CreateAccount("alice"))
+		objs, _ := c.List("")
+		for _, o := range objs {
+			data, _ := c.Get(o.Name)
+			var b block
+			if json.Unmarshal(data, &b) == nil && bytes.Contains(b.Full, []byte("PLAINVALUE")) {
+				found++
+			}
+		}
+	}
+	if found < 3 {
+		t.Fatalf("expected the plaintext on at least a quorum of clouds, found %d", found)
+	}
+}
+
+func TestDeleteVersionReclaimsSpace(t *testing.T) {
+	providers, m := newManager(t, ProtocolCA)
+	for i := 1; i <= 3; i++ {
+		if _, err := m.Write("doc", bytes.Repeat([]byte{byte(i)}, 10000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := providers[0].ObjectCount()
+	if err := m.DeleteVersion("doc", 1); err != nil {
+		t.Fatal(err)
+	}
+	after := providers[0].ObjectCount()
+	if after >= before {
+		t.Fatalf("object count did not decrease: %d -> %d", before, after)
+	}
+	versions, _ := m.ListVersions("doc")
+	if len(versions) != 2 {
+		t.Fatalf("versions after delete = %d, want 2", len(versions))
+	}
+	if err := m.DeleteVersion("doc", 99); !errors.Is(err, ErrVersionNotFound) {
+		t.Fatalf("err = %v, want ErrVersionNotFound", err)
+	}
+	// Newest version still readable.
+	got, _, err := m.Read("doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 3 {
+		t.Fatal("wrong version after GC")
+	}
+}
+
+func TestDeleteUnitRemovesEverything(t *testing.T) {
+	providers, m := newManager(t, ProtocolCA)
+	if _, err := m.Write("doc", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.DeleteUnit("doc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.Read("doc"); !errors.Is(err, ErrUnitNotFound) {
+		t.Fatalf("err = %v, want ErrUnitNotFound", err)
+	}
+	for i, p := range providers {
+		if n := p.ObjectCount(); n != 0 {
+			t.Fatalf("cloud %d still stores %d objects", i, n)
+		}
+	}
+}
+
+func TestStorageFootprint(t *testing.T) {
+	_, mCA := newManager(t, ProtocolCA)
+	_, mA := newManager(t, ProtocolA)
+	size := 1 << 20
+	ca := mCA.StorageFootprint(size)
+	a := mA.StorageFootprint(size)
+	// CA with f=1 stores ~1.5x the data; replication stores 4x.
+	ratioCA := float64(ca) / float64(size)
+	if ratioCA < 1.4 || ratioCA > 1.7 {
+		t.Fatalf("CA footprint ratio = %.2f, want ~1.5", ratioCA)
+	}
+	if a != size*4 {
+		t.Fatalf("A footprint = %d, want %d", a, size*4)
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	if ProtocolCA.String() != "DepSky-CA" || ProtocolA.String() != "DepSky-A" {
+		t.Fatal("unexpected protocol names")
+	}
+}
+
+func BenchmarkWriteCA1MB(b *testing.B) {
+	providers := make([]cloud.ObjectStore, 4)
+	for i := range providers {
+		p := cloudsim.NewProvider(cloudsim.Options{Name: fmt.Sprintf("c%d", i)})
+		providers[i] = p.MustClient(p.CreateAccount("u"))
+	}
+	m, err := New(Options{Clouds: providers, F: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 1<<20)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Write(fmt.Sprintf("u-%d", i), data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

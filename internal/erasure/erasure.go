@@ -1,0 +1,277 @@
+// Package erasure implements a systematic Reed-Solomon erasure code over
+// GF(2^8), as used by the DepSky-CA protocol: a file is split into k data
+// shards and m parity shards such that any k of the n = k+m shards suffice to
+// reconstruct the original data. In the SCFS cloud-of-clouds configuration of
+// the paper, n = 3f+1 providers and k = f+1, so each provider stores roughly
+// 1/(f+1) of the file plus the erasure-coding overhead (~50% extra space for
+// f=1 instead of the 300% extra of full replication).
+package erasure
+
+import (
+	"errors"
+	"fmt"
+
+	"scfs/internal/gf256"
+)
+
+// Coder encodes and reconstructs data using Reed-Solomon coding with
+// DataShards data shards and ParityShards parity shards.
+type Coder struct {
+	DataShards   int
+	ParityShards int
+
+	// encode is the (data+parity) x data coding matrix. Its top k rows are
+	// the identity (systematic code), the remaining m rows generate parity.
+	encode *gf256.Matrix
+}
+
+// Common parameter errors.
+var (
+	ErrInvalidShardCounts = errors.New("erasure: shard counts must be positive and total at most 256")
+	ErrTooFewShards       = errors.New("erasure: not enough shards to reconstruct")
+	ErrShardSizeMismatch  = errors.New("erasure: shards have inconsistent sizes")
+	ErrShardCountMismatch = errors.New("erasure: wrong number of shards")
+)
+
+// New creates a Coder with the given number of data and parity shards.
+func New(dataShards, parityShards int) (*Coder, error) {
+	if dataShards <= 0 || parityShards < 0 || dataShards+parityShards > 256 {
+		return nil, ErrInvalidShardCounts
+	}
+	n := dataShards + parityShards
+	// Build a systematic coding matrix from a Vandermonde matrix: take the
+	// n x k Vandermonde matrix V and normalize it to V * (V_top)^-1 so the
+	// top k x k block becomes the identity. Any k rows of the result remain
+	// invertible, so any k shards can reconstruct the data.
+	v := gf256.Vandermonde(n, dataShards)
+	top := v.SubMatrix(0, dataShards, 0, dataShards)
+	topInv, err := top.Invert()
+	if err != nil {
+		return nil, fmt.Errorf("erasure: building coding matrix: %w", err)
+	}
+	return &Coder{
+		DataShards:   dataShards,
+		ParityShards: parityShards,
+		encode:       v.Mul(topInv),
+	}, nil
+}
+
+// TotalShards returns data+parity shard count.
+func (c *Coder) TotalShards() int { return c.DataShards + c.ParityShards }
+
+// ShardSize returns the size of each shard produced by Split for an input of
+// dataLen bytes.
+func (c *Coder) ShardSize(dataLen int) int {
+	return (dataLen + c.DataShards - 1) / c.DataShards
+}
+
+// Split encodes data into TotalShards() shards: the first DataShards shards
+// contain the (zero-padded) data, the remaining shards contain parity. The
+// original length must be recorded separately (Join needs it) — DepSky keeps
+// it in its metadata object.
+func (c *Coder) Split(data []byte) ([][]byte, error) {
+	shardSize := c.ShardSize(len(data))
+	if shardSize == 0 {
+		shardSize = 1 // allow empty payloads: one padding byte per shard
+	}
+	shards := make([][]byte, c.TotalShards())
+	for i := range shards {
+		shards[i] = make([]byte, shardSize)
+	}
+	for i := 0; i < c.DataShards; i++ {
+		start := i * shardSize
+		if start < len(data) {
+			end := start + shardSize
+			if end > len(data) {
+				end = len(data)
+			}
+			copy(shards[i], data[start:end])
+		}
+	}
+	c.encodeParity(shards, shardSize)
+	return shards, nil
+}
+
+// encodeParity fills shards[DataShards:] from shards[:DataShards].
+func (c *Coder) encodeParity(shards [][]byte, shardSize int) {
+	for p := 0; p < c.ParityShards; p++ {
+		row := c.encode.Row(c.DataShards + p)
+		out := shards[c.DataShards+p]
+		for i := range out {
+			out[i] = 0
+		}
+		for d := 0; d < c.DataShards; d++ {
+			coef := row[d]
+			if coef == 0 {
+				continue
+			}
+			in := shards[d]
+			for i := 0; i < shardSize; i++ {
+				out[i] ^= gf256.Mul(coef, in[i])
+			}
+		}
+	}
+}
+
+// Reconstruct rebuilds missing shards in place. The shards slice must have
+// TotalShards() entries; missing shards are nil. At least DataShards shards
+// must be present. After a successful call every entry is non-nil.
+func (c *Coder) Reconstruct(shards [][]byte) error {
+	if len(shards) != c.TotalShards() {
+		return ErrShardCountMismatch
+	}
+	shardSize := -1
+	present := 0
+	for _, s := range shards {
+		if s == nil {
+			continue
+		}
+		present++
+		if shardSize == -1 {
+			shardSize = len(s)
+		} else if len(s) != shardSize {
+			return ErrShardSizeMismatch
+		}
+	}
+	if present < c.DataShards {
+		return ErrTooFewShards
+	}
+	if present == c.TotalShards() {
+		return nil
+	}
+
+	// Gather k present shards and the corresponding rows of the encode
+	// matrix; invert to obtain a decode matrix that recovers the data shards.
+	sub := gf256.NewMatrix(c.DataShards, c.DataShards)
+	subShards := make([][]byte, 0, c.DataShards)
+	rowsUsed := make([]int, 0, c.DataShards)
+	for i := 0; i < c.TotalShards() && len(subShards) < c.DataShards; i++ {
+		if shards[i] == nil {
+			continue
+		}
+		copy(sub.Row(len(subShards)), c.encode.Row(i))
+		subShards = append(subShards, shards[i])
+		rowsUsed = append(rowsUsed, i)
+	}
+	_ = rowsUsed
+	decode, err := sub.Invert()
+	if err != nil {
+		return fmt.Errorf("erasure: decode matrix: %w", err)
+	}
+
+	// Recover missing data shards.
+	dataShards := make([][]byte, c.DataShards)
+	for d := 0; d < c.DataShards; d++ {
+		if shards[d] != nil {
+			dataShards[d] = shards[d]
+			continue
+		}
+		out := make([]byte, shardSize)
+		row := decode.Row(d)
+		for j := 0; j < c.DataShards; j++ {
+			coef := row[j]
+			if coef == 0 {
+				continue
+			}
+			in := subShards[j]
+			for i := 0; i < shardSize; i++ {
+				out[i] ^= gf256.Mul(coef, in[i])
+			}
+		}
+		shards[d] = out
+		dataShards[d] = out
+	}
+
+	// Recompute any missing parity shards from the (now complete) data.
+	for p := 0; p < c.ParityShards; p++ {
+		idx := c.DataShards + p
+		if shards[idx] != nil {
+			continue
+		}
+		out := make([]byte, shardSize)
+		row := c.encode.Row(idx)
+		for d := 0; d < c.DataShards; d++ {
+			coef := row[d]
+			if coef == 0 {
+				continue
+			}
+			in := dataShards[d]
+			for i := 0; i < shardSize; i++ {
+				out[i] ^= gf256.Mul(coef, in[i])
+			}
+		}
+		shards[idx] = out
+	}
+	return nil
+}
+
+// Join reassembles the original data of length dataLen from the (complete)
+// shard set. Call Reconstruct first if shards are missing.
+func (c *Coder) Join(shards [][]byte, dataLen int) ([]byte, error) {
+	if len(shards) != c.TotalShards() {
+		return nil, ErrShardCountMismatch
+	}
+	if dataLen == 0 {
+		return []byte{}, nil
+	}
+	var shardSize int
+	for i := 0; i < c.DataShards; i++ {
+		if shards[i] == nil {
+			return nil, ErrTooFewShards
+		}
+		if i == 0 {
+			shardSize = len(shards[i])
+		} else if len(shards[i]) != shardSize {
+			return nil, ErrShardSizeMismatch
+		}
+	}
+	if shardSize*c.DataShards < dataLen {
+		return nil, fmt.Errorf("erasure: shards hold %d bytes, need %d", shardSize*c.DataShards, dataLen)
+	}
+	out := make([]byte, 0, dataLen)
+	for i := 0; i < c.DataShards && len(out) < dataLen; i++ {
+		need := dataLen - len(out)
+		if need > shardSize {
+			need = shardSize
+		}
+		out = append(out, shards[i][:need]...)
+	}
+	return out, nil
+}
+
+// Verify reports whether the parity shards are consistent with the data
+// shards. All shards must be present.
+func (c *Coder) Verify(shards [][]byte) (bool, error) {
+	if len(shards) != c.TotalShards() {
+		return false, ErrShardCountMismatch
+	}
+	var shardSize int
+	for i, s := range shards {
+		if s == nil {
+			return false, ErrTooFewShards
+		}
+		if i == 0 {
+			shardSize = len(s)
+		} else if len(s) != shardSize {
+			return false, ErrShardSizeMismatch
+		}
+	}
+	expected := make([][]byte, c.TotalShards())
+	for i := 0; i < c.DataShards; i++ {
+		expected[i] = shards[i]
+	}
+	for p := 0; p < c.ParityShards; p++ {
+		expected[c.DataShards+p] = make([]byte, shardSize)
+	}
+	c.encodeParity(expected, shardSize)
+	for p := 0; p < c.ParityShards; p++ {
+		got := shards[c.DataShards+p]
+		want := expected[c.DataShards+p]
+		for i := range want {
+			if got[i] != want[i] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}

@@ -1,0 +1,268 @@
+package erasure
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustCoder(t *testing.T, k, m int) *Coder {
+	t.Helper()
+	c, err := New(k, m)
+	if err != nil {
+		t.Fatalf("New(%d,%d): %v", k, m, err)
+	}
+	return c
+}
+
+func randomBytes(r *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	r.Read(b)
+	return b
+}
+
+func TestNewRejectsBadParameters(t *testing.T) {
+	cases := []struct{ k, m int }{{0, 1}, {-1, 2}, {1, -1}, {200, 100}}
+	for _, c := range cases {
+		if _, err := New(c.k, c.m); err == nil {
+			t.Errorf("New(%d,%d) succeeded, want error", c.k, c.m)
+		}
+	}
+	if _, err := New(2, 0); err != nil {
+		t.Errorf("New(2,0) should be allowed (no parity): %v", err)
+	}
+}
+
+func TestSplitJoinRoundTripNoLoss(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, size := range []int{0, 1, 2, 7, 16, 100, 1024, 4096, 10000} {
+		c := mustCoder(t, 2, 2)
+		data := randomBytes(r, size)
+		shards, err := c.Split(data)
+		if err != nil {
+			t.Fatalf("Split(%d bytes): %v", size, err)
+		}
+		if len(shards) != 4 {
+			t.Fatalf("expected 4 shards, got %d", len(shards))
+		}
+		got, err := c.Join(shards, len(data))
+		if err != nil {
+			t.Fatalf("Join: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("round trip mismatch for size %d", size)
+		}
+	}
+}
+
+func TestReconstructFromAnyKShards(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	c := mustCoder(t, 2, 2) // DepSky config for f=1: any 2 of 4 shards suffice
+	data := randomBytes(r, 5000)
+	orig, err := c.Split(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Try every pair of surviving shards.
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			shards := make([][]byte, 4)
+			shards[i] = append([]byte(nil), orig[i]...)
+			shards[j] = append([]byte(nil), orig[j]...)
+			if err := c.Reconstruct(shards); err != nil {
+				t.Fatalf("Reconstruct with shards %d,%d: %v", i, j, err)
+			}
+			got, err := c.Join(shards, len(data))
+			if err != nil {
+				t.Fatalf("Join after reconstruct: %v", err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("data mismatch after reconstructing from shards %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestReconstructRebuildsParityToo(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	c := mustCoder(t, 3, 2)
+	data := randomBytes(r, 999)
+	orig, _ := c.Split(data)
+	shards := make([][]byte, 5)
+	// Keep only the 3 data shards; both parity shards must be rebuilt.
+	for i := 0; i < 3; i++ {
+		shards[i] = append([]byte(nil), orig[i]...)
+	}
+	if err := c.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	for i := 3; i < 5; i++ {
+		if !bytes.Equal(shards[i], orig[i]) {
+			t.Fatalf("parity shard %d not rebuilt correctly", i)
+		}
+	}
+}
+
+func TestReconstructTooFewShards(t *testing.T) {
+	c := mustCoder(t, 3, 2)
+	data := make([]byte, 100)
+	orig, _ := c.Split(data)
+	shards := make([][]byte, 5)
+	shards[0] = orig[0]
+	shards[4] = orig[4]
+	if err := c.Reconstruct(shards); err != ErrTooFewShards {
+		t.Fatalf("err = %v, want ErrTooFewShards", err)
+	}
+}
+
+func TestReconstructShardCountMismatch(t *testing.T) {
+	c := mustCoder(t, 2, 2)
+	if err := c.Reconstruct(make([][]byte, 3)); err != ErrShardCountMismatch {
+		t.Fatalf("err = %v, want ErrShardCountMismatch", err)
+	}
+}
+
+func TestReconstructSizeMismatch(t *testing.T) {
+	c := mustCoder(t, 2, 2)
+	shards := [][]byte{make([]byte, 4), make([]byte, 5), nil, nil}
+	if err := c.Reconstruct(shards); err != ErrShardSizeMismatch {
+		t.Fatalf("err = %v, want ErrShardSizeMismatch", err)
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	c := mustCoder(t, 2, 2)
+	data := randomBytes(r, 2048)
+	shards, _ := c.Split(data)
+	ok, err := c.Verify(shards)
+	if err != nil || !ok {
+		t.Fatalf("Verify on pristine shards = %v, %v; want true, nil", ok, err)
+	}
+	shards[1][10] ^= 0xFF
+	ok, err = c.Verify(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("Verify did not detect corrupted data shard")
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	c := mustCoder(t, 2, 1)
+	if _, err := c.Join(make([][]byte, 2), 10); err != ErrShardCountMismatch {
+		t.Fatalf("err = %v, want ErrShardCountMismatch", err)
+	}
+	shards := [][]byte{nil, make([]byte, 4), make([]byte, 4)}
+	if _, err := c.Join(shards, 8); err != ErrTooFewShards {
+		t.Fatalf("err = %v, want ErrTooFewShards", err)
+	}
+	shards = [][]byte{make([]byte, 2), make([]byte, 2), make([]byte, 2)}
+	if _, err := c.Join(shards, 100); err == nil {
+		t.Fatal("Join with dataLen larger than capacity should fail")
+	}
+}
+
+func TestJoinEmptyData(t *testing.T) {
+	c := mustCoder(t, 3, 1)
+	shards, err := c.Split(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Join(shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("expected empty output, got %d bytes", len(out))
+	}
+}
+
+func TestShardSize(t *testing.T) {
+	c := mustCoder(t, 4, 2)
+	cases := []struct{ in, want int }{{0, 0}, {1, 1}, {4, 1}, {5, 2}, {1000, 250}, {1001, 251}}
+	for _, tc := range cases {
+		if got := c.ShardSize(tc.in); got != tc.want {
+			t.Errorf("ShardSize(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestStorageOverheadForDepSkyConfig(t *testing.T) {
+	// The paper stores ~1.5x the file size in the CoC (f=1: 2 data + 1 extra
+	// coded block actually stored; our coder with k=2, m=2 produces 2x but
+	// DepSky only uploads n-f=3 of them -> 1.5x).
+	c := mustCoder(t, 2, 2)
+	data := make([]byte, 1 << 20)
+	shards, _ := c.Split(data)
+	perShard := len(shards[0])
+	if perShard != 1<<19 {
+		t.Fatalf("shard size = %d, want %d", perShard, 1<<19)
+	}
+	stored := 3 * perShard // DepSky preferred quorum stores n-f shards
+	if float64(stored)/float64(len(data)) != 1.5 {
+		t.Fatalf("storage overhead = %f, want 1.5", float64(stored)/float64(len(data)))
+	}
+}
+
+func TestPropertyReconstructAfterRandomErasures(t *testing.T) {
+	c := mustCoder(t, 3, 2)
+	f := func(seed int64, sizeRaw uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		size := int(sizeRaw)%4096 + 1
+		data := randomBytes(r, size)
+		orig, err := c.Split(data)
+		if err != nil {
+			return false
+		}
+		// Erase up to ParityShards random shards.
+		shards := make([][]byte, len(orig))
+		for i := range orig {
+			shards[i] = append([]byte(nil), orig[i]...)
+		}
+		erased := 0
+		for erased < c.ParityShards {
+			idx := r.Intn(len(shards))
+			if shards[idx] != nil {
+				shards[idx] = nil
+				erased++
+			}
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			return false
+		}
+		got, err := c.Join(shards, len(data))
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSplit1MB(b *testing.B) {
+	c, _ := New(2, 2)
+	data := make([]byte, 1<<20)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Split(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstruct1MB(b *testing.B) {
+	c, _ := New(2, 2)
+	data := make([]byte, 1<<20)
+	orig, _ := c.Split(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shards := [][]byte{nil, append([]byte(nil), orig[1]...), append([]byte(nil), orig[2]...), nil}
+		if err := c.Reconstruct(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

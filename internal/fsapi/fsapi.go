@@ -1,0 +1,198 @@
+// Package fsapi defines the POSIX-like virtual file-system interface exposed
+// by the SCFS agent and by the baseline file systems used in the evaluation
+// (S3FS-like, S3QL-like, LocalFS). In the paper this boundary is the FUSE-J
+// layer; here it is an in-process Go interface so workloads can replay the
+// exact same system-call sequences against every file system under test.
+package fsapi
+
+import (
+	"errors"
+	"time"
+)
+
+// OpenFlag mirrors the subset of POSIX open(2) flags SCFS cares about.
+type OpenFlag int
+
+const (
+	// ReadOnly opens the file for reading.
+	ReadOnly OpenFlag = 1 << iota
+	// WriteOnly opens the file for writing.
+	WriteOnly
+	// ReadWrite opens the file for reading and writing.
+	ReadWrite
+	// Create creates the file if it does not exist.
+	Create
+	// Truncate truncates the file to zero length on open.
+	Truncate
+	// Exclusive makes Create fail if the file already exists.
+	Exclusive
+)
+
+// Writable reports whether the flag set requests write access.
+func (f OpenFlag) Writable() bool {
+	return f&(WriteOnly|ReadWrite|Create|Truncate) != 0
+}
+
+// Readable reports whether the flag set requests read access.
+func (f OpenFlag) Readable() bool {
+	return f&WriteOnly == 0 || f&ReadWrite != 0
+}
+
+// FileType distinguishes the kinds of namespace entries.
+type FileType int
+
+const (
+	// TypeFile is a regular file.
+	TypeFile FileType = iota
+	// TypeDir is a directory.
+	TypeDir
+	// TypeSymlink is a symbolic link.
+	TypeSymlink
+)
+
+// String implements fmt.Stringer.
+func (t FileType) String() string {
+	switch t {
+	case TypeDir:
+		return "dir"
+	case TypeSymlink:
+		return "symlink"
+	default:
+		return "file"
+	}
+}
+
+// FileInfo describes a namespace entry, as returned by Stat and ReadDir.
+type FileInfo struct {
+	// Path is the absolute path inside the mount.
+	Path string
+	// Name is the final path element.
+	Name string
+	// Type tells files, directories and symlinks apart.
+	Type FileType
+	// Size is the file length in bytes (0 for directories).
+	Size int64
+	// ModTime is the last modification time.
+	ModTime time.Time
+	// Owner is the user that created the entry.
+	Owner string
+	// Shared reports whether the entry has ACL grants beyond its owner.
+	Shared bool
+}
+
+// IsDir is a convenience accessor.
+func (fi FileInfo) IsDir() bool { return fi.Type == TypeDir }
+
+// Permission is what an ACL entry grants.
+type Permission int
+
+const (
+	// PermNone revokes access.
+	PermNone Permission = iota
+	// PermRead grants read access.
+	PermRead
+	// PermReadWrite grants read and write access.
+	PermReadWrite
+)
+
+// ACLEntry grants a permission to a user.
+type ACLEntry struct {
+	User string
+	Perm Permission
+}
+
+// Sentinel errors returned by FileSystem implementations.
+var (
+	ErrNotExist   = errors.New("fsapi: no such file or directory")
+	ErrExist      = errors.New("fsapi: file already exists")
+	ErrIsDir      = errors.New("fsapi: is a directory")
+	ErrNotDir     = errors.New("fsapi: not a directory")
+	ErrNotEmpty   = errors.New("fsapi: directory not empty")
+	ErrPermission = errors.New("fsapi: permission denied")
+	ErrLocked     = errors.New("fsapi: file is locked by another client")
+	ErrReadOnly   = errors.New("fsapi: file opened read-only")
+	ErrClosed     = errors.New("fsapi: handle already closed")
+	ErrInvalid    = errors.New("fsapi: invalid argument")
+)
+
+// Handle is an open file. Reads and writes operate on the in-memory copy of
+// the file (SCFS caches whole files while they are open); durability follows
+// the level requested by the call, per Table 1 of the paper: Write is level
+// 0 (memory), Fsync is level 1 (local disk), Close is level 2/3 (cloud).
+type Handle interface {
+	// ReadAt reads len(p) bytes starting at offset off.
+	ReadAt(p []byte, off int64) (int, error)
+	// WriteAt writes p at offset off, extending the file as needed.
+	WriteAt(p []byte, off int64) (int, error)
+	// Truncate resizes the open file.
+	Truncate(size int64) error
+	// Fsync flushes the current contents to the local disk (durability
+	// level 1).
+	Fsync() error
+	// Close flushes to the cloud backend according to the file system's mode
+	// (durability level 2 or 3) and releases any lock held.
+	Close() error
+	// Stat returns the current metadata of the open file.
+	Stat() (FileInfo, error)
+}
+
+// FileSystem is the POSIX-like API shared by SCFS and all baselines. All
+// paths are absolute ("/docs/report.odt"). Implementations must be safe for
+// concurrent use.
+type FileSystem interface {
+	// Open opens (or with Create, creates) a file.
+	Open(path string, flags OpenFlag) (Handle, error)
+	// Mkdir creates a directory (parents must exist).
+	Mkdir(path string) error
+	// Rmdir removes an empty directory.
+	Rmdir(path string) error
+	// Unlink removes a file.
+	Unlink(path string) error
+	// Rename moves a file or directory (and its subtree).
+	Rename(oldPath, newPath string) error
+	// Stat returns metadata for a path.
+	Stat(path string) (FileInfo, error)
+	// ReadDir lists a directory.
+	ReadDir(path string) ([]FileInfo, error)
+	// SetFacl grants or revokes a user's permission on a path (setfacl).
+	SetFacl(path, user string, perm Permission) error
+	// GetFacl returns the ACL entries of a path (getfacl).
+	GetFacl(path string) ([]ACLEntry, error)
+	// Unmount flushes all state and releases resources.
+	Unmount() error
+}
+
+// ReadFile is a convenience helper that opens, reads fully and closes.
+func ReadFile(fs FileSystem, path string) ([]byte, error) {
+	h, err := fs.Open(path, ReadOnly)
+	if err != nil {
+		return nil, err
+	}
+	defer h.Close()
+	info, err := h.Stat()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, info.Size)
+	if info.Size == 0 {
+		return buf, nil
+	}
+	n, err := h.ReadAt(buf, 0)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+// WriteFile is a convenience helper that creates/truncates, writes and closes.
+func WriteFile(fs FileSystem, path string, data []byte) error {
+	h, err := fs.Open(path, ReadWrite|Create|Truncate)
+	if err != nil {
+		return err
+	}
+	if _, err := h.WriteAt(data, 0); err != nil {
+		h.Close()
+		return err
+	}
+	return h.Close()
+}

@@ -1,0 +1,55 @@
+package fsapi
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestOpenFlagPredicates(t *testing.T) {
+	cases := []struct {
+		flags    OpenFlag
+		writable bool
+		readable bool
+	}{
+		{ReadOnly, false, true},
+		{ReadWrite, true, true},
+		{WriteOnly, true, false},
+		{ReadWrite | Create, true, true},
+		{ReadOnly | Create, true, true},
+		{ReadWrite | Truncate, true, true},
+	}
+	for _, c := range cases {
+		if got := c.flags.Writable(); got != c.writable {
+			t.Errorf("Writable(%b) = %v, want %v", c.flags, got, c.writable)
+		}
+		if got := c.flags.Readable(); got != c.readable {
+			t.Errorf("Readable(%b) = %v, want %v", c.flags, got, c.readable)
+		}
+	}
+}
+
+func TestFileTypeString(t *testing.T) {
+	if TypeFile.String() != "file" || TypeDir.String() != "dir" || TypeSymlink.String() != "symlink" {
+		t.Fatal("unexpected FileType strings")
+	}
+}
+
+func TestFileInfoIsDir(t *testing.T) {
+	if (FileInfo{Type: TypeFile}).IsDir() {
+		t.Fatal("file reported as dir")
+	}
+	if !(FileInfo{Type: TypeDir}).IsDir() {
+		t.Fatal("dir not reported as dir")
+	}
+}
+
+func TestSentinelErrorsAreDistinct(t *testing.T) {
+	errs := []error{ErrNotExist, ErrExist, ErrIsDir, ErrNotDir, ErrNotEmpty, ErrPermission, ErrLocked, ErrReadOnly, ErrClosed, ErrInvalid}
+	for i, a := range errs {
+		for j, b := range errs {
+			if i != j && errors.Is(a, b) {
+				t.Fatalf("errors %d and %d are not distinct", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Package seccrypto bundles the symmetric cryptography used by SCFS and
+// DepSky: random key generation, AES-CTR encryption of file contents, and the
+// collision-resistant hashes used both by the consistency-anchor algorithm
+// (SHA-1 in the paper's metadata tuples, SHA-256 available as well) and by
+// DepSky's integrity verification.
+package seccrypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha1"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// KeySize is the symmetric key size in bytes (AES-256).
+const KeySize = 32
+
+// Errors returned by this package.
+var (
+	ErrBadKeySize    = errors.New("seccrypto: key must be 32 bytes")
+	ErrCiphertextLen = errors.New("seccrypto: ciphertext too short")
+)
+
+// NewKey generates a fresh random AES-256 key.
+func NewKey() ([]byte, error) {
+	key := make([]byte, KeySize)
+	if _, err := io.ReadFull(rand.Reader, key); err != nil {
+		return nil, fmt.Errorf("seccrypto: generating key: %w", err)
+	}
+	return key, nil
+}
+
+// Encrypt encrypts plaintext with AES-256-CTR using a random IV. The IV is
+// prepended to the returned ciphertext. CTR mode matches the paper's usage:
+// confidentiality of the payload; integrity is provided separately by the
+// hash stored in the consistency anchor / DepSky metadata.
+func Encrypt(key, plaintext []byte) ([]byte, error) {
+	if len(key) != KeySize {
+		return nil, ErrBadKeySize
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("seccrypto: %w", err)
+	}
+	out := make([]byte, aes.BlockSize+len(plaintext))
+	iv := out[:aes.BlockSize]
+	if _, err := io.ReadFull(rand.Reader, iv); err != nil {
+		return nil, fmt.Errorf("seccrypto: generating IV: %w", err)
+	}
+	stream := cipher.NewCTR(block, iv)
+	stream.XORKeyStream(out[aes.BlockSize:], plaintext)
+	return out, nil
+}
+
+// Decrypt reverses Encrypt.
+func Decrypt(key, ciphertext []byte) ([]byte, error) {
+	if len(key) != KeySize {
+		return nil, ErrBadKeySize
+	}
+	if len(ciphertext) < aes.BlockSize {
+		return nil, ErrCiphertextLen
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("seccrypto: %w", err)
+	}
+	iv := ciphertext[:aes.BlockSize]
+	plaintext := make([]byte, len(ciphertext)-aes.BlockSize)
+	stream := cipher.NewCTR(block, iv)
+	stream.XORKeyStream(plaintext, ciphertext[aes.BlockSize:])
+	return plaintext, nil
+}
+
+// Hash returns the hex-encoded SHA-256 digest of data. This is the
+// collision-resistant hash carried by metadata tuples and DepSky metadata.
+func Hash(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// HashSHA1 returns the hex-encoded SHA-1 digest of data. The SCFS paper
+// stores SHA-1 hashes in its metadata tuples; it is provided for fidelity and
+// for sizing experiments, while integrity-critical paths use Hash (SHA-256).
+func HashSHA1(data []byte) string {
+	sum := sha1.Sum(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// VerifyHash reports whether data matches the given hex-encoded SHA-256 hash
+// in constant time with respect to the hash comparison.
+func VerifyHash(data []byte, hexHash string) bool {
+	sum := sha256.Sum256(data)
+	want, err := hex.DecodeString(hexHash)
+	if err != nil || len(want) != sha256.Size {
+		return false
+	}
+	return hmac.Equal(sum[:], want)
+}

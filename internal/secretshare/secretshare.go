@@ -1,0 +1,129 @@
+// Package secretshare implements Shamir secret sharing over GF(2^8). DepSky
+// uses it to split the random file-encryption key into n shares so that no
+// single cloud provider (holding one share) can decrypt the file, while any
+// threshold t of the shares recover the key.
+package secretshare
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+
+	"scfs/internal/gf256"
+)
+
+// Share is one participant's share of a secret. X identifies the evaluation
+// point (1..255) and Data holds one byte of share material per secret byte.
+type Share struct {
+	X    byte
+	Data []byte
+}
+
+// Parameter and input errors.
+var (
+	ErrBadThreshold  = errors.New("secretshare: threshold must satisfy 2 <= t <= n <= 255")
+	ErrEmptySecret   = errors.New("secretshare: secret must not be empty")
+	ErrTooFewShares  = errors.New("secretshare: not enough shares to reconstruct")
+	ErrInconsistent  = errors.New("secretshare: shares have inconsistent lengths")
+	ErrDuplicateX    = errors.New("secretshare: duplicate share identifiers")
+	ErrInvalidShareX = errors.New("secretshare: share identifier must be non-zero")
+)
+
+// Split divides secret into n shares such that any t of them reconstruct the
+// secret and any t-1 reveal nothing. randSrc may be nil, in which case
+// crypto/rand is used.
+func Split(secret []byte, n, t int, randSrc io.Reader) ([]Share, error) {
+	if t < 2 || n < t || n > 255 {
+		return nil, ErrBadThreshold
+	}
+	if len(secret) == 0 {
+		return nil, ErrEmptySecret
+	}
+	if randSrc == nil {
+		randSrc = rand.Reader
+	}
+
+	shares := make([]Share, n)
+	for i := range shares {
+		shares[i] = Share{X: byte(i + 1), Data: make([]byte, len(secret))}
+	}
+
+	coeffs := make([]byte, t) // coeffs[0] = secret byte, rest random
+	for byteIdx, s := range secret {
+		coeffs[0] = s
+		if _, err := io.ReadFull(randSrc, coeffs[1:]); err != nil {
+			return nil, fmt.Errorf("secretshare: reading randomness: %w", err)
+		}
+		for i := range shares {
+			shares[i].Data[byteIdx] = evalPoly(coeffs, shares[i].X)
+		}
+	}
+	return shares, nil
+}
+
+// evalPoly evaluates the polynomial with the given coefficients (constant
+// term first) at point x using Horner's rule in GF(2^8).
+func evalPoly(coeffs []byte, x byte) byte {
+	var y byte
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		y = gf256.Add(gf256.Mul(y, x), coeffs[i])
+	}
+	return y
+}
+
+// Combine reconstructs the secret from at least t shares (any subset works as
+// long as it has the threshold size used at Split time). Extra shares are
+// accepted and improve nothing; inconsistent shares produce garbage (Shamir
+// sharing is not error-detecting — DepSky detects corruption via hashes).
+func Combine(shares []Share, t int) ([]byte, error) {
+	if t < 2 {
+		return nil, ErrBadThreshold
+	}
+	if len(shares) < t {
+		return nil, ErrTooFewShares
+	}
+	use := shares[:t]
+	length := len(use[0].Data)
+	seen := make(map[byte]bool, t)
+	for _, s := range use {
+		if s.X == 0 {
+			return nil, ErrInvalidShareX
+		}
+		if seen[s.X] {
+			return nil, ErrDuplicateX
+		}
+		seen[s.X] = true
+		if len(s.Data) != length {
+			return nil, ErrInconsistent
+		}
+	}
+	if length == 0 {
+		return nil, ErrEmptySecret
+	}
+
+	// Lagrange interpolation at x = 0 for each byte position.
+	secret := make([]byte, length)
+	// Precompute the Lagrange basis coefficients l_i(0).
+	basis := make([]byte, t)
+	for i := 0; i < t; i++ {
+		num := byte(1)
+		den := byte(1)
+		for j := 0; j < t; j++ {
+			if j == i {
+				continue
+			}
+			num = gf256.Mul(num, use[j].X)
+			den = gf256.Mul(den, gf256.Add(use[i].X, use[j].X))
+		}
+		basis[i] = gf256.Div(num, den)
+	}
+	for b := 0; b < length; b++ {
+		var acc byte
+		for i := 0; i < t; i++ {
+			acc = gf256.Add(acc, gf256.Mul(use[i].Data[b], basis[i]))
+		}
+		secret[b] = acc
+	}
+	return secret, nil
+}

@@ -1,0 +1,125 @@
+package smr
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Client invokes commands on a replica group and waits for the reply quorum
+// required by the fault model (1 reply for crash faults, f+1 matching replies
+// for Byzantine faults). A Client is safe for concurrent use; concurrent
+// invocations are serialized.
+type Client struct {
+	id    string
+	cfg   Config
+	net   *Network
+	inbox chan Reply
+
+	// RequestTimeout bounds one attempt; RetryInterval is the retransmission
+	// period within an attempt.
+	RequestTimeout time.Duration
+	RetryInterval  time.Duration
+
+	mu     sync.Mutex
+	nextID uint64
+	closed atomic.Bool
+}
+
+// ErrTimeout is returned when the group does not answer in time.
+var ErrTimeout = errors.New("smr: request timed out")
+
+// NewClient registers a client with the network.
+func NewClient(id string, cfg Config, net *Network) *Client {
+	cfg = cfg.withDefaults()
+	return &Client{
+		id:             id,
+		cfg:            cfg,
+		net:            net,
+		inbox:          net.RegisterClient(id),
+		RequestTimeout: 10 * time.Second,
+		RetryInterval:  100 * time.Millisecond,
+	}
+}
+
+// Close unregisters the client.
+func (c *Client) Close() {
+	if c.closed.CompareAndSwap(false, true) {
+		c.net.UnregisterClient(c.id)
+	}
+}
+
+// Invoke submits op for total ordering and returns the agreed result.
+func (c *Client) Invoke(op []byte) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed.Load() {
+		return nil, fmt.Errorf("smr: client %s is closed", c.id)
+	}
+	c.nextID++
+	reqID := c.nextID
+	req := request{ClientID: c.id, ReqID: reqID, Op: op}
+	msg := message{Type: msgRequest, From: -1, FromCli: c.id, Req: req}
+
+	needed := c.cfg.Model.ReplyQuorum(c.cfg.N())
+	deadline := time.Now().Add(c.RequestTimeout)
+
+	// Drain stale replies from previous invocations.
+	for {
+		select {
+		case <-c.inbox:
+			continue
+		default:
+		}
+		break
+	}
+
+	c.net.Broadcast(msg)
+	retry := time.NewTicker(c.RetryInterval)
+	defer retry.Stop()
+
+	// votes maps result digests to the set of replicas that reported them.
+	votes := make(map[string]map[int]bool)
+	results := make(map[string][]byte)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, fmt.Errorf("%w after %v (request %d)", ErrTimeout, c.RequestTimeout, reqID)
+		}
+		select {
+		case r := <-c.inbox:
+			if r.ReqID != reqID {
+				continue
+			}
+			key := string(r.Result)
+			if votes[key] == nil {
+				votes[key] = make(map[int]bool)
+			}
+			votes[key][r.Replica] = true
+			results[key] = r.Result
+			if len(votes[key]) >= needed {
+				return cloneBytes(results[key]), nil
+			}
+		case <-retry.C:
+			c.net.Broadcast(msg)
+		case <-time.After(remaining):
+			return nil, fmt.Errorf("%w after %v (request %d)", ErrTimeout, c.RequestTimeout, reqID)
+		}
+	}
+}
+
+func cloneBytes(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// equalResults reports whether two replies carry the same payload. Exposed
+// for tests of the voting logic.
+func equalResults(a, b []byte) bool { return bytes.Equal(a, b) }

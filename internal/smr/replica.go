@@ -1,0 +1,451 @@
+package smr
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"scfs/internal/seccrypto"
+)
+
+// Replica is one member of a replicated state machine group. Protocol state
+// is confined to the run goroutine; public methods communicate with it via
+// the inbox or dedicated control channels.
+type Replica struct {
+	id  int
+	cfg Config
+	app Application
+	net Transport
+
+	inbox  chan message
+	stopCh chan struct{}
+	doneCh chan struct{}
+
+	// Mutable protocol state, owned by run().
+	view       int
+	nextSeq    uint64
+	lastExec   uint64
+	highestSeq uint64
+	instances  map[uint64]*instance
+	pending    map[string]pendingReq
+	lastReply  map[string]clientRecord
+	vcVotes    map[int]map[int]bool
+
+	// Checkpointing.
+	lastCheckpointSeq uint64
+	lastCheckpoint    []byte
+
+	// Test hooks and observability, protected by statsMu.
+	statsMu      sync.Mutex
+	byzantine    bool
+	executed     int64
+	viewSnapshot int
+}
+
+type pendingReq struct {
+	req     request
+	arrival time.Time
+}
+
+type clientRecord struct {
+	reqID  uint64
+	result []byte
+}
+
+type instance struct {
+	req      request
+	digest   string
+	hasReq   bool
+	prepares map[int]bool
+	commits  map[int]bool
+	sentPrep bool
+	sentComm bool
+	executed bool
+}
+
+// NewReplica creates a replica and registers it with the network. Call Start
+// to launch its event loop.
+func NewReplica(id int, cfg Config, app Application, net *Network) (*Replica, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	found := false
+	for _, rid := range cfg.ReplicaIDs {
+		if rid == id {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("smr: replica %d not in configuration %v", id, cfg.ReplicaIDs)
+	}
+	r := &Replica{
+		id:        id,
+		cfg:       cfg,
+		app:       app,
+		net:       net,
+		inbox:     make(chan message, 4096),
+		stopCh:    make(chan struct{}),
+		doneCh:    make(chan struct{}),
+		nextSeq:   1,
+		instances: make(map[uint64]*instance),
+		pending:   make(map[string]pendingReq),
+		lastReply: make(map[string]clientRecord),
+		vcVotes:   make(map[int]map[int]bool),
+	}
+	net.registerReplica(id, r.inbox)
+	return r, nil
+}
+
+// ID returns the replica identifier.
+func (r *Replica) ID() int { return r.id }
+
+// Start launches the replica's event loop.
+func (r *Replica) Start() { go r.run() }
+
+// Stop terminates the event loop.
+func (r *Replica) Stop() {
+	close(r.stopCh)
+	<-r.doneCh
+}
+
+// SetByzantine makes the replica return corrupted results to clients (test
+// hook exercising the BFT reply-voting path).
+func (r *Replica) SetByzantine(b bool) {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	r.byzantine = b
+}
+
+func (r *Replica) isByzantine() bool {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	return r.byzantine
+}
+
+// ExecutedCommands reports how many commands this replica has executed.
+func (r *Replica) ExecutedCommands() int64 {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	return r.executed
+}
+
+// CurrentView returns the replica's current view (test observability). It is
+// safe to call concurrently but the value may be immediately stale.
+func (r *Replica) CurrentView() int {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	return r.viewSnapshot
+}
+
+// setViewSnapshot mirrors view for concurrent readers; called by run().
+func (r *Replica) setViewSnapshot(v int) {
+	r.statsMu.Lock()
+	r.viewSnapshot = v
+	r.statsMu.Unlock()
+}
+
+func (r *Replica) isLeader() bool { return r.cfg.LeaderFor(r.view) == r.id }
+
+func (r *Replica) run() {
+	defer close(r.doneCh)
+	ticker := time.NewTicker(r.cfg.LeaderTimeout / 2)
+	defer ticker.Stop()
+	r.setViewSnapshot(r.view)
+	for {
+		select {
+		case <-r.stopCh:
+			return
+		case m := <-r.inbox:
+			r.handle(m)
+		case <-ticker.C:
+			r.checkLeaderLiveness()
+		}
+	}
+}
+
+func (r *Replica) handle(m message) {
+	switch m.Type {
+	case msgRequest:
+		r.onRequest(m)
+	case msgPrePrepare:
+		r.onPrePrepare(m)
+	case msgPrepare:
+		r.onPrepare(m)
+	case msgCommit:
+		r.onCommit(m)
+	case msgViewChange:
+		r.onViewChange(m)
+	case msgNewView:
+		r.onNewView(m)
+	}
+}
+
+// --- normal case operation ---
+
+func (r *Replica) onRequest(m message) {
+	req := m.Req
+	key := req.key()
+	// At-most-once execution: if this request was already executed, resend
+	// the recorded reply.
+	if rec, ok := r.lastReply[req.ClientID]; ok && rec.reqID >= req.ReqID {
+		if rec.reqID == req.ReqID {
+			r.sendReply(req, rec.result)
+		}
+		return
+	}
+	if _, ok := r.pending[key]; !ok {
+		r.pending[key] = pendingReq{req: req, arrival: time.Now()}
+	}
+	if r.isLeader() {
+		r.propose(req)
+	}
+}
+
+func (r *Replica) propose(req request) {
+	// Avoid proposing a request twice in the same view.
+	for _, inst := range r.instances {
+		if inst.hasReq && inst.req.key() == req.key() && !inst.executed {
+			return
+		}
+	}
+	seq := r.nextSeq
+	r.nextSeq++
+	m := message{
+		Type:   msgPrePrepare,
+		From:   r.id,
+		View:   r.view,
+		Seq:    seq,
+		Digest: seccrypto.Hash(req.Op),
+		Req:    req,
+	}
+	r.net.Broadcast(m)
+}
+
+func (r *Replica) getInstance(seq uint64) *instance {
+	inst, ok := r.instances[seq]
+	if !ok {
+		inst = &instance{prepares: make(map[int]bool), commits: make(map[int]bool)}
+		r.instances[seq] = inst
+	}
+	return inst
+}
+
+func (r *Replica) onPrePrepare(m message) {
+	if m.View != r.view || m.From != r.cfg.LeaderFor(r.view) {
+		return
+	}
+	if m.Seq <= r.lastExec {
+		return
+	}
+	if seccrypto.Hash(m.Req.Op) != m.Digest {
+		return // malformed or tampered proposal
+	}
+	inst := r.getInstance(m.Seq)
+	if inst.hasReq && inst.digest != m.Digest {
+		return // conflicting proposal for the same sequence number
+	}
+	inst.req = m.Req
+	inst.digest = m.Digest
+	inst.hasReq = true
+	if m.Seq > r.highestSeq {
+		r.highestSeq = m.Seq
+	}
+	if m.Seq >= r.nextSeq {
+		r.nextSeq = m.Seq + 1
+	}
+	if !inst.sentPrep {
+		inst.sentPrep = true
+		r.net.Broadcast(message{Type: msgPrepare, From: r.id, View: r.view, Seq: m.Seq, Digest: m.Digest})
+	}
+	r.maybeAdvance(m.Seq)
+}
+
+func (r *Replica) onPrepare(m message) {
+	if m.View != r.view || m.Seq <= r.lastExec {
+		return
+	}
+	inst := r.getInstance(m.Seq)
+	inst.prepares[m.From] = true
+	r.maybeAdvance(m.Seq)
+}
+
+func (r *Replica) onCommit(m message) {
+	if m.View != r.view || m.Seq <= r.lastExec {
+		return
+	}
+	inst := r.getInstance(m.Seq)
+	inst.commits[m.From] = true
+	r.maybeAdvance(m.Seq)
+}
+
+// maybeAdvance drives an instance through the prepare/commit phases and then
+// executes committed instances in sequence order.
+func (r *Replica) maybeAdvance(seq uint64) {
+	inst := r.instances[seq]
+	if inst == nil {
+		return
+	}
+	quorum := r.cfg.Model.QuorumSize(r.cfg.N())
+	if inst.hasReq && !inst.sentComm && len(inst.prepares) >= quorum {
+		inst.sentComm = true
+		r.net.Broadcast(message{Type: msgCommit, From: r.id, View: r.view, Seq: seq, Digest: inst.digest})
+	}
+	r.executeReady()
+}
+
+// executeReady executes all committed instances whose predecessors have been
+// executed.
+func (r *Replica) executeReady() {
+	quorum := r.cfg.Model.QuorumSize(r.cfg.N())
+	for {
+		next := r.lastExec + 1
+		inst, ok := r.instances[next]
+		if !ok || !inst.hasReq || inst.executed || len(inst.commits) < quorum || !inst.sentComm {
+			return
+		}
+		inst.executed = true
+		r.lastExec = next
+		req := inst.req
+		key := req.key()
+		delete(r.pending, key)
+
+		var result []byte
+		if rec, ok := r.lastReply[req.ClientID]; ok && rec.reqID >= req.ReqID {
+			// Already executed in a previous view (re-proposed after a view
+			// change): do not re-apply, reuse the recorded reply.
+			result = rec.result
+		} else {
+			result = r.app.Execute(req.Op)
+			r.lastReply[req.ClientID] = clientRecord{reqID: req.ReqID, result: result}
+			r.statsMu.Lock()
+			r.executed++
+			r.statsMu.Unlock()
+		}
+		r.sendReply(req, result)
+		delete(r.instances, next)
+		if r.lastExec-r.lastCheckpointSeq >= uint64(r.cfg.CheckpointInterval) {
+			r.lastCheckpointSeq = r.lastExec
+			r.lastCheckpoint = r.app.Snapshot()
+		}
+	}
+}
+
+func (r *Replica) sendReply(req request, result []byte) {
+	out := result
+	if r.isByzantine() {
+		out = append([]byte("corrupted:"), result...)
+	}
+	r.net.SendToClient(req.ClientID, Reply{ReqID: req.ReqID, Replica: r.id, View: r.view, Result: out})
+}
+
+// --- view change ---
+
+func (r *Replica) checkLeaderLiveness() {
+	if r.isLeader() || len(r.pending) == 0 {
+		return
+	}
+	oldest := time.Now()
+	for _, p := range r.pending {
+		if p.arrival.Before(oldest) {
+			oldest = p.arrival
+		}
+	}
+	if time.Since(oldest) < r.cfg.LeaderTimeout {
+		return
+	}
+	// Suspect the leader: vote to move to the next view.
+	newView := r.view + 1
+	r.net.Broadcast(r.viewChangeMsg(newView))
+	// Reset arrival times so we do not flood view changes every tick.
+	for k, p := range r.pending {
+		p.arrival = time.Now()
+		r.pending[k] = p
+	}
+}
+
+func (r *Replica) viewChangeMsg(newView int) message {
+	pend := make([]request, 0, len(r.pending))
+	for _, p := range r.pending {
+		pend = append(pend, p.req)
+	}
+	sort.Slice(pend, func(i, j int) bool { return pend[i].key() < pend[j].key() })
+	return message{
+		Type:     msgViewChange,
+		From:     r.id,
+		View:     newView,
+		LastExec: r.lastExec,
+		Pending:  pend,
+	}
+}
+
+func (r *Replica) onViewChange(m message) {
+	if m.View <= r.view {
+		return
+	}
+	votes, ok := r.vcVotes[m.View]
+	if !ok {
+		votes = make(map[int]bool)
+		r.vcVotes[m.View] = votes
+	}
+	votes[m.From] = true
+	// Adopt the pending requests advertised by others so the new leader can
+	// re-propose them even if the client request never reached it.
+	for _, req := range m.Pending {
+		key := req.key()
+		if rec, ok := r.lastReply[req.ClientID]; ok && rec.reqID >= req.ReqID {
+			continue
+		}
+		if _, ok := r.pending[key]; !ok {
+			r.pending[key] = pendingReq{req: req, arrival: time.Now()}
+		}
+	}
+	// Echo our own vote once we have seen evidence that others want to move.
+	if !votes[r.id] && m.View == r.view+1 {
+		votes[r.id] = true
+		r.net.Broadcast(r.viewChangeMsg(m.View))
+	}
+	quorum := r.cfg.Model.QuorumSize(r.cfg.N())
+	if len(votes) >= quorum && r.cfg.LeaderFor(m.View) == r.id {
+		// We are the leader of the new view: announce it.
+		r.net.Broadcast(message{Type: msgNewView, From: r.id, View: m.View, LastExec: r.lastExec})
+	}
+}
+
+func (r *Replica) onNewView(m message) {
+	if m.View <= r.view || m.From != r.cfg.LeaderFor(m.View) {
+		return
+	}
+	r.view = m.View
+	r.setViewSnapshot(r.view)
+	// Drop in-flight instances above the last executed command; the new
+	// leader re-proposes pending requests with fresh sequence numbers.
+	for seq := range r.instances {
+		if !r.instances[seq].executed {
+			delete(r.instances, seq)
+		}
+	}
+	if r.nextSeq <= r.highestSeq {
+		r.nextSeq = r.highestSeq + 1
+	}
+	delete(r.vcVotes, m.View)
+	if r.isLeader() {
+		// Re-propose everything still pending, in a deterministic order.
+		keys := make([]string, 0, len(r.pending))
+		for k := range r.pending {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			r.propose(r.pending[k].req)
+		}
+	} else {
+		// Restart liveness accounting in the new view.
+		for k, p := range r.pending {
+			p.arrival = time.Now()
+			r.pending[k] = p
+		}
+	}
+}

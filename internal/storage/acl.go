@@ -1,0 +1,88 @@
+package storage
+
+import (
+	"fmt"
+
+	"scfs/internal/cloud"
+	"scfs/internal/fsapi"
+)
+
+// UserDirectory maps SCFS users to their canonical account identifiers at
+// each cloud provider (§2.6: "SCFS needs to associate with every client a
+// list of cloud canonical identifiers"). In the paper this association is
+// kept in a tuple in the coordination service; here it is provided to the
+// propagator at construction time (and can be refreshed).
+type UserDirectory map[string]map[string]string
+
+// CanonicalID returns the account identifier of user at provider.
+func (d UserDirectory) CanonicalID(user, provider string) (string, bool) {
+	accounts, ok := d[user]
+	if !ok {
+		return "", false
+	}
+	id, ok := accounts[provider]
+	return id, ok
+}
+
+func toCloudPerm(p fsapi.Permission) cloud.Permission {
+	switch p {
+	case fsapi.PermRead:
+		return cloud.PermRead
+	case fsapi.PermReadWrite:
+		return cloud.PermReadWrite
+	default:
+		return cloud.PermNone
+	}
+}
+
+// CloudACLPropagator mirrors setfacl changes onto the objects that store a
+// file's versions, across one or more providers. It implements the
+// core.ACLPropagator interface without importing core (the method set is
+// structural).
+type CloudACLPropagator struct {
+	// Stores are the owner's object-store clients, one per provider.
+	Stores []cloud.ObjectStore
+	// Directory resolves other users' canonical identifiers per provider.
+	Directory UserDirectory
+}
+
+// PropagateACL grants (or revokes) user's permission on every stored version
+// object of fileID at every provider.
+func (p *CloudACLPropagator) PropagateACL(fileID string, hashes []string, user string, perm fsapi.Permission) error {
+	cloudPerm := toCloudPerm(perm)
+	for _, store := range p.Stores {
+		grantee, ok := p.Directory.CanonicalID(user, store.Provider())
+		if !ok {
+			return fmt.Errorf("storage: no canonical identifier for user %q at provider %q", user, store.Provider())
+		}
+		objects, err := store.List(fileID + "/")
+		if err != nil {
+			return fmt.Errorf("storage: listing objects of %q at %q: %w", fileID, store.Provider(), err)
+		}
+		// Also cover DepSky-style object names, which live under a prefix
+		// that embeds the file identifier.
+		dsObjects, err := store.List("dsky/" + fileID + "/")
+		if err == nil {
+			objects = append(objects, dsObjects...)
+		}
+		for _, o := range objects {
+			current, err := store.GetACL(o.Name)
+			if err != nil {
+				return fmt.Errorf("storage: reading ACL of %q: %w", o.Name, err)
+			}
+			updated := make([]cloud.Grant, 0, len(current)+1)
+			for _, g := range current {
+				if g.Grantee != grantee {
+					updated = append(updated, g)
+				}
+			}
+			if cloudPerm != cloud.PermNone {
+				updated = append(updated, cloud.Grant{Grantee: grantee, Perm: cloudPerm})
+			}
+			if err := store.SetACL(o.Name, updated); err != nil {
+				return fmt.Errorf("storage: updating ACL of %q: %w", o.Name, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,285 @@
+// Package storage implements the SCFS storage service (§2.5.1): the layer
+// that saves and retrieves whole-file objects from the cloud backend, either
+// a single cloud provider (the AWS backend of the paper) or a DepSky
+// cloud-of-clouds, and the consistency-anchor composition of Figure 3 that
+// turns an eventually consistent object store into a strongly consistent one.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"scfs/internal/cloud"
+	"scfs/internal/depsky"
+	"scfs/internal/seccrypto"
+)
+
+// Errors returned by backends.
+var (
+	// ErrVersionNotFound means the requested (fileID, hash) pair is not yet
+	// visible; callers retry per the consistency-anchor read loop.
+	ErrVersionNotFound = errors.New("storage: version not found")
+	// ErrIntegrity means the fetched payload does not match the hash.
+	ErrIntegrity = errors.New("storage: integrity check failed")
+)
+
+// VersionedStore is the storage-service (SS) abstraction used by SCFS: every
+// write creates a new immutable version addressed by (fileID, hash of the
+// contents). It corresponds to step w2/r2 of the Figure 3 algorithm.
+type VersionedStore interface {
+	// WriteVersion durably stores data as the version of fileID whose
+	// contents hash to hash.
+	WriteVersion(fileID, hash string, data []byte) error
+	// ReadVersion returns the data of the given version, or
+	// ErrVersionNotFound if it is not (yet) visible.
+	ReadVersion(fileID, hash string) ([]byte, error)
+	// DeleteVersion removes the version (used by garbage collection).
+	DeleteVersion(fileID, hash string) error
+	// ListVersions lists the hashes currently stored for fileID.
+	ListVersions(fileID string) ([]string, error)
+	// Name identifies the backend for diagnostics ("aws", "coc", ...).
+	Name() string
+}
+
+// --- single-cloud backend ---
+
+// SingleCloud stores each version as one object named "<fileID>/<hash>" in a
+// single provider (the S3 backend of SCFS-AWS, also used by the S3FS/S3QL
+// baselines).
+type SingleCloud struct {
+	store cloud.ObjectStore
+	// Encrypt enables client-side encryption with a per-agent key. The
+	// paper's AWS backend stores plaintext (confidentiality requires the CoC
+	// backend or trusting the provider); encryption is optional here.
+	key []byte
+}
+
+// NewSingleCloud creates a single-cloud backend. If encrypt is true a random
+// agent key is generated and used for all versions.
+func NewSingleCloud(store cloud.ObjectStore, encrypt bool) (*SingleCloud, error) {
+	sc := &SingleCloud{store: store}
+	if encrypt {
+		key, err := seccrypto.NewKey()
+		if err != nil {
+			return nil, err
+		}
+		sc.key = key
+	}
+	return sc, nil
+}
+
+// Name implements VersionedStore.
+func (s *SingleCloud) Name() string { return "single:" + s.store.Provider() }
+
+func versionObject(fileID, hash string) string { return fileID + "/" + hash }
+
+// WriteVersion implements VersionedStore.
+func (s *SingleCloud) WriteVersion(fileID, hash string, data []byte) error {
+	payload := data
+	if s.key != nil {
+		enc, err := seccrypto.Encrypt(s.key, data)
+		if err != nil {
+			return err
+		}
+		payload = enc
+	}
+	return s.store.Put(versionObject(fileID, hash), payload)
+}
+
+// ReadVersion implements VersionedStore.
+func (s *SingleCloud) ReadVersion(fileID, hash string) ([]byte, error) {
+	payload, err := s.store.Get(versionObject(fileID, hash))
+	if errors.Is(err, cloud.ErrNotFound) {
+		return nil, ErrVersionNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	data := payload
+	if s.key != nil {
+		dec, err := seccrypto.Decrypt(s.key, payload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrIntegrity, err)
+		}
+		data = dec
+	}
+	if !seccrypto.VerifyHash(data, hash) {
+		return nil, ErrIntegrity
+	}
+	return data, nil
+}
+
+// DeleteVersion implements VersionedStore.
+func (s *SingleCloud) DeleteVersion(fileID, hash string) error {
+	return s.store.Delete(versionObject(fileID, hash))
+}
+
+// ListVersions implements VersionedStore.
+func (s *SingleCloud) ListVersions(fileID string) ([]string, error) {
+	objs, err := s.store.List(fileID + "/")
+	if err != nil {
+		return nil, err
+	}
+	hashes := make([]string, 0, len(objs))
+	for _, o := range objs {
+		hashes = append(hashes, o.Name[len(fileID)+1:])
+	}
+	return hashes, nil
+}
+
+// Underlying exposes the wrapped object store (used by the ACL propagation
+// path of setfacl).
+func (s *SingleCloud) Underlying() cloud.ObjectStore { return s.store }
+
+// --- cloud-of-clouds backend ---
+
+// CloudOfClouds stores versions through a DepSky manager: each file is a
+// DepSky data unit and each SCFS version is a DepSky version located via
+// ReadMatching (read-by-hash).
+type CloudOfClouds struct {
+	mgr *depsky.Manager
+}
+
+// NewCloudOfClouds wraps a DepSky manager.
+func NewCloudOfClouds(mgr *depsky.Manager) *CloudOfClouds {
+	return &CloudOfClouds{mgr: mgr}
+}
+
+// Name implements VersionedStore.
+func (c *CloudOfClouds) Name() string { return "coc" }
+
+// Manager exposes the underlying DepSky manager.
+func (c *CloudOfClouds) Manager() *depsky.Manager { return c.mgr }
+
+// WriteVersion implements VersionedStore.
+func (c *CloudOfClouds) WriteVersion(fileID, hash string, data []byte) error {
+	info, err := c.mgr.Write(fileID, data)
+	if err != nil {
+		return err
+	}
+	if info.DataHash != hash {
+		return fmt.Errorf("%w: wrote hash %s, expected %s", ErrIntegrity, info.DataHash, hash)
+	}
+	return nil
+}
+
+// ReadVersion implements VersionedStore.
+func (c *CloudOfClouds) ReadVersion(fileID, hash string) ([]byte, error) {
+	data, _, err := c.mgr.ReadMatching(fileID, hash)
+	if errors.Is(err, depsky.ErrVersionNotFound) || errors.Is(err, depsky.ErrUnitNotFound) {
+		return nil, ErrVersionNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !seccrypto.VerifyHash(data, hash) {
+		return nil, ErrIntegrity
+	}
+	return data, nil
+}
+
+// DeleteVersion implements VersionedStore.
+func (c *CloudOfClouds) DeleteVersion(fileID, hash string) error {
+	versions, err := c.mgr.ListVersions(fileID)
+	if err != nil {
+		return err
+	}
+	for _, v := range versions {
+		if v.DataHash == hash {
+			return c.mgr.DeleteVersion(fileID, v.Number)
+		}
+	}
+	return nil
+}
+
+// ListVersions implements VersionedStore.
+func (c *CloudOfClouds) ListVersions(fileID string) ([]string, error) {
+	versions, err := c.mgr.ListVersions(fileID)
+	if err != nil {
+		return nil, err
+	}
+	hashes := make([]string, 0, len(versions))
+	for _, v := range versions {
+		hashes = append(hashes, v.DataHash)
+	}
+	return hashes, nil
+}
+
+// --- consistency anchor (Figure 3) ---
+
+// AnchorStore is the narrow interface the consistency-anchor algorithm needs
+// from the strongly consistent metadata store (the CA): a linearizable map
+// from object id to the hash of its current value.
+type AnchorStore interface {
+	// ReadHash returns the hash currently anchored for id.
+	ReadHash(id string) (string, error)
+	// WriteHash anchors hash as the current version of id.
+	WriteHash(id, hash string) error
+}
+
+// ErrAnchorNotFound is returned by AnchorStore implementations when the id
+// has never been written.
+var ErrAnchorNotFound = errors.New("storage: anchor not found")
+
+// Composite implements the algorithm of Figure 3: a strongly consistent
+// object store built from a consistency anchor (CA) and an
+// eventually-consistent storage service (SS).
+type Composite struct {
+	CA AnchorStore
+	SS VersionedStore
+	// RetryInterval is the pause between SS read attempts while waiting for
+	// an eventually-consistent write to become visible.
+	RetryInterval time.Duration
+	// MaxRetries bounds the read loop (0 = 100 attempts).
+	MaxRetries int
+	// Sleep allows tests to intercept the retry pause; defaults to
+	// time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// NewComposite builds a composite store with sensible defaults.
+func NewComposite(ca AnchorStore, ss VersionedStore) *Composite {
+	return &Composite{CA: ca, SS: ss, RetryInterval: 50 * time.Millisecond, MaxRetries: 100, Sleep: time.Sleep}
+}
+
+// Write implements the WRITE(id, v) algorithm: hash, push to SS, then anchor
+// the hash in the CA.
+func (c *Composite) Write(id string, value []byte) (string, error) {
+	h := seccrypto.Hash(value)          // w1
+	if err := c.SS.WriteVersion(id, h, value); err != nil { // w2
+		return "", fmt.Errorf("storage: composite write to SS: %w", err)
+	}
+	if err := c.CA.WriteHash(id, h); err != nil { // w3
+		return "", fmt.Errorf("storage: composite write to CA: %w", err)
+	}
+	return h, nil
+}
+
+// Read implements the READ(id) algorithm: get the anchored hash, then fetch
+// from the SS until the matching version is visible, verifying integrity.
+func (c *Composite) Read(id string) ([]byte, error) {
+	h, err := c.CA.ReadHash(id) // r1
+	if err != nil {
+		return nil, err
+	}
+	maxRetries := c.MaxRetries
+	if maxRetries <= 0 {
+		maxRetries = 100
+	}
+	sleep := c.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	for attempt := 0; attempt < maxRetries; attempt++ { // r2
+		value, err := c.SS.ReadVersion(id, h)
+		if err == nil {
+			return value, nil // r3 (hash verified by the SS implementations)
+		}
+		if !errors.Is(err, ErrVersionNotFound) {
+			return nil, err
+		}
+		sleep(c.RetryInterval)
+	}
+	return nil, fmt.Errorf("storage: composite read of %q: %w after %d attempts", id, ErrVersionNotFound, maxRetries)
+}

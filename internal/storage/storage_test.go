@@ -1,0 +1,325 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"scfs/internal/cloud"
+	"scfs/internal/cloudsim"
+	"scfs/internal/depsky"
+	"scfs/internal/seccrypto"
+)
+
+func newSingleCloudStore(t *testing.T, encrypt bool) (*cloudsim.Provider, *SingleCloud) {
+	t.Helper()
+	p := cloudsim.NewProvider(cloudsim.Options{Name: "s3"})
+	c := p.MustClient(p.CreateAccount("alice"))
+	sc, err := NewSingleCloud(c, encrypt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, sc
+}
+
+func newCoCStore(t *testing.T) ([]*cloudsim.Provider, *CloudOfClouds) {
+	t.Helper()
+	providers := make([]*cloudsim.Provider, 4)
+	clients := make([]cloud.ObjectStore, 4)
+	for i := range providers {
+		p := cloudsim.NewProvider(cloudsim.Options{Name: fmt.Sprintf("c%d", i)})
+		providers[i] = p
+		clients[i] = p.MustClient(p.CreateAccount("alice"))
+	}
+	mgr, err := depsky.New(depsky.Options{Clouds: clients, F: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return providers, NewCloudOfClouds(mgr)
+}
+
+func testVersionedStore(t *testing.T, vs VersionedStore) {
+	t.Helper()
+	data1 := []byte("contents of version one")
+	data2 := []byte("contents of version two, different")
+	h1 := seccrypto.Hash(data1)
+	h2 := seccrypto.Hash(data2)
+
+	if err := vs.WriteVersion("file-1", h1, data1); err != nil {
+		t.Fatalf("WriteVersion v1: %v", err)
+	}
+	if err := vs.WriteVersion("file-1", h2, data2); err != nil {
+		t.Fatalf("WriteVersion v2: %v", err)
+	}
+	got, err := vs.ReadVersion("file-1", h1)
+	if err != nil {
+		t.Fatalf("ReadVersion v1: %v", err)
+	}
+	if !bytes.Equal(got, data1) {
+		t.Fatal("v1 contents mismatch")
+	}
+	got, err = vs.ReadVersion("file-1", h2)
+	if err != nil {
+		t.Fatalf("ReadVersion v2: %v", err)
+	}
+	if !bytes.Equal(got, data2) {
+		t.Fatal("v2 contents mismatch")
+	}
+	if _, err := vs.ReadVersion("file-1", seccrypto.Hash([]byte("never written"))); !errors.Is(err, ErrVersionNotFound) {
+		t.Fatalf("missing version err = %v, want ErrVersionNotFound", err)
+	}
+	hashes, err := vs.ListVersions("file-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hashes) != 2 {
+		t.Fatalf("ListVersions = %v, want 2 entries", hashes)
+	}
+	if err := vs.DeleteVersion("file-1", h1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vs.ReadVersion("file-1", h1); !errors.Is(err, ErrVersionNotFound) {
+		t.Fatalf("deleted version still readable: %v", err)
+	}
+	if _, err := vs.ReadVersion("file-1", h2); err != nil {
+		t.Fatalf("remaining version unreadable after GC: %v", err)
+	}
+	if vs.Name() == "" {
+		t.Fatal("backend must report a name")
+	}
+}
+
+func TestSingleCloudVersionedStore(t *testing.T) {
+	_, sc := newSingleCloudStore(t, false)
+	testVersionedStore(t, sc)
+}
+
+func TestSingleCloudEncryptedVersionedStore(t *testing.T) {
+	_, sc := newSingleCloudStore(t, true)
+	testVersionedStore(t, sc)
+}
+
+func TestCloudOfCloudsVersionedStore(t *testing.T) {
+	_, coc := newCoCStore(t)
+	testVersionedStore(t, coc)
+}
+
+func TestSingleCloudEncryptionHidesPlaintext(t *testing.T) {
+	p, sc := newSingleCloudStore(t, true)
+	data := bytes.Repeat([]byte("SECRETDATA"), 50)
+	h := seccrypto.Hash(data)
+	if err := sc.WriteVersion("f", h, data); err != nil {
+		t.Fatal(err)
+	}
+	c := p.MustClient(p.CreateAccount("alice"))
+	objs, _ := c.List("")
+	for _, o := range objs {
+		raw, _ := c.Get(o.Name)
+		if bytes.Contains(raw, []byte("SECRETDATA")) {
+			t.Fatal("plaintext stored despite encryption")
+		}
+	}
+}
+
+func TestSingleCloudDetectsCorruption(t *testing.T) {
+	p, sc := newSingleCloudStore(t, false)
+	data := []byte("important data")
+	h := seccrypto.Hash(data)
+	if err := sc.WriteVersion("f", h, data); err != nil {
+		t.Fatal(err)
+	}
+	p.SetFault(cloudsim.FaultCorrupt)
+	if _, err := sc.ReadVersion("f", h); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("err = %v, want ErrIntegrity (single cloud cannot mask corruption, only detect it)", err)
+	}
+}
+
+func TestCoCMasksCorruption(t *testing.T) {
+	providers, coc := newCoCStore(t)
+	data := bytes.Repeat([]byte("resilient "), 500)
+	h := seccrypto.Hash(data)
+	if err := coc.WriteVersion("f", h, data); err != nil {
+		t.Fatal(err)
+	}
+	providers[0].SetFault(cloudsim.FaultCorrupt)
+	got, err := coc.ReadVersion("f", h)
+	if err != nil {
+		t.Fatalf("CoC read with a corrupting cloud: %v", err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("CoC returned corrupted data")
+	}
+}
+
+func TestCoCExposesManager(t *testing.T) {
+	_, coc := newCoCStore(t)
+	if coc.Manager() == nil {
+		t.Fatal("Manager() returned nil")
+	}
+	_, sc := newSingleCloudStore(t, false)
+	if sc.Underlying() == nil {
+		t.Fatal("Underlying() returned nil")
+	}
+}
+
+// memAnchor is an in-memory linearizable anchor used to test the composite.
+type memAnchor struct {
+	mu sync.Mutex
+	m  map[string]string
+}
+
+func newMemAnchor() *memAnchor { return &memAnchor{m: make(map[string]string)} }
+
+func (a *memAnchor) ReadHash(id string) (string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	h, ok := a.m[id]
+	if !ok {
+		return "", ErrAnchorNotFound
+	}
+	return h, nil
+}
+
+func (a *memAnchor) WriteHash(id, hash string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.m[id] = hash
+	return nil
+}
+
+// delayedStore wraps a VersionedStore and hides freshly written versions for
+// the first N reads, emulating eventual consistency at the API level so the
+// composite's retry loop is exercised deterministically.
+type delayedStore struct {
+	VersionedStore
+	mu      sync.Mutex
+	hidden  map[string]int // key -> remaining reads that miss
+	written map[string]bool
+}
+
+func newDelayedStore(inner VersionedStore, misses int) *delayedStore {
+	return &delayedStore{VersionedStore: inner, hidden: map[string]int{}, written: map[string]bool{}}
+}
+
+func (d *delayedStore) hide(fileID, hash string, misses int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.hidden[fileID+"/"+hash] = misses
+}
+
+func (d *delayedStore) ReadVersion(fileID, hash string) ([]byte, error) {
+	d.mu.Lock()
+	key := fileID + "/" + hash
+	if n, ok := d.hidden[key]; ok && n > 0 {
+		d.hidden[key] = n - 1
+		d.mu.Unlock()
+		return nil, ErrVersionNotFound
+	}
+	d.mu.Unlock()
+	return d.VersionedStore.ReadVersion(fileID, hash)
+}
+
+func TestCompositeWriteReadStrongConsistency(t *testing.T) {
+	_, sc := newSingleCloudStore(t, false)
+	anchor := newMemAnchor()
+	comp := NewComposite(anchor, sc)
+	comp.RetryInterval = time.Millisecond
+
+	data := []byte("strongly consistent value")
+	h, err := comp.Write("obj", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != seccrypto.Hash(data) {
+		t.Fatal("Write returned an unexpected hash")
+	}
+	got, err := comp.Read("obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("Read returned different data")
+	}
+}
+
+func TestCompositeReadRetriesUntilVisible(t *testing.T) {
+	// The hallmark of the Figure 3 algorithm: after a write completes, the
+	// anchored hash is immediately visible but the data may take a while to
+	// appear in the eventually consistent store; the reader loops until the
+	// matching version shows up.
+	_, sc := newSingleCloudStore(t, false)
+	delayed := newDelayedStore(sc, 0)
+	anchor := newMemAnchor()
+	comp := NewComposite(anchor, delayed)
+	comp.RetryInterval = 0
+	slept := 0
+	comp.Sleep = func(time.Duration) { slept++ }
+
+	data := []byte("eventually visible")
+	h, err := comp.Write("obj", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delayed.hide("obj", h, 3)
+	got, err := comp.Read("obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("Read returned wrong data")
+	}
+	if slept != 3 {
+		t.Fatalf("expected 3 retries, observed %d", slept)
+	}
+}
+
+func TestCompositeReadGivesUpAfterMaxRetries(t *testing.T) {
+	_, sc := newSingleCloudStore(t, false)
+	delayed := newDelayedStore(sc, 0)
+	anchor := newMemAnchor()
+	comp := NewComposite(anchor, delayed)
+	comp.MaxRetries = 5
+	comp.Sleep = func(time.Duration) {}
+
+	data := []byte("never visible")
+	h, err := comp.Write("obj", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delayed.hide("obj", h, 1000)
+	if _, err := comp.Read("obj"); !errors.Is(err, ErrVersionNotFound) {
+		t.Fatalf("err = %v, want ErrVersionNotFound", err)
+	}
+}
+
+func TestCompositeReadUnknownObject(t *testing.T) {
+	_, sc := newSingleCloudStore(t, false)
+	comp := NewComposite(newMemAnchor(), sc)
+	if _, err := comp.Read("ghost"); !errors.Is(err, ErrAnchorNotFound) {
+		t.Fatalf("err = %v, want ErrAnchorNotFound", err)
+	}
+}
+
+func TestCompositeReadsLatestAnchoredVersion(t *testing.T) {
+	// Overwrites anchor the newest hash; readers must never observe an older
+	// version once the write completed (consistency-on-close in SCFS).
+	_, sc := newSingleCloudStore(t, false)
+	comp := NewComposite(newMemAnchor(), sc)
+	comp.RetryInterval = time.Millisecond
+	for i := 0; i < 5; i++ {
+		payload := []byte(fmt.Sprintf("version-%d", i))
+		if _, err := comp.Write("obj", payload); err != nil {
+			t.Fatal(err)
+		}
+		got, err := comp.Read("obj")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("read %q after writing %q", got, payload)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package zkcoord
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"scfs/internal/clock"
+)
+
+// AnyVersion disables the version check on Set and Delete.
+const AnyVersion = int64(-1)
+
+// Invoker submits a serialized command for ordered execution (smr.Client or
+// LocalInvoker).
+type Invoker interface {
+	Invoke(cmd []byte) ([]byte, error)
+}
+
+// LocalInvoker executes commands directly on a Tree (no replication).
+type LocalInvoker struct {
+	Tree *Tree
+}
+
+// Invoke implements Invoker.
+func (l *LocalInvoker) Invoke(cmd []byte) ([]byte, error) { return l.Tree.Execute(cmd), nil }
+
+// Typed errors mapped from Result.Err.
+var (
+	ErrNotFound   = errors.New(ErrNoNode)
+	ErrExists     = errors.New(ErrNodeExists)
+	ErrVersion    = errors.New(ErrBadVersion)
+	ErrParent     = errors.New(ErrNoParent)
+	ErrChildren   = errors.New(ErrNotEmpty)
+	ErrMalformed  = errors.New(ErrBadCommand)
+	ErrNotTheOwner = errors.New(ErrNotOwner)
+)
+
+func mapError(msg string) error {
+	switch msg {
+	case "":
+		return nil
+	case ErrNoNode:
+		return ErrNotFound
+	case ErrNodeExists:
+		return ErrExists
+	case ErrBadVersion:
+		return ErrVersion
+	case ErrNoParent:
+		return ErrParent
+	case ErrNotEmpty:
+		return ErrChildren
+	case ErrNotOwner:
+		return ErrNotTheOwner
+	case ErrBadCommand:
+		return ErrMalformed
+	default:
+		return fmt.Errorf("zkcoord: %s", msg)
+	}
+}
+
+// Client is the typed interface to a (possibly replicated) znode tree. Each
+// client represents one session; ephemeral znodes it creates disappear when
+// the session stops heart-beating.
+type Client struct {
+	inv     Invoker
+	session string
+	clk     clock.Clock
+	// SessionTTL is the expiry attached to ephemeral nodes and renewed by
+	// Heartbeat.
+	SessionTTL time.Duration
+}
+
+// NewClient creates a session-scoped client.
+func NewClient(inv Invoker, session string, clk clock.Clock) *Client {
+	if clk == nil {
+		clk = clock.Real()
+	}
+	return &Client{inv: inv, session: session, clk: clk, SessionTTL: 30 * time.Second}
+}
+
+func (c *Client) do(cmd Command) (Result, error) {
+	cmd.Session = c.session
+	cmd.Now = c.clk.Now().UnixNano()
+	b, err := json.Marshal(cmd)
+	if err != nil {
+		return Result{}, fmt.Errorf("zkcoord: encoding command: %w", err)
+	}
+	reply, err := c.inv.Invoke(b)
+	if err != nil {
+		return Result{}, fmt.Errorf("zkcoord: invoking %s: %w", cmd.Op, err)
+	}
+	var res Result
+	if err := json.Unmarshal(reply, &res); err != nil {
+		return Result{}, fmt.Errorf("zkcoord: decoding reply: %w", err)
+	}
+	if !res.OK {
+		return res, mapError(res.Err)
+	}
+	return res, nil
+}
+
+// Create creates a persistent znode and returns its path.
+func (c *Client) Create(p string, data []byte) (string, error) {
+	res, err := c.do(Command{Op: opCreate, Path: p, Data: data, Version: AnyVersion})
+	return res.Path, err
+}
+
+// CreateEphemeral creates an ephemeral znode owned by this session.
+func (c *Client) CreateEphemeral(p string, data []byte) (string, error) {
+	res, err := c.do(Command{Op: opCreate, Path: p, Data: data, Ephemeral: true, TTLNanos: int64(c.SessionTTL), Version: AnyVersion})
+	return res.Path, err
+}
+
+// CreateSequential creates a persistent znode whose name gets a monotonically
+// increasing suffix; it returns the final path.
+func (c *Client) CreateSequential(p string, data []byte) (string, error) {
+	res, err := c.do(Command{Op: opCreate, Path: p, Data: data, Sequential: true, Version: AnyVersion})
+	return res.Path, err
+}
+
+// Get returns the data and stat of a znode.
+func (c *Client) Get(p string) ([]byte, Stat, error) {
+	res, err := c.do(Command{Op: opGet, Path: p, Version: AnyVersion})
+	return res.Data, res.Stat, err
+}
+
+// Set overwrites a znode's data; version AnyVersion disables the check.
+func (c *Client) Set(p string, data []byte, version int64) (Stat, error) {
+	res, err := c.do(Command{Op: opSet, Path: p, Data: data, Version: version, TTLNanos: int64(c.SessionTTL)})
+	return res.Stat, err
+}
+
+// Delete removes a leaf znode; version AnyVersion disables the check.
+func (c *Client) Delete(p string, version int64) error {
+	_, err := c.do(Command{Op: opDelete, Path: p, Version: version})
+	return err
+}
+
+// Children lists the direct children names of a znode.
+func (c *Client) Children(p string) ([]string, error) {
+	res, err := c.do(Command{Op: opChildren, Path: p, Version: AnyVersion})
+	return res.Children, err
+}
+
+// Exists reports whether a znode is present.
+func (c *Client) Exists(p string) (bool, Stat, error) {
+	res, err := c.do(Command{Op: opExists, Path: p, Version: AnyVersion})
+	return res.Exists, res.Stat, err
+}
+
+// Heartbeat renews every ephemeral znode owned by this session and returns
+// how many were renewed.
+func (c *Client) Heartbeat() (int, error) {
+	res, err := c.do(Command{Op: opHeartbeat, TTLNanos: int64(c.SessionTTL)})
+	return res.Count, err
+}
+
+// Clean physically removes expired ephemeral znodes.
+func (c *Client) Clean() (int, error) {
+	res, err := c.do(Command{Op: opClean})
+	return res.Count, err
+}

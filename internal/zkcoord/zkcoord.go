@@ -1,0 +1,324 @@
+// Package zkcoord implements a Zookeeper-like coordination service: a
+// hierarchical namespace of znodes with versioned conditional updates,
+// ephemeral znodes (expiring with their owning session) and sequential
+// znodes. It is the second coordination backend supported by SCFS (§3.2);
+// like Zookeeper, it is replicated with the crash-fault configuration of the
+// replication engine (2f+1 replicas), though nothing prevents running it in
+// Byzantine mode.
+//
+// As with internal/depspace, expiry decisions are based on the timestamp
+// carried inside each command so all replicas stay deterministic.
+package zkcoord
+
+import (
+	"encoding/json"
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Stat describes a znode.
+type Stat struct {
+	Version   uint64 `json:"version"`
+	Ephemeral bool   `json:"ephemeral"`
+	Owner     string `json:"owner,omitempty"`
+	// ExpiresAt is a unix-nano deadline renewed by session heartbeats.
+	ExpiresAt int64 `json:"expires_at,omitempty"`
+	DataLen   int   `json:"data_len"`
+}
+
+type znode struct {
+	Path      string `json:"path"`
+	Data      []byte `json:"data"`
+	Version   uint64 `json:"version"`
+	Ephemeral bool   `json:"ephemeral"`
+	Owner     string `json:"owner,omitempty"`
+	ExpiresAt int64  `json:"expires_at,omitempty"`
+	Seq       uint64 `json:"seq"` // counter for sequential children
+}
+
+// Command opcodes.
+const (
+	opCreate   = "create"
+	opGet      = "get"
+	opSet      = "set"
+	opDelete   = "delete"
+	opChildren = "children"
+	opExists   = "exists"
+	opHeartbeat = "heartbeat"
+	opClean    = "clean"
+)
+
+// Command is the serialized operation applied by every replica.
+type Command struct {
+	Op        string `json:"op"`
+	Session   string `json:"session"`
+	Now       int64  `json:"now"`
+	Path      string `json:"path,omitempty"`
+	Data      []byte `json:"data,omitempty"`
+	Version   int64  `json:"version,omitempty"` // -1 = any
+	Ephemeral bool   `json:"ephemeral,omitempty"`
+	Sequential bool  `json:"sequential,omitempty"`
+	TTLNanos  int64  `json:"ttl_nanos,omitempty"`
+}
+
+// Result is the serialized reply.
+type Result struct {
+	OK       bool     `json:"ok"`
+	Err      string   `json:"err,omitempty"`
+	Path     string   `json:"path,omitempty"`
+	Data     []byte   `json:"data,omitempty"`
+	Stat     Stat     `json:"stat,omitempty"`
+	Children []string `json:"children,omitempty"`
+	Exists   bool     `json:"exists,omitempty"`
+	Count    int      `json:"count,omitempty"`
+}
+
+// Error strings carried in Result.Err.
+const (
+	ErrNoNode      = "zkcoord: node does not exist"
+	ErrNodeExists  = "zkcoord: node already exists"
+	ErrBadVersion  = "zkcoord: version mismatch"
+	ErrNoParent    = "zkcoord: parent does not exist"
+	ErrNotEmpty    = "zkcoord: node has children"
+	ErrBadCommand  = "zkcoord: malformed command"
+	ErrNotOwner    = "zkcoord: not the ephemeral owner"
+)
+
+// Tree is the deterministic znode-tree state machine; it implements
+// smr.Application.
+type Tree struct {
+	mu    sync.Mutex
+	nodes map[string]*znode
+}
+
+// NewTree returns a tree containing only the root node "/".
+func NewTree() *Tree {
+	t := &Tree{nodes: make(map[string]*znode)}
+	t.nodes["/"] = &znode{Path: "/", Version: 1}
+	return t
+}
+
+// Execute implements smr.Application.
+func (t *Tree) Execute(cmdBytes []byte) []byte {
+	var cmd Command
+	if err := json.Unmarshal(cmdBytes, &cmd); err != nil {
+		return marshal(Result{OK: false, Err: ErrBadCommand})
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var res Result
+	switch cmd.Op {
+	case opCreate:
+		res = t.create(cmd)
+	case opGet:
+		res = t.get(cmd)
+	case opSet:
+		res = t.set(cmd)
+	case opDelete:
+		res = t.delete(cmd)
+	case opChildren:
+		res = t.children(cmd)
+	case opExists:
+		res = t.exists(cmd)
+	case opHeartbeat:
+		res = t.heartbeat(cmd)
+	case opClean:
+		res = Result{OK: true, Count: t.cleanExpired(cmd.Now)}
+	default:
+		res = Result{OK: false, Err: ErrBadCommand}
+	}
+	return marshal(res)
+}
+
+func marshal(r Result) []byte {
+	b, err := json.Marshal(r)
+	if err != nil {
+		return []byte(`{"ok":false,"err":"zkcoord: internal marshal error"}`)
+	}
+	return b
+}
+
+func (t *Tree) live(n *znode, now int64) bool {
+	return n != nil && (n.ExpiresAt == 0 || now <= n.ExpiresAt)
+}
+
+func (t *Tree) cleanExpired(now int64) int {
+	removed := 0
+	for p, n := range t.nodes {
+		if p == "/" {
+			continue
+		}
+		if !t.live(n, now) {
+			delete(t.nodes, p)
+			removed++
+		}
+	}
+	return removed
+}
+
+func cleanPath(p string) string {
+	if p == "" {
+		return "/"
+	}
+	return path.Clean("/" + strings.TrimPrefix(p, "/"))
+}
+
+func (t *Tree) statOf(n *znode) Stat {
+	return Stat{Version: n.Version, Ephemeral: n.Ephemeral, Owner: n.Owner, ExpiresAt: n.ExpiresAt, DataLen: len(n.Data)}
+}
+
+func (t *Tree) create(cmd Command) Result {
+	p := cleanPath(cmd.Path)
+	if p == "/" {
+		return Result{OK: false, Err: ErrNodeExists}
+	}
+	parent := path.Dir(p)
+	pn, ok := t.nodes[parent]
+	if !ok || !t.live(pn, cmd.Now) {
+		return Result{OK: false, Err: ErrNoParent}
+	}
+	if cmd.Sequential {
+		pn.Seq++
+		p = fmt.Sprintf("%s%010d", p, pn.Seq)
+	}
+	if existing, ok := t.nodes[p]; ok && t.live(existing, cmd.Now) {
+		return Result{OK: false, Err: ErrNodeExists, Path: p, Stat: t.statOf(existing)}
+	}
+	n := &znode{
+		Path:      p,
+		Data:      append([]byte(nil), cmd.Data...),
+		Version:   1,
+		Ephemeral: cmd.Ephemeral,
+		Owner:     cmd.Session,
+	}
+	if cmd.Ephemeral && cmd.TTLNanos > 0 {
+		n.ExpiresAt = cmd.Now + cmd.TTLNanos
+	}
+	t.nodes[p] = n
+	return Result{OK: true, Path: p, Stat: t.statOf(n)}
+}
+
+func (t *Tree) get(cmd Command) Result {
+	n, ok := t.nodes[cleanPath(cmd.Path)]
+	if !ok || !t.live(n, cmd.Now) {
+		return Result{OK: false, Err: ErrNoNode}
+	}
+	return Result{OK: true, Path: n.Path, Data: append([]byte(nil), n.Data...), Stat: t.statOf(n)}
+}
+
+func (t *Tree) set(cmd Command) Result {
+	n, ok := t.nodes[cleanPath(cmd.Path)]
+	if !ok || !t.live(n, cmd.Now) {
+		return Result{OK: false, Err: ErrNoNode}
+	}
+	if cmd.Version >= 0 && uint64(cmd.Version) != n.Version {
+		return Result{OK: false, Err: ErrBadVersion, Stat: t.statOf(n)}
+	}
+	n.Data = append([]byte(nil), cmd.Data...)
+	n.Version++
+	if n.Ephemeral && cmd.TTLNanos > 0 {
+		n.ExpiresAt = cmd.Now + cmd.TTLNanos
+	}
+	return Result{OK: true, Path: n.Path, Stat: t.statOf(n)}
+}
+
+func (t *Tree) delete(cmd Command) Result {
+	p := cleanPath(cmd.Path)
+	if p == "/" {
+		return Result{OK: false, Err: ErrBadCommand}
+	}
+	n, ok := t.nodes[p]
+	if !ok || !t.live(n, cmd.Now) {
+		return Result{OK: false, Err: ErrNoNode}
+	}
+	if cmd.Version >= 0 && uint64(cmd.Version) != n.Version {
+		return Result{OK: false, Err: ErrBadVersion, Stat: t.statOf(n)}
+	}
+	// A node with live children cannot be removed.
+	prefix := p + "/"
+	for cp, cn := range t.nodes {
+		if strings.HasPrefix(cp, prefix) && t.live(cn, cmd.Now) {
+			return Result{OK: false, Err: ErrNotEmpty}
+		}
+	}
+	delete(t.nodes, p)
+	return Result{OK: true, Path: p}
+}
+
+func (t *Tree) children(cmd Command) Result {
+	p := cleanPath(cmd.Path)
+	n, ok := t.nodes[p]
+	if !ok || !t.live(n, cmd.Now) {
+		return Result{OK: false, Err: ErrNoNode}
+	}
+	prefix := p + "/"
+	if p == "/" {
+		prefix = "/"
+	}
+	var kids []string
+	for cp, cn := range t.nodes {
+		if cp == p || !strings.HasPrefix(cp, prefix) || !t.live(cn, cmd.Now) {
+			continue
+		}
+		rest := strings.TrimPrefix(cp, prefix)
+		if strings.Contains(rest, "/") {
+			continue // not a direct child
+		}
+		kids = append(kids, rest)
+	}
+	sort.Strings(kids)
+	return Result{OK: true, Path: p, Children: kids, Count: len(kids)}
+}
+
+func (t *Tree) exists(cmd Command) Result {
+	n, ok := t.nodes[cleanPath(cmd.Path)]
+	if !ok || !t.live(n, cmd.Now) {
+		return Result{OK: true, Exists: false}
+	}
+	return Result{OK: true, Exists: true, Stat: t.statOf(n)}
+}
+
+// heartbeat renews the expiry of every ephemeral node owned by the session.
+func (t *Tree) heartbeat(cmd Command) Result {
+	count := 0
+	for _, n := range t.nodes {
+		if n.Ephemeral && n.Owner == cmd.Session && t.live(n, cmd.Now) && cmd.TTLNanos > 0 {
+			n.ExpiresAt = cmd.Now + cmd.TTLNanos
+			count++
+		}
+	}
+	return Result{OK: true, Count: count}
+}
+
+// Snapshot implements smr.Application.
+func (t *Tree) Snapshot() []byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b, _ := json.Marshal(t.nodes)
+	return b
+}
+
+// Restore implements smr.Application.
+func (t *Tree) Restore(snapshot []byte) error {
+	var nodes map[string]*znode
+	if err := json.Unmarshal(snapshot, &nodes); err != nil {
+		return fmt.Errorf("zkcoord: restoring snapshot: %w", err)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nodes = nodes
+	if _, ok := t.nodes["/"]; !ok {
+		t.nodes["/"] = &znode{Path: "/", Version: 1}
+	}
+	return nil
+}
+
+// Len returns the number of znodes including the root.
+func (t *Tree) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.nodes)
+}
