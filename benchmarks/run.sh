@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# Runs the data-plane benchmarks and emits a BENCH_<utc-timestamp>.json in
+# the repo root, in the shape tracked across PRs (see BENCH_BASELINE.json).
+#
+# Usage: ./benchmarks/run.sh [extra go test args...]
+set -eu
+
+cd "$(dirname "$0")/.."
+stamp=$(date -u +%Y%m%dT%H%M%SZ)
+out="BENCH_${stamp}.json"
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench . -benchmem "$@" \
+	./internal/gf256 ./internal/erasure ./internal/secretshare \
+	./internal/depsky ./benchmarks | tee "$raw"
+
+awk -v go_version="$(go version | awk '{print $3}')" -v stamp="$stamp" '
+BEGIN { print "{"; printf "  \"captured\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": {", stamp, go_version }
+/^Benchmark/ {
+	name = $1; sub(/-[0-9]+$/, "", name)
+	ns = ""; mbs = ""; bop = ""; allocs = ""
+	for (i = 2; i <= NF; i++) {
+		if ($i == "ns/op") ns = $(i-1)
+		if ($i == "MB/s") mbs = $(i-1)
+		if ($i == "B/op") bop = $(i-1)
+		if ($i == "allocs/op") allocs = $(i-1)
+	}
+	if (ns == "") next
+	if (n++) printf ","
+	printf "\n    \"%s\": {\"ns_op\": %s", name, ns
+	if (mbs != "") printf ", \"mb_s\": %s", mbs
+	if (bop != "") printf ", \"b_op\": %s", bop
+	if (allocs != "") printf ", \"allocs_op\": %s", allocs
+	printf "}"
+}
+END { print "\n  }\n}" }
+' "$raw" > "$out"
+
+echo "wrote $out"

@@ -1,0 +1,3 @@
+module scfs
+
+go 1.24

@@ -11,10 +11,10 @@ package cache
 
 import (
 	"container/list"
+	"encoding/base64"
 	"fmt"
 	"os"
 	"path/filepath"
-	"strings"
 	"sync"
 	"time"
 
@@ -145,8 +145,9 @@ func (m *Memory) Stats() (hits, misses int64) {
 // --- disk LRU ---
 
 // Disk is a byte-budgeted LRU cache of whole files stored under a local
-// directory. Keys are sanitized into file names; entries survive process
-// restarts (a fresh Disk rescans the directory).
+// directory. Keys are encoded reversibly (url-safe base64) into file names;
+// entries survive process restarts (a fresh Disk rescans the directory and
+// recovers the original keys from the file names).
 type Disk struct {
 	mu       sync.Mutex
 	dir      string
@@ -182,7 +183,15 @@ func NewDisk(dir string, capacity int64) (*Disk, error) {
 		if err != nil {
 			continue
 		}
-		key := decodeKey(e.Name())
+		key, ok := decodeKey(e.Name())
+		if !ok {
+			// Not a valid encoding: a legacy entry from the old lossy
+			// sanitizer or a stray file. It can never be served (its original
+			// key is unrecoverable), so delete it rather than letting it
+			// occupy the budget untracked and unevictable forever.
+			_ = os.Remove(filepath.Join(dir, e.Name()))
+			continue
+		}
 		d.lastUse[key] = info.ModTime()
 		d.sizes[key] = info.Size()
 		d.used += info.Size()
@@ -190,22 +199,35 @@ func NewDisk(dir string, capacity int64) (*Disk, error) {
 	return d, nil
 }
 
+// encodeKey turns an arbitrary cache key into a safe file name. The encoding
+// must be injective and reversible: entries rehydrated by NewDisk after a
+// restart have to map back to the exact original key, so lossy sanitizing
+// (collapsing '/' and ':' into '_') is not an option — colliding keys would
+// silently serve each other's contents.
 func encodeKey(key string) string {
-	r := strings.NewReplacer("/", "_", "\\", "_", ":", "-")
-	return r.Replace(key)
+	return base64.RawURLEncoding.EncodeToString([]byte(key))
 }
 
-func decodeKey(name string) string { return name }
+// decodeKey reverses encodeKey; ok is false for file names that are not a
+// valid encoding.
+func decodeKey(name string) (key string, ok bool) {
+	b, err := base64.RawURLEncoding.DecodeString(name)
+	if err != nil {
+		return "", false
+	}
+	return string(b), true
+}
 
 func (d *Disk) path(key string) string { return filepath.Join(d.dir, encodeKey(key)) }
 
-// Get reads a cached file.
+// Get reads a cached file. The lastUse/sizes maps are keyed by the original
+// (decoded) key, matching what NewDisk rehydrates.
 func (d *Disk) Get(key string) ([]byte, bool) {
 	d.mu.Lock()
-	_, ok := d.lastUse[encodeKey(key)]
+	_, ok := d.lastUse[key]
 	if ok {
 		d.hits++
-		d.lastUse[encodeKey(key)] = time.Now().Add(time.Duration(d.seq))
+		d.lastUse[key] = time.Now().Add(time.Duration(d.seq))
 		d.seq++
 	} else {
 		d.misses++
@@ -231,12 +253,11 @@ func (d *Disk) Put(key string, value []byte) error {
 		return fmt.Errorf("cache: writing disk cache entry: %w", err)
 	}
 	d.mu.Lock()
-	ek := encodeKey(key)
-	if old, ok := d.sizes[ek]; ok {
+	if old, ok := d.sizes[key]; ok {
 		d.used -= old
 	}
-	d.sizes[ek] = int64(len(value))
-	d.lastUse[ek] = time.Now().Add(time.Duration(d.seq))
+	d.sizes[key] = int64(len(value))
+	d.lastUse[key] = time.Now().Add(time.Duration(d.seq))
 	d.seq++
 	d.used += int64(len(value))
 	var evict []string
@@ -244,7 +265,7 @@ func (d *Disk) Put(key string, value []byte) error {
 		oldestKey := ""
 		var oldest time.Time
 		for k, t := range d.lastUse {
-			if k == ek {
+			if k == key {
 				continue
 			}
 			if oldestKey == "" || t.Before(oldest) {
@@ -261,7 +282,7 @@ func (d *Disk) Put(key string, value []byte) error {
 	}
 	d.mu.Unlock()
 	for _, k := range evict {
-		_ = os.Remove(filepath.Join(d.dir, k))
+		_ = os.Remove(d.path(k))
 	}
 	return nil
 }
@@ -269,11 +290,10 @@ func (d *Disk) Put(key string, value []byte) error {
 // Remove deletes a cached file.
 func (d *Disk) Remove(key string) {
 	d.mu.Lock()
-	ek := encodeKey(key)
-	if sz, ok := d.sizes[ek]; ok {
+	if sz, ok := d.sizes[key]; ok {
 		d.used -= sz
-		delete(d.sizes, ek)
-		delete(d.lastUse, ek)
+		delete(d.sizes, key)
+		delete(d.lastUse, key)
 	}
 	d.mu.Unlock()
 	_ = os.Remove(d.path(key))

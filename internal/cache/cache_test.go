@@ -3,6 +3,8 @@ package cache
 import (
 	"bytes"
 	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 	"testing/quick"
 	"time"
@@ -141,6 +143,62 @@ func TestDiskPutGetPersistence(t *testing.T) {
 	}
 	if d2.Used() == 0 || d2.Len() != 1 {
 		t.Fatalf("rescan accounting: used=%d len=%d", d2.Used(), d2.Len())
+	}
+}
+
+// TestDiskRestartKeyRoundTrip pins down the key-encoding regression: keys
+// that only differ in characters a lossy sanitizer would collapse ('/', '\',
+// ':') must stay distinct across a restart, and rehydrated entries must be
+// retrievable under their exact original keys.
+func TestDiskRestartKeyRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDisk(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All of these collapse to the same name under the old replacer.
+	keys := []string{"a/b-c", "a\\b-c", "a_b-c", "a/b:c", "a_b_c", "f-123@sha:0/1"}
+	for i, k := range keys {
+		if err := d.Put(k, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A legacy entry from the old lossy sanitizer (not valid base64): the
+	// rescan must purge it instead of leaving it untracked on disk forever.
+	legacy := filepath.Join(dir, "a_b-c!")
+	if err := os.WriteFile(legacy, []byte("orphan"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := NewDisk(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Len() != len(keys) {
+		t.Fatalf("reopened cache tracks %d entries, want %d (colliding keys?)", reopened.Len(), len(keys))
+	}
+	if _, err := os.Stat(legacy); !os.IsNotExist(err) {
+		t.Fatalf("legacy undecodable file not purged on rescan (stat err = %v)", err)
+	}
+	for i, k := range keys {
+		got, ok := reopened.Get(k)
+		if !ok {
+			t.Fatalf("key %q lost across restart", k)
+		}
+		if len(got) != 1 || got[0] != byte(i) {
+			t.Fatalf("key %q returned another entry's value %v", k, got)
+		}
+	}
+	// Remove must delete the on-disk file so yet another restart agrees.
+	reopened.Remove(keys[0])
+	final, err := NewDisk(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := final.Get(keys[0]); ok {
+		t.Fatal("removed entry resurrected after restart")
+	}
+	if final.Len() != len(keys)-1 {
+		t.Fatalf("final cache tracks %d entries, want %d", final.Len(), len(keys)-1)
 	}
 }
 

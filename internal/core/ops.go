@@ -173,13 +173,6 @@ func lastSlash(p string) int {
 	return -1
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // fetchData returns the contents of the current version of md, looking at the
 // memory cache, then the disk cache, then the cloud backend (with the
 // consistency-anchor retry loop of Figure 3).

@@ -16,6 +16,10 @@
 // all clouds. SCFS's consistency-anchor algorithm needs to read "the version
 // with a given hash" rather than "the newest version", so the manager also
 // implements ReadMatching, the extension described in §3.2 of the paper.
+//
+// Per-cloud blocks are stored in the length-prefixed binary frame documented
+// in wire.go (magic/version/protocol/shard-index header followed by the key
+// share and the shard payload); only the small metadata objects use JSON.
 package depsky
 
 import (
@@ -105,13 +109,14 @@ func (m *unitMetadata) newest() *VersionInfo {
 
 // block is what gets stored on one cloud for one version (CA protocol): an
 // erasure-coded shard of the ciphertext plus this cloud's share of the key.
+// It is serialized with the compact binary framing in wire.go, not JSON.
 type block struct {
-	Shard    []byte `json:"shard"`
-	ShardIdx int    `json:"shard_idx"`
-	KeyX     byte   `json:"key_x,omitempty"`
-	KeyShare []byte `json:"key_share,omitempty"`
+	Shard    []byte
+	ShardIdx int
+	KeyX     byte
+	KeyShare []byte
 	// Full holds the whole value for the replication protocol (DepSky-A).
-	Full []byte `json:"full,omitempty"`
+	Full []byte
 }
 
 // Options configures a Manager.
@@ -276,10 +281,7 @@ func (m *Manager) Write(unit string, data []byte) (VersionInfo, error) {
 
 	blockPayloads := make([][]byte, m.N())
 	for i := range blocks {
-		b, err := json.Marshal(blocks[i])
-		if err != nil {
-			return VersionInfo{}, fmt.Errorf("depsky: encoding block: %w", err)
-		}
+		b := encodeBlock(info.Protocol, &blocks[i])
 		blockPayloads[i] = b
 		info.BlockHashes[i] = seccrypto.Hash(b)
 	}
@@ -325,8 +327,6 @@ func (m *Manager) encode(data []byte) ([]block, VersionInfo, error) {
 	if err != nil {
 		return nil, info, fmt.Errorf("depsky: secret sharing: %w", err)
 	}
-	// Record the ciphertext length so decoding can strip the padding.
-	info.Size = len(data)
 	for i := range blocks {
 		blocks[i] = block{
 			Shard:    shards[i],
@@ -335,10 +335,8 @@ func (m *Manager) encode(data []byte) ([]block, VersionInfo, error) {
 			KeyShare: shares[i].Data,
 		}
 	}
-	// Stash ciphertext length in the info via a dedicated field on the block
-	// set: every block carries it implicitly through shard sizing; we store
-	// it in the metadata hash chain instead (cipherLen = shardSize * k is an
-	// upper bound; exact length recovered below via cipherLen field).
+	// The ciphertext length is not stored explicitly: it is info.Size plus
+	// the fixed IV prefix, which tryDecode uses to strip the shard padding.
 	return blocks, info, nil
 }
 
@@ -454,12 +452,12 @@ func (m *Manager) readVersion(unit string, info VersionInfo) ([]byte, error) {
 				results <- fetched{idx: i}
 				return
 			}
-			var b block
-			if err := json.Unmarshal(data, &b); err != nil {
+			b, err := decodeBlock(data)
+			if err != nil {
 				results <- fetched{idx: i}
 				return
 			}
-			results <- fetched{idx: i, blk: &b}
+			results <- fetched{idx: i, blk: b}
 		}(i, c)
 	}
 	go func() { wg.Wait(); close(results) }()

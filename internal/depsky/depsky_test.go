@@ -3,9 +3,9 @@ package depsky
 import (
 	"bytes"
 	"crypto/rand"
-	"encoding/json"
 	"errors"
 	"fmt"
+	"math/bits"
 	"testing"
 
 	"scfs/internal/cloud"
@@ -187,6 +187,44 @@ func TestToleratesOneCorruptingCloud(t *testing.T) {
 	}
 }
 
+// TestDegradedReadWithExactlyFCorruptingClouds exercises readVersion with
+// exactly f clouds returning hash-mismatched blocks, for every placement of
+// the corrupting clouds, at f=1 (n=4) and f=2 (n=7).
+func TestDegradedReadWithExactlyFCorruptingClouds(t *testing.T) {
+	for _, f := range []int{1, 2} {
+		n := 3*f + 1
+		providers, clients := testClouds(t, n)
+		m, err := New(Options{Clouds: clients, F: f})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data := bytes.Repeat([]byte("degraded-read "), 500)
+		if _, err := m.Write("u", data); err != nil {
+			t.Fatalf("f=%d: %v", f, err)
+		}
+		// Every combination of exactly f corrupting clouds, via bitmask.
+		for mask := 0; mask < 1<<n; mask++ {
+			if bits.OnesCount(uint(mask)) != f {
+				continue
+			}
+			for i, p := range providers {
+				if mask&(1<<i) != 0 {
+					p.SetFault(cloudsim.FaultCorrupt)
+				} else {
+					p.SetFault(cloudsim.FaultNone)
+				}
+			}
+			got, _, err := m.Read("u")
+			if err != nil {
+				t.Fatalf("f=%d mask=%b: %v", f, mask, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("f=%d mask=%b: corrupted data returned", f, mask)
+			}
+		}
+	}
+}
+
 func TestToleratesOneCloudLosingWrites(t *testing.T) {
 	providers, m := newManager(t, ProtocolCA)
 	providers[3].SetFault(cloudsim.FaultLoseWrites)
@@ -253,8 +291,8 @@ func TestNoSingleCloudHoldsPlaintext(t *testing.T) {
 			if bytes.Contains(data, []byte("TOPSECRET")) {
 				t.Fatalf("cloud %d stores plaintext fragment in object %s", i, o.Name)
 			}
-			var b block
-			if err := json.Unmarshal(data, &b); err != nil {
+			b, err := decodeBlock(data)
+			if err != nil {
 				continue // metadata object
 			}
 			if bytes.Contains(b.Shard, []byte("TOPSECRET")) || bytes.Contains(b.Full, []byte("TOPSECRET")) {
@@ -277,8 +315,7 @@ func TestDepSkyAStoresPlaintextEverywhere(t *testing.T) {
 		objs, _ := c.List("")
 		for _, o := range objs {
 			data, _ := c.Get(o.Name)
-			var b block
-			if json.Unmarshal(data, &b) == nil && bytes.Contains(b.Full, []byte("PLAINVALUE")) {
+			if b, err := decodeBlock(data); err == nil && bytes.Contains(b.Full, []byte("PLAINVALUE")) {
 				found++
 			}
 		}

@@ -1,0 +1,73 @@
+package depsky
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestWireRoundTripCA(t *testing.T) {
+	in := &block{
+		Shard:    []byte{0, 1, 2, 0xff, 4},
+		ShardIdx: 3,
+		KeyX:     7,
+		KeyShare: []byte{9, 8, 7},
+	}
+	frame := encodeBlock(ProtocolCA, in)
+	if want := wireHeaderLen + len(in.KeyShare) + len(in.Shard); len(frame) != want {
+		t.Fatalf("frame size = %d, want %d (no inflation)", len(frame), want)
+	}
+	out, err := decodeBlock(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Shard, in.Shard) || out.ShardIdx != in.ShardIdx ||
+		out.KeyX != in.KeyX || !bytes.Equal(out.KeyShare, in.KeyShare) || out.Full != nil {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestWireRoundTripA(t *testing.T) {
+	in := &block{Full: []byte("replicated value"), ShardIdx: 2}
+	frame := encodeBlock(ProtocolA, in)
+	out, err := decodeBlock(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Full, in.Full) || out.ShardIdx != 2 || out.Shard != nil || out.KeyShare != nil {
+		t.Fatalf("round trip mismatch: %+v", out)
+	}
+}
+
+func TestWireRoundTripEmptyPayload(t *testing.T) {
+	frame := encodeBlock(ProtocolCA, &block{ShardIdx: 1, KeyX: 1, KeyShare: []byte{5}})
+	out, err := decodeBlock(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Shard) != 0 || out.KeyX != 1 {
+		t.Fatalf("empty payload mishandled: %+v", out)
+	}
+}
+
+func TestWireRejectsMalformedFrames(t *testing.T) {
+	good := encodeBlock(ProtocolCA, &block{Shard: []byte{1, 2, 3}, KeyX: 1, KeyShare: []byte{4}})
+	cases := map[string][]byte{
+		"empty":           nil,
+		"short":           good[:wireHeaderLen-1],
+		"bad magic":       append([]byte("XXXX"), good[4:]...),
+		"bad version":     append(append([]byte{}, good[:4]...), append([]byte{99}, good[5:]...)...),
+		"bad protocol":    append(append([]byte{}, good[:5]...), append([]byte{42}, good[6:]...)...),
+		"truncated body":  good[:len(good)-1],
+		"oversized frame": append(append([]byte{}, good...), 0),
+	}
+	for name, frame := range cases {
+		if _, err := decodeBlock(frame); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: err = %v, want ErrBadFrame", name, err)
+		}
+	}
+	// JSON from the old envelope must be rejected cleanly, not misparsed.
+	if _, err := decodeBlock([]byte(`{"shard":"AAEC","shard_idx":1}`)); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("legacy JSON: err = %v, want ErrBadFrame", err)
+	}
+}

@@ -1,0 +1,113 @@
+package erasure
+
+import "testing"
+
+// Benchmarks for the coding hot path at the sizes the ISSUE tracks (1 KiB,
+// 64 KiB, 1 MiB) in the k=4, m=2 configuration, plus the seed's per-byte
+// reference path (encodeParityRef) so the kernel speedup stays measurable.
+
+var benchSizes = []struct {
+	name string
+	n    int
+}{
+	{"1KiB", 1 << 10},
+	{"64KiB", 1 << 16},
+	{"1MiB", 1 << 20},
+}
+
+func benchShards(b *testing.B, c *Coder, size int) ([][]byte, int) {
+	b.Helper()
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	shards, err := c.Split(data)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return shards, len(shards[0])
+}
+
+func BenchmarkErasureEncode(b *testing.B) {
+	for _, s := range benchSizes {
+		b.Run(s.name, func(b *testing.B) {
+			c, _ := New(4, 2)
+			shards, shardSize := benchShards(b, c, s.n)
+			b.SetBytes(int64(s.n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.encodeParity(shards, shardSize)
+			}
+		})
+	}
+}
+
+// BenchmarkErasureEncodeRef measures the seed's per-byte gf256.Mul encoding
+// path on identical inputs; the committed baseline in BENCH_BASELINE.json is
+// taken from this benchmark.
+func BenchmarkErasureEncodeRef(b *testing.B) {
+	for _, s := range benchSizes {
+		b.Run(s.name, func(b *testing.B) {
+			c, _ := New(4, 2)
+			shards, shardSize := benchShards(b, c, s.n)
+			b.SetBytes(int64(s.n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.encodeParityRef(shards, shardSize)
+			}
+		})
+	}
+}
+
+func BenchmarkErasureSplit(b *testing.B) {
+	for _, s := range benchSizes {
+		b.Run(s.name, func(b *testing.B) {
+			c, _ := New(4, 2)
+			data := make([]byte, s.n)
+			b.SetBytes(int64(s.n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.Split(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkErasureReconstruct(b *testing.B) {
+	for _, s := range benchSizes {
+		b.Run(s.name, func(b *testing.B) {
+			c, _ := New(4, 2)
+			orig, _ := benchShards(b, c, s.n)
+			work := make([][]byte, len(orig))
+			b.SetBytes(int64(s.n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Copy the surviving shards into reusable buffers; drop two.
+				copy(work, orig)
+				work[0], work[3] = nil, nil
+				if err := c.Reconstruct(work); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkErasureVerify(b *testing.B) {
+	for _, s := range benchSizes {
+		b.Run(s.name, func(b *testing.B) {
+			c, _ := New(4, 2)
+			shards, _ := benchShards(b, c, s.n)
+			b.SetBytes(int64(s.n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ok, err := c.Verify(shards)
+				if err != nil || !ok {
+					b.Fatal("verify failed")
+				}
+			}
+		})
+	}
+}

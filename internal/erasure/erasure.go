@@ -5,14 +5,37 @@
 // the paper, n = 3f+1 providers and k = f+1, so each provider stores roughly
 // 1/(f+1) of the file plus the erasure-coding overhead (~50% extra space for
 // f=1 instead of the 300% extra of full replication).
+//
+// The coding hot path runs on the gf256 slice kernels (table-driven with SIMD
+// backends where available) rather than per-byte field multiplications:
+// encoding streams every data shard through one MulSlice/MulSliceXor pass per
+// parity row, large encodes fan the parity rows out over a bounded set of
+// goroutines, and degraded reads reuse inverted decode matrices from a small
+// LRU keyed by the set of surviving shards, so repeated reads with the same
+// failure pattern skip the Gaussian elimination entirely.
 package erasure
 
 import (
+	"bytes"
+	"container/list"
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"scfs/internal/gf256"
 )
+
+// decodeCacheSize bounds the per-Coder LRU of inverted decode matrices. Each
+// entry is a k×k matrix (≤64 KiB at the 256-shard maximum, tens of bytes for
+// the DepSky configurations), and distinct failure patterns are few in
+// practice: C(n, m) is 6 for the paper's n=4 configuration.
+const decodeCacheSize = 64
+
+// parallelThreshold is the per-shard size above which encodeParity spreads
+// parity rows across goroutines. Below it the fan-out overhead exceeds the
+// coding cost.
+const parallelThreshold = 64 << 10
 
 // Coder encodes and reconstructs data using Reed-Solomon coding with
 // DataShards data shards and ParityShards parity shards.
@@ -23,6 +46,17 @@ type Coder struct {
 	// encode is the (data+parity) x data coding matrix. Its top k rows are
 	// the identity (systematic code), the remaining m rows generate parity.
 	encode *gf256.Matrix
+
+	// mu guards the decode-matrix LRU (Reconstruct may be called from
+	// concurrent readers of different data units sharing one Coder).
+	mu          sync.Mutex
+	decodeCache map[string]*list.Element
+	decodeOrder *list.List // front = most recently used
+}
+
+type decodeEntry struct {
+	key    string
+	matrix *gf256.Matrix
 }
 
 // Common parameter errors.
@@ -53,6 +87,8 @@ func New(dataShards, parityShards int) (*Coder, error) {
 		DataShards:   dataShards,
 		ParityShards: parityShards,
 		encode:       v.Mul(topInv),
+		decodeCache:  make(map[string]*list.Element),
+		decodeOrder:  list.New(),
 	}, nil
 }
 
@@ -68,15 +104,18 @@ func (c *Coder) ShardSize(dataLen int) int {
 // Split encodes data into TotalShards() shards: the first DataShards shards
 // contain the (zero-padded) data, the remaining shards contain parity. The
 // original length must be recorded separately (Join needs it) — DepSky keeps
-// it in its metadata object.
+// it in its metadata object. All shards share one backing allocation.
 func (c *Coder) Split(data []byte) ([][]byte, error) {
 	shardSize := c.ShardSize(len(data))
 	if shardSize == 0 {
 		shardSize = 1 // allow empty payloads: one padding byte per shard
 	}
+	// One contiguous buffer for all shards keeps Split at two allocations
+	// regardless of the shard count.
+	backing := make([]byte, c.TotalShards()*shardSize)
 	shards := make([][]byte, c.TotalShards())
 	for i := range shards {
-		shards[i] = make([]byte, shardSize)
+		shards[i] = backing[i*shardSize : (i+1)*shardSize : (i+1)*shardSize]
 	}
 	for i := 0; i < c.DataShards; i++ {
 		start := i * shardSize
@@ -92,25 +131,85 @@ func (c *Coder) Split(data []byte) ([][]byte, error) {
 	return shards, nil
 }
 
-// encodeParity fills shards[DataShards:] from shards[:DataShards].
+// encodeParity fills shards[DataShards:] from shards[:DataShards]. Parity
+// rows are independent, so for large shards they are computed by up to
+// min(ParityShards, GOMAXPROCS) goroutines.
 func (c *Coder) encodeParity(shards [][]byte, shardSize int) {
-	for p := 0; p < c.ParityShards; p++ {
-		row := c.encode.Row(c.DataShards + p)
-		out := shards[c.DataShards+p]
-		for i := range out {
-			out[i] = 0
+	if c.ParityShards == 0 {
+		return
+	}
+	workers := 1
+	if shardSize >= parallelThreshold && c.ParityShards > 1 {
+		workers = min(c.ParityShards, runtime.GOMAXPROCS(0))
+	}
+	if workers == 1 {
+		for p := 0; p < c.ParityShards; p++ {
+			c.encodeParityRow(p, shards)
 		}
-		for d := 0; d < c.DataShards; d++ {
-			coef := row[d]
-			if coef == 0 {
-				continue
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for p := w; p < c.ParityShards; p += workers {
+				c.encodeParityRow(p, shards)
 			}
-			in := shards[d]
-			for i := 0; i < shardSize; i++ {
-				out[i] ^= gf256.Mul(coef, in[i])
-			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// encodeParityRow computes parity row p from the data shards.
+func (c *Coder) encodeParityRow(p int, shards [][]byte) {
+	mulRow(c.encode.Row(c.DataShards+p), shards[:c.DataShards], shards[c.DataShards+p])
+}
+
+// mulRow computes out = Σ coeffs[i]·inputs[i] with one slice-kernel pass per
+// input. The first pass assigns (overwriting whatever out held), the rest
+// accumulate.
+func mulRow(coeffs []byte, inputs [][]byte, out []byte) {
+	gf256.MulSlice(coeffs[0], inputs[0], out)
+	for i := 1; i < len(inputs); i++ {
+		gf256.MulSliceXor(coeffs[i], inputs[i], out)
+	}
+}
+
+// decodeMatrix returns the inverted decode matrix for the given source rows
+// (the first DataShards present shard indices), consulting the LRU cache
+// before running Gauss-Jordan elimination.
+func (c *Coder) decodeMatrix(rowsUsed []byte) (*gf256.Matrix, error) {
+	key := string(rowsUsed)
+	c.mu.Lock()
+	if el, ok := c.decodeCache[key]; ok {
+		c.decodeOrder.MoveToFront(el)
+		m := el.Value.(*decodeEntry).matrix
+		c.mu.Unlock()
+		return m, nil
+	}
+	c.mu.Unlock()
+
+	sub := gf256.NewMatrix(c.DataShards, c.DataShards)
+	for i, r := range rowsUsed {
+		copy(sub.Row(i), c.encode.Row(int(r)))
+	}
+	decode, err := sub.Invert()
+	if err != nil {
+		return nil, fmt.Errorf("erasure: decode matrix: %w", err)
+	}
+
+	c.mu.Lock()
+	if _, ok := c.decodeCache[key]; !ok {
+		c.decodeCache[key] = c.decodeOrder.PushFront(&decodeEntry{key: key, matrix: decode})
+		for c.decodeOrder.Len() > decodeCacheSize {
+			back := c.decodeOrder.Back()
+			delete(c.decodeCache, back.Value.(*decodeEntry).key)
+			c.decodeOrder.Remove(back)
 		}
 	}
+	c.mu.Unlock()
+	return decode, nil
 }
 
 // Reconstruct rebuilds missing shards in place. The shards slice must have
@@ -140,23 +239,30 @@ func (c *Coder) Reconstruct(shards [][]byte) error {
 		return nil
 	}
 
-	// Gather k present shards and the corresponding rows of the encode
-	// matrix; invert to obtain a decode matrix that recovers the data shards.
-	sub := gf256.NewMatrix(c.DataShards, c.DataShards)
+	// Gather the first k present shards as reconstruction sources; the
+	// matching rows of the encode matrix identify the cached (or fresh)
+	// decode matrix.
 	subShards := make([][]byte, 0, c.DataShards)
-	rowsUsed := make([]int, 0, c.DataShards)
+	rowsUsed := make([]byte, 0, c.DataShards)
 	for i := 0; i < c.TotalShards() && len(subShards) < c.DataShards; i++ {
 		if shards[i] == nil {
 			continue
 		}
-		copy(sub.Row(len(subShards)), c.encode.Row(i))
 		subShards = append(subShards, shards[i])
-		rowsUsed = append(rowsUsed, i)
+		rowsUsed = append(rowsUsed, byte(i))
 	}
-	_ = rowsUsed
-	decode, err := sub.Invert()
+	decode, err := c.decodeMatrix(rowsUsed)
 	if err != nil {
-		return fmt.Errorf("erasure: decode matrix: %w", err)
+		return err
+	}
+
+	// One contiguous buffer for everything we rebuild.
+	missing := c.TotalShards() - present
+	backing := make([]byte, missing*shardSize)
+	nextBuf := func() []byte {
+		buf := backing[:shardSize:shardSize]
+		backing = backing[shardSize:]
+		return buf
 	}
 
 	// Recover missing data shards.
@@ -166,18 +272,8 @@ func (c *Coder) Reconstruct(shards [][]byte) error {
 			dataShards[d] = shards[d]
 			continue
 		}
-		out := make([]byte, shardSize)
-		row := decode.Row(d)
-		for j := 0; j < c.DataShards; j++ {
-			coef := row[j]
-			if coef == 0 {
-				continue
-			}
-			in := subShards[j]
-			for i := 0; i < shardSize; i++ {
-				out[i] ^= gf256.Mul(coef, in[i])
-			}
-		}
+		out := nextBuf()
+		mulRow(decode.Row(d), subShards, out)
 		shards[d] = out
 		dataShards[d] = out
 	}
@@ -188,18 +284,8 @@ func (c *Coder) Reconstruct(shards [][]byte) error {
 		if shards[idx] != nil {
 			continue
 		}
-		out := make([]byte, shardSize)
-		row := c.encode.Row(idx)
-		for d := 0; d < c.DataShards; d++ {
-			coef := row[d]
-			if coef == 0 {
-				continue
-			}
-			in := dataShards[d]
-			for i := 0; i < shardSize; i++ {
-				out[i] ^= gf256.Mul(coef, in[i])
-			}
-		}
+		out := nextBuf()
+		mulRow(c.encode.Row(idx), dataShards, out)
 		shards[idx] = out
 	}
 	return nil
@@ -256,22 +342,37 @@ func (c *Coder) Verify(shards [][]byte) (bool, error) {
 			return false, ErrShardSizeMismatch
 		}
 	}
-	expected := make([][]byte, c.TotalShards())
-	for i := 0; i < c.DataShards; i++ {
-		expected[i] = shards[i]
-	}
+	// Recompute each parity row into one scratch buffer and compare.
+	scratch := make([]byte, shardSize)
 	for p := 0; p < c.ParityShards; p++ {
-		expected[c.DataShards+p] = make([]byte, shardSize)
-	}
-	c.encodeParity(expected, shardSize)
-	for p := 0; p < c.ParityShards; p++ {
-		got := shards[c.DataShards+p]
-		want := expected[c.DataShards+p]
-		for i := range want {
-			if got[i] != want[i] {
-				return false, nil
-			}
+		mulRow(c.encode.Row(c.DataShards+p), shards[:c.DataShards], scratch)
+		if !bytes.Equal(scratch, shards[c.DataShards+p]) {
+			return false, nil
 		}
 	}
 	return true, nil
+}
+
+// encodeParityRef is the seed's per-byte encoding path (scalar gf256.Mul in
+// the inner loop). It is retained as the reference implementation: tests
+// check the kernel path against it and the benchmarks report the speedup of
+// the slice kernels over it.
+func (c *Coder) encodeParityRef(shards [][]byte, shardSize int) {
+	for p := 0; p < c.ParityShards; p++ {
+		row := c.encode.Row(c.DataShards + p)
+		out := shards[c.DataShards+p]
+		for i := range out {
+			out[i] = 0
+		}
+		for d := 0; d < c.DataShards; d++ {
+			coef := row[d]
+			if coef == 0 {
+				continue
+			}
+			in := shards[d]
+			for i := 0; i < shardSize; i++ {
+				out[i] ^= gf256.Mul(coef, in[i])
+			}
+		}
+	}
 }

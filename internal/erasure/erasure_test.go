@@ -2,6 +2,7 @@ package erasure
 
 import (
 	"bytes"
+	"math/bits"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -195,7 +196,7 @@ func TestStorageOverheadForDepSkyConfig(t *testing.T) {
 	// coded block actually stored; our coder with k=2, m=2 produces 2x but
 	// DepSky only uploads n-f=3 of them -> 1.5x).
 	c := mustCoder(t, 2, 2)
-	data := make([]byte, 1 << 20)
+	data := make([]byte, 1<<20)
 	shards, _ := c.Split(data)
 	perShard := len(shards[0])
 	if perShard != 1<<19 {
@@ -238,6 +239,94 @@ func TestPropertyReconstructAfterRandomErasures(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestEncodeParityMatchesRef(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, cfg := range []struct{ k, m int }{{2, 2}, {4, 2}, {3, 2}, {5, 1}, {4, 3}} {
+		c := mustCoder(t, cfg.k, cfg.m)
+		for _, size := range []int{1, 31, 32, 33, 1000, 70000} {
+			data := randomBytes(r, size)
+			fast, err := c.Split(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := make([][]byte, len(fast))
+			shardSize := len(fast[0])
+			for i := 0; i < cfg.k; i++ {
+				ref[i] = append([]byte(nil), fast[i]...)
+			}
+			for i := cfg.k; i < len(ref); i++ {
+				ref[i] = make([]byte, shardSize)
+			}
+			c.encodeParityRef(ref, shardSize)
+			for i := cfg.k; i < len(ref); i++ {
+				if !bytes.Equal(fast[i], ref[i]) {
+					t.Fatalf("k=%d m=%d size=%d: parity shard %d differs from reference", cfg.k, cfg.m, size, i)
+				}
+			}
+		}
+	}
+}
+
+// TestReconstructAllErasureCombinations exercises every missing-shard
+// combination of every (k, m) configuration with n = k+m <= 6: the degraded
+// read patterns DepSky can encounter with f faulty clouds.
+func TestReconstructAllErasureCombinations(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for n := 2; n <= 6; n++ {
+		for k := 1; k < n; k++ {
+			m := n - k
+			c := mustCoder(t, k, m)
+			data := randomBytes(r, 1021)
+			orig, err := c.Split(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Every subset of at most m missing shards, via bitmask.
+			for mask := 0; mask < 1<<n; mask++ {
+				if bits.OnesCount(uint(mask)) > m {
+					continue
+				}
+				shards := make([][]byte, n)
+				for i := range shards {
+					if mask&(1<<i) == 0 {
+						shards[i] = append([]byte(nil), orig[i]...)
+					}
+				}
+				if err := c.Reconstruct(shards); err != nil {
+					t.Fatalf("k=%d m=%d mask=%b: %v", k, m, mask, err)
+				}
+				for i := range shards {
+					if !bytes.Equal(shards[i], orig[i]) {
+						t.Fatalf("k=%d m=%d mask=%b: shard %d reconstructed incorrectly", k, m, mask, i)
+					}
+				}
+				got, err := c.Join(shards, len(data))
+				if err != nil || !bytes.Equal(got, data) {
+					t.Fatalf("k=%d m=%d mask=%b: join mismatch (%v)", k, m, mask, err)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeMatrixCacheReused(t *testing.T) {
+	c := mustCoder(t, 2, 2)
+	data := make([]byte, 4096)
+	orig, _ := c.Split(data)
+	for round := 0; round < 3; round++ {
+		shards := [][]byte{nil, append([]byte(nil), orig[1]...), append([]byte(nil), orig[2]...), nil}
+		if err := c.Reconstruct(shards); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.mu.Lock()
+	entries := c.decodeOrder.Len()
+	c.mu.Unlock()
+	if entries != 1 {
+		t.Fatalf("decode cache holds %d entries after identical degraded reads, want 1", entries)
 	}
 }
 

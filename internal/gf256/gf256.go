@@ -2,6 +2,17 @@
 // AES/Rijndael reducing polynomial x^8 + x^4 + x^3 + x + 1 (0x11b). It is the
 // foundation for the Reed-Solomon erasure coding and Shamir secret sharing
 // used by the DepSky cloud-of-clouds backend.
+//
+// Besides the scalar operations (Mul, Div, Inv, ...) and dense matrices, the
+// package provides bulk slice kernels for the data-plane hot paths:
+//
+//	MulSlice(c, in, out)     // out[i] = c·in[i]
+//	MulSliceXor(c, in, out)  // out[i] ^= c·in[i]
+//	XorSlice(in, out)        // out[i] ^= in[i]
+//
+// The kernels are table-driven (see kernels.go) and dispatch at runtime to
+// GFNI or AVX2 assembly on amd64; NibbleTables exposes the split low/high
+// nibble product tables the SIMD implementations consume.
 package gf256
 
 import "fmt"

@@ -1,0 +1,115 @@
+package gf256
+
+import "encoding/binary"
+
+// This file holds the table-driven bulk kernels used by the data-plane hot
+// paths (erasure coding, Shamir sharing). The scalar Mul in gf256.go costs a
+// function call, two zero-branches and three table lookups per byte; the
+// kernels below amortize the coefficient across a whole slice:
+//
+//   - mulTable is the full 256×256 product table. The portable
+//     MulSlice/MulSliceXor loops walk the 256-byte row of the active
+//     coefficient, so the inner loop is a single L1-resident lookup per byte.
+//   - mulTableLow/mulTableHigh are the split low/high-nibble tables
+//     (mulTableLow[c][n] = c·n, mulTableHigh[c][n] = c·(n<<4), so
+//     c·x = mulTableLow[c][x&15] ^ mulTableHigh[c][x>>4]). This is the
+//     16-entry-per-coefficient layout consumed by the AVX2 VPSHUFB kernels in
+//     kernels_amd64.s; it is also exposed through NibbleTables.
+//
+// On amd64 the kernels dispatch at runtime (CPUID) to assembly that processes
+// 32 bytes per iteration: VGF2P8MULB where GFNI is available (the instruction
+// multiplies bytewise in exactly this field, GF(2^8) mod 0x11b), otherwise
+// the classic two-VPSHUFB nibble-table sequence on AVX2. The portable loops
+// remain both as the fallback and as the reference the assembly is tested
+// against.
+//
+// All tables are built at init time from the branch-free mulSlow, so the
+// kernels do not depend on package init ordering with the log/exp tables.
+
+var (
+	mulTable     [256][256]byte
+	mulTableLow  [256][16]byte
+	mulTableHigh [256][16]byte
+)
+
+func init() {
+	for c := 0; c < 256; c++ {
+		row := &mulTable[c]
+		for x := 0; x < 256; x++ {
+			row[x] = mulSlow(byte(c), byte(x))
+		}
+		for n := 0; n < 16; n++ {
+			mulTableLow[c][n] = row[n]
+			mulTableHigh[c][n] = row[n<<4]
+		}
+	}
+}
+
+// NibbleTables returns the split low/high-nibble product tables for the
+// coefficient c: c·x == low[x&0xf] ^ high[x>>4]. This is the layout SIMD
+// shuffle kernels consume; the pure-Go kernels below use the full table row
+// instead (one lookup per byte beats two).
+func NibbleTables(c byte) (low, high *[16]byte) {
+	return &mulTableLow[c], &mulTableHigh[c]
+}
+
+// MulSlice sets out[i] = c * in[i] for every i. in and out must have the same
+// length; they may be the same slice (in-place scaling).
+func MulSlice(c byte, in, out []byte) {
+	switch c {
+	case 0:
+		clear(out)
+	case 1:
+		if len(in) > 0 && &in[0] != &out[0] {
+			copy(out, in)
+		}
+	default:
+		done := mulSliceAsm(c, in, out)
+		mt := &mulTable[c]
+		for i, v := range in[done:] {
+			out[done+i] = mt[v]
+		}
+	}
+}
+
+// MulSliceXor sets out[i] ^= c * in[i] for every i. in and out must have the
+// same length and must not overlap unless they are identical slices.
+func MulSliceXor(c byte, in, out []byte) {
+	switch c {
+	case 0:
+		return
+	case 1:
+		XorSlice(in, out)
+	default:
+		done := mulSliceXorAsm(c, in, out)
+		mt := &mulTable[c]
+		for i, v := range in[done:] {
+			out[done+i] ^= mt[v]
+		}
+	}
+}
+
+// XorSlice sets out[i] ^= in[i], processing 32 bytes per iteration on SIMD
+// hardware (an identity-coefficient multiply) and eight otherwise. The two
+// slices must have the same length.
+func XorSlice(in, out []byte) {
+	done := mulSliceXorAsm(1, in, out)
+	in, out = in[done:], out[done:]
+	for len(in) >= 8 {
+		binary.LittleEndian.PutUint64(out, binary.LittleEndian.Uint64(out)^binary.LittleEndian.Uint64(in))
+		in, out = in[8:], out[8:]
+	}
+	for i := range in {
+		out[i] ^= in[i]
+	}
+}
+
+// mulSliceNibble is the nibble-table variant of MulSlice, kept as the
+// reference for the SIMD layout (see NibbleTables) and exercised by tests and
+// benchmarks against the full-table kernel.
+func mulSliceNibble(c byte, in, out []byte) {
+	low, high := &mulTableLow[c], &mulTableHigh[c]
+	for i, v := range in {
+		out[i] = low[v&0xf] ^ high[v>>4]
+	}
+}

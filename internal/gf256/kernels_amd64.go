@@ -1,0 +1,88 @@
+//go:build amd64 && gc
+
+package gf256
+
+// CPU feature flags for the SIMD kernels, set at init from CPUID. hasGFNI
+// implies hasAVX2 (the GFNI kernels use VEX-encoded 256-bit operations and
+// VPBROADCASTB).
+var (
+	hasAVX2 bool
+	hasGFNI bool
+)
+
+// cpuid executes the CPUID instruction with the given EAX/ECX inputs.
+func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads XCR0 (requires OSXSAVE).
+func xgetbv() (eax, edx uint32)
+
+func init() {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const osxsave, avx = 1 << 27, 1 << 28
+	if c1&osxsave == 0 || c1&avx == 0 {
+		return
+	}
+	// The OS must save/restore XMM and YMM state.
+	if xeax, _ := xgetbv(); xeax&0x6 != 0x6 {
+		return
+	}
+	_, b7, c7, _ := cpuid(7, 0)
+	hasAVX2 = b7&(1<<5) != 0
+	hasGFNI = hasAVX2 && c7&(1<<8) != 0
+}
+
+// The assembly kernels process len(in)/32*32 bytes; callers slice the inputs
+// to a multiple of 32 and handle the tail with the scalar loop.
+
+// gfniMul sets out[i] = c*in[i] using VGF2P8MULB (GF(2^8) mod 0x11b, the
+// field this package implements).
+func gfniMul(c byte, in, out []byte)
+
+// gfniMulXor sets out[i] ^= c*in[i] using VGF2P8MULB.
+func gfniMulXor(c byte, in, out []byte)
+
+// avx2Mul sets out[i] = c*in[i] using the split nibble tables with VPSHUFB.
+func avx2Mul(low, high *[16]byte, in, out []byte)
+
+// avx2MulXor sets out[i] ^= c*in[i] using the split nibble tables with
+// VPSHUFB.
+func avx2MulXor(low, high *[16]byte, in, out []byte)
+
+// mulSliceAsm dispatches to the widest available SIMD kernel; it reports
+// how many leading bytes it processed (0 when no kernel is available).
+func mulSliceAsm(c byte, in, out []byte) int {
+	n := len(in) &^ 31
+	if n == 0 {
+		return 0
+	}
+	switch {
+	case hasGFNI:
+		gfniMul(c, in[:n], out[:n])
+	case hasAVX2:
+		avx2Mul(&mulTableLow[c], &mulTableHigh[c], in[:n], out[:n])
+	default:
+		return 0
+	}
+	return n
+}
+
+// mulSliceXorAsm is the xor-accumulating counterpart of mulSliceAsm.
+func mulSliceXorAsm(c byte, in, out []byte) int {
+	n := len(in) &^ 31
+	if n == 0 {
+		return 0
+	}
+	switch {
+	case hasGFNI:
+		gfniMulXor(c, in[:n], out[:n])
+	case hasAVX2:
+		avx2MulXor(&mulTableLow[c], &mulTableHigh[c], in[:n], out[:n])
+	default:
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,151 @@
+//go:build amd64 && gc
+
+#include "textflag.h"
+
+// func cpuid(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func gfniMul(c byte, in, out []byte)
+//
+// out[i] = c * in[i] over GF(2^8) mod 0x11b, 32 bytes per iteration via
+// VGF2P8MULB. len(in) must be a multiple of 32.
+TEXT ·gfniMul(SB), NOSPLIT, $0-56
+	MOVBLZX c+0(FP), AX
+	MOVQ    in_base+8(FP), SI
+	MOVQ    in_len+16(FP), CX
+	MOVQ    out_base+32(FP), DI
+	SHRQ    $5, CX
+	JZ      gfnimul_done
+	MOVQ    AX, X0
+	VPBROADCASTB X0, Y0
+
+gfnimul_loop:
+	VMOVDQU    (SI), Y1
+	VGF2P8MULB Y0, Y1, Y1
+	VMOVDQU    Y1, (DI)
+	ADDQ       $32, SI
+	ADDQ       $32, DI
+	DECQ       CX
+	JNZ        gfnimul_loop
+	VZEROUPPER
+
+gfnimul_done:
+	RET
+
+// func gfniMulXor(c byte, in, out []byte)
+//
+// out[i] ^= c * in[i], 32 bytes per iteration. len(in) must be a multiple
+// of 32.
+TEXT ·gfniMulXor(SB), NOSPLIT, $0-56
+	MOVBLZX c+0(FP), AX
+	MOVQ    in_base+8(FP), SI
+	MOVQ    in_len+16(FP), CX
+	MOVQ    out_base+32(FP), DI
+	SHRQ    $5, CX
+	JZ      gfnixor_done
+	MOVQ    AX, X0
+	VPBROADCASTB X0, Y0
+
+gfnixor_loop:
+	VMOVDQU    (SI), Y1
+	VGF2P8MULB Y0, Y1, Y1
+	VPXOR      (DI), Y1, Y1
+	VMOVDQU    Y1, (DI)
+	ADDQ       $32, SI
+	ADDQ       $32, DI
+	DECQ       CX
+	JNZ        gfnixor_loop
+	VZEROUPPER
+
+gfnixor_done:
+	RET
+
+// func avx2Mul(low, high *[16]byte, in, out []byte)
+//
+// out[i] = c * in[i] using the split low/high nibble product tables of the
+// coefficient (see NibbleTables): c*x = low[x&0xf] ^ high[x>>4], evaluated 32
+// bytes at a time with VPSHUFB. len(in) must be a multiple of 32.
+TEXT ·avx2Mul(SB), NOSPLIT, $0-64
+	MOVQ low+0(FP), AX
+	MOVQ high+8(FP), BX
+	MOVQ in_base+16(FP), SI
+	MOVQ in_len+24(FP), CX
+	MOVQ out_base+40(FP), DI
+	SHRQ $5, CX
+	JZ   avx2mul_done
+	VBROADCASTI128 (AX), Y2 // low-nibble table in both lanes
+	VBROADCASTI128 (BX), Y3 // high-nibble table in both lanes
+	MOVQ $0x0f, AX
+	MOVQ AX, X4
+	VPBROADCASTB X4, Y4     // 0x0f mask
+
+avx2mul_loop:
+	VMOVDQU (SI), Y0
+	VPSRLW  $4, Y0, Y1
+	VPAND   Y4, Y0, Y0      // low nibbles
+	VPAND   Y4, Y1, Y1      // high nibbles
+	VPSHUFB Y0, Y2, Y0      // low table lookup
+	VPSHUFB Y1, Y3, Y1      // high table lookup
+	VPXOR   Y0, Y1, Y0
+	VMOVDQU Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     avx2mul_loop
+	VZEROUPPER
+
+avx2mul_done:
+	RET
+
+// func avx2MulXor(low, high *[16]byte, in, out []byte)
+//
+// out[i] ^= c * in[i] via the nibble tables. len(in) must be a multiple
+// of 32.
+TEXT ·avx2MulXor(SB), NOSPLIT, $0-64
+	MOVQ low+0(FP), AX
+	MOVQ high+8(FP), BX
+	MOVQ in_base+16(FP), SI
+	MOVQ in_len+24(FP), CX
+	MOVQ out_base+40(FP), DI
+	SHRQ $5, CX
+	JZ   avx2xor_done
+	VBROADCASTI128 (AX), Y2
+	VBROADCASTI128 (BX), Y3
+	MOVQ $0x0f, AX
+	MOVQ AX, X4
+	VPBROADCASTB X4, Y4
+
+avx2xor_loop:
+	VMOVDQU (SI), Y0
+	VPSRLW  $4, Y0, Y1
+	VPAND   Y4, Y0, Y0
+	VPAND   Y4, Y1, Y1
+	VPSHUFB Y0, Y2, Y0
+	VPSHUFB Y1, Y3, Y1
+	VPXOR   Y0, Y1, Y0
+	VPXOR   (DI), Y0, Y0
+	VMOVDQU Y0, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	DECQ    CX
+	JNZ     avx2xor_loop
+	VZEROUPPER
+
+avx2xor_done:
+	RET

@@ -1,0 +1,77 @@
+//go:build amd64 && gc
+
+package gf256
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// The dispatch in MulSlice prefers GFNI, so the AVX2 kernels are exercised
+// directly here (and vice versa on machines with only one of the features).
+
+func testAsmKernel(t *testing.T, name string, mul, mulXor func(c byte, in, out []byte)) {
+	t.Helper()
+	r := rand.New(rand.NewSource(11))
+	for _, size := range []int{32, 64, 256, 4096} {
+		in := make([]byte, size)
+		base := make([]byte, size)
+		r.Read(in)
+		r.Read(base)
+		for _, c := range []byte{2, 0x1d, 0x8e, 0xff} {
+			want := make([]byte, size)
+			mulSliceRef(c, in, want)
+			out := make([]byte, size)
+			mul(c, in, out)
+			if !bytes.Equal(out, want) {
+				t.Fatalf("%s mul c=%#x size=%d mismatch", name, c, size)
+			}
+			wantXor := append([]byte(nil), base...)
+			XorSlice(want, wantXor)
+			outXor := append([]byte(nil), base...)
+			mulXor(c, in, outXor)
+			if !bytes.Equal(outXor, wantXor) {
+				t.Fatalf("%s mulXor c=%#x size=%d mismatch", name, c, size)
+			}
+		}
+	}
+}
+
+func TestGFNIKernels(t *testing.T) {
+	if !hasGFNI {
+		t.Skip("no GFNI on this CPU")
+	}
+	testAsmKernel(t, "gfni", gfniMul, gfniMulXor)
+}
+
+func TestAVX2Kernels(t *testing.T) {
+	if !hasAVX2 {
+		t.Skip("no AVX2 on this CPU")
+	}
+	testAsmKernel(t, "avx2",
+		func(c byte, in, out []byte) { avx2Mul(&mulTableLow[c], &mulTableHigh[c], in, out) },
+		func(c byte, in, out []byte) { avx2MulXor(&mulTableLow[c], &mulTableHigh[c], in, out) })
+}
+
+func BenchmarkMulSliceGFNI(b *testing.B) {
+	if !hasGFNI {
+		b.Skip("no GFNI on this CPU")
+	}
+	in, out := benchInput()
+	b.SetBytes(benchLen)
+	for i := 0; i < b.N; i++ {
+		gfniMul(0x1d, in, out)
+	}
+}
+
+func BenchmarkMulSliceAVX2(b *testing.B) {
+	if !hasAVX2 {
+		b.Skip("no AVX2 on this CPU")
+	}
+	in, out := benchInput()
+	b.SetBytes(benchLen)
+	for i := 0; i < b.N; i++ {
+		avx2Mul(&mulTableLow[0x1d], &mulTableHigh[0x1d], in, out)
+	}
+}

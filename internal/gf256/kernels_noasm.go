@@ -1,0 +1,9 @@
+//go:build !amd64 || !gc
+
+package gf256
+
+// Stubs for platforms without assembly kernels: the slice kernels run the
+// portable table-driven loops.
+
+func mulSliceAsm(c byte, in, out []byte) int    { return 0 }
+func mulSliceXorAsm(c byte, in, out []byte) int { return 0 }

@@ -1,0 +1,158 @@
+package gf256
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestMulTableMatchesMul(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if got, want := mulTable[a][b], Mul(byte(a), byte(b)); got != want {
+				t.Fatalf("mulTable[%d][%d] = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestNibbleTablesMatchMul(t *testing.T) {
+	for c := 0; c < 256; c++ {
+		low, high := NibbleTables(byte(c))
+		for x := 0; x < 256; x++ {
+			got := low[x&0xf] ^ high[x>>4]
+			if want := Mul(byte(c), byte(x)); got != want {
+				t.Fatalf("nibble product %d*%d = %d, want %d", c, x, got, want)
+			}
+		}
+	}
+}
+
+func TestMulSliceAgainstScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, size := range []int{0, 1, 7, 8, 9, 63, 64, 1000} {
+		in := make([]byte, size)
+		r.Read(in)
+		for _, c := range []byte{0, 1, 2, 0x1d, 0xff} {
+			want := make([]byte, size)
+			for i, v := range in {
+				want[i] = Mul(c, v)
+			}
+			out := make([]byte, size)
+			MulSlice(c, in, out)
+			if !bytes.Equal(out, want) {
+				t.Fatalf("MulSlice(%d) mismatch at size %d", c, size)
+			}
+			nib := make([]byte, size)
+			mulSliceNibble(c, in, nib)
+			if !bytes.Equal(nib, want) {
+				t.Fatalf("mulSliceNibble(%d) mismatch at size %d", c, size)
+			}
+			// In-place scaling must agree with out-of-place.
+			inPlace := append([]byte(nil), in...)
+			MulSlice(c, inPlace, inPlace)
+			if !bytes.Equal(inPlace, want) {
+				t.Fatalf("in-place MulSlice(%d) mismatch at size %d", c, size)
+			}
+		}
+	}
+}
+
+func TestMulSliceXorAgainstScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for _, size := range []int{0, 1, 15, 16, 17, 1000} {
+		in := make([]byte, size)
+		base := make([]byte, size)
+		r.Read(in)
+		r.Read(base)
+		for _, c := range []byte{0, 1, 3, 0x8e, 0xff} {
+			want := append([]byte(nil), base...)
+			for i, v := range in {
+				want[i] ^= Mul(c, v)
+			}
+			out := append([]byte(nil), base...)
+			MulSliceXor(c, in, out)
+			if !bytes.Equal(out, want) {
+				t.Fatalf("MulSliceXor(%d) mismatch at size %d", c, size)
+			}
+		}
+	}
+}
+
+func TestXorSlice(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for _, size := range []int{0, 1, 7, 8, 9, 31, 32, 33, 4096} {
+		a := make([]byte, size)
+		b := make([]byte, size)
+		r.Read(a)
+		r.Read(b)
+		want := make([]byte, size)
+		for i := range a {
+			want[i] = a[i] ^ b[i]
+		}
+		out := append([]byte(nil), b...)
+		XorSlice(a, out)
+		if !bytes.Equal(out, want) {
+			t.Fatalf("XorSlice mismatch at size %d", size)
+		}
+	}
+}
+
+// --- benchmarks: scalar Mul loop vs the slice kernels ---
+
+// mulSliceRef is the plain per-byte reference all kernels are tested against.
+func mulSliceRef(c byte, in, out []byte) {
+	for i, v := range in {
+		out[i] = Mul(c, v)
+	}
+}
+
+const benchLen = 64 << 10
+
+func benchInput() (in, out []byte) {
+	in = make([]byte, benchLen)
+	rand.New(rand.NewSource(1)).Read(in)
+	return in, make([]byte, benchLen)
+}
+
+func BenchmarkMulScalarLoop(b *testing.B) {
+	in, out := benchInput()
+	b.SetBytes(benchLen)
+	for i := 0; i < b.N; i++ {
+		for j, v := range in {
+			out[j] = Mul(0x1d, v)
+		}
+	}
+}
+
+func BenchmarkMulSlice(b *testing.B) {
+	in, out := benchInput()
+	b.SetBytes(benchLen)
+	for i := 0; i < b.N; i++ {
+		MulSlice(0x1d, in, out)
+	}
+}
+
+func BenchmarkMulSliceNibble(b *testing.B) {
+	in, out := benchInput()
+	b.SetBytes(benchLen)
+	for i := 0; i < b.N; i++ {
+		mulSliceNibble(0x1d, in, out)
+	}
+}
+
+func BenchmarkMulSliceXor(b *testing.B) {
+	in, out := benchInput()
+	b.SetBytes(benchLen)
+	for i := 0; i < b.N; i++ {
+		MulSliceXor(0x1d, in, out)
+	}
+}
+
+func BenchmarkXorSlice(b *testing.B) {
+	in, out := benchInput()
+	b.SetBytes(benchLen)
+	for i := 0; i < b.N; i++ {
+		XorSlice(in, out)
+	}
+}

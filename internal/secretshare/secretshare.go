@@ -44,32 +44,39 @@ func Split(secret []byte, n, t int, randSrc io.Reader) ([]Share, error) {
 		randSrc = rand.Reader
 	}
 
+	length := len(secret)
 	shares := make([]Share, n)
+	shareBacking := make([]byte, n*length)
 	for i := range shares {
-		shares[i] = Share{X: byte(i + 1), Data: make([]byte, len(secret))}
+		shares[i] = Share{X: byte(i + 1), Data: shareBacking[i*length : (i+1)*length : (i+1)*length]}
 	}
 
-	coeffs := make([]byte, t) // coeffs[0] = secret byte, rest random
-	for byteIdx, s := range secret {
-		coeffs[0] = s
-		if _, err := io.ReadFull(randSrc, coeffs[1:]); err != nil {
-			return nil, fmt.Errorf("secretshare: reading randomness: %w", err)
-		}
-		for i := range shares {
-			shares[i].Data[byteIdx] = evalPoly(coeffs, shares[i].X)
+	// Coefficient slices: coeffs[j][b] is the degree-j coefficient of the
+	// polynomial hiding secret byte b. coeffs[0] is the secret itself, the
+	// higher degrees are uniformly random.
+	coeffs := make([][]byte, t)
+	coeffs[0] = secret
+	randBacking := make([]byte, (t-1)*length)
+	if _, err := io.ReadFull(randSrc, randBacking); err != nil {
+		return nil, fmt.Errorf("secretshare: reading randomness: %w", err)
+	}
+	for j := 1; j < t; j++ {
+		coeffs[j] = randBacking[(j-1)*length : j*length]
+	}
+
+	// Horner's rule over whole slices: every share evaluates all byte
+	// positions per step through the gf256 slice kernels instead of a scalar
+	// polynomial evaluation per byte.
+	for i := range shares {
+		data := shares[i].Data
+		x := shares[i].X
+		copy(data, coeffs[t-1])
+		for j := t - 2; j >= 0; j-- {
+			gf256.MulSlice(x, data, data)
+			gf256.XorSlice(coeffs[j], data)
 		}
 	}
 	return shares, nil
-}
-
-// evalPoly evaluates the polynomial with the given coefficients (constant
-// term first) at point x using Horner's rule in GF(2^8).
-func evalPoly(coeffs []byte, x byte) byte {
-	var y byte
-	for i := len(coeffs) - 1; i >= 0; i-- {
-		y = gf256.Add(gf256.Mul(y, x), coeffs[i])
-	}
-	return y
 }
 
 // Combine reconstructs the secret from at least t shares (any subset works as
@@ -102,7 +109,7 @@ func Combine(shares []Share, t int) ([]byte, error) {
 		return nil, ErrEmptySecret
 	}
 
-	// Lagrange interpolation at x = 0 for each byte position.
+	// Lagrange interpolation at x = 0, applied to all byte positions at once.
 	secret := make([]byte, length)
 	// Precompute the Lagrange basis coefficients l_i(0).
 	basis := make([]byte, t)
@@ -118,12 +125,9 @@ func Combine(shares []Share, t int) ([]byte, error) {
 		}
 		basis[i] = gf256.Div(num, den)
 	}
-	for b := 0; b < length; b++ {
-		var acc byte
-		for i := 0; i < t; i++ {
-			acc = gf256.Add(acc, gf256.Mul(use[i].Data[b], basis[i]))
-		}
-		secret[b] = acc
+	// secret = Σ basis[i]·share[i], accumulated with the slice kernels.
+	for i := 0; i < t; i++ {
+		gf256.MulSliceXor(basis[i], use[i].Data, secret)
 	}
 	return secret, nil
 }
