@@ -1,0 +1,176 @@
+// Command benchguard compares a freshly produced BENCH_<stamp>.json against
+// the committed BENCH_BASELINE.json and fails (exit 1) when a tracked
+// metric regresses by more than the threshold (20%).
+//
+// Absolute wall-clock numbers are not comparable across machines, so the
+// guard never compares ns/op between files. It tracks two machine-portable
+// signals instead:
+//
+//  1. Allocation metrics (B/op, allocs/op) of benchmarks present in both
+//     files — these are deterministic properties of the code.
+//  2. Ratios between benchmark pairs measured within one run (the fast
+//     path vs its reference implementation, the streamed write vs the
+//     whole-object write). A pair's ratio in the new run is checked
+//     against the same ratio in the baseline when the baseline has both
+//     legs, and always against a hard floor that encodes the acceptance
+//     criterion of the PR that introduced it.
+//
+// Usage: benchguard BASELINE.json NEW.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// threshold is the tolerated relative regression of any tracked metric.
+const threshold = 0.20
+
+type bench struct {
+	N        int64   `json:"n"`
+	NsOp     float64 `json:"ns_op"`
+	MBs      float64 `json:"mb_s"`
+	BOp      float64 `json:"b_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+type report struct {
+	Captured   string           `json:"captured"`
+	Go         string           `json:"go"`
+	Benchmarks map[string]bench `json:"benchmarks"`
+}
+
+// pairRule tracks the ratio metric(num)/metric(den) within one run.
+// The ratio must stay below maxRatio (the acceptance floor), and below
+// (1+threshold) times the baseline's ratio when the baseline has both legs.
+type pairRule struct {
+	num, den string
+	metric   func(bench) float64
+	what     string
+	maxRatio float64
+}
+
+var pairRules = []pairRule{
+	// PR 1 acceptance: the slice-kernel encode stays >= 5x faster than the
+	// retained per-byte reference (ratio of ns/op <= 0.2).
+	{
+		num: "BenchmarkErasureEncode/1MiB", den: "BenchmarkErasureEncodeRef/1MiB",
+		metric: func(b bench) float64 { return b.NsOp }, what: "ns/op",
+		maxRatio: 0.2,
+	},
+	// PR 2 acceptance: a streamed 64 MiB write allocates a fraction of the
+	// whole-object path. Against the cloud simulator (which itself copies
+	// every uploaded payload, charged to both paths) the measured ratio is
+	// ~0.37; the data-plane-only <0.25 bound is enforced by
+	// TestStreamedWriteMemoryFootprint. The guard holds the end-to-end
+	// ratio under 0.5 and watches it for drift against the baseline.
+	{
+		num: "BenchmarkDepSkyStreamWriteCA/64MiB", den: "BenchmarkDepSkyWholeWriteCA/64MiB",
+		metric: func(b bench) float64 { return b.BOp }, what: "B/op",
+		maxRatio: 0.5,
+	},
+}
+
+// load parses one BENCH_*.json report.
+func load(path string) (report, error) {
+	var r report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Benchmarks) == 0 {
+		return r, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return r, nil
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintf(os.Stderr, "usage: benchguard BASELINE.json NEW.json\n")
+		os.Exit(2)
+	}
+	base, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	cur, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+
+	failures := 0
+	fail := func(format string, args ...any) {
+		failures++
+		fmt.Printf("FAIL  "+format+"\n", args...)
+	}
+
+	// 1. Allocation metrics across files (machine-independent). Entries
+	// measured with very few iterations carry un-amortized one-time setup
+	// allocations and are skipped (a missing "n" means a steady-state run
+	// from before the field existed).
+	checked := 0
+	for name, c := range cur.Benchmarks {
+		b, ok := base.Benchmarks[name]
+		if !ok {
+			continue
+		}
+		if (c.N > 0 && c.N < 10) || (b.N > 0 && b.N < 10) {
+			continue
+		}
+		checked++
+		// Tiny allocation counts jitter by a few bytes; only benchmarks
+		// with a meaningful footprint are compared.
+		if b.BOp >= 1024 && c.BOp > b.BOp*(1+threshold) {
+			fail("%s: B/op %.0f -> %.0f (>%.0f%% regression)", name, b.BOp, c.BOp, threshold*100)
+		}
+		if b.AllocsOp >= 8 && c.AllocsOp > b.AllocsOp*(1+threshold)+2 {
+			fail("%s: allocs/op %.0f -> %.0f (>%.0f%% regression)", name, b.AllocsOp, c.AllocsOp, threshold*100)
+		}
+	}
+	fmt.Printf("benchguard: compared allocation metrics of %d shared benchmarks\n", checked)
+
+	// 2. Tracked within-run ratios.
+	for _, rule := range pairRules {
+		cn, okN := cur.Benchmarks[rule.num]
+		cd, okD := cur.Benchmarks[rule.den]
+		if !okN || !okD {
+			fmt.Printf("SKIP  ratio %s / %s: missing from the new run\n", rule.num, rule.den)
+			continue
+		}
+		den := rule.metric(cd)
+		if den == 0 {
+			fmt.Printf("SKIP  ratio %s / %s: zero denominator\n", rule.num, rule.den)
+			continue
+		}
+		ratio := rule.metric(cn) / den
+		limit := rule.maxRatio
+		source := "acceptance floor"
+		if bn, ok := base.Benchmarks[rule.num]; ok {
+			if bd, ok := base.Benchmarks[rule.den]; ok && rule.metric(bd) != 0 {
+				baseRatio := rule.metric(bn) / rule.metric(bd)
+				if l := baseRatio * (1 + threshold); l < limit {
+					limit = l
+					source = fmt.Sprintf("baseline ratio %.3f +%.0f%%", baseRatio, threshold*100)
+				}
+			}
+		}
+		status := "ok  "
+		if ratio > limit {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Printf("%s  %s: %s/%s = %.3f (limit %.3f, %s)\n", status, rule.what, rule.num, rule.den, ratio, limit, source)
+	}
+
+	if failures > 0 {
+		fmt.Printf("benchguard: %d regression(s)\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: no tracked regressions")
+}

@@ -21,7 +21,7 @@ import (
 	"scfs/internal/depsky"
 )
 
-func benchManager(b *testing.B, f int, protocol depsky.Protocol) (*depsky.Manager, []*cloudsim.Provider) {
+func benchManager(b testing.TB, f int, protocol depsky.Protocol) (*depsky.Manager, []*cloudsim.Provider) {
 	b.Helper()
 	n := 3*f + 1
 	providers := make([]*cloudsim.Provider, n)

@@ -19,6 +19,7 @@ awk -v go_version="$(go version | awk '{print $3}')" -v stamp="$stamp" '
 BEGIN { print "{"; printf "  \"captured\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": {", stamp, go_version }
 /^Benchmark/ {
 	name = $1; sub(/-[0-9]+$/, "", name)
+	iters = $2
 	ns = ""; mbs = ""; bop = ""; allocs = ""
 	for (i = 2; i <= NF; i++) {
 		if ($i == "ns/op") ns = $(i-1)
@@ -28,7 +29,7 @@ BEGIN { print "{"; printf "  \"captured\": \"%s\",\n  \"go\": \"%s\",\n  \"bench
 	}
 	if (ns == "") next
 	if (n++) printf ","
-	printf "\n    \"%s\": {\"ns_op\": %s", name, ns
+	printf "\n    \"%s\": {\"n\": %s, \"ns_op\": %s", name, iters, ns
 	if (mbs != "") printf ", \"mb_s\": %s", mbs
 	if (bop != "") printf ", \"b_op\": %s", bop
 	if (allocs != "") printf ", \"allocs_op\": %s", allocs

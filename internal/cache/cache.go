@@ -121,6 +121,16 @@ func (m *Memory) Remove(key string) {
 	}
 }
 
+// Clear drops every entry without invoking the eviction callback (an
+// explicit drop, not a capacity eviction).
+func (m *Memory) Clear() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.items = make(map[string]*list.Element)
+	m.order.Init()
+	m.used = 0
+}
+
 // Len returns the number of cached entries.
 func (m *Memory) Len() int {
 	m.mu.Lock()
@@ -297,6 +307,22 @@ func (d *Disk) Remove(key string) {
 	}
 	d.mu.Unlock()
 	_ = os.Remove(d.path(key))
+}
+
+// Clear drops every cached file.
+func (d *Disk) Clear() {
+	d.mu.Lock()
+	keys := make([]string, 0, len(d.sizes))
+	for k := range d.sizes {
+		keys = append(keys, k)
+	}
+	d.sizes = make(map[string]int64)
+	d.lastUse = make(map[string]time.Time)
+	d.used = 0
+	d.mu.Unlock()
+	for _, k := range keys {
+		_ = os.Remove(d.path(k))
+	}
 }
 
 // Len returns the number of cached files.

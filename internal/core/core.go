@@ -107,6 +107,13 @@ type Options struct {
 	// MetadataCacheTTL is the expiration of the short-lived metadata cache
 	// (500 ms in the paper's experiments; 0 disables it).
 	MetadataCacheTTL time.Duration
+	// StreamThresholdBytes is the size above which file data moves through
+	// the streaming data plane when the backend supports it: larger files
+	// opened read-only are served by ranged cloud reads instead of a
+	// whole-object fetch, and larger dirty files are streamed to the cloud
+	// on close with bounded memory. Default 1 MiB; negative disables
+	// streaming.
+	StreamThresholdBytes int64
 	// LockTTL is the lease attached to ephemeral write locks (default 60s).
 	LockTTL time.Duration
 	// ReadRetryInterval is the pause of the consistency-anchor read loop.
@@ -147,6 +154,9 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.DiskCacheBytes <= 0 {
 		o.DiskCacheBytes = 1 << 30
+	}
+	if o.StreamThresholdBytes == 0 {
+		o.StreamThresholdBytes = 1 << 20
 	}
 	if o.LockTTL <= 0 {
 		o.LockTTL = 60 * time.Second

@@ -2,6 +2,9 @@ package core
 
 import (
 	"sync"
+
+	"scfs/internal/fsmeta"
+	"scfs/internal/storage"
 )
 
 // Garbage collection (§2.5.3): SCFS keeps every version of every file (and
@@ -51,6 +54,11 @@ type GCReport struct {
 // by this agent's user: old versions beyond the configured keep-count are
 // deleted from the cloud storage, and files previously removed by the user
 // have their remaining versions and metadata erased.
+//
+// The pass first walks the metadata to decide what dies, then deletes. When
+// the backend supports batched sweeps (the CoC backend resolves every
+// file's versions with one bounded-concurrency metadata sweep instead of
+// one quorum read per deleted version), all deletions go out as one batch.
 func (a *Agent) Collect() (GCReport, error) {
 	var report GCReport
 	entries, err := a.listSubtree("/")
@@ -58,31 +66,20 @@ func (a *Agent) Collect() (GCReport, error) {
 		return report, err
 	}
 	keep := a.opts.GC.KeepVersions
-	var wg sync.WaitGroup
-	var mu sync.Mutex
+
+	// Phase 1: scan metadata, gathering doomed versions per file.
+	doomed := make(map[string][]string)
+	var purged, trimmed []*fsmeta.Metadata
 	for _, md := range entries {
 		if md.Owner != a.opts.User || md.IsDir() {
 			continue
 		}
 		report.FilesScanned++
 		if md.Deleted {
-			// Purge every version, then the metadata itself.
 			for _, v := range md.Versions {
-				wg.Add(1)
-				go func(fileID, hash string) {
-					defer wg.Done()
-					if err := a.opts.Storage.DeleteVersion(fileID, hash); err == nil {
-						mu.Lock()
-						report.VersionsDeleted++
-						mu.Unlock()
-					}
-				}(md.FileID, v.Hash)
+				doomed[md.FileID] = append(doomed[md.FileID], v.Hash)
 			}
-			wg.Wait()
-			if err := a.deleteMetadata(md.Path); err != nil {
-				return report, err
-			}
-			report.FilesPurged++
+			purged = append(purged, md)
 			continue
 		}
 		removed := md.TrimVersions(keep)
@@ -90,17 +87,22 @@ func (a *Agent) Collect() (GCReport, error) {
 			continue
 		}
 		for _, v := range removed {
-			wg.Add(1)
-			go func(fileID, hash string) {
-				defer wg.Done()
-				if err := a.opts.Storage.DeleteVersion(fileID, hash); err == nil {
-					mu.Lock()
-					report.VersionsDeleted++
-					mu.Unlock()
-				}
-			}(md.FileID, v.Hash)
+			doomed[md.FileID] = append(doomed[md.FileID], v.Hash)
 		}
-		wg.Wait()
+		trimmed = append(trimmed, md)
+	}
+
+	// Phase 2: delete the doomed versions from the cloud.
+	report.VersionsDeleted = a.sweepVersions(doomed)
+
+	// Phase 3: apply the metadata updates.
+	for _, md := range purged {
+		if err := a.deleteMetadata(md.Path); err != nil {
+			return report, err
+		}
+		report.FilesPurged++
+	}
+	for _, md := range trimmed {
 		if err := a.putMetadata(md); err != nil {
 			return report, err
 		}
@@ -109,4 +111,39 @@ func (a *Agent) Collect() (GCReport, error) {
 		return report, err
 	}
 	return report, nil
+}
+
+// sweepVersions deletes the given fileID -> hashes and returns how many
+// versions were removed, preferring the backend's batched sweep.
+func (a *Agent) sweepVersions(doomed map[string][]string) int {
+	if len(doomed) == 0 {
+		return 0
+	}
+	if sweeper, ok := a.opts.Storage.(storage.VersionSweeper); ok {
+		return sweeper.DeleteVersionsBatch(doomed)
+	}
+	deleted := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	// Bounded fan-out: a namespace-wide sweep can doom thousands of
+	// versions, and unbounded goroutines would fire them all at the cloud
+	// at once.
+	sem := make(chan struct{}, 4)
+	for fileID, hashes := range doomed {
+		for _, hash := range hashes {
+			wg.Add(1)
+			go func(fileID, hash string) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				if err := a.opts.Storage.DeleteVersion(fileID, hash); err == nil {
+					mu.Lock()
+					deleted++
+					mu.Unlock()
+				}
+			}(fileID, hash)
+		}
+	}
+	wg.Wait()
+	return deleted
 }

@@ -153,7 +153,14 @@ func (a *Agent) listMetadata(dir string) ([]*fsmeta.Metadata, error) {
 		}
 		for _, r := range recs {
 			md, err := fsmeta.Decode(r.Value)
-			if err != nil || md.Deleted {
+			if err != nil {
+				continue
+			}
+			// Warm the metadata cache with every record the listing already
+			// paid for: the readdir-then-stat-each-entry burst (ls -l) then
+			// costs one coordination round trip instead of one per entry.
+			a.metaCache.Put(md.Path, r.Value)
+			if md.Deleted {
 				continue
 			}
 			if md.Parent() == dir {

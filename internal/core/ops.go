@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -15,12 +16,16 @@ import (
 
 // openFile is the per-path in-memory state shared by all handles opened on
 // the same path by this agent. SCFS reads and writes whole files: the full
-// contents live here while the file is open (durability level 0).
+// contents live here while the file is open (durability level 0) — except
+// for large files opened read-only over a range-capable backend, whose
+// contents are served through lazy (it stays non-nil until the last handle
+// closes; data takes precedence once a writable open materializes the file).
 type openFile struct {
 	agent    *Agent
 	path     string
 	meta     *fsmeta.Metadata
 	data     []byte
+	lazy     storage.ReaderAtCloser
 	dirty    bool
 	locked   bool
 	writable bool
@@ -114,8 +119,10 @@ func (a *Agent) Open(path string, flags fsapi.OpenFlag) (fsapi.Handle, error) {
 		of.writable = true
 	}
 
-	// Step 3: bring the file data into memory.
-	if of.refs == 1 || of.data == nil {
+	// Step 3: bring the file data into memory — or, for large files opened
+	// read-only over a range-capable backend, attach a ranged reader so the
+	// whole object never has to be resident.
+	if of.refs == 1 || (of.data == nil && of.lazy == nil) {
 		switch {
 		case created || md.Hash == "":
 			of.data = nil
@@ -123,7 +130,7 @@ func (a *Agent) Open(path string, flags fsapi.OpenFlag) (fsapi.Handle, error) {
 			of.data = nil
 			of.dirty = true
 		default:
-			data, err := a.fetchData(md)
+			data, lazy, err := a.fetchForOpen(md, flags)
 			if err != nil {
 				of.refs--
 				if of.refs == 0 {
@@ -131,11 +138,34 @@ func (a *Agent) Open(path string, flags fsapi.OpenFlag) (fsapi.Handle, error) {
 				}
 				return nil, err
 			}
-			of.data = data
+			of.data, of.lazy = data, lazy
 		}
 	} else if flags&fsapi.Truncate != 0 {
 		of.data = nil
+		if of.lazy != nil {
+			// A non-nil empty buffer, not nil: nil-with-lazy means "serve
+			// reads through the ranged reader", which would resurrect the
+			// pre-truncate contents.
+			of.data = []byte{}
+		}
 		of.dirty = true
+	}
+	// A writable open while the contents are served lazily materializes the
+	// full data (writes mutate the in-memory copy); the ranged reader stays
+	// attached for handles already reading through it and is closed with
+	// the last handle.
+	if flags.Writable() && !of.dirty && of.data == nil && of.lazy != nil {
+		data, err := a.fetchData(md)
+		if err != nil {
+			of.refs--
+			if of.refs == 0 {
+				lazyToClose := of.lazy
+				delete(a.openFiles, path)
+				defer lazyToClose.Close()
+			}
+			return nil, err
+		}
+		of.data = data
 	}
 	of.meta = md
 	a.addStat(func(s *Stats) { s.FilesOpened++ })
@@ -173,21 +203,31 @@ func lastSlash(p string) int {
 	return -1
 }
 
-// fetchData returns the contents of the current version of md, looking at the
-// memory cache, then the disk cache, then the cloud backend (with the
-// consistency-anchor retry loop of Figure 3).
-func (a *Agent) fetchData(md *fsmeta.Metadata) ([]byte, error) {
+// cachedData returns the contents of the current version of md from the
+// memory or disk cache, if present and valid.
+func (a *Agent) cachedData(md *fsmeta.Metadata) ([]byte, bool) {
 	key := cacheKey(md.FileID, md.Hash)
 	if data, ok := a.memCache.Get(key); ok {
-		return data, nil
+		return data, true
 	}
 	if data, ok := a.diskCache.Get(key); ok {
 		if seccrypto.VerifyHash(data, md.Hash) {
 			a.memCache.Put(key, data)
-			return data, nil
+			return data, true
 		}
 		a.diskCache.Remove(key)
 	}
+	return nil, false
+}
+
+// fetchData returns the contents of the current version of md, looking at the
+// memory cache, then the disk cache, then the cloud backend (with the
+// consistency-anchor retry loop of Figure 3).
+func (a *Agent) fetchData(md *fsmeta.Metadata) ([]byte, error) {
+	if data, ok := a.cachedData(md); ok {
+		return data, nil
+	}
+	key := cacheKey(md.FileID, md.Hash)
 	// Cloud read: loop until the version anchored in the metadata becomes
 	// visible (the storage clouds are only eventually consistent).
 	const maxAttempts = 120
@@ -209,23 +249,77 @@ func (a *Agent) fetchData(md *fsmeta.Metadata) ([]byte, error) {
 	return nil, fmt.Errorf("core: version of %q never became visible: %w", md.Path, lastErr)
 }
 
+// fetchForOpen brings a file's contents into reach for a new open: cached
+// copies win, large read-only opens over a range-capable backend get a lazy
+// ranged reader (so ReadAt fetches only covering chunks), and everything
+// else takes the whole-object fetch path. Exactly one of data and lazy is
+// non-nil on success.
+func (a *Agent) fetchForOpen(md *fsmeta.Metadata, flags fsapi.OpenFlag) ([]byte, storage.ReaderAtCloser, error) {
+	if data, ok := a.cachedData(md); ok {
+		return data, nil, nil
+	}
+	if !flags.Writable() && a.opts.StreamThresholdBytes >= 0 && md.Size > a.opts.StreamThresholdBytes {
+		if ro, ok := a.opts.Storage.(storage.RangeOpener); ok {
+			lazy, err := a.openRanged(ro, md)
+			if err == nil {
+				return nil, lazy, nil
+			}
+			// Fall back to the whole-object path on any ranged-open error.
+		}
+	}
+	data, err := a.fetchData(md)
+	return data, nil, err
+}
+
+// openRanged opens a ranged reader over the anchored version of md, waiting
+// out eventual consistency like the whole-object read loop does.
+func (a *Agent) openRanged(ro storage.RangeOpener, md *fsmeta.Metadata) (storage.ReaderAtCloser, error) {
+	const maxAttempts = 120
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		ra, err := ro.OpenVersionAt(md.FileID, md.Hash)
+		if err == nil {
+			a.addStat(func(s *Stats) { s.CloudReads++ })
+			return ra, nil
+		}
+		lastErr = err
+		if !errors.Is(err, storage.ErrVersionNotFound) {
+			return nil, fmt.Errorf("core: opening %q for ranged reads: %w", md.Path, err)
+		}
+		a.clk.Sleep(a.opts.ReadRetryInterval)
+	}
+	return nil, fmt.Errorf("core: version of %q never became visible: %w", md.Path, lastErr)
+}
+
 // --- handle operations ---
 
-// ReadAt implements fsapi.Handle. Reads are always served from the in-memory
-// copy (Figure 4: read only touches the memory cache).
+// ReadAt implements fsapi.Handle. Reads are served from the in-memory copy
+// (Figure 4: read only touches the memory cache) — except for large files
+// opened read-only, whose ranged reader fetches only the chunks covering
+// the requested range from the cloud backend.
 func (h *handle) ReadAt(p []byte, off int64) (int, error) {
 	a := h.of.agent
 	a.mu.Lock()
-	defer a.mu.Unlock()
 	if h.closed {
+		a.mu.Unlock()
 		return 0, fsapi.ErrClosed
 	}
 	if !h.flags.Readable() {
+		a.mu.Unlock()
 		return 0, fsapi.ErrPermission
 	}
 	if off < 0 {
+		a.mu.Unlock()
 		return 0, fsapi.ErrInvalid
 	}
+	if h.of.data == nil && h.of.lazy != nil {
+		// Ranged read outside the agent lock: the reader is safe for
+		// concurrent use and may touch the network.
+		lazy := h.of.lazy
+		a.mu.Unlock()
+		return lazy.ReadAt(p, off)
+	}
+	defer a.mu.Unlock()
 	if off >= int64(len(h.of.data)) {
 		return 0, io.EOF
 	}
@@ -319,7 +413,11 @@ func (h *handle) Stat() (fsapi.FileInfo, error) {
 		return fsapi.FileInfo{}, fsapi.ErrClosed
 	}
 	info := h.of.meta.FileInfo()
-	info.Size = int64(len(h.of.data))
+	if h.of.data == nil && h.of.lazy != nil {
+		info.Size = h.of.lazy.Size()
+	} else {
+		info.Size = int64(len(h.of.data))
+	}
 	return info, nil
 }
 
@@ -350,11 +448,16 @@ func (h *handle) Close() error {
 		of.dirty = false
 	}
 	shouldUnlock := lastRef && of.locked
+	var lazyToClose storage.ReaderAtCloser
 	if lastRef {
 		delete(a.openFiles, of.path)
+		lazyToClose, of.lazy = of.lazy, nil
 	}
 	a.mu.Unlock()
 
+	if lazyToClose != nil {
+		_ = lazyToClose.Close()
+	}
 	a.addStat(func(s *Stats) { s.FilesClosed++ })
 
 	if !wasDirty {
@@ -404,10 +507,19 @@ func ifThen(cond bool, v string) string {
 }
 
 // syncToCloud performs the cloud side of a close: write the data version to
-// the storage backend (step w2), then anchor it by updating the metadata
-// (step w3), flushing the PNS when the file is private.
+// the storage backend (step w2) — streaming it chunk-by-chunk for large
+// files when the backend supports it, so the encoded form is never fully
+// resident — then anchor it by updating the metadata (step w3), flushing
+// the PNS when the file is private.
 func (a *Agent) syncToCloud(md *fsmeta.Metadata, hash string, data []byte) error {
-	if err := a.opts.Storage.WriteVersion(md.FileID, hash, data); err != nil {
+	var err error
+	if sw, ok := a.opts.Storage.(storage.StreamWriter); ok &&
+		a.opts.StreamThresholdBytes >= 0 && int64(len(data)) > a.opts.StreamThresholdBytes {
+		err = sw.WriteVersionFrom(md.FileID, hash, bytes.NewReader(data))
+	} else {
+		err = a.opts.Storage.WriteVersion(md.FileID, hash, data)
+	}
+	if err != nil {
 		return fmt.Errorf("core: uploading %q: %w", md.Path, err)
 	}
 	a.addStat(func(s *Stats) { s.CloudWrites++; s.CloudBytesUp += int64(len(data)) })

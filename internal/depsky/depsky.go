@@ -33,6 +33,7 @@ import (
 	"scfs/internal/erasure"
 	"scfs/internal/seccrypto"
 	"scfs/internal/secretshare"
+	"scfs/internal/stream"
 )
 
 // Protocol selects how data is dispersed across the clouds.
@@ -73,16 +74,54 @@ type VersionInfo struct {
 	// Size is the length of the original value.
 	Size int `json:"size"`
 	// BlockHashes[i] is the SHA-256 of the block stored on cloud i, allowing
-	// the reader to discard corrupted blocks.
+	// the reader to discard corrupted blocks. Empty for chunked (v2)
+	// versions, which record ChunkHashes instead.
 	BlockHashes []string `json:"block_hashes"`
 	// Protocol records how the version was encoded.
 	Protocol Protocol `json:"protocol"`
+
+	// ChunkSize is the plaintext bytes per chunk for versions written
+	// through the streaming pipeline (the v2 chunked wire layout). Zero
+	// means the whole-object v1 layout.
+	ChunkSize int `json:"chunk_size,omitempty"`
+	// ChunkCount is the number of chunks of a chunked version.
+	ChunkCount int `json:"chunk_count,omitempty"`
+	// ChunkHashes[j][i] is the SHA-256 of chunk j's frame on cloud i.
+	ChunkHashes [][]string `json:"chunk_hashes,omitempty"`
+}
+
+// Chunked reports whether the version uses the v2 chunked layout.
+func (v *VersionInfo) Chunked() bool { return v.ChunkSize > 0 }
+
+// validChunking reports whether the chunk geometry is internally
+// consistent. Readers check it before slicing buffers by chunk arithmetic,
+// so metadata from a corrupt cloud can fail a read but never panic it.
+func (v *VersionInfo) validChunking() bool {
+	if v.ChunkSize <= 0 || v.Size < 0 || v.ChunkCount < 0 {
+		return false
+	}
+	wantChunks := (v.Size + v.ChunkSize - 1) / v.ChunkSize
+	return v.ChunkCount == wantChunks && len(v.ChunkHashes) == v.ChunkCount
+}
+
+// chunkPlainLen returns the plaintext length of chunk idx.
+func (v *VersionInfo) chunkPlainLen(idx int) int {
+	rem := v.Size - idx*v.ChunkSize
+	if rem > v.ChunkSize {
+		return v.ChunkSize
+	}
+	return rem
 }
 
 // unitMetadata is the metadata object replicated on every cloud.
 type unitMetadata struct {
 	Unit     string        `json:"unit"`
 	Versions []VersionInfo `json:"versions"`
+
+	// certified marks version numbers whose entry was found byte-identical
+	// on at least f+1 clouds during the merge (so at least one correct
+	// cloud vouches for it). Populated by mergeMetadata, never serialized.
+	certified map[uint64]bool
 }
 
 func (m *unitMetadata) find(hash string) *VersionInfo {
@@ -117,6 +156,11 @@ type block struct {
 	KeyShare []byte
 	// Full holds the whole value for the replication protocol (DepSky-A).
 	Full []byte
+	// ChunkIdx and ChunkPlainLen locate a v2 chunked frame within its
+	// version: the chunk's index and how many plaintext bytes it carries.
+	// ChunkIdx is -1 for whole-object v1 frames.
+	ChunkIdx      int
+	ChunkPlainLen int
 }
 
 // Options configures a Manager.
@@ -130,6 +174,12 @@ type Options struct {
 	Protocol Protocol
 	// Prefix namespaces every object written by this manager.
 	Prefix string
+	// ChunkSize is the plaintext bytes per chunk for streamed writes
+	// (WriteFrom). Defaults to stream.DefaultChunkSize (1 MiB).
+	ChunkSize int
+	// WriteWindow bounds the number of chunks simultaneously resident in
+	// the streaming write pipeline. Defaults to stream.DefaultWindow.
+	WriteWindow int
 }
 
 // Manager reads and writes data units spread over the configured clouds.
@@ -202,25 +252,79 @@ func (m *Manager) readMetadataQuorum(unit string) []*unitMetadata {
 
 // mergeMetadata combines per-cloud metadata copies, keeping the union of
 // versions (a version written to a quorum appears in at least one correct
-// copy; corrupted copies are filtered by consistency of the entries).
-func mergeMetadata(unit string, copies []*unitMetadata) *unitMetadata {
-	merged := &unitMetadata{Unit: unit}
-	seen := make(map[uint64]VersionInfo)
+// copy, so the union preserves the paper's availability: reads succeed as
+// long as any correct copy plus f+1 block holders are reachable).
+//
+// Additionally, every version entry found byte-identical on at least f+1
+// clouds is marked certified: a forged entry can live on at most the f
+// faulty clouds, so f+1 identical copies imply at least one correct cloud
+// vouches for it. Whole-object reads verify the final plaintext hash and
+// do not need certification, but the ranged read path trusts the per-chunk
+// frame hashes in the metadata with no end-to-end check — it only serves
+// certified entries and falls back to the verified whole-object path
+// otherwise (see openVersion). Among conflicting uncertified variants of
+// one number, the copy carrying more integrity hashes wins (corrupted or
+// truncated copies carry fewer).
+func (m *Manager) mergeMetadata(unit string, copies []*unitMetadata) *unitMetadata {
+	merged := &unitMetadata{Unit: unit, certified: make(map[uint64]bool)}
+	type candidate struct {
+		info  VersionInfo
+		votes int
+	}
+	// votes[number][canonical-encoding] counts identical copies.
+	votes := make(map[uint64]map[string]*candidate)
 	for _, c := range copies {
 		if c == nil {
 			continue
 		}
 		for _, v := range c.Versions {
-			if existing, ok := seen[v.Number]; !ok || len(v.BlockHashes) > len(existing.BlockHashes) {
-				seen[v.Number] = v
+			enc, err := json.Marshal(v)
+			if err != nil {
+				continue
+			}
+			byEnc := votes[v.Number]
+			if byEnc == nil {
+				byEnc = make(map[string]*candidate)
+				votes[v.Number] = byEnc
+			}
+			if cand := byEnc[string(enc)]; cand != nil {
+				cand.votes++
+			} else {
+				byEnc[string(enc)] = &candidate{info: v, votes: 1}
 			}
 		}
 	}
-	for _, v := range seen {
-		merged.Versions = append(merged.Versions, v)
+	needed := m.opts.F + 1
+	for number, byEnc := range votes {
+		var best *candidate
+		for _, cand := range byEnc {
+			// A certified variant always wins; at most one can reach f+1
+			// votes (two would require two correct clouds to disagree about
+			// a single-writer register). Otherwise prefer the richest copy.
+			switch {
+			case cand.votes >= needed:
+				best = cand
+				merged.certified[number] = true
+			case merged.certified[number]:
+				// keep the certified best
+			case best == nil || versionRichness(cand.info) > versionRichness(best.info):
+				best = cand
+			}
+		}
+		merged.Versions = append(merged.Versions, best.info)
 	}
 	sort.Slice(merged.Versions, func(i, j int) bool { return merged.Versions[i].Number < merged.Versions[j].Number })
 	return merged
+}
+
+// versionRichness orders conflicting uncertified copies of one version
+// number: the copy carrying more integrity hashes is the more complete one.
+func versionRichness(v VersionInfo) int {
+	n := len(v.BlockHashes)
+	for _, h := range v.ChunkHashes {
+		n += len(h)
+	}
+	return n
 }
 
 // writeMetadataQuorum pushes the metadata object to all clouds and returns
@@ -236,29 +340,58 @@ func (m *Manager) writeMetadataQuorum(md *unitMetadata) error {
 // writeQuorum writes per-cloud payloads (payload(i) for cloud i) and waits
 // for n-f successes. Remaining uploads continue in the background.
 func (m *Manager) writeQuorum(name string, payload func(i int) []byte) error {
-	type outcome struct{ err error }
-	results := make(chan outcome, m.N())
+	return m.writeQuorumHooked(name, payload, nil)
+}
+
+// writeQuorumHooked is writeQuorum with a per-cloud completion hook:
+// onCloudDone(i) is called (from the collector goroutine) as soon as cloud
+// i's upload attempt has finished, whether it succeeded or failed —
+// including the attempts that keep running in the background after the
+// quorum verdict. The streaming pipeline uses it to recycle each cloud's
+// frame buffer the moment that cloud is done with it, so one slow cloud
+// only pins its own frames, not the whole chunk's.
+func (m *Manager) writeQuorumHooked(name string, payload func(i int) []byte, onCloudDone func(i int)) error {
+	n := m.N()
+	type outcome struct {
+		idx int
+		err error
+	}
+	results := make(chan outcome, n)
 	for i, c := range m.opts.Clouds {
 		go func(i int, c cloud.ObjectStore) {
-			results <- outcome{err: c.Put(name, payload(i))}
+			results <- outcome{idx: i, err: c.Put(name, payload(i))}
 		}(i, c)
 	}
-	successes, failures := 0, 0
-	for i := 0; i < m.N(); i++ {
-		o := <-results
-		if o.err == nil {
-			successes++
-		} else {
-			failures++
+	verdict := make(chan error, 1)
+	go func() {
+		successes, failures, decided := 0, 0, false
+		for i := 0; i < n; i++ {
+			o := <-results
+			if onCloudDone != nil {
+				onCloudDone(o.idx)
+			}
+			if o.err == nil {
+				successes++
+			} else {
+				failures++
+			}
+			if decided {
+				continue
+			}
+			switch {
+			case successes >= m.QuorumSize():
+				verdict <- nil
+				decided = true
+			case failures > m.opts.F:
+				verdict <- fmt.Errorf("%w: %d failures out of %d clouds", ErrQuorumWrite, failures, n)
+				decided = true
+			}
 		}
-		if successes >= m.QuorumSize() {
-			return nil
+		if !decided {
+			verdict <- fmt.Errorf("%w: only %d acks", ErrQuorumWrite, successes)
 		}
-		if failures > m.opts.F {
-			return fmt.Errorf("%w: %d failures out of %d clouds", ErrQuorumWrite, failures, m.N())
-		}
-	}
-	return fmt.Errorf("%w: only %d acks", ErrQuorumWrite, successes)
+	}()
+	return <-verdict
 }
 
 // --- public API ---
@@ -267,7 +400,7 @@ func (m *Manager) writeQuorum(name string, payload func(i int) []byte) error {
 // SCFS serializes writers per file (via locks), matching DepSky's
 // single-writer register semantics.
 func (m *Manager) Write(unit string, data []byte) (VersionInfo, error) {
-	merged := mergeMetadata(unit, m.readMetadataQuorum(unit))
+	merged := m.mergeMetadata(unit, m.readMetadataQuorum(unit))
 	var next uint64 = 1
 	if newest := merged.newest(); newest != nil {
 		next = newest.Number + 1
@@ -342,7 +475,7 @@ func (m *Manager) encode(data []byte) ([]block, VersionInfo, error) {
 
 // Read returns the newest version of unit.
 func (m *Manager) Read(unit string) ([]byte, VersionInfo, error) {
-	merged := mergeMetadata(unit, m.readMetadataQuorum(unit))
+	merged := m.mergeMetadata(unit, m.readMetadataQuorum(unit))
 	newest := merged.newest()
 	if newest == nil {
 		return nil, VersionInfo{}, ErrUnitNotFound
@@ -354,7 +487,7 @@ func (m *Manager) Read(unit string) ([]byte, VersionInfo, error) {
 // ReadMatching returns the version of unit whose plaintext hash equals hash.
 // This is the operation added to DepSky for SCFS's consistency anchor.
 func (m *Manager) ReadMatching(unit, hash string) ([]byte, VersionInfo, error) {
-	merged := mergeMetadata(unit, m.readMetadataQuorum(unit))
+	merged := m.mergeMetadata(unit, m.readMetadataQuorum(unit))
 	info := merged.find(hash)
 	if info == nil {
 		return nil, VersionInfo{}, ErrVersionNotFound
@@ -365,7 +498,7 @@ func (m *Manager) ReadMatching(unit, hash string) ([]byte, VersionInfo, error) {
 
 // ListVersions returns all known versions of a unit, oldest first.
 func (m *Manager) ListVersions(unit string) ([]VersionInfo, error) {
-	merged := mergeMetadata(unit, m.readMetadataQuorum(unit))
+	merged := m.mergeMetadata(unit, m.readMetadataQuorum(unit))
 	if len(merged.Versions) == 0 {
 		return nil, nil
 	}
@@ -375,7 +508,7 @@ func (m *Manager) ListVersions(unit string) ([]VersionInfo, error) {
 // DeleteVersion removes the blocks of one version from all clouds and drops
 // it from the metadata (used by the SCFS garbage collector).
 func (m *Manager) DeleteVersion(unit string, number uint64) error {
-	merged := mergeMetadata(unit, m.readMetadataQuorum(unit))
+	merged := m.mergeMetadata(unit, m.readMetadataQuorum(unit))
 	idx := -1
 	for i, v := range merged.Versions {
 		if v.Number == number {
@@ -386,21 +519,49 @@ func (m *Manager) DeleteVersion(unit string, number uint64) error {
 	if idx < 0 {
 		return ErrVersionNotFound
 	}
+	removed := merged.Versions[idx]
 	merged.Versions = append(merged.Versions[:idx], merged.Versions[idx+1:]...)
 	if err := m.writeMetadataQuorum(merged); err != nil {
 		return err
 	}
-	name := m.blockName(unit, number)
-	var wg sync.WaitGroup
-	for _, c := range m.opts.Clouds {
-		wg.Add(1)
-		go func(c cloud.ObjectStore) {
-			defer wg.Done()
-			_ = c.Delete(name) // best effort; failures only waste space
-		}(c)
-	}
-	wg.Wait()
+	m.deleteVersionBlocks(unit, removed)
 	return nil
+}
+
+// DeleteVersions removes several versions of a unit with a single metadata
+// round trip (DeleteVersion costs one quorum read and one quorum write per
+// call; garbage-collection sweeps delete many versions at once). It returns
+// how many of the requested versions existed and were removed; absent
+// numbers are skipped silently.
+func (m *Manager) DeleteVersions(unit string, numbers []uint64) (int, error) {
+	if len(numbers) == 0 {
+		return 0, nil
+	}
+	doomed := make(map[uint64]bool, len(numbers))
+	for _, n := range numbers {
+		doomed[n] = true
+	}
+	merged := m.mergeMetadata(unit, m.readMetadataQuorum(unit))
+	var removed []VersionInfo
+	kept := merged.Versions[:0]
+	for _, v := range merged.Versions {
+		if doomed[v.Number] {
+			removed = append(removed, v)
+		} else {
+			kept = append(kept, v)
+		}
+	}
+	if len(removed) == 0 {
+		return 0, nil
+	}
+	merged.Versions = kept
+	if err := m.writeMetadataQuorum(merged); err != nil {
+		return 0, err
+	}
+	for _, v := range removed {
+		m.deleteVersionBlocks(unit, v)
+	}
+	return len(removed), nil
 }
 
 // DeleteUnit removes every version and the metadata of the unit.
@@ -409,10 +570,12 @@ func (m *Manager) DeleteUnit(unit string) error {
 	if err != nil {
 		return err
 	}
+	numbers := make([]uint64, 0, len(versions))
 	for _, v := range versions {
-		if err := m.DeleteVersion(unit, v.Number); err != nil && !errors.Is(err, ErrVersionNotFound) {
-			return err
-		}
+		numbers = append(numbers, v.Number)
+	}
+	if _, err := m.DeleteVersions(unit, numbers); err != nil {
+		return err
 	}
 	name := m.metaName(unit)
 	var wg sync.WaitGroup
@@ -430,6 +593,11 @@ func (m *Manager) DeleteUnit(unit string) error {
 // readVersion fetches blocks for the given version until it can reconstruct
 // and verify the value.
 func (m *Manager) readVersion(unit string, info VersionInfo) ([]byte, error) {
+	if info.Chunked() {
+		return m.readChunkedVersion(unit, info)
+	}
+	scratch := &decodeScratch{}
+	defer scratch.release()
 	name := m.blockName(unit, info.Number)
 	type fetched struct {
 		idx int
@@ -470,7 +638,7 @@ func (m *Manager) readVersion(unit string, info VersionInfo) ([]byte, error) {
 		}
 		blocks[f.idx] = f.blk
 		got++
-		if data, err := m.tryDecode(blocks, info); err == nil {
+		if data, err := m.tryDecode(blocks, info, scratch); err == nil {
 			return data, nil
 		}
 	}
@@ -478,16 +646,60 @@ func (m *Manager) readVersion(unit string, info VersionInfo) ([]byte, error) {
 		return nil, ErrQuorumRead
 	}
 	// All responses are in; one final attempt with everything we have.
-	data, err := m.tryDecode(blocks, info)
+	data, err := m.tryDecode(blocks, info, scratch)
 	if err != nil {
 		return nil, err
 	}
 	return data, nil
 }
 
+// decodeScratch hands out pooled buffers that are reused across the decode
+// attempts of one read (tryDecode runs once per arriving block, and a 1 MiB
+// degraded read used to allocate ~5 MB across those attempts). Buffers are
+// recycled by position: attempt k asks for the same sequence of sizes as
+// attempt k-1, so reset() lets the next attempt reuse them in place.
+type decodeScratch struct {
+	bufs []([]byte)
+	next int
+}
+
+// reset restarts buffer handout for a new decode attempt.
+func (s *decodeScratch) reset() { s.next = 0 }
+
+// get returns a pooled buffer of length n, reusing the buffer handed out at
+// the same position of a previous attempt when it is large enough.
+func (s *decodeScratch) get(n int) []byte {
+	if s.next < len(s.bufs) {
+		if cap(s.bufs[s.next]) >= n {
+			b := s.bufs[s.next][:n]
+			s.next++
+			return b
+		}
+		stream.Buffers.Put(s.bufs[s.next])
+		s.bufs[s.next] = stream.Buffers.Get(n)
+		b := s.bufs[s.next]
+		s.next++
+		return b
+	}
+	b := stream.Buffers.Get(n)
+	s.bufs = append(s.bufs, b)
+	s.next++
+	return b
+}
+
+// release returns every scratch buffer to the shared pool.
+func (s *decodeScratch) release() {
+	for _, b := range s.bufs {
+		stream.Buffers.Put(b)
+	}
+	s.bufs = nil
+	s.next = 0
+}
+
 // tryDecode attempts to reconstruct and verify the value from the blocks
 // collected so far.
-func (m *Manager) tryDecode(blocks []*block, info VersionInfo) ([]byte, error) {
+func (m *Manager) tryDecode(blocks []*block, info VersionInfo, scratch *decodeScratch) ([]byte, error) {
+	scratch.reset()
 	if info.Protocol == ProtocolA {
 		for _, b := range blocks {
 			if b == nil || b.Full == nil {
@@ -519,7 +731,18 @@ func (m *Manager) tryDecode(blocks []*block, info VersionInfo) ([]byte, error) {
 	if present < needed || len(shares) < needed {
 		return nil, ErrQuorumRead
 	}
-	if err := m.coder.Reconstruct(shards); err != nil {
+	// Rebuild only the missing data shards (Join never reads parity), into
+	// scratch buffers reused across attempts.
+	missingData := 0
+	shardSize := 0
+	for i, s := range shards {
+		if s != nil {
+			shardSize = len(s)
+		} else if i < m.coder.DataShards {
+			missingData++
+		}
+	}
+	if err := m.coder.ReconstructDataInto(shards, scratch.get(missingData*shardSize)); err != nil {
 		return nil, fmt.Errorf("depsky: reconstructing: %w", err)
 	}
 	key, err := secretshare.Combine(shares, needed)
@@ -527,12 +750,12 @@ func (m *Manager) tryDecode(blocks []*block, info VersionInfo) ([]byte, error) {
 		return nil, fmt.Errorf("depsky: recovering key: %w", err)
 	}
 	// The ciphertext length is the plaintext length plus the IV prefix.
-	cipherLen := info.Size + 16
-	ciphertext, err := m.coder.Join(shards, cipherLen)
-	if err != nil {
+	cipherLen := info.Size + seccrypto.CiphertextOverhead
+	ciphertext := scratch.get(cipherLen)
+	if err := m.coder.JoinInto(ciphertext, shards, cipherLen); err != nil {
 		return nil, fmt.Errorf("depsky: joining shards: %w", err)
 	}
-	plaintext, err := seccrypto.Decrypt(key, ciphertext)
+	plaintext, err := seccrypto.DecryptInto(make([]byte, info.Size), key, ciphertext)
 	if err != nil {
 		return nil, fmt.Errorf("depsky: decrypting: %w", err)
 	}

@@ -1,0 +1,527 @@
+package depsky
+
+// Streaming data plane: chunked writes and ranged reads.
+//
+// The slice-based API (Write/Read) materializes the ciphertext and every
+// erasure shard of a version in memory before the first byte reaches a
+// cloud — ~2.5x the value size resident for DepSky-CA. The entry points in
+// this file bound that: WriteFrom consumes an io.Reader in fixed-size
+// chunks and overlaps encrypt → erasure-encode → per-shard hash → quorum
+// upload across a small window of in-flight chunks (see internal/stream),
+// and Open/OpenRange fetch — and, under faults, reconstruct — only the
+// chunks covering the requested byte range, reusing the coder's cached
+// decode matrices. All chunk, shard and frame buffers come from the
+// process-wide stream.Buffers pool shared with the whole-object read path.
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"scfs/internal/cloud"
+	"scfs/internal/seccrypto"
+	"scfs/internal/secretshare"
+	"scfs/internal/stream"
+)
+
+// chunkSize returns the configured streamed-write chunk size.
+func (m *Manager) chunkSize() int {
+	if m.opts.ChunkSize > 0 {
+		return m.opts.ChunkSize
+	}
+	return stream.DefaultChunkSize
+}
+
+// writeWindow returns the configured bound on in-flight chunks.
+func (m *Manager) writeWindow() int {
+	if m.opts.WriteWindow > 0 {
+		return m.opts.WriteWindow
+	}
+	return stream.DefaultWindow
+}
+
+// chunkName is the per-cloud object name of one chunk of one version.
+func (m *Manager) chunkName(unit string, version uint64, idx int) string {
+	return fmt.Sprintf("%sdsky/%s/v%d/c%d", m.opts.Prefix, unit, version, idx)
+}
+
+// encodedChunk is the output of the encode pipeline stage for one chunk:
+// one framed payload per cloud plus the frame hashes recorded in the
+// version metadata.
+type encodedChunk struct {
+	frames [][]byte
+	hashes []string
+}
+
+// WriteFrom streams r as the next version of unit using the chunked v2
+// layout. At most WriteWindow chunks are resident at any moment, so the
+// peak memory of a write is ~3 chunk windows regardless of the stream
+// length; per-shard hashing of one chunk runs concurrently with the quorum
+// uploads of earlier chunks. The returned VersionInfo carries the SHA-256
+// of the whole plaintext stream, computed incrementally.
+//
+// Like Write, WriteFrom assumes a single writer per data unit (SCFS
+// serializes writers via its lock service).
+func (m *Manager) WriteFrom(unit string, r io.Reader) (VersionInfo, error) {
+	merged := m.mergeMetadata(unit, m.readMetadataQuorum(unit))
+	var next uint64 = 1
+	if newest := merged.newest(); newest != nil {
+		next = newest.Number + 1
+	}
+
+	var key []byte
+	var shares []secretshare.Share
+	if m.opts.Protocol == ProtocolCA {
+		var err error
+		key, err = seccrypto.NewKey()
+		if err != nil {
+			return VersionInfo{}, err
+		}
+		shares, err = secretshare.Split(key, m.N(), m.opts.F+1, nil)
+		if err != nil {
+			return VersionInfo{}, fmt.Errorf("depsky: secret sharing: %w", err)
+		}
+	}
+
+	var mu sync.Mutex
+	var chunkHashes [][]string
+	res, err := stream.Run(r,
+		stream.Config{ChunkSize: m.chunkSize(), Window: m.writeWindow(), Pool: stream.Buffers},
+		func(idx int, plain []byte) (encodedChunk, error) {
+			return m.encodeChunk(idx, plain, key, shares)
+		},
+		func(idx int, ec encodedChunk) error {
+			// Each cloud's frame is recycled the moment that cloud's upload
+			// attempt finishes — quorum laggards keep only their own frame
+			// pinned, so a slow (but live) cloud cannot accumulate the whole
+			// stream's frames. A cloud whose Put never returns still pins
+			// one frame per chunk; that leak is inherent to the
+			// fire-and-forget quorum write (the Put API is not cancelable).
+			err := m.writeQuorumHooked(m.chunkName(unit, next, idx),
+				func(i int) []byte { return ec.frames[i] },
+				func(i int) { stream.Buffers.Put(ec.frames[i]) })
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			for len(chunkHashes) <= idx {
+				chunkHashes = append(chunkHashes, nil)
+			}
+			chunkHashes[idx] = ec.hashes
+			mu.Unlock()
+			return nil
+		})
+	if err != nil {
+		return VersionInfo{}, err
+	}
+
+	info := VersionInfo{
+		Number:     next,
+		DataHash:   hex.EncodeToString(res.Sum256[:]),
+		Size:       int(res.Size),
+		Protocol:   m.opts.Protocol,
+		ChunkSize:  m.chunkSize(),
+		ChunkCount: res.Chunks,
+	}
+	info.ChunkHashes = chunkHashes[:res.Chunks]
+	merged.Versions = append(merged.Versions, info)
+	if err := m.writeMetadataQuorum(merged); err != nil {
+		return VersionInfo{}, err
+	}
+	return info, nil
+}
+
+// encodeChunk builds the per-cloud v2 frames for one plaintext chunk:
+// encrypt (CA), erasure-split, frame, hash. Every buffer it touches comes
+// from (and returns to) the shared pool; the returned frames are pooled by
+// the upload stage once all clouds are done with them.
+func (m *Manager) encodeChunk(idx int, plain []byte, key []byte, shares []secretshare.Share) (encodedChunk, error) {
+	n := m.N()
+	ec := encodedChunk{frames: make([][]byte, n), hashes: make([]string, n)}
+	if m.opts.Protocol == ProtocolA {
+		for i := 0; i < n; i++ {
+			b := block{Full: plain, ShardIdx: i, ChunkIdx: idx, ChunkPlainLen: len(plain)}
+			frame := stream.Buffers.Get(frameLenV2(0, len(plain)))
+			encodeBlockV2(frame, ProtocolA, &b)
+			ec.frames[i] = frame
+			ec.hashes[i] = seccrypto.Hash(frame)
+		}
+		return ec, nil
+	}
+
+	ctLen := len(plain) + seccrypto.CiphertextOverhead
+	ciphertext := stream.Buffers.Get(ctLen)
+	defer stream.Buffers.Put(ciphertext)
+	if _, err := seccrypto.EncryptInto(ciphertext, key, plain); err != nil {
+		return ec, err
+	}
+	backing := stream.Buffers.Get(m.coder.TotalShards() * m.coder.ShardSize(ctLen))
+	defer stream.Buffers.Put(backing)
+	shards, err := m.coder.SplitInto(ciphertext, backing)
+	if err != nil {
+		return ec, fmt.Errorf("depsky: erasure coding chunk %d: %w", idx, err)
+	}
+	for i := 0; i < n; i++ {
+		b := block{
+			Shard:         shards[i],
+			ShardIdx:      i,
+			KeyX:          shares[i].X,
+			KeyShare:      shares[i].Data,
+			ChunkIdx:      idx,
+			ChunkPlainLen: len(plain),
+		}
+		frame := stream.Buffers.Get(frameLenV2(len(shares[i].Data), len(shards[i])))
+		encodeBlockV2(frame, ProtocolCA, &b)
+		ec.frames[i] = frame
+		ec.hashes[i] = seccrypto.Hash(frame)
+	}
+	return ec, nil
+}
+
+// --- ranged reads ---
+
+// Open returns a random-access reader over the newest version of unit.
+// Chunked versions fetch only the chunks a read touches; v1 whole-object
+// versions fall back to fetching the full value on first access.
+func (m *Manager) Open(unit string) (*stream.Reader, VersionInfo, error) {
+	merged := m.mergeMetadata(unit, m.readMetadataQuorum(unit))
+	newest := merged.newest()
+	if newest == nil {
+		return nil, VersionInfo{}, ErrUnitNotFound
+	}
+	return m.openVersion(unit, *newest, merged.certified[newest.Number]), *newest, nil
+}
+
+// OpenMatching is Open for the version whose plaintext hash equals hash
+// (the read-by-hash SCFS's consistency anchor needs).
+func (m *Manager) OpenMatching(unit, hash string) (*stream.Reader, VersionInfo, error) {
+	merged := m.mergeMetadata(unit, m.readMetadataQuorum(unit))
+	info := merged.find(hash)
+	if info == nil {
+		return nil, VersionInfo{}, ErrVersionNotFound
+	}
+	return m.openVersion(unit, *info, merged.certified[info.Number]), *info, nil
+}
+
+// ErrWholeObjectOnly is returned by OpenRangedMatching for versions the
+// manager cannot serve by per-chunk ranged fetches (v1 layouts, or chunked
+// entries that are uncertified or malformed): callers should fall back to
+// a whole-object read path, which verifies the full value hash and can
+// cache the result.
+var ErrWholeObjectOnly = errors.New("depsky: version requires the whole-object read path")
+
+// OpenRangedMatching is OpenMatching restricted to genuinely ranged
+// serving. The SCFS storage backend uses it so that only reads that
+// actually save memory bypass the agent's whole-object caches.
+func (m *Manager) OpenRangedMatching(unit, hash string) (*stream.Reader, VersionInfo, error) {
+	merged := m.mergeMetadata(unit, m.readMetadataQuorum(unit))
+	info := merged.find(hash)
+	if info == nil {
+		return nil, VersionInfo{}, ErrVersionNotFound
+	}
+	if !info.Chunked() || !merged.certified[info.Number] || !info.validChunking() {
+		return nil, *info, ErrWholeObjectOnly
+	}
+	return stream.NewReader(&chunkFetcher{m: m, unit: unit, info: *info}, stream.Buffers), *info, nil
+}
+
+// OpenRange returns a reader over [off, off+length) of the newest version
+// of unit, fetching only the chunks covering that range. Ranges beyond the
+// end are truncated.
+func (m *Manager) OpenRange(unit string, off, length int64) (io.ReadCloser, VersionInfo, error) {
+	r, info, err := m.Open(unit)
+	if err != nil {
+		return nil, VersionInfo{}, err
+	}
+	return r.Section(off, length), info, nil
+}
+
+// openVersion builds the stream.Reader for one version. Chunks are served
+// individually only for certified chunked entries with consistent geometry:
+// the per-chunk path has no end-to-end plaintext hash check, so its trust
+// rests on the metadata's ChunkHashes, which certification pins to at
+// least one correct cloud. Anything else — v1 layouts, uncertified or
+// malformed entries — goes through the whole-object path, which verifies
+// the full value against DataHash before serving any byte.
+func (m *Manager) openVersion(unit string, info VersionInfo, certified bool) *stream.Reader {
+	if info.Chunked() && certified && info.validChunking() {
+		return stream.NewReader(&chunkFetcher{m: m, unit: unit, info: info}, stream.Buffers)
+	}
+	return stream.NewReader(&wholeFetcher{m: m, unit: unit, info: info}, stream.Buffers)
+}
+
+// readChunkedVersion reassembles a full chunked version (the whole-object
+// Read path for v2 versions) and verifies the stream hash. Chunks are
+// fetched with a bounded-parallel window so the read costs
+// ceil(chunks/window) round-trip times, not one per chunk.
+func (m *Manager) readChunkedVersion(unit string, info VersionInfo) ([]byte, error) {
+	if !info.validChunking() {
+		return nil, fmt.Errorf("%w: inconsistent chunk geometry (size %d, chunk %d x %d)", ErrIntegrity, info.Size, info.ChunkSize, info.ChunkCount)
+	}
+	f := &chunkFetcher{m: m, unit: unit, info: info}
+	out := make([]byte, info.Size)
+	window := m.writeWindow()
+	sem := make(chan struct{}, window)
+	errs := make(chan error, info.ChunkCount)
+	var wg sync.WaitGroup
+	for idx := 0; idx < info.ChunkCount; idx++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := idx * info.ChunkSize
+			if err := f.Fetch(idx, out[start:start+info.chunkPlainLen(idx)]); err != nil {
+				errs <- err
+			}
+		}(idx)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, err
+	}
+	if seccrypto.Hash(out) != info.DataHash {
+		return nil, ErrIntegrity
+	}
+	return out, nil
+}
+
+// chunkFetcher decodes individual chunks of a v2 version. The secret-shared
+// key is combined once on the first chunk and cached for the rest of the
+// read.
+type chunkFetcher struct {
+	m    *Manager
+	unit string
+	info VersionInfo
+
+	mu  sync.Mutex
+	key []byte
+}
+
+// Size implements stream.Fetcher.
+func (f *chunkFetcher) Size() int64 { return int64(f.info.Size) }
+
+// ChunkSize implements stream.Fetcher.
+func (f *chunkFetcher) ChunkSize() int { return f.info.ChunkSize }
+
+// Close implements stream.Fetcher.
+func (f *chunkFetcher) Close() error { return nil }
+
+// cachedKey returns the version key recovered by a previous chunk, if any.
+func (f *chunkFetcher) cachedKey() []byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.key
+}
+
+// setKey caches the recovered version key.
+func (f *chunkFetcher) setKey(key []byte) {
+	f.mu.Lock()
+	f.key = key
+	f.mu.Unlock()
+}
+
+// Fetch implements stream.Fetcher: fan the chunk's frame reads over all
+// clouds, verify each frame against the metadata hashes, and decode as soon
+// as enough verified frames arrived — reconstructing missing shards for
+// degraded reads.
+func (f *chunkFetcher) Fetch(idx int, dst []byte) error {
+	m := f.m
+	info := f.info
+	if idx < 0 || idx >= info.ChunkCount {
+		return fmt.Errorf("depsky: chunk %d out of range (version has %d)", idx, info.ChunkCount)
+	}
+	if len(dst) != info.chunkPlainLen(idx) {
+		return fmt.Errorf("depsky: chunk %d buffer is %d bytes, want %d", idx, len(dst), info.chunkPlainLen(idx))
+	}
+	var hashes []string
+	if idx < len(info.ChunkHashes) {
+		hashes = info.ChunkHashes[idx]
+	}
+	name := m.chunkName(f.unit, info.Number, idx)
+	results := make(chan *block, m.N())
+	var wg sync.WaitGroup
+	for i, c := range m.opts.Clouds {
+		wg.Add(1)
+		go func(i int, c cloud.ObjectStore) {
+			defer wg.Done()
+			data, err := c.Get(name)
+			if err != nil {
+				results <- nil
+				return
+			}
+			// Discard frames whose hash does not match the metadata (this
+			// is how silently corrupting clouds are tolerated).
+			if i < len(hashes) && hashes[i] != "" && !seccrypto.VerifyHash(data, hashes[i]) {
+				results <- nil
+				return
+			}
+			b, err := decodeBlock(data)
+			if err != nil || b.ChunkIdx != idx || b.ChunkPlainLen != len(dst) {
+				results <- nil
+				return
+			}
+			if b.ShardIdx != i {
+				results <- nil
+				return
+			}
+			results <- b
+		}(i, c)
+	}
+	go func() { wg.Wait(); close(results) }()
+
+	scratch := &decodeScratch{}
+	defer scratch.release()
+	blocks := make([]*block, 0, m.N())
+	got := 0
+	for b := range results {
+		if b == nil {
+			continue
+		}
+		blocks = append(blocks, b)
+		got++
+		if err := f.decodeChunk(idx, blocks, dst, scratch); err == nil {
+			return nil
+		}
+	}
+	if got == 0 {
+		return ErrQuorumRead
+	}
+	return f.decodeChunk(idx, blocks, dst, scratch)
+}
+
+// decodeChunk attempts to decode one chunk into dst from the verified
+// frames collected so far.
+func (f *chunkFetcher) decodeChunk(idx int, blocks []*block, dst []byte, scratch *decodeScratch) error {
+	m := f.m
+	scratch.reset()
+	if f.info.Protocol == ProtocolA {
+		for _, b := range blocks {
+			if b.Full != nil && len(b.Full) == len(dst) {
+				copy(dst, b.Full)
+				return nil
+			}
+		}
+		return ErrQuorumRead
+	}
+
+	needed := m.opts.F + 1
+	shards := make([][]byte, m.coder.TotalShards())
+	var shares []secretshare.Share
+	present := 0
+	shardSize := 0
+	for _, b := range blocks {
+		if b.Shard == nil || b.ShardIdx < 0 || b.ShardIdx >= len(shards) {
+			continue
+		}
+		if shards[b.ShardIdx] == nil {
+			present++
+		}
+		shards[b.ShardIdx] = b.Shard
+		shardSize = len(b.Shard)
+		if b.KeyShare != nil {
+			shares = append(shares, secretshare.Share{X: b.KeyX, Data: b.KeyShare})
+		}
+	}
+	key := f.cachedKey()
+	if present < needed || (key == nil && len(shares) < needed) {
+		return ErrQuorumRead
+	}
+	if key == nil {
+		combined, err := secretshare.Combine(shares, needed)
+		if err != nil {
+			return fmt.Errorf("depsky: recovering key: %w", err)
+		}
+		key = combined
+		f.setKey(key)
+	}
+
+	missingData := 0
+	for i := 0; i < m.coder.DataShards; i++ {
+		if shards[i] == nil {
+			missingData++
+		}
+	}
+	if err := m.coder.ReconstructDataInto(shards, scratch.get(missingData*shardSize)); err != nil {
+		return fmt.Errorf("depsky: reconstructing chunk %d: %w", idx, err)
+	}
+	cipherLen := len(dst) + seccrypto.CiphertextOverhead
+	ciphertext := scratch.get(cipherLen)
+	if err := m.coder.JoinInto(ciphertext, shards, cipherLen); err != nil {
+		return fmt.Errorf("depsky: joining chunk %d: %w", idx, err)
+	}
+	if _, err := seccrypto.DecryptInto(dst, key, ciphertext); err != nil {
+		return fmt.Errorf("depsky: decrypting chunk %d: %w", idx, err)
+	}
+	return nil
+}
+
+// wholeFetcher adapts a v1 whole-object version to the chunk interface so
+// pre-upgrade units stay readable through Open/OpenRange: the full value is
+// fetched (and verified) once, on first access, and served as one chunk.
+type wholeFetcher struct {
+	m    *Manager
+	unit string
+	info VersionInfo
+
+	once sync.Once
+	data []byte
+	err  error
+}
+
+// Size implements stream.Fetcher.
+func (f *wholeFetcher) Size() int64 { return int64(f.info.Size) }
+
+// ChunkSize implements stream.Fetcher: the whole value is one chunk.
+func (f *wholeFetcher) ChunkSize() int {
+	if f.info.Size == 0 {
+		return 1
+	}
+	return f.info.Size
+}
+
+// Close implements stream.Fetcher.
+func (f *wholeFetcher) Close() error { return nil }
+
+// Fetch implements stream.Fetcher.
+func (f *wholeFetcher) Fetch(idx int, dst []byte) error {
+	if idx != 0 {
+		return fmt.Errorf("depsky: whole-object version has one chunk, got request for %d", idx)
+	}
+	f.once.Do(func() { f.data, f.err = f.m.readVersion(f.unit, f.info) })
+	if f.err != nil {
+		return f.err
+	}
+	if len(dst) != len(f.data) {
+		return fmt.Errorf("depsky: buffer is %d bytes, value is %d", len(dst), len(f.data))
+	}
+	copy(dst, f.data)
+	return nil
+}
+
+// DeleteVersionBlocks removes the per-cloud objects of one version,
+// handling both layouts; used by DeleteVersion.
+func (m *Manager) deleteVersionBlocks(unit string, info VersionInfo) {
+	names := make([]string, 0, 1+info.ChunkCount)
+	if info.Chunked() {
+		for idx := 0; idx < info.ChunkCount; idx++ {
+			names = append(names, m.chunkName(unit, info.Number, idx))
+		}
+	} else {
+		names = append(names, m.blockName(unit, info.Number))
+	}
+	var wg sync.WaitGroup
+	for _, c := range m.opts.Clouds {
+		wg.Add(1)
+		go func(c cloud.ObjectStore) {
+			defer wg.Done()
+			for _, name := range names {
+				_ = c.Delete(name) // best effort; failures only waste space
+			}
+		}(c)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,510 @@
+package depsky
+
+import (
+	"bytes"
+	"crypto/rand"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+
+	"scfs/internal/cloudsim"
+	"scfs/internal/seccrypto"
+)
+
+// newChunkedManager builds a 4-cloud f=1 manager with a small chunk size so
+// multi-chunk paths are exercised cheaply.
+func newChunkedManager(t *testing.T, protocol Protocol, chunkSize int) ([]*cloudsim.Provider, *Manager) {
+	t.Helper()
+	providers, clients := testClouds(t, 4)
+	m, err := New(Options{Clouds: clients, F: 1, Protocol: protocol, ChunkSize: chunkSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return providers, m
+}
+
+func randBytes(t *testing.T, n int) []byte {
+	t.Helper()
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestWriteFromChunkBoundaries pins round-trip correctness at every chunk
+// boundary: 0, 1, chunkSize-1, chunkSize, chunkSize+1 and multi-chunk.
+func TestWriteFromChunkBoundaries(t *testing.T) {
+	const cs = 4096
+	for _, protocol := range []Protocol{ProtocolCA, ProtocolA} {
+		_, m := newChunkedManager(t, protocol, cs)
+		for _, size := range []int{0, 1, cs - 1, cs, cs + 1, 3*cs + 100, 5 * cs} {
+			data := randBytes(t, size)
+			unit := fmt.Sprintf("%s-%d", protocol, size)
+			info, err := m.WriteFrom(unit, bytes.NewReader(data))
+			if err != nil {
+				t.Fatalf("%s size %d: WriteFrom: %v", protocol, size, err)
+			}
+			wantChunks := (size + cs - 1) / cs
+			if info.Size != size || info.ChunkSize != cs || info.ChunkCount != wantChunks {
+				t.Fatalf("%s size %d: info = %+v", protocol, size, info)
+			}
+			if len(info.ChunkHashes) != wantChunks {
+				t.Fatalf("%s size %d: %d chunk hash rows, want %d", protocol, size, len(info.ChunkHashes), wantChunks)
+			}
+
+			// Whole-object read path (Read) understands chunked versions.
+			got, gotInfo, err := m.Read(unit)
+			if err != nil {
+				t.Fatalf("%s size %d: Read: %v", protocol, size, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("%s size %d: Read mismatch", protocol, size)
+			}
+			if gotInfo.DataHash != info.DataHash {
+				t.Fatalf("%s size %d: hash mismatch", protocol, size)
+			}
+
+			// Streaming read path.
+			r, _, err := m.Open(unit)
+			if err != nil {
+				t.Fatalf("%s size %d: Open: %v", protocol, size, err)
+			}
+			streamed, err := io.ReadAll(r)
+			if err != nil {
+				t.Fatalf("%s size %d: streamed read: %v", protocol, size, err)
+			}
+			if !bytes.Equal(streamed, data) {
+				t.Fatalf("%s size %d: streamed read mismatch", protocol, size)
+			}
+			r.Close()
+		}
+	}
+}
+
+// TestOpenRangeFetchesOnlyCoveringChunks checks ranged reads return the
+// right bytes and only touch the chunks covering the range.
+func TestOpenRangeFetchesOnlyCoveringChunks(t *testing.T) {
+	const cs = 4096
+	providers, m := newChunkedManager(t, ProtocolCA, cs)
+	data := randBytes(t, 8*cs+57)
+	if _, err := m.WriteFrom("u", bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+
+	account := providers[0].CreateAccount("alice")
+	getRequests := func() int64 { return providers[0].Usage(account).GetRequests }
+	before := getRequests()
+	var maxGets int64
+	for _, c := range []struct{ off, n int64 }{
+		{0, 10},
+		{cs - 3, 6},
+		{3 * cs, cs},
+		{int64(len(data)) - 9, 9},
+		{int64(len(data)) - 9, 100}, // over-long range is truncated
+	} {
+		r, _, err := m.OpenRange("u", c.off, c.n)
+		if err != nil {
+			t.Fatalf("OpenRange(%d, %d): %v", c.off, c.n, err)
+		}
+		got, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatalf("range read (%d, %d): %v", c.off, c.n, err)
+		}
+		r.Close()
+		end := c.off + c.n
+		if end > int64(len(data)) {
+			end = int64(len(data))
+		}
+		if !bytes.Equal(got, data[c.off:end]) {
+			t.Fatalf("range (%d, %d): bytes differ", c.off, c.n)
+		}
+		// Each covered chunk costs at most one Get per cloud, plus one for
+		// the metadata read.
+		maxGets += end/cs - c.off/cs + 1 + 1
+	}
+	// Summed over all cases (the early-return read path may leave a cloud's
+	// Get in flight briefly, so per-case windows are not reliable): ranged
+	// reads of an 8-chunk object must fetch far fewer than all chunks every
+	// time.
+	if reqs := getRequests() - before; reqs > maxGets {
+		t.Fatalf("%d gets on one cloud across all ranges, want <= %d", reqs, maxGets)
+	}
+}
+
+// TestStreamedDegradedReadsAllFaultPatterns exercises every <=f missing
+// pattern (each single cloud down, f=1) and both byzantine fault modes, for
+// ranged and full reads of a chunked version.
+func TestStreamedDegradedReadsAllFaultPatterns(t *testing.T) {
+	const cs = 2048
+	data := make([]byte, 4*cs+33)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	for _, fault := range []cloudsim.FaultMode{cloudsim.FaultUnavailable, cloudsim.FaultCorrupt, cloudsim.FaultLoseWrites} {
+		for down := 0; down < 4; down++ {
+			providers, m := newChunkedManager(t, ProtocolCA, cs)
+			if fault == cloudsim.FaultLoseWrites {
+				// Lost writes must be injected before the write.
+				providers[down].SetFault(fault)
+			}
+			if _, err := m.WriteFrom("u", bytes.NewReader(data)); err != nil {
+				t.Fatalf("fault %v cloud %d: WriteFrom: %v", fault, down, err)
+			}
+			providers[down].SetFault(fault)
+
+			got, _, err := m.Read("u")
+			if err != nil {
+				t.Fatalf("fault %v cloud %d: Read: %v", fault, down, err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("fault %v cloud %d: Read mismatch", fault, down)
+			}
+
+			r, _, err := m.OpenRange("u", cs-7, 2*cs)
+			if err != nil {
+				t.Fatalf("fault %v cloud %d: OpenRange: %v", fault, down, err)
+			}
+			ranged, err := io.ReadAll(r)
+			if err != nil {
+				t.Fatalf("fault %v cloud %d: ranged read: %v", fault, down, err)
+			}
+			r.Close()
+			if !bytes.Equal(ranged, data[cs-7:cs-7+2*cs]) {
+				t.Fatalf("fault %v cloud %d: ranged read mismatch", fault, down)
+			}
+		}
+	}
+}
+
+// faultAfter flips a provider into a fault mode once n bytes of the stream
+// have been consumed by the writer — a cloud dying mid-upload.
+type faultAfter struct {
+	r        io.Reader
+	n        int
+	provider *cloudsim.Provider
+	fault    cloudsim.FaultMode
+	read     int
+	tripped  bool
+}
+
+func (f *faultAfter) Read(p []byte) (int, error) {
+	n, err := f.r.Read(p)
+	f.read += n
+	if !f.tripped && f.read > f.n {
+		f.tripped = true
+		f.provider.SetFault(f.fault)
+	}
+	return n, err
+}
+
+// TestWriteFromMidStreamCloudFailure kills exactly f clouds partway through
+// a streamed write: the write must still reach a quorum and the data must
+// read back intact.
+func TestWriteFromMidStreamCloudFailure(t *testing.T) {
+	const cs = 2048
+	providers, m := newChunkedManager(t, ProtocolCA, cs)
+	data := randBytes(t, 10*cs)
+	src := &faultAfter{r: bytes.NewReader(data), n: 3 * cs, provider: providers[2], fault: cloudsim.FaultUnavailable}
+	info, err := m.WriteFrom("u", src)
+	if err != nil {
+		t.Fatalf("WriteFrom with mid-stream failure: %v", err)
+	}
+	if info.ChunkCount != 10 {
+		t.Fatalf("chunk count = %d", info.ChunkCount)
+	}
+	got, _, err := m.Read("u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("mismatch after mid-stream cloud failure")
+	}
+	// With f+1 failures mid-stream the quorum is unreachable and the write
+	// must fail rather than record a bogus version.
+	providers2, m2 := newChunkedManager(t, ProtocolCA, cs)
+	src2 := &faultAfter{r: bytes.NewReader(data), n: 3 * cs, provider: providers2[0], fault: cloudsim.FaultUnavailable}
+	providers2[1].SetFault(cloudsim.FaultUnavailable)
+	if _, err := m2.WriteFrom("u2", src2); !errors.Is(err, ErrQuorumWrite) {
+		t.Fatalf("err = %v, want ErrQuorumWrite", err)
+	}
+}
+
+// TestV1V2Compatibility: units written whole-object (v1) stay readable
+// through every read path after the upgrade, and v1/v2 versions coexist in
+// one unit's history.
+func TestV1V2Compatibility(t *testing.T) {
+	const cs = 4096
+	_, m := newChunkedManager(t, ProtocolCA, cs)
+	v1Data := randBytes(t, 2*cs+11) // bigger than a chunk, written whole
+	infoV1, err := m.Write("u", v1Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infoV1.Chunked() {
+		t.Fatal("Write produced a chunked version")
+	}
+
+	// v1 versions serve ranged reads via the whole-object fallback.
+	r, info, err := m.OpenRange("u", 100, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Chunked() {
+		t.Fatal("newest version should be v1")
+	}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	if !bytes.Equal(got, v1Data[100:150]) {
+		t.Fatal("v1 ranged read mismatch")
+	}
+
+	// A streamed write appends a v2 version on top of the v1 history.
+	v2Data := randBytes(t, 3*cs)
+	infoV2, err := m.WriteFrom("u", bytes.NewReader(v2Data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !infoV2.Chunked() || infoV2.Number != infoV1.Number+1 {
+		t.Fatalf("v2 info = %+v", infoV2)
+	}
+	if got, _, err := m.Read("u"); err != nil || !bytes.Equal(got, v2Data) {
+		t.Fatalf("Read newest after upgrade: %v", err)
+	}
+	// Both versions remain addressable by hash (the consistency-anchor
+	// read), regardless of layout.
+	if got, _, err := m.ReadMatching("u", infoV1.DataHash); err != nil || !bytes.Equal(got, v1Data) {
+		t.Fatalf("ReadMatching v1: %v", err)
+	}
+	if got, _, err := m.ReadMatching("u", infoV2.DataHash); err != nil || !bytes.Equal(got, v2Data) {
+		t.Fatalf("ReadMatching v2: %v", err)
+	}
+	rm, _, err := m.OpenMatching("u", infoV1.DataHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := io.ReadAll(rm); err != nil || !bytes.Equal(got, v1Data) {
+		t.Fatalf("OpenMatching v1: %v", err)
+	}
+	rm.Close()
+}
+
+// TestDeleteChunkedVersionReclaimsSpace verifies chunk objects are removed
+// from the clouds when a chunked version is deleted.
+func TestDeleteChunkedVersionReclaimsSpace(t *testing.T) {
+	const cs = 2048
+	providers, m := newChunkedManager(t, ProtocolCA, cs)
+	data := randBytes(t, 4*cs)
+	info, err := m.WriteFrom("u", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	countObjects := func() int {
+		objs, err := providers[0].MustClient(providers[0].CreateAccount("alice")).List("dsky/u/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(objs)
+	}
+	before := countObjects()
+	if before < info.ChunkCount {
+		t.Fatalf("only %d objects before delete", before)
+	}
+	if err := m.DeleteVersion("u", info.Number); err != nil {
+		t.Fatal(err)
+	}
+	if after := countObjects(); after != before-info.ChunkCount {
+		t.Fatalf("objects %d -> %d, want %d chunk objects gone", before, after, info.ChunkCount)
+	}
+}
+
+// TestReadMetadataBatch sweeps several units at once and matches the
+// per-unit ListVersions results.
+func TestReadMetadataBatch(t *testing.T) {
+	_, m := newChunkedManager(t, ProtocolCA, 2048)
+	want := make(map[string]int)
+	for i := 0; i < 9; i++ {
+		unit := fmt.Sprintf("u-%d", i)
+		for v := 0; v <= i%3; v++ {
+			if _, err := m.Write(unit, randBytes(t, 128+i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want[unit] = i%3 + 1
+	}
+	units := make([]string, 0, len(want))
+	for u := range want {
+		units = append(units, u, u) // duplicates must be tolerated
+	}
+	units = append(units, "missing-unit")
+	got := m.ReadMetadataBatch(units)
+	if len(got) != len(want) {
+		t.Fatalf("batch returned %d units, want %d", len(got), len(want))
+	}
+	for unit, versions := range got {
+		if len(versions) != want[unit] {
+			t.Fatalf("unit %s: %d versions, want %d", unit, len(versions), want[unit])
+		}
+		individual, err := m.ListVersions(unit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range versions {
+			if versions[i].Number != individual[i].Number || versions[i].DataHash != individual[i].DataHash {
+				t.Fatalf("unit %s version %d differs from ListVersions", unit, i)
+			}
+		}
+	}
+	if _, ok := got["missing-unit"]; ok {
+		t.Fatal("missing unit present in batch result")
+	}
+}
+
+// TestStreamedConfidentiality: no single cloud stores the plaintext of a
+// streamed CA write.
+func TestStreamedConfidentiality(t *testing.T) {
+	const cs = 2048
+	providers, m := newChunkedManager(t, ProtocolCA, cs)
+	secret := bytes.Repeat([]byte("TOPSECRET-"), 700) // ~7 KiB, compressible pattern
+	if _, err := m.WriteFrom("u", bytes.NewReader(secret)); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range providers {
+		id := p.CreateAccount("alice")
+		objs, err := p.MustClient(id).List("dsky/u/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range objs {
+			payload, err := p.MustClient(id).Get(o.Name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bytes.Contains(payload, []byte("TOPSECRET-")) {
+				t.Fatalf("cloud %d object %s leaks plaintext", i, o.Name)
+			}
+		}
+	}
+}
+
+// TestRangedReadIgnoresForgedMetadataCopy pins the certification rule: the
+// ranged read path trusts per-chunk hashes only from version entries found
+// identical on f+1 clouds, so a single Byzantine cloud rewriting its
+// metadata copy (pointing the chunk hashes at forged frames it serves)
+// cannot influence what a ranged read returns.
+func TestRangedReadIgnoresForgedMetadataCopy(t *testing.T) {
+	const cs = 2048
+	providers, clients := testClouds(t, 4)
+	m, err := New(Options{Clouds: clients, F: 1, ChunkSize: cs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := randBytes(t, 4*cs)
+	info, err := m.WriteFrom("u", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cloud 0 turns Byzantine: it rewrites its metadata copy so every chunk
+	// hash points at a forged frame it serves, and stores those frames.
+	evil := clients[0]
+	forged := make([]byte, len(data))
+	for i := range forged {
+		forged[i] = 0x66
+	}
+	raw, err := evil.Get(m.metaName("u"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var md unitMetadata
+	if err := json.Unmarshal(raw, &md); err != nil {
+		t.Fatal(err)
+	}
+	for vi := range md.Versions {
+		v := &md.Versions[vi]
+		if v.Number != info.Number {
+			continue
+		}
+		for idx := 0; idx < v.ChunkCount; idx++ {
+			chunk := forged[idx*cs : idx*cs+v.chunkPlainLen(idx)]
+			for cloudIdx := 0; cloudIdx < 4; cloudIdx++ {
+				frame := make([]byte, frameLenV2(0, len(chunk)))
+				encodeBlockV2(frame, ProtocolA, &block{Full: chunk, ShardIdx: cloudIdx, ChunkIdx: idx, ChunkPlainLen: len(chunk)})
+				if cloudIdx == 0 {
+					if err := evil.Put(m.chunkName("u", v.Number, idx), frame); err != nil {
+						t.Fatal(err)
+					}
+				}
+				v.ChunkHashes[idx][cloudIdx] = seccrypto.Hash(frame)
+			}
+		}
+		// The forged entry claims the replication protocol so one frame
+		// would suffice to decode a chunk if it were trusted.
+		v.Protocol = ProtocolA
+	}
+	rewritten, err := json.Marshal(&md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := evil.Put(m.metaName("u"), rewritten); err != nil {
+		t.Fatal(err)
+	}
+	_ = providers
+
+	r, _, err := m.OpenRange("u", 0, int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+	if !bytes.Equal(got, data) {
+		t.Fatal("ranged read served forged bytes")
+	}
+}
+
+// TestOpenRangedMatchingDeclinesWholeObjectVersions: v1 versions must send
+// callers to the caching whole-object path instead of a fake ranged reader.
+func TestOpenRangedMatchingDeclinesWholeObjectVersions(t *testing.T) {
+	_, m := newChunkedManager(t, ProtocolCA, 2048)
+	info, err := m.Write("u", randBytes(t, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.OpenRangedMatching("u", info.DataHash); !errors.Is(err, ErrWholeObjectOnly) {
+		t.Fatalf("err = %v, want ErrWholeObjectOnly", err)
+	}
+	chunked, err := m.WriteFrom("u", bytes.NewReader(randBytes(t, 5000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _, err := m.OpenRangedMatching("u", chunked.DataHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Close()
+}
+
+// TestMalformedChunkGeometryFailsCleanly: metadata with inconsistent chunk
+// arithmetic must produce an error, not a slice-bounds panic.
+func TestMalformedChunkGeometryFailsCleanly(t *testing.T) {
+	bad := VersionInfo{Number: 1, Size: 5, ChunkSize: 10, ChunkCount: 3, Protocol: ProtocolCA}
+	if bad.validChunking() {
+		t.Fatal("inconsistent geometry accepted")
+	}
+	_, m := newChunkedManager(t, ProtocolCA, 2048)
+	if _, err := m.readChunkedVersion("u", bad); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("err = %v, want ErrIntegrity", err)
+	}
+	good := VersionInfo{Size: 25, ChunkSize: 10, ChunkCount: 3, ChunkHashes: [][]string{nil, nil, nil}}
+	if !good.validChunking() {
+		t.Fatal("consistent geometry rejected")
+	}
+}

@@ -50,6 +50,68 @@ func TestWireRoundTripEmptyPayload(t *testing.T) {
 	}
 }
 
+func TestWireRoundTripV2(t *testing.T) {
+	in := &block{
+		Shard:         []byte{0, 1, 2, 0xff, 4, 5},
+		ShardIdx:      2,
+		KeyX:          9,
+		KeyShare:      []byte{1, 2, 3, 4},
+		ChunkIdx:      41,
+		ChunkPlainLen: 777,
+	}
+	frame := make([]byte, frameLenV2(len(in.KeyShare), len(in.Shard)))
+	encodeBlockV2(frame, ProtocolCA, in)
+	out, err := decodeBlock(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Shard, in.Shard) || out.ShardIdx != in.ShardIdx ||
+		out.KeyX != in.KeyX || !bytes.Equal(out.KeyShare, in.KeyShare) ||
+		out.ChunkIdx != in.ChunkIdx || out.ChunkPlainLen != in.ChunkPlainLen || out.Full != nil {
+		t.Fatalf("v2 round trip mismatch: %+v", out)
+	}
+
+	// DepSky-A chunk: full replicated chunk, no key share.
+	a := &block{Full: []byte("chunk bytes"), ShardIdx: 1, ChunkIdx: 0, ChunkPlainLen: 11}
+	frameA := make([]byte, frameLenV2(0, len(a.Full)))
+	encodeBlockV2(frameA, ProtocolA, a)
+	outA, err := decodeBlock(frameA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(outA.Full, a.Full) || outA.ChunkIdx != 0 || outA.ChunkPlainLen != 11 || outA.KeyShare != nil {
+		t.Fatalf("v2 A round trip mismatch: %+v", outA)
+	}
+}
+
+// TestWireV1FramesHaveNoChunk pins the compat contract: v1 frames decode
+// with ChunkIdx -1 so readers can tell the layouts apart.
+func TestWireV1FramesHaveNoChunk(t *testing.T) {
+	out, err := decodeBlock(encodeBlock(ProtocolCA, &block{Shard: []byte{1}, KeyX: 1, KeyShare: []byte{2}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ChunkIdx != -1 || out.ChunkPlainLen != 0 {
+		t.Fatalf("v1 frame decoded with chunk fields %d/%d", out.ChunkIdx, out.ChunkPlainLen)
+	}
+}
+
+func TestWireRejectsMalformedV2Frames(t *testing.T) {
+	in := &block{Shard: []byte{1, 2, 3}, KeyX: 1, KeyShare: []byte{4}, ChunkIdx: 0, ChunkPlainLen: 3}
+	good := make([]byte, frameLenV2(1, 3))
+	encodeBlockV2(good, ProtocolCA, in)
+	cases := map[string][]byte{
+		"short v2 header": good[:wireHeaderLenV2-1],
+		"truncated body":  good[:len(good)-1],
+		"oversized frame": append(append([]byte{}, good...), 0),
+	}
+	for name, frame := range cases {
+		if _, err := decodeBlock(frame); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: err = %v, want ErrBadFrame", name, err)
+		}
+	}
+}
+
 func TestWireRejectsMalformedFrames(t *testing.T) {
 	good := encodeBlock(ProtocolCA, &block{Shard: []byte{1, 2, 3}, KeyX: 1, KeyShare: []byte{4}})
 	cases := map[string][]byte{

@@ -113,22 +113,7 @@ func (c *Coder) Split(data []byte) ([][]byte, error) {
 	// One contiguous buffer for all shards keeps Split at two allocations
 	// regardless of the shard count.
 	backing := make([]byte, c.TotalShards()*shardSize)
-	shards := make([][]byte, c.TotalShards())
-	for i := range shards {
-		shards[i] = backing[i*shardSize : (i+1)*shardSize : (i+1)*shardSize]
-	}
-	for i := 0; i < c.DataShards; i++ {
-		start := i * shardSize
-		if start < len(data) {
-			end := start + shardSize
-			if end > len(data) {
-				end = len(data)
-			}
-			copy(shards[i], data[start:end])
-		}
-	}
-	c.encodeParity(shards, shardSize)
-	return shards, nil
+	return c.SplitInto(data, backing)
 }
 
 // encodeParity fills shards[DataShards:] from shards[:DataShards]. Parity
@@ -216,79 +201,7 @@ func (c *Coder) decodeMatrix(rowsUsed []byte) (*gf256.Matrix, error) {
 // TotalShards() entries; missing shards are nil. At least DataShards shards
 // must be present. After a successful call every entry is non-nil.
 func (c *Coder) Reconstruct(shards [][]byte) error {
-	if len(shards) != c.TotalShards() {
-		return ErrShardCountMismatch
-	}
-	shardSize := -1
-	present := 0
-	for _, s := range shards {
-		if s == nil {
-			continue
-		}
-		present++
-		if shardSize == -1 {
-			shardSize = len(s)
-		} else if len(s) != shardSize {
-			return ErrShardSizeMismatch
-		}
-	}
-	if present < c.DataShards {
-		return ErrTooFewShards
-	}
-	if present == c.TotalShards() {
-		return nil
-	}
-
-	// Gather the first k present shards as reconstruction sources; the
-	// matching rows of the encode matrix identify the cached (or fresh)
-	// decode matrix.
-	subShards := make([][]byte, 0, c.DataShards)
-	rowsUsed := make([]byte, 0, c.DataShards)
-	for i := 0; i < c.TotalShards() && len(subShards) < c.DataShards; i++ {
-		if shards[i] == nil {
-			continue
-		}
-		subShards = append(subShards, shards[i])
-		rowsUsed = append(rowsUsed, byte(i))
-	}
-	decode, err := c.decodeMatrix(rowsUsed)
-	if err != nil {
-		return err
-	}
-
-	// One contiguous buffer for everything we rebuild.
-	missing := c.TotalShards() - present
-	backing := make([]byte, missing*shardSize)
-	nextBuf := func() []byte {
-		buf := backing[:shardSize:shardSize]
-		backing = backing[shardSize:]
-		return buf
-	}
-
-	// Recover missing data shards.
-	dataShards := make([][]byte, c.DataShards)
-	for d := 0; d < c.DataShards; d++ {
-		if shards[d] != nil {
-			dataShards[d] = shards[d]
-			continue
-		}
-		out := nextBuf()
-		mulRow(decode.Row(d), subShards, out)
-		shards[d] = out
-		dataShards[d] = out
-	}
-
-	// Recompute any missing parity shards from the (now complete) data.
-	for p := 0; p < c.ParityShards; p++ {
-		idx := c.DataShards + p
-		if shards[idx] != nil {
-			continue
-		}
-		out := nextBuf()
-		mulRow(c.encode.Row(idx), dataShards, out)
-		shards[idx] = out
-	}
-	return nil
+	return c.reconstruct(shards, nil, true)
 }
 
 // Join reassembles the original data of length dataLen from the (complete)
@@ -300,27 +213,9 @@ func (c *Coder) Join(shards [][]byte, dataLen int) ([]byte, error) {
 	if dataLen == 0 {
 		return []byte{}, nil
 	}
-	var shardSize int
-	for i := 0; i < c.DataShards; i++ {
-		if shards[i] == nil {
-			return nil, ErrTooFewShards
-		}
-		if i == 0 {
-			shardSize = len(shards[i])
-		} else if len(shards[i]) != shardSize {
-			return nil, ErrShardSizeMismatch
-		}
-	}
-	if shardSize*c.DataShards < dataLen {
-		return nil, fmt.Errorf("erasure: shards hold %d bytes, need %d", shardSize*c.DataShards, dataLen)
-	}
-	out := make([]byte, 0, dataLen)
-	for i := 0; i < c.DataShards && len(out) < dataLen; i++ {
-		need := dataLen - len(out)
-		if need > shardSize {
-			need = shardSize
-		}
-		out = append(out, shards[i][:need]...)
+	out := make([]byte, dataLen)
+	if err := c.JoinInto(out, shards, dataLen); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -7,6 +7,7 @@ package fsapi
 
 import (
 	"errors"
+	"io"
 	"time"
 )
 
@@ -162,7 +163,16 @@ type FileSystem interface {
 	Unmount() error
 }
 
+// StreamChunkSize is the granularity at which the convenience helpers move
+// data through a handle. Matching the streaming data plane's chunk size
+// (1 MiB) means a helper read of a lazily-opened large file touches one
+// cloud chunk per ReadAt instead of forcing a whole-object fetch.
+const StreamChunkSize = 1 << 20
+
 // ReadFile is a convenience helper that opens, reads fully and closes.
+// Files larger than one chunk are read in StreamChunkSize pieces, so
+// implementations serving ReadAt from ranged cloud reads never materialize
+// the whole object on their side.
 func ReadFile(fs FileSystem, path string) ([]byte, error) {
 	h, err := fs.Open(path, ReadOnly)
 	if err != nil {
@@ -174,25 +184,103 @@ func ReadFile(fs FileSystem, path string) ([]byte, error) {
 		return nil, err
 	}
 	buf := make([]byte, info.Size)
-	if info.Size == 0 {
-		return buf, nil
+	var off int64
+	for off < info.Size {
+		end := off + StreamChunkSize
+		if end > info.Size {
+			end = info.Size
+		}
+		n, err := h.ReadAt(buf[off:end], off)
+		off += int64(n)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			break
+		}
 	}
-	n, err := h.ReadAt(buf, 0)
-	if err != nil {
-		return nil, err
-	}
-	return buf[:n], nil
+	return buf[:off], nil
 }
 
-// WriteFile is a convenience helper that creates/truncates, writes and closes.
+// WriteFile is a convenience helper that creates/truncates, writes and
+// closes. Data larger than one chunk is written in StreamChunkSize pieces.
 func WriteFile(fs FileSystem, path string, data []byte) error {
 	h, err := fs.Open(path, ReadWrite|Create|Truncate)
 	if err != nil {
 		return err
 	}
-	if _, err := h.WriteAt(data, 0); err != nil {
-		h.Close()
-		return err
+	for off := 0; off < len(data); off += StreamChunkSize {
+		end := off + StreamChunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		if _, err := h.WriteAt(data[off:end], int64(off)); err != nil {
+			h.Close()
+			return err
+		}
 	}
 	return h.Close()
+}
+
+// WriteFileFrom streams r into path in StreamChunkSize pieces and returns
+// how many bytes were written. Only one chunk of the stream is buffered by
+// the helper at a time.
+func WriteFileFrom(fs FileSystem, path string, r io.Reader) (int64, error) {
+	h, err := fs.Open(path, ReadWrite|Create|Truncate)
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, StreamChunkSize)
+	var off int64
+	for {
+		n, rerr := io.ReadFull(r, buf)
+		if n > 0 {
+			if _, werr := h.WriteAt(buf[:n], off); werr != nil {
+				h.Close()
+				return off, werr
+			}
+			off += int64(n)
+		}
+		if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+			break
+		}
+		if rerr != nil {
+			h.Close()
+			return off, rerr
+		}
+	}
+	return off, h.Close()
+}
+
+// ReadFileTo streams the contents of path into w in StreamChunkSize pieces
+// and returns how many bytes were copied.
+func ReadFileTo(fs FileSystem, path string, w io.Writer) (int64, error) {
+	h, err := fs.Open(path, ReadOnly)
+	if err != nil {
+		return 0, err
+	}
+	defer h.Close()
+	buf := make([]byte, StreamChunkSize)
+	var off int64
+	for {
+		n, rerr := h.ReadAt(buf, off)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return off, werr
+			}
+			off += int64(n)
+		}
+		if rerr == io.EOF {
+			return off, nil
+		}
+		if rerr != nil {
+			return off, rerr
+		}
+		if n == 0 {
+			return off, nil
+		}
+	}
 }

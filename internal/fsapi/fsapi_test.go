@@ -1,7 +1,9 @@
 package fsapi
 
 import (
+	"bytes"
 	"errors"
+	"io"
 	"testing"
 )
 
@@ -51,5 +53,151 @@ func TestSentinelErrorsAreDistinct(t *testing.T) {
 				t.Fatalf("errors %d and %d are not distinct", i, j)
 			}
 		}
+	}
+}
+
+// --- convenience-helper tests over a minimal in-memory file system ---
+
+type fakeFS struct {
+	files map[string][]byte
+	// maxReadAt records the largest single ReadAt/WriteAt request observed,
+	// so tests can assert the helpers chunk their IO.
+	maxOp int
+}
+
+type fakeHandle struct {
+	fs   *fakeFS
+	path string
+}
+
+func (f *fakeFS) Open(path string, flags OpenFlag) (Handle, error) {
+	_, ok := f.files[path]
+	if !ok {
+		if flags&Create == 0 {
+			return nil, ErrNotExist
+		}
+		f.files[path] = nil
+	}
+	if flags&Truncate != 0 {
+		f.files[path] = nil
+	}
+	return &fakeHandle{fs: f, path: path}, nil
+}
+
+func (f *fakeFS) Mkdir(string) error                      { return nil }
+func (f *fakeFS) Rmdir(string) error                      { return nil }
+func (f *fakeFS) Unlink(string) error                     { return nil }
+func (f *fakeFS) Rename(string, string) error             { return nil }
+func (f *fakeFS) Stat(string) (FileInfo, error)           { return FileInfo{}, ErrNotExist }
+func (f *fakeFS) ReadDir(string) ([]FileInfo, error)      { return nil, nil }
+func (f *fakeFS) SetFacl(string, string, Permission) error { return nil }
+func (f *fakeFS) GetFacl(string) ([]ACLEntry, error)      { return nil, nil }
+func (f *fakeFS) Unmount() error                          { return nil }
+
+func (h *fakeHandle) ReadAt(p []byte, off int64) (int, error) {
+	if len(p) > h.fs.maxOp {
+		h.fs.maxOp = len(p)
+	}
+	data := h.fs.files[h.path]
+	if off >= int64(len(data)) {
+		return 0, io.EOF
+	}
+	n := copy(p, data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (h *fakeHandle) WriteAt(p []byte, off int64) (int, error) {
+	if len(p) > h.fs.maxOp {
+		h.fs.maxOp = len(p)
+	}
+	data := h.fs.files[h.path]
+	if end := off + int64(len(p)); end > int64(len(data)) {
+		grown := make([]byte, end)
+		copy(grown, data)
+		data = grown
+	}
+	copy(data[off:], p)
+	h.fs.files[h.path] = data
+	return len(p), nil
+}
+
+func (h *fakeHandle) Truncate(size int64) error { return nil }
+func (h *fakeHandle) Fsync() error              { return nil }
+func (h *fakeHandle) Close() error              { return nil }
+func (h *fakeHandle) Stat() (FileInfo, error) {
+	return FileInfo{Path: h.path, Size: int64(len(h.fs.files[h.path]))}, nil
+}
+
+func TestHelpersChunkLargeFiles(t *testing.T) {
+	fs := &fakeFS{files: make(map[string][]byte)}
+	big := make([]byte, 2*StreamChunkSize+12345)
+	for i := range big {
+		big[i] = byte(i * 7)
+	}
+	if err := WriteFile(fs, "/big", big); err != nil {
+		t.Fatal(err)
+	}
+	if fs.maxOp > StreamChunkSize {
+		t.Fatalf("WriteFile issued a %d-byte op, want <= %d", fs.maxOp, StreamChunkSize)
+	}
+	got, err := ReadFile(fs, "/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatal("chunked round trip mismatch")
+	}
+	if fs.maxOp > StreamChunkSize {
+		t.Fatalf("ReadFile issued a %d-byte op, want <= %d", fs.maxOp, StreamChunkSize)
+	}
+	// Small files still round-trip.
+	if err := WriteFile(fs, "/small", []byte("tiny")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ReadFile(fs, "/small"); err != nil || string(got) != "tiny" {
+		t.Fatalf("small round trip: %q, %v", got, err)
+	}
+	if got, err := ReadFile(fs, "/empty-missing"); err == nil {
+		t.Fatalf("missing file read returned %d bytes", len(got))
+	}
+	if err := WriteFile(fs, "/empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := ReadFile(fs, "/empty"); err != nil || len(got) != 0 {
+		t.Fatalf("empty round trip: %v, %v", got, err)
+	}
+}
+
+func TestStreamingHelpers(t *testing.T) {
+	fs := &fakeFS{files: make(map[string][]byte)}
+	big := make([]byte, StreamChunkSize+999)
+	for i := range big {
+		big[i] = byte(i * 13)
+	}
+	n, err := WriteFileFrom(fs, "/s", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(big)) {
+		t.Fatalf("WriteFileFrom wrote %d bytes", n)
+	}
+	var out bytes.Buffer
+	n, err = ReadFileTo(fs, "/s", &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(big)) || !bytes.Equal(out.Bytes(), big) {
+		t.Fatalf("ReadFileTo copied %d bytes, match=%v", n, bytes.Equal(out.Bytes(), big))
+	}
+	// Empty stream.
+	if n, err := WriteFileFrom(fs, "/e", bytes.NewReader(nil)); err != nil || n != 0 {
+		t.Fatalf("empty WriteFileFrom: %d, %v", n, err)
+	}
+	var empty bytes.Buffer
+	if n, err := ReadFileTo(fs, "/e", &empty); err != nil || n != 0 {
+		t.Fatalf("empty ReadFileTo: %d, %v", n, err)
 	}
 }

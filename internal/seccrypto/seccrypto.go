@@ -36,45 +36,69 @@ func NewKey() ([]byte, error) {
 	return key, nil
 }
 
+// CiphertextOverhead is the size difference between a ciphertext and its
+// plaintext: the prepended IV.
+const CiphertextOverhead = aes.BlockSize
+
 // Encrypt encrypts plaintext with AES-256-CTR using a random IV. The IV is
 // prepended to the returned ciphertext. CTR mode matches the paper's usage:
 // confidentiality of the payload; integrity is provided separately by the
 // hash stored in the consistency anchor / DepSky metadata.
 func Encrypt(key, plaintext []byte) ([]byte, error) {
+	return EncryptInto(make([]byte, aes.BlockSize+len(plaintext)), key, plaintext)
+}
+
+// EncryptInto is Encrypt writing into dst, which must hold exactly
+// len(plaintext)+CiphertextOverhead bytes (the streaming data plane draws it
+// from a buffer pool). The returned slice is dst.
+func EncryptInto(dst, key, plaintext []byte) ([]byte, error) {
 	if len(key) != KeySize {
 		return nil, ErrBadKeySize
+	}
+	if len(dst) != aes.BlockSize+len(plaintext) {
+		return nil, fmt.Errorf("seccrypto: ciphertext buffer is %d bytes, need %d", len(dst), aes.BlockSize+len(plaintext))
 	}
 	block, err := aes.NewCipher(key)
 	if err != nil {
 		return nil, fmt.Errorf("seccrypto: %w", err)
 	}
-	out := make([]byte, aes.BlockSize+len(plaintext))
-	iv := out[:aes.BlockSize]
+	iv := dst[:aes.BlockSize]
 	if _, err := io.ReadFull(rand.Reader, iv); err != nil {
 		return nil, fmt.Errorf("seccrypto: generating IV: %w", err)
 	}
 	stream := cipher.NewCTR(block, iv)
-	stream.XORKeyStream(out[aes.BlockSize:], plaintext)
-	return out, nil
+	stream.XORKeyStream(dst[aes.BlockSize:], plaintext)
+	return dst, nil
 }
 
 // Decrypt reverses Encrypt.
 func Decrypt(key, ciphertext []byte) ([]byte, error) {
+	if len(ciphertext) < aes.BlockSize {
+		return nil, ErrCiphertextLen
+	}
+	return DecryptInto(make([]byte, len(ciphertext)-aes.BlockSize), key, ciphertext)
+}
+
+// DecryptInto is Decrypt writing into dst, which must hold exactly
+// len(ciphertext)-CiphertextOverhead bytes. The returned slice is dst.
+func DecryptInto(dst, key, ciphertext []byte) ([]byte, error) {
 	if len(key) != KeySize {
 		return nil, ErrBadKeySize
 	}
 	if len(ciphertext) < aes.BlockSize {
 		return nil, ErrCiphertextLen
 	}
+	if len(dst) != len(ciphertext)-aes.BlockSize {
+		return nil, fmt.Errorf("seccrypto: plaintext buffer is %d bytes, need %d", len(dst), len(ciphertext)-aes.BlockSize)
+	}
 	block, err := aes.NewCipher(key)
 	if err != nil {
 		return nil, fmt.Errorf("seccrypto: %w", err)
 	}
 	iv := ciphertext[:aes.BlockSize]
-	plaintext := make([]byte, len(ciphertext)-aes.BlockSize)
 	stream := cipher.NewCTR(block, iv)
-	stream.XORKeyStream(plaintext, ciphertext[aes.BlockSize:])
-	return plaintext, nil
+	stream.XORKeyStream(dst, ciphertext[aes.BlockSize:])
+	return dst, nil
 }
 
 // Hash returns the hex-encoded SHA-256 digest of data. This is the

@@ -8,6 +8,8 @@ package storage
 import (
 	"errors"
 	"fmt"
+	"io"
+	"sync"
 	"time"
 
 	"scfs/internal/cloud"
@@ -40,6 +42,41 @@ type VersionedStore interface {
 	ListVersions(fileID string) ([]string, error)
 	// Name identifies the backend for diagnostics ("aws", "coc", ...).
 	Name() string
+}
+
+// StreamWriter is the optional streaming face of a VersionedStore: backends
+// that implement it can consume a version's contents from a reader without
+// materializing the encoded form, bounding the memory of large writes. The
+// hash is the caller-computed SHA-256 of the full contents (SCFS computes it
+// when the file is closed); implementations must fail, and clean up, if the
+// streamed bytes do not match it.
+type StreamWriter interface {
+	WriteVersionFrom(fileID, hash string, r io.Reader) error
+}
+
+// ReaderAtCloser is the random-access view of one stored version served by
+// a RangeOpener.
+type ReaderAtCloser interface {
+	io.ReaderAt
+	io.Closer
+	// Size is the version's total length in bytes.
+	Size() int64
+}
+
+// RangeOpener is the optional ranged-read face of a VersionedStore:
+// backends that implement it serve byte ranges by fetching only the chunks
+// covering them, so large-file ReadAt does not pull whole objects.
+// OpenVersionAt returns ErrVersionNotFound while the version is not yet
+// visible (callers retry per the consistency-anchor loop).
+type RangeOpener interface {
+	OpenVersionAt(fileID, hash string) (ReaderAtCloser, error)
+}
+
+// VersionSweeper is the optional batched delete face of a VersionedStore,
+// used by the garbage collector: batch maps fileID to the version hashes to
+// remove. It returns how many versions were actually deleted.
+type VersionSweeper interface {
+	DeleteVersionsBatch(batch map[string][]string) int
 }
 
 // --- single-cloud backend ---
@@ -128,6 +165,32 @@ func (s *SingleCloud) ListVersions(fileID string) ([]string, error) {
 	return hashes, nil
 }
 
+// DeleteVersionsBatch implements VersionSweeper: single-cloud versions are
+// addressed directly by name, so the sweep is just bounded-parallel deletes.
+func (s *SingleCloud) DeleteVersionsBatch(batch map[string][]string) int {
+	deleted := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, sweepConcurrency)
+	for fileID, hashes := range batch {
+		for _, hash := range hashes {
+			wg.Add(1)
+			go func(fileID, hash string) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				if s.store.Delete(versionObject(fileID, hash)) == nil {
+					mu.Lock()
+					deleted++
+					mu.Unlock()
+				}
+			}(fileID, hash)
+		}
+	}
+	wg.Wait()
+	return deleted
+}
+
 // Underlying exposes the wrapped object store (used by the ACL propagation
 // path of setfacl).
 func (s *SingleCloud) Underlying() cloud.ObjectStore { return s.store }
@@ -204,6 +267,91 @@ func (c *CloudOfClouds) ListVersions(fileID string) ([]string, error) {
 		hashes = append(hashes, v.DataHash)
 	}
 	return hashes, nil
+}
+
+// WriteVersionFrom implements StreamWriter: the contents are chunked,
+// encoded and uploaded through the DepSky streaming pipeline, so only a
+// bounded window of chunks is resident regardless of the version size. The
+// stream hash is computed on the fly; a mismatch with the caller's hash
+// deletes the half-anchored version before failing.
+func (c *CloudOfClouds) WriteVersionFrom(fileID, hash string, r io.Reader) error {
+	info, err := c.mgr.WriteFrom(fileID, r)
+	if err != nil {
+		return err
+	}
+	if info.DataHash != hash {
+		_ = c.mgr.DeleteVersion(fileID, info.Number)
+		return fmt.Errorf("%w: wrote hash %s, expected %s", ErrIntegrity, info.DataHash, hash)
+	}
+	return nil
+}
+
+// OpenVersionAt implements RangeOpener: reads fetch (and under faults
+// reconstruct) only the chunks covering the requested range. Versions that
+// cannot be served by genuinely ranged fetches — the v1 whole-object
+// layout, or chunked metadata that is not quorum-certified — return an
+// error so the agent falls back to the whole-object path, which verifies
+// the full value hash and populates its caches.
+func (c *CloudOfClouds) OpenVersionAt(fileID, hash string) (ReaderAtCloser, error) {
+	r, _, err := c.mgr.OpenRangedMatching(fileID, hash)
+	if errors.Is(err, depsky.ErrVersionNotFound) || errors.Is(err, depsky.ErrUnitNotFound) {
+		return nil, ErrVersionNotFound
+	}
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// sweepConcurrency bounds the per-file fan-out of DeleteVersionsBatch.
+const sweepConcurrency = 4
+
+// DeleteVersionsBatch implements VersionSweeper: one batched metadata sweep
+// resolves every hash to its version number, then each file's versions are
+// deleted with a single metadata round trip.
+func (c *CloudOfClouds) DeleteVersionsBatch(batch map[string][]string) int {
+	fileIDs := make([]string, 0, len(batch))
+	for fileID := range batch {
+		fileIDs = append(fileIDs, fileID)
+	}
+	meta := c.mgr.ReadMetadataBatch(fileIDs)
+
+	deleted := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, sweepConcurrency)
+	for fileID, hashes := range batch {
+		versions := meta[fileID]
+		if len(versions) == 0 {
+			continue
+		}
+		byHash := make(map[string]uint64, len(versions))
+		for _, v := range versions {
+			byHash[v.DataHash] = v.Number
+		}
+		numbers := make([]uint64, 0, len(hashes))
+		for _, h := range hashes {
+			if n, ok := byHash[h]; ok {
+				numbers = append(numbers, n)
+			}
+		}
+		if len(numbers) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(fileID string, numbers []uint64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if n, err := c.mgr.DeleteVersions(fileID, numbers); err == nil {
+				mu.Lock()
+				deleted += n
+				mu.Unlock()
+			}
+		}(fileID, numbers)
+	}
+	wg.Wait()
+	return deleted
 }
 
 // --- consistency anchor (Figure 3) ---

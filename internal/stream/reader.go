@@ -1,0 +1,197 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Fetcher yields decoded plaintext chunks of a chunked object. Implementations
+// are expected to verify integrity per chunk and to reconstruct missing
+// shards when sources are faulty; Reader only does the byte-range
+// bookkeeping.
+type Fetcher interface {
+	// Size is the total plaintext length in bytes.
+	Size() int64
+	// ChunkSize is the plaintext bytes per chunk (every chunk but the last
+	// holds exactly ChunkSize bytes).
+	ChunkSize() int
+	// Fetch decodes chunk idx into dst, which has exactly the chunk's
+	// plaintext length. It must not retain dst.
+	Fetch(idx int, dst []byte) error
+	// Close releases fetcher resources.
+	Close() error
+}
+
+// ErrClosed is returned by Reader methods after Close.
+var ErrClosed = errors.New("stream: reader is closed")
+
+// readerCacheSlots is how many decoded chunks a Reader keeps. One slot
+// serves a single sequential scan; a few more keep interleaved readers at
+// different offsets (several handles share one Reader in the SCFS agent)
+// from evicting each other's chunk on every alternation.
+const readerCacheSlots = 4
+
+// cachedChunk is one filled cache slot.
+type cachedChunk struct {
+	idx  int
+	buf  []byte // pooled
+	used int64  // access stamp for LRU eviction
+}
+
+// Reader provides io.Reader, io.ReaderAt and io.Closer over a Fetcher,
+// caching the most recently used chunks so sequential reads and clustered
+// random reads fetch each chunk once. It is safe for concurrent use.
+type Reader struct {
+	f    Fetcher
+	pool *Pool
+
+	mu     sync.Mutex
+	slots  []cachedChunk
+	tick   int64
+	off    int64 // sequential position for Read
+	closed bool
+}
+
+// NewReader wraps a fetcher. A nil pool uses the shared Buffers pool.
+func NewReader(f Fetcher, pool *Pool) *Reader {
+	if pool == nil {
+		pool = Buffers
+	}
+	return &Reader{f: f, pool: pool}
+}
+
+// Size returns the total plaintext length.
+func (r *Reader) Size() int64 { return r.f.Size() }
+
+// chunkLen returns the plaintext length of chunk idx.
+func (r *Reader) chunkLen(idx int) int {
+	cs := int64(r.f.ChunkSize())
+	rem := r.f.Size() - int64(idx)*cs
+	if rem > cs {
+		return int(cs)
+	}
+	return int(rem)
+}
+
+// load returns the contents of chunk idx, fetching into a new or recycled
+// cache slot on a miss. Called with mu held.
+func (r *Reader) load(idx int) ([]byte, error) {
+	r.tick++
+	for i := range r.slots {
+		if r.slots[i].idx == idx {
+			r.slots[i].used = r.tick
+			return r.slots[i].buf, nil
+		}
+	}
+	buf := r.pool.Get(r.chunkLen(idx))
+	if err := r.f.Fetch(idx, buf); err != nil {
+		r.pool.Put(buf[:cap(buf)])
+		return nil, fmt.Errorf("stream: fetching chunk %d: %w", idx, err)
+	}
+	if len(r.slots) < readerCacheSlots {
+		r.slots = append(r.slots, cachedChunk{idx: idx, buf: buf, used: r.tick})
+		return buf, nil
+	}
+	victim := 0
+	for i := range r.slots {
+		if r.slots[i].used < r.slots[victim].used {
+			victim = i
+		}
+	}
+	r.pool.Put(r.slots[victim].buf[:cap(r.slots[victim].buf)])
+	r.slots[victim] = cachedChunk{idx: idx, buf: buf, used: r.tick}
+	return buf, nil
+}
+
+// ReadAt implements io.ReaderAt: it fetches only the chunks covering
+// [off, off+len(p)).
+func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.readAtLocked(p, off)
+}
+
+// readAtLocked is ReadAt with mu held.
+func (r *Reader) readAtLocked(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, errors.New("stream: negative offset")
+	}
+	if r.closed {
+		return 0, ErrClosed
+	}
+	size := r.f.Size()
+	if off >= size {
+		return 0, io.EOF
+	}
+	cs := int64(r.f.ChunkSize())
+	n := 0
+	for n < len(p) && off < size {
+		idx := int(off / cs)
+		chunk, err := r.load(idx)
+		if err != nil {
+			return n, err
+		}
+		within := int(off - int64(idx)*cs)
+		c := copy(p[n:], chunk[within:])
+		n += c
+		off += int64(c)
+	}
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// Read implements io.Reader with an internal sequential offset. The offset
+// advance is atomic with the read, so concurrent Reads consume disjoint
+// ranges.
+func (r *Reader) Read(p []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n, err := r.readAtLocked(p, r.off)
+	r.off += int64(n)
+	return n, err
+}
+
+// Close returns the cached chunks to the pool and closes the fetcher.
+func (r *Reader) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	for _, s := range r.slots {
+		r.pool.Put(s.buf[:cap(s.buf)])
+	}
+	r.slots = nil
+	r.mu.Unlock()
+	return r.f.Close()
+}
+
+// Section returns a ReadCloser over [off, off+length) of the reader. Closing
+// the section closes the underlying reader. Requests beyond the end are
+// truncated.
+func (r *Reader) Section(off, length int64) io.ReadCloser {
+	if off < 0 {
+		off = 0
+	}
+	if max := r.Size() - off; length > max {
+		length = max
+	}
+	if length < 0 {
+		length = 0
+	}
+	return &section{SectionReader: io.NewSectionReader(r, off, length), r: r}
+}
+
+// section is an io.SectionReader that forwards Close to its Reader.
+type section struct {
+	*io.SectionReader
+	r *Reader
+}
+
+// Close implements io.Closer.
+func (s *section) Close() error { return s.r.Close() }

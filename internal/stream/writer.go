@@ -1,0 +1,127 @@
+package stream
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Config tunes a streaming pipeline run.
+type Config struct {
+	// ChunkSize is the plaintext bytes per chunk (default DefaultChunkSize).
+	ChunkSize int
+	// Window bounds the number of chunks simultaneously resident in the
+	// pipeline — being read, encoded or uploaded (default DefaultWindow).
+	Window int
+	// Pool supplies the chunk buffers (default Buffers).
+	Pool *Pool
+}
+
+func (c Config) withDefaults() Config {
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = DefaultChunkSize
+	}
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	if c.Pool == nil {
+		c.Pool = Buffers
+	}
+	return c
+}
+
+// Result summarizes a completed pipeline run.
+type Result struct {
+	// Size is the total number of plaintext bytes consumed from the reader.
+	Size int64
+	// Chunks is the number of chunks emitted (0 for an empty stream).
+	Chunks int
+	// Sum256 is the SHA-256 of the whole plaintext stream, computed
+	// incrementally while chunks were in flight.
+	Sum256 [sha256.Size]byte
+}
+
+// Run consumes r in cfg.ChunkSize chunks and pipes every chunk through
+// encode and then store, with at most cfg.Window chunks resident at any
+// moment. Chunks overlap: while chunk j is being stored, chunk j+1 is being
+// encoded (this is what lets per-shard hashing run concurrently with uploads
+// of earlier chunks) and chunk j+2 is being read.
+//
+// encode transforms the plaintext chunk into an opaque encoded value; it runs
+// on a pipeline goroutine and must not retain plain after returning (the
+// buffer goes back to the pool). store persists the encoded value; distinct
+// chunks may be stored out of order, so store must only rely on idx for
+// placement. Both may run concurrently for different chunks.
+//
+// The first error stops the intake of new chunks, and Run returns it after
+// all in-flight chunks have drained.
+func Run[E any](r io.Reader, cfg Config, encode func(idx int, plain []byte) (E, error), store func(idx int, enc E) error) (Result, error) {
+	cfg = cfg.withDefaults()
+	var (
+		res  Result
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		fail error
+	)
+	setErr := func(err error) {
+		mu.Lock()
+		if fail == nil {
+			fail = err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return fail != nil
+	}
+
+	h := sha256.New()
+	window := make(chan struct{}, cfg.Window)
+	for idx := 0; !failed(); idx++ {
+		window <- struct{}{} // count the chunk being read against the window
+		buf := cfg.Pool.Get(cfg.ChunkSize)
+		n, err := io.ReadFull(r, buf)
+		if n == 0 {
+			cfg.Pool.Put(buf)
+			<-window
+			if err != io.EOF && err != io.ErrUnexpectedEOF && err != nil {
+				setErr(fmt.Errorf("stream: reading chunk %d: %w", idx, err))
+			}
+			break
+		}
+		plain := buf[:n]
+		h.Write(plain)
+		res.Size += int64(n)
+		res.Chunks++
+		wg.Add(1)
+		go func(idx int, plain []byte) {
+			defer wg.Done()
+			defer func() { <-window }()
+			enc, eerr := encode(idx, plain)
+			cfg.Pool.Put(plain[:cap(plain)])
+			if eerr == nil {
+				eerr = store(idx, enc)
+			}
+			if eerr != nil {
+				setErr(fmt.Errorf("stream: chunk %d: %w", idx, eerr))
+			}
+		}(idx, plain)
+		if err == io.ErrUnexpectedEOF {
+			break // short final chunk
+		}
+		if err != nil && err != io.EOF {
+			setErr(fmt.Errorf("stream: reading chunk %d: %w", idx+1, err))
+			break
+		}
+		if err == io.EOF {
+			break
+		}
+	}
+	wg.Wait()
+	h.Sum(res.Sum256[:0])
+	mu.Lock()
+	defer mu.Unlock()
+	return res, fail
+}
