@@ -33,6 +33,9 @@ type bench struct {
 	MBs      float64 `json:"mb_s"`
 	BOp      float64 `json:"b_op"`
 	AllocsOp float64 `json:"allocs_op"`
+	// CloudBOp is the custom cloudB/op metric of the quorum-cancellation
+	// benchmarks: bytes the simulated clouds shipped per operation.
+	CloudBOp float64 `json:"cloud_b_op"`
 }
 
 type report struct {
@@ -69,6 +72,25 @@ var pairRules = []pairRule{
 		num: "BenchmarkDepSkyStreamWriteCA/64MiB", den: "BenchmarkDepSkyWholeWriteCA/64MiB",
 		metric: func(b bench) float64 { return b.BOp }, what: "B/op",
 		maxRatio: 0.5,
+	},
+	// PR 3 acceptance: first-quorum-wins cancellation. Against a skewed
+	// deployment (one straggler cloud), a read must return at the quorum
+	// instead of waiting for every cloud (measured ~0.1x the no-cancel
+	// tail; the floor of 0.5 leaves headroom for scheduler noise at tiny
+	// iteration counts)...
+	{
+		num: "BenchmarkDepSkySkewedRead/FirstQuorumCancel", den: "BenchmarkDepSkySkewedRead/NoCancel",
+		metric: func(b bench) float64 { return b.NsOp }, what: "ns/op",
+		maxRatio: 0.5,
+	},
+	// ...and must stop paying for the straggler's redundant block fetch:
+	// the clouds ship fewer bytes per read than the run-to-completion mode
+	// (measured ~0.51x — the straggler's whole shard plus its share of the
+	// metadata object is never transferred).
+	{
+		num: "BenchmarkDepSkySkewedRead/FirstQuorumCancel", den: "BenchmarkDepSkySkewedRead/NoCancel",
+		metric: func(b bench) float64 { return b.CloudBOp }, what: "cloudB/op",
+		maxRatio: 0.8,
 	},
 }
 

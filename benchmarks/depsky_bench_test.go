@@ -13,6 +13,7 @@ package benchmarks
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 
@@ -20,6 +21,8 @@ import (
 	"scfs/internal/cloudsim"
 	"scfs/internal/depsky"
 )
+
+var bg = context.Background()
 
 func benchManager(b testing.TB, f int, protocol depsky.Protocol) (*depsky.Manager, []*cloudsim.Provider) {
 	b.Helper()
@@ -53,7 +56,7 @@ func BenchmarkDepSkyWriteCA(b *testing.B) {
 			b.SetBytes(int64(s.n))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := m.Write(fmt.Sprintf("u-%d", i), data); err != nil {
+				if _, err := m.Write(bg, fmt.Sprintf("u-%d", i), data); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -66,13 +69,13 @@ func BenchmarkDepSkyReadCA(b *testing.B) {
 		b.Run(s.name, func(b *testing.B) {
 			m, _ := benchManager(b, 1, depsky.ProtocolCA)
 			data := bytes.Repeat([]byte{0xCD}, s.n)
-			if _, err := m.Write("u", data); err != nil {
+			if _, err := m.Write(bg, "u", data); err != nil {
 				b.Fatal(err)
 			}
 			b.SetBytes(int64(s.n))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				got, _, err := m.Read("u")
+				got, _, err := m.Read(bg, "u")
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -95,10 +98,10 @@ func BenchmarkDepSkyWriteReadRoundTrip(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				unit := fmt.Sprintf("u-%d", i)
-				if _, err := m.Write(unit, data); err != nil {
+				if _, err := m.Write(bg, unit, data); err != nil {
 					b.Fatal(err)
 				}
-				if _, _, err := m.Read(unit); err != nil {
+				if _, _, err := m.Read(bg, unit); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -112,14 +115,14 @@ func BenchmarkDepSkyWriteReadRoundTrip(b *testing.B) {
 func BenchmarkDepSkyDegradedReadCA(b *testing.B) {
 	m, providers := benchManager(b, 1, depsky.ProtocolCA)
 	data := bytes.Repeat([]byte{0x42}, 1<<20)
-	if _, err := m.Write("u", data); err != nil {
+	if _, err := m.Write(bg, "u", data); err != nil {
 		b.Fatal(err)
 	}
 	providers[0].SetFault(cloudsim.FaultUnavailable)
 	b.SetBytes(1 << 20)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		got, _, err := m.Read("u")
+		got, _, err := m.Read(bg, "u")
 		if err != nil {
 			b.Fatal(err)
 		}

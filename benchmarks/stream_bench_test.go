@@ -2,6 +2,7 @@ package benchmarks
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -27,7 +28,7 @@ func BenchmarkDepSkyStreamWriteCA(b *testing.B) {
 		b.SetBytes(streamSize)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := m.WriteFrom(fmt.Sprintf("u-%d", i), bytes.NewReader(data)); err != nil {
+			if _, err := m.WriteFrom(bg, fmt.Sprintf("u-%d", i), bytes.NewReader(data)); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -43,7 +44,7 @@ func BenchmarkDepSkyWholeWriteCA(b *testing.B) {
 		b.SetBytes(streamSize)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := m.Write(fmt.Sprintf("u-%d", i), data); err != nil {
+			if _, err := m.Write(bg, fmt.Sprintf("u-%d", i), data); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -55,14 +56,14 @@ func BenchmarkDepSkyWholeWriteCA(b *testing.B) {
 func BenchmarkDepSkyRangedReadCA(b *testing.B) {
 	m, _ := benchManager(b, 1, depsky.ProtocolCA)
 	data := bytes.Repeat([]byte{0x5C}, streamSize)
-	if _, err := m.WriteFrom("u", bytes.NewReader(data)); err != nil {
+	if _, err := m.WriteFrom(bg, "u", bytes.NewReader(data)); err != nil {
 		b.Fatal(err)
 	}
 	buf := make([]byte, 64<<10)
 	b.SetBytes(int64(len(buf)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r, _, err := m.OpenRange("u", int64(i%977)*(64<<10)%streamSize, int64(len(buf)))
+		r, _, err := m.OpenRange(bg, "u", int64(i%977)*(64<<10)%streamSize, int64(len(buf)))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -80,15 +81,23 @@ func BenchmarkDepSkyRangedReadCA(b *testing.B) {
 // ~2x the payload and drown the comparison).
 type discardStore struct{ name string }
 
-func (d *discardStore) Provider() string                        { return d.name }
-func (d *discardStore) Account() string                         { return "bench" }
-func (d *discardStore) Put(string, []byte) error                { return nil }
-func (d *discardStore) Get(string) ([]byte, error)              { return nil, cloud.ErrNotFound }
-func (d *discardStore) Head(string) (cloud.ObjectInfo, error)   { return cloud.ObjectInfo{}, cloud.ErrNotFound }
-func (d *discardStore) Delete(string) error                     { return nil }
-func (d *discardStore) List(string) ([]cloud.ObjectInfo, error) { return nil, nil }
-func (d *discardStore) SetACL(string, []cloud.Grant) error      { return nil }
-func (d *discardStore) GetACL(string) ([]cloud.Grant, error)    { return nil, nil }
+func (d *discardStore) Provider() string                          { return d.name }
+func (d *discardStore) Account() string                           { return "bench" }
+func (d *discardStore) Put(context.Context, string, []byte) error { return nil }
+func (d *discardStore) Get(context.Context, string) ([]byte, error) {
+	return nil, cloud.ErrNotFound
+}
+func (d *discardStore) Head(context.Context, string) (cloud.ObjectInfo, error) {
+	return cloud.ObjectInfo{}, cloud.ErrNotFound
+}
+func (d *discardStore) Delete(context.Context, string) error { return nil }
+func (d *discardStore) List(context.Context, string) ([]cloud.ObjectInfo, error) {
+	return nil, nil
+}
+func (d *discardStore) SetACL(context.Context, string, []cloud.Grant) error { return nil }
+func (d *discardStore) GetACL(context.Context, string) ([]cloud.Grant, error) {
+	return nil, nil
+}
 
 // discardManager builds a DepSky manager over discarding clouds.
 func discardManager(t testing.TB) *depsky.Manager {
@@ -152,13 +161,13 @@ func TestStreamedWriteMemoryFootprint(t *testing.T) {
 
 	mWhole := discardManager(t)
 	wholeAlloc, wholePeak := measureWrite(t, func() error {
-		_, err := mWhole.Write("u", data)
+		_, err := mWhole.Write(bg, "u", data)
 		return err
 	})
 
 	mStream := discardManager(t)
 	streamAlloc, streamPeak := measureWrite(t, func() error {
-		_, err := mStream.WriteFrom("u", bytes.NewReader(data))
+		_, err := mStream.WriteFrom(bg, "u", bytes.NewReader(data))
 		return err
 	})
 

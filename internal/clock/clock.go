@@ -5,6 +5,7 @@
 package clock
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"time"
@@ -20,6 +21,27 @@ type Clock interface {
 	After(d time.Duration) <-chan time.Time
 	// Since returns the time elapsed since t.
 	Since(t time.Time) time.Duration
+}
+
+// SleepCtx blocks for at least d of c's time, or until ctx is done,
+// whichever comes first. It returns ctx.Err() when the wait was interrupted
+// and nil when the full duration elapsed. This is the primitive that makes
+// every simulated latency in the repository cancellable: a per-cloud RPC
+// whose caller already has its quorum selects on ctx.Done instead of
+// sleeping its full round trip.
+func SleepCtx(ctx context.Context, c Clock, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	select {
+	case <-c.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Real returns a Clock backed by the system clock.

@@ -6,6 +6,7 @@
 package cloud
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -113,7 +114,15 @@ var (
 
 // ObjectStore is the per-account client view of one cloud provider. All
 // operations are blocking and include the provider's (simulated) network
-// latency.
+// latency; every operation honours its context, returning ctx.Err() promptly
+// once the context is cancelled or past its deadline. DepSky's quorum fan-out
+// relies on this to abort the losers of a quorum race instead of letting
+// redundant RPCs run (and bill) to completion.
+//
+// A request abandoned mid-flight must behave like a lost message: a cancelled
+// Put either took effect at the provider or it did not, and a cancelled Get
+// transfers no payload. Implementations must not return partial data with a
+// nil error.
 type ObjectStore interface {
 	// Provider returns the provider name (e.g. "amazon-s3").
 	Provider() string
@@ -121,19 +130,19 @@ type ObjectStore interface {
 	Account() string
 	// Put stores data under name, overwriting any previous version. The
 	// caller becomes the owner when the object is new.
-	Put(name string, data []byte) error
+	Put(ctx context.Context, name string, data []byte) error
 	// Get returns the payload of name.
-	Get(name string) ([]byte, error)
+	Get(ctx context.Context, name string) ([]byte, error)
 	// Head returns the metadata of name without transferring the payload.
-	Head(name string) (ObjectInfo, error)
+	Head(ctx context.Context, name string) (ObjectInfo, error)
 	// Delete removes name. Deleting a non-existent object is not an error
 	// (mirrors S3 semantics).
-	Delete(name string) error
+	Delete(ctx context.Context, name string) error
 	// List returns objects whose names begin with prefix, readable by this
 	// account, in lexicographic order.
-	List(prefix string) ([]ObjectInfo, error)
+	List(ctx context.Context, prefix string) ([]ObjectInfo, error)
 	// SetACL replaces the grants on an object (owner only).
-	SetACL(name string, grants []Grant) error
+	SetACL(ctx context.Context, name string, grants []Grant) error
 	// GetACL returns the grants on an object (owner only).
-	GetACL(name string) ([]Grant, error)
+	GetACL(ctx context.Context, name string) ([]Grant, error)
 }

@@ -1,9 +1,17 @@
 package cloudsim
 
-import "scfs/internal/cloud"
+import (
+	"context"
+
+	"scfs/internal/cloud"
+)
 
 // client is the per-account view of a Provider; it implements
 // cloud.ObjectStore and charges the simulated network latency of every call.
+// The simulated latency is interruptible: when the caller's context is
+// cancelled mid-request, the call returns ctx.Err() immediately, and the
+// request behaves like a message lost on the wire — a cancelled Put never
+// reaches the provider, a cancelled Get transfers (and bills) no payload.
 type client struct {
 	p       *Provider
 	account string
@@ -14,45 +22,64 @@ var _ cloud.ObjectStore = (*client)(nil)
 func (c *client) Provider() string { return c.p.Name() }
 func (c *client) Account() string  { return c.account }
 
-func (c *client) Put(name string, data []byte) error {
-	c.p.simulateLatency(len(data), 0)
+func (c *client) Put(ctx context.Context, name string, data []byte) error {
+	if err := c.p.simulateLatency(ctx, len(data), 0); err != nil {
+		return err
+	}
 	return c.p.put(c.account, name, data)
 }
 
-func (c *client) Get(name string) ([]byte, error) {
+func (c *client) Get(ctx context.Context, name string) ([]byte, error) {
 	// The payload size is only known after the lookup; approximate the
 	// transfer cost by doing the lookup first and then sleeping for the
-	// download time. The RTT is charged up front.
-	c.p.simulateLatency(0, 0)
+	// download time. The RTT is charged up front. A cancellation during the
+	// transfer sleep drops the payload: the provider already billed the
+	// outbound bytes (the data left the data centre), but the caller gets
+	// only ctx.Err(), never partial data.
+	if err := c.p.simulateLatency(ctx, 0, 0); err != nil {
+		return nil, err
+	}
 	data, err := c.p.get(c.account, name)
 	if err != nil {
 		return nil, err
 	}
-	c.p.simulateTransfer(0, len(data))
+	if err := c.p.simulateTransfer(ctx, 0, len(data)); err != nil {
+		return nil, err
+	}
 	return data, nil
 }
 
-func (c *client) Head(name string) (cloud.ObjectInfo, error) {
-	c.p.simulateLatency(0, 0)
+func (c *client) Head(ctx context.Context, name string) (cloud.ObjectInfo, error) {
+	if err := c.p.simulateLatency(ctx, 0, 0); err != nil {
+		return cloud.ObjectInfo{}, err
+	}
 	return c.p.head(c.account, name)
 }
 
-func (c *client) Delete(name string) error {
-	c.p.simulateLatency(0, 0)
+func (c *client) Delete(ctx context.Context, name string) error {
+	if err := c.p.simulateLatency(ctx, 0, 0); err != nil {
+		return err
+	}
 	return c.p.delete(c.account, name)
 }
 
-func (c *client) List(prefix string) ([]cloud.ObjectInfo, error) {
-	c.p.simulateLatency(0, 0)
+func (c *client) List(ctx context.Context, prefix string) ([]cloud.ObjectInfo, error) {
+	if err := c.p.simulateLatency(ctx, 0, 0); err != nil {
+		return nil, err
+	}
 	return c.p.list(c.account, prefix)
 }
 
-func (c *client) SetACL(name string, grants []cloud.Grant) error {
-	c.p.simulateLatency(0, 0)
+func (c *client) SetACL(ctx context.Context, name string, grants []cloud.Grant) error {
+	if err := c.p.simulateLatency(ctx, 0, 0); err != nil {
+		return err
+	}
 	return c.p.setACL(c.account, name, grants)
 }
 
-func (c *client) GetACL(name string) ([]cloud.Grant, error) {
-	c.p.simulateLatency(0, 0)
+func (c *client) GetACL(ctx context.Context, name string) ([]cloud.Grant, error) {
+	if err := c.p.simulateLatency(ctx, 0, 0); err != nil {
+		return nil, err
+	}
 	return c.p.getACL(c.account, name)
 }

@@ -10,6 +10,7 @@
 package cloudsim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -251,8 +252,9 @@ func (p *Provider) meterStorageLocked(st *accountState) {
 	st.lastMeterAt = now
 }
 
-// simulateLatency sleeps for the duration of a request outside the lock.
-func (p *Provider) simulateLatency(upBytes, downBytes int) {
+// simulateLatency sleeps for the duration of a request outside the lock,
+// returning early with ctx.Err() if the caller cancels mid-flight.
+func (p *Provider) simulateLatency(ctx context.Context, upBytes, downBytes int) error {
 	p.mu.Lock()
 	base := p.opts.Latency.requestLatency(upBytes, downBytes, p.rng)
 	if p.fault == FaultSlow {
@@ -260,15 +262,13 @@ func (p *Provider) simulateLatency(upBytes, downBytes int) {
 	}
 	scaled := time.Duration(float64(base) * p.opts.LatencyScale)
 	p.mu.Unlock()
-	if scaled > 0 {
-		p.clk.Sleep(scaled)
-	}
+	return clock.SleepCtx(ctx, p.clk, scaled)
 }
 
 // simulateTransfer sleeps only for the payload-transfer component of a
 // request (no RTT); used when the payload size is only known after the
 // metadata lookup has already been charged.
-func (p *Provider) simulateTransfer(upBytes, downBytes int) {
+func (p *Provider) simulateTransfer(ctx context.Context, upBytes, downBytes int) error {
 	p.mu.Lock()
 	prof := p.opts.Latency
 	prof.RTT = 0
@@ -278,9 +278,7 @@ func (p *Provider) simulateTransfer(upBytes, downBytes int) {
 	}
 	scaled := time.Duration(float64(base) * p.opts.LatencyScale)
 	p.mu.Unlock()
-	if scaled > 0 {
-		p.clk.Sleep(scaled)
-	}
+	return clock.SleepCtx(ctx, p.clk, scaled)
 }
 
 // visibility returns when a write performed now becomes visible.

@@ -2,6 +2,7 @@ package cloudsim
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -11,6 +12,8 @@ import (
 )
 
 // newTestProvider returns a zero-latency, strongly consistent provider.
+var bg = context.Background()
+
 func newTestProvider() *Provider {
 	return NewProvider(Options{Name: "test"})
 }
@@ -20,10 +23,10 @@ func TestPutGetRoundTrip(t *testing.T) {
 	alice := p.CreateAccount("alice")
 	c := p.MustClient(alice)
 	data := []byte("hello cloud")
-	if err := c.Put("dir/file1", data); err != nil {
+	if err := c.Put(bg, "dir/file1", data); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Get("dir/file1")
+	got, err := c.Get(bg, "dir/file1")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,10 +38,10 @@ func TestPutGetRoundTrip(t *testing.T) {
 func TestGetMissingObject(t *testing.T) {
 	p := newTestProvider()
 	c := p.MustClient(p.CreateAccount("alice"))
-	if _, err := c.Get("nope"); !errors.Is(err, cloud.ErrNotFound) {
+	if _, err := c.Get(bg, "nope"); !errors.Is(err, cloud.ErrNotFound) {
 		t.Fatalf("err = %v, want ErrNotFound", err)
 	}
-	if _, err := c.Head("nope"); !errors.Is(err, cloud.ErrNotFound) {
+	if _, err := c.Head(bg, "nope"); !errors.Is(err, cloud.ErrNotFound) {
 		t.Fatalf("Head err = %v, want ErrNotFound", err)
 	}
 }
@@ -46,13 +49,13 @@ func TestGetMissingObject(t *testing.T) {
 func TestOverwriteReturnsLatest(t *testing.T) {
 	p := newTestProvider()
 	c := p.MustClient(p.CreateAccount("alice"))
-	if err := c.Put("obj", []byte("v1")); err != nil {
+	if err := c.Put(bg, "obj", []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Put("obj", []byte("v2")); err != nil {
+	if err := c.Put(bg, "obj", []byte("v2")); err != nil {
 		t.Fatal(err)
 	}
-	got, err := c.Get("obj")
+	got, err := c.Get(bg, "obj")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,19 +67,19 @@ func TestOverwriteReturnsLatest(t *testing.T) {
 func TestDeleteRemovesAndIsIdempotent(t *testing.T) {
 	p := newTestProvider()
 	c := p.MustClient(p.CreateAccount("alice"))
-	if err := c.Put("obj", []byte("data")); err != nil {
+	if err := c.Put(bg, "obj", []byte("data")); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Delete("obj"); err != nil {
+	if err := c.Delete(bg, "obj"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Get("obj"); !errors.Is(err, cloud.ErrNotFound) {
+	if _, err := c.Get(bg, "obj"); !errors.Is(err, cloud.ErrNotFound) {
 		t.Fatalf("after delete, err = %v, want ErrNotFound", err)
 	}
-	if err := c.Delete("obj"); err != nil {
+	if err := c.Delete(bg, "obj"); err != nil {
 		t.Fatalf("second delete should be a no-op, got %v", err)
 	}
-	if err := c.Delete("never-existed"); err != nil {
+	if err := c.Delete(bg, "never-existed"); err != nil {
 		t.Fatalf("deleting non-existent object should be a no-op, got %v", err)
 	}
 }
@@ -85,10 +88,10 @@ func TestHeadReportsSizeAndOwner(t *testing.T) {
 	p := newTestProvider()
 	alice := p.CreateAccount("alice")
 	c := p.MustClient(alice)
-	if err := c.Put("obj", make([]byte, 1234)); err != nil {
+	if err := c.Put(bg, "obj", make([]byte, 1234)); err != nil {
 		t.Fatal(err)
 	}
-	info, err := c.Head("obj")
+	info, err := c.Head(bg, "obj")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,18 +104,18 @@ func TestListPrefixAndOrdering(t *testing.T) {
 	p := newTestProvider()
 	c := p.MustClient(p.CreateAccount("alice"))
 	for _, name := range []string{"b/2", "a/1", "b/1", "c"} {
-		if err := c.Put(name, []byte("x")); err != nil {
+		if err := c.Put(bg, name, []byte("x")); err != nil {
 			t.Fatal(err)
 		}
 	}
-	got, err := c.List("b/")
+	got, err := c.List(bg, "b/")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(got) != 2 || got[0].Name != "b/1" || got[1].Name != "b/2" {
 		t.Fatalf("List(b/) = %+v", got)
 	}
-	all, err := c.List("")
+	all, err := c.List(bg, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,18 +131,18 @@ func TestACLEnforcement(t *testing.T) {
 	ca := p.MustClient(alice)
 	cb := p.MustClient(bob)
 
-	if err := ca.Put("shared", []byte("secret")); err != nil {
+	if err := ca.Put(bg, "shared", []byte("secret")); err != nil {
 		t.Fatal(err)
 	}
 	// Bob has no access yet.
-	if _, err := cb.Get("shared"); !errors.Is(err, cloud.ErrAccessDenied) {
+	if _, err := cb.Get(bg, "shared"); !errors.Is(err, cloud.ErrAccessDenied) {
 		t.Fatalf("bob Get err = %v, want ErrAccessDenied", err)
 	}
-	if err := cb.Put("shared", []byte("overwrite")); !errors.Is(err, cloud.ErrAccessDenied) {
+	if err := cb.Put(bg, "shared", []byte("overwrite")); !errors.Is(err, cloud.ErrAccessDenied) {
 		t.Fatalf("bob Put err = %v, want ErrAccessDenied", err)
 	}
 	// Bob must not see the object in listings either.
-	l, err := cb.List("")
+	l, err := cb.List(bg, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,10 +150,10 @@ func TestACLEnforcement(t *testing.T) {
 		t.Fatalf("bob should not list alice's private objects, got %+v", l)
 	}
 	// Grant read.
-	if err := ca.SetACL("shared", []cloud.Grant{{Grantee: bob, Perm: cloud.PermRead}}); err != nil {
+	if err := ca.SetACL(bg, "shared", []cloud.Grant{{Grantee: bob, Perm: cloud.PermRead}}); err != nil {
 		t.Fatal(err)
 	}
-	got, err := cb.Get("shared")
+	got, err := cb.Get(bg, "shared")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,24 +161,24 @@ func TestACLEnforcement(t *testing.T) {
 		t.Fatalf("bob read %q", got)
 	}
 	// Read grant does not allow writes.
-	if err := cb.Put("shared", []byte("x")); !errors.Is(err, cloud.ErrAccessDenied) {
+	if err := cb.Put(bg, "shared", []byte("x")); !errors.Is(err, cloud.ErrAccessDenied) {
 		t.Fatalf("bob write with read grant err = %v, want ErrAccessDenied", err)
 	}
 	// Upgrade to read-write.
-	if err := ca.SetACL("shared", []cloud.Grant{{Grantee: bob, Perm: cloud.PermReadWrite}}); err != nil {
+	if err := ca.SetACL(bg, "shared", []cloud.Grant{{Grantee: bob, Perm: cloud.PermReadWrite}}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cb.Put("shared", []byte("bob was here")); err != nil {
+	if err := cb.Put(bg, "shared", []byte("bob was here")); err != nil {
 		t.Fatal(err)
 	}
 	// Only the owner may change or read ACLs.
-	if err := cb.SetACL("shared", nil); !errors.Is(err, cloud.ErrAccessDenied) {
+	if err := cb.SetACL(bg, "shared", nil); !errors.Is(err, cloud.ErrAccessDenied) {
 		t.Fatalf("bob SetACL err = %v, want ErrAccessDenied", err)
 	}
-	if _, err := cb.GetACL("shared"); !errors.Is(err, cloud.ErrAccessDenied) {
+	if _, err := cb.GetACL(bg, "shared"); !errors.Is(err, cloud.ErrAccessDenied) {
 		t.Fatalf("bob GetACL err = %v, want ErrAccessDenied", err)
 	}
-	grants, err := ca.GetACL("shared")
+	grants, err := ca.GetACL(bg, "shared")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,10 +186,10 @@ func TestACLEnforcement(t *testing.T) {
 		t.Fatalf("unexpected grants %+v", grants)
 	}
 	// Revoking (PermNone) removes the grant.
-	if err := ca.SetACL("shared", []cloud.Grant{{Grantee: bob, Perm: cloud.PermNone}}); err != nil {
+	if err := ca.SetACL(bg, "shared", []cloud.Grant{{Grantee: bob, Perm: cloud.PermNone}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cb.Get("shared"); !errors.Is(err, cloud.ErrAccessDenied) {
+	if _, err := cb.Get(bg, "shared"); !errors.Is(err, cloud.ErrAccessDenied) {
 		t.Fatalf("after revoke, bob Get err = %v, want ErrAccessDenied", err)
 	}
 }
@@ -194,10 +197,10 @@ func TestACLEnforcement(t *testing.T) {
 func TestACLOnMissingObject(t *testing.T) {
 	p := newTestProvider()
 	c := p.MustClient(p.CreateAccount("alice"))
-	if err := c.SetACL("missing", nil); !errors.Is(err, cloud.ErrNotFound) {
+	if err := c.SetACL(bg, "missing", nil); !errors.Is(err, cloud.ErrNotFound) {
 		t.Fatalf("SetACL err = %v, want ErrNotFound", err)
 	}
-	if _, err := c.GetACL("missing"); !errors.Is(err, cloud.ErrNotFound) {
+	if _, err := c.GetACL(bg, "missing"); !errors.Is(err, cloud.ErrNotFound) {
 		t.Fatalf("GetACL err = %v, want ErrNotFound", err)
 	}
 }
@@ -218,13 +221,13 @@ func TestEventualConsistencyWindow(t *testing.T) {
 		Seed:              7,
 	})
 	c := p.MustClient(p.CreateAccount("alice"))
-	if err := c.Put("obj", []byte("v1")); err != nil {
+	if err := c.Put(bg, "obj", []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
 	// Before the window has certainly elapsed the object may be invisible;
 	// after the full window it must be visible.
 	clk.Advance(11 * time.Second)
-	got, err := c.Get("obj")
+	got, err := c.Get(bg, "obj")
 	if err != nil {
 		t.Fatalf("after full window, err = %v", err)
 	}
@@ -237,16 +240,16 @@ func TestEventualConsistencyServesStaleVersion(t *testing.T) {
 	clk := clock.NewSim(time.Unix(1000, 0))
 	p := NewProvider(Options{Name: "ec", ConsistencyWindow: 10 * time.Second, Clock: clk, Seed: 42})
 	c := p.MustClient(p.CreateAccount("alice"))
-	if err := c.Put("obj", []byte("v1")); err != nil {
+	if err := c.Put(bg, "obj", []byte("v1")); err != nil {
 		t.Fatal(err)
 	}
 	clk.Advance(time.Minute) // v1 now fully visible
-	if err := c.Put("obj", []byte("v2")); err != nil {
+	if err := c.Put(bg, "obj", []byte("v2")); err != nil {
 		t.Fatal(err)
 	}
 	// Immediately after the second write the store may legitimately return
 	// either v1 or v2, but never an error and never garbage.
-	got, err := c.Get("obj")
+	got, err := c.Get(bg, "obj")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +257,7 @@ func TestEventualConsistencyServesStaleVersion(t *testing.T) {
 		t.Fatalf("got unexpected payload %q", got)
 	}
 	clk.Advance(time.Minute)
-	got, err = c.Get("obj")
+	got, err = c.Get(bg, "obj")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,21 +269,21 @@ func TestEventualConsistencyServesStaleVersion(t *testing.T) {
 func TestFaultUnavailable(t *testing.T) {
 	p := newTestProvider()
 	c := p.MustClient(p.CreateAccount("alice"))
-	if err := c.Put("obj", []byte("x")); err != nil {
+	if err := c.Put(bg, "obj", []byte("x")); err != nil {
 		t.Fatal(err)
 	}
 	p.SetFault(FaultUnavailable)
-	if _, err := c.Get("obj"); !errors.Is(err, cloud.ErrUnavailable) {
+	if _, err := c.Get(bg, "obj"); !errors.Is(err, cloud.ErrUnavailable) {
 		t.Fatalf("Get err = %v, want ErrUnavailable", err)
 	}
-	if err := c.Put("obj2", []byte("y")); !errors.Is(err, cloud.ErrUnavailable) {
+	if err := c.Put(bg, "obj2", []byte("y")); !errors.Is(err, cloud.ErrUnavailable) {
 		t.Fatalf("Put err = %v, want ErrUnavailable", err)
 	}
-	if _, err := c.List(""); !errors.Is(err, cloud.ErrUnavailable) {
+	if _, err := c.List(bg, ""); !errors.Is(err, cloud.ErrUnavailable) {
 		t.Fatalf("List err = %v, want ErrUnavailable", err)
 	}
 	p.SetFault(FaultNone)
-	if _, err := c.Get("obj"); err != nil {
+	if _, err := c.Get(bg, "obj"); err != nil {
 		t.Fatalf("after recovery, err = %v", err)
 	}
 }
@@ -289,11 +292,11 @@ func TestFaultCorruptReturnsDifferentBytes(t *testing.T) {
 	p := newTestProvider()
 	c := p.MustClient(p.CreateAccount("alice"))
 	orig := bytes.Repeat([]byte{1, 2, 3, 4}, 100)
-	if err := c.Put("obj", orig); err != nil {
+	if err := c.Put(bg, "obj", orig); err != nil {
 		t.Fatal(err)
 	}
 	p.SetFault(FaultCorrupt)
-	got, err := c.Get("obj")
+	got, err := c.Get(bg, "obj")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,7 +305,7 @@ func TestFaultCorruptReturnsDifferentBytes(t *testing.T) {
 	}
 	// The stored copy must remain intact (corruption is on the read path).
 	p.SetFault(FaultNone)
-	got, err = c.Get("obj")
+	got, err = c.Get(bg, "obj")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,11 +318,11 @@ func TestFaultLoseWrites(t *testing.T) {
 	p := newTestProvider()
 	c := p.MustClient(p.CreateAccount("alice"))
 	p.SetFault(FaultLoseWrites)
-	if err := c.Put("obj", []byte("x")); err != nil {
+	if err := c.Put(bg, "obj", []byte("x")); err != nil {
 		t.Fatalf("lose-writes provider must still acknowledge, got %v", err)
 	}
 	p.SetFault(FaultNone)
-	if _, err := c.Get("obj"); !errors.Is(err, cloud.ErrNotFound) {
+	if _, err := c.Get(bg, "obj"); !errors.Is(err, cloud.ErrNotFound) {
 		t.Fatalf("err = %v, want ErrNotFound (write was dropped)", err)
 	}
 }
@@ -331,13 +334,13 @@ func TestUsageMetering(t *testing.T) {
 	c := p.MustClient(alice)
 
 	payload := make([]byte, 1000)
-	if err := c.Put("obj", payload); err != nil {
+	if err := c.Put(bg, "obj", payload); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Get("obj"); err != nil {
+	if _, err := c.Get(bg, "obj"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.List(""); err != nil {
+	if _, err := c.List(bg, ""); err != nil {
 		t.Fatal(err)
 	}
 	u := p.Usage(alice)
@@ -357,7 +360,7 @@ func TestUsageMetering(t *testing.T) {
 		t.Fatalf("byte-hours = %f, want ~2000", u.ByteHours)
 	}
 	// Deleting stops accumulation.
-	if err := c.Delete("obj"); err != nil {
+	if err := c.Delete(bg, "obj"); err != nil {
 		t.Fatal(err)
 	}
 	u = p.Usage(alice)
@@ -373,7 +376,7 @@ func TestInboundTrafficIsMeteredSeparatelyFromOutbound(t *testing.T) {
 	p := newTestProvider()
 	alice := p.CreateAccount("alice")
 	c := p.MustClient(alice)
-	if err := c.Put("a", make([]byte, 5000)); err != nil {
+	if err := c.Put(bg, "a", make([]byte, 5000)); err != nil {
 		t.Fatal(err)
 	}
 	u := p.Usage(alice)
@@ -391,7 +394,7 @@ func TestLatencySimulationWithSimClock(t *testing.T) {
 	})
 	c := p.MustClient(p.CreateAccount("alice"))
 	done := make(chan error, 1)
-	go func() { done <- c.Put("obj", []byte("x")) }()
+	go func() { done <- c.Put(bg, "obj", []byte("x")) }()
 	// The Put should be blocked on the simulated clock until we advance it.
 	waitForPending(t, clk, 1)
 	select {
@@ -413,7 +416,7 @@ func TestLatencyScaleReducesDelay(t *testing.T) {
 	})
 	c := p.MustClient(p.CreateAccount("alice"))
 	start := time.Now()
-	if err := c.Put("obj", []byte("x")); err != nil {
+	if err := c.Put(bg, "obj", []byte("x")); err != nil {
 		t.Fatal(err)
 	}
 	if elapsed := time.Since(start); elapsed > 40*time.Millisecond {
@@ -451,11 +454,11 @@ func TestObjectCountAndTotalRequests(t *testing.T) {
 	p := newTestProvider()
 	c := p.MustClient(p.CreateAccount("alice"))
 	for i := 0; i < 3; i++ {
-		if err := c.Put(string(rune('a'+i)), []byte("x")); err != nil {
+		if err := c.Put(bg, string(rune('a'+i)), []byte("x")); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if err := c.Delete("a"); err != nil {
+	if err := c.Delete(bg, "a"); err != nil {
 		t.Fatal(err)
 	}
 	if got := p.ObjectCount(); got != 2 {

@@ -8,6 +8,7 @@
 package coord
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -56,32 +57,35 @@ func (s Stats) Total() int64 {
 }
 
 // Service is the coordination-service interface consumed by the SCFS agent.
-// Implementations must be safe for concurrent use.
+// Implementations must be safe for concurrent use. Every RPC takes a
+// context: cancelling it abandons the request promptly with ctx.Err() (the
+// request may still execute at the service, exactly as a request whose reply
+// was lost would).
 type Service interface {
 	// GetMetadata returns the record stored under key.
-	GetMetadata(key string) (Record, error)
+	GetMetadata(ctx context.Context, key string) (Record, error)
 	// PutMetadata unconditionally replaces (or creates) the record under
 	// key, returning the new version.
-	PutMetadata(key string, value []byte, acl ACL) (uint64, error)
+	PutMetadata(ctx context.Context, key string, value []byte, acl ACL) (uint64, error)
 	// CasMetadata replaces the record only if its current version matches
 	// expectedVersion (0 = the record must not exist). On conflict it
 	// returns ErrConflict.
-	CasMetadata(key string, value []byte, expectedVersion uint64, acl ACL) (uint64, error)
+	CasMetadata(ctx context.Context, key string, value []byte, expectedVersion uint64, acl ACL) (uint64, error)
 	// DeleteMetadata removes the record under key (no error if absent).
-	DeleteMetadata(key string) error
+	DeleteMetadata(ctx context.Context, key string) error
 	// ListMetadata returns all records whose key starts with prefix and
 	// which the caller may read.
-	ListMetadata(prefix string) ([]Record, error)
+	ListMetadata(ctx context.Context, prefix string) ([]Record, error)
 	// RenamePrefix atomically rewrites oldPrefix to newPrefix in the keys of
 	// matching records and returns how many were rewritten.
-	RenamePrefix(oldPrefix, newPrefix string) (int, error)
+	RenamePrefix(ctx context.Context, oldPrefix, newPrefix string) (int, error)
 
 	// TryLock acquires the named ephemeral lock for owner with the given
 	// TTL. It returns ErrLockHeld when another owner holds it. Re-acquiring
 	// a lock already held by the same owner renews it.
-	TryLock(name, owner string, ttl time.Duration) error
+	TryLock(ctx context.Context, name, owner string, ttl time.Duration) error
 	// Unlock releases the named lock if held by owner.
-	Unlock(name, owner string) error
+	Unlock(ctx context.Context, name, owner string) error
 
 	// Stats returns a snapshot of the access counters.
 	Stats() Stats

@@ -1,6 +1,7 @@
 package coord
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -13,10 +14,12 @@ import (
 
 // backends returns one instance of every coordination backend under test,
 // each bound to the principal "alice".
+var bg = context.Background()
+
 func backends(t *testing.T) map[string]Service {
 	t.Helper()
 	ds := NewDepSpaceService(depspace.NewClient(&depspace.LocalInvoker{Space: depspace.NewSpace()}, "alice", nil))
-	zk, err := NewZKService(zkcoord.NewClient(&zkcoord.LocalInvoker{Tree: zkcoord.NewTree()}, "alice", nil))
+	zk, err := NewZKService(bg, zkcoord.NewClient(&zkcoord.LocalInvoker{Tree: zkcoord.NewTree()}, "alice", nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,34 +29,34 @@ func backends(t *testing.T) map[string]Service {
 func TestMetadataCRUDAllBackends(t *testing.T) {
 	for name, svc := range backends(t) {
 		t.Run(name, func(t *testing.T) {
-			if _, err := svc.GetMetadata("/f"); !errors.Is(err, ErrNotFound) {
+			if _, err := svc.GetMetadata(bg, "/f"); !errors.Is(err, ErrNotFound) {
 				t.Fatalf("missing key err = %v, want ErrNotFound", err)
 			}
-			v1, err := svc.PutMetadata("/f", []byte("meta-v1"), ACL{Owner: "alice"})
+			v1, err := svc.PutMetadata(bg, "/f", []byte("meta-v1"), ACL{Owner: "alice"})
 			if err != nil {
 				t.Fatal(err)
 			}
-			rec, err := svc.GetMetadata("/f")
+			rec, err := svc.GetMetadata(bg, "/f")
 			if err != nil {
 				t.Fatal(err)
 			}
 			if string(rec.Value) != "meta-v1" || rec.Version != v1 {
 				t.Fatalf("rec = %+v, want value meta-v1 version %d", rec, v1)
 			}
-			v2, err := svc.PutMetadata("/f", []byte("meta-v2"), ACL{Owner: "alice"})
+			v2, err := svc.PutMetadata(bg, "/f", []byte("meta-v2"), ACL{Owner: "alice"})
 			if err != nil {
 				t.Fatal(err)
 			}
 			if v2 <= v1 {
 				t.Fatalf("version did not advance: %d -> %d", v1, v2)
 			}
-			if err := svc.DeleteMetadata("/f"); err != nil {
+			if err := svc.DeleteMetadata(bg, "/f"); err != nil {
 				t.Fatal(err)
 			}
-			if _, err := svc.GetMetadata("/f"); !errors.Is(err, ErrNotFound) {
+			if _, err := svc.GetMetadata(bg, "/f"); !errors.Is(err, ErrNotFound) {
 				t.Fatalf("after delete err = %v, want ErrNotFound", err)
 			}
-			if err := svc.DeleteMetadata("/f"); err != nil {
+			if err := svc.DeleteMetadata(bg, "/f"); err != nil {
 				t.Fatalf("deleting a missing record must be a no-op, got %v", err)
 			}
 		})
@@ -64,24 +67,24 @@ func TestCasMetadataAllBackends(t *testing.T) {
 	for name, svc := range backends(t) {
 		t.Run(name, func(t *testing.T) {
 			// Create-if-absent.
-			v, err := svc.CasMetadata("/f", []byte("first"), 0, ACL{Owner: "alice"})
+			v, err := svc.CasMetadata(bg, "/f", []byte("first"), 0, ACL{Owner: "alice"})
 			if err != nil {
 				t.Fatal(err)
 			}
 			// A second create-if-absent must conflict.
-			if _, err := svc.CasMetadata("/f", []byte("second"), 0, ACL{Owner: "alice"}); !errors.Is(err, ErrConflict) {
+			if _, err := svc.CasMetadata(bg, "/f", []byte("second"), 0, ACL{Owner: "alice"}); !errors.Is(err, ErrConflict) {
 				t.Fatalf("err = %v, want ErrConflict", err)
 			}
 			// Conditional update with correct version succeeds.
-			v2, err := svc.CasMetadata("/f", []byte("third"), v, ACL{Owner: "alice"})
+			v2, err := svc.CasMetadata(bg, "/f", []byte("third"), v, ACL{Owner: "alice"})
 			if err != nil {
 				t.Fatal(err)
 			}
 			// Stale version conflicts.
-			if _, err := svc.CasMetadata("/f", []byte("fourth"), v, ACL{Owner: "alice"}); !errors.Is(err, ErrConflict) {
+			if _, err := svc.CasMetadata(bg, "/f", []byte("fourth"), v, ACL{Owner: "alice"}); !errors.Is(err, ErrConflict) {
 				t.Fatalf("stale cas err = %v, want ErrConflict", err)
 			}
-			rec, err := svc.GetMetadata("/f")
+			rec, err := svc.GetMetadata(bg, "/f")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -97,18 +100,18 @@ func TestListMetadataAllBackends(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			keys := []string{"/docs/a", "/docs/b", "/pics/c"}
 			for _, k := range keys {
-				if _, err := svc.PutMetadata(k, []byte(k), ACL{Owner: "alice"}); err != nil {
+				if _, err := svc.PutMetadata(bg, k, []byte(k), ACL{Owner: "alice"}); err != nil {
 					t.Fatal(err)
 				}
 			}
-			recs, err := svc.ListMetadata("/docs/")
+			recs, err := svc.ListMetadata(bg, "/docs/")
 			if err != nil {
 				t.Fatal(err)
 			}
 			if len(recs) != 2 {
 				t.Fatalf("ListMetadata(/docs/) returned %d records, want 2", len(recs))
 			}
-			all, err := svc.ListMetadata("/")
+			all, err := svc.ListMetadata(bg, "/")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -123,24 +126,24 @@ func TestRenamePrefixAllBackends(t *testing.T) {
 	for name, svc := range backends(t) {
 		t.Run(name, func(t *testing.T) {
 			for _, k := range []string{"/dir/a", "/dir/sub/b", "/dirx/c"} {
-				if _, err := svc.PutMetadata(k, []byte(k), ACL{Owner: "alice"}); err != nil {
+				if _, err := svc.PutMetadata(bg, k, []byte(k), ACL{Owner: "alice"}); err != nil {
 					t.Fatal(err)
 				}
 			}
-			n, err := svc.RenamePrefix("/dir", "/renamed")
+			n, err := svc.RenamePrefix(bg, "/dir", "/renamed")
 			if err != nil {
 				t.Fatal(err)
 			}
 			if n != 2 {
 				t.Fatalf("renamed %d records, want 2", n)
 			}
-			if _, err := svc.GetMetadata("/renamed/a"); err != nil {
+			if _, err := svc.GetMetadata(bg, "/renamed/a"); err != nil {
 				t.Fatalf("renamed record missing: %v", err)
 			}
-			if _, err := svc.GetMetadata("/dirx/c"); err != nil {
+			if _, err := svc.GetMetadata(bg, "/dirx/c"); err != nil {
 				t.Fatalf("sibling with similar prefix must be untouched: %v", err)
 			}
-			if _, err := svc.GetMetadata("/dir/a"); !errors.Is(err, ErrNotFound) {
+			if _, err := svc.GetMetadata(bg, "/dir/a"); !errors.Is(err, ErrNotFound) {
 				t.Fatalf("old key still present: %v", err)
 			}
 		})
@@ -150,32 +153,32 @@ func TestRenamePrefixAllBackends(t *testing.T) {
 func TestLockingAllBackends(t *testing.T) {
 	for name, svc := range backends(t) {
 		t.Run(name, func(t *testing.T) {
-			if err := svc.TryLock("/f", "agent-a", time.Minute); err != nil {
+			if err := svc.TryLock(bg, "/f", "agent-a", time.Minute); err != nil {
 				t.Fatal(err)
 			}
 			// A different owner must be rejected.
-			if err := svc.TryLock("/f", "agent-b", time.Minute); !errors.Is(err, ErrLockHeld) {
+			if err := svc.TryLock(bg, "/f", "agent-b", time.Minute); !errors.Is(err, ErrLockHeld) {
 				t.Fatalf("second owner err = %v, want ErrLockHeld", err)
 			}
 			// Re-entrant acquisition by the holder renews the lock.
-			if err := svc.TryLock("/f", "agent-a", time.Minute); err != nil {
+			if err := svc.TryLock(bg, "/f", "agent-a", time.Minute); err != nil {
 				t.Fatalf("re-entrant lock err = %v", err)
 			}
 			// Unlock by a non-holder must not release it.
-			if err := svc.Unlock("/f", "agent-b"); err == nil {
-				if err2 := svc.TryLock("/f", "agent-b", time.Minute); !errors.Is(err2, ErrLockHeld) {
+			if err := svc.Unlock(bg, "/f", "agent-b"); err == nil {
+				if err2 := svc.TryLock(bg, "/f", "agent-b", time.Minute); !errors.Is(err2, ErrLockHeld) {
 					t.Fatal("non-holder unlock released the lock")
 				}
 			}
 			// Holder releases; other agent can now lock.
-			if err := svc.Unlock("/f", "agent-a"); err != nil {
+			if err := svc.Unlock(bg, "/f", "agent-a"); err != nil {
 				t.Fatal(err)
 			}
-			if err := svc.TryLock("/f", "agent-b", time.Minute); err != nil {
+			if err := svc.TryLock(bg, "/f", "agent-b", time.Minute); err != nil {
 				t.Fatalf("after release err = %v", err)
 			}
 			// Unlocking a never-held lock is a no-op.
-			if err := svc.Unlock("/never", "agent-a"); err != nil {
+			if err := svc.Unlock(bg, "/never", "agent-a"); err != nil {
 				t.Fatalf("unlock of unknown lock err = %v", err)
 			}
 		})
@@ -190,15 +193,15 @@ func TestEphemeralLockExpiresAfterCrash(t *testing.T) {
 	crashed := NewDepSpaceService(depspace.NewClient(&depspace.LocalInvoker{Space: space}, "crashed", clk))
 	survivor := NewDepSpaceService(depspace.NewClient(&depspace.LocalInvoker{Space: space}, "survivor", clk))
 
-	if err := crashed.TryLock("/f", "crashed-agent", 30*time.Second); err != nil {
+	if err := crashed.TryLock(bg, "/f", "crashed-agent", 30*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	if err := survivor.TryLock("/f", "survivor-agent", 30*time.Second); !errors.Is(err, ErrLockHeld) {
+	if err := survivor.TryLock(bg, "/f", "survivor-agent", 30*time.Second); !errors.Is(err, ErrLockHeld) {
 		t.Fatalf("err = %v, want ErrLockHeld", err)
 	}
 	// The crashed agent never unlocks; time passes beyond the TTL.
 	clk.Advance(31 * time.Second)
-	if err := survivor.TryLock("/f", "survivor-agent", 30*time.Second); err != nil {
+	if err := survivor.TryLock(bg, "/f", "survivor-agent", 30*time.Second); err != nil {
 		t.Fatalf("lock not acquirable after holder crash: %v", err)
 	}
 }
@@ -208,32 +211,32 @@ func TestDepSpaceACLEnforcedThroughService(t *testing.T) {
 	alice := NewDepSpaceService(depspace.NewClient(&depspace.LocalInvoker{Space: space}, "alice", nil))
 	bob := NewDepSpaceService(depspace.NewClient(&depspace.LocalInvoker{Space: space}, "bob", nil))
 
-	if _, err := alice.PutMetadata("/private", []byte("x"), ACL{Owner: "alice"}); err != nil {
+	if _, err := alice.PutMetadata(bg, "/private", []byte("x"), ACL{Owner: "alice"}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := bob.GetMetadata("/private"); !errors.Is(err, ErrDenied) {
+	if _, err := bob.GetMetadata(bg, "/private"); !errors.Is(err, ErrDenied) {
 		t.Fatalf("bob read err = %v, want ErrDenied", err)
 	}
-	if _, err := alice.PutMetadata("/shared", []byte("y"), ACL{Owner: "alice", Readers: []string{"bob"}}); err != nil {
+	if _, err := alice.PutMetadata(bg, "/shared", []byte("y"), ACL{Owner: "alice", Readers: []string{"bob"}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := bob.GetMetadata("/shared"); err != nil {
+	if _, err := bob.GetMetadata(bg, "/shared"); err != nil {
 		t.Fatalf("bob read of shared record: %v", err)
 	}
 }
 
 func TestStatsCountAccesses(t *testing.T) {
 	svc := NewDepSpaceService(depspace.NewClient(&depspace.LocalInvoker{Space: depspace.NewSpace()}, "alice", nil))
-	if _, err := svc.PutMetadata("/f", []byte("v"), ACL{}); err != nil {
+	if _, err := svc.PutMetadata(bg, "/f", []byte("v"), ACL{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := svc.GetMetadata("/f"); err != nil {
+	if _, err := svc.GetMetadata(bg, "/f"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := svc.ListMetadata("/"); err != nil {
+	if _, err := svc.ListMetadata(bg, "/"); err != nil {
 		t.Fatal(err)
 	}
-	if err := svc.TryLock("/f", "a", time.Minute); err != nil {
+	if err := svc.TryLock(bg, "/f", "a", time.Minute); err != nil {
 		t.Fatal(err)
 	}
 	s := svc.Stats()
@@ -252,7 +255,7 @@ func TestWithLatencyChargesEveryAccess(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		_, err := svc.PutMetadata("/f", []byte("v"), ACL{})
+		_, err := svc.PutMetadata(bg, "/f", []byte("v"), ACL{})
 		done <- err
 	}()
 	// The call must be parked on the simulated clock.
@@ -296,7 +299,7 @@ func TestConcurrentLockersSingleWinner(t *testing.T) {
 	doneCh := make(chan struct{})
 	for i := 0; i < contenders; i++ {
 		go func(i int) {
-			if err := svc.TryLock("/f", fmt.Sprintf("agent-%d", i), time.Minute); err == nil {
+			if err := svc.TryLock(bg, "/f", fmt.Sprintf("agent-%d", i), time.Minute); err == nil {
 				winners <- i
 			}
 			doneCh <- struct{}{}

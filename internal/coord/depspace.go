@@ -1,6 +1,7 @@
 package coord
 
 import (
+	"context"
 	"encoding/base64"
 	"errors"
 	"fmt"
@@ -56,9 +57,9 @@ func mapDepSpaceError(err error) error {
 }
 
 // GetMetadata implements Service.
-func (d *DepSpaceService) GetMetadata(key string) (Record, error) {
+func (d *DepSpaceService) GetMetadata(ctx context.Context, key string) (Record, error) {
 	d.addRead()
-	e, err := d.cli.Rdp(depspace.Tuple{tagMeta, key, depspace.Wildcard})
+	e, err := d.cli.Rdp(ctx, depspace.Tuple{tagMeta, key, depspace.Wildcard})
 	if err != nil {
 		return Record{}, mapDepSpaceError(err)
 	}
@@ -70,9 +71,9 @@ func (d *DepSpaceService) GetMetadata(key string) (Record, error) {
 }
 
 // PutMetadata implements Service.
-func (d *DepSpaceService) PutMetadata(key string, value []byte, acl ACL) (uint64, error) {
+func (d *DepSpaceService) PutMetadata(ctx context.Context, key string, value []byte, acl ACL) (uint64, error) {
 	d.addWrite()
-	v, err := d.cli.Replace(
+	v, err := d.cli.Replace(ctx,
 		depspace.Tuple{tagMeta, key, depspace.Wildcard},
 		depspace.Tuple{tagMeta, key, encodePayload(value)},
 		dsACL(acl))
@@ -80,9 +81,9 @@ func (d *DepSpaceService) PutMetadata(key string, value []byte, acl ACL) (uint64
 }
 
 // CasMetadata implements Service.
-func (d *DepSpaceService) CasMetadata(key string, value []byte, expectedVersion uint64, acl ACL) (uint64, error) {
+func (d *DepSpaceService) CasMetadata(ctx context.Context, key string, value []byte, expectedVersion uint64, acl ACL) (uint64, error) {
 	d.addWrite()
-	v, _, err := d.cli.Cas(
+	v, _, err := d.cli.Cas(ctx,
 		depspace.Tuple{tagMeta, key, depspace.Wildcard},
 		depspace.Tuple{tagMeta, key, encodePayload(value)},
 		expectedVersion, dsACL(acl), 0)
@@ -90,9 +91,9 @@ func (d *DepSpaceService) CasMetadata(key string, value []byte, expectedVersion 
 }
 
 // DeleteMetadata implements Service.
-func (d *DepSpaceService) DeleteMetadata(key string) error {
+func (d *DepSpaceService) DeleteMetadata(ctx context.Context, key string) error {
 	d.addWrite()
-	_, err := d.cli.Inp(depspace.Tuple{tagMeta, key, depspace.Wildcard})
+	_, err := d.cli.Inp(ctx, depspace.Tuple{tagMeta, key, depspace.Wildcard})
 	if errors.Is(err, depspace.ErrNotFound) {
 		return nil
 	}
@@ -100,9 +101,9 @@ func (d *DepSpaceService) DeleteMetadata(key string) error {
 }
 
 // ListMetadata implements Service.
-func (d *DepSpaceService) ListMetadata(prefix string) ([]Record, error) {
+func (d *DepSpaceService) ListMetadata(ctx context.Context, prefix string) ([]Record, error) {
 	d.addList()
-	entries, err := d.cli.RdAll(depspace.Tuple{tagMeta, depspace.Wildcard, depspace.Wildcard})
+	entries, err := d.cli.RdAll(ctx, depspace.Tuple{tagMeta, depspace.Wildcard, depspace.Wildcard})
 	if err != nil {
 		return nil, mapDepSpaceError(err)
 	}
@@ -122,16 +123,16 @@ func (d *DepSpaceService) ListMetadata(prefix string) ([]Record, error) {
 }
 
 // RenamePrefix implements Service using the DepSpace trigger extension.
-func (d *DepSpaceService) RenamePrefix(oldPrefix, newPrefix string) (int, error) {
+func (d *DepSpaceService) RenamePrefix(ctx context.Context, oldPrefix, newPrefix string) (int, error) {
 	d.addWrite()
-	n, err := d.cli.Rename(1, oldPrefix, newPrefix)
+	n, err := d.cli.Rename(ctx, 1, oldPrefix, newPrefix)
 	return n, mapDepSpaceError(err)
 }
 
 // TryLock implements Service: a conditional insertion of an ephemeral tuple.
-func (d *DepSpaceService) TryLock(name, owner string, ttl time.Duration) error {
+func (d *DepSpaceService) TryLock(ctx context.Context, name, owner string, ttl time.Duration) error {
 	d.addLock()
-	_, existing, err := d.cli.Cas(
+	_, existing, err := d.cli.Cas(ctx,
 		depspace.Tuple{tagLock, name, depspace.Wildcard},
 		depspace.Tuple{tagLock, name, owner},
 		0, depspace.ACL{}, ttl)
@@ -142,7 +143,7 @@ func (d *DepSpaceService) TryLock(name, owner string, ttl time.Duration) error {
 		if existing != nil && len(existing.Tuple) == 3 && existing.Tuple[2] == owner {
 			// Re-entrant acquisition by the same owner: renew the lease.
 			d.addLock()
-			if _, _, casErr := d.cli.Cas(
+			if _, _, casErr := d.cli.Cas(ctx,
 				depspace.Tuple{tagLock, name, owner},
 				depspace.Tuple{tagLock, name, owner},
 				existing.Version, depspace.ACL{}, ttl); casErr == nil {
@@ -155,9 +156,9 @@ func (d *DepSpaceService) TryLock(name, owner string, ttl time.Duration) error {
 }
 
 // Unlock implements Service.
-func (d *DepSpaceService) Unlock(name, owner string) error {
+func (d *DepSpaceService) Unlock(ctx context.Context, name, owner string) error {
 	d.addLock()
-	_, err := d.cli.Inp(depspace.Tuple{tagLock, name, owner})
+	_, err := d.cli.Inp(ctx, depspace.Tuple{tagLock, name, owner})
 	if errors.Is(err, depspace.ErrNotFound) {
 		return nil // already released or expired
 	}

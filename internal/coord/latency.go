@@ -1,6 +1,7 @@
 package coord
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"time"
@@ -65,7 +66,9 @@ func WithLatency(inner Service, opts LatencyOptions) Service {
 	}
 }
 
-func (l *latencyService) sleep() {
+// sleep charges one sampled network round trip, returning early with
+// ctx.Err() when the caller cancels mid-flight.
+func (l *latencyService) sleep(ctx context.Context) error {
 	min, max := l.opts.MinRTT, l.opts.MaxRTT
 	if max < min {
 		max = min
@@ -79,49 +82,63 @@ func (l *latencyService) sleep() {
 	}
 	l.mu.Unlock()
 	d = time.Duration(float64(d) * l.opts.Scale)
-	if d > 0 {
-		l.clk.Sleep(d)
+	return clock.SleepCtx(ctx, l.clk, d)
+}
+
+func (l *latencyService) GetMetadata(ctx context.Context, key string) (Record, error) {
+	if err := l.sleep(ctx); err != nil {
+		return Record{}, err
 	}
+	return l.inner.GetMetadata(ctx, key)
 }
 
-func (l *latencyService) GetMetadata(key string) (Record, error) {
-	l.sleep()
-	return l.inner.GetMetadata(key)
+func (l *latencyService) PutMetadata(ctx context.Context, key string, value []byte, acl ACL) (uint64, error) {
+	if err := l.sleep(ctx); err != nil {
+		return 0, err
+	}
+	return l.inner.PutMetadata(ctx, key, value, acl)
 }
 
-func (l *latencyService) PutMetadata(key string, value []byte, acl ACL) (uint64, error) {
-	l.sleep()
-	return l.inner.PutMetadata(key, value, acl)
+func (l *latencyService) CasMetadata(ctx context.Context, key string, value []byte, expectedVersion uint64, acl ACL) (uint64, error) {
+	if err := l.sleep(ctx); err != nil {
+		return 0, err
+	}
+	return l.inner.CasMetadata(ctx, key, value, expectedVersion, acl)
 }
 
-func (l *latencyService) CasMetadata(key string, value []byte, expectedVersion uint64, acl ACL) (uint64, error) {
-	l.sleep()
-	return l.inner.CasMetadata(key, value, expectedVersion, acl)
+func (l *latencyService) DeleteMetadata(ctx context.Context, key string) error {
+	if err := l.sleep(ctx); err != nil {
+		return err
+	}
+	return l.inner.DeleteMetadata(ctx, key)
 }
 
-func (l *latencyService) DeleteMetadata(key string) error {
-	l.sleep()
-	return l.inner.DeleteMetadata(key)
+func (l *latencyService) ListMetadata(ctx context.Context, prefix string) ([]Record, error) {
+	if err := l.sleep(ctx); err != nil {
+		return nil, err
+	}
+	return l.inner.ListMetadata(ctx, prefix)
 }
 
-func (l *latencyService) ListMetadata(prefix string) ([]Record, error) {
-	l.sleep()
-	return l.inner.ListMetadata(prefix)
+func (l *latencyService) RenamePrefix(ctx context.Context, oldPrefix, newPrefix string) (int, error) {
+	if err := l.sleep(ctx); err != nil {
+		return 0, err
+	}
+	return l.inner.RenamePrefix(ctx, oldPrefix, newPrefix)
 }
 
-func (l *latencyService) RenamePrefix(oldPrefix, newPrefix string) (int, error) {
-	l.sleep()
-	return l.inner.RenamePrefix(oldPrefix, newPrefix)
+func (l *latencyService) TryLock(ctx context.Context, name, owner string, ttl time.Duration) error {
+	if err := l.sleep(ctx); err != nil {
+		return err
+	}
+	return l.inner.TryLock(ctx, name, owner, ttl)
 }
 
-func (l *latencyService) TryLock(name, owner string, ttl time.Duration) error {
-	l.sleep()
-	return l.inner.TryLock(name, owner, ttl)
-}
-
-func (l *latencyService) Unlock(name, owner string) error {
-	l.sleep()
-	return l.inner.Unlock(name, owner)
+func (l *latencyService) Unlock(ctx context.Context, name, owner string) error {
+	if err := l.sleep(ctx); err != nil {
+		return err
+	}
+	return l.inner.Unlock(ctx, name, owner)
 }
 
 func (l *latencyService) Stats() Stats { return l.inner.Stats() }

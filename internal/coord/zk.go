@@ -1,6 +1,7 @@
 package coord
 
 import (
+	"context"
 	"errors"
 	"net/url"
 	"strings"
@@ -27,10 +28,10 @@ type ZKService struct {
 var _ Service = (*ZKService)(nil)
 
 // NewZKService wraps a znode client and creates the SCFS root znodes.
-func NewZKService(cli *zkcoord.Client) (*ZKService, error) {
+func NewZKService(ctx context.Context, cli *zkcoord.Client) (*ZKService, error) {
 	s := &ZKService{cli: cli}
 	for _, p := range []string{"/scfs", zkMetaRoot, zkLockRoot} {
-		if _, err := cli.Create(p, nil); err != nil && !errors.Is(err, zkcoord.ErrExists) {
+		if _, err := cli.Create(ctx, p, nil); err != nil && !errors.Is(err, zkcoord.ErrExists) {
 			return nil, err
 		}
 	}
@@ -63,9 +64,9 @@ func mapZKError(err error) error {
 }
 
 // GetMetadata implements Service.
-func (z *ZKService) GetMetadata(key string) (Record, error) {
+func (z *ZKService) GetMetadata(ctx context.Context, key string) (Record, error) {
 	z.addRead()
-	data, st, err := z.cli.Get(zkMetaRoot + "/" + encodeKey(key))
+	data, st, err := z.cli.Get(ctx, zkMetaRoot+"/"+encodeKey(key))
 	if err != nil {
 		return Record{}, mapZKError(err)
 	}
@@ -73,15 +74,15 @@ func (z *ZKService) GetMetadata(key string) (Record, error) {
 }
 
 // PutMetadata implements Service.
-func (z *ZKService) PutMetadata(key string, value []byte, acl ACL) (uint64, error) {
+func (z *ZKService) PutMetadata(ctx context.Context, key string, value []byte, acl ACL) (uint64, error) {
 	z.addWrite()
 	p := zkMetaRoot + "/" + encodeKey(key)
-	if _, err := z.cli.Create(p, value); err == nil {
+	if _, err := z.cli.Create(ctx, p, value); err == nil {
 		return 1, nil
 	} else if !errors.Is(err, zkcoord.ErrExists) {
 		return 0, mapZKError(err)
 	}
-	st, err := z.cli.Set(p, value, zkcoord.AnyVersion)
+	st, err := z.cli.Set(ctx, p, value, zkcoord.AnyVersion)
 	if err != nil {
 		return 0, mapZKError(err)
 	}
@@ -89,16 +90,16 @@ func (z *ZKService) PutMetadata(key string, value []byte, acl ACL) (uint64, erro
 }
 
 // CasMetadata implements Service.
-func (z *ZKService) CasMetadata(key string, value []byte, expectedVersion uint64, acl ACL) (uint64, error) {
+func (z *ZKService) CasMetadata(ctx context.Context, key string, value []byte, expectedVersion uint64, acl ACL) (uint64, error) {
 	z.addWrite()
 	p := zkMetaRoot + "/" + encodeKey(key)
 	if expectedVersion == 0 {
-		if _, err := z.cli.Create(p, value); err != nil {
+		if _, err := z.cli.Create(ctx, p, value); err != nil {
 			return 0, mapZKError(err)
 		}
 		return 1, nil
 	}
-	st, err := z.cli.Set(p, value, int64(expectedVersion))
+	st, err := z.cli.Set(ctx, p, value, int64(expectedVersion))
 	if err != nil {
 		return 0, mapZKError(err)
 	}
@@ -106,9 +107,9 @@ func (z *ZKService) CasMetadata(key string, value []byte, expectedVersion uint64
 }
 
 // DeleteMetadata implements Service.
-func (z *ZKService) DeleteMetadata(key string) error {
+func (z *ZKService) DeleteMetadata(ctx context.Context, key string) error {
 	z.addWrite()
-	err := z.cli.Delete(zkMetaRoot+"/"+encodeKey(key), zkcoord.AnyVersion)
+	err := z.cli.Delete(ctx, zkMetaRoot+"/"+encodeKey(key), zkcoord.AnyVersion)
 	if errors.Is(err, zkcoord.ErrNotFound) {
 		return nil
 	}
@@ -116,9 +117,9 @@ func (z *ZKService) DeleteMetadata(key string) error {
 }
 
 // ListMetadata implements Service.
-func (z *ZKService) ListMetadata(prefix string) ([]Record, error) {
+func (z *ZKService) ListMetadata(ctx context.Context, prefix string) ([]Record, error) {
 	z.addList()
-	names, err := z.cli.Children(zkMetaRoot)
+	names, err := z.cli.Children(ctx, zkMetaRoot)
 	if err != nil {
 		return nil, mapZKError(err)
 	}
@@ -128,7 +129,7 @@ func (z *ZKService) ListMetadata(prefix string) ([]Record, error) {
 		if !strings.HasPrefix(key, prefix) {
 			continue
 		}
-		data, st, err := z.cli.Get(zkMetaRoot + "/" + name)
+		data, st, err := z.cli.Get(ctx, zkMetaRoot+"/"+name)
 		if err != nil {
 			continue
 		}
@@ -140,8 +141,8 @@ func (z *ZKService) ListMetadata(prefix string) ([]Record, error) {
 // RenamePrefix implements Service. The znode backend has no server-side
 // trigger, so the rewrite is performed record by record (the reason the paper
 // added triggers to DepSpace).
-func (z *ZKService) RenamePrefix(oldPrefix, newPrefix string) (int, error) {
-	records, err := z.ListMetadata(oldPrefix)
+func (z *ZKService) RenamePrefix(ctx context.Context, oldPrefix, newPrefix string) (int, error) {
+	records, err := z.ListMetadata(ctx, oldPrefix)
 	if err != nil {
 		return 0, err
 	}
@@ -151,10 +152,10 @@ func (z *ZKService) RenamePrefix(oldPrefix, newPrefix string) (int, error) {
 			continue
 		}
 		newKey := newPrefix + strings.TrimPrefix(r.Key, oldPrefix)
-		if _, err := z.PutMetadata(newKey, r.Value, ACL{}); err != nil {
+		if _, err := z.PutMetadata(ctx, newKey, r.Value, ACL{}); err != nil {
 			return count, err
 		}
-		if err := z.DeleteMetadata(r.Key); err != nil {
+		if err := z.DeleteMetadata(ctx, r.Key); err != nil {
 			return count, err
 		}
 		count++
@@ -163,21 +164,21 @@ func (z *ZKService) RenamePrefix(oldPrefix, newPrefix string) (int, error) {
 }
 
 // TryLock implements Service with an ephemeral znode per lock.
-func (z *ZKService) TryLock(name, owner string, ttl time.Duration) error {
+func (z *ZKService) TryLock(ctx context.Context, name, owner string, ttl time.Duration) error {
 	z.addLock()
 	prevTTL := z.cli.SessionTTL
 	z.cli.SessionTTL = ttl
 	defer func() { z.cli.SessionTTL = prevTTL }()
 	p := zkLockRoot + "/" + encodeKey(name)
-	if _, err := z.cli.CreateEphemeral(p, []byte(owner)); err == nil {
+	if _, err := z.cli.CreateEphemeral(ctx, p, []byte(owner)); err == nil {
 		return nil
 	} else if !errors.Is(err, zkcoord.ErrExists) {
 		return mapZKError(err)
 	}
-	data, _, err := z.cli.Get(p)
+	data, _, err := z.cli.Get(ctx, p)
 	if err == nil && string(data) == owner {
 		// Same owner: renew by touching the node.
-		if _, err := z.cli.Set(p, data, zkcoord.AnyVersion); err == nil {
+		if _, err := z.cli.Set(ctx, p, data, zkcoord.AnyVersion); err == nil {
 			return nil
 		}
 	}
@@ -185,10 +186,10 @@ func (z *ZKService) TryLock(name, owner string, ttl time.Duration) error {
 }
 
 // Unlock implements Service.
-func (z *ZKService) Unlock(name, owner string) error {
+func (z *ZKService) Unlock(ctx context.Context, name, owner string) error {
 	z.addLock()
 	p := zkLockRoot + "/" + encodeKey(name)
-	data, _, err := z.cli.Get(p)
+	data, _, err := z.cli.Get(ctx, p)
 	if errors.Is(err, zkcoord.ErrNotFound) {
 		return nil
 	}
@@ -198,7 +199,7 @@ func (z *ZKService) Unlock(name, owner string) error {
 	if string(data) != owner {
 		return ErrLockHeld
 	}
-	if err := z.cli.Delete(p, zkcoord.AnyVersion); err != nil && !errors.Is(err, zkcoord.ErrNotFound) {
+	if err := z.cli.Delete(ctx, p, zkcoord.AnyVersion); err != nil && !errors.Is(err, zkcoord.ErrNotFound) {
 		return mapZKError(err)
 	}
 	return nil

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
@@ -73,7 +74,7 @@ type GCPolicy struct {
 // coordination service (§2.6). Implementations map the SCFS user to its
 // per-provider canonical identifiers.
 type ACLPropagator interface {
-	PropagateACL(fileID string, hashes []string, user string, perm fsapi.Permission) error
+	PropagateACL(ctx context.Context, fileID string, hashes []string, user string, perm fsapi.Permission) error
 }
 
 // Options configures an Agent.
@@ -212,6 +213,12 @@ type Agent struct {
 	opts Options
 	clk  clock.Clock
 
+	// baseCtx scopes the agent's background work (the upload worker, GC
+	// runs it starts itself) to the mount's lifetime; cancelling a single
+	// operation's ctx never kills them, a forced Unmount does.
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
 	memCache  *cache.Memory
 	diskCache *cache.Disk
 	metaCache *cache.Metadata
@@ -239,8 +246,10 @@ type Agent struct {
 
 var _ fsapi.FileSystem = (*Agent)(nil)
 
-// New mounts an SCFS agent with the given options.
-func New(opts Options) (*Agent, error) {
+// New mounts an SCFS agent with the given options. The ctx bounds only the
+// mount itself (loading the private name space, acquiring the PNS lock);
+// the mounted agent is independent of it and lives until Unmount.
+func New(ctx context.Context, opts Options) (*Agent, error) {
 	opts, err := opts.withDefaults()
 	if err != nil {
 		return nil, err
@@ -257,21 +266,25 @@ func New(opts Options) (*Agent, error) {
 	if err != nil {
 		return nil, err
 	}
+	baseCtx, cancelBase := context.WithCancel(context.Background())
 	a := &Agent{
-		opts:      opts,
-		clk:       opts.Clock,
-		memCache:  cache.NewMemory(opts.MemoryCacheBytes),
-		diskCache: disk,
-		metaCache: cache.NewMetadata(opts.MetadataCacheTTL, opts.Clock),
-		openFiles: make(map[string]*openFile),
-		uploadCh:  make(chan uploadTask, 1024),
+		opts:       opts,
+		clk:        opts.Clock,
+		baseCtx:    baseCtx,
+		cancelBase: cancelBase,
+		memCache:   cache.NewMemory(opts.MemoryCacheBytes),
+		diskCache:  disk,
+		metaCache:  cache.NewMetadata(opts.MetadataCacheTTL, opts.Clock),
+		openFiles:  make(map[string]*openFile),
+		uploadCh:   make(chan uploadTask, 1024),
 	}
 	// Evicted open-file contents fall back to the disk cache.
 	a.memCache.OnEvict = func(key string, value []byte) {
 		_ = a.diskCache.Put(key, value)
 	}
 	if opts.UsePNS || opts.Mode == NonSharing {
-		if err := a.loadPNS(); err != nil {
+		if err := a.loadPNS(ctx); err != nil {
+			cancelBase()
 			return nil, err
 		}
 	}
@@ -316,8 +329,12 @@ func (a *Agent) addStat(f func(*Stats)) {
 }
 
 // Unmount flushes pending uploads and the private name space, then releases
-// resources. The agent must not be used afterwards.
-func (a *Agent) Unmount() error {
+// resources. The agent must not be used afterwards. Cancelling ctx turns
+// the graceful drain into a forced one: the in-flight background uploads
+// are aborted (their versions stay unanchored and will be re-uploaded by a
+// future mount's dirty-cache recovery or simply superseded) and Unmount
+// returns ctx.Err().
+func (a *Agent) Unmount(ctx context.Context) error {
 	a.mu.Lock()
 	if a.closed {
 		a.mu.Unlock()
@@ -327,15 +344,32 @@ func (a *Agent) Unmount() error {
 	a.mu.Unlock()
 
 	close(a.uploadCh)
-	a.uploadWG.Wait()
+	drained := make(chan struct{})
+	go func() { a.uploadWG.Wait(); close(drained) }()
+	var forced error
+	flushCtx := ctx
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		forced = ctx.Err()
+		a.cancelBase() // abort the in-flight uploads
+		<-drained
+		// The caller's ctx is dead, but the private name space should not
+		// be lost if it can still be flushed quickly: give the final flush
+		// its own short deadline.
+		var cancelFlush context.CancelFunc
+		flushCtx, cancelFlush = context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancelFlush()
+	}
+	a.cancelBase()
 
 	// Final PNS flush.
 	if a.pns != nil {
-		if err := a.flushPNS(); err != nil {
+		if err := a.flushPNS(flushCtx); err != nil {
 			return err
 		}
 	}
-	return nil
+	return forced
 }
 
 // isShared decides whether a path's metadata must live in the coordination
@@ -353,7 +387,10 @@ func (a *Agent) isShared(md *fsmeta.Metadata) bool {
 	return md.IsShared()
 }
 
-func (a *Agent) checkOpen() error {
+func (a *Agent) checkOpen(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.closed {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"scfs/internal/fsmeta"
@@ -35,7 +36,9 @@ func (a *Agent) maybeStartGC() {
 			a.gcRunning = false
 			a.mu.Unlock()
 		}()
-		_, _ = a.Collect()
+		// Background collections run under the agent's lifetime context:
+		// they outlive the close() that triggered them but not the mount.
+		_, _ = a.Collect(a.baseCtx)
 	}()
 }
 
@@ -59,9 +62,9 @@ type GCReport struct {
 // the backend supports batched sweeps (the CoC backend resolves every
 // file's versions with one bounded-concurrency metadata sweep instead of
 // one quorum read per deleted version), all deletions go out as one batch.
-func (a *Agent) Collect() (GCReport, error) {
+func (a *Agent) Collect(ctx context.Context) (GCReport, error) {
 	var report GCReport
-	entries, err := a.listSubtree("/")
+	entries, err := a.listSubtree(ctx, "/")
 	if err != nil {
 		return report, err
 	}
@@ -93,21 +96,21 @@ func (a *Agent) Collect() (GCReport, error) {
 	}
 
 	// Phase 2: delete the doomed versions from the cloud.
-	report.VersionsDeleted = a.sweepVersions(doomed)
+	report.VersionsDeleted = a.sweepVersions(ctx, doomed)
 
 	// Phase 3: apply the metadata updates.
 	for _, md := range purged {
-		if err := a.deleteMetadata(md.Path); err != nil {
+		if err := a.deleteMetadata(ctx, md.Path); err != nil {
 			return report, err
 		}
 		report.FilesPurged++
 	}
 	for _, md := range trimmed {
-		if err := a.putMetadata(md); err != nil {
+		if err := a.putMetadata(ctx, md); err != nil {
 			return report, err
 		}
 	}
-	if err := a.flushPNS(); err != nil {
+	if err := a.flushPNS(ctx); err != nil {
 		return report, err
 	}
 	return report, nil
@@ -115,12 +118,12 @@ func (a *Agent) Collect() (GCReport, error) {
 
 // sweepVersions deletes the given fileID -> hashes and returns how many
 // versions were removed, preferring the backend's batched sweep.
-func (a *Agent) sweepVersions(doomed map[string][]string) int {
+func (a *Agent) sweepVersions(ctx context.Context, doomed map[string][]string) int {
 	if len(doomed) == 0 {
 		return 0
 	}
 	if sweeper, ok := a.opts.Storage.(storage.VersionSweeper); ok {
-		return sweeper.DeleteVersionsBatch(doomed)
+		return sweeper.DeleteVersionsBatch(ctx, doomed)
 	}
 	deleted := 0
 	var mu sync.Mutex
@@ -136,7 +139,7 @@ func (a *Agent) sweepVersions(doomed map[string][]string) int {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				if err := a.opts.Storage.DeleteVersion(fileID, hash); err == nil {
+				if err := a.opts.Storage.DeleteVersion(ctx, fileID, hash); err == nil {
 					mu.Lock()
 					deleted++
 					mu.Unlock()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -25,7 +26,7 @@ func coordACL(md *fsmeta.Metadata) coord.ACL {
 // getMetadata returns the metadata of path from cache, PNS or the
 // coordination service. It returns fsapi.ErrNotExist when the path has no
 // live metadata (missing or marked deleted).
-func (a *Agent) getMetadata(path string, useCache bool) (*fsmeta.Metadata, error) {
+func (a *Agent) getMetadata(ctx context.Context, path string, useCache bool) (*fsmeta.Metadata, error) {
 	path = fsmeta.Clean(path)
 	if path == "/" {
 		return a.rootMetadata(), nil
@@ -58,7 +59,7 @@ func (a *Agent) getMetadata(path string, useCache bool) (*fsmeta.Metadata, error
 	if a.opts.Coordination == nil {
 		return nil, fsapi.ErrNotExist
 	}
-	rec, err := a.opts.Coordination.GetMetadata(path)
+	rec, err := a.opts.Coordination.GetMetadata(ctx, path)
 	if errors.Is(err, coord.ErrNotFound) {
 		return nil, fsapi.ErrNotExist
 	}
@@ -86,14 +87,14 @@ func (a *Agent) rootMetadata() *fsmeta.Metadata {
 
 // putMetadata stores (or replaces) the metadata of a path in the right place
 // and refreshes the metadata cache.
-func (a *Agent) putMetadata(md *fsmeta.Metadata) error {
+func (a *Agent) putMetadata(ctx context.Context, md *fsmeta.Metadata) error {
 	path := fsmeta.Clean(md.Path)
 	raw, err := md.Encode()
 	if err != nil {
 		return err
 	}
 	if a.isShared(md) {
-		if _, err := a.opts.Coordination.PutMetadata(path, raw, coordACL(md)); err != nil {
+		if _, err := a.opts.Coordination.PutMetadata(ctx, path, raw, coordACL(md)); err != nil {
 			if errors.Is(err, coord.ErrDenied) {
 				return fsapi.ErrPermission
 			}
@@ -117,7 +118,7 @@ func (a *Agent) putMetadata(md *fsmeta.Metadata) error {
 }
 
 // deleteMetadata removes the metadata of a path from wherever it lives.
-func (a *Agent) deleteMetadata(path string) error {
+func (a *Agent) deleteMetadata(ctx context.Context, path string) error {
 	path = fsmeta.Clean(path)
 	a.metaCache.Invalidate(path)
 	a.mu.Lock()
@@ -131,7 +132,7 @@ func (a *Agent) deleteMetadata(path string) error {
 	if a.opts.Coordination == nil {
 		return nil
 	}
-	if err := a.opts.Coordination.DeleteMetadata(path); err != nil && !errors.Is(err, coord.ErrNotFound) {
+	if err := a.opts.Coordination.DeleteMetadata(ctx, path); err != nil && !errors.Is(err, coord.ErrNotFound) {
 		return fmt.Errorf("core: deleting metadata of %q: %w", path, err)
 	}
 	return nil
@@ -139,7 +140,7 @@ func (a *Agent) deleteMetadata(path string) error {
 
 // listMetadata returns the live metadata of the direct children of dir,
 // merging the coordination service and the PNS views.
-func (a *Agent) listMetadata(dir string) ([]*fsmeta.Metadata, error) {
+func (a *Agent) listMetadata(ctx context.Context, dir string) ([]*fsmeta.Metadata, error) {
 	dir = fsmeta.Clean(dir)
 	seen := make(map[string]*fsmeta.Metadata)
 	if a.opts.Coordination != nil {
@@ -147,7 +148,7 @@ func (a *Agent) listMetadata(dir string) ([]*fsmeta.Metadata, error) {
 		if prefix != "/" {
 			prefix += "/"
 		}
-		recs, err := a.opts.Coordination.ListMetadata(prefix)
+		recs, err := a.opts.Coordination.ListMetadata(ctx, prefix)
 		if err != nil {
 			return nil, fmt.Errorf("core: listing %q: %w", dir, err)
 		}
@@ -188,7 +189,7 @@ func (a *Agent) listMetadata(dir string) ([]*fsmeta.Metadata, error) {
 
 // listSubtree returns every live entry under prefix (excluding prefix itself),
 // used by rename and by the garbage collector.
-func (a *Agent) listSubtree(prefix string) ([]*fsmeta.Metadata, error) {
+func (a *Agent) listSubtree(ctx context.Context, prefix string) ([]*fsmeta.Metadata, error) {
 	prefix = fsmeta.Clean(prefix)
 	seen := make(map[string]*fsmeta.Metadata)
 	if a.opts.Coordination != nil {
@@ -196,7 +197,7 @@ func (a *Agent) listSubtree(prefix string) ([]*fsmeta.Metadata, error) {
 		if p != "/" {
 			p += "/"
 		}
-		recs, err := a.opts.Coordination.ListMetadata(p)
+		recs, err := a.opts.Coordination.ListMetadata(ctx, p)
 		if err != nil {
 			return nil, err
 		}
@@ -232,18 +233,18 @@ func (a *Agent) pnsKey() string { return "pns:" + a.opts.User }
 // loadPNS fetches the user's private name space at mount time (§2.7): the
 // PNS tuple is read (and locked) in the coordination service when one is
 // available, then the serialized name space is fetched from the cloud.
-func (a *Agent) loadPNS() error {
+func (a *Agent) loadPNS(ctx context.Context) error {
 	if a.opts.Coordination != nil {
 		// Lock the PNS to prevent two agents logged in as the same user from
 		// corrupting it.
-		if err := a.opts.Coordination.TryLock(a.pnsKey(), a.opts.AgentID, a.opts.LockTTL); err != nil {
+		if err := a.opts.Coordination.TryLock(ctx, a.pnsKey(), a.opts.AgentID, a.opts.LockTTL); err != nil {
 			if errors.Is(err, coord.ErrLockHeld) {
 				return fmt.Errorf("core: private name space of %q is locked by another agent: %w", a.opts.User, fsapi.ErrLocked)
 			}
 			return err
 		}
 	}
-	data, err := a.opts.PNSStorage.ReadPNS(a.opts.User)
+	data, err := a.opts.PNSStorage.ReadPNS(ctx, a.opts.User)
 	if errors.Is(err, storage.ErrPNSNotFound) {
 		a.pns = fsmeta.NewPNS(a.opts.User)
 		return nil
@@ -260,7 +261,7 @@ func (a *Agent) loadPNS() error {
 }
 
 // flushPNS uploads the private name space if it changed since the last flush.
-func (a *Agent) flushPNS() error {
+func (a *Agent) flushPNS(ctx context.Context) error {
 	a.mu.Lock()
 	if a.pns == nil || !a.pnsDirty {
 		a.mu.Unlock()
@@ -275,7 +276,7 @@ func (a *Agent) flushPNS() error {
 	if err != nil {
 		return err
 	}
-	if err := a.opts.PNSStorage.WritePNS(a.opts.User, data); err != nil {
+	if err := a.opts.PNSStorage.WritePNS(ctx, a.opts.User, data); err != nil {
 		a.mu.Lock()
 		a.pnsDirty = true
 		a.mu.Unlock()

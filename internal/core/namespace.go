@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -13,21 +14,21 @@ import (
 // stat/readdir and the setfacl/getfacl access-control calls of §2.6.
 
 // Mkdir implements fsapi.FileSystem.
-func (a *Agent) Mkdir(path string) error {
-	if err := a.checkOpen(); err != nil {
+func (a *Agent) Mkdir(ctx context.Context, path string) error {
+	if err := a.checkOpen(ctx); err != nil {
 		return err
 	}
 	path = fsmeta.Clean(path)
 	if path == "/" {
 		return fsapi.ErrExist
 	}
-	if _, err := a.getMetadata(path, false); err == nil {
+	if _, err := a.getMetadata(ctx, path, false); err == nil {
 		return fsapi.ErrExist
 	} else if !errors.Is(err, fsapi.ErrNotExist) {
 		return err
 	}
 	parentPath := fsmeta.Clean(parentDir(path))
-	parent, err := a.getMetadata(parentPath, true)
+	parent, err := a.getMetadata(ctx, parentPath, true)
 	if err != nil {
 		return err
 	}
@@ -38,19 +39,19 @@ func (a *Agent) Mkdir(path string) error {
 		return fsapi.ErrPermission
 	}
 	md := fsmeta.NewDir(path, a.opts.User, a.clk.Now())
-	return a.putMetadata(md)
+	return a.putMetadata(ctx, md)
 }
 
 // Rmdir implements fsapi.FileSystem.
-func (a *Agent) Rmdir(path string) error {
-	if err := a.checkOpen(); err != nil {
+func (a *Agent) Rmdir(ctx context.Context, path string) error {
+	if err := a.checkOpen(ctx); err != nil {
 		return err
 	}
 	path = fsmeta.Clean(path)
 	if path == "/" {
 		return fsapi.ErrInvalid
 	}
-	md, err := a.getMetadata(path, false)
+	md, err := a.getMetadata(ctx, path, false)
 	if err != nil {
 		return err
 	}
@@ -60,25 +61,25 @@ func (a *Agent) Rmdir(path string) error {
 	if !md.CanWrite(a.opts.User) {
 		return fsapi.ErrPermission
 	}
-	children, err := a.listMetadata(path)
+	children, err := a.listMetadata(ctx, path)
 	if err != nil {
 		return err
 	}
 	if len(children) > 0 {
 		return fsapi.ErrNotEmpty
 	}
-	return a.deleteMetadata(path)
+	return a.deleteMetadata(ctx, path)
 }
 
 // Unlink implements fsapi.FileSystem. Removed files are only marked as
 // deleted in their metadata (multi-versioning, §2.1); the garbage collector
 // reclaims their space later.
-func (a *Agent) Unlink(path string) error {
-	if err := a.checkOpen(); err != nil {
+func (a *Agent) Unlink(ctx context.Context, path string) error {
+	if err := a.checkOpen(ctx); err != nil {
 		return err
 	}
 	path = fsmeta.Clean(path)
-	md, err := a.getMetadata(path, false)
+	md, err := a.getMetadata(ctx, path, false)
 	if err != nil {
 		return err
 	}
@@ -90,7 +91,7 @@ func (a *Agent) Unlink(path string) error {
 	}
 	md.Deleted = true
 	md.Mtime = a.clk.Now()
-	if err := a.putMetadata(md); err != nil {
+	if err := a.putMetadata(ctx, md); err != nil {
 		return err
 	}
 	a.metaCache.Invalidate(path)
@@ -101,8 +102,8 @@ func (a *Agent) Unlink(path string) error {
 // Rename implements fsapi.FileSystem for both files and directories. For
 // directories the whole subtree is rewritten, using the coordination
 // service's rename trigger (§3.2) and the PNS prefix rename.
-func (a *Agent) Rename(oldPath, newPath string) error {
-	if err := a.checkOpen(); err != nil {
+func (a *Agent) Rename(ctx context.Context, oldPath, newPath string) error {
+	if err := a.checkOpen(ctx); err != nil {
 		return err
 	}
 	oldPath, newPath = fsmeta.Clean(oldPath), fsmeta.Clean(newPath)
@@ -112,19 +113,19 @@ func (a *Agent) Rename(oldPath, newPath string) error {
 	if fsmeta.IsChildOf(newPath, oldPath) {
 		return fsapi.ErrInvalid
 	}
-	md, err := a.getMetadata(oldPath, false)
+	md, err := a.getMetadata(ctx, oldPath, false)
 	if err != nil {
 		return err
 	}
 	if !md.CanWrite(a.opts.User) {
 		return fsapi.ErrPermission
 	}
-	if _, err := a.getMetadata(newPath, false); err == nil {
+	if _, err := a.getMetadata(ctx, newPath, false); err == nil {
 		return fsapi.ErrExist
 	} else if !errors.Is(err, fsapi.ErrNotExist) {
 		return err
 	}
-	newParent, err := a.getMetadata(parentDir(newPath), true)
+	newParent, err := a.getMetadata(ctx, parentDir(newPath), true)
 	if err != nil {
 		return err
 	}
@@ -134,11 +135,11 @@ func (a *Agent) Rename(oldPath, newPath string) error {
 
 	// Move the entry itself.
 	wasInPNS := a.pnsFor(md)
-	if err := a.deleteMetadata(oldPath); err != nil {
+	if err := a.deleteMetadata(ctx, oldPath); err != nil {
 		return err
 	}
 	md.Path = newPath
-	if err := a.putMetadata(md); err != nil {
+	if err := a.putMetadata(ctx, md); err != nil {
 		return err
 	}
 	_ = wasInPNS
@@ -146,7 +147,7 @@ func (a *Agent) Rename(oldPath, newPath string) error {
 	// Move the subtree for directories.
 	if md.IsDir() {
 		if a.opts.Coordination != nil {
-			if _, err := a.opts.Coordination.RenamePrefix(oldPath, newPath); err != nil {
+			if _, err := a.opts.Coordination.RenamePrefix(ctx, oldPath, newPath); err != nil {
 				return fmt.Errorf("core: renaming subtree %q: %w", oldPath, err)
 			}
 		}
@@ -175,11 +176,11 @@ func parentDir(p string) string {
 }
 
 // Stat implements fsapi.FileSystem.
-func (a *Agent) Stat(path string) (fsapi.FileInfo, error) {
-	if err := a.checkOpen(); err != nil {
+func (a *Agent) Stat(ctx context.Context, path string) (fsapi.FileInfo, error) {
+	if err := a.checkOpen(ctx); err != nil {
 		return fsapi.FileInfo{}, err
 	}
-	md, err := a.getMetadata(path, true)
+	md, err := a.getMetadata(ctx, path, true)
 	if err != nil {
 		return fsapi.FileInfo{}, err
 	}
@@ -190,18 +191,18 @@ func (a *Agent) Stat(path string) (fsapi.FileInfo, error) {
 }
 
 // ReadDir implements fsapi.FileSystem.
-func (a *Agent) ReadDir(path string) ([]fsapi.FileInfo, error) {
-	if err := a.checkOpen(); err != nil {
+func (a *Agent) ReadDir(ctx context.Context, path string) ([]fsapi.FileInfo, error) {
+	if err := a.checkOpen(ctx); err != nil {
 		return nil, err
 	}
-	md, err := a.getMetadata(path, true)
+	md, err := a.getMetadata(ctx, path, true)
 	if err != nil {
 		return nil, err
 	}
 	if !md.IsDir() {
 		return nil, fsapi.ErrNotDir
 	}
-	children, err := a.listMetadata(path)
+	children, err := a.listMetadata(ctx, path)
 	if err != nil {
 		return nil, err
 	}
@@ -220,12 +221,12 @@ func (a *Agent) ReadDir(path string) ([]fsapi.FileInfo, error) {
 // when an ACL propagator is configured, mirrored on the cloud objects holding
 // the file data (§2.6). Sharing status changes may move the metadata between
 // the private name space and the coordination service (§2.7).
-func (a *Agent) SetFacl(path, user string, perm fsapi.Permission) error {
-	if err := a.checkOpen(); err != nil {
+func (a *Agent) SetFacl(ctx context.Context, path, user string, perm fsapi.Permission) error {
+	if err := a.checkOpen(ctx); err != nil {
 		return err
 	}
 	path = fsmeta.Clean(path)
-	md, err := a.getMetadata(path, false)
+	md, err := a.getMetadata(ctx, path, false)
 	if err != nil {
 		return err
 	}
@@ -236,13 +237,13 @@ func (a *Agent) SetFacl(path, user string, perm fsapi.Permission) error {
 	md.SetACL(user, perm)
 	nowShared := a.isShared(md)
 
-	if err := a.putMetadata(md); err != nil {
+	if err := a.putMetadata(ctx, md); err != nil {
 		return err
 	}
 	// If the entry stopped being shared, pull it back into the PNS and drop
 	// the coordination-service tuple.
 	if wasShared && !nowShared && a.opts.UsePNS && a.opts.Coordination != nil {
-		if err := a.opts.Coordination.DeleteMetadata(path); err != nil {
+		if err := a.opts.Coordination.DeleteMetadata(ctx, path); err != nil {
 			return fmt.Errorf("core: retiring coordination tuple for %q: %w", path, err)
 		}
 		a.mu.Lock()
@@ -257,7 +258,7 @@ func (a *Agent) SetFacl(path, user string, perm fsapi.Permission) error {
 		for _, v := range md.Versions {
 			hashes = append(hashes, v.Hash)
 		}
-		if err := a.opts.ACLPropagator.PropagateACL(md.FileID, hashes, user, perm); err != nil {
+		if err := a.opts.ACLPropagator.PropagateACL(ctx, md.FileID, hashes, user, perm); err != nil {
 			return fmt.Errorf("core: propagating ACL of %q to the clouds: %w", path, err)
 		}
 	}
@@ -265,11 +266,11 @@ func (a *Agent) SetFacl(path, user string, perm fsapi.Permission) error {
 }
 
 // GetFacl implements fsapi.FileSystem.
-func (a *Agent) GetFacl(path string) ([]fsapi.ACLEntry, error) {
-	if err := a.checkOpen(); err != nil {
+func (a *Agent) GetFacl(ctx context.Context, path string) ([]fsapi.ACLEntry, error) {
+	if err := a.checkOpen(ctx); err != nil {
 		return nil, err
 	}
-	md, err := a.getMetadata(path, true)
+	md, err := a.getMetadata(ctx, path, true)
 	if err != nil {
 		return nil, err
 	}

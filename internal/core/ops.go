@@ -2,11 +2,12 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
-	"time"
 
+	"scfs/internal/clock"
 	"scfs/internal/coord"
 	"scfs/internal/fsapi"
 	"scfs/internal/fsmeta"
@@ -49,8 +50,8 @@ func cacheKey(fileID, hash string) string { return fileID + "@" + hash }
 // Open implements fsapi.FileSystem, following the open flow of Figure 4:
 // read the metadata, optionally acquire the write lock, and bring the file
 // data into the local cache.
-func (a *Agent) Open(path string, flags fsapi.OpenFlag) (fsapi.Handle, error) {
-	if err := a.checkOpen(); err != nil {
+func (a *Agent) Open(ctx context.Context, path string, flags fsapi.OpenFlag) (fsapi.Handle, error) {
+	if err := a.checkOpen(ctx); err != nil {
 		return nil, err
 	}
 	path = fsmeta.Clean(path)
@@ -62,7 +63,7 @@ func (a *Agent) Open(path string, flags fsapi.OpenFlag) (fsapi.Handle, error) {
 	existing, isOpen := a.openFiles[path]
 	a.mu.Unlock()
 
-	md, err := a.getMetadata(path, true)
+	md, err := a.getMetadata(ctx, path, true)
 	created := false
 	switch {
 	case err == nil:
@@ -73,7 +74,7 @@ func (a *Agent) Open(path string, flags fsapi.OpenFlag) (fsapi.Handle, error) {
 		if flags&fsapi.Create == 0 {
 			return nil, fsapi.ErrNotExist
 		}
-		md, err = a.createFile(path)
+		md, err = a.createFile(ctx, path)
 		if err != nil {
 			return nil, err
 		}
@@ -96,7 +97,7 @@ func (a *Agent) Open(path string, flags fsapi.OpenFlag) (fsapi.Handle, error) {
 	// need no lock.
 	needLock := flags.Writable() && a.opts.Coordination != nil && a.isShared(md)
 	if needLock && !(isOpen && existing.locked) {
-		if err := a.opts.Coordination.TryLock(path, a.opts.AgentID, a.opts.LockTTL); err != nil {
+		if err := a.opts.Coordination.TryLock(ctx, path, a.opts.AgentID, a.opts.LockTTL); err != nil {
 			if errors.Is(err, coord.ErrLockHeld) {
 				return nil, fsapi.ErrLocked
 			}
@@ -130,7 +131,7 @@ func (a *Agent) Open(path string, flags fsapi.OpenFlag) (fsapi.Handle, error) {
 			of.data = nil
 			of.dirty = true
 		default:
-			data, lazy, err := a.fetchForOpen(md, flags)
+			data, lazy, err := a.fetchForOpen(ctx, md, flags)
 			if err != nil {
 				of.refs--
 				if of.refs == 0 {
@@ -155,7 +156,7 @@ func (a *Agent) Open(path string, flags fsapi.OpenFlag) (fsapi.Handle, error) {
 	// attached for handles already reading through it and is closed with
 	// the last handle.
 	if flags.Writable() && !of.dirty && of.data == nil && of.lazy != nil {
-		data, err := a.fetchData(md)
+		data, err := a.fetchData(ctx, md)
 		if err != nil {
 			of.refs--
 			if of.refs == 0 {
@@ -173,8 +174,8 @@ func (a *Agent) Open(path string, flags fsapi.OpenFlag) (fsapi.Handle, error) {
 }
 
 // createFile allocates metadata for a new empty file owned by the caller.
-func (a *Agent) createFile(path string) (*fsmeta.Metadata, error) {
-	parent, err := a.getMetadata(fsmeta.Clean(path[:max(1, lastSlash(path))]), true)
+func (a *Agent) createFile(ctx context.Context, path string) (*fsmeta.Metadata, error) {
+	parent, err := a.getMetadata(ctx, fsmeta.Clean(path[:max(1, lastSlash(path))]), true)
 	if err != nil {
 		if errors.Is(err, fsapi.ErrNotExist) {
 			return nil, fsapi.ErrNotExist
@@ -188,7 +189,7 @@ func (a *Agent) createFile(path string) (*fsmeta.Metadata, error) {
 		return nil, fsapi.ErrPermission
 	}
 	md := fsmeta.NewFile(path, a.opts.User, "f-"+randomID(), a.clk.Now())
-	if err := a.putMetadata(md); err != nil {
+	if err := a.putMetadata(ctx, md); err != nil {
 		return nil, err
 	}
 	return md, nil
@@ -223,7 +224,7 @@ func (a *Agent) cachedData(md *fsmeta.Metadata) ([]byte, bool) {
 // fetchData returns the contents of the current version of md, looking at the
 // memory cache, then the disk cache, then the cloud backend (with the
 // consistency-anchor retry loop of Figure 3).
-func (a *Agent) fetchData(md *fsmeta.Metadata) ([]byte, error) {
+func (a *Agent) fetchData(ctx context.Context, md *fsmeta.Metadata) ([]byte, error) {
 	if data, ok := a.cachedData(md); ok {
 		return data, nil
 	}
@@ -233,7 +234,7 @@ func (a *Agent) fetchData(md *fsmeta.Metadata) ([]byte, error) {
 	const maxAttempts = 120
 	var lastErr error
 	for attempt := 0; attempt < maxAttempts; attempt++ {
-		data, err := a.opts.Storage.ReadVersion(md.FileID, md.Hash)
+		data, err := a.opts.Storage.ReadVersion(ctx, md.FileID, md.Hash)
 		if err == nil {
 			a.addStat(func(s *Stats) { s.CloudReads++; s.CloudBytesDown += int64(len(data)) })
 			a.diskCache.Put(key, data)
@@ -244,7 +245,9 @@ func (a *Agent) fetchData(md *fsmeta.Metadata) ([]byte, error) {
 		if !errors.Is(err, storage.ErrVersionNotFound) {
 			return nil, fmt.Errorf("core: reading %q from the cloud: %w", md.Path, err)
 		}
-		a.clk.Sleep(a.opts.ReadRetryInterval)
+		if err := clock.SleepCtx(ctx, a.clk, a.opts.ReadRetryInterval); err != nil {
+			return nil, err
+		}
 	}
 	return nil, fmt.Errorf("core: version of %q never became visible: %w", md.Path, lastErr)
 }
@@ -254,30 +257,34 @@ func (a *Agent) fetchData(md *fsmeta.Metadata) ([]byte, error) {
 // ranged reader (so ReadAt fetches only covering chunks), and everything
 // else takes the whole-object fetch path. Exactly one of data and lazy is
 // non-nil on success.
-func (a *Agent) fetchForOpen(md *fsmeta.Metadata, flags fsapi.OpenFlag) ([]byte, storage.ReaderAtCloser, error) {
+func (a *Agent) fetchForOpen(ctx context.Context, md *fsmeta.Metadata, flags fsapi.OpenFlag) ([]byte, storage.ReaderAtCloser, error) {
 	if data, ok := a.cachedData(md); ok {
 		return data, nil, nil
 	}
 	if !flags.Writable() && a.opts.StreamThresholdBytes >= 0 && md.Size > a.opts.StreamThresholdBytes {
 		if ro, ok := a.opts.Storage.(storage.RangeOpener); ok {
-			lazy, err := a.openRanged(ro, md)
+			lazy, err := a.openRanged(ctx, ro, md)
 			if err == nil {
 				return nil, lazy, nil
 			}
-			// Fall back to the whole-object path on any ranged-open error.
+			if ctx.Err() != nil {
+				return nil, nil, err
+			}
+			// Fall back to the whole-object path on any other ranged-open
+			// error.
 		}
 	}
-	data, err := a.fetchData(md)
+	data, err := a.fetchData(ctx, md)
 	return data, nil, err
 }
 
 // openRanged opens a ranged reader over the anchored version of md, waiting
 // out eventual consistency like the whole-object read loop does.
-func (a *Agent) openRanged(ro storage.RangeOpener, md *fsmeta.Metadata) (storage.ReaderAtCloser, error) {
+func (a *Agent) openRanged(ctx context.Context, ro storage.RangeOpener, md *fsmeta.Metadata) (storage.ReaderAtCloser, error) {
 	const maxAttempts = 120
 	var lastErr error
 	for attempt := 0; attempt < maxAttempts; attempt++ {
-		ra, err := ro.OpenVersionAt(md.FileID, md.Hash)
+		ra, err := ro.OpenVersionAt(ctx, md.FileID, md.Hash)
 		if err == nil {
 			a.addStat(func(s *Stats) { s.CloudReads++ })
 			return ra, nil
@@ -286,7 +293,9 @@ func (a *Agent) openRanged(ro storage.RangeOpener, md *fsmeta.Metadata) (storage
 		if !errors.Is(err, storage.ErrVersionNotFound) {
 			return nil, fmt.Errorf("core: opening %q for ranged reads: %w", md.Path, err)
 		}
-		a.clk.Sleep(a.opts.ReadRetryInterval)
+		if err := clock.SleepCtx(ctx, a.clk, a.opts.ReadRetryInterval); err != nil {
+			return nil, err
+		}
 	}
 	return nil, fmt.Errorf("core: version of %q never became visible: %w", md.Path, lastErr)
 }
@@ -297,8 +306,11 @@ func (a *Agent) openRanged(ro storage.RangeOpener, md *fsmeta.Metadata) (storage
 // (Figure 4: read only touches the memory cache) — except for large files
 // opened read-only, whose ranged reader fetches only the chunks covering
 // the requested range from the cloud backend.
-func (h *handle) ReadAt(p []byte, off int64) (int, error) {
+func (h *handle) ReadAt(ctx context.Context, p []byte, off int64) (int, error) {
 	a := h.of.agent
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	a.mu.Lock()
 	if h.closed {
 		a.mu.Unlock()
@@ -317,7 +329,7 @@ func (h *handle) ReadAt(p []byte, off int64) (int, error) {
 		// concurrent use and may touch the network.
 		lazy := h.of.lazy
 		a.mu.Unlock()
-		return lazy.ReadAt(p, off)
+		return lazy.ReadAtContext(ctx, p, off)
 	}
 	defer a.mu.Unlock()
 	if off >= int64(len(h.of.data)) {
@@ -332,8 +344,11 @@ func (h *handle) ReadAt(p []byte, off int64) (int, error) {
 
 // WriteAt implements fsapi.Handle. Writes update only the memory cache and
 // the cached metadata (durability level 0).
-func (h *handle) WriteAt(p []byte, off int64) (int, error) {
+func (h *handle) WriteAt(ctx context.Context, p []byte, off int64) (int, error) {
 	a := h.of.agent
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if h.closed {
@@ -360,8 +375,11 @@ func (h *handle) WriteAt(p []byte, off int64) (int, error) {
 }
 
 // Truncate implements fsapi.Handle.
-func (h *handle) Truncate(size int64) error {
+func (h *handle) Truncate(ctx context.Context, size int64) error {
 	a := h.of.agent
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if h.closed {
@@ -391,8 +409,11 @@ func (h *handle) Truncate(size int64) error {
 // Fsync implements fsapi.Handle: the contents are flushed to the local disk
 // cache (durability level 1 — survives a process or OS crash, not a disk
 // failure).
-func (h *handle) Fsync() error {
+func (h *handle) Fsync(ctx context.Context) error {
 	a := h.of.agent
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	a.mu.Lock()
 	if h.closed {
 		a.mu.Unlock()
@@ -405,8 +426,11 @@ func (h *handle) Fsync() error {
 }
 
 // Stat implements fsapi.Handle.
-func (h *handle) Stat() (fsapi.FileInfo, error) {
+func (h *handle) Stat(ctx context.Context) (fsapi.FileInfo, error) {
 	a := h.of.agent
+	if err := ctx.Err(); err != nil {
+		return fsapi.FileInfo{}, err
+	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if h.closed {
@@ -428,7 +452,7 @@ func (h *handle) Stat() (fsapi.FileInfo, error) {
 // and non-sharing modes the cloud synchronization happens in the background
 // while mutual exclusion is preserved (the lock is only released after the
 // upload completes).
-func (h *handle) Close() error {
+func (h *handle) Close(ctx context.Context) error {
 	a := h.of.agent
 	a.mu.Lock()
 	if h.closed {
@@ -462,7 +486,7 @@ func (h *handle) Close() error {
 
 	if !wasDirty {
 		if shouldUnlock {
-			return a.unlock(of.path)
+			return a.unlock(ctx, of.path)
 		}
 		return nil
 	}
@@ -483,11 +507,11 @@ func (h *handle) Close() error {
 	defer a.maybeStartGC()
 
 	if a.opts.Mode == Blocking {
-		if err := a.syncToCloud(md, hash, data); err != nil {
+		if err := a.syncToCloud(ctx, md, hash, data); err != nil {
 			return err
 		}
 		if shouldUnlock {
-			return a.unlock(of.path)
+			return a.unlock(ctx, of.path)
 		}
 		return nil
 	}
@@ -511,23 +535,23 @@ func ifThen(cond bool, v string) string {
 // files when the backend supports it, so the encoded form is never fully
 // resident — then anchor it by updating the metadata (step w3), flushing
 // the PNS when the file is private.
-func (a *Agent) syncToCloud(md *fsmeta.Metadata, hash string, data []byte) error {
+func (a *Agent) syncToCloud(ctx context.Context, md *fsmeta.Metadata, hash string, data []byte) error {
 	var err error
 	if sw, ok := a.opts.Storage.(storage.StreamWriter); ok &&
 		a.opts.StreamThresholdBytes >= 0 && int64(len(data)) > a.opts.StreamThresholdBytes {
-		err = sw.WriteVersionFrom(md.FileID, hash, bytes.NewReader(data))
+		err = sw.WriteVersionFrom(ctx, md.FileID, hash, bytes.NewReader(data))
 	} else {
-		err = a.opts.Storage.WriteVersion(md.FileID, hash, data)
+		err = a.opts.Storage.WriteVersion(ctx, md.FileID, hash, data)
 	}
 	if err != nil {
 		return fmt.Errorf("core: uploading %q: %w", md.Path, err)
 	}
 	a.addStat(func(s *Stats) { s.CloudWrites++; s.CloudBytesUp += int64(len(data)) })
-	if err := a.putMetadata(md); err != nil {
+	if err := a.putMetadata(ctx, md); err != nil {
 		return err
 	}
 	if !a.isShared(md) && a.pnsFor(md) {
-		if err := a.flushPNS(); err != nil {
+		if err := a.flushPNS(ctx); err != nil {
 			return err
 		}
 	}
@@ -541,11 +565,11 @@ func (a *Agent) pnsFor(md *fsmeta.Metadata) bool {
 	return a.pns != nil && a.pns.Get(md.Path) != nil
 }
 
-func (a *Agent) unlock(path string) error {
+func (a *Agent) unlock(ctx context.Context, path string) error {
 	if a.opts.Coordination == nil {
 		return nil
 	}
-	if err := a.opts.Coordination.Unlock(path, a.opts.AgentID); err != nil {
+	if err := a.opts.Coordination.Unlock(ctx, path, a.opts.AgentID); err != nil {
 		return fmt.Errorf("core: unlocking %q: %w", path, err)
 	}
 	return nil
@@ -565,7 +589,10 @@ type uploadTask struct {
 
 // uploadWorker drains the upload queue, preserving per-agent ordering (a
 // single worker) so later versions of a file are never overtaken by earlier
-// ones.
+// ones. Uploads run under the agent's lifetime context, not the context of
+// the Close that queued them: a cancelled request must not lose a write the
+// caller was told is locally durable. A forced Unmount cancels the lifetime
+// context and aborts them.
 func (a *Agent) uploadWorker() {
 	defer a.uploadWG.Done()
 	for task := range a.uploadCh {
@@ -573,20 +600,20 @@ func (a *Agent) uploadWorker() {
 			close(task.barrier)
 			continue
 		}
-		err := a.syncToCloud(task.md, task.hash, task.data)
+		err := a.syncToCloud(a.baseCtx, task.md, task.hash, task.data)
 		if err != nil {
 			a.addStat(func(s *Stats) { s.UploadErrors++ })
 		}
 		if task.unlockPath != "" {
-			_ = a.unlock(task.unlockPath)
+			_ = a.unlock(a.baseCtx, task.unlockPath)
 		}
 	}
 }
 
-// WaitForUploads blocks until every queued upload at the time of the call has
-// been processed. Experiments and tests use it to measure the asynchronous
-// path deterministically.
-func (a *Agent) WaitForUploads(timeout time.Duration) error {
+// WaitForUploads blocks until every queued upload at the time of the call
+// has been processed, or until ctx is done. Experiments and tests use it to
+// measure the asynchronous path deterministically.
+func (a *Agent) WaitForUploads(ctx context.Context) error {
 	a.mu.Lock()
 	if a.closed {
 		a.mu.Unlock()
@@ -599,7 +626,7 @@ func (a *Agent) WaitForUploads(timeout time.Duration) error {
 	select {
 	case <-done:
 		return nil
-	case <-time.After(timeout):
-		return fmt.Errorf("core: timed out waiting for queued uploads")
+	case <-ctx.Done():
+		return fmt.Errorf("core: waiting for queued uploads: %w", ctx.Err())
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"crypto/rand"
 	"fmt"
 	"io"
@@ -20,6 +21,8 @@ import (
 // testAgent mounts a blocking-mode agent over a 4-cloud CoC backend with a
 // small chunk size and streaming threshold, so streamed paths trigger at
 // test-friendly sizes.
+var bg = context.Background()
+
 func testAgent(t *testing.T, chunkSize int, threshold int64) (*Agent, []*cloudsim.Provider) {
 	t.Helper()
 	providers := make([]*cloudsim.Provider, 4)
@@ -33,7 +36,7 @@ func testAgent(t *testing.T, chunkSize int, threshold int64) (*Agent, []*cloudsi
 		t.Fatal(err)
 	}
 	svc := coord.NewDepSpaceService(depspace.NewClient(&depspace.LocalInvoker{Space: depspace.NewSpace()}, "alice", nil))
-	a, err := New(Options{
+	a, err := New(bg, Options{
 		User:                 "alice",
 		Mode:                 Blocking,
 		Coordination:         svc,
@@ -45,7 +48,7 @@ func testAgent(t *testing.T, chunkSize int, threshold int64) (*Agent, []*cloudsi
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { a.Unmount() })
+	t.Cleanup(func() { a.Unmount(bg) })
 	return a, providers
 }
 
@@ -66,12 +69,12 @@ func TestAgentStreamedWriteAndRangedRead(t *testing.T) {
 	const chunk = 4096
 	a, providers := testAgent(t, chunk, 2*chunk)
 	data := randData(t, 16*chunk+99)
-	if err := fsapi.WriteFile(a, "/big.bin", data); err != nil {
+	if err := fsapi.WriteFile(bg, a, "/big.bin", data); err != nil {
 		t.Fatal(err)
 	}
 
 	// Reading through the cache returns identical bytes.
-	got, err := fsapi.ReadFile(a, "/big.bin")
+	got, err := fsapi.ReadFile(bg, a, "/big.bin")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,11 +88,11 @@ func TestAgentStreamedWriteAndRangedRead(t *testing.T) {
 
 	account := providers[0].CreateAccount("alice")
 	before := providers[0].Usage(account).GetRequests
-	h, err := a.Open("/big.bin", fsapi.ReadOnly)
+	h, err := a.Open(bg, "/big.bin", fsapi.ReadOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
-	info, err := h.Stat()
+	info, err := h.Stat(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,13 +100,13 @@ func TestAgentStreamedWriteAndRangedRead(t *testing.T) {
 		t.Fatalf("lazy Stat size = %d, want %d", info.Size, len(data))
 	}
 	buf := make([]byte, 100)
-	if _, err := h.ReadAt(buf, int64(5*chunk+10)); err != nil {
+	if _, err := h.ReadAt(bg, buf, int64(5*chunk+10)); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(buf, data[5*chunk+10:5*chunk+110]) {
 		t.Fatal("ranged ReadAt mismatch")
 	}
-	if err := h.Close(); err != nil {
+	if err := h.Close(bg); err != nil {
 		t.Fatal(err)
 	}
 	// A 100-byte read of a 17-chunk file must not fetch every chunk: the
@@ -115,7 +118,7 @@ func TestAgentStreamedWriteAndRangedRead(t *testing.T) {
 	// The same file read fully (cold caches again) still matches.
 	a.memCache.Clear()
 	a.diskCache.Clear()
-	got, err = fsapi.ReadFile(a, "/big.bin")
+	got, err = fsapi.ReadFile(bg, a, "/big.bin")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,40 +134,40 @@ func TestAgentWritableOpenMaterializesLazyFile(t *testing.T) {
 	const chunk = 4096
 	a, _ := testAgent(t, chunk, chunk)
 	data := randData(t, 6*chunk)
-	if err := fsapi.WriteFile(a, "/f", data); err != nil {
+	if err := fsapi.WriteFile(bg, a, "/f", data); err != nil {
 		t.Fatal(err)
 	}
 	a.memCache.Clear()
 	a.diskCache.Clear()
 
-	ro, err := a.Open("/f", fsapi.ReadOnly)
+	ro, err := a.Open(bg, "/f", fsapi.ReadOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rw, err := a.Open("/f", fsapi.ReadWrite)
+	rw, err := a.Open(bg, "/f", fsapi.ReadWrite)
 	if err != nil {
 		t.Fatal(err)
 	}
 	patch := []byte("PATCHED")
-	if _, err := rw.WriteAt(patch, 10); err != nil {
+	if _, err := rw.WriteAt(bg, patch, 10); err != nil {
 		t.Fatal(err)
 	}
 	want := append([]byte(nil), data...)
 	copy(want[10:], patch)
 	buf := make([]byte, 64)
-	if _, err := ro.ReadAt(buf, 0); err != nil {
+	if _, err := ro.ReadAt(bg, buf, 0); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(buf, want[:64]) {
 		t.Fatal("read-only handle does not observe the write")
 	}
-	if err := ro.Close(); err != nil {
+	if err := ro.Close(bg); err != nil {
 		t.Fatal(err)
 	}
-	if err := rw.Close(); err != nil {
+	if err := rw.Close(bg); err != nil {
 		t.Fatal(err)
 	}
-	got, err := fsapi.ReadFile(a, "/f")
+	got, err := fsapi.ReadFile(bg, a, "/f")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,16 +181,16 @@ func TestAgentWritableOpenMaterializesLazyFile(t *testing.T) {
 // with no extra coordination reads.
 func TestReadDirWarmsStatBurst(t *testing.T) {
 	a, _ := testAgent(t, 4096, 1<<20)
-	if err := a.Mkdir("/dir"); err != nil {
+	if err := a.Mkdir(bg, "/dir"); err != nil {
 		t.Fatal(err)
 	}
 	const files = 12
 	for i := 0; i < files; i++ {
-		if err := fsapi.WriteFile(a, fmt.Sprintf("/dir/f%02d", i), []byte("x")); err != nil {
+		if err := fsapi.WriteFile(bg, a, fmt.Sprintf("/dir/f%02d", i), []byte("x")); err != nil {
 			t.Fatal(err)
 		}
 	}
-	entries, err := a.ReadDir("/dir")
+	entries, err := a.ReadDir(bg, "/dir")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +199,7 @@ func TestReadDirWarmsStatBurst(t *testing.T) {
 	}
 	before := a.Stats().CoordAccesses
 	for _, e := range entries {
-		if _, err := a.Stat(e.Path); err != nil {
+		if _, err := a.Stat(bg, e.Path); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -214,20 +217,20 @@ func TestCollectBatchSweep(t *testing.T) {
 	const files, versions = 5, 3
 	for i := 0; i < files; i++ {
 		for v := 0; v < versions; v++ {
-			if err := fsapi.WriteFile(a, fmt.Sprintf("/f%d", i), randData(t, 2000+i+v)); err != nil {
+			if err := fsapi.WriteFile(bg, a, fmt.Sprintf("/f%d", i), randData(t, 2000+i+v)); err != nil {
 				t.Fatal(err)
 			}
 		}
 	}
 	// One deleted file: its surviving versions must be purged entirely.
-	if err := fsapi.WriteFile(a, "/dead", randData(t, 1500)); err != nil {
+	if err := fsapi.WriteFile(bg, a, "/dead", randData(t, 1500)); err != nil {
 		t.Fatal(err)
 	}
-	if err := a.Unlink("/dead"); err != nil {
+	if err := a.Unlink(bg, "/dead"); err != nil {
 		t.Fatal(err)
 	}
 	before := providers[0].ObjectCount()
-	report, err := a.Collect()
+	report, err := a.Collect(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +246,7 @@ func TestCollectBatchSweep(t *testing.T) {
 	}
 	// Each surviving file still reads back.
 	for i := 0; i < files; i++ {
-		if _, err := fsapi.ReadFile(a, fmt.Sprintf("/f%d", i)); err != nil {
+		if _, err := fsapi.ReadFile(bg, a, fmt.Sprintf("/f%d", i)); err != nil {
 			t.Fatalf("file %d unreadable after GC: %v", i, err)
 		}
 	}
@@ -256,40 +259,40 @@ func TestTruncateOpenOnLazyFile(t *testing.T) {
 	const chunk = 4096
 	a, _ := testAgent(t, chunk, chunk)
 	data := randData(t, 5*chunk)
-	if err := fsapi.WriteFile(a, "/t", data); err != nil {
+	if err := fsapi.WriteFile(bg, a, "/t", data); err != nil {
 		t.Fatal(err)
 	}
 	a.memCache.Clear()
 	a.diskCache.Clear()
 
-	ro, err := a.Open("/t", fsapi.ReadOnly) // attaches the ranged reader
+	ro, err := a.Open(bg, "/t", fsapi.ReadOnly) // attaches the ranged reader
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr, err := a.Open("/t", fsapi.ReadWrite|fsapi.Truncate)
+	tr, err := a.Open(bg, "/t", fsapi.ReadWrite|fsapi.Truncate)
 	if err != nil {
 		t.Fatal(err)
 	}
-	info, err := tr.Stat()
+	info, err := tr.Stat(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if info.Size != 0 {
 		t.Fatalf("size after truncate = %d, want 0", info.Size)
 	}
-	if _, err := tr.ReadAt(make([]byte, 1), 0); err != io.EOF {
+	if _, err := tr.ReadAt(bg, make([]byte, 1), 0); err != io.EOF {
 		t.Fatalf("read of truncated file: %v, want EOF", err)
 	}
-	if _, err := tr.WriteAt([]byte("fresh"), 0); err != nil {
+	if _, err := tr.WriteAt(bg, []byte("fresh"), 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := ro.Close(); err != nil {
+	if err := ro.Close(bg); err != nil {
 		t.Fatal(err)
 	}
-	if err := tr.Close(); err != nil {
+	if err := tr.Close(bg); err != nil {
 		t.Fatal(err)
 	}
-	got, err := fsapi.ReadFile(a, "/t")
+	got, err := fsapi.ReadFile(bg, a, "/t")
 	if err != nil || string(got) != "fresh" {
 		t.Fatalf("after truncate+write: %q, %v", got, err)
 	}

@@ -7,7 +7,10 @@ package depsky
 // moment at most metadataBatchConcurrency units are in flight, each unit
 // still reading from all n clouds in parallel.
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // metadataBatchConcurrency bounds how many units are fetched concurrently
 // by ReadMetadataBatch (each unit fans out to all n clouds, so the number
@@ -17,8 +20,10 @@ const metadataBatchConcurrency = 4
 // ReadMetadataBatch fetches and merges the metadata of many units in one
 // bounded-concurrency quorum sweep. The result maps each unit to its known
 // versions, oldest first; units with no stored metadata are absent. Order
-// and duplicates in units are tolerated.
-func (m *Manager) ReadMetadataBatch(units []string) map[string][]VersionInfo {
+// and duplicates in units are tolerated. Cancelling ctx aborts the
+// outstanding per-unit sweeps; already-fetched units still appear in the
+// result.
+func (m *Manager) ReadMetadataBatch(ctx context.Context, units []string) map[string][]VersionInfo {
 	out := make(map[string][]VersionInfo, len(units))
 	if len(units) == 0 {
 		return out
@@ -46,7 +51,10 @@ func (m *Manager) ReadMetadataBatch(units []string) map[string][]VersionInfo {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			merged := m.mergeMetadata(unit, m.readMetadataQuorum(unit))
+			if ctx.Err() != nil {
+				return
+			}
+			merged := m.mergeMetadata(unit, m.readMetadataQuorum(ctx, unit))
 			results <- result{unit: unit, versions: merged.Versions}
 		}(unit)
 	}

@@ -23,6 +23,7 @@
 package depsky
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -122,12 +123,43 @@ type unitMetadata struct {
 	// on at least f+1 clouds during the merge (so at least one correct
 	// cloud vouches for it). Populated by mergeMetadata, never serialized.
 	certified map[uint64]bool
+	// variants holds, per version number, every distinct copy seen during
+	// the merge, best first (the certified or richest one — the same entry
+	// that lands in Versions). The whole-object read path tries them in
+	// order: its end-to-end hash check exposes a forged best variant, and
+	// the next variant restores availability. Populated by mergeMetadata,
+	// never serialized.
+	variants map[uint64][]VersionInfo
 }
 
 func (m *unitMetadata) find(hash string) *VersionInfo {
 	for i := range m.Versions {
 		if m.Versions[i].DataHash == hash {
 			return &m.Versions[i]
+		}
+	}
+	// The best variant of a number may be a forged copy with a rewritten
+	// hash; a read-by-hash must still find the version through the other
+	// variants (the end-to-end hash check decides who was right).
+	for _, vs := range m.variants {
+		for i := range vs {
+			if vs[i].DataHash == hash {
+				return &vs[i]
+			}
+		}
+	}
+	return nil
+}
+
+// variantsOf returns every distinct copy of one version number seen during
+// the merge, best first.
+func (m *unitMetadata) variantsOf(number uint64) []VersionInfo {
+	if vs := m.variants[number]; len(vs) > 0 {
+		return vs
+	}
+	for i := range m.Versions {
+		if m.Versions[i].Number == number {
+			return m.Versions[i : i+1]
 		}
 	}
 	return nil
@@ -180,6 +212,15 @@ type Options struct {
 	// WriteWindow bounds the number of chunks simultaneously resident in
 	// the streaming write pipeline. Defaults to stream.DefaultWindow.
 	WriteWindow int
+	// DisableQuorumCancel preserves the pre-context behaviour where the
+	// losers of every quorum race run to completion in the background
+	// (wasting bandwidth and per-request fees, and leaving per-cloud
+	// goroutines alive until the straggler finishes). It exists as an
+	// experiment/benchmark hook so the cost of redundant RPCs can be
+	// measured; production code should leave it false, which makes every
+	// quorum operation cancel its redundant per-cloud RPCs the moment the
+	// quorum verdict is known.
+	DisableQuorumCancel bool
 }
 
 // Manager reads and writes data units spread over the configured clouds.
@@ -226,28 +267,62 @@ func (m *Manager) blockName(unit string, version uint64) string {
 
 // --- metadata quorum operations ---
 
+// quorumCtx derives the per-operation context under which one quorum
+// fan-out's per-cloud RPCs run. Cancelling it is how first-quorum-wins
+// semantics abort the losers of the race; when DisableQuorumCancel is set
+// the cancel is a no-op and stragglers run to completion as before.
+func (m *Manager) quorumCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if m.opts.DisableQuorumCancel {
+		return ctx, func() {}
+	}
+	return context.WithCancel(ctx)
+}
+
 // readMetadataQuorum fetches the metadata object from all clouds and returns
 // the per-cloud results (nil for clouds that failed or have no metadata).
-func (m *Manager) readMetadataQuorum(unit string) []*unitMetadata {
+// Per the DepSky read protocol it waits for the first n-f responses — a
+// quorum is all an asynchronous system may wait for — then cancels the
+// remaining fetches: one straggling cloud no longer adds its full round trip
+// to every metadata operation. Any version anchored by a write quorum
+// overlaps any n-f responders in at least one correct cloud, so the merged
+// union still contains everything a reader is entitled to see.
+func (m *Manager) readMetadataQuorum(ctx context.Context, unit string) []*unitMetadata {
 	name := m.metaName(unit)
-	results := make([]*unitMetadata, m.N())
-	var wg sync.WaitGroup
+	n := m.N()
+	opCtx, cancel := m.quorumCtx(ctx)
+	defer cancel()
+	type fetched struct {
+		idx int
+		md  *unitMetadata
+	}
+	results := make(chan fetched, n)
 	for i, c := range m.opts.Clouds {
-		wg.Add(1)
 		go func(i int, c cloud.ObjectStore) {
-			defer wg.Done()
-			data, err := c.Get(name)
+			data, err := c.Get(opCtx, name)
 			if err != nil {
+				results <- fetched{idx: i}
 				return
 			}
 			var md unitMetadata
 			if json.Unmarshal(data, &md) == nil && md.Unit == unit {
-				results[i] = &md
+				results <- fetched{idx: i, md: &md}
+			} else {
+				results <- fetched{idx: i}
 			}
 		}(i, c)
 	}
-	wg.Wait()
-	return results
+	out := make([]*unitMetadata, n)
+	for responded := 1; responded <= n; responded++ {
+		f := <-results
+		out[f.idx] = f.md
+		if responded >= m.QuorumSize() {
+			cancel() // quorum of responses in hand: abort the stragglers
+			if !m.opts.DisableQuorumCancel {
+				break
+			}
+		}
+	}
+	return out
 }
 
 // mergeMetadata combines per-cloud metadata copies, keeping the union of
@@ -266,7 +341,7 @@ func (m *Manager) readMetadataQuorum(unit string) []*unitMetadata {
 // one number, the copy carrying more integrity hashes wins (corrupted or
 // truncated copies carry fewer).
 func (m *Manager) mergeMetadata(unit string, copies []*unitMetadata) *unitMetadata {
-	merged := &unitMetadata{Unit: unit, certified: make(map[uint64]bool)}
+	merged := &unitMetadata{Unit: unit, certified: make(map[uint64]bool), variants: make(map[uint64][]VersionInfo)}
 	type candidate struct {
 		info  VersionInfo
 		votes int
@@ -312,6 +387,20 @@ func (m *Manager) mergeMetadata(unit string, copies []*unitMetadata) *unitMetada
 			}
 		}
 		merged.Versions = append(merged.Versions, best.info)
+		// Record every distinct copy, best first: an uncertified best may
+		// turn out to be a forged copy (it fails the end-to-end hash
+		// check), and readers then retry with the runners-up.
+		vs := make([]VersionInfo, 0, len(byEnc))
+		vs = append(vs, best.info)
+		for _, cand := range byEnc {
+			if cand != best {
+				vs = append(vs, cand.info)
+			}
+		}
+		sort.SliceStable(vs[1:], func(i, j int) bool {
+			return versionRichness(vs[1+i]) > versionRichness(vs[1+j])
+		})
+		merged.variants[number] = vs
 	}
 	sort.Slice(merged.Versions, func(i, j int) bool { return merged.Versions[i].Number < merged.Versions[j].Number })
 	return merged
@@ -329,29 +418,36 @@ func versionRichness(v VersionInfo) int {
 
 // writeMetadataQuorum pushes the metadata object to all clouds and returns
 // nil once n-f acknowledged.
-func (m *Manager) writeMetadataQuorum(md *unitMetadata) error {
+func (m *Manager) writeMetadataQuorum(ctx context.Context, md *unitMetadata) error {
 	payload, err := json.Marshal(md)
 	if err != nil {
 		return fmt.Errorf("depsky: encoding metadata: %w", err)
 	}
-	return m.writeQuorum(m.metaName(md.Unit), func(int) []byte { return payload })
+	return m.writeQuorum(ctx, m.metaName(md.Unit), func(int) []byte { return payload })
 }
 
 // writeQuorum writes per-cloud payloads (payload(i) for cloud i) and waits
-// for n-f successes. Remaining uploads continue in the background.
-func (m *Manager) writeQuorum(name string, payload func(i int) []byte) error {
-	return m.writeQuorumHooked(name, payload, nil)
+// for n-f successes. Once the verdict is known the remaining uploads are
+// cancelled: the preferred quorum of n-f clouds (the one the paper's cost
+// analysis charges for) holds the version, and the stragglers neither bill
+// upload traffic nor keep goroutines alive.
+func (m *Manager) writeQuorum(ctx context.Context, name string, payload func(i int) []byte) error {
+	return m.writeQuorumHooked(ctx, name, payload, nil)
 }
 
 // writeQuorumHooked is writeQuorum with a per-cloud completion hook:
 // onCloudDone(i) is called (from the collector goroutine) as soon as cloud
-// i's upload attempt has finished, whether it succeeded or failed —
-// including the attempts that keep running in the background after the
-// quorum verdict. The streaming pipeline uses it to recycle each cloud's
-// frame buffer the moment that cloud is done with it, so one slow cloud
-// only pins its own frames, not the whole chunk's.
-func (m *Manager) writeQuorumHooked(name string, payload func(i int) []byte, onCloudDone func(i int)) error {
+// i's upload attempt has finished, whether it succeeded, failed or was
+// cancelled by the quorum verdict. The streaming pipeline uses it to recycle
+// each cloud's frame buffer the moment that cloud is done with it.
+//
+// Cancelling ctx aborts every in-flight upload and returns ctx.Err(). The
+// collector goroutine always drains all n outcomes, but after the verdict
+// the losers are already cancelled, so it exits promptly rather than living
+// as long as the slowest cloud.
+func (m *Manager) writeQuorumHooked(ctx context.Context, name string, payload func(i int) []byte, onCloudDone func(i int)) error {
 	n := m.N()
+	opCtx, cancel := m.quorumCtx(ctx)
 	type outcome struct {
 		idx int
 		err error
@@ -359,11 +455,12 @@ func (m *Manager) writeQuorumHooked(name string, payload func(i int) []byte, onC
 	results := make(chan outcome, n)
 	for i, c := range m.opts.Clouds {
 		go func(i int, c cloud.ObjectStore) {
-			results <- outcome{idx: i, err: c.Put(name, payload(i))}
+			results <- outcome{idx: i, err: c.Put(opCtx, name, payload(i))}
 		}(i, c)
 	}
 	verdict := make(chan error, 1)
 	go func() {
+		defer cancel()
 		successes, failures, decided := 0, 0, false
 		for i := 0; i < n; i++ {
 			o := <-results
@@ -382,13 +479,23 @@ func (m *Manager) writeQuorumHooked(name string, payload func(i int) []byte, onC
 			case successes >= m.QuorumSize():
 				verdict <- nil
 				decided = true
+				cancel() // quorum reached: abort the redundant uploads
 			case failures > m.opts.F:
-				verdict <- fmt.Errorf("%w: %d failures out of %d clouds", ErrQuorumWrite, failures, n)
+				if cerr := ctx.Err(); cerr != nil {
+					verdict <- cerr
+				} else {
+					verdict <- fmt.Errorf("%w: %d failures out of %d clouds", ErrQuorumWrite, failures, n)
+				}
 				decided = true
+				cancel()
 			}
 		}
 		if !decided {
-			verdict <- fmt.Errorf("%w: only %d acks", ErrQuorumWrite, successes)
+			if cerr := ctx.Err(); cerr != nil {
+				verdict <- cerr
+			} else {
+				verdict <- fmt.Errorf("%w: only %d acks", ErrQuorumWrite, successes)
+			}
 		}
 	}()
 	return <-verdict
@@ -398,9 +505,12 @@ func (m *Manager) writeQuorumHooked(name string, payload func(i int) []byte, onC
 
 // Write stores data as the next version of unit and returns its version info.
 // SCFS serializes writers per file (via locks), matching DepSky's
-// single-writer register semantics.
-func (m *Manager) Write(unit string, data []byte) (VersionInfo, error) {
-	merged := m.mergeMetadata(unit, m.readMetadataQuorum(unit))
+// single-writer register semantics. Cancelling ctx aborts the quorum
+// uploads; because the metadata anchoring the version is only written after
+// the blocks reach a quorum, a cancelled write never leaves a partially
+// visible version.
+func (m *Manager) Write(ctx context.Context, unit string, data []byte) (VersionInfo, error) {
+	merged := m.mergeMetadata(unit, m.readMetadataQuorum(ctx, unit))
 	var next uint64 = 1
 	if newest := merged.newest(); newest != nil {
 		next = newest.Number + 1
@@ -419,11 +529,11 @@ func (m *Manager) Write(unit string, data []byte) (VersionInfo, error) {
 		info.BlockHashes[i] = seccrypto.Hash(b)
 	}
 
-	if err := m.writeQuorum(m.blockName(unit, next), func(i int) []byte { return blockPayloads[i] }); err != nil {
+	if err := m.writeQuorum(ctx, m.blockName(unit, next), func(i int) []byte { return blockPayloads[i] }); err != nil {
 		return VersionInfo{}, err
 	}
 	merged.Versions = append(merged.Versions, info)
-	if err := m.writeMetadataQuorum(merged); err != nil {
+	if err := m.writeMetadataQuorum(ctx, merged); err != nil {
 		return VersionInfo{}, err
 	}
 	return info, nil
@@ -474,41 +584,75 @@ func (m *Manager) encode(data []byte) ([]block, VersionInfo, error) {
 }
 
 // Read returns the newest version of unit.
-func (m *Manager) Read(unit string) ([]byte, VersionInfo, error) {
-	merged := m.mergeMetadata(unit, m.readMetadataQuorum(unit))
+func (m *Manager) Read(ctx context.Context, unit string) ([]byte, VersionInfo, error) {
+	merged := m.mergeMetadata(unit, m.readMetadataQuorum(ctx, unit))
 	newest := merged.newest()
 	if newest == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, VersionInfo{}, err
+		}
 		return nil, VersionInfo{}, ErrUnitNotFound
 	}
-	data, err := m.readVersion(unit, *newest)
+	data, err := m.readVersionAny(ctx, unit, merged.variantsOf(newest.Number))
 	return data, *newest, err
 }
 
 // ReadMatching returns the version of unit whose plaintext hash equals hash.
 // This is the operation added to DepSky for SCFS's consistency anchor.
-func (m *Manager) ReadMatching(unit, hash string) ([]byte, VersionInfo, error) {
-	merged := m.mergeMetadata(unit, m.readMetadataQuorum(unit))
+func (m *Manager) ReadMatching(ctx context.Context, unit, hash string) ([]byte, VersionInfo, error) {
+	merged := m.mergeMetadata(unit, m.readMetadataQuorum(ctx, unit))
 	info := merged.find(hash)
 	if info == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, VersionInfo{}, err
+		}
 		return nil, VersionInfo{}, ErrVersionNotFound
 	}
-	data, err := m.readVersion(unit, *info)
+	var matching []VersionInfo
+	for _, v := range merged.variantsOf(info.Number) {
+		if v.DataHash == hash {
+			matching = append(matching, v)
+		}
+	}
+	data, err := m.readVersionAny(ctx, unit, matching)
 	return data, *info, err
 }
 
+// readVersionAny tries each metadata variant of one version, best first,
+// until one decodes and verifies end-to-end. Distinct variants only exist
+// when faulty clouds rewrote their metadata copies; the honest variant's
+// hashes then let the read succeed where the forged one fails integrity.
+func (m *Manager) readVersionAny(ctx context.Context, unit string, variants []VersionInfo) ([]byte, error) {
+	var lastErr error
+	for _, v := range variants {
+		data, err := m.readVersion(ctx, unit, v)
+		if err == nil {
+			return data, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	if lastErr == nil {
+		lastErr = ErrVersionNotFound
+	}
+	return nil, lastErr
+}
+
 // ListVersions returns all known versions of a unit, oldest first.
-func (m *Manager) ListVersions(unit string) ([]VersionInfo, error) {
-	merged := m.mergeMetadata(unit, m.readMetadataQuorum(unit))
+func (m *Manager) ListVersions(ctx context.Context, unit string) ([]VersionInfo, error) {
+	merged := m.mergeMetadata(unit, m.readMetadataQuorum(ctx, unit))
 	if len(merged.Versions) == 0 {
-		return nil, nil
+		return nil, ctx.Err()
 	}
 	return merged.Versions, nil
 }
 
 // DeleteVersion removes the blocks of one version from all clouds and drops
 // it from the metadata (used by the SCFS garbage collector).
-func (m *Manager) DeleteVersion(unit string, number uint64) error {
-	merged := m.mergeMetadata(unit, m.readMetadataQuorum(unit))
+func (m *Manager) DeleteVersion(ctx context.Context, unit string, number uint64) error {
+	merged := m.mergeMetadata(unit, m.readMetadataQuorum(ctx, unit))
 	idx := -1
 	for i, v := range merged.Versions {
 		if v.Number == number {
@@ -517,14 +661,17 @@ func (m *Manager) DeleteVersion(unit string, number uint64) error {
 		}
 	}
 	if idx < 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		return ErrVersionNotFound
 	}
 	removed := merged.Versions[idx]
 	merged.Versions = append(merged.Versions[:idx], merged.Versions[idx+1:]...)
-	if err := m.writeMetadataQuorum(merged); err != nil {
+	if err := m.writeMetadataQuorum(ctx, merged); err != nil {
 		return err
 	}
-	m.deleteVersionBlocks(unit, removed)
+	m.deleteVersionBlocks(ctx, unit, removed)
 	return nil
 }
 
@@ -533,7 +680,7 @@ func (m *Manager) DeleteVersion(unit string, number uint64) error {
 // call; garbage-collection sweeps delete many versions at once). It returns
 // how many of the requested versions existed and were removed; absent
 // numbers are skipped silently.
-func (m *Manager) DeleteVersions(unit string, numbers []uint64) (int, error) {
+func (m *Manager) DeleteVersions(ctx context.Context, unit string, numbers []uint64) (int, error) {
 	if len(numbers) == 0 {
 		return 0, nil
 	}
@@ -541,7 +688,7 @@ func (m *Manager) DeleteVersions(unit string, numbers []uint64) (int, error) {
 	for _, n := range numbers {
 		doomed[n] = true
 	}
-	merged := m.mergeMetadata(unit, m.readMetadataQuorum(unit))
+	merged := m.mergeMetadata(unit, m.readMetadataQuorum(ctx, unit))
 	var removed []VersionInfo
 	kept := merged.Versions[:0]
 	for _, v := range merged.Versions {
@@ -555,18 +702,18 @@ func (m *Manager) DeleteVersions(unit string, numbers []uint64) (int, error) {
 		return 0, nil
 	}
 	merged.Versions = kept
-	if err := m.writeMetadataQuorum(merged); err != nil {
+	if err := m.writeMetadataQuorum(ctx, merged); err != nil {
 		return 0, err
 	}
 	for _, v := range removed {
-		m.deleteVersionBlocks(unit, v)
+		m.deleteVersionBlocks(ctx, unit, v)
 	}
 	return len(removed), nil
 }
 
 // DeleteUnit removes every version and the metadata of the unit.
-func (m *Manager) DeleteUnit(unit string) error {
-	versions, err := m.ListVersions(unit)
+func (m *Manager) DeleteUnit(ctx context.Context, unit string) error {
+	versions, err := m.ListVersions(ctx, unit)
 	if err != nil {
 		return err
 	}
@@ -574,7 +721,7 @@ func (m *Manager) DeleteUnit(unit string) error {
 	for _, v := range versions {
 		numbers = append(numbers, v.Number)
 	}
-	if _, err := m.DeleteVersions(unit, numbers); err != nil {
+	if _, err := m.DeleteVersions(ctx, unit, numbers); err != nil {
 		return err
 	}
 	name := m.metaName(unit)
@@ -583,7 +730,7 @@ func (m *Manager) DeleteUnit(unit string) error {
 		wg.Add(1)
 		go func(c cloud.ObjectStore) {
 			defer wg.Done()
-			_ = c.Delete(name)
+			_ = c.Delete(ctx, name)
 		}(c)
 	}
 	wg.Wait()
@@ -591,13 +738,18 @@ func (m *Manager) DeleteUnit(unit string) error {
 }
 
 // readVersion fetches blocks for the given version until it can reconstruct
-// and verify the value.
-func (m *Manager) readVersion(unit string, info VersionInfo) ([]byte, error) {
+// and verify the value. The fan-out is first-quorum-wins: the moment enough
+// verified blocks have arrived to decode the value, the remaining per-cloud
+// fetches are cancelled instead of silently running on (each redundant fetch
+// costs a GET fee plus the block's worth of outbound traffic at that cloud).
+func (m *Manager) readVersion(ctx context.Context, unit string, info VersionInfo) ([]byte, error) {
 	if info.Chunked() {
-		return m.readChunkedVersion(unit, info)
+		return m.readChunkedVersion(ctx, unit, info)
 	}
 	scratch := &decodeScratch{}
 	defer scratch.release()
+	opCtx, cancel := m.quorumCtx(ctx)
+	defer cancel()
 	name := m.blockName(unit, info.Number)
 	type fetched struct {
 		idx int
@@ -609,7 +761,7 @@ func (m *Manager) readVersion(unit string, info VersionInfo) ([]byte, error) {
 		wg.Add(1)
 		go func(i int, c cloud.ObjectStore) {
 			defer wg.Done()
-			data, err := c.Get(name)
+			data, err := c.Get(opCtx, name)
 			if err != nil {
 				results <- fetched{idx: i}
 				return
@@ -639,8 +791,12 @@ func (m *Manager) readVersion(unit string, info VersionInfo) ([]byte, error) {
 		blocks[f.idx] = f.blk
 		got++
 		if data, err := m.tryDecode(blocks, info, scratch); err == nil {
+			cancel() // first quorum wins: abort the redundant fetches
 			return data, nil
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if got == 0 {
 		return nil, ErrQuorumRead

@@ -2,6 +2,7 @@ package depsky
 
 import (
 	"bytes"
+	"context"
 	"crypto/rand"
 	"errors"
 	"fmt"
@@ -11,6 +12,9 @@ import (
 	"scfs/internal/cloud"
 	"scfs/internal/cloudsim"
 )
+
+// bg is the context used by tests that do not exercise cancellation.
+var bg = context.Background()
 
 // testClouds builds n zero-latency simulated providers and returns the
 // providers plus object-store clients for one user.
@@ -63,14 +67,14 @@ func TestWriteReadRoundTripCA(t *testing.T) {
 			t.Fatal(err)
 		}
 		unit := fmt.Sprintf("file-%d", size)
-		info, err := m.Write(unit, data)
+		info, err := m.Write(bg, unit, data)
 		if err != nil {
 			t.Fatalf("Write(%d bytes): %v", size, err)
 		}
 		if info.Number != 1 || info.Size != size {
 			t.Fatalf("info = %+v", info)
 		}
-		got, gotInfo, err := m.Read(unit)
+		got, gotInfo, err := m.Read(bg, unit)
 		if err != nil {
 			t.Fatalf("Read: %v", err)
 		}
@@ -86,10 +90,10 @@ func TestWriteReadRoundTripCA(t *testing.T) {
 func TestWriteReadRoundTripA(t *testing.T) {
 	_, m := newManager(t, ProtocolA)
 	data := []byte("replicated everywhere")
-	if _, err := m.Write("u", data); err != nil {
+	if _, err := m.Write(bg, "u", data); err != nil {
 		t.Fatal(err)
 	}
-	got, info, err := m.Read("u")
+	got, info, err := m.Read(bg, "u")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,18 +105,18 @@ func TestWriteReadRoundTripA(t *testing.T) {
 func TestVersionsAccumulateAndReadNewest(t *testing.T) {
 	_, m := newManager(t, ProtocolCA)
 	for i := 1; i <= 3; i++ {
-		if _, err := m.Write("doc", []byte(fmt.Sprintf("version %d", i))); err != nil {
+		if _, err := m.Write(bg, "doc", []byte(fmt.Sprintf("version %d", i))); err != nil {
 			t.Fatal(err)
 		}
 	}
-	got, info, err := m.Read("doc")
+	got, info, err := m.Read(bg, "doc")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if string(got) != "version 3" || info.Number != 3 {
 		t.Fatalf("Read returned %q (version %d), want version 3", got, info.Number)
 	}
-	versions, err := m.ListVersions("doc")
+	versions, err := m.ListVersions(bg, "doc")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,28 +129,28 @@ func TestReadMatchingFetchesSpecificVersion(t *testing.T) {
 	_, m := newManager(t, ProtocolCA)
 	infos := make([]VersionInfo, 0, 3)
 	for i := 1; i <= 3; i++ {
-		info, err := m.Write("doc", []byte(fmt.Sprintf("version %d", i)))
+		info, err := m.Write(bg, "doc", []byte(fmt.Sprintf("version %d", i)))
 		if err != nil {
 			t.Fatal(err)
 		}
 		infos = append(infos, info)
 	}
 	// Fetch the middle version by its hash (the consistency-anchor path).
-	got, info, err := m.ReadMatching("doc", infos[1].DataHash)
+	got, info, err := m.ReadMatching(bg, "doc", infos[1].DataHash)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if string(got) != "version 2" || info.Number != 2 {
 		t.Fatalf("ReadMatching returned %q (version %d)", got, info.Number)
 	}
-	if _, _, err := m.ReadMatching("doc", "no-such-hash"); !errors.Is(err, ErrVersionNotFound) {
+	if _, _, err := m.ReadMatching(bg, "doc", "no-such-hash"); !errors.Is(err, ErrVersionNotFound) {
 		t.Fatalf("err = %v, want ErrVersionNotFound", err)
 	}
 }
 
 func TestReadMissingUnit(t *testing.T) {
 	_, m := newManager(t, ProtocolCA)
-	if _, _, err := m.Read("ghost"); !errors.Is(err, ErrUnitNotFound) {
+	if _, _, err := m.Read(bg, "ghost"); !errors.Is(err, ErrUnitNotFound) {
 		t.Fatalf("err = %v, want ErrUnitNotFound", err)
 	}
 }
@@ -156,13 +160,13 @@ func TestToleratesOneUnavailableCloud(t *testing.T) {
 	data := []byte("must survive an outage")
 	// One cloud is down during the write.
 	providers[2].SetFault(cloudsim.FaultUnavailable)
-	if _, err := m.Write("u", data); err != nil {
+	if _, err := m.Write(bg, "u", data); err != nil {
 		t.Fatalf("Write with one cloud down: %v", err)
 	}
 	// A different cloud is down during the read.
 	providers[2].SetFault(cloudsim.FaultNone)
 	providers[0].SetFault(cloudsim.FaultUnavailable)
-	got, _, err := m.Read("u")
+	got, _, err := m.Read(bg, "u")
 	if err != nil {
 		t.Fatalf("Read with one cloud down: %v", err)
 	}
@@ -174,11 +178,11 @@ func TestToleratesOneUnavailableCloud(t *testing.T) {
 func TestToleratesOneCorruptingCloud(t *testing.T) {
 	providers, m := newManager(t, ProtocolCA)
 	data := bytes.Repeat([]byte("integrity "), 1000)
-	if _, err := m.Write("u", data); err != nil {
+	if _, err := m.Write(bg, "u", data); err != nil {
 		t.Fatal(err)
 	}
 	providers[1].SetFault(cloudsim.FaultCorrupt)
-	got, _, err := m.Read("u")
+	got, _, err := m.Read(bg, "u")
 	if err != nil {
 		t.Fatalf("Read with one corrupting cloud: %v", err)
 	}
@@ -199,7 +203,7 @@ func TestDegradedReadWithExactlyFCorruptingClouds(t *testing.T) {
 			t.Fatal(err)
 		}
 		data := bytes.Repeat([]byte("degraded-read "), 500)
-		if _, err := m.Write("u", data); err != nil {
+		if _, err := m.Write(bg, "u", data); err != nil {
 			t.Fatalf("f=%d: %v", f, err)
 		}
 		// Every combination of exactly f corrupting clouds, via bitmask.
@@ -214,7 +218,7 @@ func TestDegradedReadWithExactlyFCorruptingClouds(t *testing.T) {
 					p.SetFault(cloudsim.FaultNone)
 				}
 			}
-			got, _, err := m.Read("u")
+			got, _, err := m.Read(bg, "u")
 			if err != nil {
 				t.Fatalf("f=%d mask=%b: %v", f, mask, err)
 			}
@@ -229,10 +233,10 @@ func TestToleratesOneCloudLosingWrites(t *testing.T) {
 	providers, m := newManager(t, ProtocolCA)
 	providers[3].SetFault(cloudsim.FaultLoseWrites)
 	data := []byte("ack'd but dropped on one cloud")
-	if _, err := m.Write("u", data); err != nil {
+	if _, err := m.Write(bg, "u", data); err != nil {
 		t.Fatal(err)
 	}
-	got, _, err := m.Read("u")
+	got, _, err := m.Read(bg, "u")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,19 +246,26 @@ func TestToleratesOneCloudLosingWrites(t *testing.T) {
 }
 
 func TestFailureThresholds(t *testing.T) {
-	providers, m := newManager(t, ProtocolCA)
-	if _, err := m.Write("u", []byte("data")); err != nil {
+	// This test kills two specific clouds after the fact, so it needs the
+	// write to have landed on all four — disable the quorum verdict's
+	// straggler cancellation to make placement deterministic.
+	providers, clients := testClouds(t, 4)
+	m, err := New(Options{Clouds: clients, F: 1, DisableQuorumCancel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Write(bg, "u", []byte("data")); err != nil {
 		t.Fatal(err)
 	}
 	// Writes need a quorum of n-f = 3 clouds: two outages block them.
 	providers[0].SetFault(cloudsim.FaultUnavailable)
 	providers[1].SetFault(cloudsim.FaultUnavailable)
-	if _, err := m.Write("u", []byte("new")); !errors.Is(err, ErrQuorumWrite) {
+	if _, err := m.Write(bg, "u", []byte("new")); !errors.Is(err, ErrQuorumWrite) {
 		t.Fatalf("Write err = %v, want ErrQuorumWrite", err)
 	}
 	// Reads only need f+1 = 2 clouds (the paper: "two clouds need to be
 	// accessed to recover the file data"), so they still succeed...
-	got, _, err := m.Read("u")
+	got, _, err := m.Read(bg, "u")
 	if err != nil {
 		t.Fatalf("Read with 2 clouds down: %v", err)
 	}
@@ -263,7 +274,7 @@ func TestFailureThresholds(t *testing.T) {
 	}
 	// ...but a third outage exceeds the read threshold as well.
 	providers[2].SetFault(cloudsim.FaultUnavailable)
-	if _, _, err := m.Read("u"); err == nil {
+	if _, _, err := m.Read(bg, "u"); err == nil {
 		t.Fatal("Read succeeded with only one cloud reachable")
 	}
 }
@@ -273,18 +284,18 @@ func TestNoSingleCloudHoldsPlaintext(t *testing.T) {
 	// anything containing it in the clear.
 	providers, m := newManager(t, ProtocolCA)
 	secretPayload := bytes.Repeat([]byte("TOPSECRET"), 200)
-	if _, err := m.Write("classified", secretPayload); err != nil {
+	if _, err := m.Write(bg, "classified", secretPayload); err != nil {
 		t.Fatal(err)
 	}
 	for i, p := range providers {
 		id := p.CreateAccount("alice")
 		c := p.MustClient(id)
-		objs, err := c.List("")
+		objs, err := c.List(bg, "")
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, o := range objs {
-			data, err := c.Get(o.Name)
+			data, err := c.Get(bg, o.Name)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -306,15 +317,15 @@ func TestDepSkyAStoresPlaintextEverywhere(t *testing.T) {
 	// Contrast with the CA protocol: DepSky-A replicates the value verbatim,
 	// which is why SCFS uses DepSky-CA for its CoC backend.
 	providers, m := newManager(t, ProtocolA)
-	if _, err := m.Write("open", []byte("PLAINVALUE")); err != nil {
+	if _, err := m.Write(bg, "open", []byte("PLAINVALUE")); err != nil {
 		t.Fatal(err)
 	}
 	found := 0
 	for _, p := range providers {
 		c := p.MustClient(p.CreateAccount("alice"))
-		objs, _ := c.List("")
+		objs, _ := c.List(bg, "")
 		for _, o := range objs {
-			data, _ := c.Get(o.Name)
+			data, _ := c.Get(bg, o.Name)
 			if b, err := decodeBlock(data); err == nil && bytes.Contains(b.Full, []byte("PLAINVALUE")) {
 				found++
 			}
@@ -326,29 +337,35 @@ func TestDepSkyAStoresPlaintextEverywhere(t *testing.T) {
 }
 
 func TestDeleteVersionReclaimsSpace(t *testing.T) {
-	providers, m := newManager(t, ProtocolCA)
+	// Asserts on provider 0's object count, so every write must land there:
+	// disable straggler cancellation for deterministic placement.
+	providers, clients := testClouds(t, 4)
+	m, err := New(Options{Clouds: clients, F: 1, DisableQuorumCancel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 1; i <= 3; i++ {
-		if _, err := m.Write("doc", bytes.Repeat([]byte{byte(i)}, 10000)); err != nil {
+		if _, err := m.Write(bg, "doc", bytes.Repeat([]byte{byte(i)}, 10000)); err != nil {
 			t.Fatal(err)
 		}
 	}
 	before := providers[0].ObjectCount()
-	if err := m.DeleteVersion("doc", 1); err != nil {
+	if err := m.DeleteVersion(bg, "doc", 1); err != nil {
 		t.Fatal(err)
 	}
 	after := providers[0].ObjectCount()
 	if after >= before {
 		t.Fatalf("object count did not decrease: %d -> %d", before, after)
 	}
-	versions, _ := m.ListVersions("doc")
+	versions, _ := m.ListVersions(bg, "doc")
 	if len(versions) != 2 {
 		t.Fatalf("versions after delete = %d, want 2", len(versions))
 	}
-	if err := m.DeleteVersion("doc", 99); !errors.Is(err, ErrVersionNotFound) {
+	if err := m.DeleteVersion(bg, "doc", 99); !errors.Is(err, ErrVersionNotFound) {
 		t.Fatalf("err = %v, want ErrVersionNotFound", err)
 	}
 	// Newest version still readable.
-	got, _, err := m.Read("doc")
+	got, _, err := m.Read(bg, "doc")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -359,13 +376,13 @@ func TestDeleteVersionReclaimsSpace(t *testing.T) {
 
 func TestDeleteUnitRemovesEverything(t *testing.T) {
 	providers, m := newManager(t, ProtocolCA)
-	if _, err := m.Write("doc", []byte("x")); err != nil {
+	if _, err := m.Write(bg, "doc", []byte("x")); err != nil {
 		t.Fatal(err)
 	}
-	if err := m.DeleteUnit("doc"); err != nil {
+	if err := m.DeleteUnit(bg, "doc"); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := m.Read("doc"); !errors.Is(err, ErrUnitNotFound) {
+	if _, _, err := m.Read(bg, "doc"); !errors.Is(err, ErrUnitNotFound) {
 		t.Fatalf("err = %v, want ErrUnitNotFound", err)
 	}
 	for i, p := range providers {
@@ -411,7 +428,7 @@ func BenchmarkWriteCA1MB(b *testing.B) {
 	b.SetBytes(int64(len(data)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := m.Write(fmt.Sprintf("u-%d", i), data); err != nil {
+		if _, err := m.Write(bg, fmt.Sprintf("u-%d", i), data); err != nil {
 			b.Fatal(err)
 		}
 	}

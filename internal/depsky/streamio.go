@@ -14,6 +14,7 @@ package depsky
 // process-wide stream.Buffers pool shared with the whole-object read path.
 
 import (
+	"context"
 	"encoding/hex"
 	"errors"
 	"fmt"
@@ -64,8 +65,15 @@ type encodedChunk struct {
 //
 // Like Write, WriteFrom assumes a single writer per data unit (SCFS
 // serializes writers via its lock service).
-func (m *Manager) WriteFrom(unit string, r io.Reader) (VersionInfo, error) {
-	merged := m.mergeMetadata(unit, m.readMetadataQuorum(unit))
+//
+// Cancelling ctx aborts the in-flight chunk uploads and returns ctx.Err().
+// The version metadata is only written after every chunk reached its quorum,
+// so a cancelled WriteFrom never anchors a version whose shards were not
+// fully uploaded — the orphaned chunk objects of the aborted version are
+// invisible to readers and reclaimed when the version number is reused or
+// the unit is deleted.
+func (m *Manager) WriteFrom(ctx context.Context, unit string, r io.Reader) (VersionInfo, error) {
+	merged := m.mergeMetadata(unit, m.readMetadataQuorum(ctx, unit))
 	var next uint64 = 1
 	if newest := merged.newest(); newest != nil {
 		next = newest.Number + 1
@@ -87,19 +95,17 @@ func (m *Manager) WriteFrom(unit string, r io.Reader) (VersionInfo, error) {
 
 	var mu sync.Mutex
 	var chunkHashes [][]string
-	res, err := stream.Run(r,
+	res, err := stream.Run(ctx, r,
 		stream.Config{ChunkSize: m.chunkSize(), Window: m.writeWindow(), Pool: stream.Buffers},
 		func(idx int, plain []byte) (encodedChunk, error) {
 			return m.encodeChunk(idx, plain, key, shares)
 		},
 		func(idx int, ec encodedChunk) error {
 			// Each cloud's frame is recycled the moment that cloud's upload
-			// attempt finishes — quorum laggards keep only their own frame
-			// pinned, so a slow (but live) cloud cannot accumulate the whole
-			// stream's frames. A cloud whose Put never returns still pins
-			// one frame per chunk; that leak is inherent to the
-			// fire-and-forget quorum write (the Put API is not cancelable).
-			err := m.writeQuorumHooked(m.chunkName(unit, next, idx),
+			// attempt finishes — and since the quorum verdict cancels the
+			// straggling uploads, no cloud pins a frame for longer than the
+			// quorum round trip (plus the cancellation delivery).
+			err := m.writeQuorumHooked(ctx, m.chunkName(unit, next, idx),
 				func(i int) []byte { return ec.frames[i] },
 				func(i int) { stream.Buffers.Put(ec.frames[i]) })
 			if err != nil {
@@ -127,7 +133,7 @@ func (m *Manager) WriteFrom(unit string, r io.Reader) (VersionInfo, error) {
 	}
 	info.ChunkHashes = chunkHashes[:res.Chunks]
 	merged.Versions = append(merged.Versions, info)
-	if err := m.writeMetadataQuorum(merged); err != nil {
+	if err := m.writeMetadataQuorum(ctx, merged); err != nil {
 		return VersionInfo{}, err
 	}
 	return info, nil
@@ -184,25 +190,39 @@ func (m *Manager) encodeChunk(idx int, plain []byte, key []byte, shares []secret
 
 // Open returns a random-access reader over the newest version of unit.
 // Chunked versions fetch only the chunks a read touches; v1 whole-object
-// versions fall back to fetching the full value on first access.
-func (m *Manager) Open(unit string) (*stream.Reader, VersionInfo, error) {
-	merged := m.mergeMetadata(unit, m.readMetadataQuorum(unit))
+// versions fall back to fetching the full value on first access. The ctx
+// bounds only the metadata lookup performed here; each read through the
+// returned reader carries its own context (ReadAtContext / Section).
+func (m *Manager) Open(ctx context.Context, unit string) (*stream.Reader, VersionInfo, error) {
+	merged := m.mergeMetadata(unit, m.readMetadataQuorum(ctx, unit))
 	newest := merged.newest()
 	if newest == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, VersionInfo{}, err
+		}
 		return nil, VersionInfo{}, ErrUnitNotFound
 	}
-	return m.openVersion(unit, *newest, merged.certified[newest.Number]), *newest, nil
+	return m.openVersion(unit, *newest, merged.certified[newest.Number], merged.variantsOf(newest.Number)), *newest, nil
 }
 
 // OpenMatching is Open for the version whose plaintext hash equals hash
 // (the read-by-hash SCFS's consistency anchor needs).
-func (m *Manager) OpenMatching(unit, hash string) (*stream.Reader, VersionInfo, error) {
-	merged := m.mergeMetadata(unit, m.readMetadataQuorum(unit))
+func (m *Manager) OpenMatching(ctx context.Context, unit, hash string) (*stream.Reader, VersionInfo, error) {
+	merged := m.mergeMetadata(unit, m.readMetadataQuorum(ctx, unit))
 	info := merged.find(hash)
 	if info == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, VersionInfo{}, err
+		}
 		return nil, VersionInfo{}, ErrVersionNotFound
 	}
-	return m.openVersion(unit, *info, merged.certified[info.Number]), *info, nil
+	var matching []VersionInfo
+	for _, v := range merged.variantsOf(info.Number) {
+		if v.DataHash == hash {
+			matching = append(matching, v)
+		}
+	}
+	return m.openVersion(unit, *info, merged.certified[info.Number], matching), *info, nil
 }
 
 // ErrWholeObjectOnly is returned by OpenRangedMatching for versions the
@@ -215,10 +235,13 @@ var ErrWholeObjectOnly = errors.New("depsky: version requires the whole-object r
 // OpenRangedMatching is OpenMatching restricted to genuinely ranged
 // serving. The SCFS storage backend uses it so that only reads that
 // actually save memory bypass the agent's whole-object caches.
-func (m *Manager) OpenRangedMatching(unit, hash string) (*stream.Reader, VersionInfo, error) {
-	merged := m.mergeMetadata(unit, m.readMetadataQuorum(unit))
+func (m *Manager) OpenRangedMatching(ctx context.Context, unit, hash string) (*stream.Reader, VersionInfo, error) {
+	merged := m.mergeMetadata(unit, m.readMetadataQuorum(ctx, unit))
 	info := merged.find(hash)
 	if info == nil {
+		if err := ctx.Err(); err != nil {
+			return nil, VersionInfo{}, err
+		}
 		return nil, VersionInfo{}, ErrVersionNotFound
 	}
 	if !info.Chunked() || !merged.certified[info.Number] || !info.validChunking() {
@@ -229,13 +252,13 @@ func (m *Manager) OpenRangedMatching(unit, hash string) (*stream.Reader, Version
 
 // OpenRange returns a reader over [off, off+length) of the newest version
 // of unit, fetching only the chunks covering that range. Ranges beyond the
-// end are truncated.
-func (m *Manager) OpenRange(unit string, off, length int64) (io.ReadCloser, VersionInfo, error) {
-	r, info, err := m.Open(unit)
+// end are truncated. Reads through the returned reader are bounded by ctx.
+func (m *Manager) OpenRange(ctx context.Context, unit string, off, length int64) (io.ReadCloser, VersionInfo, error) {
+	r, info, err := m.Open(ctx, unit)
 	if err != nil {
 		return nil, VersionInfo{}, err
 	}
-	return r.Section(off, length), info, nil
+	return r.Section(ctx, off, length), info, nil
 }
 
 // openVersion builds the stream.Reader for one version. Chunks are served
@@ -244,19 +267,24 @@ func (m *Manager) OpenRange(unit string, off, length int64) (io.ReadCloser, Vers
 // rests on the metadata's ChunkHashes, which certification pins to at
 // least one correct cloud. Anything else — v1 layouts, uncertified or
 // malformed entries — goes through the whole-object path, which verifies
-// the full value against DataHash before serving any byte.
-func (m *Manager) openVersion(unit string, info VersionInfo, certified bool) *stream.Reader {
+// the full value against DataHash before serving any byte (trying every
+// metadata variant, so a forged uncertified copy costs a retry, not the
+// read).
+func (m *Manager) openVersion(unit string, info VersionInfo, certified bool, variants []VersionInfo) *stream.Reader {
 	if info.Chunked() && certified && info.validChunking() {
 		return stream.NewReader(&chunkFetcher{m: m, unit: unit, info: info}, stream.Buffers)
 	}
-	return stream.NewReader(&wholeFetcher{m: m, unit: unit, info: info}, stream.Buffers)
+	if len(variants) == 0 {
+		variants = []VersionInfo{info}
+	}
+	return stream.NewReader(&wholeFetcher{m: m, unit: unit, info: info, variants: variants}, stream.Buffers)
 }
 
 // readChunkedVersion reassembles a full chunked version (the whole-object
 // Read path for v2 versions) and verifies the stream hash. Chunks are
 // fetched with a bounded-parallel window so the read costs
 // ceil(chunks/window) round-trip times, not one per chunk.
-func (m *Manager) readChunkedVersion(unit string, info VersionInfo) ([]byte, error) {
+func (m *Manager) readChunkedVersion(ctx context.Context, unit string, info VersionInfo) ([]byte, error) {
 	if !info.validChunking() {
 		return nil, fmt.Errorf("%w: inconsistent chunk geometry (size %d, chunk %d x %d)", ErrIntegrity, info.Size, info.ChunkSize, info.ChunkCount)
 	}
@@ -272,8 +300,12 @@ func (m *Manager) readChunkedVersion(unit string, info VersionInfo) ([]byte, err
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				errs <- err
+				return
+			}
 			start := idx * info.ChunkSize
-			if err := f.Fetch(idx, out[start:start+info.chunkPlainLen(idx)]); err != nil {
+			if err := f.Fetch(ctx, idx, out[start:start+info.chunkPlainLen(idx)]); err != nil {
 				errs <- err
 			}
 		}(idx)
@@ -327,8 +359,10 @@ func (f *chunkFetcher) setKey(key []byte) {
 // Fetch implements stream.Fetcher: fan the chunk's frame reads over all
 // clouds, verify each frame against the metadata hashes, and decode as soon
 // as enough verified frames arrived — reconstructing missing shards for
-// degraded reads.
-func (f *chunkFetcher) Fetch(idx int, dst []byte) error {
+// degraded reads. The moment a decode succeeds the remaining per-cloud
+// fetches are cancelled (first quorum wins); cancelling ctx aborts the whole
+// fan-out and returns ctx.Err().
+func (f *chunkFetcher) Fetch(ctx context.Context, idx int, dst []byte) error {
 	m := f.m
 	info := f.info
 	if idx < 0 || idx >= info.ChunkCount {
@@ -341,6 +375,8 @@ func (f *chunkFetcher) Fetch(idx int, dst []byte) error {
 	if idx < len(info.ChunkHashes) {
 		hashes = info.ChunkHashes[idx]
 	}
+	opCtx, cancel := m.quorumCtx(ctx)
+	defer cancel()
 	name := m.chunkName(f.unit, info.Number, idx)
 	results := make(chan *block, m.N())
 	var wg sync.WaitGroup
@@ -348,7 +384,7 @@ func (f *chunkFetcher) Fetch(idx int, dst []byte) error {
 		wg.Add(1)
 		go func(i int, c cloud.ObjectStore) {
 			defer wg.Done()
-			data, err := c.Get(name)
+			data, err := c.Get(opCtx, name)
 			if err != nil {
 				results <- nil
 				return
@@ -384,8 +420,12 @@ func (f *chunkFetcher) Fetch(idx int, dst []byte) error {
 		blocks = append(blocks, b)
 		got++
 		if err := f.decodeChunk(idx, blocks, dst, scratch); err == nil {
+			cancel() // first quorum wins: abort the redundant fetches
 			return nil
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	if got == 0 {
 		return ErrQuorumRead
@@ -459,17 +499,21 @@ func (f *chunkFetcher) decodeChunk(idx int, blocks []*block, dst []byte, scratch
 	return nil
 }
 
-// wholeFetcher adapts a v1 whole-object version to the chunk interface so
-// pre-upgrade units stay readable through Open/OpenRange: the full value is
-// fetched (and verified) once, on first access, and served as one chunk.
+// wholeFetcher adapts a whole-object-read version to the chunk interface so
+// v1 (and uncertified chunked) units stay readable through Open/OpenRange:
+// the full value is fetched (and verified) once, on first access, and
+// served as one chunk.
 type wholeFetcher struct {
 	m    *Manager
 	unit string
 	info VersionInfo
+	// variants are the metadata copies to try, best first (see
+	// readVersionAny).
+	variants []VersionInfo
 
-	once sync.Once
-	data []byte
-	err  error
+	mu      sync.Mutex
+	fetched bool
+	data    []byte
 }
 
 // Size implements stream.Fetcher.
@@ -486,14 +530,22 @@ func (f *wholeFetcher) ChunkSize() int {
 // Close implements stream.Fetcher.
 func (f *wholeFetcher) Close() error { return nil }
 
-// Fetch implements stream.Fetcher.
-func (f *wholeFetcher) Fetch(idx int, dst []byte) error {
+// Fetch implements stream.Fetcher. The one whole-object fetch runs under
+// the context of whichever read triggers it first; a failed fetch (a
+// cancelled caller, a transient quorum shortfall) is not latched, so a
+// later read with a live context retries it.
+func (f *wholeFetcher) Fetch(ctx context.Context, idx int, dst []byte) error {
 	if idx != 0 {
 		return fmt.Errorf("depsky: whole-object version has one chunk, got request for %d", idx)
 	}
-	f.once.Do(func() { f.data, f.err = f.m.readVersion(f.unit, f.info) })
-	if f.err != nil {
-		return f.err
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.fetched {
+		data, err := f.m.readVersionAny(ctx, f.unit, f.variants)
+		if err != nil {
+			return err
+		}
+		f.data, f.fetched = data, true
 	}
 	if len(dst) != len(f.data) {
 		return fmt.Errorf("depsky: buffer is %d bytes, value is %d", len(dst), len(f.data))
@@ -504,7 +556,7 @@ func (f *wholeFetcher) Fetch(idx int, dst []byte) error {
 
 // DeleteVersionBlocks removes the per-cloud objects of one version,
 // handling both layouts; used by DeleteVersion.
-func (m *Manager) deleteVersionBlocks(unit string, info VersionInfo) {
+func (m *Manager) deleteVersionBlocks(ctx context.Context, unit string, info VersionInfo) {
 	names := make([]string, 0, 1+info.ChunkCount)
 	if info.Chunked() {
 		for idx := 0; idx < info.ChunkCount; idx++ {
@@ -519,7 +571,7 @@ func (m *Manager) deleteVersionBlocks(unit string, info VersionInfo) {
 		go func(c cloud.ObjectStore) {
 			defer wg.Done()
 			for _, name := range names {
-				_ = c.Delete(name) // best effort; failures only waste space
+				_ = c.Delete(ctx, name) // best effort; failures only waste space
 			}
 		}(c)
 	}

@@ -43,7 +43,7 @@ func TestWriteFromChunkBoundaries(t *testing.T) {
 		for _, size := range []int{0, 1, cs - 1, cs, cs + 1, 3*cs + 100, 5 * cs} {
 			data := randBytes(t, size)
 			unit := fmt.Sprintf("%s-%d", protocol, size)
-			info, err := m.WriteFrom(unit, bytes.NewReader(data))
+			info, err := m.WriteFrom(bg, unit, bytes.NewReader(data))
 			if err != nil {
 				t.Fatalf("%s size %d: WriteFrom: %v", protocol, size, err)
 			}
@@ -56,7 +56,7 @@ func TestWriteFromChunkBoundaries(t *testing.T) {
 			}
 
 			// Whole-object read path (Read) understands chunked versions.
-			got, gotInfo, err := m.Read(unit)
+			got, gotInfo, err := m.Read(bg, unit)
 			if err != nil {
 				t.Fatalf("%s size %d: Read: %v", protocol, size, err)
 			}
@@ -68,7 +68,7 @@ func TestWriteFromChunkBoundaries(t *testing.T) {
 			}
 
 			// Streaming read path.
-			r, _, err := m.Open(unit)
+			r, _, err := m.Open(bg, unit)
 			if err != nil {
 				t.Fatalf("%s size %d: Open: %v", protocol, size, err)
 			}
@@ -90,7 +90,7 @@ func TestOpenRangeFetchesOnlyCoveringChunks(t *testing.T) {
 	const cs = 4096
 	providers, m := newChunkedManager(t, ProtocolCA, cs)
 	data := randBytes(t, 8*cs+57)
-	if _, err := m.WriteFrom("u", bytes.NewReader(data)); err != nil {
+	if _, err := m.WriteFrom(bg, "u", bytes.NewReader(data)); err != nil {
 		t.Fatal(err)
 	}
 
@@ -105,7 +105,7 @@ func TestOpenRangeFetchesOnlyCoveringChunks(t *testing.T) {
 		{int64(len(data)) - 9, 9},
 		{int64(len(data)) - 9, 100}, // over-long range is truncated
 	} {
-		r, _, err := m.OpenRange("u", c.off, c.n)
+		r, _, err := m.OpenRange(bg, "u", c.off, c.n)
 		if err != nil {
 			t.Fatalf("OpenRange(%d, %d): %v", c.off, c.n, err)
 		}
@@ -150,12 +150,12 @@ func TestStreamedDegradedReadsAllFaultPatterns(t *testing.T) {
 				// Lost writes must be injected before the write.
 				providers[down].SetFault(fault)
 			}
-			if _, err := m.WriteFrom("u", bytes.NewReader(data)); err != nil {
+			if _, err := m.WriteFrom(bg, "u", bytes.NewReader(data)); err != nil {
 				t.Fatalf("fault %v cloud %d: WriteFrom: %v", fault, down, err)
 			}
 			providers[down].SetFault(fault)
 
-			got, _, err := m.Read("u")
+			got, _, err := m.Read(bg, "u")
 			if err != nil {
 				t.Fatalf("fault %v cloud %d: Read: %v", fault, down, err)
 			}
@@ -163,7 +163,7 @@ func TestStreamedDegradedReadsAllFaultPatterns(t *testing.T) {
 				t.Fatalf("fault %v cloud %d: Read mismatch", fault, down)
 			}
 
-			r, _, err := m.OpenRange("u", cs-7, 2*cs)
+			r, _, err := m.OpenRange(bg, "u", cs-7, 2*cs)
 			if err != nil {
 				t.Fatalf("fault %v cloud %d: OpenRange: %v", fault, down, err)
 			}
@@ -208,14 +208,14 @@ func TestWriteFromMidStreamCloudFailure(t *testing.T) {
 	providers, m := newChunkedManager(t, ProtocolCA, cs)
 	data := randBytes(t, 10*cs)
 	src := &faultAfter{r: bytes.NewReader(data), n: 3 * cs, provider: providers[2], fault: cloudsim.FaultUnavailable}
-	info, err := m.WriteFrom("u", src)
+	info, err := m.WriteFrom(bg, "u", src)
 	if err != nil {
 		t.Fatalf("WriteFrom with mid-stream failure: %v", err)
 	}
 	if info.ChunkCount != 10 {
 		t.Fatalf("chunk count = %d", info.ChunkCount)
 	}
-	got, _, err := m.Read("u")
+	got, _, err := m.Read(bg, "u")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +227,7 @@ func TestWriteFromMidStreamCloudFailure(t *testing.T) {
 	providers2, m2 := newChunkedManager(t, ProtocolCA, cs)
 	src2 := &faultAfter{r: bytes.NewReader(data), n: 3 * cs, provider: providers2[0], fault: cloudsim.FaultUnavailable}
 	providers2[1].SetFault(cloudsim.FaultUnavailable)
-	if _, err := m2.WriteFrom("u2", src2); !errors.Is(err, ErrQuorumWrite) {
+	if _, err := m2.WriteFrom(bg, "u2", src2); !errors.Is(err, ErrQuorumWrite) {
 		t.Fatalf("err = %v, want ErrQuorumWrite", err)
 	}
 }
@@ -239,7 +239,7 @@ func TestV1V2Compatibility(t *testing.T) {
 	const cs = 4096
 	_, m := newChunkedManager(t, ProtocolCA, cs)
 	v1Data := randBytes(t, 2*cs+11) // bigger than a chunk, written whole
-	infoV1, err := m.Write("u", v1Data)
+	infoV1, err := m.Write(bg, "u", v1Data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +248,7 @@ func TestV1V2Compatibility(t *testing.T) {
 	}
 
 	// v1 versions serve ranged reads via the whole-object fallback.
-	r, info, err := m.OpenRange("u", 100, 50)
+	r, info, err := m.OpenRange(bg, "u", 100, 50)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,25 +266,25 @@ func TestV1V2Compatibility(t *testing.T) {
 
 	// A streamed write appends a v2 version on top of the v1 history.
 	v2Data := randBytes(t, 3*cs)
-	infoV2, err := m.WriteFrom("u", bytes.NewReader(v2Data))
+	infoV2, err := m.WriteFrom(bg, "u", bytes.NewReader(v2Data))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !infoV2.Chunked() || infoV2.Number != infoV1.Number+1 {
 		t.Fatalf("v2 info = %+v", infoV2)
 	}
-	if got, _, err := m.Read("u"); err != nil || !bytes.Equal(got, v2Data) {
+	if got, _, err := m.Read(bg, "u"); err != nil || !bytes.Equal(got, v2Data) {
 		t.Fatalf("Read newest after upgrade: %v", err)
 	}
 	// Both versions remain addressable by hash (the consistency-anchor
 	// read), regardless of layout.
-	if got, _, err := m.ReadMatching("u", infoV1.DataHash); err != nil || !bytes.Equal(got, v1Data) {
+	if got, _, err := m.ReadMatching(bg, "u", infoV1.DataHash); err != nil || !bytes.Equal(got, v1Data) {
 		t.Fatalf("ReadMatching v1: %v", err)
 	}
-	if got, _, err := m.ReadMatching("u", infoV2.DataHash); err != nil || !bytes.Equal(got, v2Data) {
+	if got, _, err := m.ReadMatching(bg, "u", infoV2.DataHash); err != nil || !bytes.Equal(got, v2Data) {
 		t.Fatalf("ReadMatching v2: %v", err)
 	}
-	rm, _, err := m.OpenMatching("u", infoV1.DataHash)
+	rm, _, err := m.OpenMatching(bg, "u", infoV1.DataHash)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,14 +298,20 @@ func TestV1V2Compatibility(t *testing.T) {
 // from the clouds when a chunked version is deleted.
 func TestDeleteChunkedVersionReclaimsSpace(t *testing.T) {
 	const cs = 2048
-	providers, m := newChunkedManager(t, ProtocolCA, cs)
+	// Counts provider 0's objects, so every chunk upload must land there:
+	// disable the quorum verdict's straggler cancellation.
+	providers, clients := testClouds(t, 4)
+	m, err := New(Options{Clouds: clients, F: 1, ChunkSize: cs, DisableQuorumCancel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
 	data := randBytes(t, 4*cs)
-	info, err := m.WriteFrom("u", bytes.NewReader(data))
+	info, err := m.WriteFrom(bg, "u", bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
 	}
 	countObjects := func() int {
-		objs, err := providers[0].MustClient(providers[0].CreateAccount("alice")).List("dsky/u/")
+		objs, err := providers[0].MustClient(providers[0].CreateAccount("alice")).List(bg, "dsky/u/")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -315,7 +321,7 @@ func TestDeleteChunkedVersionReclaimsSpace(t *testing.T) {
 	if before < info.ChunkCount {
 		t.Fatalf("only %d objects before delete", before)
 	}
-	if err := m.DeleteVersion("u", info.Number); err != nil {
+	if err := m.DeleteVersion(bg, "u", info.Number); err != nil {
 		t.Fatal(err)
 	}
 	if after := countObjects(); after != before-info.ChunkCount {
@@ -331,7 +337,7 @@ func TestReadMetadataBatch(t *testing.T) {
 	for i := 0; i < 9; i++ {
 		unit := fmt.Sprintf("u-%d", i)
 		for v := 0; v <= i%3; v++ {
-			if _, err := m.Write(unit, randBytes(t, 128+i)); err != nil {
+			if _, err := m.Write(bg, unit, randBytes(t, 128+i)); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -342,7 +348,7 @@ func TestReadMetadataBatch(t *testing.T) {
 		units = append(units, u, u) // duplicates must be tolerated
 	}
 	units = append(units, "missing-unit")
-	got := m.ReadMetadataBatch(units)
+	got := m.ReadMetadataBatch(bg, units)
 	if len(got) != len(want) {
 		t.Fatalf("batch returned %d units, want %d", len(got), len(want))
 	}
@@ -350,7 +356,7 @@ func TestReadMetadataBatch(t *testing.T) {
 		if len(versions) != want[unit] {
 			t.Fatalf("unit %s: %d versions, want %d", unit, len(versions), want[unit])
 		}
-		individual, err := m.ListVersions(unit)
+		individual, err := m.ListVersions(bg, unit)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -371,17 +377,17 @@ func TestStreamedConfidentiality(t *testing.T) {
 	const cs = 2048
 	providers, m := newChunkedManager(t, ProtocolCA, cs)
 	secret := bytes.Repeat([]byte("TOPSECRET-"), 700) // ~7 KiB, compressible pattern
-	if _, err := m.WriteFrom("u", bytes.NewReader(secret)); err != nil {
+	if _, err := m.WriteFrom(bg, "u", bytes.NewReader(secret)); err != nil {
 		t.Fatal(err)
 	}
 	for i, p := range providers {
 		id := p.CreateAccount("alice")
-		objs, err := p.MustClient(id).List("dsky/u/")
+		objs, err := p.MustClient(id).List(bg, "dsky/u/")
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, o := range objs {
-			payload, err := p.MustClient(id).Get(o.Name)
+			payload, err := p.MustClient(id).Get(bg, o.Name)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -405,7 +411,7 @@ func TestRangedReadIgnoresForgedMetadataCopy(t *testing.T) {
 		t.Fatal(err)
 	}
 	data := randBytes(t, 4*cs)
-	info, err := m.WriteFrom("u", bytes.NewReader(data))
+	info, err := m.WriteFrom(bg, "u", bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -417,7 +423,7 @@ func TestRangedReadIgnoresForgedMetadataCopy(t *testing.T) {
 	for i := range forged {
 		forged[i] = 0x66
 	}
-	raw, err := evil.Get(m.metaName("u"))
+	raw, err := evil.Get(bg, m.metaName("u"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -436,7 +442,7 @@ func TestRangedReadIgnoresForgedMetadataCopy(t *testing.T) {
 				frame := make([]byte, frameLenV2(0, len(chunk)))
 				encodeBlockV2(frame, ProtocolA, &block{Full: chunk, ShardIdx: cloudIdx, ChunkIdx: idx, ChunkPlainLen: len(chunk)})
 				if cloudIdx == 0 {
-					if err := evil.Put(m.chunkName("u", v.Number, idx), frame); err != nil {
+					if err := evil.Put(bg, m.chunkName("u", v.Number, idx), frame); err != nil {
 						t.Fatal(err)
 					}
 				}
@@ -451,12 +457,12 @@ func TestRangedReadIgnoresForgedMetadataCopy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := evil.Put(m.metaName("u"), rewritten); err != nil {
+	if err := evil.Put(bg, m.metaName("u"), rewritten); err != nil {
 		t.Fatal(err)
 	}
 	_ = providers
 
-	r, _, err := m.OpenRange("u", 0, int64(len(data)))
+	r, _, err := m.OpenRange(bg, "u", 0, int64(len(data)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -474,18 +480,18 @@ func TestRangedReadIgnoresForgedMetadataCopy(t *testing.T) {
 // callers to the caching whole-object path instead of a fake ranged reader.
 func TestOpenRangedMatchingDeclinesWholeObjectVersions(t *testing.T) {
 	_, m := newChunkedManager(t, ProtocolCA, 2048)
-	info, err := m.Write("u", randBytes(t, 5000))
+	info, err := m.Write(bg, "u", randBytes(t, 5000))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := m.OpenRangedMatching("u", info.DataHash); !errors.Is(err, ErrWholeObjectOnly) {
+	if _, _, err := m.OpenRangedMatching(bg, "u", info.DataHash); !errors.Is(err, ErrWholeObjectOnly) {
 		t.Fatalf("err = %v, want ErrWholeObjectOnly", err)
 	}
-	chunked, err := m.WriteFrom("u", bytes.NewReader(randBytes(t, 5000)))
+	chunked, err := m.WriteFrom(bg, "u", bytes.NewReader(randBytes(t, 5000)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, _, err := m.OpenRangedMatching("u", chunked.DataHash)
+	r, _, err := m.OpenRangedMatching(bg, "u", chunked.DataHash)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -500,7 +506,7 @@ func TestMalformedChunkGeometryFailsCleanly(t *testing.T) {
 		t.Fatal("inconsistent geometry accepted")
 	}
 	_, m := newChunkedManager(t, ProtocolCA, 2048)
-	if _, err := m.readChunkedVersion("u", bad); !errors.Is(err, ErrIntegrity) {
+	if _, err := m.readChunkedVersion(bg, "u", bad); !errors.Is(err, ErrIntegrity) {
 		t.Fatalf("err = %v, want ErrIntegrity", err)
 	}
 	good := VersionInfo{Size: 25, ChunkSize: 10, ChunkCount: 3, ChunkHashes: [][]string{nil, nil, nil}}

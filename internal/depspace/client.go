@@ -1,6 +1,7 @@
 package depspace
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,9 +13,10 @@ import (
 // Invoker submits a serialized command for totally ordered execution and
 // returns the serialized result. smr.Client satisfies this interface; a
 // LocalInvoker runs against an in-process Space without replication (used by
-// unit tests and by the non-sharing SCFS mode experiments).
+// unit tests and by the non-sharing SCFS mode experiments). Cancelling ctx
+// abandons the invocation with ctx.Err().
 type Invoker interface {
-	Invoke(cmd []byte) ([]byte, error)
+	Invoke(ctx context.Context, cmd []byte) ([]byte, error)
 }
 
 // LocalInvoker executes commands directly on a Space.
@@ -23,7 +25,10 @@ type LocalInvoker struct {
 }
 
 // Invoke implements Invoker.
-func (l *LocalInvoker) Invoke(cmd []byte) ([]byte, error) {
+func (l *LocalInvoker) Invoke(ctx context.Context, cmd []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return l.Space.Execute(cmd), nil
 }
 
@@ -74,14 +79,14 @@ func mapError(msg string) error {
 	}
 }
 
-func (c *Client) do(cmd Command) (Result, error) {
+func (c *Client) do(ctx context.Context, cmd Command) (Result, error) {
 	cmd.Requester = c.requester
 	cmd.Now = c.clk.Now().UnixNano()
 	b, err := json.Marshal(cmd)
 	if err != nil {
 		return Result{}, fmt.Errorf("depspace: encoding command: %w", err)
 	}
-	reply, err := c.inv.Invoke(b)
+	reply, err := c.inv.Invoke(ctx, b)
 	if err != nil {
 		return Result{}, fmt.Errorf("depspace: invoking %s: %w", cmd.Op, err)
 	}
@@ -96,20 +101,20 @@ func (c *Client) do(cmd Command) (Result, error) {
 }
 
 // Out inserts a tuple with the given ACL.
-func (c *Client) Out(t Tuple, acl ACL) (uint64, error) {
-	res, err := c.do(Command{Op: opOut, Tuple: t, ACL: acl})
+func (c *Client) Out(ctx context.Context, t Tuple, acl ACL) (uint64, error) {
+	res, err := c.do(ctx, Command{Op: opOut, Tuple: t, ACL: acl})
 	return res.Version, err
 }
 
 // OutTimed inserts an ephemeral tuple that expires after ttl.
-func (c *Client) OutTimed(t Tuple, acl ACL, ttl time.Duration) (uint64, error) {
-	res, err := c.do(Command{Op: opOut, Tuple: t, ACL: acl, TTLNanos: int64(ttl)})
+func (c *Client) OutTimed(ctx context.Context, t Tuple, acl ACL, ttl time.Duration) (uint64, error) {
+	res, err := c.do(ctx, Command{Op: opOut, Tuple: t, ACL: acl, TTLNanos: int64(ttl)})
 	return res.Version, err
 }
 
 // Rdp reads (without removing) one tuple matching the template.
-func (c *Client) Rdp(template Tuple) (*Entry, error) {
-	res, err := c.do(Command{Op: opRdp, Template: template})
+func (c *Client) Rdp(ctx context.Context, template Tuple) (*Entry, error) {
+	res, err := c.do(ctx, Command{Op: opRdp, Template: template})
 	if err != nil {
 		return nil, err
 	}
@@ -117,8 +122,8 @@ func (c *Client) Rdp(template Tuple) (*Entry, error) {
 }
 
 // RdAll reads every tuple matching the template that the requester may read.
-func (c *Client) RdAll(template Tuple) ([]Entry, error) {
-	res, err := c.do(Command{Op: opRdAll, Template: template})
+func (c *Client) RdAll(ctx context.Context, template Tuple) ([]Entry, error) {
+	res, err := c.do(ctx, Command{Op: opRdAll, Template: template})
 	if err != nil {
 		return nil, err
 	}
@@ -126,8 +131,8 @@ func (c *Client) RdAll(template Tuple) ([]Entry, error) {
 }
 
 // Inp removes and returns one tuple matching the template.
-func (c *Client) Inp(template Tuple) (*Entry, error) {
-	res, err := c.do(Command{Op: opInp, Template: template})
+func (c *Client) Inp(ctx context.Context, template Tuple) (*Entry, error) {
+	res, err := c.do(ctx, Command{Op: opInp, Template: template})
 	if err != nil {
 		return nil, err
 	}
@@ -136,14 +141,14 @@ func (c *Client) Inp(template Tuple) (*Entry, error) {
 
 // Replace atomically substitutes the tuple matching template (if any) with
 // replacement.
-func (c *Client) Replace(template, replacement Tuple, acl ACL) (uint64, error) {
-	res, err := c.do(Command{Op: opReplace, Template: template, Replacement: replacement, ACL: acl})
+func (c *Client) Replace(ctx context.Context, template, replacement Tuple, acl ACL) (uint64, error) {
+	res, err := c.do(ctx, Command{Op: opReplace, Template: template, Replacement: replacement, ACL: acl})
 	return res.Version, err
 }
 
 // ReplaceTimed is Replace for ephemeral tuples.
-func (c *Client) ReplaceTimed(template, replacement Tuple, acl ACL, ttl time.Duration) (uint64, error) {
-	res, err := c.do(Command{Op: opReplace, Template: template, Replacement: replacement, ACL: acl, TTLNanos: int64(ttl)})
+func (c *Client) ReplaceTimed(ctx context.Context, template, replacement Tuple, acl ACL, ttl time.Duration) (uint64, error) {
+	res, err := c.do(ctx, Command{Op: opReplace, Template: template, Replacement: replacement, ACL: acl, TTLNanos: int64(ttl)})
 	return res.Version, err
 }
 
@@ -151,8 +156,8 @@ func (c *Client) ReplaceTimed(template, replacement Tuple, acl ACL, ttl time.Dur
 // expected version (0 = must not exist). On success it returns the new
 // version; on a conflict it returns ErrExists or ErrVersion together with the
 // conflicting entry (may be nil).
-func (c *Client) Cas(template, replacement Tuple, expectedVersion uint64, acl ACL, ttl time.Duration) (uint64, *Entry, error) {
-	res, err := c.do(Command{
+func (c *Client) Cas(ctx context.Context, template, replacement Tuple, expectedVersion uint64, acl ACL, ttl time.Duration) (uint64, *Entry, error) {
+	res, err := c.do(ctx, Command{
 		Op:              opCas,
 		Template:        template,
 		Replacement:     replacement,
@@ -166,13 +171,13 @@ func (c *Client) Cas(template, replacement Tuple, expectedVersion uint64, acl AC
 // Rename rewrites the prefix oldPrefix to newPrefix in field fieldIndex of
 // every matching tuple (the DepSpace trigger extension for directory rename).
 // It returns the number of rewritten tuples.
-func (c *Client) Rename(fieldIndex int, oldPrefix, newPrefix string) (int, error) {
-	res, err := c.do(Command{Op: opRename, FieldIndex: fieldIndex, OldPrefix: oldPrefix, NewPrefix: newPrefix})
+func (c *Client) Rename(ctx context.Context, fieldIndex int, oldPrefix, newPrefix string) (int, error) {
+	res, err := c.do(ctx, Command{Op: opRename, FieldIndex: fieldIndex, OldPrefix: oldPrefix, NewPrefix: newPrefix})
 	return res.Count, err
 }
 
 // Clean removes expired tuples and returns how many were reclaimed.
-func (c *Client) Clean() (int, error) {
-	res, err := c.do(Command{Op: opClean})
+func (c *Client) Clean(ctx context.Context) (int, error) {
+	res, err := c.do(ctx, Command{Op: opClean})
 	return res.Count, err
 }

@@ -1,6 +1,7 @@
 package depspace
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -8,6 +9,8 @@ import (
 	"scfs/internal/clock"
 	"scfs/internal/smr"
 )
+
+var bg = context.Background()
 
 func newLocalClient(requester string) (*Client, *Space, *clock.Sim) {
 	space := NewSpace()
@@ -36,35 +39,35 @@ func TestTupleMatching(t *testing.T) {
 
 func TestOutAndRdp(t *testing.T) {
 	c, _, _ := newLocalClient("alice")
-	v, err := c.Out(Tuple{"meta", "/file1", "hash1"}, ACL{})
+	v, err := c.Out(bg, Tuple{"meta", "/file1", "hash1"}, ACL{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if v == 0 {
 		t.Fatal("version must be non-zero")
 	}
-	e, err := c.Rdp(Tuple{"meta", "/file1", "*"})
+	e, err := c.Rdp(bg, Tuple{"meta", "/file1", "*"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if e.Tuple[2] != "hash1" {
 		t.Fatalf("got %v", e.Tuple)
 	}
-	if _, err := c.Rdp(Tuple{"meta", "/other", "*"}); !errors.Is(err, ErrNotFound) {
+	if _, err := c.Rdp(bg, Tuple{"meta", "/other", "*"}); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("err = %v, want ErrNotFound", err)
 	}
 }
 
 func TestInpRemoves(t *testing.T) {
 	c, space, _ := newLocalClient("alice")
-	if _, err := c.Out(Tuple{"lock", "/f"}, ACL{}); err != nil {
+	if _, err := c.Out(bg, Tuple{"lock", "/f"}, ACL{}); err != nil {
 		t.Fatal(err)
 	}
-	e, err := c.Inp(Tuple{"lock", "/f"})
+	e, err := c.Inp(bg, Tuple{"lock", "/f"})
 	if err != nil || e == nil {
 		t.Fatalf("Inp: %v", err)
 	}
-	if _, err := c.Rdp(Tuple{"lock", "/f"}); !errors.Is(err, ErrNotFound) {
+	if _, err := c.Rdp(bg, Tuple{"lock", "/f"}); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("tuple still present after Inp: %v", err)
 	}
 	if space.Len() != 0 {
@@ -75,14 +78,14 @@ func TestInpRemoves(t *testing.T) {
 func TestRdAllFiltersAndSorts(t *testing.T) {
 	c, _, _ := newLocalClient("alice")
 	for _, name := range []string{"/b", "/a", "/c"} {
-		if _, err := c.Out(Tuple{"meta", name, "h"}, ACL{}); err != nil {
+		if _, err := c.Out(bg, Tuple{"meta", name, "h"}, ACL{}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	if _, err := c.Out(Tuple{"lock", "/a"}, ACL{}); err != nil {
+	if _, err := c.Out(bg, Tuple{"lock", "/a"}, ACL{}); err != nil {
 		t.Fatal(err)
 	}
-	entries, err := c.RdAll(Tuple{"meta", "*", "*"})
+	entries, err := c.RdAll(bg, Tuple{"meta", "*", "*"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,13 +99,13 @@ func TestRdAllFiltersAndSorts(t *testing.T) {
 
 func TestReplaceSubstitutesAtomically(t *testing.T) {
 	c, space, _ := newLocalClient("alice")
-	if _, err := c.Out(Tuple{"meta", "/f", "v1"}, ACL{}); err != nil {
+	if _, err := c.Out(bg, Tuple{"meta", "/f", "v1"}, ACL{}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Replace(Tuple{"meta", "/f", "*"}, Tuple{"meta", "/f", "v2"}, ACL{}); err != nil {
+	if _, err := c.Replace(bg, Tuple{"meta", "/f", "*"}, Tuple{"meta", "/f", "v2"}, ACL{}); err != nil {
 		t.Fatal(err)
 	}
-	e, err := c.Rdp(Tuple{"meta", "/f", "*"})
+	e, err := c.Rdp(bg, Tuple{"meta", "/f", "*"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +116,7 @@ func TestReplaceSubstitutesAtomically(t *testing.T) {
 		t.Fatalf("replace left %d tuples, want 1", space.Len())
 	}
 	// Replace with no existing match behaves like out.
-	if _, err := c.Replace(Tuple{"meta", "/new", "*"}, Tuple{"meta", "/new", "v1"}, ACL{}); err != nil {
+	if _, err := c.Replace(bg, Tuple{"meta", "/new", "*"}, Tuple{"meta", "/new", "v1"}, ACL{}); err != nil {
 		t.Fatal(err)
 	}
 	if space.Len() != 2 {
@@ -124,12 +127,12 @@ func TestReplaceSubstitutesAtomically(t *testing.T) {
 func TestCasCreateIfAbsentAndVersionCheck(t *testing.T) {
 	c, _, _ := newLocalClient("alice")
 	// Create if absent.
-	v1, _, err := c.Cas(Tuple{"pns", "alice", "*"}, Tuple{"pns", "alice", "ref1"}, 0, ACL{Owner: "alice"}, 0)
+	v1, _, err := c.Cas(bg, Tuple{"pns", "alice", "*"}, Tuple{"pns", "alice", "ref1"}, 0, ACL{Owner: "alice"}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Second create must conflict and return the existing entry.
-	_, existing, err := c.Cas(Tuple{"pns", "alice", "*"}, Tuple{"pns", "alice", "ref2"}, 0, ACL{Owner: "alice"}, 0)
+	_, existing, err := c.Cas(bg, Tuple{"pns", "alice", "*"}, Tuple{"pns", "alice", "ref2"}, 0, ACL{Owner: "alice"}, 0)
 	if !errors.Is(err, ErrExists) {
 		t.Fatalf("err = %v, want ErrExists", err)
 	}
@@ -137,7 +140,7 @@ func TestCasCreateIfAbsentAndVersionCheck(t *testing.T) {
 		t.Fatalf("conflicting entry = %+v", existing)
 	}
 	// Versioned swap with the right version succeeds.
-	v2, _, err := c.Cas(Tuple{"pns", "alice", "*"}, Tuple{"pns", "alice", "ref3"}, v1, ACL{Owner: "alice"}, 0)
+	v2, _, err := c.Cas(bg, Tuple{"pns", "alice", "*"}, Tuple{"pns", "alice", "ref3"}, v1, ACL{Owner: "alice"}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,25 +148,25 @@ func TestCasCreateIfAbsentAndVersionCheck(t *testing.T) {
 		t.Fatalf("new version %d not greater than %d", v2, v1)
 	}
 	// Swap with a stale version fails.
-	if _, _, err := c.Cas(Tuple{"pns", "alice", "*"}, Tuple{"pns", "alice", "ref4"}, v1, ACL{Owner: "alice"}, 0); !errors.Is(err, ErrVersion) {
+	if _, _, err := c.Cas(bg, Tuple{"pns", "alice", "*"}, Tuple{"pns", "alice", "ref4"}, v1, ACL{Owner: "alice"}, 0); !errors.Is(err, ErrVersion) {
 		t.Fatalf("err = %v, want ErrVersion", err)
 	}
 }
 
 func TestEphemeralTuplesExpire(t *testing.T) {
 	c, _, clk := newLocalClient("alice")
-	if _, err := c.OutTimed(Tuple{"lock", "/f", "alice"}, ACL{}, 10*time.Second); err != nil {
+	if _, err := c.OutTimed(bg, Tuple{"lock", "/f", "alice"}, ACL{}, 10*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Rdp(Tuple{"lock", "/f", "*"}); err != nil {
+	if _, err := c.Rdp(bg, Tuple{"lock", "/f", "*"}); err != nil {
 		t.Fatalf("lock should be visible before expiry: %v", err)
 	}
 	clk.Advance(11 * time.Second)
-	if _, err := c.Rdp(Tuple{"lock", "/f", "*"}); !errors.Is(err, ErrNotFound) {
+	if _, err := c.Rdp(bg, Tuple{"lock", "/f", "*"}); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("expired lock still visible: %v", err)
 	}
 	// Clean removes the expired entry physically.
-	n, err := c.Clean()
+	n, err := c.Clean(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,40 +179,40 @@ func TestACLEnforcement(t *testing.T) {
 	alice, space, clk := newLocalClient("alice")
 	bob := NewClient(&LocalInvoker{Space: space}, "bob", clk)
 
-	if _, err := alice.Out(Tuple{"meta", "/private", "h"}, ACL{Owner: "alice"}); err != nil {
+	if _, err := alice.Out(bg, Tuple{"meta", "/private", "h"}, ACL{Owner: "alice"}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := bob.Rdp(Tuple{"meta", "/private", "*"}); !errors.Is(err, ErrDenied) {
+	if _, err := bob.Rdp(bg, Tuple{"meta", "/private", "*"}); !errors.Is(err, ErrDenied) {
 		t.Fatalf("bob read err = %v, want ErrDenied", err)
 	}
-	if _, err := bob.Inp(Tuple{"meta", "/private", "*"}); !errors.Is(err, ErrDenied) {
+	if _, err := bob.Inp(bg, Tuple{"meta", "/private", "*"}); !errors.Is(err, ErrDenied) {
 		t.Fatalf("bob take err = %v, want ErrDenied", err)
 	}
 	// Shared with read permission.
-	if _, err := alice.Replace(Tuple{"meta", "/private", "*"}, Tuple{"meta", "/private", "h2"},
+	if _, err := alice.Replace(bg, Tuple{"meta", "/private", "*"}, Tuple{"meta", "/private", "h2"},
 		ACL{Owner: "alice", Readers: []string{"bob"}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := bob.Rdp(Tuple{"meta", "/private", "*"}); err != nil {
+	if _, err := bob.Rdp(bg, Tuple{"meta", "/private", "*"}); err != nil {
 		t.Fatalf("bob should read shared tuple: %v", err)
 	}
-	if _, err := bob.Replace(Tuple{"meta", "/private", "*"}, Tuple{"meta", "/private", "bobs"}, ACL{Owner: "bob"}); !errors.Is(err, ErrDenied) {
+	if _, err := bob.Replace(bg, Tuple{"meta", "/private", "*"}, Tuple{"meta", "/private", "bobs"}, ACL{Owner: "bob"}); !errors.Is(err, ErrDenied) {
 		t.Fatalf("bob write err = %v, want ErrDenied", err)
 	}
 	// Writers may both read and write.
-	if _, err := alice.Replace(Tuple{"meta", "/private", "*"}, Tuple{"meta", "/private", "h3"},
+	if _, err := alice.Replace(bg, Tuple{"meta", "/private", "*"}, Tuple{"meta", "/private", "h3"},
 		ACL{Owner: "alice", Writers: []string{"bob"}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := bob.Replace(Tuple{"meta", "/private", "*"}, Tuple{"meta", "/private", "h4"},
+	if _, err := bob.Replace(bg, Tuple{"meta", "/private", "*"}, Tuple{"meta", "/private", "h4"},
 		ACL{Owner: "alice", Writers: []string{"bob"}}); err != nil {
 		t.Fatalf("bob write as writer: %v", err)
 	}
 	// RdAll must silently hide unreadable tuples.
-	if _, err := alice.Out(Tuple{"meta", "/alice-only", "h"}, ACL{Owner: "alice"}); err != nil {
+	if _, err := alice.Out(bg, Tuple{"meta", "/alice-only", "h"}, ACL{Owner: "alice"}); err != nil {
 		t.Fatal(err)
 	}
-	entries, err := bob.RdAll(Tuple{"meta", "*", "*"})
+	entries, err := bob.RdAll(bg, Tuple{"meta", "*", "*"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,11 +227,11 @@ func TestRenameTrigger(t *testing.T) {
 	c, _, _ := newLocalClient("alice")
 	paths := []string{"/dir/a", "/dir/b", "/dir/sub/c", "/other/d", "/dirx"}
 	for _, p := range paths {
-		if _, err := c.Out(Tuple{"meta", p, "h"}, ACL{Owner: "alice"}); err != nil {
+		if _, err := c.Out(bg, Tuple{"meta", p, "h"}, ACL{Owner: "alice"}); err != nil {
 			t.Fatal(err)
 		}
 	}
-	n, err := c.Rename(1, "/dir", "/renamed")
+	n, err := c.Rename(bg, 1, "/dir", "/renamed")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +239,7 @@ func TestRenameTrigger(t *testing.T) {
 		t.Fatalf("renamed %d tuples, want 3", n)
 	}
 	for _, want := range []string{"/renamed/a", "/renamed/b", "/renamed/sub/c", "/other/d", "/dirx"} {
-		if _, err := c.Rdp(Tuple{"meta", want, "*"}); err != nil {
+		if _, err := c.Rdp(bg, Tuple{"meta", want, "*"}); err != nil {
 			t.Errorf("missing tuple for %s after rename: %v", want, err)
 		}
 	}
@@ -249,10 +252,10 @@ func TestMalformedCommandsRejected(t *testing.T) {
 		t.Fatal("empty reply for malformed command")
 	}
 	c, _, _ := newLocalClient("alice")
-	if _, err := c.Out(nil, ACL{}); !errors.Is(err, ErrMalformed) {
+	if _, err := c.Out(bg, nil, ACL{}); !errors.Is(err, ErrMalformed) {
 		t.Fatalf("empty tuple err = %v, want ErrMalformed", err)
 	}
-	if _, err := c.Rename(0, "", "/x"); !errors.Is(err, ErrMalformed) {
+	if _, err := c.Rename(bg, 0, "", "/x"); !errors.Is(err, ErrMalformed) {
 		t.Fatalf("rename without prefix err = %v, want ErrMalformed", err)
 	}
 }
@@ -260,7 +263,7 @@ func TestMalformedCommandsRejected(t *testing.T) {
 func TestSnapshotRestoreRoundTrip(t *testing.T) {
 	c, space, _ := newLocalClient("alice")
 	for i := 0; i < 5; i++ {
-		if _, err := c.Out(Tuple{"meta", string(rune('a' + i)), "h"}, ACL{Owner: "alice"}); err != nil {
+		if _, err := c.Out(bg, Tuple{"meta", string(rune('a' + i)), "h"}, ACL{Owner: "alice"}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -274,7 +277,7 @@ func TestSnapshotRestoreRoundTrip(t *testing.T) {
 	}
 	// Version counter must continue past restored versions.
 	rc := NewClient(&LocalInvoker{Space: restored}, "alice", clock.Real())
-	v, err := rc.Out(Tuple{"meta", "new", "h"}, ACL{})
+	v, err := rc.Out(bg, Tuple{"meta", "new", "h"}, ACL{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,10 +311,10 @@ func TestReplicatedTupleSpace(t *testing.T) {
 	replicas[3].SetByzantine(true)
 
 	cli := NewClient(smr.NewClient("scfs-agent-1", cfg, net), "alice", clock.Real())
-	if _, err := cli.Out(Tuple{"meta", "/f", "hash"}, ACL{Owner: "alice"}); err != nil {
+	if _, err := cli.Out(bg, Tuple{"meta", "/f", "hash"}, ACL{Owner: "alice"}); err != nil {
 		t.Fatal(err)
 	}
-	e, err := cli.Rdp(Tuple{"meta", "/f", "*"})
+	e, err := cli.Rdp(bg, Tuple{"meta", "/f", "*"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,10 +322,10 @@ func TestReplicatedTupleSpace(t *testing.T) {
 		t.Fatalf("replicated rdp returned %v", e.Tuple)
 	}
 	// Conditional write through the replicated path.
-	if _, _, err := cli.Cas(Tuple{"lock", "/f", "*"}, Tuple{"lock", "/f", "alice"}, 0, ACL{Owner: "alice"}, time.Minute); err != nil {
+	if _, _, err := cli.Cas(bg, Tuple{"lock", "/f", "*"}, Tuple{"lock", "/f", "alice"}, 0, ACL{Owner: "alice"}, time.Minute); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := cli.Cas(Tuple{"lock", "/f", "*"}, Tuple{"lock", "/f", "alice"}, 0, ACL{Owner: "alice"}, time.Minute); !errors.Is(err, ErrExists) {
+	if _, _, err := cli.Cas(bg, Tuple{"lock", "/f", "*"}, Tuple{"lock", "/f", "alice"}, 0, ACL{Owner: "alice"}, time.Minute); !errors.Is(err, ErrExists) {
 		t.Fatalf("second lock acquisition err = %v, want ErrExists", err)
 	}
 }

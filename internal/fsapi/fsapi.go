@@ -6,8 +6,10 @@
 package fsapi
 
 import (
+	"context"
 	"errors"
 	"io"
+	"io/fs"
 	"time"
 )
 
@@ -102,65 +104,94 @@ type ACLEntry struct {
 	Perm Permission
 }
 
-// Sentinel errors returned by FileSystem implementations.
+// Sentinel errors returned by FileSystem implementations. The ones with a
+// standard-library counterpart wrap it, so facade users can test with
+// errors.Is(err, fs.ErrNotExist) (or os.IsNotExist-style helpers built on
+// it) without importing this package.
 var (
-	ErrNotExist   = errors.New("fsapi: no such file or directory")
-	ErrExist      = errors.New("fsapi: file already exists")
-	ErrIsDir      = errors.New("fsapi: is a directory")
-	ErrNotDir     = errors.New("fsapi: not a directory")
-	ErrNotEmpty   = errors.New("fsapi: directory not empty")
-	ErrPermission = errors.New("fsapi: permission denied")
-	ErrLocked     = errors.New("fsapi: file is locked by another client")
-	ErrReadOnly   = errors.New("fsapi: file opened read-only")
-	ErrClosed     = errors.New("fsapi: handle already closed")
-	ErrInvalid    = errors.New("fsapi: invalid argument")
+	ErrNotExist   error = &wrappedSentinel{msg: "fsapi: no such file or directory", std: fs.ErrNotExist}
+	ErrExist      error = &wrappedSentinel{msg: "fsapi: file already exists", std: fs.ErrExist}
+	ErrIsDir            = errors.New("fsapi: is a directory")
+	ErrNotDir           = errors.New("fsapi: not a directory")
+	ErrNotEmpty         = errors.New("fsapi: directory not empty")
+	ErrPermission error = &wrappedSentinel{msg: "fsapi: permission denied", std: fs.ErrPermission}
+	ErrLocked           = errors.New("fsapi: file is locked by another client")
+	ErrReadOnly         = errors.New("fsapi: file opened read-only")
+	ErrClosed     error = &wrappedSentinel{msg: "fsapi: handle already closed", std: fs.ErrClosed}
+	ErrInvalid    error = &wrappedSentinel{msg: "fsapi: invalid argument", std: fs.ErrInvalid}
 )
+
+// wrappedSentinel is a sentinel error chained onto its io/fs counterpart:
+// errors.Is matches both the fsapi identity and the standard one.
+type wrappedSentinel struct {
+	msg string
+	std error
+}
+
+// Error implements error.
+func (e *wrappedSentinel) Error() string { return e.msg }
+
+// Unwrap chains the sentinel onto the standard-library error.
+func (e *wrappedSentinel) Unwrap() error { return e.std }
 
 // Handle is an open file. Reads and writes operate on the in-memory copy of
 // the file (SCFS caches whole files while they are open); durability follows
 // the level requested by the call, per Table 1 of the paper: Write is level
 // 0 (memory), Fsync is level 1 (local disk), Close is level 2/3 (cloud).
+//
+// Every method takes a context. Most memory-backed operations never block,
+// but the ones that can reach the network — ReadAt through a ranged cloud
+// reader, Close flushing to the cloud in blocking mode — abort promptly
+// with ctx.Err() when the context is cancelled, down to the individual
+// per-cloud RPCs of a quorum fan-out.
 type Handle interface {
 	// ReadAt reads len(p) bytes starting at offset off.
-	ReadAt(p []byte, off int64) (int, error)
+	ReadAt(ctx context.Context, p []byte, off int64) (int, error)
 	// WriteAt writes p at offset off, extending the file as needed.
-	WriteAt(p []byte, off int64) (int, error)
+	WriteAt(ctx context.Context, p []byte, off int64) (int, error)
 	// Truncate resizes the open file.
-	Truncate(size int64) error
+	Truncate(ctx context.Context, size int64) error
 	// Fsync flushes the current contents to the local disk (durability
 	// level 1).
-	Fsync() error
+	Fsync(ctx context.Context) error
 	// Close flushes to the cloud backend according to the file system's mode
-	// (durability level 2 or 3) and releases any lock held.
-	Close() error
+	// (durability level 2 or 3) and releases any lock held. A cancelled
+	// Close leaves the handle closed but the version unanchored: the
+	// metadata visible to other clients never references a version whose
+	// upload did not complete.
+	Close(ctx context.Context) error
 	// Stat returns the current metadata of the open file.
-	Stat() (FileInfo, error)
+	Stat(ctx context.Context) (FileInfo, error)
 }
 
 // FileSystem is the POSIX-like API shared by SCFS and all baselines. All
 // paths are absolute ("/docs/report.odt"). Implementations must be safe for
 // concurrent use.
+//
+// The context passed to each call bounds that call only: cancelling it
+// returns ctx.Err() promptly (even with a multi-second straggler cloud in
+// the quorum) and aborts the per-cloud RPCs issued on the call's behalf.
 type FileSystem interface {
 	// Open opens (or with Create, creates) a file.
-	Open(path string, flags OpenFlag) (Handle, error)
+	Open(ctx context.Context, path string, flags OpenFlag) (Handle, error)
 	// Mkdir creates a directory (parents must exist).
-	Mkdir(path string) error
+	Mkdir(ctx context.Context, path string) error
 	// Rmdir removes an empty directory.
-	Rmdir(path string) error
+	Rmdir(ctx context.Context, path string) error
 	// Unlink removes a file.
-	Unlink(path string) error
+	Unlink(ctx context.Context, path string) error
 	// Rename moves a file or directory (and its subtree).
-	Rename(oldPath, newPath string) error
+	Rename(ctx context.Context, oldPath, newPath string) error
 	// Stat returns metadata for a path.
-	Stat(path string) (FileInfo, error)
+	Stat(ctx context.Context, path string) (FileInfo, error)
 	// ReadDir lists a directory.
-	ReadDir(path string) ([]FileInfo, error)
+	ReadDir(ctx context.Context, path string) ([]FileInfo, error)
 	// SetFacl grants or revokes a user's permission on a path (setfacl).
-	SetFacl(path, user string, perm Permission) error
+	SetFacl(ctx context.Context, path, user string, perm Permission) error
 	// GetFacl returns the ACL entries of a path (getfacl).
-	GetFacl(path string) ([]ACLEntry, error)
+	GetFacl(ctx context.Context, path string) ([]ACLEntry, error)
 	// Unmount flushes all state and releases resources.
-	Unmount() error
+	Unmount(ctx context.Context) error
 }
 
 // StreamChunkSize is the granularity at which the convenience helpers move
@@ -173,13 +204,13 @@ const StreamChunkSize = 1 << 20
 // Files larger than one chunk are read in StreamChunkSize pieces, so
 // implementations serving ReadAt from ranged cloud reads never materialize
 // the whole object on their side.
-func ReadFile(fs FileSystem, path string) ([]byte, error) {
-	h, err := fs.Open(path, ReadOnly)
+func ReadFile(ctx context.Context, fsys FileSystem, path string) ([]byte, error) {
+	h, err := fsys.Open(ctx, path, ReadOnly)
 	if err != nil {
 		return nil, err
 	}
-	defer h.Close()
-	info, err := h.Stat()
+	defer h.Close(ctx)
+	info, err := h.Stat(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -190,7 +221,7 @@ func ReadFile(fs FileSystem, path string) ([]byte, error) {
 		if end > info.Size {
 			end = info.Size
 		}
-		n, err := h.ReadAt(buf[off:end], off)
+		n, err := h.ReadAt(ctx, buf[off:end], off)
 		off += int64(n)
 		if err == io.EOF {
 			break
@@ -207,8 +238,8 @@ func ReadFile(fs FileSystem, path string) ([]byte, error) {
 
 // WriteFile is a convenience helper that creates/truncates, writes and
 // closes. Data larger than one chunk is written in StreamChunkSize pieces.
-func WriteFile(fs FileSystem, path string, data []byte) error {
-	h, err := fs.Open(path, ReadWrite|Create|Truncate)
+func WriteFile(ctx context.Context, fsys FileSystem, path string, data []byte) error {
+	h, err := fsys.Open(ctx, path, ReadWrite|Create|Truncate)
 	if err != nil {
 		return err
 	}
@@ -217,19 +248,19 @@ func WriteFile(fs FileSystem, path string, data []byte) error {
 		if end > len(data) {
 			end = len(data)
 		}
-		if _, err := h.WriteAt(data[off:end], int64(off)); err != nil {
-			h.Close()
+		if _, err := h.WriteAt(ctx, data[off:end], int64(off)); err != nil {
+			h.Close(ctx)
 			return err
 		}
 	}
-	return h.Close()
+	return h.Close(ctx)
 }
 
 // WriteFileFrom streams r into path in StreamChunkSize pieces and returns
 // how many bytes were written. Only one chunk of the stream is buffered by
 // the helper at a time.
-func WriteFileFrom(fs FileSystem, path string, r io.Reader) (int64, error) {
-	h, err := fs.Open(path, ReadWrite|Create|Truncate)
+func WriteFileFrom(ctx context.Context, fsys FileSystem, path string, r io.Reader) (int64, error) {
+	h, err := fsys.Open(ctx, path, ReadWrite|Create|Truncate)
 	if err != nil {
 		return 0, err
 	}
@@ -238,8 +269,8 @@ func WriteFileFrom(fs FileSystem, path string, r io.Reader) (int64, error) {
 	for {
 		n, rerr := io.ReadFull(r, buf)
 		if n > 0 {
-			if _, werr := h.WriteAt(buf[:n], off); werr != nil {
-				h.Close()
+			if _, werr := h.WriteAt(ctx, buf[:n], off); werr != nil {
+				h.Close(ctx)
 				return off, werr
 			}
 			off += int64(n)
@@ -248,25 +279,25 @@ func WriteFileFrom(fs FileSystem, path string, r io.Reader) (int64, error) {
 			break
 		}
 		if rerr != nil {
-			h.Close()
+			h.Close(ctx)
 			return off, rerr
 		}
 	}
-	return off, h.Close()
+	return off, h.Close(ctx)
 }
 
 // ReadFileTo streams the contents of path into w in StreamChunkSize pieces
 // and returns how many bytes were copied.
-func ReadFileTo(fs FileSystem, path string, w io.Writer) (int64, error) {
-	h, err := fs.Open(path, ReadOnly)
+func ReadFileTo(ctx context.Context, fsys FileSystem, path string, w io.Writer) (int64, error) {
+	h, err := fsys.Open(ctx, path, ReadOnly)
 	if err != nil {
 		return 0, err
 	}
-	defer h.Close()
+	defer h.Close(ctx)
 	buf := make([]byte, StreamChunkSize)
 	var off int64
 	for {
-		n, rerr := h.ReadAt(buf, off)
+		n, rerr := h.ReadAt(ctx, buf, off)
 		if n > 0 {
 			if _, werr := w.Write(buf[:n]); werr != nil {
 				return off, werr

@@ -2,10 +2,14 @@ package fsapi
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
+	"io/fs"
 	"testing"
 )
+
+var bg = context.Background()
 
 func TestOpenFlagPredicates(t *testing.T) {
 	cases := []struct {
@@ -45,6 +49,62 @@ func TestFileInfoIsDir(t *testing.T) {
 	}
 }
 
+// TestSentinelErrorsMapOntoStdlib pins the io/fs interop contract: the
+// fsapi sentinels with a standard-library counterpart must satisfy
+// errors.Is against it (so facade users never need to import fsapi), and
+// the ones without a counterpart must not accidentally match any.
+func TestSentinelErrorsMapOntoStdlib(t *testing.T) {
+	stdlib := []error{fs.ErrNotExist, fs.ErrExist, fs.ErrPermission, fs.ErrClosed, fs.ErrInvalid}
+	cases := []struct {
+		name string
+		err  error
+		std  error // nil = must match no stdlib sentinel
+	}{
+		{"ErrNotExist", ErrNotExist, fs.ErrNotExist},
+		{"ErrExist", ErrExist, fs.ErrExist},
+		{"ErrPermission", ErrPermission, fs.ErrPermission},
+		{"ErrClosed", ErrClosed, fs.ErrClosed},
+		{"ErrInvalid", ErrInvalid, fs.ErrInvalid},
+		{"ErrIsDir", ErrIsDir, nil},
+		{"ErrNotDir", ErrNotDir, nil},
+		{"ErrNotEmpty", ErrNotEmpty, nil},
+		{"ErrLocked", ErrLocked, nil},
+		{"ErrReadOnly", ErrReadOnly, nil},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			for _, std := range stdlib {
+				want := c.std != nil && errors.Is(c.std, std)
+				if got := errors.Is(c.err, std); got != want {
+					t.Errorf("errors.Is(%v, %v) = %v, want %v", c.err, std, got, want)
+				}
+			}
+			// Wrapping must survive another layer, as returned by real call
+			// sites (fmt.Errorf with %w).
+			if c.std != nil {
+				wrapped := wrapFor(t, c.err)
+				if !errors.Is(wrapped, c.std) {
+					t.Errorf("wrapped %v does not match %v", c.err, c.std)
+				}
+				if !errors.Is(wrapped, c.err) {
+					t.Errorf("wrapped %v does not match itself", c.err)
+				}
+			}
+		})
+	}
+}
+
+// wrapFor simulates a call site annotating a sentinel.
+func wrapFor(t *testing.T, err error) error {
+	t.Helper()
+	return &wrapErr{inner: err}
+}
+
+type wrapErr struct{ inner error }
+
+func (w *wrapErr) Error() string { return "op failed: " + w.inner.Error() }
+func (w *wrapErr) Unwrap() error { return w.inner }
+
 func TestSentinelErrorsAreDistinct(t *testing.T) {
 	errs := []error{ErrNotExist, ErrExist, ErrIsDir, ErrNotDir, ErrNotEmpty, ErrPermission, ErrLocked, ErrReadOnly, ErrClosed, ErrInvalid}
 	for i, a := range errs {
@@ -70,7 +130,7 @@ type fakeHandle struct {
 	path string
 }
 
-func (f *fakeFS) Open(path string, flags OpenFlag) (Handle, error) {
+func (f *fakeFS) Open(_ context.Context, path string, flags OpenFlag) (Handle, error) {
 	_, ok := f.files[path]
 	if !ok {
 		if flags&Create == 0 {
@@ -84,17 +144,17 @@ func (f *fakeFS) Open(path string, flags OpenFlag) (Handle, error) {
 	return &fakeHandle{fs: f, path: path}, nil
 }
 
-func (f *fakeFS) Mkdir(string) error                      { return nil }
-func (f *fakeFS) Rmdir(string) error                      { return nil }
-func (f *fakeFS) Unlink(string) error                     { return nil }
-func (f *fakeFS) Rename(string, string) error             { return nil }
-func (f *fakeFS) Stat(string) (FileInfo, error)           { return FileInfo{}, ErrNotExist }
-func (f *fakeFS) ReadDir(string) ([]FileInfo, error)      { return nil, nil }
-func (f *fakeFS) SetFacl(string, string, Permission) error { return nil }
-func (f *fakeFS) GetFacl(string) ([]ACLEntry, error)      { return nil, nil }
-func (f *fakeFS) Unmount() error                          { return nil }
+func (f *fakeFS) Mkdir(context.Context, string) error                       { return nil }
+func (f *fakeFS) Rmdir(context.Context, string) error                       { return nil }
+func (f *fakeFS) Unlink(context.Context, string) error                      { return nil }
+func (f *fakeFS) Rename(context.Context, string, string) error              { return nil }
+func (f *fakeFS) Stat(context.Context, string) (FileInfo, error)            { return FileInfo{}, ErrNotExist }
+func (f *fakeFS) ReadDir(context.Context, string) ([]FileInfo, error)       { return nil, nil }
+func (f *fakeFS) SetFacl(context.Context, string, string, Permission) error { return nil }
+func (f *fakeFS) GetFacl(context.Context, string) ([]ACLEntry, error)       { return nil, nil }
+func (f *fakeFS) Unmount(context.Context) error                             { return nil }
 
-func (h *fakeHandle) ReadAt(p []byte, off int64) (int, error) {
+func (h *fakeHandle) ReadAt(_ context.Context, p []byte, off int64) (int, error) {
 	if len(p) > h.fs.maxOp {
 		h.fs.maxOp = len(p)
 	}
@@ -109,7 +169,7 @@ func (h *fakeHandle) ReadAt(p []byte, off int64) (int, error) {
 	return n, nil
 }
 
-func (h *fakeHandle) WriteAt(p []byte, off int64) (int, error) {
+func (h *fakeHandle) WriteAt(_ context.Context, p []byte, off int64) (int, error) {
 	if len(p) > h.fs.maxOp {
 		h.fs.maxOp = len(p)
 	}
@@ -124,10 +184,10 @@ func (h *fakeHandle) WriteAt(p []byte, off int64) (int, error) {
 	return len(p), nil
 }
 
-func (h *fakeHandle) Truncate(size int64) error { return nil }
-func (h *fakeHandle) Fsync() error              { return nil }
-func (h *fakeHandle) Close() error              { return nil }
-func (h *fakeHandle) Stat() (FileInfo, error) {
+func (h *fakeHandle) Truncate(context.Context, int64) error { return nil }
+func (h *fakeHandle) Fsync(context.Context) error           { return nil }
+func (h *fakeHandle) Close(context.Context) error           { return nil }
+func (h *fakeHandle) Stat(context.Context) (FileInfo, error) {
 	return FileInfo{Path: h.path, Size: int64(len(h.fs.files[h.path]))}, nil
 }
 
@@ -137,13 +197,13 @@ func TestHelpersChunkLargeFiles(t *testing.T) {
 	for i := range big {
 		big[i] = byte(i * 7)
 	}
-	if err := WriteFile(fs, "/big", big); err != nil {
+	if err := WriteFile(bg, fs, "/big", big); err != nil {
 		t.Fatal(err)
 	}
 	if fs.maxOp > StreamChunkSize {
 		t.Fatalf("WriteFile issued a %d-byte op, want <= %d", fs.maxOp, StreamChunkSize)
 	}
-	got, err := ReadFile(fs, "/big")
+	got, err := ReadFile(bg, fs, "/big")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,19 +214,19 @@ func TestHelpersChunkLargeFiles(t *testing.T) {
 		t.Fatalf("ReadFile issued a %d-byte op, want <= %d", fs.maxOp, StreamChunkSize)
 	}
 	// Small files still round-trip.
-	if err := WriteFile(fs, "/small", []byte("tiny")); err != nil {
+	if err := WriteFile(bg, fs, "/small", []byte("tiny")); err != nil {
 		t.Fatal(err)
 	}
-	if got, err := ReadFile(fs, "/small"); err != nil || string(got) != "tiny" {
+	if got, err := ReadFile(bg, fs, "/small"); err != nil || string(got) != "tiny" {
 		t.Fatalf("small round trip: %q, %v", got, err)
 	}
-	if got, err := ReadFile(fs, "/empty-missing"); err == nil {
+	if got, err := ReadFile(bg, fs, "/empty-missing"); err == nil {
 		t.Fatalf("missing file read returned %d bytes", len(got))
 	}
-	if err := WriteFile(fs, "/empty", nil); err != nil {
+	if err := WriteFile(bg, fs, "/empty", nil); err != nil {
 		t.Fatal(err)
 	}
-	if got, err := ReadFile(fs, "/empty"); err != nil || len(got) != 0 {
+	if got, err := ReadFile(bg, fs, "/empty"); err != nil || len(got) != 0 {
 		t.Fatalf("empty round trip: %v, %v", got, err)
 	}
 }
@@ -177,7 +237,7 @@ func TestStreamingHelpers(t *testing.T) {
 	for i := range big {
 		big[i] = byte(i * 13)
 	}
-	n, err := WriteFileFrom(fs, "/s", bytes.NewReader(big))
+	n, err := WriteFileFrom(bg, fs, "/s", bytes.NewReader(big))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +245,7 @@ func TestStreamingHelpers(t *testing.T) {
 		t.Fatalf("WriteFileFrom wrote %d bytes", n)
 	}
 	var out bytes.Buffer
-	n, err = ReadFileTo(fs, "/s", &out)
+	n, err = ReadFileTo(bg, fs, "/s", &out)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,11 +253,11 @@ func TestStreamingHelpers(t *testing.T) {
 		t.Fatalf("ReadFileTo copied %d bytes, match=%v", n, bytes.Equal(out.Bytes(), big))
 	}
 	// Empty stream.
-	if n, err := WriteFileFrom(fs, "/e", bytes.NewReader(nil)); err != nil || n != 0 {
+	if n, err := WriteFileFrom(bg, fs, "/e", bytes.NewReader(nil)); err != nil || n != 0 {
 		t.Fatalf("empty WriteFileFrom: %d, %v", n, err)
 	}
 	var empty bytes.Buffer
-	if n, err := ReadFileTo(fs, "/e", &empty); err != nil || n != 0 {
+	if n, err := ReadFileTo(bg, fs, "/e", &empty); err != nil || n != 0 {
 		t.Fatalf("empty ReadFileTo: %d, %v", n, err)
 	}
 }

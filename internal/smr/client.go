@@ -2,6 +2,7 @@ package smr
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -53,11 +54,17 @@ func (c *Client) Close() {
 }
 
 // Invoke submits op for total ordering and returns the agreed result.
-func (c *Client) Invoke(op []byte) ([]byte, error) {
+// Cancelling ctx abandons the invocation promptly with ctx.Err(); the
+// command may still execute at the replicas (an abandoned request is
+// indistinguishable from a lost reply).
+func (c *Client) Invoke(ctx context.Context, op []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed.Load() {
 		return nil, fmt.Errorf("smr: client %s is closed", c.id)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	c.nextID++
 	reqID := c.nextID
@@ -103,6 +110,8 @@ func (c *Client) Invoke(op []byte) ([]byte, error) {
 			if len(votes[key]) >= needed {
 				return cloneBytes(results[key]), nil
 			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
 		case <-retry.C:
 			c.net.Broadcast(msg)
 		case <-time.After(remaining):

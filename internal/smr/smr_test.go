@@ -1,6 +1,7 @@
 package smr
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sync"
@@ -14,6 +15,8 @@ type logApp struct {
 	mu  sync.Mutex
 	log []string
 }
+
+var bg = context.Background()
 
 func (a *logApp) Execute(cmd []byte) []byte {
 	a.mu.Lock()
@@ -136,7 +139,7 @@ func TestCrashModeBasicOrdering(t *testing.T) {
 	defer cl.Close()
 	for i := 0; i < 10; i++ {
 		cmd := fmt.Sprintf("cmd-%d", i)
-		res, err := cl.Invoke([]byte(cmd))
+		res, err := cl.Invoke(bg, []byte(cmd))
 		if err != nil {
 			t.Fatalf("Invoke(%s): %v", cmd, err)
 		}
@@ -153,7 +156,7 @@ func TestByzantineModeBasicOrdering(t *testing.T) {
 	cl := c.client("client-1")
 	defer cl.Close()
 	for i := 0; i < 5; i++ {
-		res, err := cl.Invoke([]byte(fmt.Sprintf("op%d", i)))
+		res, err := cl.Invoke(bg, []byte(fmt.Sprintf("op%d", i)))
 		if err != nil {
 			t.Fatalf("Invoke: %v", err)
 		}
@@ -171,7 +174,7 @@ func TestByzantineReplicaRepliesAreOutvoted(t *testing.T) {
 	c.replicas[2].SetByzantine(true)
 	cl := c.client("client-1")
 	defer cl.Close()
-	res, err := cl.Invoke([]byte("important"))
+	res, err := cl.Invoke(bg, []byte("important"))
 	if err != nil {
 		t.Fatalf("Invoke: %v", err)
 	}
@@ -184,13 +187,13 @@ func TestCrashOfFollowerDoesNotBlockProgress(t *testing.T) {
 	c := newCluster(t, 3, CrashFaults)
 	cl := c.client("client-1")
 	defer cl.Close()
-	if _, err := cl.Invoke([]byte("before")); err != nil {
+	if _, err := cl.Invoke(bg, []byte("before")); err != nil {
 		t.Fatal(err)
 	}
 	// Disconnect a follower (replica 1; leader of view 0 is replica 0).
 	c.net.Disconnect(1)
 	for i := 0; i < 5; i++ {
-		if _, err := cl.Invoke([]byte(fmt.Sprintf("after-%d", i))); err != nil {
+		if _, err := cl.Invoke(bg, []byte(fmt.Sprintf("after-%d", i))); err != nil {
 			t.Fatalf("Invoke with one follower down: %v", err)
 		}
 	}
@@ -200,13 +203,13 @@ func TestLeaderFailureTriggersViewChange(t *testing.T) {
 	c := newCluster(t, 3, CrashFaults)
 	cl := c.client("client-1")
 	defer cl.Close()
-	if _, err := cl.Invoke([]byte("warmup")); err != nil {
+	if _, err := cl.Invoke(bg, []byte("warmup")); err != nil {
 		t.Fatal(err)
 	}
 	// Kill the leader of view 0 (replica 0).
 	c.net.Disconnect(0)
 	start := time.Now()
-	res, err := cl.Invoke([]byte("after-leader-crash"))
+	res, err := cl.Invoke(bg, []byte("after-leader-crash"))
 	if err != nil {
 		t.Fatalf("Invoke after leader crash: %v (took %v)", err, time.Since(start))
 	}
@@ -231,11 +234,11 @@ func TestByzantineLeaderCrashViewChange(t *testing.T) {
 	c := newCluster(t, 4, ByzantineFaults)
 	cl := c.client("client-1")
 	defer cl.Close()
-	if _, err := cl.Invoke([]byte("warmup")); err != nil {
+	if _, err := cl.Invoke(bg, []byte("warmup")); err != nil {
 		t.Fatal(err)
 	}
 	c.net.Disconnect(0)
-	if _, err := cl.Invoke([]byte("post-crash")); err != nil {
+	if _, err := cl.Invoke(bg, []byte("post-crash")); err != nil {
 		t.Fatalf("Invoke after BFT leader crash: %v", err)
 	}
 }
@@ -246,7 +249,7 @@ func TestDuplicateRequestsExecuteOnce(t *testing.T) {
 	cl.RetryInterval = 10 * time.Millisecond // force aggressive retransmission
 	defer cl.Close()
 	for i := 0; i < 5; i++ {
-		if _, err := cl.Invoke([]byte(fmt.Sprintf("x%d", i))); err != nil {
+		if _, err := cl.Invoke(bg, []byte(fmt.Sprintf("x%d", i))); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -284,7 +287,7 @@ func TestConcurrentClientsConvergeToSameOrder(t *testing.T) {
 			cl := c.client(fmt.Sprintf("client-%d", ci))
 			defer cl.Close()
 			for i := 0; i < perClient; i++ {
-				if _, err := cl.Invoke([]byte(fmt.Sprintf("c%d-op%d", ci, i))); err != nil {
+				if _, err := cl.Invoke(bg, []byte(fmt.Sprintf("c%d-op%d", ci, i))); err != nil {
 					t.Errorf("client %d invoke %d: %v", ci, i, err)
 					return
 				}
@@ -316,7 +319,7 @@ func TestClientTimeoutWhenGroupUnreachable(t *testing.T) {
 	cl := c.client("client-1")
 	cl.RequestTimeout = 300 * time.Millisecond
 	defer cl.Close()
-	if _, err := cl.Invoke([]byte("nobody-home")); err == nil {
+	if _, err := cl.Invoke(bg, []byte("nobody-home")); err == nil {
 		t.Fatal("Invoke succeeded with all replicas disconnected")
 	}
 }
@@ -325,7 +328,7 @@ func TestClientClosedRejectsInvoke(t *testing.T) {
 	c := newCluster(t, 3, CrashFaults)
 	cl := c.client("client-1")
 	cl.Close()
-	if _, err := cl.Invoke([]byte("x")); err == nil {
+	if _, err := cl.Invoke(bg, []byte("x")); err == nil {
 		t.Fatal("Invoke on closed client succeeded")
 	}
 }
@@ -335,7 +338,7 @@ func TestNetworkDelayStillMakesProgress(t *testing.T) {
 	c.net.SetDelay(5 * time.Millisecond)
 	cl := c.client("client-1")
 	defer cl.Close()
-	if _, err := cl.Invoke([]byte("delayed")); err != nil {
+	if _, err := cl.Invoke(bg, []byte("delayed")); err != nil {
 		t.Fatalf("Invoke with network delay: %v", err)
 	}
 }
@@ -412,7 +415,7 @@ func BenchmarkCrashInvoke(b *testing.B) {
 	defer cl.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cl.Invoke([]byte("op")); err != nil {
+		if _, err := cl.Invoke(bg, []byte("op")); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -434,7 +437,7 @@ func BenchmarkByzantineInvoke(b *testing.B) {
 	defer cl.Close()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cl.Invoke([]byte("op")); err != nil {
+		if _, err := cl.Invoke(bg, []byte("op")); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 
 	"scfs/internal/cloud"
@@ -48,25 +49,25 @@ type CloudACLPropagator struct {
 
 // PropagateACL grants (or revokes) user's permission on every stored version
 // object of fileID at every provider.
-func (p *CloudACLPropagator) PropagateACL(fileID string, hashes []string, user string, perm fsapi.Permission) error {
+func (p *CloudACLPropagator) PropagateACL(ctx context.Context, fileID string, hashes []string, user string, perm fsapi.Permission) error {
 	cloudPerm := toCloudPerm(perm)
 	for _, store := range p.Stores {
 		grantee, ok := p.Directory.CanonicalID(user, store.Provider())
 		if !ok {
 			return fmt.Errorf("storage: no canonical identifier for user %q at provider %q", user, store.Provider())
 		}
-		objects, err := store.List(fileID + "/")
+		objects, err := store.List(ctx, fileID+"/")
 		if err != nil {
 			return fmt.Errorf("storage: listing objects of %q at %q: %w", fileID, store.Provider(), err)
 		}
 		// Also cover DepSky-style object names, which live under a prefix
 		// that embeds the file identifier.
-		dsObjects, err := store.List("dsky/" + fileID + "/")
+		dsObjects, err := store.List(ctx, "dsky/"+fileID+"/")
 		if err == nil {
 			objects = append(objects, dsObjects...)
 		}
 		for _, o := range objects {
-			current, err := store.GetACL(o.Name)
+			current, err := store.GetACL(ctx, o.Name)
 			if err != nil {
 				return fmt.Errorf("storage: reading ACL of %q: %w", o.Name, err)
 			}
@@ -79,7 +80,7 @@ func (p *CloudACLPropagator) PropagateACL(fileID string, hashes []string, user s
 			if cloudPerm != cloud.PermNone {
 				updated = append(updated, cloud.Grant{Grantee: grantee, Perm: cloudPerm})
 			}
-			if err := store.SetACL(o.Name, updated); err != nil {
+			if err := store.SetACL(ctx, o.Name, updated); err != nil {
 				return fmt.Errorf("storage: updating ACL of %q: %w", o.Name, err)
 			}
 		}

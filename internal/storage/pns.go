@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"errors"
 
 	"scfs/internal/cloud"
@@ -14,10 +15,10 @@ import (
 // single-client assumption of the non-sharing mode) makes this safe.
 type PNSStore interface {
 	// WritePNS stores the serialized name space of user.
-	WritePNS(user string, data []byte) error
+	WritePNS(ctx context.Context, user string, data []byte) error
 	// ReadPNS returns the most recent stored name space of user, or
 	// ErrPNSNotFound if none exists yet.
-	ReadPNS(user string) ([]byte, error)
+	ReadPNS(ctx context.Context, user string) ([]byte, error)
 }
 
 // ErrPNSNotFound is returned when the user has no stored PNS yet.
@@ -36,13 +37,13 @@ func NewSingleCloudPNS(store cloud.ObjectStore) *SingleCloudPNS {
 }
 
 // WritePNS implements PNSStore.
-func (s *SingleCloudPNS) WritePNS(user string, data []byte) error {
-	return s.store.Put(pnsObject(user), data)
+func (s *SingleCloudPNS) WritePNS(ctx context.Context, user string, data []byte) error {
+	return s.store.Put(ctx, pnsObject(user), data)
 }
 
 // ReadPNS implements PNSStore.
-func (s *SingleCloudPNS) ReadPNS(user string) ([]byte, error) {
-	data, err := s.store.Get(pnsObject(user))
+func (s *SingleCloudPNS) ReadPNS(ctx context.Context, user string) ([]byte, error) {
+	data, err := s.store.Get(ctx, pnsObject(user))
 	if errors.Is(err, cloud.ErrNotFound) {
 		return nil, ErrPNSNotFound
 	}
@@ -58,14 +59,14 @@ type CoCPNS struct {
 func NewCoCPNS(mgr *depsky.Manager) *CoCPNS { return &CoCPNS{mgr: mgr} }
 
 // WritePNS implements PNSStore.
-func (c *CoCPNS) WritePNS(user string, data []byte) error {
-	_, err := c.mgr.Write(pnsObject(user), data)
+func (c *CoCPNS) WritePNS(ctx context.Context, user string, data []byte) error {
+	_, err := c.mgr.Write(ctx, pnsObject(user), data)
 	return err
 }
 
 // ReadPNS implements PNSStore.
-func (c *CoCPNS) ReadPNS(user string) ([]byte, error) {
-	data, _, err := c.mgr.Read(pnsObject(user))
+func (c *CoCPNS) ReadPNS(ctx context.Context, user string) ([]byte, error) {
+	data, _, err := c.mgr.Read(ctx, pnsObject(user))
 	if errors.Is(err, depsky.ErrUnitNotFound) {
 		return nil, ErrPNSNotFound
 	}

@@ -6,12 +6,14 @@
 package storage
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"sync"
 	"time"
 
+	"scfs/internal/clock"
 	"scfs/internal/cloud"
 	"scfs/internal/depsky"
 	"scfs/internal/seccrypto"
@@ -28,18 +30,20 @@ var (
 
 // VersionedStore is the storage-service (SS) abstraction used by SCFS: every
 // write creates a new immutable version addressed by (fileID, hash of the
-// contents). It corresponds to step w2/r2 of the Figure 3 algorithm.
+// contents). It corresponds to step w2/r2 of the Figure 3 algorithm. Every
+// operation honours its context: cancellation propagates down to the
+// individual cloud RPCs and surfaces as ctx.Err().
 type VersionedStore interface {
 	// WriteVersion durably stores data as the version of fileID whose
 	// contents hash to hash.
-	WriteVersion(fileID, hash string, data []byte) error
+	WriteVersion(ctx context.Context, fileID, hash string, data []byte) error
 	// ReadVersion returns the data of the given version, or
 	// ErrVersionNotFound if it is not (yet) visible.
-	ReadVersion(fileID, hash string) ([]byte, error)
+	ReadVersion(ctx context.Context, fileID, hash string) ([]byte, error)
 	// DeleteVersion removes the version (used by garbage collection).
-	DeleteVersion(fileID, hash string) error
+	DeleteVersion(ctx context.Context, fileID, hash string) error
 	// ListVersions lists the hashes currently stored for fileID.
-	ListVersions(fileID string) ([]string, error)
+	ListVersions(ctx context.Context, fileID string) ([]string, error)
 	// Name identifies the backend for diagnostics ("aws", "coc", ...).
 	Name() string
 }
@@ -51,14 +55,19 @@ type VersionedStore interface {
 // when the file is closed); implementations must fail, and clean up, if the
 // streamed bytes do not match it.
 type StreamWriter interface {
-	WriteVersionFrom(fileID, hash string, r io.Reader) error
+	WriteVersionFrom(ctx context.Context, fileID, hash string, r io.Reader) error
 }
 
 // ReaderAtCloser is the random-access view of one stored version served by
-// a RangeOpener.
+// a RangeOpener. ReadAt (the io.ReaderAt face, kept so the view composes
+// with io.SectionReader and friends) runs under a background context;
+// callers that can be cancelled use ReadAtContext.
 type ReaderAtCloser interface {
 	io.ReaderAt
 	io.Closer
+	// ReadAtContext is ReadAt bounded by ctx: the chunk fetches a read
+	// triggers observe the context and abort promptly on cancellation.
+	ReadAtContext(ctx context.Context, p []byte, off int64) (int, error)
 	// Size is the version's total length in bytes.
 	Size() int64
 }
@@ -69,14 +78,14 @@ type ReaderAtCloser interface {
 // OpenVersionAt returns ErrVersionNotFound while the version is not yet
 // visible (callers retry per the consistency-anchor loop).
 type RangeOpener interface {
-	OpenVersionAt(fileID, hash string) (ReaderAtCloser, error)
+	OpenVersionAt(ctx context.Context, fileID, hash string) (ReaderAtCloser, error)
 }
 
 // VersionSweeper is the optional batched delete face of a VersionedStore,
 // used by the garbage collector: batch maps fileID to the version hashes to
 // remove. It returns how many versions were actually deleted.
 type VersionSweeper interface {
-	DeleteVersionsBatch(batch map[string][]string) int
+	DeleteVersionsBatch(ctx context.Context, batch map[string][]string) int
 }
 
 // --- single-cloud backend ---
@@ -112,7 +121,7 @@ func (s *SingleCloud) Name() string { return "single:" + s.store.Provider() }
 func versionObject(fileID, hash string) string { return fileID + "/" + hash }
 
 // WriteVersion implements VersionedStore.
-func (s *SingleCloud) WriteVersion(fileID, hash string, data []byte) error {
+func (s *SingleCloud) WriteVersion(ctx context.Context, fileID, hash string, data []byte) error {
 	payload := data
 	if s.key != nil {
 		enc, err := seccrypto.Encrypt(s.key, data)
@@ -121,12 +130,12 @@ func (s *SingleCloud) WriteVersion(fileID, hash string, data []byte) error {
 		}
 		payload = enc
 	}
-	return s.store.Put(versionObject(fileID, hash), payload)
+	return s.store.Put(ctx, versionObject(fileID, hash), payload)
 }
 
 // ReadVersion implements VersionedStore.
-func (s *SingleCloud) ReadVersion(fileID, hash string) ([]byte, error) {
-	payload, err := s.store.Get(versionObject(fileID, hash))
+func (s *SingleCloud) ReadVersion(ctx context.Context, fileID, hash string) ([]byte, error) {
+	payload, err := s.store.Get(ctx, versionObject(fileID, hash))
 	if errors.Is(err, cloud.ErrNotFound) {
 		return nil, ErrVersionNotFound
 	}
@@ -148,13 +157,13 @@ func (s *SingleCloud) ReadVersion(fileID, hash string) ([]byte, error) {
 }
 
 // DeleteVersion implements VersionedStore.
-func (s *SingleCloud) DeleteVersion(fileID, hash string) error {
-	return s.store.Delete(versionObject(fileID, hash))
+func (s *SingleCloud) DeleteVersion(ctx context.Context, fileID, hash string) error {
+	return s.store.Delete(ctx, versionObject(fileID, hash))
 }
 
 // ListVersions implements VersionedStore.
-func (s *SingleCloud) ListVersions(fileID string) ([]string, error) {
-	objs, err := s.store.List(fileID + "/")
+func (s *SingleCloud) ListVersions(ctx context.Context, fileID string) ([]string, error) {
+	objs, err := s.store.List(ctx, fileID+"/")
 	if err != nil {
 		return nil, err
 	}
@@ -167,7 +176,7 @@ func (s *SingleCloud) ListVersions(fileID string) ([]string, error) {
 
 // DeleteVersionsBatch implements VersionSweeper: single-cloud versions are
 // addressed directly by name, so the sweep is just bounded-parallel deletes.
-func (s *SingleCloud) DeleteVersionsBatch(batch map[string][]string) int {
+func (s *SingleCloud) DeleteVersionsBatch(ctx context.Context, batch map[string][]string) int {
 	deleted := 0
 	var mu sync.Mutex
 	var wg sync.WaitGroup
@@ -179,7 +188,7 @@ func (s *SingleCloud) DeleteVersionsBatch(batch map[string][]string) int {
 				defer wg.Done()
 				sem <- struct{}{}
 				defer func() { <-sem }()
-				if s.store.Delete(versionObject(fileID, hash)) == nil {
+				if s.store.Delete(ctx, versionObject(fileID, hash)) == nil {
 					mu.Lock()
 					deleted++
 					mu.Unlock()
@@ -216,8 +225,8 @@ func (c *CloudOfClouds) Name() string { return "coc" }
 func (c *CloudOfClouds) Manager() *depsky.Manager { return c.mgr }
 
 // WriteVersion implements VersionedStore.
-func (c *CloudOfClouds) WriteVersion(fileID, hash string, data []byte) error {
-	info, err := c.mgr.Write(fileID, data)
+func (c *CloudOfClouds) WriteVersion(ctx context.Context, fileID, hash string, data []byte) error {
+	info, err := c.mgr.Write(ctx, fileID, data)
 	if err != nil {
 		return err
 	}
@@ -228,8 +237,8 @@ func (c *CloudOfClouds) WriteVersion(fileID, hash string, data []byte) error {
 }
 
 // ReadVersion implements VersionedStore.
-func (c *CloudOfClouds) ReadVersion(fileID, hash string) ([]byte, error) {
-	data, _, err := c.mgr.ReadMatching(fileID, hash)
+func (c *CloudOfClouds) ReadVersion(ctx context.Context, fileID, hash string) ([]byte, error) {
+	data, _, err := c.mgr.ReadMatching(ctx, fileID, hash)
 	if errors.Is(err, depsky.ErrVersionNotFound) || errors.Is(err, depsky.ErrUnitNotFound) {
 		return nil, ErrVersionNotFound
 	}
@@ -243,22 +252,22 @@ func (c *CloudOfClouds) ReadVersion(fileID, hash string) ([]byte, error) {
 }
 
 // DeleteVersion implements VersionedStore.
-func (c *CloudOfClouds) DeleteVersion(fileID, hash string) error {
-	versions, err := c.mgr.ListVersions(fileID)
+func (c *CloudOfClouds) DeleteVersion(ctx context.Context, fileID, hash string) error {
+	versions, err := c.mgr.ListVersions(ctx, fileID)
 	if err != nil {
 		return err
 	}
 	for _, v := range versions {
 		if v.DataHash == hash {
-			return c.mgr.DeleteVersion(fileID, v.Number)
+			return c.mgr.DeleteVersion(ctx, fileID, v.Number)
 		}
 	}
 	return nil
 }
 
 // ListVersions implements VersionedStore.
-func (c *CloudOfClouds) ListVersions(fileID string) ([]string, error) {
-	versions, err := c.mgr.ListVersions(fileID)
+func (c *CloudOfClouds) ListVersions(ctx context.Context, fileID string) ([]string, error) {
+	versions, err := c.mgr.ListVersions(ctx, fileID)
 	if err != nil {
 		return nil, err
 	}
@@ -274,13 +283,13 @@ func (c *CloudOfClouds) ListVersions(fileID string) ([]string, error) {
 // bounded window of chunks is resident regardless of the version size. The
 // stream hash is computed on the fly; a mismatch with the caller's hash
 // deletes the half-anchored version before failing.
-func (c *CloudOfClouds) WriteVersionFrom(fileID, hash string, r io.Reader) error {
-	info, err := c.mgr.WriteFrom(fileID, r)
+func (c *CloudOfClouds) WriteVersionFrom(ctx context.Context, fileID, hash string, r io.Reader) error {
+	info, err := c.mgr.WriteFrom(ctx, fileID, r)
 	if err != nil {
 		return err
 	}
 	if info.DataHash != hash {
-		_ = c.mgr.DeleteVersion(fileID, info.Number)
+		_ = c.mgr.DeleteVersion(ctx, fileID, info.Number)
 		return fmt.Errorf("%w: wrote hash %s, expected %s", ErrIntegrity, info.DataHash, hash)
 	}
 	return nil
@@ -292,8 +301,8 @@ func (c *CloudOfClouds) WriteVersionFrom(fileID, hash string, r io.Reader) error
 // layout, or chunked metadata that is not quorum-certified — return an
 // error so the agent falls back to the whole-object path, which verifies
 // the full value hash and populates its caches.
-func (c *CloudOfClouds) OpenVersionAt(fileID, hash string) (ReaderAtCloser, error) {
-	r, _, err := c.mgr.OpenRangedMatching(fileID, hash)
+func (c *CloudOfClouds) OpenVersionAt(ctx context.Context, fileID, hash string) (ReaderAtCloser, error) {
+	r, _, err := c.mgr.OpenRangedMatching(ctx, fileID, hash)
 	if errors.Is(err, depsky.ErrVersionNotFound) || errors.Is(err, depsky.ErrUnitNotFound) {
 		return nil, ErrVersionNotFound
 	}
@@ -309,12 +318,12 @@ const sweepConcurrency = 4
 // DeleteVersionsBatch implements VersionSweeper: one batched metadata sweep
 // resolves every hash to its version number, then each file's versions are
 // deleted with a single metadata round trip.
-func (c *CloudOfClouds) DeleteVersionsBatch(batch map[string][]string) int {
+func (c *CloudOfClouds) DeleteVersionsBatch(ctx context.Context, batch map[string][]string) int {
 	fileIDs := make([]string, 0, len(batch))
 	for fileID := range batch {
 		fileIDs = append(fileIDs, fileID)
 	}
-	meta := c.mgr.ReadMetadataBatch(fileIDs)
+	meta := c.mgr.ReadMetadataBatch(ctx, fileIDs)
 
 	deleted := 0
 	var mu sync.Mutex
@@ -343,7 +352,7 @@ func (c *CloudOfClouds) DeleteVersionsBatch(batch map[string][]string) int {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			if n, err := c.mgr.DeleteVersions(fileID, numbers); err == nil {
+			if n, err := c.mgr.DeleteVersions(ctx, fileID, numbers); err == nil {
 				mu.Lock()
 				deleted += n
 				mu.Unlock()
@@ -361,9 +370,9 @@ func (c *CloudOfClouds) DeleteVersionsBatch(batch map[string][]string) int {
 // from object id to the hash of its current value.
 type AnchorStore interface {
 	// ReadHash returns the hash currently anchored for id.
-	ReadHash(id string) (string, error)
+	ReadHash(ctx context.Context, id string) (string, error)
 	// WriteHash anchors hash as the current version of id.
-	WriteHash(id, hash string) error
+	WriteHash(ctx context.Context, id, hash string) error
 }
 
 // ErrAnchorNotFound is returned by AnchorStore implementations when the id
@@ -381,24 +390,30 @@ type Composite struct {
 	RetryInterval time.Duration
 	// MaxRetries bounds the read loop (0 = 100 attempts).
 	MaxRetries int
-	// Sleep allows tests to intercept the retry pause; defaults to
-	// time.Sleep.
-	Sleep func(time.Duration)
+	// Sleep allows tests to intercept the retry pause; defaults to a
+	// context-aware sleep that returns early (with ctx.Err()) on
+	// cancellation.
+	Sleep func(context.Context, time.Duration) error
 }
 
 // NewComposite builds a composite store with sensible defaults.
 func NewComposite(ca AnchorStore, ss VersionedStore) *Composite {
-	return &Composite{CA: ca, SS: ss, RetryInterval: 50 * time.Millisecond, MaxRetries: 100, Sleep: time.Sleep}
+	return &Composite{CA: ca, SS: ss, RetryInterval: 50 * time.Millisecond, MaxRetries: 100, Sleep: sleepCtx}
+}
+
+// sleepCtx is the default retry pause of the consistency-anchor read loop.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	return clock.SleepCtx(ctx, clock.Real(), d)
 }
 
 // Write implements the WRITE(id, v) algorithm: hash, push to SS, then anchor
 // the hash in the CA.
-func (c *Composite) Write(id string, value []byte) (string, error) {
-	h := seccrypto.Hash(value)          // w1
-	if err := c.SS.WriteVersion(id, h, value); err != nil { // w2
+func (c *Composite) Write(ctx context.Context, id string, value []byte) (string, error) {
+	h := seccrypto.Hash(value)                                   // w1
+	if err := c.SS.WriteVersion(ctx, id, h, value); err != nil { // w2
 		return "", fmt.Errorf("storage: composite write to SS: %w", err)
 	}
-	if err := c.CA.WriteHash(id, h); err != nil { // w3
+	if err := c.CA.WriteHash(ctx, id, h); err != nil { // w3
 		return "", fmt.Errorf("storage: composite write to CA: %w", err)
 	}
 	return h, nil
@@ -406,8 +421,9 @@ func (c *Composite) Write(id string, value []byte) (string, error) {
 
 // Read implements the READ(id) algorithm: get the anchored hash, then fetch
 // from the SS until the matching version is visible, verifying integrity.
-func (c *Composite) Read(id string) ([]byte, error) {
-	h, err := c.CA.ReadHash(id) // r1
+// Cancelling ctx stops the retry loop promptly with ctx.Err().
+func (c *Composite) Read(ctx context.Context, id string) ([]byte, error) {
+	h, err := c.CA.ReadHash(ctx, id) // r1
 	if err != nil {
 		return nil, err
 	}
@@ -417,17 +433,19 @@ func (c *Composite) Read(id string) ([]byte, error) {
 	}
 	sleep := c.Sleep
 	if sleep == nil {
-		sleep = time.Sleep
+		sleep = sleepCtx
 	}
 	for attempt := 0; attempt < maxRetries; attempt++ { // r2
-		value, err := c.SS.ReadVersion(id, h)
+		value, err := c.SS.ReadVersion(ctx, id, h)
 		if err == nil {
 			return value, nil // r3 (hash verified by the SS implementations)
 		}
 		if !errors.Is(err, ErrVersionNotFound) {
 			return nil, err
 		}
-		sleep(c.RetryInterval)
+		if err := sleep(ctx, c.RetryInterval); err != nil {
+			return nil, err
+		}
 	}
 	return nil, fmt.Errorf("storage: composite read of %q: %w after %d attempts", id, ErrVersionNotFound, maxRetries)
 }

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -13,6 +14,8 @@ import (
 	"scfs/internal/depsky"
 	"scfs/internal/seccrypto"
 )
+
+var bg = context.Background()
 
 func newSingleCloudStore(t *testing.T, encrypt bool) (*cloudsim.Provider, *SingleCloud) {
 	t.Helper()
@@ -48,43 +51,43 @@ func testVersionedStore(t *testing.T, vs VersionedStore) {
 	h1 := seccrypto.Hash(data1)
 	h2 := seccrypto.Hash(data2)
 
-	if err := vs.WriteVersion("file-1", h1, data1); err != nil {
+	if err := vs.WriteVersion(bg, "file-1", h1, data1); err != nil {
 		t.Fatalf("WriteVersion v1: %v", err)
 	}
-	if err := vs.WriteVersion("file-1", h2, data2); err != nil {
+	if err := vs.WriteVersion(bg, "file-1", h2, data2); err != nil {
 		t.Fatalf("WriteVersion v2: %v", err)
 	}
-	got, err := vs.ReadVersion("file-1", h1)
+	got, err := vs.ReadVersion(bg, "file-1", h1)
 	if err != nil {
 		t.Fatalf("ReadVersion v1: %v", err)
 	}
 	if !bytes.Equal(got, data1) {
 		t.Fatal("v1 contents mismatch")
 	}
-	got, err = vs.ReadVersion("file-1", h2)
+	got, err = vs.ReadVersion(bg, "file-1", h2)
 	if err != nil {
 		t.Fatalf("ReadVersion v2: %v", err)
 	}
 	if !bytes.Equal(got, data2) {
 		t.Fatal("v2 contents mismatch")
 	}
-	if _, err := vs.ReadVersion("file-1", seccrypto.Hash([]byte("never written"))); !errors.Is(err, ErrVersionNotFound) {
+	if _, err := vs.ReadVersion(bg, "file-1", seccrypto.Hash([]byte("never written"))); !errors.Is(err, ErrVersionNotFound) {
 		t.Fatalf("missing version err = %v, want ErrVersionNotFound", err)
 	}
-	hashes, err := vs.ListVersions("file-1")
+	hashes, err := vs.ListVersions(bg, "file-1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(hashes) != 2 {
 		t.Fatalf("ListVersions = %v, want 2 entries", hashes)
 	}
-	if err := vs.DeleteVersion("file-1", h1); err != nil {
+	if err := vs.DeleteVersion(bg, "file-1", h1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := vs.ReadVersion("file-1", h1); !errors.Is(err, ErrVersionNotFound) {
+	if _, err := vs.ReadVersion(bg, "file-1", h1); !errors.Is(err, ErrVersionNotFound) {
 		t.Fatalf("deleted version still readable: %v", err)
 	}
-	if _, err := vs.ReadVersion("file-1", h2); err != nil {
+	if _, err := vs.ReadVersion(bg, "file-1", h2); err != nil {
 		t.Fatalf("remaining version unreadable after GC: %v", err)
 	}
 	if vs.Name() == "" {
@@ -111,13 +114,13 @@ func TestSingleCloudEncryptionHidesPlaintext(t *testing.T) {
 	p, sc := newSingleCloudStore(t, true)
 	data := bytes.Repeat([]byte("SECRETDATA"), 50)
 	h := seccrypto.Hash(data)
-	if err := sc.WriteVersion("f", h, data); err != nil {
+	if err := sc.WriteVersion(bg, "f", h, data); err != nil {
 		t.Fatal(err)
 	}
 	c := p.MustClient(p.CreateAccount("alice"))
-	objs, _ := c.List("")
+	objs, _ := c.List(bg, "")
 	for _, o := range objs {
-		raw, _ := c.Get(o.Name)
+		raw, _ := c.Get(bg, o.Name)
 		if bytes.Contains(raw, []byte("SECRETDATA")) {
 			t.Fatal("plaintext stored despite encryption")
 		}
@@ -128,11 +131,11 @@ func TestSingleCloudDetectsCorruption(t *testing.T) {
 	p, sc := newSingleCloudStore(t, false)
 	data := []byte("important data")
 	h := seccrypto.Hash(data)
-	if err := sc.WriteVersion("f", h, data); err != nil {
+	if err := sc.WriteVersion(bg, "f", h, data); err != nil {
 		t.Fatal(err)
 	}
 	p.SetFault(cloudsim.FaultCorrupt)
-	if _, err := sc.ReadVersion("f", h); !errors.Is(err, ErrIntegrity) {
+	if _, err := sc.ReadVersion(bg, "f", h); !errors.Is(err, ErrIntegrity) {
 		t.Fatalf("err = %v, want ErrIntegrity (single cloud cannot mask corruption, only detect it)", err)
 	}
 }
@@ -141,11 +144,11 @@ func TestCoCMasksCorruption(t *testing.T) {
 	providers, coc := newCoCStore(t)
 	data := bytes.Repeat([]byte("resilient "), 500)
 	h := seccrypto.Hash(data)
-	if err := coc.WriteVersion("f", h, data); err != nil {
+	if err := coc.WriteVersion(bg, "f", h, data); err != nil {
 		t.Fatal(err)
 	}
 	providers[0].SetFault(cloudsim.FaultCorrupt)
-	got, err := coc.ReadVersion("f", h)
+	got, err := coc.ReadVersion(bg, "f", h)
 	if err != nil {
 		t.Fatalf("CoC read with a corrupting cloud: %v", err)
 	}
@@ -173,7 +176,7 @@ type memAnchor struct {
 
 func newMemAnchor() *memAnchor { return &memAnchor{m: make(map[string]string)} }
 
-func (a *memAnchor) ReadHash(id string) (string, error) {
+func (a *memAnchor) ReadHash(_ context.Context, id string) (string, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	h, ok := a.m[id]
@@ -183,7 +186,7 @@ func (a *memAnchor) ReadHash(id string) (string, error) {
 	return h, nil
 }
 
-func (a *memAnchor) WriteHash(id, hash string) error {
+func (a *memAnchor) WriteHash(_ context.Context, id, hash string) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	a.m[id] = hash
@@ -210,7 +213,7 @@ func (d *delayedStore) hide(fileID, hash string, misses int) {
 	d.hidden[fileID+"/"+hash] = misses
 }
 
-func (d *delayedStore) ReadVersion(fileID, hash string) ([]byte, error) {
+func (d *delayedStore) ReadVersion(ctx context.Context, fileID, hash string) ([]byte, error) {
 	d.mu.Lock()
 	key := fileID + "/" + hash
 	if n, ok := d.hidden[key]; ok && n > 0 {
@@ -219,7 +222,7 @@ func (d *delayedStore) ReadVersion(fileID, hash string) ([]byte, error) {
 		return nil, ErrVersionNotFound
 	}
 	d.mu.Unlock()
-	return d.VersionedStore.ReadVersion(fileID, hash)
+	return d.VersionedStore.ReadVersion(ctx, fileID, hash)
 }
 
 func TestCompositeWriteReadStrongConsistency(t *testing.T) {
@@ -229,14 +232,14 @@ func TestCompositeWriteReadStrongConsistency(t *testing.T) {
 	comp.RetryInterval = time.Millisecond
 
 	data := []byte("strongly consistent value")
-	h, err := comp.Write("obj", data)
+	h, err := comp.Write(bg, "obj", data)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if h != seccrypto.Hash(data) {
 		t.Fatal("Write returned an unexpected hash")
 	}
-	got, err := comp.Read("obj")
+	got, err := comp.Read(bg, "obj")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,15 +259,15 @@ func TestCompositeReadRetriesUntilVisible(t *testing.T) {
 	comp := NewComposite(anchor, delayed)
 	comp.RetryInterval = 0
 	slept := 0
-	comp.Sleep = func(time.Duration) { slept++ }
+	comp.Sleep = func(context.Context, time.Duration) error { slept++; return nil }
 
 	data := []byte("eventually visible")
-	h, err := comp.Write("obj", data)
+	h, err := comp.Write(bg, "obj", data)
 	if err != nil {
 		t.Fatal(err)
 	}
 	delayed.hide("obj", h, 3)
-	got, err := comp.Read("obj")
+	got, err := comp.Read(bg, "obj")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,15 +285,15 @@ func TestCompositeReadGivesUpAfterMaxRetries(t *testing.T) {
 	anchor := newMemAnchor()
 	comp := NewComposite(anchor, delayed)
 	comp.MaxRetries = 5
-	comp.Sleep = func(time.Duration) {}
+	comp.Sleep = func(context.Context, time.Duration) error { return nil }
 
 	data := []byte("never visible")
-	h, err := comp.Write("obj", data)
+	h, err := comp.Write(bg, "obj", data)
 	if err != nil {
 		t.Fatal(err)
 	}
 	delayed.hide("obj", h, 1000)
-	if _, err := comp.Read("obj"); !errors.Is(err, ErrVersionNotFound) {
+	if _, err := comp.Read(bg, "obj"); !errors.Is(err, ErrVersionNotFound) {
 		t.Fatalf("err = %v, want ErrVersionNotFound", err)
 	}
 }
@@ -298,7 +301,7 @@ func TestCompositeReadGivesUpAfterMaxRetries(t *testing.T) {
 func TestCompositeReadUnknownObject(t *testing.T) {
 	_, sc := newSingleCloudStore(t, false)
 	comp := NewComposite(newMemAnchor(), sc)
-	if _, err := comp.Read("ghost"); !errors.Is(err, ErrAnchorNotFound) {
+	if _, err := comp.Read(bg, "ghost"); !errors.Is(err, ErrAnchorNotFound) {
 		t.Fatalf("err = %v, want ErrAnchorNotFound", err)
 	}
 }
@@ -311,10 +314,10 @@ func TestCompositeReadsLatestAnchoredVersion(t *testing.T) {
 	comp.RetryInterval = time.Millisecond
 	for i := 0; i < 5; i++ {
 		payload := []byte(fmt.Sprintf("version-%d", i))
-		if _, err := comp.Write("obj", payload); err != nil {
+		if _, err := comp.Write(bg, "obj", payload); err != nil {
 			t.Fatal(err)
 		}
-		got, err := comp.Read("obj")
+		got, err := comp.Read(bg, "obj")
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -18,8 +19,9 @@ type Fetcher interface {
 	// holds exactly ChunkSize bytes).
 	ChunkSize() int
 	// Fetch decodes chunk idx into dst, which has exactly the chunk's
-	// plaintext length. It must not retain dst.
-	Fetch(idx int, dst []byte) error
+	// plaintext length. It must not retain dst. Cancelling ctx aborts the
+	// fetch promptly with ctx.Err().
+	Fetch(ctx context.Context, idx int, dst []byte) error
 	// Close releases fetcher resources.
 	Close() error
 }
@@ -77,7 +79,7 @@ func (r *Reader) chunkLen(idx int) int {
 
 // load returns the contents of chunk idx, fetching into a new or recycled
 // cache slot on a miss. Called with mu held.
-func (r *Reader) load(idx int) ([]byte, error) {
+func (r *Reader) load(ctx context.Context, idx int) ([]byte, error) {
 	r.tick++
 	for i := range r.slots {
 		if r.slots[i].idx == idx {
@@ -86,7 +88,7 @@ func (r *Reader) load(idx int) ([]byte, error) {
 		}
 	}
 	buf := r.pool.Get(r.chunkLen(idx))
-	if err := r.f.Fetch(idx, buf); err != nil {
+	if err := r.f.Fetch(ctx, idx, buf); err != nil {
 		r.pool.Put(buf[:cap(buf)])
 		return nil, fmt.Errorf("stream: fetching chunk %d: %w", idx, err)
 	}
@@ -106,15 +108,22 @@ func (r *Reader) load(idx int) ([]byte, error) {
 }
 
 // ReadAt implements io.ReaderAt: it fetches only the chunks covering
-// [off, off+len(p)).
+// [off, off+len(p)). It is ReadAtContext with a background context; callers
+// that can be cancelled should prefer ReadAtContext.
 func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.readAtLocked(p, off)
+	return r.ReadAtContext(context.Background(), p, off)
 }
 
-// readAtLocked is ReadAt with mu held.
-func (r *Reader) readAtLocked(p []byte, off int64) (int, error) {
+// ReadAtContext is ReadAt bounded by ctx: chunk fetches triggered by the
+// read observe the context and abort promptly when it is cancelled.
+func (r *Reader) ReadAtContext(ctx context.Context, p []byte, off int64) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.readAtLocked(ctx, p, off)
+}
+
+// readAtLocked is ReadAtContext with mu held.
+func (r *Reader) readAtLocked(ctx context.Context, p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, errors.New("stream: negative offset")
 	}
@@ -129,7 +138,7 @@ func (r *Reader) readAtLocked(p []byte, off int64) (int, error) {
 	n := 0
 	for n < len(p) && off < size {
 		idx := int(off / cs)
-		chunk, err := r.load(idx)
+		chunk, err := r.load(ctx, idx)
 		if err != nil {
 			return n, err
 		}
@@ -150,7 +159,7 @@ func (r *Reader) readAtLocked(p []byte, off int64) (int, error) {
 func (r *Reader) Read(p []byte) (int, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	n, err := r.readAtLocked(p, r.off)
+	n, err := r.readAtLocked(context.Background(), p, r.off)
 	r.off += int64(n)
 	return n, err
 }
@@ -171,10 +180,10 @@ func (r *Reader) Close() error {
 	return r.f.Close()
 }
 
-// Section returns a ReadCloser over [off, off+length) of the reader. Closing
-// the section closes the underlying reader. Requests beyond the end are
-// truncated.
-func (r *Reader) Section(off, length int64) io.ReadCloser {
+// Section returns a ReadCloser over [off, off+length) of the reader whose
+// reads are bounded by ctx. Closing the section closes the underlying
+// reader. Requests beyond the end are truncated.
+func (r *Reader) Section(ctx context.Context, off, length int64) io.ReadCloser {
 	if off < 0 {
 		off = 0
 	}
@@ -184,7 +193,20 @@ func (r *Reader) Section(off, length int64) io.ReadCloser {
 	if length < 0 {
 		length = 0
 	}
-	return &section{SectionReader: io.NewSectionReader(r, off, length), r: r}
+	bound := &ctxReaderAt{ctx: ctx, r: r}
+	return &section{SectionReader: io.NewSectionReader(bound, off, length), r: r}
+}
+
+// ctxReaderAt binds a context to a Reader so io.SectionReader (whose ReadAt
+// has no context parameter) still propagates cancellation to chunk fetches.
+type ctxReaderAt struct {
+	ctx context.Context
+	r   *Reader
+}
+
+// ReadAt implements io.ReaderAt under the bound context.
+func (c *ctxReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	return c.r.ReadAtContext(c.ctx, p, off)
 }
 
 // section is an io.SectionReader that forwards Close to its Reader.

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"bytes"
+	"context"
 	"crypto/rand"
 	"crypto/sha256"
 	"errors"
@@ -11,6 +12,8 @@ import (
 	"sync/atomic"
 	"testing"
 )
+
+var bg = context.Background()
 
 func TestPoolRoundTrip(t *testing.T) {
 	p := &Pool{}
@@ -58,7 +61,7 @@ func TestRunRoundTripAndHash(t *testing.T) {
 			t.Fatal(err)
 		}
 		sink := &memSink{chunks: make(map[int][]byte)}
-		res, err := Run(bytes.NewReader(data), Config{ChunkSize: 4096, Window: 2},
+		res, err := Run(bg, bytes.NewReader(data), Config{ChunkSize: 4096, Window: 2},
 			func(idx int, plain []byte) ([]byte, error) {
 				return append([]byte(nil), plain...), nil
 			},
@@ -96,7 +99,7 @@ func TestRunWindowBound(t *testing.T) {
 	const window = 3
 	var inFlight, peak atomic.Int64
 	data := make([]byte, 64*1024)
-	_, err := Run(bytes.NewReader(data), Config{ChunkSize: 1024, Window: window},
+	_, err := Run(bg, bytes.NewReader(data), Config{ChunkSize: 1024, Window: window},
 		func(idx int, plain []byte) (struct{}, error) {
 			cur := inFlight.Add(1)
 			for {
@@ -122,7 +125,7 @@ func TestRunWindowBound(t *testing.T) {
 func TestRunPropagatesErrors(t *testing.T) {
 	boom := errors.New("boom")
 	data := make([]byte, 10*1024)
-	_, err := Run(bytes.NewReader(data), Config{ChunkSize: 1024, Window: 2},
+	_, err := Run(bg, bytes.NewReader(data), Config{ChunkSize: 1024, Window: 2},
 		func(idx int, plain []byte) (int, error) {
 			if idx == 4 {
 				return 0, boom
@@ -134,7 +137,7 @@ func TestRunPropagatesErrors(t *testing.T) {
 		t.Fatalf("err = %v, want %v", err, boom)
 	}
 
-	_, err = Run(bytes.NewReader(data), Config{ChunkSize: 1024},
+	_, err = Run(bg, bytes.NewReader(data), Config{ChunkSize: 1024},
 		func(idx int, plain []byte) (int, error) { return idx, nil },
 		func(idx int, _ int) error {
 			if idx == 2 {
@@ -159,7 +162,7 @@ type chunkMap struct {
 func (c *chunkMap) Size() int64    { return int64(len(c.data)) }
 func (c *chunkMap) ChunkSize() int { return c.chunkSize }
 func (c *chunkMap) Close() error   { c.closed = true; return nil }
-func (c *chunkMap) Fetch(idx int, dst []byte) error {
+func (c *chunkMap) Fetch(_ context.Context, idx int, dst []byte) error {
 	c.fetches.Add(1)
 	if idx == c.failIdx {
 		return errors.New("fetch failure")
@@ -227,7 +230,7 @@ func TestReaderSequentialAndSection(t *testing.T) {
 	}
 
 	f2 := &chunkMap{data: data, chunkSize: 512, failIdx: -1}
-	sec := NewReader(f2, nil).Section(600, 700)
+	sec := NewReader(f2, nil).Section(bg, 600, 700)
 	got, err = io.ReadAll(sec)
 	if err != nil {
 		t.Fatal(err)

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"crypto/sha256"
 	"fmt"
 	"io"
@@ -55,8 +56,11 @@ type Result struct {
 // placement. Both may run concurrently for different chunks.
 //
 // The first error stops the intake of new chunks, and Run returns it after
-// all in-flight chunks have drained.
-func Run[E any](r io.Reader, cfg Config, encode func(idx int, plain []byte) (E, error), store func(idx int, enc E) error) (Result, error) {
+// all in-flight chunks have drained. Cancelling ctx stops the intake the
+// same way: no new chunks are read, in-flight chunks drain (their encode and
+// store callbacks are expected to observe the same ctx and fail fast), and
+// Run returns ctx.Err().
+func Run[E any](ctx context.Context, r io.Reader, cfg Config, encode func(idx int, plain []byte) (E, error), store func(idx int, enc E) error) (Result, error) {
 	cfg = cfg.withDefaults()
 	var (
 		res  Result
@@ -80,6 +84,10 @@ func Run[E any](r io.Reader, cfg Config, encode func(idx int, plain []byte) (E, 
 	h := sha256.New()
 	window := make(chan struct{}, cfg.Window)
 	for idx := 0; !failed(); idx++ {
+		if err := ctx.Err(); err != nil {
+			setErr(err)
+			break
+		}
 		window <- struct{}{} // count the chunk being read against the window
 		buf := cfg.Pool.Get(cfg.ChunkSize)
 		n, err := io.ReadFull(r, buf)

@@ -1,6 +1,7 @@
 package zkcoord
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,9 +14,9 @@ import (
 const AnyVersion = int64(-1)
 
 // Invoker submits a serialized command for ordered execution (smr.Client or
-// LocalInvoker).
+// LocalInvoker). Cancelling ctx abandons the invocation with ctx.Err().
 type Invoker interface {
-	Invoke(cmd []byte) ([]byte, error)
+	Invoke(ctx context.Context, cmd []byte) ([]byte, error)
 }
 
 // LocalInvoker executes commands directly on a Tree (no replication).
@@ -24,16 +25,21 @@ type LocalInvoker struct {
 }
 
 // Invoke implements Invoker.
-func (l *LocalInvoker) Invoke(cmd []byte) ([]byte, error) { return l.Tree.Execute(cmd), nil }
+func (l *LocalInvoker) Invoke(ctx context.Context, cmd []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return l.Tree.Execute(cmd), nil
+}
 
 // Typed errors mapped from Result.Err.
 var (
-	ErrNotFound   = errors.New(ErrNoNode)
-	ErrExists     = errors.New(ErrNodeExists)
-	ErrVersion    = errors.New(ErrBadVersion)
-	ErrParent     = errors.New(ErrNoParent)
-	ErrChildren   = errors.New(ErrNotEmpty)
-	ErrMalformed  = errors.New(ErrBadCommand)
+	ErrNotFound    = errors.New(ErrNoNode)
+	ErrExists      = errors.New(ErrNodeExists)
+	ErrVersion     = errors.New(ErrBadVersion)
+	ErrParent      = errors.New(ErrNoParent)
+	ErrChildren    = errors.New(ErrNotEmpty)
+	ErrMalformed   = errors.New(ErrBadCommand)
 	ErrNotTheOwner = errors.New(ErrNotOwner)
 )
 
@@ -80,14 +86,14 @@ func NewClient(inv Invoker, session string, clk clock.Clock) *Client {
 	return &Client{inv: inv, session: session, clk: clk, SessionTTL: 30 * time.Second}
 }
 
-func (c *Client) do(cmd Command) (Result, error) {
+func (c *Client) do(ctx context.Context, cmd Command) (Result, error) {
 	cmd.Session = c.session
 	cmd.Now = c.clk.Now().UnixNano()
 	b, err := json.Marshal(cmd)
 	if err != nil {
 		return Result{}, fmt.Errorf("zkcoord: encoding command: %w", err)
 	}
-	reply, err := c.inv.Invoke(b)
+	reply, err := c.inv.Invoke(ctx, b)
 	if err != nil {
 		return Result{}, fmt.Errorf("zkcoord: invoking %s: %w", cmd.Op, err)
 	}
@@ -102,63 +108,63 @@ func (c *Client) do(cmd Command) (Result, error) {
 }
 
 // Create creates a persistent znode and returns its path.
-func (c *Client) Create(p string, data []byte) (string, error) {
-	res, err := c.do(Command{Op: opCreate, Path: p, Data: data, Version: AnyVersion})
+func (c *Client) Create(ctx context.Context, p string, data []byte) (string, error) {
+	res, err := c.do(ctx, Command{Op: opCreate, Path: p, Data: data, Version: AnyVersion})
 	return res.Path, err
 }
 
 // CreateEphemeral creates an ephemeral znode owned by this session.
-func (c *Client) CreateEphemeral(p string, data []byte) (string, error) {
-	res, err := c.do(Command{Op: opCreate, Path: p, Data: data, Ephemeral: true, TTLNanos: int64(c.SessionTTL), Version: AnyVersion})
+func (c *Client) CreateEphemeral(ctx context.Context, p string, data []byte) (string, error) {
+	res, err := c.do(ctx, Command{Op: opCreate, Path: p, Data: data, Ephemeral: true, TTLNanos: int64(c.SessionTTL), Version: AnyVersion})
 	return res.Path, err
 }
 
 // CreateSequential creates a persistent znode whose name gets a monotonically
 // increasing suffix; it returns the final path.
-func (c *Client) CreateSequential(p string, data []byte) (string, error) {
-	res, err := c.do(Command{Op: opCreate, Path: p, Data: data, Sequential: true, Version: AnyVersion})
+func (c *Client) CreateSequential(ctx context.Context, p string, data []byte) (string, error) {
+	res, err := c.do(ctx, Command{Op: opCreate, Path: p, Data: data, Sequential: true, Version: AnyVersion})
 	return res.Path, err
 }
 
 // Get returns the data and stat of a znode.
-func (c *Client) Get(p string) ([]byte, Stat, error) {
-	res, err := c.do(Command{Op: opGet, Path: p, Version: AnyVersion})
+func (c *Client) Get(ctx context.Context, p string) ([]byte, Stat, error) {
+	res, err := c.do(ctx, Command{Op: opGet, Path: p, Version: AnyVersion})
 	return res.Data, res.Stat, err
 }
 
 // Set overwrites a znode's data; version AnyVersion disables the check.
-func (c *Client) Set(p string, data []byte, version int64) (Stat, error) {
-	res, err := c.do(Command{Op: opSet, Path: p, Data: data, Version: version, TTLNanos: int64(c.SessionTTL)})
+func (c *Client) Set(ctx context.Context, p string, data []byte, version int64) (Stat, error) {
+	res, err := c.do(ctx, Command{Op: opSet, Path: p, Data: data, Version: version, TTLNanos: int64(c.SessionTTL)})
 	return res.Stat, err
 }
 
 // Delete removes a leaf znode; version AnyVersion disables the check.
-func (c *Client) Delete(p string, version int64) error {
-	_, err := c.do(Command{Op: opDelete, Path: p, Version: version})
+func (c *Client) Delete(ctx context.Context, p string, version int64) error {
+	_, err := c.do(ctx, Command{Op: opDelete, Path: p, Version: version})
 	return err
 }
 
 // Children lists the direct children names of a znode.
-func (c *Client) Children(p string) ([]string, error) {
-	res, err := c.do(Command{Op: opChildren, Path: p, Version: AnyVersion})
+func (c *Client) Children(ctx context.Context, p string) ([]string, error) {
+	res, err := c.do(ctx, Command{Op: opChildren, Path: p, Version: AnyVersion})
 	return res.Children, err
 }
 
 // Exists reports whether a znode is present.
-func (c *Client) Exists(p string) (bool, Stat, error) {
-	res, err := c.do(Command{Op: opExists, Path: p, Version: AnyVersion})
+func (c *Client) Exists(ctx context.Context, p string) (bool, Stat, error) {
+	res, err := c.do(ctx, Command{Op: opExists, Path: p, Version: AnyVersion})
 	return res.Exists, res.Stat, err
 }
 
 // Heartbeat renews every ephemeral znode owned by this session and returns
 // how many were renewed.
-func (c *Client) Heartbeat() (int, error) {
-	res, err := c.do(Command{Op: opHeartbeat, TTLNanos: int64(c.SessionTTL)})
+func (c *Client) Heartbeat(ctx context.Context) (int, error) {
+	res, err := c.do(ctx, Command{Op: opHeartbeat, TTLNanos: int64(c.SessionTTL)})
 	return res.Count, err
 }
 
 // Clean physically removes expired ephemeral znodes.
-func (c *Client) Clean() (int, error) {
-	res, err := c.do(Command{Op: opClean})
+func (c *Client) Clean(ctx context.Context) (int, error) {
+	res, err := c.do(ctx, Command{Op: opClean})
 	return res.Count, err
 }

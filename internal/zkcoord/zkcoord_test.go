@@ -1,6 +1,7 @@
 package zkcoord
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -8,6 +9,8 @@ import (
 	"scfs/internal/clock"
 	"scfs/internal/smr"
 )
+
+var bg = context.Background()
 
 func newLocal(session string) (*Client, *Tree, *clock.Sim) {
 	tree := NewTree()
@@ -19,72 +22,72 @@ func newLocal(session string) (*Client, *Tree, *clock.Sim) {
 
 func TestCreateGetSetDelete(t *testing.T) {
 	c, _, _ := newLocal("s1")
-	p, err := c.Create("/scfs", []byte("root"))
+	p, err := c.Create(bg, "/scfs", []byte("root"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if p != "/scfs" {
 		t.Fatalf("created path = %q", p)
 	}
-	data, st, err := c.Get("/scfs")
+	data, st, err := c.Get(bg, "/scfs")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if string(data) != "root" || st.Version != 1 {
 		t.Fatalf("data=%q version=%d", data, st.Version)
 	}
-	st, err = c.Set("/scfs", []byte("updated"), int64(st.Version))
+	st, err = c.Set(bg, "/scfs", []byte("updated"), int64(st.Version))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.Version != 2 {
 		t.Fatalf("version after set = %d, want 2", st.Version)
 	}
-	if _, err := c.Set("/scfs", []byte("stale"), 1); !errors.Is(err, ErrVersion) {
+	if _, err := c.Set(bg, "/scfs", []byte("stale"), 1); !errors.Is(err, ErrVersion) {
 		t.Fatalf("stale set err = %v, want ErrVersion", err)
 	}
-	if _, err := c.Set("/scfs", []byte("any"), AnyVersion); err != nil {
+	if _, err := c.Set(bg, "/scfs", []byte("any"), AnyVersion); err != nil {
 		t.Fatalf("Set AnyVersion: %v", err)
 	}
-	if err := c.Delete("/scfs", AnyVersion); err != nil {
+	if err := c.Delete(bg, "/scfs", AnyVersion); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := c.Get("/scfs"); !errors.Is(err, ErrNotFound) {
+	if _, _, err := c.Get(bg, "/scfs"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Get after delete err = %v, want ErrNotFound", err)
 	}
 }
 
 func TestCreateRequiresParentAndRejectsDuplicates(t *testing.T) {
 	c, _, _ := newLocal("s1")
-	if _, err := c.Create("/a/b", nil); !errors.Is(err, ErrParent) {
+	if _, err := c.Create(bg, "/a/b", nil); !errors.Is(err, ErrParent) {
 		t.Fatalf("err = %v, want ErrParent", err)
 	}
-	if _, err := c.Create("/a", nil); err != nil {
+	if _, err := c.Create(bg, "/a", nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Create("/a", nil); !errors.Is(err, ErrExists) {
+	if _, err := c.Create(bg, "/a", nil); !errors.Is(err, ErrExists) {
 		t.Fatalf("duplicate create err = %v, want ErrExists", err)
 	}
-	if _, err := c.Create("/a/b", nil); err != nil {
+	if _, err := c.Create(bg, "/a/b", nil); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestDeleteNonEmptyRejected(t *testing.T) {
 	c, _, _ := newLocal("s1")
-	if _, err := c.Create("/dir", nil); err != nil {
+	if _, err := c.Create(bg, "/dir", nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Create("/dir/child", nil); err != nil {
+	if _, err := c.Create(bg, "/dir/child", nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Delete("/dir", AnyVersion); !errors.Is(err, ErrChildren) {
+	if err := c.Delete(bg, "/dir", AnyVersion); !errors.Is(err, ErrChildren) {
 		t.Fatalf("err = %v, want ErrChildren", err)
 	}
-	if err := c.Delete("/dir/child", AnyVersion); err != nil {
+	if err := c.Delete(bg, "/dir/child", AnyVersion); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Delete("/dir", AnyVersion); err != nil {
+	if err := c.Delete(bg, "/dir", AnyVersion); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -92,39 +95,39 @@ func TestDeleteNonEmptyRejected(t *testing.T) {
 func TestChildrenListsDirectChildrenOnly(t *testing.T) {
 	c, _, _ := newLocal("s1")
 	for _, p := range []string{"/locks", "/locks/a", "/locks/b", "/locks/b/inner", "/meta"} {
-		if _, err := c.Create(p, nil); err != nil {
+		if _, err := c.Create(bg, p, nil); err != nil {
 			t.Fatalf("create %s: %v", p, err)
 		}
 	}
-	kids, err := c.Children("/locks")
+	kids, err := c.Children(bg, "/locks")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(kids) != 2 || kids[0] != "a" || kids[1] != "b" {
 		t.Fatalf("children = %v", kids)
 	}
-	rootKids, err := c.Children("/")
+	rootKids, err := c.Children(bg, "/")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rootKids) != 2 {
 		t.Fatalf("root children = %v", rootKids)
 	}
-	if _, err := c.Children("/missing"); !errors.Is(err, ErrNotFound) {
+	if _, err := c.Children(bg, "/missing"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("err = %v, want ErrNotFound", err)
 	}
 }
 
 func TestExists(t *testing.T) {
 	c, _, _ := newLocal("s1")
-	ok, _, err := c.Exists("/nope")
+	ok, _, err := c.Exists(bg, "/nope")
 	if err != nil || ok {
 		t.Fatalf("Exists(/nope) = %v, %v", ok, err)
 	}
-	if _, err := c.Create("/yes", []byte("data")); err != nil {
+	if _, err := c.Create(bg, "/yes", []byte("data")); err != nil {
 		t.Fatal(err)
 	}
-	ok, st, err := c.Exists("/yes")
+	ok, st, err := c.Exists(bg, "/yes")
 	if err != nil || !ok {
 		t.Fatalf("Exists(/yes) = %v, %v", ok, err)
 	}
@@ -135,14 +138,14 @@ func TestExists(t *testing.T) {
 
 func TestSequentialNodes(t *testing.T) {
 	c, _, _ := newLocal("s1")
-	if _, err := c.Create("/queue", nil); err != nil {
+	if _, err := c.Create(bg, "/queue", nil); err != nil {
 		t.Fatal(err)
 	}
-	p1, err := c.CreateSequential("/queue/item-", nil)
+	p1, err := c.CreateSequential(bg, "/queue/item-", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, err := c.CreateSequential("/queue/item-", nil)
+	p2, err := c.CreateSequential(bg, "/queue/item-", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,34 +159,34 @@ func TestSequentialNodes(t *testing.T) {
 
 func TestEphemeralNodesExpireWithoutHeartbeat(t *testing.T) {
 	c, _, clk := newLocal("agent-1")
-	if _, err := c.Create("/locks", nil); err != nil {
+	if _, err := c.Create(bg, "/locks", nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.CreateEphemeral("/locks/file1", []byte("agent-1")); err != nil {
+	if _, err := c.CreateEphemeral(bg, "/locks/file1", []byte("agent-1")); err != nil {
 		t.Fatal(err)
 	}
-	ok, _, _ := c.Exists("/locks/file1")
+	ok, _, _ := c.Exists(bg, "/locks/file1")
 	if !ok {
 		t.Fatal("ephemeral node missing right after creation")
 	}
 	// Heartbeats keep it alive.
 	clk.Advance(8 * time.Second)
-	if n, err := c.Heartbeat(); err != nil || n != 1 {
+	if n, err := c.Heartbeat(bg); err != nil || n != 1 {
 		t.Fatalf("Heartbeat = %d, %v", n, err)
 	}
 	clk.Advance(8 * time.Second)
-	ok, _, _ = c.Exists("/locks/file1")
+	ok, _, _ = c.Exists(bg, "/locks/file1")
 	if !ok {
 		t.Fatal("node expired despite heartbeat")
 	}
 	// Without heartbeats it expires (the crashed-client scenario that
 	// motivates ephemeral locks in the paper).
 	clk.Advance(11 * time.Second)
-	ok, _, _ = c.Exists("/locks/file1")
+	ok, _, _ = c.Exists(bg, "/locks/file1")
 	if ok {
 		t.Fatal("ephemeral node survived session expiry")
 	}
-	if n, err := c.Clean(); err != nil || n != 1 {
+	if n, err := c.Clean(bg); err != nil || n != 1 {
 		t.Fatalf("Clean = %d, %v", n, err)
 	}
 }
@@ -191,7 +194,7 @@ func TestEphemeralNodesExpireWithoutHeartbeat(t *testing.T) {
 func TestSnapshotRestore(t *testing.T) {
 	c, tree, _ := newLocal("s1")
 	for _, p := range []string{"/a", "/a/b", "/c"} {
-		if _, err := c.Create(p, []byte(p)); err != nil {
+		if _, err := c.Create(bg, p, []byte(p)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -214,7 +217,7 @@ func TestMalformedCommand(t *testing.T) {
 		t.Fatal("no reply for malformed command")
 	}
 	c, _, _ := newLocal("s1")
-	if err := c.Delete("/", AnyVersion); !errors.Is(err, ErrMalformed) {
+	if err := c.Delete(bg, "/", AnyVersion); !errors.Is(err, ErrMalformed) {
 		t.Fatalf("delete root err = %v, want ErrMalformed", err)
 	}
 }
@@ -241,15 +244,15 @@ func TestReplicatedZookeeperLikeService(t *testing.T) {
 	}()
 
 	cli := NewClient(smr.NewClient("agent", cfg, net), "agent", clock.Real())
-	if _, err := cli.Create("/scfs", nil); err != nil {
+	if _, err := cli.Create(bg, "/scfs", nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cli.Create("/scfs/metadata", []byte("m")); err != nil {
+	if _, err := cli.Create(bg, "/scfs/metadata", []byte("m")); err != nil {
 		t.Fatal(err)
 	}
 	// One follower crashes; the service keeps working.
 	net.Disconnect(2)
-	data, _, err := cli.Get("/scfs/metadata")
+	data, _, err := cli.Get(bg, "/scfs/metadata")
 	if err != nil {
 		t.Fatal(err)
 	}

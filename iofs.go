@@ -1,0 +1,266 @@
+package scfs
+
+import (
+	"context"
+	"io"
+	"io/fs"
+	"path"
+	"time"
+
+	"scfs/internal/fsapi"
+)
+
+// IOFS adapts the mount to the standard io/fs interfaces. The returned
+// file system implements fs.FS, fs.ReadDirFS and fs.StatFS, its regular
+// files additionally implement io.ReaderAt and io.Seeker, and its
+// directories implement fs.ReadDirFile — enough for fs.WalkDir,
+// testing/fstest.TestFS and http.FileServer (via http.FS) to work against a
+// cloud-backed mount.
+//
+// The ctx is captured by the adapter and bounds every operation performed
+// through it (the io/fs method set has no context parameters): serving an
+// HTTP request from a mount, pass the request context and the transfer is
+// cancelled when the client goes away.
+//
+// io/fs names are unrooted ("docs/report.txt", "." for the root); the
+// adapter maps them onto the mount's absolute paths.
+func (m *FS) IOFS(ctx context.Context) fs.FS {
+	return &ioFS{ctx: ctx, m: m}
+}
+
+// ioFS is the io/fs adapter over a mount.
+type ioFS struct {
+	ctx context.Context
+	m   *FS
+}
+
+var (
+	_ fs.FS        = (*ioFS)(nil)
+	_ fs.ReadDirFS = (*ioFS)(nil)
+	_ fs.StatFS    = (*ioFS)(nil)
+)
+
+// mountPath converts an io/fs name to an absolute mount path.
+func mountPath(name string) (string, bool) {
+	if !fs.ValidPath(name) {
+		return "", false
+	}
+	if name == "." {
+		return "/", true
+	}
+	return "/" + name, true
+}
+
+// Open implements fs.FS.
+func (f *ioFS) Open(name string) (fs.File, error) {
+	p, ok := mountPath(name)
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrInvalid}
+	}
+	info, err := f.m.Stat(f.ctx, p)
+	if err != nil {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: err}
+	}
+	if info.IsDir() {
+		entries, err := f.m.ReadDir(f.ctx, p)
+		if err != nil {
+			return nil, &fs.PathError{Op: "open", Path: name, Err: err}
+		}
+		return &ioDir{name: name, info: info, entries: entries}, nil
+	}
+	h, err := f.m.Open(f.ctx, p, fsapi.ReadOnly)
+	if err != nil {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: err}
+	}
+	return &ioFile{ctx: f.ctx, name: name, h: h, size: info.Size}, nil
+}
+
+// ReadDir implements fs.ReadDirFS.
+func (f *ioFS) ReadDir(name string) ([]fs.DirEntry, error) {
+	p, ok := mountPath(name)
+	if !ok {
+		return nil, &fs.PathError{Op: "readdir", Path: name, Err: fs.ErrInvalid}
+	}
+	infos, err := f.m.ReadDir(f.ctx, p)
+	if err != nil {
+		return nil, &fs.PathError{Op: "readdir", Path: name, Err: err}
+	}
+	entries := make([]fs.DirEntry, len(infos))
+	for i, fi := range infos {
+		entries[i] = fs.FileInfoToDirEntry(ioInfo{fi: fi})
+	}
+	return entries, nil
+}
+
+// Stat implements fs.StatFS.
+func (f *ioFS) Stat(name string) (fs.FileInfo, error) {
+	p, ok := mountPath(name)
+	if !ok {
+		return nil, &fs.PathError{Op: "stat", Path: name, Err: fs.ErrInvalid}
+	}
+	info, err := f.m.Stat(f.ctx, p)
+	if err != nil {
+		return nil, &fs.PathError{Op: "stat", Path: name, Err: err}
+	}
+	return ioInfo{fi: info}, nil
+}
+
+// ioInfo adapts fsapi.FileInfo to fs.FileInfo.
+type ioInfo struct {
+	fi fsapi.FileInfo
+}
+
+var _ fs.FileInfo = ioInfo{}
+
+// Name implements fs.FileInfo.
+func (i ioInfo) Name() string {
+	if i.fi.Path == "/" || i.fi.Path == "" {
+		return "."
+	}
+	return path.Base(i.fi.Path)
+}
+
+// Size implements fs.FileInfo.
+func (i ioInfo) Size() int64 { return i.fi.Size }
+
+// Mode implements fs.FileInfo.
+func (i ioInfo) Mode() fs.FileMode {
+	switch i.fi.Type {
+	case fsapi.TypeDir:
+		return fs.ModeDir | 0o755
+	case fsapi.TypeSymlink:
+		return fs.ModeSymlink | 0o644
+	default:
+		return 0o644
+	}
+}
+
+// ModTime implements fs.FileInfo.
+func (i ioInfo) ModTime() time.Time { return i.fi.ModTime }
+
+// IsDir implements fs.FileInfo.
+func (i ioInfo) IsDir() bool { return i.fi.IsDir() }
+
+// Sys implements fs.FileInfo: the underlying fsapi.FileInfo (owner, sharing
+// status).
+func (i ioInfo) Sys() any { return i.fi }
+
+// ioFile is an open regular file.
+type ioFile struct {
+	ctx  context.Context
+	name string
+	h    fsapi.Handle
+	size int64
+	off  int64
+}
+
+var (
+	_ fs.File     = (*ioFile)(nil)
+	_ io.ReaderAt = (*ioFile)(nil)
+	_ io.Seeker   = (*ioFile)(nil)
+)
+
+// Stat implements fs.File.
+func (f *ioFile) Stat() (fs.FileInfo, error) {
+	info, err := f.h.Stat(f.ctx)
+	if err != nil {
+		return nil, &fs.PathError{Op: "stat", Path: f.name, Err: err}
+	}
+	return ioInfo{fi: info}, nil
+}
+
+// Read implements fs.File.
+func (f *ioFile) Read(p []byte) (int, error) {
+	n, err := f.h.ReadAt(f.ctx, p, f.off)
+	f.off += int64(n)
+	if err == io.EOF {
+		if n > 0 {
+			return n, nil
+		}
+		return 0, io.EOF
+	}
+	if err != nil {
+		return n, &fs.PathError{Op: "read", Path: f.name, Err: err}
+	}
+	return n, nil
+}
+
+// ReadAt implements io.ReaderAt.
+func (f *ioFile) ReadAt(p []byte, off int64) (int, error) {
+	n, err := f.h.ReadAt(f.ctx, p, off)
+	if err != nil && err != io.EOF {
+		return n, &fs.PathError{Op: "read", Path: f.name, Err: err}
+	}
+	return n, err
+}
+
+// Seek implements io.Seeker (http.FS needs it to serve ranges and sniff
+// content types).
+func (f *ioFile) Seek(offset int64, whence int) (int64, error) {
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = f.off
+	case io.SeekEnd:
+		base = f.size
+	default:
+		return 0, &fs.PathError{Op: "seek", Path: f.name, Err: fs.ErrInvalid}
+	}
+	if base+offset < 0 {
+		return 0, &fs.PathError{Op: "seek", Path: f.name, Err: fs.ErrInvalid}
+	}
+	f.off = base + offset
+	return f.off, nil
+}
+
+// Close implements fs.File.
+func (f *ioFile) Close() error { return f.h.Close(f.ctx) }
+
+// ioDir is an open directory; its entries are materialized at open time.
+type ioDir struct {
+	name    string
+	info    fsapi.FileInfo
+	entries []fsapi.FileInfo
+	pos     int
+}
+
+var _ fs.ReadDirFile = (*ioDir)(nil)
+
+// Stat implements fs.File.
+func (d *ioDir) Stat() (fs.FileInfo, error) { return ioInfo{fi: d.info}, nil }
+
+// Read implements fs.File (reading a directory is an error, like os.File).
+func (d *ioDir) Read([]byte) (int, error) {
+	return 0, &fs.PathError{Op: "read", Path: d.name, Err: fsapi.ErrIsDir}
+}
+
+// Close implements fs.File.
+func (d *ioDir) Close() error { return nil }
+
+// ReadDir implements fs.ReadDirFile with the usual paging semantics: n <= 0
+// returns all remaining entries, n > 0 returns at most n and io.EOF once
+// exhausted.
+func (d *ioDir) ReadDir(n int) ([]fs.DirEntry, error) {
+	remaining := len(d.entries) - d.pos
+	if n <= 0 {
+		out := make([]fs.DirEntry, 0, remaining)
+		for ; d.pos < len(d.entries); d.pos++ {
+			out = append(out, fs.FileInfoToDirEntry(ioInfo{fi: d.entries[d.pos]}))
+		}
+		return out, nil
+	}
+	if remaining == 0 {
+		return nil, io.EOF
+	}
+	if n > remaining {
+		n = remaining
+	}
+	out := make([]fs.DirEntry, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, fs.FileInfoToDirEntry(ioInfo{fi: d.entries[d.pos]}))
+		d.pos++
+	}
+	return out, nil
+}

@@ -1,0 +1,170 @@
+package scfs
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"scfs/internal/cloudsim"
+	"scfs/internal/coord"
+	"scfs/internal/core"
+	"scfs/internal/depsky"
+	"scfs/internal/depspace"
+	"scfs/internal/storage"
+)
+
+// Option configures a mount created by New.
+type Option func(*config)
+
+// config collects the functional options before build assembles the stack.
+type config struct {
+	user   string
+	mode   Mode
+	f      int
+	gc     GCPolicy
+	usePNS bool
+
+	clouds       []ObjectStore
+	simLatency   float64
+	coordination coord.Service
+
+	memCacheBytes   int64
+	diskCacheBytes  int64
+	diskCacheDir    string
+	metadataTTL     time.Duration
+	streamThreshold int64
+	lockTTL         time.Duration
+}
+
+func defaultConfig() config {
+	return config{
+		user:            "user",
+		mode:            Blocking,
+		f:               1,
+		simLatency:      0,
+		streamThreshold: 0, // 0 = core default (1 MiB)
+	}
+}
+
+// WithUser sets the SCFS principal mounting the file system (default
+// "user").
+func WithUser(user string) Option { return func(c *config) { c.user = user } }
+
+// WithMode selects blocking, non-blocking or non-sharing operation (default
+// Blocking).
+func WithMode(mode Mode) Option { return func(c *config) { c.mode = mode } }
+
+// WithClouds mounts over the given object stores instead of simulated
+// providers. One store selects the single-cloud backend; 3f+1 or more select
+// the DepSky cloud-of-clouds.
+func WithClouds(stores ...ObjectStore) Option {
+	return func(c *config) { c.clouds = append([]ObjectStore(nil), stores...) }
+}
+
+// WithFaultTolerance sets f, the number of arbitrarily faulty clouds the
+// cloud-of-clouds tolerates (default 1, requiring 3f+1 clouds).
+func WithFaultTolerance(f int) Option { return func(c *config) { c.f = f } }
+
+// WithSimulatedLatency scales the simulated providers' network latency:
+// 0 (the default) mounts instant in-process clouds, 1.0 reproduces the
+// paper's measured RTT magnitudes. Ignored when WithClouds is used.
+func WithSimulatedLatency(scale float64) Option { return func(c *config) { c.simLatency = scale } }
+
+// WithCoordination replaces the default in-process DepSpace coordination
+// service (ignored in NonSharing mode, which uses none).
+func WithCoordination(svc coord.Service) Option { return func(c *config) { c.coordination = svc } }
+
+// WithGC configures the multi-version garbage collector.
+func WithGC(policy GCPolicy) Option { return func(c *config) { c.gc = policy } }
+
+// WithPrivateNameSpaces keeps the metadata of non-shared files in the user's
+// private name space (§2.7 of the paper) instead of the coordination
+// service.
+func WithPrivateNameSpaces() Option { return func(c *config) { c.usePNS = true } }
+
+// WithMemoryCache bounds the in-memory cache of open files.
+func WithMemoryCache(bytes int64) Option { return func(c *config) { c.memCacheBytes = bytes } }
+
+// WithDiskCache places the local disk cache in dir with the given size
+// bound. An empty dir uses a temporary directory.
+func WithDiskCache(dir string, bytes int64) Option {
+	return func(c *config) { c.diskCacheDir, c.diskCacheBytes = dir, bytes }
+}
+
+// WithMetadataCacheTTL sets the expiry of the short-lived metadata cache
+// (0 disables it; the paper's experiments use 500ms).
+func WithMetadataCacheTTL(ttl time.Duration) Option { return func(c *config) { c.metadataTTL = ttl } }
+
+// WithStreamThreshold sets the size above which file data moves through the
+// streaming data plane (ranged reads, chunked uploads). Negative disables
+// streaming; 0 keeps the default (1 MiB).
+func WithStreamThreshold(bytes int64) Option { return func(c *config) { c.streamThreshold = bytes } }
+
+// WithLockTTL sets the lease attached to ephemeral write locks.
+func WithLockTTL(ttl time.Duration) Option { return func(c *config) { c.lockTTL = ttl } }
+
+// build assembles the provider, coordination and storage stack and mounts
+// the agent.
+func (c *config) build(ctx context.Context) (*core.Agent, error) {
+	if c.f < 1 {
+		c.f = 1
+	}
+	clouds := c.clouds
+	if len(clouds) == 0 {
+		// Fully simulated deployment: the paper's four-cloud setup, extended
+		// with additional generic providers when f > 1 asks for more than
+		// 3*1+1 clouds.
+		for _, p := range cloudsim.NewCoCProviders(c.simLatency, nil, 1) {
+			clouds = append(clouds, p.MustClient(p.CreateAccount(c.user)))
+		}
+		for i := len(clouds); i < 3*c.f+1; i++ {
+			p := cloudsim.NewProviderKind(cloudsim.ProviderKind(fmt.Sprintf("sim-extra-%d", i)), c.simLatency, nil, int64(i))
+			clouds = append(clouds, p.MustClient(p.CreateAccount(c.user)))
+		}
+	}
+
+	var (
+		store storage.VersionedStore
+		pns   storage.PNSStore
+	)
+	switch {
+	case len(clouds) == 1:
+		sc, err := storage.NewSingleCloud(clouds[0], true)
+		if err != nil {
+			return nil, fmt.Errorf("scfs: building single-cloud backend: %w", err)
+		}
+		store = sc
+		pns = storage.NewSingleCloudPNS(clouds[0])
+	case len(clouds) >= 3*c.f+1:
+		mgr, err := depsky.New(depsky.Options{Clouds: clouds, F: c.f})
+		if err != nil {
+			return nil, fmt.Errorf("scfs: building cloud-of-clouds backend: %w", err)
+		}
+		store = storage.NewCloudOfClouds(mgr)
+		pns = storage.NewCoCPNS(mgr)
+	default:
+		return nil, fmt.Errorf("scfs: need 1 cloud or at least %d (3f+1 with f=%d), have %d", 3*c.f+1, c.f, len(clouds))
+	}
+
+	coordination := c.coordination
+	if coordination == nil && c.mode != NonSharing {
+		coordination = coord.NewDepSpaceService(
+			depspace.NewClient(&depspace.LocalInvoker{Space: depspace.NewSpace()}, c.user, nil))
+	}
+
+	return core.New(ctx, core.Options{
+		User:                 c.user,
+		Mode:                 c.mode,
+		Coordination:         coordination,
+		Storage:              store,
+		PNSStorage:           pns,
+		UsePNS:               c.usePNS,
+		GC:                   c.gc,
+		MemoryCacheBytes:     c.memCacheBytes,
+		DiskCacheDir:         c.diskCacheDir,
+		DiskCacheBytes:       c.diskCacheBytes,
+		MetadataCacheTTL:     c.metadataTTL,
+		StreamThresholdBytes: c.streamThreshold,
+		LockTTL:              c.lockTTL,
+	})
+}

@@ -1,0 +1,226 @@
+// Package scfs is the public facade of the SCFS shared cloud-backed file
+// system (Bessani et al., USENIX ATC'14): a POSIX-like file system whose
+// data lives in a cloud-of-clouds, surviving f arbitrarily faulty providers,
+// with strong consistency anchored in a fault-tolerant coordination service.
+//
+// It is the only package a user needs to import. A mount is created with
+// functional options and used with context-first operations:
+//
+//	mount, err := scfs.New(ctx, scfs.WithMode(scfs.Blocking))
+//	if err != nil { ... }
+//	defer mount.Close(context.Background())
+//
+//	if err := scfs.WriteFile(ctx, mount, "/docs/report.txt", data); err != nil { ... }
+//	data, err := scfs.ReadFile(ctx, mount, "/docs/report.txt")
+//
+// Every operation takes a context.Context that bounds that call: cancelling
+// it aborts the quorum fan-out down to the individual per-cloud RPCs and
+// returns ctx.Err() promptly, even when one cloud is a multi-second
+// straggler. The losers of a quorum race are cancelled the moment the quorum
+// verdict is known, so a cancelled (or simply completed) operation leaves no
+// redundant RPCs running.
+//
+// For interoperability with the standard library, IOFS adapts a mount to
+// io/fs: fs.WalkDir, testing/fstest.TestFS and http.FileServer (via http.FS)
+// all work against it.
+package scfs
+
+import (
+	"context"
+	"io"
+
+	"scfs/internal/cloud"
+	"scfs/internal/core"
+	"scfs/internal/fsapi"
+)
+
+// Re-exported types: the facade is intentionally a thin skin over the
+// internal layers, so the types flowing through it are aliases, not copies.
+type (
+	// FileInfo describes a namespace entry.
+	FileInfo = fsapi.FileInfo
+	// FileType distinguishes files, directories and symlinks.
+	FileType = fsapi.FileType
+	// OpenFlag mirrors the subset of POSIX open(2) flags SCFS supports.
+	OpenFlag = fsapi.OpenFlag
+	// Permission is what an ACL entry grants.
+	Permission = fsapi.Permission
+	// ACLEntry grants a permission to a user.
+	ACLEntry = fsapi.ACLEntry
+	// Handle is an open file.
+	Handle = fsapi.Handle
+	// Mode selects the consistency/durability tradeoff of the mount.
+	Mode = core.Mode
+	// GCPolicy configures the multi-version garbage collector.
+	GCPolicy = core.GCPolicy
+	// Stats aggregates the mount's activity counters.
+	Stats = core.Stats
+	// ObjectStore is the per-account client view of one cloud provider;
+	// custom backends implement it and are mounted with WithClouds.
+	ObjectStore = cloud.ObjectStore
+)
+
+// Open flags.
+const (
+	ReadOnly  = fsapi.ReadOnly
+	WriteOnly = fsapi.WriteOnly
+	ReadWrite = fsapi.ReadWrite
+	Create    = fsapi.Create
+	Truncate  = fsapi.Truncate
+	Exclusive = fsapi.Exclusive
+)
+
+// Modes of operation (§3.1 of the paper).
+const (
+	// Blocking waits for data and metadata to be safely in the cloud(s)
+	// before Close returns.
+	Blocking = core.Blocking
+	// NonBlocking returns from Close once the data is locally durable and
+	// queued for upload.
+	NonBlocking = core.NonBlocking
+	// NonSharing dispenses with the coordination service entirely.
+	NonSharing = core.NonSharing
+)
+
+// ACL permissions.
+const (
+	PermNone      = fsapi.PermNone
+	PermRead      = fsapi.PermRead
+	PermReadWrite = fsapi.PermReadWrite
+)
+
+// File types.
+const (
+	TypeFile    = fsapi.TypeFile
+	TypeDir     = fsapi.TypeDir
+	TypeSymlink = fsapi.TypeSymlink
+)
+
+// Sentinel errors. They wrap their io/fs counterparts, so
+// errors.Is(err, fs.ErrNotExist) and friends work too.
+var (
+	ErrNotExist   = fsapi.ErrNotExist
+	ErrExist      = fsapi.ErrExist
+	ErrIsDir      = fsapi.ErrIsDir
+	ErrNotDir     = fsapi.ErrNotDir
+	ErrNotEmpty   = fsapi.ErrNotEmpty
+	ErrPermission = fsapi.ErrPermission
+	ErrLocked     = fsapi.ErrLocked
+	ErrReadOnly   = fsapi.ErrReadOnly
+	ErrClosed     = fsapi.ErrClosed
+	ErrInvalid    = fsapi.ErrInvalid
+)
+
+// FS is a mounted SCFS file system. It wraps the SCFS agent (the client-side
+// component the paper runs under FUSE) together with the backend stack the
+// options assembled: simulated or caller-provided clouds, a coordination
+// service, and the DepSky cloud-of-clouds dispersal. All methods are safe
+// for concurrent use.
+type FS struct {
+	agent *core.Agent
+}
+
+var _ fsapi.FileSystem = (*FS)(nil)
+
+// New mounts an SCFS file system. With no options it assembles a fully
+// simulated deployment: four in-process cloud providers (tolerating f=1
+// faulty), an in-process DepSpace coordination service, and the DepSky-CA
+// dispersal protocol — useful for tests, examples and experimentation. Use
+// WithClouds to mount over real (or differently simulated) providers.
+//
+// ctx bounds the mount itself; the mounted file system outlives it and runs
+// until Close / Unmount.
+func New(ctx context.Context, opts ...Option) (*FS, error) {
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	agent, err := cfg.build(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &FS{agent: agent}, nil
+}
+
+// Agent exposes the underlying SCFS agent for advanced use (stats,
+// garbage-collection control, durability introspection).
+func (m *FS) Agent() *core.Agent { return m.agent }
+
+// Stats returns a snapshot of the mount's activity counters.
+func (m *FS) Stats() Stats { return m.agent.Stats() }
+
+// Open opens (or with Create, creates) a file.
+func (m *FS) Open(ctx context.Context, path string, flags OpenFlag) (Handle, error) {
+	return m.agent.Open(ctx, path, flags)
+}
+
+// Mkdir creates a directory (parents must exist).
+func (m *FS) Mkdir(ctx context.Context, path string) error { return m.agent.Mkdir(ctx, path) }
+
+// Rmdir removes an empty directory.
+func (m *FS) Rmdir(ctx context.Context, path string) error { return m.agent.Rmdir(ctx, path) }
+
+// Unlink removes a file (its versions are reclaimed by the garbage
+// collector).
+func (m *FS) Unlink(ctx context.Context, path string) error { return m.agent.Unlink(ctx, path) }
+
+// Rename moves a file or directory (and its subtree).
+func (m *FS) Rename(ctx context.Context, oldPath, newPath string) error {
+	return m.agent.Rename(ctx, oldPath, newPath)
+}
+
+// Stat returns metadata for a path.
+func (m *FS) Stat(ctx context.Context, path string) (FileInfo, error) {
+	return m.agent.Stat(ctx, path)
+}
+
+// ReadDir lists a directory.
+func (m *FS) ReadDir(ctx context.Context, path string) ([]FileInfo, error) {
+	return m.agent.ReadDir(ctx, path)
+}
+
+// SetFacl grants or revokes a user's permission on a path.
+func (m *FS) SetFacl(ctx context.Context, path, user string, perm Permission) error {
+	return m.agent.SetFacl(ctx, path, user, perm)
+}
+
+// GetFacl returns the ACL entries of a path.
+func (m *FS) GetFacl(ctx context.Context, path string) ([]ACLEntry, error) {
+	return m.agent.GetFacl(ctx, path)
+}
+
+// Unmount flushes all state and releases resources. Cancelling ctx forces
+// the unmount, aborting pending background uploads.
+func (m *FS) Unmount(ctx context.Context) error { return m.agent.Unmount(ctx) }
+
+// Close is Unmount, under the name Go readers expect on a resource.
+func (m *FS) Close(ctx context.Context) error { return m.agent.Unmount(ctx) }
+
+// WaitForUploads blocks until the background uploads queued so far have been
+// processed (non-blocking and non-sharing modes), or until ctx is done.
+func (m *FS) WaitForUploads(ctx context.Context) error { return m.agent.WaitForUploads(ctx) }
+
+// Collect runs one synchronous garbage-collection pass.
+func (m *FS) Collect(ctx context.Context) (core.GCReport, error) { return m.agent.Collect(ctx) }
+
+// ReadFile opens path, reads it fully and closes it.
+func ReadFile(ctx context.Context, m *FS, path string) ([]byte, error) {
+	return fsapi.ReadFile(ctx, m.agent, path)
+}
+
+// WriteFile creates (or truncates) path with the given contents.
+func WriteFile(ctx context.Context, m *FS, path string, data []byte) error {
+	return fsapi.WriteFile(ctx, m.agent, path, data)
+}
+
+// WriteFileFrom streams r into path with bounded memory and returns how many
+// bytes were written.
+func WriteFileFrom(ctx context.Context, m *FS, path string, r io.Reader) (int64, error) {
+	return fsapi.WriteFileFrom(ctx, m.agent, path, r)
+}
+
+// ReadFileTo streams the contents of path into w and returns how many bytes
+// were copied.
+func ReadFileTo(ctx context.Context, m *FS, path string, w io.Writer) (int64, error) {
+	return fsapi.ReadFileTo(ctx, m.agent, path, w)
+}
