@@ -20,13 +20,14 @@ BEGIN { print "{"; printf "  \"captured\": \"%s\",\n  \"go\": \"%s\",\n  \"bench
 /^Benchmark/ {
 	name = $1; sub(/-[0-9]+$/, "", name)
 	iters = $2
-	ns = ""; mbs = ""; bop = ""; allocs = ""; cloudb = ""
+	ns = ""; mbs = ""; bop = ""; allocs = ""; cloudb = ""; cloudreq = ""
 	for (i = 2; i <= NF; i++) {
 		if ($i == "ns/op") ns = $(i-1)
 		if ($i == "MB/s") mbs = $(i-1)
 		if ($i == "B/op") bop = $(i-1)
 		if ($i == "allocs/op") allocs = $(i-1)
 		if ($i == "cloudB/op") cloudb = $(i-1)
+		if ($i == "cloudReq/op") cloudreq = $(i-1)
 	}
 	if (ns == "") next
 	if (n++) printf ","
@@ -35,6 +36,7 @@ BEGIN { print "{"; printf "  \"captured\": \"%s\",\n  \"go\": \"%s\",\n  \"bench
 	if (bop != "") printf ", \"b_op\": %s", bop
 	if (allocs != "") printf ", \"allocs_op\": %s", allocs
 	if (cloudb != "") printf ", \"cloud_b_op\": %s", cloudb
+	if (cloudreq != "") printf ", \"cloud_req_op\": %s", cloudreq
 	printf "}"
 }
 END { print "\n  }\n}" }

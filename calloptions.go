@@ -1,0 +1,136 @@
+package scfs
+
+// Call-scoped I/O policy. A mount-wide Options struct cannot say "this read
+// is a latency-critical point lookup" or "this read is a bulk sequential
+// scan" — the policy has to travel with the call. CallOptions compose an
+// IOPolicy that is carried by the operation's context through every layer
+// (facade → fs API → agent → quorum engine → per-cloud RPCs):
+//
+//	// Hedged point read: contact the fastest quorum only, the straggler
+//	// cloud only if the 95th latency percentile elapses first.
+//	data, err := scfs.ReadFile(ctx, mount, "/idx/key", scfs.WithHedge(0.95))
+//
+//	// Bulk scan: prefetch up to 4 chunks ahead of the consumer.
+//	_, err = scfs.ReadFileTo(ctx, mount, "/logs/big.bin", w, scfs.WithReadahead(4))
+//
+// For APIs whose signatures cannot carry options (io/fs via IOFS, or the
+// fsapi.Handle methods), WithPolicy stamps the policy directly onto a
+// context.
+
+import (
+	"context"
+	"time"
+
+	"scfs/internal/iopolicy"
+)
+
+type (
+	// IOPolicy is the per-operation I/O policy assembled from CallOptions.
+	// Its zero value reproduces the default behaviour: immediate full
+	// fan-out to every cloud, no readahead.
+	IOPolicy = iopolicy.Policy
+	// HedgePolicy configures hedged reads (see WithHedge).
+	HedgePolicy = iopolicy.Hedge
+	// ReadPreference orders the clouds a read contacts first (see
+	// WithReadPreference).
+	ReadPreference = iopolicy.Preference
+	// IOLimits bounds the extra work a policy may spend (see WithLimits).
+	IOLimits = iopolicy.Limits
+)
+
+// CallOption tunes the I/O policy of a single operation. Pass CallOptions
+// to the variadic facade methods (Open, ReadFile, ...) or bind them to a
+// context with WithPolicy.
+type CallOption func(*IOPolicy)
+
+// WithHedge makes the operation's quorum reads hedged: each fan-out
+// contacts only the preferred quorum of clouds immediately and defers the
+// redundant requests until the given percentile (0 < p <= 1, e.g. 0.95) of
+// the preferred clouds' tracked latency has elapsed — or a preferred cloud
+// fails, whichever comes first. In the common case the extra RPCs are never
+// issued, cutting per-request fees and egress while keeping the tail-latency
+// protection: a stalling cloud is hedged around after the delay.
+//
+// With no latency observations yet the hedge fires immediately, degrading
+// gracefully to the full fan-out. Combine with WithHedgeDelayBounds to
+// clamp the tracked delay.
+func WithHedge(percentile float64) CallOption {
+	return func(p *IOPolicy) {
+		p.Hedge.Percentile = percentile
+		if p.Preference.IsZero() {
+			p.Preference = ReadPreference{Fastest: true}
+		}
+	}
+}
+
+// WithHedgeDelayBounds clamps the tracked hedge delay of WithHedge to
+// [min, max]; max of 0 leaves the delay uncapped. Use it to bound how long
+// an operation may wait on a preferred set whose tracked percentile is
+// stale or pathological.
+func WithHedgeDelayBounds(min, max time.Duration) CallOption {
+	return func(p *IOPolicy) {
+		p.Hedge.MinDelay = min
+		p.Hedge.MaxDelay = max
+	}
+}
+
+// WithReadahead gives sequential reads of the operation's files an n-chunk
+// prefetch pipeline: while one chunk is being consumed, up to n upcoming
+// chunks are fetched and decoded in the background, overlapping network and
+// decode latency with consumption. The window ramps up only while the
+// access pattern stays sequential and collapses on the first seek, so the
+// option is safe to set on handles that may also read randomly. It takes
+// effect at open time (Open, ReadFile, ReadFileTo, or a WithPolicy context
+// passed to IOFS).
+func WithReadahead(chunks int) CallOption {
+	return func(p *IOPolicy) { p.Readahead = chunks }
+}
+
+// WithReadPreference orders the clouds the operation's reads contact first.
+// PreferFastest ranks them by tracked latency; PreferClouds pins an
+// explicit order (e.g. to keep egress at a contractual provider).
+func WithReadPreference(pref ReadPreference) CallOption {
+	return func(p *IOPolicy) { p.Preference = pref }
+}
+
+// PreferFastest ranks clouds by their tracked latency, fastest first.
+func PreferFastest() ReadPreference { return ReadPreference{Fastest: true} }
+
+// PreferClouds pins an explicit cloud order by index (the order the stores
+// were passed to WithClouds); unlisted clouds rank after the listed ones.
+func PreferClouds(order ...int) ReadPreference { return ReadPreference{Order: order} }
+
+// WithLimits bounds the extra work the operation's policy may spend: the
+// number of concurrently in-flight prefetch chunks, and how many extra
+// clouds a hedge firing may contact at once.
+func WithLimits(limits IOLimits) CallOption {
+	return func(p *IOPolicy) { p.Limits = limits }
+}
+
+// WithPolicy returns a context carrying the I/O policy assembled from the
+// options. Every SCFS operation run under the returned context — including
+// reads through the io/fs adapter (IOFS) and through already-open handles —
+// applies the policy; per-operation options passed to variadic facade
+// methods are overlaid on top of it.
+func WithPolicy(ctx context.Context, opts ...CallOption) context.Context {
+	base, _ := iopolicy.FromContext(ctx)
+	return iopolicy.With(ctx, applyCallOptions(base, opts))
+}
+
+// applyCallOptions folds opts over base.
+func applyCallOptions(base IOPolicy, opts []CallOption) IOPolicy {
+	for _, opt := range opts {
+		opt(&base)
+	}
+	return base
+}
+
+// callCtx stamps the per-call options (overlaid on any policy ctx already
+// carries) onto the context handed to the layers below. With no options the
+// context is returned unchanged.
+func callCtx(ctx context.Context, opts []CallOption) context.Context {
+	if len(opts) == 0 {
+		return ctx
+	}
+	return WithPolicy(ctx, opts...)
+}

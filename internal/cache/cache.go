@@ -13,6 +13,7 @@ import (
 	"container/list"
 	"encoding/base64"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -166,7 +167,11 @@ type Disk struct {
 	// lastUse orders keys for eviction.
 	lastUse map[string]time.Time
 	sizes   map[string]int64
-	seq     int64
+	// pins counts outstanding Pin calls per key; pinned entries are never
+	// evicted by the byte budget (the background uploader pins the dirty
+	// versions it streams out of the cache until they reach the cloud).
+	pins map[string]int
+	seq  int64
 
 	hits, misses int64
 }
@@ -180,7 +185,7 @@ func NewDisk(dir string, capacity int64) (*Disk, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cache: creating disk cache dir: %w", err)
 	}
-	d := &Disk{dir: dir, capacity: capacity, lastUse: make(map[string]time.Time), sizes: make(map[string]int64)}
+	d := &Disk{dir: dir, capacity: capacity, lastUse: make(map[string]time.Time), sizes: make(map[string]int64), pins: make(map[string]int)}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("cache: scanning disk cache dir: %w", err)
@@ -254,12 +259,35 @@ func (d *Disk) Get(key string) ([]byte, bool) {
 }
 
 // Put writes a file to the cache, evicting the least recently used entries to
-// respect the byte budget.
+// respect the byte budget. The file is written to a temporary name and
+// renamed into place: a same-key rewrite replaces the entry atomically, so
+// a concurrent streaming reader of the old entry (the background uploader
+// holds Open()'d pinned entries while it drains its queue) keeps reading
+// the complete old bytes from its inode instead of observing an in-place
+// truncation.
 func (d *Disk) Put(key string, value []byte) error {
 	if int64(len(value)) > d.capacity {
 		return nil // larger than the whole cache: skip silently
 	}
-	if err := os.WriteFile(d.path(key), value, 0o644); err != nil {
+	tmp, err := os.CreateTemp(d.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("cache: writing disk cache entry: %w", err)
+	}
+	if _, err := tmp.Write(value); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: writing disk cache entry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: writing disk cache entry: %w", err)
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("cache: writing disk cache entry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), d.path(key)); err != nil {
+		os.Remove(tmp.Name())
 		return fmt.Errorf("cache: writing disk cache entry: %w", err)
 	}
 	d.mu.Lock()
@@ -275,7 +303,7 @@ func (d *Disk) Put(key string, value []byte) error {
 		oldestKey := ""
 		var oldest time.Time
 		for k, t := range d.lastUse {
-			if k == key {
+			if k == key || d.pins[k] > 0 {
 				continue
 			}
 			if oldestKey == "" || t.Before(oldest) {
@@ -304,9 +332,65 @@ func (d *Disk) Remove(key string) {
 		d.used -= sz
 		delete(d.sizes, key)
 		delete(d.lastUse, key)
+		delete(d.pins, key)
 	}
 	d.mu.Unlock()
 	_ = os.Remove(d.path(key))
+}
+
+// Pin marks a cached entry as non-evictable and reports whether the entry
+// is present (an absent key is not pinned). Pins nest: each Pin needs a
+// matching Unpin. The background uploader pins the dirty version it is
+// about to stream to the cloud so the byte budget cannot evict it while it
+// waits in the upload queue.
+func (d *Disk) Pin(key string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.sizes[key]; !ok {
+		return false
+	}
+	d.pins[key]++
+	return true
+}
+
+// Unpin releases one Pin on key.
+func (d *Disk) Unpin(key string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if n, ok := d.pins[key]; ok {
+		if n <= 1 {
+			delete(d.pins, key)
+		} else {
+			d.pins[key] = n - 1
+		}
+	}
+}
+
+// Open returns a streaming reader over a cached entry together with its
+// size, without loading the contents into memory — the background uploader
+// streams queued dirty files straight from the cache to the cloud. The
+// caller must close the returned file; a concurrent eviction (the entry
+// should be pinned to prevent one) surfaces as a read error, never partial
+// silence, because the file is opened before the entry is re-checked.
+func (d *Disk) Open(key string) (io.ReadSeekCloser, int64, bool) {
+	d.mu.Lock()
+	size, ok := d.sizes[key]
+	if ok {
+		d.hits++
+		d.lastUse[key] = time.Now().Add(time.Duration(d.seq))
+		d.seq++
+	} else {
+		d.misses++
+	}
+	d.mu.Unlock()
+	if !ok {
+		return nil, 0, false
+	}
+	f, err := os.Open(d.path(key))
+	if err != nil {
+		return nil, 0, false
+	}
+	return f, size, true
 }
 
 // Clear drops every cached file.
@@ -318,6 +402,7 @@ func (d *Disk) Clear() {
 	}
 	d.sizes = make(map[string]int64)
 	d.lastUse = make(map[string]time.Time)
+	d.pins = make(map[string]int)
 	d.used = 0
 	d.mu.Unlock()
 	for _, k := range keys {

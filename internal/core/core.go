@@ -64,6 +64,13 @@ type GCPolicy struct {
 	// written by the agent (the paper's W parameter). Zero disables the
 	// automatic trigger (Collect can still be called explicitly).
 	TriggerBytes int64
+	// TriggerObjects starts a collection after this many cloud objects have
+	// been created by the agent's writes. It is the request-fee axis of the
+	// trigger: a chunked (streamed) version creates one object per chunk per
+	// charged cloud, each of which keeps costing per-request fees, so a
+	// chunk-heavy workload can warrant collection long before TriggerBytes
+	// fires. Zero disables it.
+	TriggerObjects int64
 	// KeepVersions is the number of most recent versions preserved per file
 	// (the paper's V parameter). Minimum 1.
 	KeepVersions int
@@ -231,8 +238,9 @@ type Agent struct {
 	pnsVersion uint64
 	closed     bool
 
-	bytesSinceGC int64
-	gcRunning    bool
+	bytesSinceGC   int64
+	objectsSinceGC int64
+	gcRunning      bool
 
 	stats struct {
 		sync.Mutex

@@ -14,19 +14,28 @@ import (
 // set at mount time: the number of written bytes W that triggers a run and
 // the number of versions V to keep per file.
 
-// maybeStartGC launches a background collection when the number of bytes
-// written since the previous run exceeds the configured trigger.
+// maybeStartGC launches a background collection when the bytes written — or
+// the cloud objects created, a proxy for per-request fee pressure — since
+// the previous run exceed the configured triggers. The two triggers weigh
+// the two axes of the cloud cost model: a workload streaming many chunked
+// versions can accumulate thousands of fee-bearing objects while staying
+// under any byte budget.
 func (a *Agent) maybeStartGC() {
-	if a.opts.GC.TriggerBytes <= 0 {
+	byteTrigger := a.opts.GC.TriggerBytes
+	objTrigger := a.opts.GC.TriggerObjects
+	if byteTrigger <= 0 && objTrigger <= 0 {
 		return
 	}
 	a.mu.Lock()
-	if a.closed || a.gcRunning || a.bytesSinceGC < a.opts.GC.TriggerBytes {
+	due := (byteTrigger > 0 && a.bytesSinceGC >= byteTrigger) ||
+		(objTrigger > 0 && a.objectsSinceGC >= objTrigger)
+	if a.closed || a.gcRunning || !due {
 		a.mu.Unlock()
 		return
 	}
 	a.gcRunning = true
 	a.bytesSinceGC = 0
+	a.objectsSinceGC = 0
 	a.mu.Unlock()
 
 	a.addStat(func(s *Stats) { s.GCsTriggered++ })
@@ -51,6 +60,14 @@ type GCReport struct {
 	// FilesPurged is the number of deleted files whose data and metadata
 	// were reclaimed.
 	FilesPurged int
+	// ReclaimedBytes is the cloud storage freed by the run (best-effort
+	// estimate; 0 when the backend cannot attribute bytes).
+	ReclaimedBytes int64
+	// ReclaimedObjects counts the cloud objects removed. Chunked versions
+	// free one object per chunk per charged cloud, so this is the
+	// request-fee axis of the reclaim: fewer surviving objects mean fewer
+	// GET fees per future read and fewer storage-class minimums.
+	ReclaimedObjects int64
 }
 
 // Collect runs one synchronous garbage collection pass over the files owned
@@ -96,7 +113,10 @@ func (a *Agent) Collect(ctx context.Context) (GCReport, error) {
 	}
 
 	// Phase 2: delete the doomed versions from the cloud.
-	report.VersionsDeleted = a.sweepVersions(ctx, doomed)
+	sweep := a.sweepVersions(ctx, doomed)
+	report.VersionsDeleted = sweep.Deleted
+	report.ReclaimedBytes = sweep.ReclaimedBytes
+	report.ReclaimedObjects = sweep.ReclaimedObjects
 
 	// Phase 3: apply the metadata updates.
 	for _, md := range purged {
@@ -116,16 +136,17 @@ func (a *Agent) Collect(ctx context.Context) (GCReport, error) {
 	return report, nil
 }
 
-// sweepVersions deletes the given fileID -> hashes and returns how many
-// versions were removed, preferring the backend's batched sweep.
-func (a *Agent) sweepVersions(ctx context.Context, doomed map[string][]string) int {
+// sweepVersions deletes the given fileID -> hashes and returns what was
+// reclaimed, preferring the backend's batched sweep (which also attributes
+// the freed bytes and objects).
+func (a *Agent) sweepVersions(ctx context.Context, doomed map[string][]string) storage.SweepStats {
 	if len(doomed) == 0 {
-		return 0
+		return storage.SweepStats{}
 	}
 	if sweeper, ok := a.opts.Storage.(storage.VersionSweeper); ok {
 		return sweeper.DeleteVersionsBatch(ctx, doomed)
 	}
-	deleted := 0
+	var stats storage.SweepStats
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	// Bounded fan-out: a namespace-wide sweep can doom thousands of
@@ -141,12 +162,12 @@ func (a *Agent) sweepVersions(ctx context.Context, doomed map[string][]string) i
 				defer func() { <-sem }()
 				if err := a.opts.Storage.DeleteVersion(ctx, fileID, hash); err == nil {
 					mu.Lock()
-					deleted++
+					stats.Deleted++
 					mu.Unlock()
 				}
 			}(fileID, hash)
 		}
 	}
 	wg.Wait()
-	return deleted
+	return stats
 }

@@ -518,8 +518,18 @@ func (h *handle) Close(ctx context.Context) error {
 
 	// Non-blocking / non-sharing: enqueue the upload; the uploader updates
 	// the metadata and releases the lock when the data is in the cloud.
+	// The payload itself is NOT carried by the queue — it was just made
+	// durable in the disk cache, so the task pins that entry and the
+	// uploader streams it back out of the cache. The queue's memory is
+	// thereby bounded by its task structs, not by the dirty file sizes; the
+	// in-memory copy rides along only in the edge case where the disk cache
+	// could not retain the entry (a value larger than the whole cache).
+	task := uploadTask{md: md.Clone(), hash: hash, size: int64(len(data)), unlockPath: ifThen(shouldUnlock, of.path)}
+	if !a.diskCache.Pin(key) {
+		task.fallback = data
+	}
 	a.addStat(func(s *Stats) { s.UploadsQueued++ })
-	a.uploadCh <- uploadTask{md: md.Clone(), hash: hash, data: data, unlockPath: ifThen(shouldUnlock, of.path)}
+	a.uploadCh <- task
 	return nil
 }
 
@@ -536,17 +546,40 @@ func ifThen(cond bool, v string) string {
 // resident — then anchor it by updating the metadata (step w3), flushing
 // the PNS when the file is private.
 func (a *Agent) syncToCloud(ctx context.Context, md *fsmeta.Metadata, hash string, data []byte) error {
-	var err error
-	if sw, ok := a.opts.Storage.(storage.StreamWriter); ok &&
-		a.opts.StreamThresholdBytes >= 0 && int64(len(data)) > a.opts.StreamThresholdBytes {
-		err = sw.WriteVersionFrom(ctx, md.FileID, hash, bytes.NewReader(data))
-	} else {
-		err = a.opts.Storage.WriteVersion(ctx, md.FileID, hash, data)
+	if a.shouldStream(int64(len(data))) {
+		sw := a.opts.Storage.(storage.StreamWriter)
+		if err := sw.WriteVersionFrom(ctx, md.FileID, hash, bytes.NewReader(data)); err != nil {
+			return fmt.Errorf("core: uploading %q: %w", md.Path, err)
+		}
+		return a.finishSync(ctx, md, int64(len(data)), true)
 	}
-	if err != nil {
+	if err := a.opts.Storage.WriteVersion(ctx, md.FileID, hash, data); err != nil {
 		return fmt.Errorf("core: uploading %q: %w", md.Path, err)
 	}
-	a.addStat(func(s *Stats) { s.CloudWrites++; s.CloudBytesUp += int64(len(data)) })
+	return a.finishSync(ctx, md, int64(len(data)), false)
+}
+
+// shouldStream reports whether a payload of the given size goes through the
+// backend's streaming face.
+func (a *Agent) shouldStream(size int64) bool {
+	if _, ok := a.opts.Storage.(storage.StreamWriter); !ok {
+		return false
+	}
+	return a.opts.StreamThresholdBytes >= 0 && size > a.opts.StreamThresholdBytes
+}
+
+// finishSync records the stats and cost pressure of a completed version
+// upload and anchors it in the metadata service.
+func (a *Agent) finishSync(ctx context.Context, md *fsmeta.Metadata, size int64, streamed bool) error {
+	a.addStat(func(s *Stats) { s.CloudWrites++; s.CloudBytesUp += size })
+	// Meter the request-fee pressure of the new version for the GC trigger:
+	// a streamed version creates one fee-bearing object per chunk per cloud.
+	if vc, ok := a.opts.Storage.(storage.VersionCoster); ok {
+		fp := vc.EstimateVersionFootprint(size, streamed)
+		a.mu.Lock()
+		a.objectsSinceGC += fp.Objects
+		a.mu.Unlock()
+	}
 	if err := a.putMetadata(ctx, md); err != nil {
 		return err
 	}
@@ -577,10 +610,17 @@ func (a *Agent) unlock(ctx context.Context, path string) error {
 
 // --- background uploader ---
 
+// uploadTask is one queued background upload. It deliberately carries no
+// payload: the dirty version is already durable in the disk cache (Close
+// wrote and pinned it before enqueueing), and the worker streams it back
+// out of the cache. A queue of thousands of pending uploads therefore costs
+// metadata-sized memory, not the sum of the dirty file sizes. fallback
+// holds the payload only when the disk cache could not retain the entry.
 type uploadTask struct {
 	md         *fsmeta.Metadata
 	hash       string
-	data       []byte
+	size       int64
+	fallback   []byte
 	unlockPath string
 	// barrier, when non-nil, marks a synchronization point: the worker closes
 	// it without doing any work (used by WaitForUploads).
@@ -600,14 +640,48 @@ func (a *Agent) uploadWorker() {
 			close(task.barrier)
 			continue
 		}
-		err := a.syncToCloud(a.baseCtx, task.md, task.hash, task.data)
+		err := a.uploadQueued(a.baseCtx, task)
 		if err != nil {
 			a.addStat(func(s *Stats) { s.UploadErrors++ })
 		}
 		if task.unlockPath != "" {
 			_ = a.unlock(a.baseCtx, task.unlockPath)
 		}
+		a.maybeStartGC()
 	}
+}
+
+// uploadQueued performs one queued background upload, sourcing the payload
+// from the disk cache it was spilled to. Large versions are streamed from
+// the cache file straight into the backend's streaming face, so neither the
+// queue nor the upload ever holds the whole (let alone the encoded) value
+// in memory; small ones take the whole-object path. The pinned cache entry
+// is released once the upload attempt finishes.
+func (a *Agent) uploadQueued(ctx context.Context, task uploadTask) error {
+	key := cacheKey(task.md.FileID, task.hash)
+	if task.fallback != nil {
+		return a.syncToCloud(ctx, task.md, task.hash, task.fallback)
+	}
+	defer a.diskCache.Unpin(key)
+	if a.shouldStream(task.size) {
+		if f, size, ok := a.diskCache.Open(key); ok {
+			defer f.Close()
+			sw := a.opts.Storage.(storage.StreamWriter)
+			if err := sw.WriteVersionFrom(ctx, task.md.FileID, task.hash, f); err != nil {
+				return fmt.Errorf("core: uploading %q: %w", task.md.Path, err)
+			}
+			return a.finishSync(ctx, task.md, size, true)
+		}
+	}
+	data, ok := a.diskCache.Get(key)
+	if !ok {
+		// The pinned entry is gone (a crash-recovery edge or an explicit
+		// cache clear); the memory cache may still hold the version.
+		if data, ok = a.memCache.Get(key); !ok {
+			return fmt.Errorf("core: queued version of %q (hash %s) lost from the local caches", task.md.Path, task.hash)
+		}
+	}
+	return a.syncToCloud(ctx, task.md, task.hash, data)
 }
 
 // WaitForUploads blocks until every queued upload at the time of the call

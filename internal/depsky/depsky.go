@@ -29,9 +29,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"scfs/internal/cloud"
 	"scfs/internal/erasure"
+	"scfs/internal/iopolicy"
 	"scfs/internal/seccrypto"
 	"scfs/internal/secretshare"
 	"scfs/internal/stream"
@@ -221,6 +223,11 @@ type Options struct {
 	// quorum operation cancel its redundant per-cloud RPCs the moment the
 	// quorum verdict is known.
 	DisableQuorumCancel bool
+	// Policy is the manager-wide default I/O policy (hedged reads,
+	// readahead, cloud preference). A per-operation policy carried by the
+	// operation's context (iopolicy.With) is overlaid on top of it. The
+	// zero value keeps the immediate full fan-out and no readahead.
+	Policy iopolicy.Policy
 }
 
 // Manager reads and writes data units spread over the configured clouds.
@@ -228,8 +235,9 @@ type Options struct {
 // different goroutines operate on different data units (SCFS guarantees a
 // single writer per file via its lock service).
 type Manager struct {
-	opts  Options
-	coder *erasure.Coder
+	opts    Options
+	coder   *erasure.Coder
+	tracker *iopolicy.Tracker
 }
 
 // New validates the options and creates a manager.
@@ -245,7 +253,7 @@ func New(opts Options) (*Manager, error) {
 	if err != nil {
 		return nil, fmt.Errorf("depsky: building erasure coder: %w", err)
 	}
-	return &Manager{opts: opts, coder: coder}, nil
+	return &Manager{opts: opts, coder: coder, tracker: iopolicy.NewTracker(len(opts.Clouds))}, nil
 }
 
 // N returns the number of clouds.
@@ -278,17 +286,24 @@ func (m *Manager) quorumCtx(ctx context.Context) (context.Context, context.Cance
 	return context.WithCancel(ctx)
 }
 
-// readMetadataQuorum fetches the metadata object from all clouds and returns
-// the per-cloud results (nil for clouds that failed or have no metadata).
-// Per the DepSky read protocol it waits for the first n-f responses — a
-// quorum is all an asynchronous system may wait for — then cancels the
-// remaining fetches: one straggling cloud no longer adds its full round trip
-// to every metadata operation. Any version anchored by a write quorum
-// overlaps any n-f responders in at least one correct cloud, so the merged
-// union still contains everything a reader is entitled to see.
+// readMetadataQuorum fetches the metadata object from the clouds and returns
+// the per-cloud results (nil for clouds that failed, were never contacted,
+// or have no metadata). Per the DepSky read protocol it waits for the first
+// n-f responses — a quorum is all an asynchronous system may wait for — then
+// cancels the remaining fetches: one straggling cloud no longer adds its
+// full round trip to every metadata operation. Any version anchored by a
+// write quorum overlaps any n-f responders in at least one correct cloud,
+// so the merged union still contains everything a reader is entitled to see.
+//
+// Under a hedge policy the fan-out is preferred-set-first: only the n-f
+// fastest clouds (per the latency tracker, or the policy's explicit order)
+// are contacted immediately, and the rest only after the tracked delay
+// percentile elapses or a preferred cloud fails — in the common case the
+// straggler's RPC is never issued at all.
 func (m *Manager) readMetadataQuorum(ctx context.Context, unit string) []*unitMetadata {
 	name := m.metaName(unit)
 	n := m.N()
+	gate := m.newHedgeGate(m.policyFor(ctx), m.QuorumSize())
 	opCtx, cancel := m.quorumCtx(ctx)
 	defer cancel()
 	type fetched struct {
@@ -298,7 +313,13 @@ func (m *Manager) readMetadataQuorum(ctx context.Context, unit string) []*unitMe
 	results := make(chan fetched, n)
 	for i, c := range m.opts.Clouds {
 		go func(i int, c cloud.ObjectStore) {
+			if !gate.enter(opCtx, i) {
+				results <- fetched{idx: i}
+				return
+			}
+			start := time.Now()
 			data, err := c.Get(opCtx, name)
+			m.observeRPC(i, start, err)
 			if err != nil {
 				results <- fetched{idx: i}
 				return
@@ -315,6 +336,11 @@ func (m *Manager) readMetadataQuorum(ctx context.Context, unit string) []*unitMe
 	for responded := 1; responded <= n; responded++ {
 		f := <-results
 		out[f.idx] = f.md
+		if f.md == nil {
+			// A failed (or absent) copy releases one gated cloud so the
+			// quorum of responses can still be assembled promptly.
+			gate.kick()
+		}
 		if responded >= m.QuorumSize() {
 			cancel() // quorum of responses in hand: abort the stragglers
 			if !m.opts.DisableQuorumCancel {
@@ -455,7 +481,10 @@ func (m *Manager) writeQuorumHooked(ctx context.Context, name string, payload fu
 	results := make(chan outcome, n)
 	for i, c := range m.opts.Clouds {
 		go func(i int, c cloud.ObjectStore) {
-			results <- outcome{idx: i, err: c.Put(opCtx, name, payload(i))}
+			start := time.Now()
+			err := c.Put(opCtx, name, payload(i))
+			m.observeRPC(i, start, err)
+			results <- outcome{idx: i, err: err}
 		}(i, c)
 	}
 	verdict := make(chan error, 1)
@@ -742,12 +771,16 @@ func (m *Manager) DeleteUnit(ctx context.Context, unit string) error {
 // verified blocks have arrived to decode the value, the remaining per-cloud
 // fetches are cancelled instead of silently running on (each redundant fetch
 // costs a GET fee plus the block's worth of outbound traffic at that cloud).
+// Under a hedge policy only the f+1 preferred clouds are contacted up front;
+// the rest launch after the tracked delay percentile or on a preferred
+// cloud's failure (see dispatch.go).
 func (m *Manager) readVersion(ctx context.Context, unit string, info VersionInfo) ([]byte, error) {
 	if info.Chunked() {
 		return m.readChunkedVersion(ctx, unit, info)
 	}
 	scratch := &decodeScratch{}
 	defer scratch.release()
+	gate := m.newHedgeGate(m.policyFor(ctx), m.readNeed(info.Protocol))
 	opCtx, cancel := m.quorumCtx(ctx)
 	defer cancel()
 	name := m.blockName(unit, info.Number)
@@ -761,7 +794,13 @@ func (m *Manager) readVersion(ctx context.Context, unit string, info VersionInfo
 		wg.Add(1)
 		go func(i int, c cloud.ObjectStore) {
 			defer wg.Done()
+			if !gate.enter(opCtx, i) {
+				results <- fetched{idx: i}
+				return
+			}
+			start := time.Now()
 			data, err := c.Get(opCtx, name)
+			m.observeRPC(i, start, err)
 			if err != nil {
 				results <- fetched{idx: i}
 				return
@@ -786,6 +825,10 @@ func (m *Manager) readVersion(ctx context.Context, unit string, info VersionInfo
 	got := 0
 	for f := range results {
 		if f.blk == nil {
+			// An unusable response (failure, hash mismatch, bad frame)
+			// releases one gated cloud so the decode can still assemble
+			// enough shards without waiting out the hedge delay.
+			gate.kick()
 			continue
 		}
 		blocks[f.idx] = f.blk
@@ -793,6 +836,10 @@ func (m *Manager) readVersion(ctx context.Context, unit string, info VersionInfo
 		if data, err := m.tryDecode(blocks, info, scratch); err == nil {
 			cancel() // first quorum wins: abort the redundant fetches
 			return data, nil
+		} else if got >= m.readNeed(info.Protocol) {
+			// Enough shards arrived but the decode still failed (a corrupt
+			// or withheld share): pull in another cloud immediately.
+			gate.kick()
 		}
 	}
 	if err := ctx.Err(); err != nil {
@@ -923,12 +970,9 @@ func (m *Manager) tryDecode(blocks []*block, info VersionInfo, scratch *decodeSc
 
 // StorageFootprint returns how many bytes one version of the given size
 // occupies across all clouds under the configured protocol (used by the cost
-// model: ~1.5x for CA with f=1 versus 4x for replication).
+// model: ~1.5x for CA with f=1 versus 4x for replication). It is the byte
+// axis of EstimateFootprint; see footprint.go for the full cost model
+// including per-request fees.
 func (m *Manager) StorageFootprint(size int) int {
-	if m.opts.Protocol == ProtocolA {
-		return size * m.N()
-	}
-	shard := m.coder.ShardSize(size + 16)
-	// The preferred quorum stores n-f blocks (the paper's cost analysis).
-	return shard * m.QuorumSize()
+	return int(m.EstimateFootprint(int64(size), false).Bytes)
 }

@@ -1,0 +1,163 @@
+package depsky
+
+// Hedged dispatch. Every quorum read used to fan out to all n clouds the
+// moment it started; first-quorum-wins cancellation (PR 3) then aborted the
+// losers, which bounds the latency tail but still issues every RPC — the
+// straggler's request is started, billed a request fee, and only then
+// cancelled. The hedge gate below delays the redundant requests instead:
+// a read dispatches to the preferred quorum only, and the remaining clouds
+// are contacted when (a) the tracked latency percentile of the preferred
+// set elapses without a verdict, or (b) a preferred cloud fails or returns
+// an unusable response, whichever comes first. In the common case the
+// preferred quorum answers in time and the extra RPCs are never issued at
+// all.
+//
+// The gate is policy-driven (iopolicy.Policy carried by the operation's
+// context); with no hedge policy it is inert and dispatch stays the
+// immediate full fan-out it always was.
+
+import (
+	"context"
+	"time"
+
+	"scfs/internal/iopolicy"
+)
+
+// policyFor resolves the effective I/O policy of one operation: the
+// manager's default overlaid with whatever policy the context carries.
+func (m *Manager) policyFor(ctx context.Context) iopolicy.Policy {
+	if pol, ok := iopolicy.FromContext(ctx); ok {
+		return m.opts.Policy.Merge(pol)
+	}
+	return m.opts.Policy
+}
+
+// observeRPC feeds the per-cloud latency tracker with the outcome of one
+// RPC. Only successes are recorded: failures return fast and would make a
+// broken cloud look attractive.
+func (m *Manager) observeRPC(i int, start time.Time, err error) {
+	if err == nil {
+		m.tracker.Observe(i, time.Since(start))
+	}
+}
+
+// Tracker exposes the per-cloud latency tracker (benchmark warm-up,
+// diagnostics).
+func (m *Manager) Tracker() *iopolicy.Tracker { return m.tracker }
+
+// rankClouds orders the cloud indices for dispatch: an explicit preference
+// order wins, otherwise the tracker's fastest-first ranking.
+func (m *Manager) rankClouds(pref iopolicy.Preference) []int {
+	n := m.N()
+	if len(pref.Order) > 0 {
+		order := make([]int, 0, n)
+		used := make([]bool, n)
+		for _, i := range pref.Order {
+			if i >= 0 && i < n && !used[i] {
+				used[i] = true
+				order = append(order, i)
+			}
+		}
+		for i := 0; i < n; i++ {
+			if !used[i] {
+				order = append(order, i)
+			}
+		}
+		return order
+	}
+	return m.tracker.Rank()
+}
+
+// hedgeGate gates the non-preferred clouds of one fan-out. Each per-cloud
+// goroutine calls enter before issuing its RPC: preferred clouds pass
+// immediately, the rest block until the hedge delay elapses, a kick arrives
+// (one kick releases one cloud), or the fan-out's context is cancelled by
+// the quorum verdict. A disabled gate (no hedge policy) passes everyone
+// immediately, reproducing the immediate full fan-out.
+type hedgeGate struct {
+	enabled bool
+	// pos[i] is cloud i's position in the launch order.
+	pos []int
+	// need is how many clouds launch immediately (the preferred set).
+	need int
+	// hedges is how many clouds share each hedge-delay tier (see enter).
+	hedges int
+	delay  time.Duration
+	kicks  chan struct{}
+}
+
+// newHedgeGate builds the gate for a fan-out that needs `need` usable
+// responses. With hedging disabled the gate is inert.
+func (m *Manager) newHedgeGate(pol iopolicy.Policy, need int) *hedgeGate {
+	n := m.N()
+	if !pol.Hedge.Enabled() || need >= n {
+		return &hedgeGate{}
+	}
+	order := m.rankClouds(pol.Preference)
+	pos := make([]int, n)
+	for p, i := range order {
+		pos[i] = p
+	}
+	hedges := pol.Limits.MaxHedges
+	if hedges <= 0 || hedges > n-need {
+		hedges = n - need
+	}
+	return &hedgeGate{
+		enabled: true,
+		pos:     pos,
+		need:    need,
+		hedges:  hedges,
+		delay:   m.tracker.HedgeDelay(pol.Hedge, order[:need]),
+		kicks:   make(chan struct{}, n),
+	}
+}
+
+// enter blocks until cloud i may issue its RPC. It returns false when the
+// fan-out was decided (ctx cancelled) before i's turn came — the caller
+// then reports an empty result without touching the network.
+//
+// Clouds beyond the preferred set are tiered: the first Limits.MaxHedges of
+// them wait one hedge delay, the next tier two delays, and so on. Every
+// tier has a finite timer, so even a fan-out that never cancels (quorum
+// cancellation disabled) and never kicks eventually launches everything —
+// hedging bounds extra load, never availability.
+func (g *hedgeGate) enter(ctx context.Context, i int) bool {
+	if !g.enabled || g.pos[i] < g.need {
+		return ctx.Err() == nil
+	}
+	tier := (g.pos[i]-g.need)/g.hedges + 1
+	t := time.NewTimer(time.Duration(tier) * g.delay)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	case <-g.kicks:
+		return true
+	}
+}
+
+// kick releases one gated cloud immediately; the collector calls it for
+// every failed or unusable response so a faulty preferred cloud is replaced
+// without waiting out the hedge delay.
+func (g *hedgeGate) kick() {
+	if !g.enabled {
+		return
+	}
+	select {
+	case g.kicks <- struct{}{}:
+	default:
+	}
+}
+
+// readNeed is how many usable per-cloud responses a block/chunk read of a
+// version encoded with protocol p needs before a decode can possibly
+// succeed: one full replica under DepSky-A, f+1 shards (each frame also
+// carries a key share) under DepSky-CA.
+func (m *Manager) readNeed(p Protocol) int {
+	if p == ProtocolA {
+		return 1
+	}
+	return m.opts.F + 1
+}

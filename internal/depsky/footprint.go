@@ -1,0 +1,107 @@
+package depsky
+
+// Cost accounting. The paper's cost analysis (§4.5) charges a version by
+// its storage footprint on the preferred quorum; the chunked v2 layout adds
+// a second axis the byte count misses entirely: each chunk is its own cloud
+// object, so a 64 MiB streamed version creates 64x as many objects — and
+// pays 64x the per-request fees on every write, read and delete — as one
+// big block. Footprint folds both axes together so the garbage collector
+// (and any capacity planner) can weigh "many small chunks" against "few big
+// blocks" instead of seeing only bytes.
+
+// Footprint describes the cloud-side cost of one stored version across the
+// cloud-of-clouds: resident bytes, object count, and the request fees its
+// lifecycle incurs.
+type Footprint struct {
+	// Bytes is the storage the version occupies, charged per the paper's
+	// cost model: the preferred write quorum of n-f clouds for DepSky-CA
+	// shards, all n clouds for DepSky-A replicas.
+	Bytes int64
+	// Objects is how many cloud objects the version's payload occupies
+	// (chunks x charged clouds); each object keeps costing a GET fee per
+	// read and a DELETE fee at reclamation.
+	Objects int64
+	// PutRequests is the request count the version's upload was charged
+	// (payload objects plus the metadata update).
+	PutRequests int64
+	// GetRequestsPerRead is the request count one whole read of the version
+	// issues (f+1 decoding clouds per chunk for CA, one replica for A).
+	GetRequestsPerRead int64
+	// DeleteRequests is the request count reclaiming the version issues
+	// (deletes are best-effort against all n clouds).
+	DeleteRequests int64
+}
+
+// Add accumulates other into f.
+func (f *Footprint) Add(other Footprint) {
+	f.Bytes += other.Bytes
+	f.Objects += other.Objects
+	f.PutRequests += other.PutRequests
+	f.GetRequestsPerRead += other.GetRequestsPerRead
+	f.DeleteRequests += other.DeleteRequests
+}
+
+// VersionFootprint computes the footprint of one stored version from its
+// metadata, handling both the whole-object v1 layout and the chunked v2
+// layout.
+func (m *Manager) VersionFootprint(info VersionInfo) Footprint {
+	chunks := 1
+	chunkLen := func(int) int { return info.Size }
+	if info.Chunked() && info.validChunking() {
+		chunks = info.ChunkCount
+		chunkLen = info.chunkPlainLen
+	}
+	return m.footprint(info.Protocol, chunks, chunkLen)
+}
+
+// EstimateFootprint predicts the footprint a value of the given size would
+// have if written now: chunked selects the streamed v2 layout (one object
+// per chunk) versus the whole-object v1 layout. The SCFS agent uses it to
+// meter request-fee pressure for the garbage-collection trigger.
+func (m *Manager) EstimateFootprint(size int64, chunked bool) Footprint {
+	chunks := 1
+	chunkLen := func(int) int { return int(size) }
+	if chunked {
+		cs := m.chunkSize()
+		chunks = int((size + int64(cs) - 1) / int64(cs))
+		if chunks < 1 {
+			chunks = 1
+		}
+		chunkLen = func(idx int) int {
+			rem := size - int64(idx)*int64(cs)
+			if rem > int64(cs) {
+				return cs
+			}
+			return int(rem)
+		}
+	}
+	return m.footprint(m.opts.Protocol, chunks, chunkLen)
+}
+
+// footprint charges chunks objects of the given plaintext lengths under the
+// protocol's dispersal: CA stores one erasure shard of the ciphertext on
+// each of the preferred n-f clouds, A a full replica on all n.
+func (m *Manager) footprint(protocol Protocol, chunks int, chunkLen func(int) int) Footprint {
+	n := int64(m.N())
+	q := int64(m.QuorumSize())
+	fp := Footprint{}
+	for idx := 0; idx < chunks; idx++ {
+		plain := chunkLen(idx)
+		if protocol == ProtocolA {
+			fp.Bytes += int64(plain) * n
+		} else {
+			fp.Bytes += int64(m.coder.ShardSize(plain+16)) * q
+		}
+	}
+	charged := q
+	readers := int64(m.opts.F + 1)
+	if protocol == ProtocolA {
+		charged = n
+		readers = 1
+	}
+	fp.Objects = int64(chunks) * charged
+	fp.PutRequests = fp.Objects + q // payload objects + the metadata quorum write
+	fp.GetRequestsPerRead = int64(chunks) * readers
+	fp.DeleteRequests = int64(chunks) * n
+	return fp
+}

@@ -1,0 +1,70 @@
+package depsky
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestFootprintWeighsChunksAgainstBlocks is the point of the cost model:
+// for the same payload, the chunked layout stores roughly the same bytes
+// but multiplies objects and request fees by the chunk count — exactly the
+// axis StorageFootprint alone cannot see.
+func TestFootprintWeighsChunksAgainstBlocks(t *testing.T) {
+	const chunk = 4096
+	m, _, _ := hedgeManager(t, make([]time.Duration, 4), Options{ChunkSize: chunk})
+
+	const size = 16 * chunk
+	whole := m.EstimateFootprint(size, false)
+	chunked := m.EstimateFootprint(size, true)
+
+	if whole.Objects != 3 { // one block on each of the n-f = 3 preferred clouds
+		t.Fatalf("whole-object Objects = %d, want 3", whole.Objects)
+	}
+	if chunked.Objects != 16*3 {
+		t.Fatalf("chunked Objects = %d, want 48", chunked.Objects)
+	}
+	if chunked.GetRequestsPerRead != 16*2 { // f+1 = 2 decoding clouds per chunk
+		t.Fatalf("chunked GetRequestsPerRead = %d, want 32", chunked.GetRequestsPerRead)
+	}
+	if whole.GetRequestsPerRead != 2 {
+		t.Fatalf("whole GetRequestsPerRead = %d, want 2", whole.GetRequestsPerRead)
+	}
+	if chunked.DeleteRequests != 16*4 { // deletes are best-effort on all n clouds
+		t.Fatalf("chunked DeleteRequests = %d, want 64", chunked.DeleteRequests)
+	}
+	// Bytes stay within ~2x of each other (per-chunk shard padding only).
+	if chunked.Bytes < whole.Bytes || chunked.Bytes > 2*whole.Bytes {
+		t.Fatalf("chunked Bytes = %d vs whole %d: expected same order", chunked.Bytes, whole.Bytes)
+	}
+	// StorageFootprint remains the byte axis of the estimate.
+	if got := m.StorageFootprint(size); int64(got) != whole.Bytes {
+		t.Fatalf("StorageFootprint = %d, want %d", got, whole.Bytes)
+	}
+}
+
+// TestVersionFootprintMatchesStoredVersion: the footprint computed from
+// real version metadata agrees with the prediction for the same geometry.
+func TestVersionFootprintMatchesStoredVersion(t *testing.T) {
+	const chunk = 4096
+	m, _, _ := hedgeManager(t, make([]time.Duration, 4), Options{ChunkSize: chunk})
+	data := bytes.Repeat([]byte{0xEB}, 5*chunk+123)
+
+	info, err := m.WriteFrom(bg, "u", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.VersionFootprint(info)
+	want := m.EstimateFootprint(int64(len(data)), true)
+	if got != want {
+		t.Fatalf("VersionFootprint %+v != EstimateFootprint %+v", got, want)
+	}
+
+	whole, err2 := m.Write(bg, "w", data)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if got := m.VersionFootprint(whole); got != m.EstimateFootprint(int64(len(data)), false) {
+		t.Fatalf("whole-object VersionFootprint mismatch: %+v", got)
+	}
+}

@@ -20,8 +20,10 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"scfs/internal/cloud"
+	"scfs/internal/iopolicy"
 	"scfs/internal/seccrypto"
 	"scfs/internal/secretshare"
 	"scfs/internal/stream"
@@ -202,7 +204,7 @@ func (m *Manager) Open(ctx context.Context, unit string) (*stream.Reader, Versio
 		}
 		return nil, VersionInfo{}, ErrUnitNotFound
 	}
-	return m.openVersion(unit, *newest, merged.certified[newest.Number], merged.variantsOf(newest.Number)), *newest, nil
+	return m.openVersion(ctx, unit, *newest, merged.certified[newest.Number], merged.variantsOf(newest.Number)), *newest, nil
 }
 
 // OpenMatching is Open for the version whose plaintext hash equals hash
@@ -222,7 +224,7 @@ func (m *Manager) OpenMatching(ctx context.Context, unit, hash string) (*stream.
 			matching = append(matching, v)
 		}
 	}
-	return m.openVersion(unit, *info, merged.certified[info.Number], matching), *info, nil
+	return m.openVersion(ctx, unit, *info, merged.certified[info.Number], matching), *info, nil
 }
 
 // ErrWholeObjectOnly is returned by OpenRangedMatching for versions the
@@ -247,7 +249,25 @@ func (m *Manager) OpenRangedMatching(ctx context.Context, unit, hash string) (*s
 	if !info.Chunked() || !merged.certified[info.Number] || !info.validChunking() {
 		return nil, *info, ErrWholeObjectOnly
 	}
-	return stream.NewReader(&chunkFetcher{m: m, unit: unit, info: *info}, stream.Buffers), *info, nil
+	return m.newChunkReader(ctx, &chunkFetcher{m: m, unit: unit, info: *info}), *info, nil
+}
+
+// newChunkReader wraps a fetcher in a stream.Reader configured from the
+// open-time I/O policy: a readahead request becomes the reader's prefetch
+// window (sized by its governor as the access pattern allows). The policy
+// is also stamped on the reader's base context, so prefetches issued on the
+// reader's own behalf hedge their chunk fan-outs the same way foreground
+// reads do.
+func (m *Manager) newChunkReader(ctx context.Context, f stream.Fetcher) *stream.Reader {
+	pol := m.policyFor(ctx)
+	if pol.Readahead <= 0 {
+		return stream.NewReader(f, stream.Buffers)
+	}
+	return stream.NewReaderOpts(f, stream.Buffers, stream.ReaderOptions{
+		Readahead:   pol.Readahead,
+		MaxParallel: pol.Limits.MaxParallelChunks,
+		BaseContext: iopolicy.With(context.Background(), pol),
+	})
 }
 
 // OpenRange returns a reader over [off, off+length) of the newest version
@@ -269,10 +289,11 @@ func (m *Manager) OpenRange(ctx context.Context, unit string, off, length int64)
 // malformed entries — goes through the whole-object path, which verifies
 // the full value against DataHash before serving any byte (trying every
 // metadata variant, so a forged uncertified copy costs a retry, not the
-// read).
-func (m *Manager) openVersion(unit string, info VersionInfo, certified bool, variants []VersionInfo) *stream.Reader {
+// read). The ctx supplies the open-time I/O policy (readahead window,
+// hedging defaults for the reader's own prefetches).
+func (m *Manager) openVersion(ctx context.Context, unit string, info VersionInfo, certified bool, variants []VersionInfo) *stream.Reader {
 	if info.Chunked() && certified && info.validChunking() {
-		return stream.NewReader(&chunkFetcher{m: m, unit: unit, info: info}, stream.Buffers)
+		return m.newChunkReader(ctx, &chunkFetcher{m: m, unit: unit, info: info})
 	}
 	if len(variants) == 0 {
 		variants = []VersionInfo{info}
@@ -356,12 +377,14 @@ func (f *chunkFetcher) setKey(key []byte) {
 	f.mu.Unlock()
 }
 
-// Fetch implements stream.Fetcher: fan the chunk's frame reads over all
+// Fetch implements stream.Fetcher: fan the chunk's frame reads over the
 // clouds, verify each frame against the metadata hashes, and decode as soon
 // as enough verified frames arrived — reconstructing missing shards for
 // degraded reads. The moment a decode succeeds the remaining per-cloud
 // fetches are cancelled (first quorum wins); cancelling ctx aborts the whole
-// fan-out and returns ctx.Err().
+// fan-out and returns ctx.Err(). Under a hedge policy (carried by ctx) only
+// the f+1 preferred clouds are contacted up front, the rest after the
+// tracked delay percentile or on a preferred cloud's failure.
 func (f *chunkFetcher) Fetch(ctx context.Context, idx int, dst []byte) error {
 	m := f.m
 	info := f.info
@@ -375,6 +398,7 @@ func (f *chunkFetcher) Fetch(ctx context.Context, idx int, dst []byte) error {
 	if idx < len(info.ChunkHashes) {
 		hashes = info.ChunkHashes[idx]
 	}
+	gate := m.newHedgeGate(m.policyFor(ctx), m.readNeed(info.Protocol))
 	opCtx, cancel := m.quorumCtx(ctx)
 	defer cancel()
 	name := m.chunkName(f.unit, info.Number, idx)
@@ -384,7 +408,13 @@ func (f *chunkFetcher) Fetch(ctx context.Context, idx int, dst []byte) error {
 		wg.Add(1)
 		go func(i int, c cloud.ObjectStore) {
 			defer wg.Done()
+			if !gate.enter(opCtx, i) {
+				results <- nil
+				return
+			}
+			start := time.Now()
 			data, err := c.Get(opCtx, name)
+			m.observeRPC(i, start, err)
 			if err != nil {
 				results <- nil
 				return
@@ -415,6 +445,7 @@ func (f *chunkFetcher) Fetch(ctx context.Context, idx int, dst []byte) error {
 	got := 0
 	for b := range results {
 		if b == nil {
+			gate.kick() // unusable response: release one gated cloud
 			continue
 		}
 		blocks = append(blocks, b)
@@ -422,6 +453,8 @@ func (f *chunkFetcher) Fetch(ctx context.Context, idx int, dst []byte) error {
 		if err := f.decodeChunk(idx, blocks, dst, scratch); err == nil {
 			cancel() // first quorum wins: abort the redundant fetches
 			return nil
+		} else if got >= m.readNeed(info.Protocol) {
+			gate.kick() // enough frames but no decode yet: pull in another
 		}
 	}
 	if err := ctx.Err(); err != nil {

@@ -1,0 +1,55 @@
+package iopolicy
+
+import "sync"
+
+// Governor sizes the readahead window of one open file. It watches the
+// byte-offset stream of reads and grows the window multiplicatively while
+// the pattern stays sequential — 1, 2, 4, ... up to the configured maximum —
+// and collapses it to zero on the first non-sequential access, so random
+// readers never pay for speculative chunk fetches.
+type Governor struct {
+	mu      sync.Mutex
+	max     int
+	nextOff int64
+	window  int
+}
+
+// NewGovernor creates a governor whose window never exceeds max chunks.
+// A max of 0 or less disables readahead (Observe always returns 0).
+func NewGovernor(max int) *Governor {
+	return &Governor{max: max}
+}
+
+// Max returns the configured window bound.
+func (g *Governor) Max() int {
+	if g == nil {
+		return 0
+	}
+	return g.max
+}
+
+// Observe records a read of n bytes at offset off and returns the readahead
+// window to use after it: how many chunks past the read's end are worth
+// prefetching. The first read of a file (offset 0) counts as sequential, so
+// a cold scan starts prefetching from its first chunk onward.
+func (g *Governor) Observe(off, n int64) int {
+	if g == nil || g.max <= 0 {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if off == g.nextOff {
+		switch {
+		case g.window == 0:
+			g.window = 1
+		case g.window*2 > g.max:
+			g.window = g.max
+		default:
+			g.window *= 2
+		}
+	} else {
+		g.window = 0
+	}
+	g.nextOff = off + n
+	return g.window
+}

@@ -1,0 +1,143 @@
+package iopolicy
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestPolicyContextRoundTrip(t *testing.T) {
+	if _, ok := FromContext(context.Background()); ok {
+		t.Fatal("background context should carry no policy")
+	}
+	pol := Policy{Hedge: Hedge{Percentile: 0.95}, Readahead: 3}
+	ctx := With(context.Background(), pol)
+	got, ok := FromContext(ctx)
+	if !ok {
+		t.Fatal("policy not found on context")
+	}
+	if got.Hedge.Percentile != 0.95 || got.Readahead != 3 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestPolicyMerge(t *testing.T) {
+	base := Policy{
+		Hedge:     Hedge{Percentile: 0.9, MaxDelay: time.Second},
+		Readahead: 2,
+		Limits:    Limits{MaxParallelChunks: 4},
+	}
+	merged := base.Merge(Policy{Readahead: 8})
+	if merged.Readahead != 8 {
+		t.Fatalf("override readahead lost: %+v", merged)
+	}
+	if merged.Hedge.Percentile != 0.9 || merged.Limits.MaxParallelChunks != 4 {
+		t.Fatalf("base fields lost: %+v", merged)
+	}
+	merged = base.Merge(Policy{Hedge: Hedge{Percentile: 0.5, MinDelay: time.Millisecond}})
+	if merged.Hedge.Percentile != 0.5 || merged.Hedge.MinDelay != time.Millisecond {
+		t.Fatalf("hedge override fields lost: %+v", merged)
+	}
+	if merged.Hedge.MaxDelay != time.Second {
+		t.Fatalf("hedge merge must be field-wise (inherited MaxDelay lost): %+v", merged)
+	}
+	// Delay bounds alone retune an inherited hedge without re-enabling it.
+	merged = base.Merge(Policy{Hedge: Hedge{MaxDelay: 5 * time.Millisecond}})
+	if merged.Hedge.Percentile != 0.9 || merged.Hedge.MaxDelay != 5*time.Millisecond {
+		t.Fatalf("delay-bounds-only override lost: %+v", merged)
+	}
+	if !(Policy{}).IsZero() {
+		t.Fatal("zero policy should report IsZero")
+	}
+	if base.IsZero() {
+		t.Fatal("non-zero policy should not report IsZero")
+	}
+}
+
+func TestTrackerPercentileAndRank(t *testing.T) {
+	tr := NewTracker(3)
+	// Cloud 0: fast. Cloud 2: slow. Cloud 1: never observed.
+	for i := 0; i < 50; i++ {
+		tr.Observe(0, time.Millisecond)
+		tr.Observe(2, 10*time.Millisecond)
+	}
+	if d, ok := tr.Percentile(0, 0.95); !ok || d != time.Millisecond {
+		t.Fatalf("cloud 0 p95 = %v, %v", d, ok)
+	}
+	if _, ok := tr.Percentile(1, 0.95); ok {
+		t.Fatal("cloud 1 has no samples")
+	}
+	if d, ok := tr.EWMA(2); !ok || d < 9*time.Millisecond {
+		t.Fatalf("cloud 2 ewma = %v, %v", d, ok)
+	}
+	rank := tr.Rank()
+	if len(rank) != 3 || rank[2] != 2 {
+		t.Fatalf("slow cloud should rank last: %v", rank)
+	}
+	// Unseen cloud 1 ranks before the observed ones (explored optimistically).
+	if rank[0] != 1 {
+		t.Fatalf("unseen cloud should rank first: %v", rank)
+	}
+}
+
+func TestTrackerPercentileSpread(t *testing.T) {
+	tr := NewTracker(1)
+	// 90 fast samples, 10 slow: p50 must be fast, p99 slow.
+	for i := 0; i < 90; i++ {
+		tr.Observe(0, time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		tr.Observe(0, 100*time.Millisecond)
+	}
+	if d, _ := tr.Percentile(0, 0.5); d != time.Millisecond {
+		t.Fatalf("p50 = %v", d)
+	}
+	if d, _ := tr.Percentile(0, 0.99); d != 100*time.Millisecond {
+		t.Fatalf("p99 = %v", d)
+	}
+}
+
+func TestHedgeDelayClamp(t *testing.T) {
+	tr := NewTracker(2)
+	h := Hedge{Percentile: 0.9, MinDelay: 2 * time.Millisecond, MaxDelay: 20 * time.Millisecond}
+	// Cold tracker: MinDelay.
+	if d := tr.HedgeDelay(h, []int{0, 1}); d != 2*time.Millisecond {
+		t.Fatalf("cold delay = %v", d)
+	}
+	for i := 0; i < 50; i++ {
+		tr.Observe(0, 50*time.Millisecond)
+	}
+	// Tracked p90 of 50ms is clamped by MaxDelay.
+	if d := tr.HedgeDelay(h, []int{0}); d != 20*time.Millisecond {
+		t.Fatalf("clamped delay = %v", d)
+	}
+}
+
+func TestGovernorRampAndReset(t *testing.T) {
+	g := NewGovernor(4)
+	// Sequential reads ramp 1, 2, 4, 4...
+	want := []int{1, 2, 4, 4}
+	off := int64(0)
+	for i, w := range want {
+		if got := g.Observe(off, 100); got != w {
+			t.Fatalf("read %d: window = %d, want %d", i, got, w)
+		}
+		off += 100
+	}
+	// A seek collapses the window.
+	if got := g.Observe(10_000, 100); got != 0 {
+		t.Fatalf("random read window = %d, want 0", got)
+	}
+	// Resuming sequentially from the new position ramps again.
+	if got := g.Observe(10_100, 100); got != 1 {
+		t.Fatalf("resumed window = %d, want 1", got)
+	}
+	// Disabled governor never prefetches.
+	if got := NewGovernor(0).Observe(0, 1); got != 0 {
+		t.Fatalf("disabled governor window = %d", got)
+	}
+	var nilG *Governor
+	if got := nilG.Observe(0, 1); got != 0 {
+		t.Fatal("nil governor must be a no-op")
+	}
+}

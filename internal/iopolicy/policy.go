@@ -1,0 +1,138 @@
+// Package iopolicy defines the request-scoped I/O policy that travels with
+// every SCFS operation, and the latency bookkeeping that makes the policy
+// actionable.
+//
+// A Policy says how one operation should spend the cloud-of-clouds'
+// redundancy: whether to fan a read out to every cloud immediately (the
+// pre-policy behaviour, still the zero value) or to dispatch to a preferred
+// subset first and hedge the stragglers only after a tracked latency
+// percentile elapses (Basil-style hedged reads); how many chunks a
+// sequential scan should prefetch ahead of the consumer; which clouds to
+// prefer; and what per-call limits bound the extra work.
+//
+// Policies are carried by context.Context (With/FromContext) so they flow
+// through every layer — facade, fs API, agent, quorum engine, storage —
+// without widening each signature. The companion Tracker is fed a latency
+// sample by every per-cloud RPC and answers the two questions hedged
+// dispatch asks: which clouds are currently fastest, and how long is the
+// p-th latency percentile of a preferred set.
+package iopolicy
+
+import (
+	"context"
+	"time"
+)
+
+// Hedge configures hedged fan-outs: a read is first dispatched to the
+// preferred quorum only, and the remaining clouds are contacted when either
+// the hedge delay elapses or a preferred cloud fails. The zero value
+// disables hedging (immediate full fan-out).
+type Hedge struct {
+	// Percentile in (0, 1] selects the observed per-cloud latency quantile
+	// used as the hedge delay: the extra requests launch only after the
+	// preferred clouds had that fraction of their recent requests complete.
+	// 0 disables hedging.
+	Percentile float64
+	// MinDelay and MaxDelay clamp the tracked delay. MaxDelay of 0 means
+	// uncapped. With no samples yet the delay falls back to MinDelay, so a
+	// cold tracker hedges (almost) immediately rather than stalling.
+	MinDelay time.Duration
+	MaxDelay time.Duration
+}
+
+// Enabled reports whether the hedge configuration is active.
+func (h Hedge) Enabled() bool { return h.Percentile > 0 }
+
+// Preference orders the clouds a read dispatches to first.
+type Preference struct {
+	// Fastest ranks clouds by their tracked latency, fastest first. This is
+	// the default whenever hedging is enabled.
+	Fastest bool
+	// Order lists cloud indices to prefer, in order; clouds not listed are
+	// ranked after the listed ones. Takes precedence over Fastest.
+	Order []int
+}
+
+// IsZero reports whether the preference is unset.
+func (p Preference) IsZero() bool { return !p.Fastest && len(p.Order) == 0 }
+
+// Limits bounds the extra work a policy may spend on one call.
+type Limits struct {
+	// MaxParallelChunks bounds the number of chunk fetches a readahead
+	// pipeline keeps in flight concurrently. 0 means the readahead window
+	// itself is the bound.
+	MaxParallelChunks int
+	// MaxHedges bounds how many extra clouds launch at the first hedge
+	// firing; clouds beyond the bound wait a further multiple of the hedge
+	// delay (so availability is never sacrificed, only staggered). 0 means
+	// all remaining clouds launch at the first firing.
+	MaxHedges int
+}
+
+// Policy is the per-operation I/O policy. The zero value reproduces the
+// pre-policy behaviour exactly: immediate full fan-out, no readahead.
+type Policy struct {
+	// Hedge configures hedged (delayed-straggler) fan-outs for reads.
+	Hedge Hedge
+	// Readahead is the maximum number of chunks a sequential scan prefetches
+	// ahead of the consumer (0 = no prefetch). The actual window ramps up
+	// only while the access pattern stays sequential.
+	Readahead int
+	// Preference orders the clouds dispatched to first.
+	Preference Preference
+	// Limits bounds the extra work.
+	Limits Limits
+}
+
+// IsZero reports whether the policy requests nothing beyond the defaults.
+func (p Policy) IsZero() bool {
+	return !p.Hedge.Enabled() && p.Readahead == 0 && p.Preference.IsZero() &&
+		p.Limits == Limits{}
+}
+
+// Merge overlays override on p: fields set in override win, unset fields
+// keep p's value. It implements the mount-default / per-call layering: the
+// mount's default policy is p, the call's options are override. The hedge
+// configuration merges field-wise, so a call may retune just the delay
+// bounds of an inherited hedge (WithHedgeDelayBounds without WithHedge),
+// or just the percentile without losing the mount's bounds.
+func (p Policy) Merge(override Policy) Policy {
+	out := p
+	if override.Hedge.Percentile != 0 {
+		out.Hedge.Percentile = override.Hedge.Percentile
+	}
+	if override.Hedge.MinDelay != 0 {
+		out.Hedge.MinDelay = override.Hedge.MinDelay
+	}
+	if override.Hedge.MaxDelay != 0 {
+		out.Hedge.MaxDelay = override.Hedge.MaxDelay
+	}
+	if override.Readahead != 0 {
+		out.Readahead = override.Readahead
+	}
+	if !override.Preference.IsZero() {
+		out.Preference = override.Preference
+	}
+	if override.Limits.MaxParallelChunks != 0 {
+		out.Limits.MaxParallelChunks = override.Limits.MaxParallelChunks
+	}
+	if override.Limits.MaxHedges != 0 {
+		out.Limits.MaxHedges = override.Limits.MaxHedges
+	}
+	return out
+}
+
+// ctxKey is the context key carrying a Policy.
+type ctxKey struct{}
+
+// With returns a context carrying pol; every SCFS layer below the call
+// reads it back with FromContext.
+func With(ctx context.Context, pol Policy) context.Context {
+	return context.WithValue(ctx, ctxKey{}, pol)
+}
+
+// FromContext returns the policy carried by ctx, if any.
+func FromContext(ctx context.Context) (Policy, bool) {
+	pol, ok := ctx.Value(ctxKey{}).(Policy)
+	return pol, ok
+}

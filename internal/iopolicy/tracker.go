@@ -1,0 +1,167 @@
+package iopolicy
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// trackerWindow is how many recent samples each cloud's percentile estimate
+// is computed over. 64 samples keep the estimate responsive to provider
+// weather while smoothing per-request jitter; sorting 64 int64s on demand
+// is far cheaper than any RPC the answer gates.
+const trackerWindow = 64
+
+// ewmaAlpha weighs the newest sample in the exponentially weighted moving
+// average used for ranking clouds.
+const ewmaAlpha = 0.2
+
+// series is one cloud's latency history.
+type series struct {
+	samples [trackerWindow]int64 // nanoseconds, ring buffer
+	next    int
+	count   int64 // total observations (ring holds min(count, trackerWindow))
+	ewma    float64
+}
+
+// Tracker records per-cloud RPC latencies and answers the dispatch-time
+// questions of hedged reads: how clouds rank by recent latency, and what
+// delay corresponds to a latency percentile of a preferred set. It is fed
+// by every quorum RPC (reads and writes) and is safe for concurrent use.
+//
+// Only successful RPCs are recorded: a failing provider answers quickly
+// with an error, and recording that would make a broken cloud look fast.
+// Failures instead release hedges immediately at the dispatch layer.
+type Tracker struct {
+	mu     sync.Mutex
+	clouds []series
+}
+
+// NewTracker creates a tracker for n clouds.
+func NewTracker(n int) *Tracker {
+	return &Tracker{clouds: make([]series, n)}
+}
+
+// Observe records one successful RPC against cloud i taking d.
+func (t *Tracker) Observe(i int, d time.Duration) {
+	if i < 0 || d < 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i >= len(t.clouds) {
+		return
+	}
+	s := &t.clouds[i]
+	ns := float64(d)
+	if s.count == 0 {
+		s.ewma = ns
+	} else {
+		s.ewma = ewmaAlpha*ns + (1-ewmaAlpha)*s.ewma
+	}
+	s.samples[s.next] = int64(d)
+	s.next = (s.next + 1) % trackerWindow
+	s.count++
+}
+
+// EWMA returns cloud i's exponentially weighted moving average latency and
+// whether any sample has been observed.
+func (t *Tracker) EWMA(i int) (time.Duration, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i < 0 || i >= len(t.clouds) || t.clouds[i].count == 0 {
+		return 0, false
+	}
+	return time.Duration(t.clouds[i].ewma), true
+}
+
+// Percentile returns the p-th (0 < p <= 1) latency quantile of cloud i's
+// recent samples and whether any sample has been observed.
+func (t *Tracker) Percentile(i int, p float64) (time.Duration, bool) {
+	if p <= 0 {
+		return 0, false
+	}
+	if p > 1 {
+		p = 1
+	}
+	t.mu.Lock()
+	if i < 0 || i >= len(t.clouds) || t.clouds[i].count == 0 {
+		t.mu.Unlock()
+		return 0, false
+	}
+	s := &t.clouds[i]
+	n := int(s.count)
+	if n > trackerWindow {
+		n = trackerWindow
+	}
+	window := make([]int64, n)
+	copy(window, s.samples[:n])
+	t.mu.Unlock()
+
+	sort.Slice(window, func(a, b int) bool { return window[a] < window[b] })
+	idx := int(float64(n)*p+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return time.Duration(window[idx]), true
+}
+
+// Rank returns all cloud indices ordered fastest first by EWMA. Clouds with
+// no samples yet rank first (optimistically, so they get explored and
+// sampled), ties break by index for determinism.
+func (t *Tracker) Rank() []int {
+	t.mu.Lock()
+	ewmas := make([]float64, len(t.clouds))
+	for i := range t.clouds {
+		if t.clouds[i].count > 0 {
+			ewmas[i] = t.clouds[i].ewma
+		}
+	}
+	t.mu.Unlock()
+
+	order := make([]int, len(ewmas))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return ewmas[order[a]] < ewmas[order[b]] })
+	return order
+}
+
+// DefaultMinDelay is the hedge-delay floor applied when a policy sets no
+// MinDelay of its own. A tracked percentile measures the RPC alone; the
+// quorum verdict additionally needs scheduling and decoding time, so
+// against very fast (same-region, simulated, cached) clouds a raw
+// sub-millisecond percentile would fire the hedge before the preferred
+// responses can possibly be processed, silently degrading hedged dispatch
+// to full fan-out. One millisecond is negligible against any cross-provider
+// RTT while keeping near-instant backends honestly hedged.
+const DefaultMinDelay = time.Millisecond
+
+// HedgeDelay computes the hedge delay for a fan-out whose preferred set is
+// the given cloud indices: the largest of the preferred clouds' h.Percentile
+// quantiles, clamped to [max(h.MinDelay, DefaultMinDelay), h.MaxDelay].
+// With no samples at all the delay is the floor — a cold tracker hedges
+// almost immediately, which is safe: it degrades toward the pre-policy full
+// fan-out rather than stalling.
+func (t *Tracker) HedgeDelay(h Hedge, preferred []int) time.Duration {
+	var d time.Duration
+	for _, i := range preferred {
+		if q, ok := t.Percentile(i, h.Percentile); ok && q > d {
+			d = q
+		}
+	}
+	min := h.MinDelay
+	if min <= 0 {
+		min = DefaultMinDelay
+	}
+	if d < min {
+		d = min
+	}
+	if h.MaxDelay > 0 && d > h.MaxDelay {
+		d = h.MaxDelay
+	}
+	return d
+}

@@ -81,11 +81,49 @@ type RangeOpener interface {
 	OpenVersionAt(ctx context.Context, fileID, hash string) (ReaderAtCloser, error)
 }
 
+// SweepStats summarizes what a batched version sweep reclaimed, in the two
+// axes of the cloud cost model: bytes (storage fees) and objects (the
+// per-request fees every surviving object keeps incurring). Bytes and
+// Objects are best-effort estimates — a backend that cannot attribute them
+// reports zero and only counts Deleted.
+type SweepStats struct {
+	// Deleted is how many versions were removed.
+	Deleted int
+	// ReclaimedBytes is the cloud storage freed across providers.
+	ReclaimedBytes int64
+	// ReclaimedObjects is how many cloud objects were removed; chunked
+	// versions count one object per chunk per charged cloud, which is why a
+	// byte count alone under-weighs them.
+	ReclaimedObjects int64
+}
+
 // VersionSweeper is the optional batched delete face of a VersionedStore,
 // used by the garbage collector: batch maps fileID to the version hashes to
-// remove. It returns how many versions were actually deleted.
+// remove.
 type VersionSweeper interface {
-	DeleteVersionsBatch(ctx context.Context, batch map[string][]string) int
+	DeleteVersionsBatch(ctx context.Context, batch map[string][]string) SweepStats
+}
+
+// VersionFootprint estimates the cloud-side cost of storing one version:
+// bytes across the charged clouds, objects created, and the request counts
+// of its lifecycle. It mirrors depsky.Footprint at the storage abstraction
+// so the agent can meter cost pressure without knowing the backend.
+type VersionFootprint struct {
+	Bytes              int64
+	Objects            int64
+	PutRequests        int64
+	GetRequestsPerRead int64
+	DeleteRequests     int64
+}
+
+// VersionCoster is the optional cost-estimation face of a VersionedStore:
+// it predicts the footprint a version of the given size would have,
+// streamed selecting the chunked layout (one cloud object per chunk) versus
+// the whole-object one. The agent feeds the estimate into its
+// garbage-collection trigger so request-fee pressure (many small chunks)
+// can start a collection even when byte pressure alone would not.
+type VersionCoster interface {
+	EstimateVersionFootprint(size int64, streamed bool) VersionFootprint
 }
 
 // --- single-cloud backend ---
@@ -175,9 +213,10 @@ func (s *SingleCloud) ListVersions(ctx context.Context, fileID string) ([]string
 }
 
 // DeleteVersionsBatch implements VersionSweeper: single-cloud versions are
-// addressed directly by name, so the sweep is just bounded-parallel deletes.
-func (s *SingleCloud) DeleteVersionsBatch(ctx context.Context, batch map[string][]string) int {
-	deleted := 0
+// addressed directly by name, so the sweep is just bounded-parallel deletes
+// (one object per version; reclaimed bytes are not attributed).
+func (s *SingleCloud) DeleteVersionsBatch(ctx context.Context, batch map[string][]string) SweepStats {
+	var stats SweepStats
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, sweepConcurrency)
@@ -190,14 +229,21 @@ func (s *SingleCloud) DeleteVersionsBatch(ctx context.Context, batch map[string]
 				defer func() { <-sem }()
 				if s.store.Delete(ctx, versionObject(fileID, hash)) == nil {
 					mu.Lock()
-					deleted++
+					stats.Deleted++
+					stats.ReclaimedObjects++
 					mu.Unlock()
 				}
 			}(fileID, hash)
 		}
 	}
 	wg.Wait()
-	return deleted
+	return stats
+}
+
+// EstimateVersionFootprint implements VersionCoster: a single-cloud version
+// is always one object, whatever its size.
+func (s *SingleCloud) EstimateVersionFootprint(size int64, streamed bool) VersionFootprint {
+	return VersionFootprint{Bytes: size, Objects: 1, PutRequests: 1, GetRequestsPerRead: 1, DeleteRequests: 1}
 }
 
 // Underlying exposes the wrapped object store (used by the ACL propagation
@@ -317,15 +363,17 @@ const sweepConcurrency = 4
 
 // DeleteVersionsBatch implements VersionSweeper: one batched metadata sweep
 // resolves every hash to its version number, then each file's versions are
-// deleted with a single metadata round trip.
-func (c *CloudOfClouds) DeleteVersionsBatch(ctx context.Context, batch map[string][]string) int {
+// deleted with a single metadata round trip. The reclaimed footprint is
+// computed from the version metadata the sweep already fetched, so chunked
+// versions are credited with every chunk object they free.
+func (c *CloudOfClouds) DeleteVersionsBatch(ctx context.Context, batch map[string][]string) SweepStats {
 	fileIDs := make([]string, 0, len(batch))
 	for fileID := range batch {
 		fileIDs = append(fileIDs, fileID)
 	}
 	meta := c.mgr.ReadMetadataBatch(ctx, fileIDs)
 
-	deleted := 0
+	var stats SweepStats
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, sweepConcurrency)
@@ -334,33 +382,52 @@ func (c *CloudOfClouds) DeleteVersionsBatch(ctx context.Context, batch map[strin
 		if len(versions) == 0 {
 			continue
 		}
-		byHash := make(map[string]uint64, len(versions))
+		byHash := make(map[string]depsky.VersionInfo, len(versions))
 		for _, v := range versions {
-			byHash[v.DataHash] = v.Number
+			byHash[v.DataHash] = v
 		}
 		numbers := make([]uint64, 0, len(hashes))
+		var doomed depsky.Footprint
 		for _, h := range hashes {
-			if n, ok := byHash[h]; ok {
-				numbers = append(numbers, n)
+			if v, ok := byHash[h]; ok {
+				numbers = append(numbers, v.Number)
+				doomed.Add(c.mgr.VersionFootprint(v))
 			}
 		}
 		if len(numbers) == 0 {
 			continue
 		}
 		wg.Add(1)
-		go func(fileID string, numbers []uint64) {
+		go func(fileID string, numbers []uint64, doomed depsky.Footprint) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			if n, err := c.mgr.DeleteVersions(ctx, fileID, numbers); err == nil {
 				mu.Lock()
-				deleted += n
+				stats.Deleted += n
+				if n == len(numbers) {
+					stats.ReclaimedBytes += doomed.Bytes
+					stats.ReclaimedObjects += doomed.Objects
+				}
 				mu.Unlock()
 			}
-		}(fileID, numbers)
+		}(fileID, numbers, doomed)
 	}
 	wg.Wait()
-	return deleted
+	return stats
+}
+
+// EstimateVersionFootprint implements VersionCoster by delegating to the
+// DepSky cost model (see depsky.Footprint).
+func (c *CloudOfClouds) EstimateVersionFootprint(size int64, streamed bool) VersionFootprint {
+	fp := c.mgr.EstimateFootprint(size, streamed)
+	return VersionFootprint{
+		Bytes:              fp.Bytes,
+		Objects:            fp.Objects,
+		PutRequests:        fp.PutRequests,
+		GetRequestsPerRead: fp.GetRequestsPerRead,
+		DeleteRequests:     fp.DeleteRequests,
+	}
 }
 
 // --- consistency anchor (Figure 3) ---

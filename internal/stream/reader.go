@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"scfs/internal/iopolicy"
 )
 
 // Fetcher yields decoded plaintext chunks of a chunked object. Implementations
@@ -20,7 +22,8 @@ type Fetcher interface {
 	ChunkSize() int
 	// Fetch decodes chunk idx into dst, which has exactly the chunk's
 	// plaintext length. It must not retain dst. Cancelling ctx aborts the
-	// fetch promptly with ctx.Err().
+	// fetch promptly with ctx.Err(). Fetch may be called concurrently for
+	// different chunks.
 	Fetch(ctx context.Context, idx int, dst []byte) error
 	// Close releases fetcher resources.
 	Close() error
@@ -29,10 +32,12 @@ type Fetcher interface {
 // ErrClosed is returned by Reader methods after Close.
 var ErrClosed = errors.New("stream: reader is closed")
 
-// readerCacheSlots is how many decoded chunks a Reader keeps. One slot
-// serves a single sequential scan; a few more keep interleaved readers at
-// different offsets (several handles share one Reader in the SCFS agent)
-// from evicting each other's chunk on every alternation.
+// readerCacheSlots is the minimum number of decoded chunks a Reader keeps.
+// One slot serves a single sequential scan; a few more keep interleaved
+// readers at different offsets (several handles share one Reader in the
+// SCFS agent) from evicting each other's chunk on every alternation. A
+// reader with readahead keeps at least its full prefetch window plus the
+// chunk being consumed.
 const readerCacheSlots = 4
 
 // cachedChunk is one filled cache slot.
@@ -42,26 +47,91 @@ type cachedChunk struct {
 	used int64  // access stamp for LRU eviction
 }
 
-// Reader provides io.Reader, io.ReaderAt and io.Closer over a Fetcher,
-// caching the most recently used chunks so sequential reads and clustered
-// random reads fetch each chunk once. It is safe for concurrent use.
-type Reader struct {
-	f    Fetcher
-	pool *Pool
-
-	mu     sync.Mutex
-	slots  []cachedChunk
-	tick   int64
-	off    int64 // sequential position for Read
-	closed bool
+// inflightChunk tracks one chunk fetch in progress, so concurrent readers
+// (and the prefetch pipeline) of the same chunk share a single fetch.
+type inflightChunk struct {
+	done chan struct{} // closed when the fetch finished (deposited or failed)
 }
 
-// NewReader wraps a fetcher. A nil pool uses the shared Buffers pool.
+// ReaderOptions configures the optional readahead pipeline of a Reader.
+type ReaderOptions struct {
+	// Readahead is the maximum number of chunks prefetched ahead of a
+	// sequential consumer (0 disables prefetch). The effective window ramps
+	// up from 1 only while the access pattern stays sequential and collapses
+	// on the first seek, so random readers never pay for speculation.
+	Readahead int
+	// MaxParallel bounds how many prefetches run concurrently
+	// (default: Readahead).
+	MaxParallel int
+	// BaseContext is the context prefetches derive their values (e.g. the
+	// I/O policy) from; their cancellation is governed by the reader's
+	// lifetime and the triggering read's context. Defaults to
+	// context.Background().
+	BaseContext context.Context
+}
+
+// Reader provides io.Reader, io.ReaderAt and io.Closer over a Fetcher,
+// caching the most recently used chunks so sequential reads and clustered
+// random reads fetch each chunk once. Distinct chunks are fetched
+// concurrently (callers touching the same chunk share one fetch), and with
+// ReaderOptions.Readahead set a sequential scan prefetches upcoming chunks
+// while the current one is being consumed, overlapping fetch+decode with
+// consumption. It is safe for concurrent use.
+type Reader struct {
+	f     Fetcher
+	pool  *Pool
+	slotN int
+
+	// Readahead pipeline (nil/zero when disabled).
+	govern      *iopolicy.Governor
+	maxParallel int
+	lifeCtx     context.Context
+	lifeCancel  context.CancelFunc
+	prefetchWG  sync.WaitGroup
+
+	// seqMu serializes sequential Reads so concurrent Reads consume
+	// disjoint ranges even though the fetches themselves run outside mu.
+	seqMu sync.Mutex
+
+	mu          sync.Mutex
+	slots       []cachedChunk
+	inflight    map[int]*inflightChunk
+	prefetching int
+	tick        int64
+	off         int64 // sequential position for Read
+	closed      bool
+}
+
+// NewReader wraps a fetcher with no readahead. A nil pool uses the shared
+// Buffers pool.
 func NewReader(f Fetcher, pool *Pool) *Reader {
+	return NewReaderOpts(f, pool, ReaderOptions{})
+}
+
+// NewReaderOpts wraps a fetcher with the given readahead configuration.
+func NewReaderOpts(f Fetcher, pool *Pool, opts ReaderOptions) *Reader {
 	if pool == nil {
 		pool = Buffers
 	}
-	return &Reader{f: f, pool: pool}
+	r := &Reader{f: f, pool: pool, slotN: readerCacheSlots, inflight: make(map[int]*inflightChunk)}
+	if opts.Readahead > 0 {
+		r.govern = iopolicy.NewGovernor(opts.Readahead)
+		r.maxParallel = opts.MaxParallel
+		if r.maxParallel <= 0 {
+			r.maxParallel = opts.Readahead
+		}
+		// The cache must hold the whole prefetch window plus the chunk
+		// being consumed, or prefetched chunks would evict each other.
+		if want := opts.Readahead + 2; want > r.slotN {
+			r.slotN = want
+		}
+		base := opts.BaseContext
+		if base == nil {
+			base = context.Background()
+		}
+		r.lifeCtx, r.lifeCancel = context.WithCancel(base)
+	}
+	return r
 }
 
 // Size returns the total plaintext length.
@@ -77,24 +147,25 @@ func (r *Reader) chunkLen(idx int) int {
 	return int(rem)
 }
 
-// load returns the contents of chunk idx, fetching into a new or recycled
-// cache slot on a miss. Called with mu held.
-func (r *Reader) load(ctx context.Context, idx int) ([]byte, error) {
-	r.tick++
+// lookupLocked returns the cached buffer of chunk idx. Called with mu held.
+func (r *Reader) lookupLocked(idx int) ([]byte, bool) {
 	for i := range r.slots {
 		if r.slots[i].idx == idx {
+			r.tick++
 			r.slots[i].used = r.tick
-			return r.slots[i].buf, nil
+			return r.slots[i].buf, true
 		}
 	}
-	buf := r.pool.Get(r.chunkLen(idx))
-	if err := r.f.Fetch(ctx, idx, buf); err != nil {
-		r.pool.Put(buf[:cap(buf)])
-		return nil, fmt.Errorf("stream: fetching chunk %d: %w", idx, err)
-	}
-	if len(r.slots) < readerCacheSlots {
+	return nil, false
+}
+
+// depositLocked installs a fetched chunk into the cache, evicting the least
+// recently used slot if full. Called with mu held.
+func (r *Reader) depositLocked(idx int, buf []byte) {
+	r.tick++
+	if len(r.slots) < r.slotN {
 		r.slots = append(r.slots, cachedChunk{idx: idx, buf: buf, used: r.tick})
-		return buf, nil
+		return
 	}
 	victim := 0
 	for i := range r.slots {
@@ -104,7 +175,65 @@ func (r *Reader) load(ctx context.Context, idx int) ([]byte, error) {
 	}
 	r.pool.Put(r.slots[victim].buf[:cap(r.slots[victim].buf)])
 	r.slots[victim] = cachedChunk{idx: idx, buf: buf, used: r.tick}
-	return buf, nil
+}
+
+// withChunk makes chunk idx resident and calls use(buf) with the chunk's
+// contents while the cache entry is pinned under mu (use must copy out and
+// not retain buf). It joins an in-flight fetch of the same chunk when one
+// exists, and starts its own otherwise.
+func (r *Reader) withChunk(ctx context.Context, idx int, use func([]byte)) error {
+	for {
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			return ErrClosed
+		}
+		if buf, ok := r.lookupLocked(idx); ok {
+			if use != nil {
+				use(buf)
+			}
+			r.mu.Unlock()
+			return nil
+		}
+		if fl := r.inflight[idx]; fl != nil {
+			r.mu.Unlock()
+			select {
+			case <-fl.done:
+				// The fetch finished: loop to serve from the cache, or — if
+				// it failed or its chunk was already evicted — fetch again
+				// under our own context.
+				continue
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		fl := &inflightChunk{done: make(chan struct{})}
+		r.inflight[idx] = fl
+		r.mu.Unlock()
+
+		buf := r.pool.Get(r.chunkLen(idx))
+		err := r.f.Fetch(ctx, idx, buf)
+		r.mu.Lock()
+		delete(r.inflight, idx)
+		closed := r.closed
+		if err == nil && !closed {
+			r.depositLocked(idx, buf)
+			if use != nil {
+				use(buf)
+			}
+		} else {
+			r.pool.Put(buf[:cap(buf)])
+		}
+		r.mu.Unlock()
+		close(fl.done)
+		if err != nil {
+			return fmt.Errorf("stream: fetching chunk %d: %w", idx, err)
+		}
+		if closed {
+			return ErrClosed
+		}
+		return nil
+	}
 }
 
 // ReadAt implements io.ReaderAt: it fetches only the chunks covering
@@ -115,19 +244,17 @@ func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
 }
 
 // ReadAtContext is ReadAt bounded by ctx: chunk fetches triggered by the
-// read observe the context and abort promptly when it is cancelled.
+// read observe the context and abort promptly when it is cancelled. When
+// the reader was built with readahead, a sequential run of reads also
+// prefetches upcoming chunks in the background.
 func (r *Reader) ReadAtContext(ctx context.Context, p []byte, off int64) (int, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.readAtLocked(ctx, p, off)
-}
-
-// readAtLocked is ReadAtContext with mu held.
-func (r *Reader) readAtLocked(ctx context.Context, p []byte, off int64) (int, error) {
 	if off < 0 {
 		return 0, errors.New("stream: negative offset")
 	}
-	if r.closed {
+	r.mu.Lock()
+	closed := r.closed
+	r.mu.Unlock()
+	if closed {
 		return 0, ErrClosed
 	}
 	size := r.f.Size()
@@ -135,17 +262,30 @@ func (r *Reader) readAtLocked(ctx context.Context, p []byte, off int64) (int, er
 		return 0, io.EOF
 	}
 	cs := int64(r.f.ChunkSize())
+	want := int64(len(p))
+	if max := size - off; want > max {
+		want = max
+	}
+	// Feed the governor and launch prefetches before fetching the covering
+	// chunks: on a sequential scan the upcoming chunks' fetches then overlap
+	// the foreground chunk's own fetch, not just its consumption.
+	if r.govern != nil && want > 0 {
+		r.triggerPrefetch(ctx, off, want, size, cs)
+	}
 	n := 0
-	for n < len(p) && off < size {
-		idx := int(off / cs)
-		chunk, err := r.load(ctx, idx)
+	pos := off
+	for n < len(p) && pos < size {
+		idx := int(pos / cs)
+		within := int(pos - int64(idx)*cs)
+		var copied int
+		err := r.withChunk(ctx, idx, func(chunk []byte) {
+			copied = copy(p[n:], chunk[within:])
+		})
 		if err != nil {
 			return n, err
 		}
-		within := int(off - int64(idx)*cs)
-		c := copy(p[n:], chunk[within:])
-		n += c
-		off += int64(c)
+		n += copied
+		pos += int64(copied)
 	}
 	if n < len(p) {
 		return n, io.EOF
@@ -153,18 +293,88 @@ func (r *Reader) readAtLocked(ctx context.Context, p []byte, off int64) (int, er
 	return n, nil
 }
 
+// triggerPrefetch feeds the governor with the read being served and starts
+// background fetches for the chunks inside the resulting window.
+func (r *Reader) triggerPrefetch(ctx context.Context, off, n, size int64, cs int64) {
+	window := r.govern.Observe(off, n)
+	if window <= 0 {
+		return
+	}
+	last := int((off + n - 1) / cs)
+	maxIdx := int((size - 1) / cs)
+	for j := last + 1; j <= last+window && j <= maxIdx; j++ {
+		r.startPrefetch(ctx, j)
+	}
+}
+
+// startPrefetch launches a background fetch of chunk idx unless it is
+// cached, already being fetched, or the parallelism bound is reached. The
+// fetch is cancelled when the reader closes or the triggering read's
+// context is cancelled, and its result lands in the chunk cache for the
+// consumer to pick up.
+func (r *Reader) startPrefetch(ctx context.Context, idx int) {
+	r.mu.Lock()
+	if r.closed || r.prefetching >= r.maxParallel {
+		r.mu.Unlock()
+		return
+	}
+	if _, ok := r.lookupLocked(idx); ok {
+		r.mu.Unlock()
+		return
+	}
+	if r.inflight[idx] != nil {
+		r.mu.Unlock()
+		return
+	}
+	fl := &inflightChunk{done: make(chan struct{})}
+	r.inflight[idx] = fl
+	r.prefetching++
+	r.prefetchWG.Add(1)
+	r.mu.Unlock()
+
+	// The prefetch runs under the reader's lifetime context (values come
+	// from BaseContext, so the prefetch carries the open-time I/O policy)
+	// and is additionally cancelled when the read that triggered it is.
+	pctx, pcancel := context.WithCancel(r.lifeCtx)
+	stop := context.AfterFunc(ctx, pcancel)
+	go func() {
+		defer r.prefetchWG.Done()
+		defer stop()
+		defer pcancel()
+		buf := r.pool.Get(r.chunkLen(idx))
+		err := r.f.Fetch(pctx, idx, buf)
+		r.mu.Lock()
+		delete(r.inflight, idx)
+		r.prefetching--
+		if err == nil && !r.closed {
+			r.depositLocked(idx, buf)
+		} else {
+			r.pool.Put(buf[:cap(buf)])
+		}
+		r.mu.Unlock()
+		close(fl.done)
+	}()
+}
+
 // Read implements io.Reader with an internal sequential offset. The offset
 // advance is atomic with the read, so concurrent Reads consume disjoint
 // ranges.
 func (r *Reader) Read(p []byte) (int, error) {
+	r.seqMu.Lock()
+	defer r.seqMu.Unlock()
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	n, err := r.readAtLocked(context.Background(), p, r.off)
-	r.off += int64(n)
+	off := r.off
+	r.mu.Unlock()
+	n, err := r.ReadAtContext(context.Background(), p, off)
+	r.mu.Lock()
+	r.off = off + int64(n)
+	r.mu.Unlock()
 	return n, err
 }
 
-// Close returns the cached chunks to the pool and closes the fetcher.
+// Close returns the cached chunks to the pool, aborts outstanding
+// prefetches and closes the fetcher. It only returns after every prefetch
+// goroutine has finished.
 func (r *Reader) Close() error {
 	r.mu.Lock()
 	if r.closed {
@@ -172,11 +382,15 @@ func (r *Reader) Close() error {
 		return nil
 	}
 	r.closed = true
+	if r.lifeCancel != nil {
+		r.lifeCancel()
+	}
 	for _, s := range r.slots {
 		r.pool.Put(s.buf[:cap(s.buf)])
 	}
 	r.slots = nil
 	r.mu.Unlock()
+	r.prefetchWG.Wait()
 	return r.f.Close()
 }
 

@@ -10,6 +10,7 @@ import (
 	"scfs/internal/core"
 	"scfs/internal/depsky"
 	"scfs/internal/depspace"
+	"scfs/internal/iopolicy"
 	"scfs/internal/storage"
 )
 
@@ -34,6 +35,7 @@ type config struct {
 	metadataTTL     time.Duration
 	streamThreshold int64
 	lockTTL         time.Duration
+	ioPolicy        iopolicy.Policy
 }
 
 func defaultConfig() config {
@@ -103,6 +105,16 @@ func WithStreamThreshold(bytes int64) Option { return func(c *config) { c.stream
 // WithLockTTL sets the lease attached to ephemeral write locks.
 func WithLockTTL(ttl time.Duration) Option { return func(c *config) { c.lockTTL = ttl } }
 
+// WithDefaultIOPolicy sets the mount-wide default I/O policy from the same
+// CallOptions used per call: every operation behaves as if the options were
+// passed to it, and per-call options (or a WithPolicy context) are overlaid
+// on top. Use it to make hedged reads or readahead the mount's default:
+//
+//	mount, _ := scfs.New(ctx, scfs.WithDefaultIOPolicy(scfs.WithHedge(0.95)))
+func WithDefaultIOPolicy(opts ...CallOption) Option {
+	return func(c *config) { c.ioPolicy = applyCallOptions(c.ioPolicy, opts) }
+}
+
 // build assembles the provider, coordination and storage stack and mounts
 // the agent.
 func (c *config) build(ctx context.Context) (*core.Agent, error) {
@@ -136,7 +148,7 @@ func (c *config) build(ctx context.Context) (*core.Agent, error) {
 		store = sc
 		pns = storage.NewSingleCloudPNS(clouds[0])
 	case len(clouds) >= 3*c.f+1:
-		mgr, err := depsky.New(depsky.Options{Clouds: clouds, F: c.f})
+		mgr, err := depsky.New(depsky.Options{Clouds: clouds, F: c.f, Policy: c.ioPolicy})
 		if err != nil {
 			return nil, fmt.Errorf("scfs: building cloud-of-clouds backend: %w", err)
 		}

@@ -20,9 +20,20 @@
 // verdict is known, so a cancelled (or simply completed) operation leaves no
 // redundant RPCs running.
 //
+// Beyond cancellation, each call can carry its own I/O policy: variadic
+// CallOptions (or a WithPolicy context) tune how that one operation spends
+// the cloud-of-clouds' redundancy. WithHedge(p) turns its quorum reads into
+// hedged reads — only the fastest quorum is contacted up front, stragglers
+// only after the tracked p-th latency percentile elapses — and
+// WithReadahead(n) gives its sequential scans an n-chunk prefetch pipeline:
+//
+//	data, err := scfs.ReadFile(ctx, mount, "/idx/key", scfs.WithHedge(0.95))
+//	n, err := scfs.ReadFileTo(ctx, mount, "/logs/big.bin", w, scfs.WithReadahead(4))
+//
 // For interoperability with the standard library, IOFS adapts a mount to
 // io/fs: fs.WalkDir, testing/fstest.TestFS and http.FileServer (via http.FS)
-// all work against it.
+// all work against it; pass a WithPolicy context to IOFS to tune the
+// adapter's reads.
 package scfs
 
 import (
@@ -120,8 +131,6 @@ type FS struct {
 	agent *core.Agent
 }
 
-var _ fsapi.FileSystem = (*FS)(nil)
-
 // New mounts an SCFS file system. With no options it assembles a fully
 // simulated deployment: four in-process cloud providers (tolerating f=1
 // faulty), an in-process DepSpace coordination service, and the DepSky-CA
@@ -149,9 +158,13 @@ func (m *FS) Agent() *core.Agent { return m.agent }
 // Stats returns a snapshot of the mount's activity counters.
 func (m *FS) Stats() Stats { return m.agent.Stats() }
 
-// Open opens (or with Create, creates) a file.
-func (m *FS) Open(ctx context.Context, path string, flags OpenFlag) (Handle, error) {
-	return m.agent.Open(ctx, path, flags)
+// Open opens (or with Create, creates) a file. CallOptions set the I/O
+// policy of the open and of the returned handle's reads: WithReadahead
+// configures the handle's prefetch pipeline at open time, WithHedge and
+// WithReadPreference shape the open's quorum reads (pass a WithPolicy
+// context to the handle's ReadAt to hedge individual reads).
+func (m *FS) Open(ctx context.Context, path string, flags OpenFlag, opts ...CallOption) (Handle, error) {
+	return m.agent.Open(callCtx(ctx, opts), path, flags)
 }
 
 // Mkdir creates a directory (parents must exist).
@@ -203,24 +216,28 @@ func (m *FS) WaitForUploads(ctx context.Context) error { return m.agent.WaitForU
 // Collect runs one synchronous garbage-collection pass.
 func (m *FS) Collect(ctx context.Context) (core.GCReport, error) { return m.agent.Collect(ctx) }
 
-// ReadFile opens path, reads it fully and closes it.
-func ReadFile(ctx context.Context, m *FS, path string) ([]byte, error) {
-	return fsapi.ReadFile(ctx, m.agent, path)
+// ReadFile opens path, reads it fully and closes it. CallOptions tune the
+// read's I/O policy (hedged quorum reads, readahead for large files).
+func ReadFile(ctx context.Context, m *FS, path string, opts ...CallOption) ([]byte, error) {
+	return fsapi.ReadFile(callCtx(ctx, opts), m.agent, path)
 }
 
-// WriteFile creates (or truncates) path with the given contents.
-func WriteFile(ctx context.Context, m *FS, path string, data []byte) error {
-	return fsapi.WriteFile(ctx, m.agent, path, data)
+// WriteFile creates (or truncates) path with the given contents. CallOptions
+// tune the write's I/O policy.
+func WriteFile(ctx context.Context, m *FS, path string, data []byte, opts ...CallOption) error {
+	return fsapi.WriteFile(callCtx(ctx, opts), m.agent, path, data)
 }
 
 // WriteFileFrom streams r into path with bounded memory and returns how many
-// bytes were written.
-func WriteFileFrom(ctx context.Context, m *FS, path string, r io.Reader) (int64, error) {
-	return fsapi.WriteFileFrom(ctx, m.agent, path, r)
+// bytes were written. CallOptions tune the write's I/O policy.
+func WriteFileFrom(ctx context.Context, m *FS, path string, r io.Reader, opts ...CallOption) (int64, error) {
+	return fsapi.WriteFileFrom(callCtx(ctx, opts), m.agent, path, r)
 }
 
 // ReadFileTo streams the contents of path into w and returns how many bytes
-// were copied.
-func ReadFileTo(ctx context.Context, m *FS, path string, w io.Writer) (int64, error) {
-	return fsapi.ReadFileTo(ctx, m.agent, path, w)
+// were copied. CallOptions tune the read's I/O policy — WithReadahead turns
+// a sequential copy of a cold large file into a pipelined scan that
+// prefetches upcoming chunks while the current one drains into w.
+func ReadFileTo(ctx context.Context, m *FS, path string, w io.Writer, opts ...CallOption) (int64, error) {
+	return fsapi.ReadFileTo(callCtx(ctx, opts), m.agent, path, w)
 }
