@@ -36,11 +36,15 @@ type bench struct {
 	// CloudBOp is the custom cloudB/op metric of the quorum-cancellation
 	// benchmarks: bytes the simulated clouds shipped per operation.
 	CloudBOp float64 `json:"cloud_b_op"`
-	// CloudReqOp is the custom cloudReq/op metric of the hedged-read
-	// benchmark: cloud RPCs issued by the client per operation (issued is
-	// issued — requests cancelled mid-flight still count, since hedging's
-	// fee saving comes from never issuing them).
+	// CloudReqOp is the custom cloudReq/op metric of the hedged-read and
+	// hedged-write benchmarks: cloud RPCs issued by the client per
+	// operation (issued is issued — requests cancelled mid-flight still
+	// count, since hedging's fee saving comes from never issuing them).
 	CloudReqOp float64 `json:"cloud_req_op"`
+	// DollarOp is the custom $/op metric of the hedged-write benchmark:
+	// the request and transfer fees of one operation priced per provider
+	// by the bundled table (internal/pricing).
+	DollarOp float64 `json:"dollar_op"`
 }
 
 type report struct {
@@ -131,6 +135,42 @@ var pairRules = []pairRule{
 		num: "BenchmarkStreamSequentialScan/Readahead4", den: "BenchmarkStreamSequentialScan/NoReadahead",
 		metric: func(b bench) float64 { return b.NsOp }, what: "ns/op",
 		maxRatio: 0.67,
+	},
+	// PR 5 acceptance, hedged writes. At equal (n, f) durability a hedged
+	// write ships only the preferred quorum's shards: >= 25% fewer ingress
+	// bytes than the immediate full fan-out. The benchmark writes a fresh
+	// unit per iteration, so the measured ratio is the quorum fraction
+	// (n-f)/n = 0.750 exactly (n=4, f=1); the whisker above it only covers
+	// the rare immediate-leg upload that is cancelled before billing,
+	// which shrinks the denominator.
+	{
+		num: "BenchmarkDepSkyHedgedWrite/Hedged", den: "BenchmarkDepSkyHedgedWrite/Immediate",
+		metric: func(b bench) float64 { return b.CloudBOp }, what: "cloudB/op",
+		maxRatio: 0.76,
+	},
+	// ...while issuing fewer cloud RPCs (measured 10 — 4 metadata-read
+	// GETs + 3 block PUTs + 3 metadata PUTs — versus 12 for the full
+	// fan-out)...
+	{
+		num: "BenchmarkDepSkyHedgedWrite/Hedged", den: "BenchmarkDepSkyHedgedWrite/Immediate",
+		metric: func(b bench) float64 { return b.CloudReqOp }, what: "cloudReq/op",
+		maxRatio: 0.90,
+	},
+	// ...spending fewer dollars per write under the bundled price table
+	// (measured ~0.81x: cost-first placement parks the per-op priciest
+	// cloud)...
+	{
+		num: "BenchmarkDepSkyHedgedWrite/Hedged", den: "BenchmarkDepSkyHedgedWrite/Immediate",
+		metric: func(b bench) float64 { return b.DollarOp }, what: "$/op",
+		maxRatio: 0.90,
+	},
+	// ...and at comparable latency: parking the spare must not slow the
+	// quorum down (both legs wait for the same n-f acks; headroom for
+	// scheduler noise at small iteration counts).
+	{
+		num: "BenchmarkDepSkyHedgedWrite/Hedged", den: "BenchmarkDepSkyHedgedWrite/Immediate",
+		metric: func(b bench) float64 { return b.NsOp }, what: "ns/op",
+		maxRatio: 1.25,
 	},
 }
 

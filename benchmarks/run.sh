@@ -20,7 +20,7 @@ BEGIN { print "{"; printf "  \"captured\": \"%s\",\n  \"go\": \"%s\",\n  \"bench
 /^Benchmark/ {
 	name = $1; sub(/-[0-9]+$/, "", name)
 	iters = $2
-	ns = ""; mbs = ""; bop = ""; allocs = ""; cloudb = ""; cloudreq = ""
+	ns = ""; mbs = ""; bop = ""; allocs = ""; cloudb = ""; cloudreq = ""; dollar = ""
 	for (i = 2; i <= NF; i++) {
 		if ($i == "ns/op") ns = $(i-1)
 		if ($i == "MB/s") mbs = $(i-1)
@@ -28,6 +28,7 @@ BEGIN { print "{"; printf "  \"captured\": \"%s\",\n  \"go\": \"%s\",\n  \"bench
 		if ($i == "allocs/op") allocs = $(i-1)
 		if ($i == "cloudB/op") cloudb = $(i-1)
 		if ($i == "cloudReq/op") cloudreq = $(i-1)
+		if ($i == "$/op") dollar = $(i-1)
 	}
 	if (ns == "") next
 	if (n++) printf ","
@@ -37,6 +38,7 @@ BEGIN { print "{"; printf "  \"captured\": \"%s\",\n  \"go\": \"%s\",\n  \"bench
 	if (allocs != "") printf ", \"allocs_op\": %s", allocs
 	if (cloudb != "") printf ", \"cloud_b_op\": %s", cloudb
 	if (cloudreq != "") printf ", \"cloud_req_op\": %s", cloudreq
+	if (dollar != "") printf ", \"dollar_op\": %s", dollar
 	printf "}"
 }
 END { print "\n  }\n}" }

@@ -29,13 +29,17 @@ type (
 	// Its zero value reproduces the default behaviour: immediate full
 	// fan-out to every cloud, no readahead.
 	IOPolicy = iopolicy.Policy
-	// HedgePolicy configures hedged reads (see WithHedge).
+	// HedgePolicy configures hedged reads (see WithHedge) and hedged
+	// writes (see WithWriteHedge).
 	HedgePolicy = iopolicy.Hedge
 	// ReadPreference orders the clouds a read contacts first (see
 	// WithReadPreference).
 	ReadPreference = iopolicy.Preference
 	// IOLimits bounds the extra work a policy may spend (see WithLimits).
 	IOLimits = iopolicy.Limits
+	// PlacementObjective ranks the clouds an operation dispatches to by
+	// cost, latency, or a weighted blend (see WithPlacement).
+	PlacementObjective = iopolicy.Placement
 )
 
 // CallOption tunes the I/O policy of a single operation. Pass CallOptions
@@ -54,24 +58,89 @@ type CallOption func(*IOPolicy)
 // With no latency observations yet the hedge fires immediately, degrading
 // gracefully to the full fan-out. Combine with WithHedgeDelayBounds to
 // clamp the tracked delay.
+//
+// The preferred set is ranked fastest-first by default (the tracker
+// ranking dispatch falls through to); WithHedge deliberately does not pin
+// an explicit preference, so a mount-wide WithPlacement objective or
+// WithReadPreference order still decides the ranking of a hedged call.
 func WithHedge(percentile float64) CallOption {
-	return func(p *IOPolicy) {
-		p.Hedge.Percentile = percentile
-		if p.Preference.IsZero() {
-			p.Preference = ReadPreference{Fastest: true}
-		}
-	}
+	return func(p *IOPolicy) { p.Hedge.Percentile = percentile }
 }
 
-// WithHedgeDelayBounds clamps the tracked hedge delay of WithHedge to
-// [min, max]; max of 0 leaves the delay uncapped. Use it to bound how long
-// an operation may wait on a preferred set whose tracked percentile is
-// stale or pathological.
+// WithHedgeDelayBounds clamps the tracked hedge delay of WithHedge (read
+// fan-outs) to [min, max]; max of 0 leaves the delay uncapped. Use it to
+// bound how long an operation may wait on a preferred set whose tracked
+// percentile is stale or pathological. Write hedges keep their own bounds
+// (WithWriteHedgeDelayBounds), so tightening a latency-critical read never
+// loosens the mount's write-spare parking.
 func WithHedgeDelayBounds(min, max time.Duration) CallOption {
 	return func(p *IOPolicy) {
 		p.Hedge.MinDelay = min
 		p.Hedge.MaxDelay = max
 	}
+}
+
+// WithWriteHedgeDelayBounds clamps the tracked spare-release delay of
+// WithWriteHedge to [min, max]; max of 0 leaves it uncapped. Raise min to
+// keep spare clouds parked through upload jitter (a long floor costs
+// nothing while the preferred quorum is healthy — the quorum verdict, not
+// the timer, completes the write).
+func WithWriteHedgeDelayBounds(min, max time.Duration) CallOption {
+	return func(p *IOPolicy) {
+		p.WriteHedge.MinDelay = min
+		p.WriteHedge.MaxDelay = max
+	}
+}
+
+// WithWriteHedge makes the operation's quorum writes hedged: each upload
+// fan-out ships its shards to the preferred n-f quorum immediately — ranked
+// by the placement objective (WithPlacement), an explicit preference, or
+// tracked upload latency — and releases the spare clouds only after the
+// given percentile (0 < p <= 1) of the preferred clouds' tracked upload
+// latency has elapsed, or a preferred upload fails, whichever comes first.
+// On a stable deployment the spare uploads are never issued, cutting the
+// write's ingress bytes and PUT fees to the n-f copies the paper's cost
+// model charges for, at unchanged durability: the protocol only ever
+// promises the quorum, and a version on the preferred n-f clouds survives
+// f faults among them (n-2f = f+1 shards remain) and stays
+// quorum-certified to readers.
+//
+// Raise MinDelay via WithWriteHedgeDelayBounds to keep spares parked
+// through upload jitter; a cold tracker hedges almost immediately,
+// degrading gracefully to the full fan-out.
+func WithWriteHedge(percentile float64) CallOption {
+	return func(p *IOPolicy) { p.WriteHedge.Percentile = percentile }
+}
+
+// WithPlacement ranks the clouds the operation's fan-outs dispatch to by
+// the given objective: PlaceCheapest sends work to the clouds where it
+// costs the fewest dollars (per the mount's price table), PlaceFastest to
+// the lowest-latency ones, PlaceBalanced(w) blends the two. The ranking
+// decides which clouds form the preferred quorum of hedged dispatch, so it
+// takes effect on operations that hedge — WithHedge for reads,
+// WithWriteHedge for writes. Without a hedge, dispatch remains the
+// immediate full fan-out and every cloud is contacted regardless of rank.
+func WithPlacement(obj PlacementObjective) CallOption {
+	return func(p *IOPolicy) { p.Placement = obj }
+}
+
+// PlaceCheapest ranks clouds cheapest-first by the estimated dollars the
+// operation costs at each (request fee + transfer, plus a month of storage
+// for uploads).
+func PlaceCheapest() PlacementObjective {
+	return PlacementObjective{Strategy: iopolicy.PlaceCost}
+}
+
+// PlaceFastest ranks clouds by tracked latency, fastest first (the default
+// ranking whenever one is needed).
+func PlaceFastest() PlacementObjective {
+	return PlacementObjective{Strategy: iopolicy.PlaceLatency}
+}
+
+// PlaceBalanced blends the normalized cost and latency rankings;
+// costWeight in [0, 1] is the cost share (0 = pure latency, 1 = pure cost).
+func PlaceBalanced(costWeight float64) PlacementObjective {
+	return PlacementObjective{Strategy: iopolicy.PlaceBalanced, CostWeight: costWeight}
 }
 
 // WithReadahead gives sequential reads of the operation's files an n-chunk
@@ -86,9 +155,14 @@ func WithReadahead(chunks int) CallOption {
 	return func(p *IOPolicy) { p.Readahead = chunks }
 }
 
-// WithReadPreference orders the clouds the operation's reads contact first.
-// PreferFastest ranks them by tracked latency; PreferClouds pins an
-// explicit order (e.g. to keep egress at a contractual provider).
+// WithReadPreference orders the clouds the operation's fan-outs contact
+// first. PreferFastest ranks them by tracked latency; PreferClouds pins an
+// explicit order (e.g. to keep egress at a contractual provider). Despite
+// the historical name, the preference applies to every fan-out of the
+// operation: quorum reads always, and — when WithWriteHedge is in effect —
+// the preferred write quorum too, where an explicit PreferClouds order
+// takes precedence over the WithPlacement objective (pinning an operation
+// to clouds pins where its data lands).
 func WithReadPreference(pref ReadPreference) CallOption {
 	return func(p *IOPolicy) { p.Preference = pref }
 }

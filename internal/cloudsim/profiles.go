@@ -70,10 +70,18 @@ func NewProviderKind(kind ProviderKind, latencyScale float64, clk clock.Clock, s
 	return NewProvider(opts)
 }
 
+// CoCKinds returns the provider kinds of the paper's four-cloud setup, in
+// the dispatch-index order NewCoCProviders creates them. The bundled price
+// table (pricing.DefaultTable) carries a rate card for each of these names;
+// a pricing test keeps the two lists in sync.
+func CoCKinds() []ProviderKind {
+	return []ProviderKind{AmazonS3, GoogleStorage, RackspaceFiles, AzureBlob}
+}
+
 // NewCoCProviders creates the four-provider cloud-of-clouds setup used by the
 // paper (Amazon S3, Google Cloud Storage, Rackspace, Windows Azure).
 func NewCoCProviders(latencyScale float64, clk clock.Clock, seed int64) []*Provider {
-	kinds := []ProviderKind{AmazonS3, GoogleStorage, RackspaceFiles, AzureBlob}
+	kinds := CoCKinds()
 	out := make([]*Provider, len(kinds))
 	for i, k := range kinds {
 		out[i] = NewProviderKind(k, latencyScale, clk, seed+int64(i))

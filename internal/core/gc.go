@@ -68,6 +68,12 @@ type GCReport struct {
 	// request-fee axis of the reclaim: fewer surviving objects mean fewer
 	// GET fees per future read and fewer storage-class minimums.
 	ReclaimedObjects int64
+	// ReclaimedDollars is the recurring storage spend, in $/month, the run
+	// stopped accruing (priced by the backend's rate table; 0 when the
+	// backend cannot attribute dollars). The sweep issues deletions in
+	// descending dollars-per-byte order, so a run cut short still reclaims
+	// the most valuable candidates first.
+	ReclaimedDollars float64
 }
 
 // Collect runs one synchronous garbage collection pass over the files owned
@@ -117,6 +123,7 @@ func (a *Agent) Collect(ctx context.Context) (GCReport, error) {
 	report.VersionsDeleted = sweep.Deleted
 	report.ReclaimedBytes = sweep.ReclaimedBytes
 	report.ReclaimedObjects = sweep.ReclaimedObjects
+	report.ReclaimedDollars = sweep.ReclaimedDollars
 
 	// Phase 3: apply the metadata updates.
 	for _, md := range purged {

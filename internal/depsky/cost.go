@@ -1,0 +1,129 @@
+package depsky
+
+// Dollar cost model. footprint.go counts the byte and object axes of one
+// stored version; this file prices them with the per-cloud rate cards of
+// Options.Pricing (§4.5 of the paper argues in exactly these units: the
+// cloud-of-clouds is practical because DepSky-CA's dollars stay within ~2x
+// of a single cloud). Estimates charge the mean rate card across the n
+// clouds — which n-f subset actually holds a version depends on the
+// placement objective and the tracker state at write time, and an estimate
+// that stable is worth more to the garbage collector (which ranks
+// candidates by it) than one that drifts with provider weather.
+
+import (
+	"scfs/internal/pricing"
+	"scfs/internal/seccrypto"
+)
+
+// Rates returns the per-cloud-index rate cards the manager prices with.
+func (m *Manager) Rates() []pricing.Rates { return m.rates }
+
+// meanRates averages the rate cards across the clouds. The rates are fixed
+// at construction, so New computes this once into m.mean; a GC sweep
+// pricing thousands of versions reads the cached card.
+func meanRates(rates []pricing.Rates) pricing.Rates {
+	var sum pricing.Rates
+	n := len(rates)
+	if n == 0 {
+		return pricing.DefaultRates
+	}
+	for _, r := range rates {
+		sum.StorageGBMonth += r.StorageGBMonth
+		sum.PutRequest += r.PutRequest
+		sum.GetRequest += r.GetRequest
+		sum.DeleteRequest += r.DeleteRequest
+		sum.ListRequest += r.ListRequest
+		sum.EgressPerGB += r.EgressPerGB
+		sum.IngressPerGB += r.IngressPerGB
+	}
+	f := 1 / float64(n)
+	sum.StorageGBMonth *= f
+	sum.PutRequest *= f
+	sum.GetRequest *= f
+	sum.DeleteRequest *= f
+	sum.ListRequest *= f
+	sum.EgressPerGB *= f
+	sum.IngressPerGB *= f
+	return sum
+}
+
+// VersionCost prices one stored version's lifecycle from its metadata:
+// recurring storage per month, the upload it already paid, what one whole
+// read costs, and what reclaiming it will cost. It is the dollar companion
+// of VersionFootprint and what the garbage collector ranks reclamation
+// candidates by.
+func (m *Manager) VersionCost(info VersionInfo) pricing.Estimate {
+	chunks, fullLen, tailLen := versionChunkShape(info)
+	return m.cost(info.Protocol, chunks, fullLen, tailLen)
+}
+
+// EstimateCost predicts the lifecycle dollars a value of the given size
+// would cost if written now; chunked selects the streamed v2 layout (one
+// object per chunk) versus the whole-object v1 layout.
+func (m *Manager) EstimateCost(size int64, chunked bool) pricing.Estimate {
+	chunks, fullLen, tailLen := m.estimateChunkShape(size, chunked)
+	return m.cost(m.opts.Protocol, chunks, fullLen, tailLen)
+}
+
+// versionChunkShape reduces a version's chunking to (count, full-chunk
+// length, tail-chunk length) — every chunk but the last is full-size, so
+// the per-chunk cost loops collapse to constant-time arithmetic.
+func versionChunkShape(info VersionInfo) (chunks, fullLen, tailLen int) {
+	if info.Chunked() && info.validChunking() {
+		return info.ChunkCount, info.ChunkSize, info.chunkPlainLen(info.ChunkCount - 1)
+	}
+	return 1, info.Size, info.Size
+}
+
+// estimateChunkShape is versionChunkShape for a value not yet written.
+func (m *Manager) estimateChunkShape(size int64, chunked bool) (chunks, fullLen, tailLen int) {
+	if !chunked {
+		return 1, int(size), int(size)
+	}
+	cs := m.chunkSize()
+	n := int((size + int64(cs) - 1) / int64(cs))
+	if n < 1 {
+		n = 1
+	}
+	return n, cs, int(size - int64(n-1)*int64(cs))
+}
+
+// cost prices a version of `chunks` objects (chunks-1 of fullLen plaintext
+// bytes plus one of tailLen) under the protocol's dispersal, mirroring
+// footprint(): CA charges one erasure shard of the ciphertext on each of
+// the n-f quorum clouds and f+1 readers per chunk, A a full replica on all
+// n clouds and one reader. The metadata quorum write rides along as q
+// request fees. Constant-time regardless of the chunk count.
+func (m *Manager) cost(protocol Protocol, chunks, fullLen, tailLen int) pricing.Estimate {
+	mean := m.mean
+	n := int64(m.N())
+	q := int64(m.QuorumSize())
+	charged, readers := q, int64(m.opts.F+1)
+	if protocol == ProtocolA {
+		charged, readers = n, 1
+	}
+	perChunk := func(plain int) pricing.Estimate {
+		var stored int64 // bytes per charged cloud
+		if protocol == ProtocolA {
+			stored = int64(plain)
+		} else {
+			stored = int64(m.coder.ShardSize(plain + seccrypto.CiphertextOverhead))
+		}
+		return pricing.Estimate{
+			StoragePerMonth: float64(charged) * mean.StorageCost(stored),
+			UploadOnce:      float64(charged) * mean.PutCost(stored),
+			ReadOnce:        float64(readers) * mean.GetCost(stored),
+			DeleteOnce:      float64(n) * mean.DeleteRequest,
+		}
+	}
+	full := perChunk(fullLen)
+	est := pricing.Estimate{
+		StoragePerMonth: float64(chunks-1) * full.StoragePerMonth,
+		UploadOnce:      float64(chunks-1) * full.UploadOnce,
+		ReadOnce:        float64(chunks-1) * full.ReadOnce,
+		DeleteOnce:      float64(chunks-1) * full.DeleteOnce,
+	}
+	est.Add(perChunk(tailLen))
+	est.UploadOnce += float64(q) * mean.PutRequest // the metadata quorum write
+	return est
+}

@@ -34,6 +34,8 @@ import (
 	"scfs/internal/cloud"
 	"scfs/internal/erasure"
 	"scfs/internal/iopolicy"
+	"scfs/internal/placement"
+	"scfs/internal/pricing"
 	"scfs/internal/seccrypto"
 	"scfs/internal/secretshare"
 	"scfs/internal/stream"
@@ -223,11 +225,17 @@ type Options struct {
 	// quorum operation cancel its redundant per-cloud RPCs the moment the
 	// quorum verdict is known.
 	DisableQuorumCancel bool
-	// Policy is the manager-wide default I/O policy (hedged reads,
-	// readahead, cloud preference). A per-operation policy carried by the
-	// operation's context (iopolicy.With) is overlaid on top of it. The
-	// zero value keeps the immediate full fan-out and no readahead.
+	// Policy is the manager-wide default I/O policy (hedged reads and
+	// writes, readahead, cloud preference, placement objective). A
+	// per-operation policy carried by the operation's context
+	// (iopolicy.With) is overlaid on top of it. The zero value keeps the
+	// immediate full fan-out and no readahead.
 	Policy iopolicy.Policy
+	// Pricing maps each cloud's provider name to its price card; the
+	// placement engine ranks clouds by it and the cost model converts
+	// footprints into dollars. The zero Table prices every provider with
+	// pricing.DefaultRates (placement then treats them as equals).
+	Pricing pricing.Table
 }
 
 // Manager reads and writes data units spread over the configured clouds.
@@ -235,9 +243,12 @@ type Options struct {
 // different goroutines operate on different data units (SCFS guarantees a
 // single writer per file via its lock service).
 type Manager struct {
-	opts    Options
-	coder   *erasure.Coder
-	tracker *iopolicy.Tracker
+	opts     Options
+	coder    *erasure.Coder
+	tracker  *iopolicy.Tracker
+	rates    []pricing.Rates
+	mean     pricing.Rates // rate card averaged across the clouds
+	selector *placement.Selector
 }
 
 // New validates the options and creates a manager.
@@ -253,7 +264,16 @@ func New(opts Options) (*Manager, error) {
 	if err != nil {
 		return nil, fmt.Errorf("depsky: building erasure coder: %w", err)
 	}
-	return &Manager{opts: opts, coder: coder, tracker: iopolicy.NewTracker(len(opts.Clouds))}, nil
+	tracker := iopolicy.NewTracker(len(opts.Clouds))
+	rates := opts.Pricing.Resolve(opts.Clouds)
+	return &Manager{
+		opts:     opts,
+		coder:    coder,
+		tracker:  tracker,
+		rates:    rates,
+		mean:     meanRates(rates),
+		selector: placement.NewSelector(rates, tracker),
+	}, nil
 }
 
 // N returns the number of clouds.
@@ -303,7 +323,9 @@ func (m *Manager) quorumCtx(ctx context.Context) (context.Context, context.Cance
 func (m *Manager) readMetadataQuorum(ctx context.Context, unit string) []*unitMetadata {
 	name := m.metaName(unit)
 	n := m.N()
-	gate := m.newHedgeGate(m.policyFor(ctx), m.QuorumSize())
+	pol := m.policyFor(ctx)
+	op := metadataOp()
+	gate := m.newHedgeGate(pol, pol.Hedge, m.QuorumSize(), op)
 	opCtx, cancel := m.quorumCtx(ctx)
 	defer cancel()
 	type fetched struct {
@@ -319,7 +341,7 @@ func (m *Manager) readMetadataQuorum(ctx context.Context, unit string) []*unitMe
 			}
 			start := time.Now()
 			data, err := c.Get(opCtx, name)
-			m.observeRPC(i, start, err)
+			m.observeRPC(i, op, start, err)
 			if err != nil {
 				results <- fetched{idx: i}
 				return
@@ -461,18 +483,42 @@ func (m *Manager) writeQuorum(ctx context.Context, name string, payload func(i i
 	return m.writeQuorumHooked(ctx, name, payload, nil)
 }
 
+// errHedgeSkipped marks the outcome of a cloud whose upload was never
+// issued because the quorum verdict arrived while its hedge gate was still
+// holding it back. It only ever surfaces after the verdict is decided, so
+// callers never see it.
+var errHedgeSkipped = errors.New("depsky: upload gated out by the quorum verdict")
+
 // writeQuorumHooked is writeQuorum with a per-cloud completion hook:
 // onCloudDone(i) is called (from the collector goroutine) as soon as cloud
-// i's upload attempt has finished, whether it succeeded, failed or was
-// cancelled by the quorum verdict. The streaming pipeline uses it to recycle
-// each cloud's frame buffer the moment that cloud is done with it.
+// i's upload attempt has finished, whether it succeeded, failed, was
+// cancelled by the quorum verdict, or was never issued at all (hedged
+// writes). The streaming pipeline uses it to recycle each cloud's frame
+// buffer the moment that cloud is done with it.
+//
+// Under a WriteHedge policy the fan-out is preferred-set-first (Basil-style
+// hedged writes): only the preferred n-f clouds — ranked by the placement
+// objective, explicit preference, or tracked upload latency — upload
+// immediately; the spares sit behind the hedge gate and launch only if the
+// tracked percentile of the preferred set's upload latency elapses without
+// a verdict, or a preferred upload fails. On a stable deployment the spare
+// uploads are never issued, so the write ships (n-f)/n of the full
+// fan-out's ingress bytes and PUT fees at equal durability: the paper's
+// quorum math only ever promises the preferred n-f copies (a reader
+// tolerating f faults among them still finds n-2f = f+1 intact shards),
+// and the metadata union certifies any entry that f+1 of the n-f metadata
+// responders agree on, which the preferred quorum guarantees.
 //
 // Cancelling ctx aborts every in-flight upload and returns ctx.Err(). The
 // collector goroutine always drains all n outcomes, but after the verdict
-// the losers are already cancelled, so it exits promptly rather than living
-// as long as the slowest cloud.
+// the losers are already cancelled (and the gated spares release without
+// touching the network), so it exits promptly rather than living as long
+// as the slowest cloud.
 func (m *Manager) writeQuorumHooked(ctx context.Context, name string, payload func(i int) []byte, onCloudDone func(i int)) error {
 	n := m.N()
+	pol := m.policyFor(ctx)
+	op := iopolicy.PutOp(len(payload(0)))
+	gate := m.newHedgeGate(pol, pol.WriteHedge, m.QuorumSize(), op)
 	opCtx, cancel := m.quorumCtx(ctx)
 	type outcome struct {
 		idx int
@@ -481,9 +527,13 @@ func (m *Manager) writeQuorumHooked(ctx context.Context, name string, payload fu
 	results := make(chan outcome, n)
 	for i, c := range m.opts.Clouds {
 		go func(i int, c cloud.ObjectStore) {
+			if !gate.enter(opCtx, i) {
+				results <- outcome{idx: i, err: errHedgeSkipped}
+				return
+			}
 			start := time.Now()
 			err := c.Put(opCtx, name, payload(i))
-			m.observeRPC(i, start, err)
+			m.observeRPC(i, op, start, err)
 			results <- outcome{idx: i, err: err}
 		}(i, c)
 	}
@@ -500,6 +550,10 @@ func (m *Manager) writeQuorumHooked(ctx context.Context, name string, payload fu
 				successes++
 			} else {
 				failures++
+				// A failed preferred upload releases one gated spare at
+				// once, so the quorum can still be assembled without
+				// waiting out the hedge delay.
+				gate.kick()
 			}
 			if decided {
 				continue
@@ -780,7 +834,9 @@ func (m *Manager) readVersion(ctx context.Context, unit string, info VersionInfo
 	}
 	scratch := &decodeScratch{}
 	defer scratch.release()
-	gate := m.newHedgeGate(m.policyFor(ctx), m.readNeed(info.Protocol))
+	pol := m.policyFor(ctx)
+	op := m.blockOp(info.Protocol, info.Size)
+	gate := m.newHedgeGate(pol, pol.Hedge, m.readNeed(info.Protocol), op)
 	opCtx, cancel := m.quorumCtx(ctx)
 	defer cancel()
 	name := m.blockName(unit, info.Number)
@@ -800,7 +856,7 @@ func (m *Manager) readVersion(ctx context.Context, unit string, info VersionInfo
 			}
 			start := time.Now()
 			data, err := c.Get(opCtx, name)
-			m.observeRPC(i, start, err)
+			m.observeRPC(i, op, start, err)
 			if err != nil {
 				results <- fetched{idx: i}
 				return

@@ -1,16 +1,23 @@
 package depsky
 
-// Hedged dispatch. Every quorum read used to fan out to all n clouds the
+// Hedged dispatch. Every quorum fan-out used to contact all n clouds the
 // moment it started; first-quorum-wins cancellation (PR 3) then aborted the
 // losers, which bounds the latency tail but still issues every RPC — the
 // straggler's request is started, billed a request fee, and only then
 // cancelled. The hedge gate below delays the redundant requests instead:
-// a read dispatches to the preferred quorum only, and the remaining clouds
-// are contacted when (a) the tracked latency percentile of the preferred
-// set elapses without a verdict, or (b) a preferred cloud fails or returns
-// an unusable response, whichever comes first. In the common case the
-// preferred quorum answers in time and the extra RPCs are never issued at
-// all.
+// a fan-out dispatches to the preferred quorum only, and the remaining
+// clouds are contacted when (a) the tracked latency percentile of the
+// preferred set elapses without a verdict, or (b) a preferred cloud fails
+// or returns an unusable response, whichever comes first. In the common
+// case the preferred quorum answers in time and the extra RPCs are never
+// issued at all. Reads (Policy.Hedge) and writes (Policy.WriteHedge) run
+// the same gate; for writes the savings are ingress bytes and PUT fees at
+// the spare clouds.
+//
+// The preferred set itself comes from the placement engine: an explicit
+// preference order wins, then the placement objective (cost-first ranks by
+// the per-op dollar estimate of each cloud's price card, balanced blends
+// dollars with tracked latency), then the tracker's fastest-first ranking.
 //
 // The gate is policy-driven (iopolicy.Policy carried by the operation's
 // context); with no hedge policy it is inert and dispatch stays the
@@ -21,6 +28,7 @@ import (
 	"time"
 
 	"scfs/internal/iopolicy"
+	"scfs/internal/seccrypto"
 )
 
 // policyFor resolves the effective I/O policy of one operation: the
@@ -33,11 +41,11 @@ func (m *Manager) policyFor(ctx context.Context) iopolicy.Policy {
 }
 
 // observeRPC feeds the per-cloud latency tracker with the outcome of one
-// RPC. Only successes are recorded: failures return fast and would make a
-// broken cloud look attractive.
-func (m *Manager) observeRPC(i int, start time.Time, err error) {
+// RPC of the given class and payload size. Only successes are recorded:
+// failures return fast and would make a broken cloud look attractive.
+func (m *Manager) observeRPC(i int, op iopolicy.Op, start time.Time, err error) {
 	if err == nil {
-		m.tracker.Observe(i, time.Since(start))
+		m.tracker.Observe(i, op, time.Since(start))
 	}
 }
 
@@ -45,11 +53,15 @@ func (m *Manager) observeRPC(i int, start time.Time, err error) {
 // diagnostics).
 func (m *Manager) Tracker() *iopolicy.Tracker { return m.tracker }
 
-// rankClouds orders the cloud indices for dispatch: an explicit preference
-// order wins, otherwise the tracker's fastest-first ranking.
-func (m *Manager) rankClouds(pref iopolicy.Preference) []int {
+// rankClouds orders the cloud indices for dispatching op: an explicit
+// preference (a pinned Order, or Fastest) wins, then the policy's
+// placement objective (evaluated by the selector over the price table),
+// otherwise the tracker's fastest-first ranking. Preference beating
+// Placement is what lets one latency-critical call opt out of a
+// cost-first mount with WithReadPreference(PreferFastest()).
+func (m *Manager) rankClouds(pol iopolicy.Policy, op iopolicy.Op) []int {
 	n := m.N()
-	if len(pref.Order) > 0 {
+	if pref := pol.Preference; len(pref.Order) > 0 {
 		order := make([]int, 0, n)
 		used := make([]bool, n)
 		for _, i := range pref.Order {
@@ -65,7 +77,13 @@ func (m *Manager) rankClouds(pref iopolicy.Preference) []int {
 		}
 		return order
 	}
-	return m.tracker.Rank()
+	if pol.Preference.Fastest {
+		return m.tracker.Rank(op)
+	}
+	if !pol.Placement.IsZero() {
+		return m.selector.Rank(pol.Placement, op)
+	}
+	return m.tracker.Rank(op)
 }
 
 // hedgeGate gates the non-preferred clouds of one fan-out. Each per-cloud
@@ -86,14 +104,15 @@ type hedgeGate struct {
 	kicks  chan struct{}
 }
 
-// newHedgeGate builds the gate for a fan-out that needs `need` usable
-// responses. With hedging disabled the gate is inert.
-func (m *Manager) newHedgeGate(pol iopolicy.Policy, need int) *hedgeGate {
+// newHedgeGate builds the gate for a fan-out of op that needs `need` usable
+// responses, gated by the hedge configuration h (Policy.Hedge for reads,
+// Policy.WriteHedge for writes). With hedging disabled the gate is inert.
+func (m *Manager) newHedgeGate(pol iopolicy.Policy, h iopolicy.Hedge, need int, op iopolicy.Op) *hedgeGate {
 	n := m.N()
-	if !pol.Hedge.Enabled() || need >= n {
+	if !h.Enabled() || need >= n {
 		return &hedgeGate{}
 	}
-	order := m.rankClouds(pol.Preference)
+	order := m.rankClouds(pol, op)
 	pos := make([]int, n)
 	for p, i := range order {
 		pos[i] = p
@@ -107,7 +126,7 @@ func (m *Manager) newHedgeGate(pol iopolicy.Policy, need int) *hedgeGate {
 		pos:     pos,
 		need:    need,
 		hedges:  hedges,
-		delay:   m.tracker.HedgeDelay(pol.Hedge, order[:need]),
+		delay:   m.tracker.HedgeDelay(op, h, order[:need]),
 		kicks:   make(chan struct{}, n),
 	}
 }
@@ -161,3 +180,17 @@ func (m *Manager) readNeed(p Protocol) int {
 	}
 	return m.opts.F + 1
 }
+
+// blockOp is the tracker Op of fetching one stored frame of a version: a
+// download of roughly one erasure shard (CA) or one full replica (A). The
+// size only has to land in the right tracker bucket.
+func (m *Manager) blockOp(protocol Protocol, plainLen int) iopolicy.Op {
+	if protocol == ProtocolA {
+		return iopolicy.GetOp(plainLen)
+	}
+	return iopolicy.GetOp(m.coder.ShardSize(plainLen + seccrypto.CiphertextOverhead))
+}
+
+// metadataOp is the tracker Op of a metadata object fetch: a small,
+// RTT-dominated download.
+func metadataOp() iopolicy.Op { return iopolicy.GetOp(0) }

@@ -9,6 +9,8 @@ package depsky
 // (and any capacity planner) can weigh "many small chunks" against "few big
 // blocks" instead of seeing only bytes.
 
+import "scfs/internal/seccrypto"
+
 // Footprint describes the cloud-side cost of one stored version across the
 // cloud-of-clouds: resident bytes, object count, and the request fees its
 // lifecycle incurs.
@@ -45,13 +47,8 @@ func (f *Footprint) Add(other Footprint) {
 // metadata, handling both the whole-object v1 layout and the chunked v2
 // layout.
 func (m *Manager) VersionFootprint(info VersionInfo) Footprint {
-	chunks := 1
-	chunkLen := func(int) int { return info.Size }
-	if info.Chunked() && info.validChunking() {
-		chunks = info.ChunkCount
-		chunkLen = info.chunkPlainLen
-	}
-	return m.footprint(info.Protocol, chunks, chunkLen)
+	chunks, fullLen, tailLen := versionChunkShape(info)
+	return m.footprint(info.Protocol, chunks, fullLen, tailLen)
 }
 
 // EstimateFootprint predicts the footprint a value of the given size would
@@ -59,40 +56,25 @@ func (m *Manager) VersionFootprint(info VersionInfo) Footprint {
 // per chunk) versus the whole-object v1 layout. The SCFS agent uses it to
 // meter request-fee pressure for the garbage-collection trigger.
 func (m *Manager) EstimateFootprint(size int64, chunked bool) Footprint {
-	chunks := 1
-	chunkLen := func(int) int { return int(size) }
-	if chunked {
-		cs := m.chunkSize()
-		chunks = int((size + int64(cs) - 1) / int64(cs))
-		if chunks < 1 {
-			chunks = 1
-		}
-		chunkLen = func(idx int) int {
-			rem := size - int64(idx)*int64(cs)
-			if rem > int64(cs) {
-				return cs
-			}
-			return int(rem)
-		}
-	}
-	return m.footprint(m.opts.Protocol, chunks, chunkLen)
+	chunks, fullLen, tailLen := m.estimateChunkShape(size, chunked)
+	return m.footprint(m.opts.Protocol, chunks, fullLen, tailLen)
 }
 
-// footprint charges chunks objects of the given plaintext lengths under the
-// protocol's dispersal: CA stores one erasure shard of the ciphertext on
-// each of the preferred n-f clouds, A a full replica on all n.
-func (m *Manager) footprint(protocol Protocol, chunks int, chunkLen func(int) int) Footprint {
+// footprint charges a version of `chunks` objects (chunks-1 of fullLen
+// plaintext bytes plus one of tailLen) under the protocol's dispersal: CA
+// stores one erasure shard of the ciphertext on each of the preferred n-f
+// clouds, A a full replica on all n. Constant-time regardless of the
+// chunk count.
+func (m *Manager) footprint(protocol Protocol, chunks, fullLen, tailLen int) Footprint {
 	n := int64(m.N())
 	q := int64(m.QuorumSize())
-	fp := Footprint{}
-	for idx := 0; idx < chunks; idx++ {
-		plain := chunkLen(idx)
+	bytesFor := func(plain int) int64 {
 		if protocol == ProtocolA {
-			fp.Bytes += int64(plain) * n
-		} else {
-			fp.Bytes += int64(m.coder.ShardSize(plain+16)) * q
+			return int64(plain) * n
 		}
+		return int64(m.coder.ShardSize(plain+seccrypto.CiphertextOverhead)) * q
 	}
+	fp := Footprint{Bytes: int64(chunks-1)*bytesFor(fullLen) + bytesFor(tailLen)}
 	charged := q
 	readers := int64(m.opts.F + 1)
 	if protocol == ProtocolA {

@@ -40,12 +40,19 @@ func hedgeManager(t testing.TB, rtts []time.Duration, opts Options) (*Manager, [
 	return m, providers, accounts
 }
 
-// warmTracker seeds every cloud's latency series so ranking and hedge
-// delays are deterministic in tests.
+// warmTracker seeds every cloud's latency series — both operation classes,
+// every size bucket — so ranking and hedge delays are deterministic in
+// tests regardless of which series a fan-out consults.
 func warmTracker(m *Manager, rtts []time.Duration) {
+	ops := []iopolicy.Op{
+		iopolicy.GetOp(0), iopolicy.GetOp(1 << 20), iopolicy.GetOp(4 << 20),
+		iopolicy.PutOp(0), iopolicy.PutOp(1 << 20), iopolicy.PutOp(4 << 20),
+	}
 	for i, rtt := range rtts {
 		for k := 0; k < 20; k++ {
-			m.Tracker().Observe(i, rtt+time.Microsecond)
+			for _, op := range ops {
+				m.Tracker().Observe(i, op, rtt+time.Microsecond)
+			}
 		}
 	}
 }

@@ -1,0 +1,299 @@
+package depsky
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"scfs/internal/cloudsim"
+	"scfs/internal/iopolicy"
+	"scfs/internal/pricing"
+)
+
+// writeHedgeCtx builds a context whose policy hedges writes behind a huge
+// delay: with a healthy preferred quorum the spare clouds are never
+// contacted, making "the spares got nothing" deterministic.
+func writeHedgeCtx(order ...int) context.Context {
+	return hedgeCtx(iopolicy.Policy{
+		WriteHedge: iopolicy.Hedge{Percentile: 0.9, MinDelay: 10 * time.Second},
+		Preference: iopolicy.Preference{Order: order},
+	})
+}
+
+// TestHedgedWriteSkipsSpares is the headline saving: a hedged write ships
+// its shards (and the metadata update) to the preferred n-f quorum only —
+// the spare cloud receives no upload bytes and no PUT requests at all.
+func TestHedgedWriteSkipsSpares(t *testing.T) {
+	rtts := []time.Duration{0, 0, 0, 0}
+	m, providers, accounts := hedgeManager(t, rtts, Options{})
+	warmTracker(m, rtts)
+
+	data := bytes.Repeat([]byte{0xB4}, 64<<10)
+	if _, err := m.Write(writeHedgeCtx(0, 1, 2), "u", data); err != nil {
+		t.Fatal(err)
+	}
+	// Give any stray spare upload a moment to surface.
+	time.Sleep(50 * time.Millisecond)
+	spare := providers[3].Usage(accounts[3])
+	if spare.PutRequests != 0 || spare.BytesIn != 0 {
+		t.Fatalf("spare cloud was uploaded to: %d PUTs, %d bytes in", spare.PutRequests, spare.BytesIn)
+	}
+	for i := 0; i < 3; i++ {
+		if u := providers[i].Usage(accounts[i]); u.PutRequests == 0 {
+			t.Fatalf("preferred cloud %d received no upload", i)
+		}
+	}
+	// The quorum-only version reads back through the default full fan-out.
+	got, _, err := m.Read(bg, "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("quorum-only version read back wrong data")
+	}
+}
+
+// TestHedgedWriteQuorumVersionIsCertified pins the metadata-union math: a
+// chunked version whose metadata reached only the preferred n-f clouds must
+// still be quorum-certified — the ranged read path (which refuses
+// uncertified entries outright) serves it.
+func TestHedgedWriteQuorumVersionIsCertified(t *testing.T) {
+	rtts := []time.Duration{0, 0, 0, 0}
+	m, _, _ := hedgeManager(t, rtts, Options{ChunkSize: 4096})
+	warmTracker(m, rtts)
+
+	data := bytes.Repeat([]byte{0x9C}, 6*4096+33)
+	info, err := m.WriteFrom(writeHedgeCtx(0, 1, 2), "u", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OpenRangedMatching returns ErrWholeObjectOnly for anything the merge
+	// did not certify; success means f+1 of the n-f metadata responders
+	// vouched for the entry.
+	r, _, err := m.OpenRangedMatching(bg, "u", info.DataHash)
+	if err != nil {
+		t.Fatalf("quorum-only version is not certified-readable: %v", err)
+	}
+	defer r.Close()
+	buf := make([]byte, 2*4096)
+	if _, err := r.ReadAt(buf, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data[4096:3*4096]) {
+		t.Fatal("ranged read of quorum-only version returned wrong bytes")
+	}
+}
+
+// TestHedgedWriteSurvivesFaultWithoutSpares: even when the spares were
+// never released, a version on the preferred n-f clouds tolerates f faults
+// among them — n-2f = f+1 intact shards remain, which is exactly a decode
+// quorum, and the surviving f+1 metadata copies keep the entry certified.
+func TestHedgedWriteSurvivesFaultWithoutSpares(t *testing.T) {
+	rtts := []time.Duration{0, 0, 0, 0}
+	m, providers, _ := hedgeManager(t, rtts, Options{})
+	warmTracker(m, rtts)
+
+	data := bytes.Repeat([]byte{0x3D}, 32<<10)
+	if _, err := m.Write(writeHedgeCtx(0, 1, 2), "u", data); err != nil {
+		t.Fatal(err)
+	}
+	providers[0].SetFault(cloudsim.FaultUnavailable)
+	got, _, err := m.Read(bg, "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("wrong data after f faults among the preferred set")
+	}
+}
+
+// TestHedgedWriteSurvivesFaultAfterSpareRelease drives the full spare
+// lifecycle: a slow preferred cloud stalls the quorum past the (clamped)
+// hedge delay, the spare is released and completes the quorum, and the
+// version then survives f faults among the original preferred set.
+func TestHedgedWriteSurvivesFaultAfterSpareRelease(t *testing.T) {
+	const slowRTT = 400 * time.Millisecond
+	rtts := []time.Duration{0, 0, slowRTT, 0}
+	m, providers, accounts := hedgeManager(t, rtts, Options{})
+	warmTracker(m, rtts)
+
+	pol := iopolicy.Policy{
+		WriteHedge: iopolicy.Hedge{Percentile: 0.9, MaxDelay: 30 * time.Millisecond},
+		Preference: iopolicy.Preference{Order: []int{0, 1, 2}},
+	}
+	data := bytes.Repeat([]byte{0x6E}, 32<<10)
+	start := time.Now()
+	if _, err := m.Write(hedgeCtx(pol), "u", data); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed >= slowRTT {
+		t.Fatalf("write took %v — the spare was never released, the slow preferred cloud gated the quorum", elapsed)
+	}
+	if u := providers[3].Usage(accounts[3]); u.PutRequests == 0 {
+		t.Fatal("spare cloud completed the quorum but received no upload")
+	}
+	// f faults among the original preferred set: the spare's copy plus the
+	// surviving preferred ones must still decode.
+	providers[0].SetFault(cloudsim.FaultUnavailable)
+	got, _, err := m.Read(bg, "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("wrong data after spare release and a preferred fault")
+	}
+}
+
+// TestHedgedWriteKicksOnPreferredFailure: a failed preferred upload must
+// release a spare immediately instead of waiting out the (here enormous)
+// hedge delay.
+func TestHedgedWriteKicksOnPreferredFailure(t *testing.T) {
+	rtts := []time.Duration{0, 0, 0, 0}
+	m, providers, _ := hedgeManager(t, rtts, Options{})
+	warmTracker(m, rtts)
+	providers[1].SetFault(cloudsim.FaultUnavailable)
+
+	data := bytes.Repeat([]byte{0x55}, 16<<10)
+	start := time.Now()
+	if _, err := m.Write(writeHedgeCtx(0, 1, 2), "u", data); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("write took %v despite the failure kick", elapsed)
+	}
+	got, _, err := m.Read(bg, "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("wrong data after a preferred upload failure")
+	}
+}
+
+// TestCancelledHedgedWriteLeavesNothingVisible: cancelling a hedged write
+// mid-upload must not anchor a version — the unit stays absent (or at its
+// previous version) because the metadata is only written after every chunk
+// reached its quorum.
+func TestCancelledHedgedWriteLeavesNothingVisible(t *testing.T) {
+	// Every cloud is slow, so the cancel lands while the preferred uploads
+	// are still in flight.
+	rtts := []time.Duration{200 * time.Millisecond, 200 * time.Millisecond, 200 * time.Millisecond, 200 * time.Millisecond}
+	m, _, _ := hedgeManager(t, rtts, Options{})
+
+	ctx, cancel := context.WithCancel(writeHedgeCtx(0, 1, 2))
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.Write(ctx, "u", bytes.Repeat([]byte{0xEE}, 32<<10))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled hedged write returned %v, want context.Canceled", err)
+	}
+	// No version may be visible.
+	if _, _, err := m.Read(bg, "u"); !errors.Is(err, ErrUnitNotFound) {
+		t.Fatalf("read after cancelled write: %v, want ErrUnitNotFound", err)
+	}
+	if versions, _ := m.ListVersions(bg, "u"); len(versions) != 0 {
+		t.Fatalf("cancelled write left %d visible versions", len(versions))
+	}
+}
+
+// TestCostPlacedHedgedWrite: under a cost-first placement the preferred
+// write quorum is the cheapest n-f clouds for the payload — the most
+// expensive cloud is the spare and receives nothing.
+func TestCostPlacedHedgedWrite(t *testing.T) {
+	rtts := []time.Duration{0, 0, 0, 0}
+	m, providers, accounts := hedgeManager(t, rtts, Options{
+		// Cloud 2 has by far the most expensive storage: a cost-first bulk
+		// upload must park it as the spare.
+		Pricing: testTable(map[int]float64{0: 0.02, 1: 0.03, 2: 5.0, 3: 0.025}),
+	})
+	warmTracker(m, rtts)
+
+	pol := iopolicy.Policy{
+		WriteHedge: iopolicy.Hedge{Percentile: 0.9, MinDelay: 10 * time.Second},
+		Placement:  iopolicy.Placement{Strategy: iopolicy.PlaceCost},
+	}
+	data := bytes.Repeat([]byte{0xA1}, 256<<10)
+	if _, err := m.Write(hedgeCtx(pol), "u", data); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if u := providers[2].Usage(accounts[2]); u.PutRequests != 0 {
+		t.Fatalf("the expensive cloud received %d PUTs under cost-first placement", u.PutRequests)
+	}
+	got, _, err := m.Read(bg, "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("wrong data")
+	}
+}
+
+// TestExplicitFastestBeatsMountPlacement: a per-call PreferFastest must
+// override a manager-default cost placement — the preferred write quorum
+// is then the tracked-fastest clouds, not the cheapest ones.
+func TestExplicitFastestBeatsMountPlacement(t *testing.T) {
+	rtts := []time.Duration{0, 0, 0, 40 * time.Millisecond}
+	// Cloud 0 is wildly expensive: cost-first placement would park it.
+	table := testTable(map[int]float64{0: 5.0, 1: 0.02, 2: 0.02, 3: 0.02})
+	m, providers, accounts := hedgeManager(t, rtts, Options{
+		Pricing: table,
+		Policy: iopolicy.Policy{
+			WriteHedge: iopolicy.Hedge{Percentile: 0.9, MinDelay: 10 * time.Second},
+			Placement:  iopolicy.Placement{Strategy: iopolicy.PlaceCost},
+		},
+	})
+	warmTracker(m, rtts)
+
+	data := bytes.Repeat([]byte{0x29}, 64<<10)
+	ctx := hedgeCtx(iopolicy.Policy{Preference: iopolicy.Preference{Fastest: true}})
+	if _, err := m.Write(ctx, "u", data); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	// Fastest-first parks the slow cloud 3, and the expensive-but-fast
+	// cloud 0 receives data despite the mount's cost objective.
+	if u := providers[3].Usage(accounts[3]); u.PutRequests != 0 {
+		t.Fatalf("slow cloud got %d PUTs — explicit Fastest lost to the mount placement", u.PutRequests)
+	}
+	if u := providers[0].Usage(accounts[0]); u.PutRequests == 0 {
+		t.Fatal("fast cloud got nothing — the cost objective still parked it")
+	}
+}
+
+// TestHedgedWriteZeroPolicyFullFanOut guards the compatibility contract:
+// with no write-hedge policy every cloud is uploaded to immediately.
+func TestHedgedWriteZeroPolicyFullFanOut(t *testing.T) {
+	rtts := []time.Duration{0, 0, 0, 0}
+	m, providers, accounts := hedgeManager(t, rtts, Options{DisableQuorumCancel: true})
+	if _, err := m.Write(bg, "u", []byte("fan out everywhere")); err != nil {
+		t.Fatal(err)
+	}
+	// Let the un-cancelled stragglers land.
+	time.Sleep(50 * time.Millisecond)
+	for i, p := range providers {
+		// One block PUT + one metadata PUT per cloud.
+		if u := p.Usage(accounts[i]); u.PutRequests != 2 {
+			t.Fatalf("cloud %d served %d PUTs, want 2 (full fan-out)", i, u.PutRequests)
+		}
+	}
+}
+
+// testTable builds a price table whose per-index rates are applied via the
+// providers' names (hedgeManager names them c0..c3): only storage price
+// varies, which dominates the cost of a bulk upload.
+func testTable(storageByIdx map[int]float64) pricing.Table {
+	t := pricing.Table{ByProvider: map[string]pricing.Rates{}}
+	for idx, gbMonth := range storageByIdx {
+		t.ByProvider[fmt.Sprintf("c%d", idx)] = pricing.Rates{StorageGBMonth: gbMonth, EgressPerGB: 0.1}
+	}
+	return t
+}

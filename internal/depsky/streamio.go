@@ -398,7 +398,9 @@ func (f *chunkFetcher) Fetch(ctx context.Context, idx int, dst []byte) error {
 	if idx < len(info.ChunkHashes) {
 		hashes = info.ChunkHashes[idx]
 	}
-	gate := m.newHedgeGate(m.policyFor(ctx), m.readNeed(info.Protocol))
+	pol := m.policyFor(ctx)
+	op := m.blockOp(info.Protocol, len(dst))
+	gate := m.newHedgeGate(pol, pol.Hedge, m.readNeed(info.Protocol), op)
 	opCtx, cancel := m.quorumCtx(ctx)
 	defer cancel()
 	name := m.chunkName(f.unit, info.Number, idx)
@@ -414,7 +416,7 @@ func (f *chunkFetcher) Fetch(ctx context.Context, idx int, dst []byte) error {
 			}
 			start := time.Now()
 			data, err := c.Get(opCtx, name)
-			m.observeRPC(i, start, err)
+			m.observeRPC(i, op, start, err)
 			if err != nil {
 				results <- nil
 				return

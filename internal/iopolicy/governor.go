@@ -2,22 +2,47 @@ package iopolicy
 
 import "sync"
 
+// governorStreams is how many concurrent sequential streams one Governor
+// distinguishes within a single open file. Several handles (or goroutines
+// splitting one handle) routinely scan disjoint regions of the same file;
+// one global next-offset would see their interleaved reads as perpetual
+// seeking and never open a window. Four streams cover the common fan-outs
+// (a pair of scans, a scan plus a tailer) without letting a random reader
+// accumulate state.
+const governorStreams = 4
+
+// streamState is one tracked sequential stream: where its next read is
+// expected and how wide its window has ramped.
+type streamState struct {
+	nextOff int64
+	window  int
+	stamp   int64 // last-use tick for LRU replacement
+}
+
 // Governor sizes the readahead window of one open file. It watches the
-// byte-offset stream of reads and grows the window multiplicatively while
-// the pattern stays sequential — 1, 2, 4, ... up to the configured maximum —
-// and collapses it to zero on the first non-sequential access, so random
-// readers never pay for speculative chunk fetches.
+// byte-offset stream of reads and grows a window multiplicatively while the
+// pattern stays sequential — 1, 2, 4, ... up to the configured maximum.
+//
+// Sequentiality is detected per stream, not per file: reads are clustered
+// by offset (a read continuing exactly where a tracked stream left off
+// belongs to that stream), so two interleaved sequential scans of the same
+// open file each ramp their own window instead of collapsing each other's.
+// A read matching no stream starts a new one with a zero window (evicting
+// the least recently used when all slots are taken), so random readers
+// never pay for speculative chunk fetches.
 type Governor struct {
 	mu      sync.Mutex
 	max     int
-	nextOff int64
-	window  int
+	tick    int64
+	streams []streamState
 }
 
-// NewGovernor creates a governor whose window never exceeds max chunks.
-// A max of 0 or less disables readahead (Observe always returns 0).
+// NewGovernor creates a governor whose per-stream window never exceeds max
+// chunks. A max of 0 or less disables readahead (Observe always returns 0).
 func NewGovernor(max int) *Governor {
-	return &Governor{max: max}
+	// Seed one stream expecting offset 0, so a cold scan from the start of
+	// the file counts as sequential from its very first read.
+	return &Governor{max: max, streams: []streamState{{}}}
 }
 
 // Max returns the configured window bound.
@@ -30,26 +55,57 @@ func (g *Governor) Max() int {
 
 // Observe records a read of n bytes at offset off and returns the readahead
 // window to use after it: how many chunks past the read's end are worth
-// prefetching. The first read of a file (offset 0) counts as sequential, so
-// a cold scan starts prefetching from its first chunk onward.
+// prefetching on the stream this read belongs to.
 func (g *Governor) Observe(off, n int64) int {
 	if g == nil || g.max <= 0 {
 		return 0
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if off == g.nextOff {
-		switch {
-		case g.window == 0:
-			g.window = 1
-		case g.window*2 > g.max:
-			g.window = g.max
-		default:
-			g.window *= 2
+	g.tick++
+	for i := range g.streams {
+		s := &g.streams[i]
+		if s.nextOff != off {
+			continue
 		}
-	} else {
-		g.window = 0
+		// The read continues this stream: ramp its window and advance it.
+		switch {
+		case s.window == 0:
+			s.window = 1
+		case s.window*2 > g.max:
+			s.window = g.max
+		default:
+			s.window *= 2
+		}
+		s.nextOff = off + n
+		s.stamp = g.tick
+		return s.window
 	}
-	g.nextOff = off + n
-	return g.window
+	// A re-read of a block some stream just consumed (a hot header fetched
+	// repeatedly during a scan) would otherwise mint a duplicate stream
+	// with the same nextOff on every re-read, churning the LRU slots until
+	// genuine scans lose their windows. Refresh the existing stream
+	// instead; the re-read itself earns no window (it is not an advance).
+	for i := range g.streams {
+		if g.streams[i].nextOff == off+n {
+			g.streams[i].stamp = g.tick
+			return 0
+		}
+	}
+	// No tracked stream continues here: start a new one (it earns its first
+	// window only once a second read follows it), evicting the least
+	// recently used stream when the slots are full.
+	ns := streamState{nextOff: off + n, stamp: g.tick}
+	lru := -1
+	for i := range g.streams {
+		if lru < 0 || g.streams[i].stamp < g.streams[lru].stamp {
+			lru = i
+		}
+	}
+	if len(g.streams) < governorStreams {
+		g.streams = append(g.streams, ns)
+	} else {
+		g.streams[lru] = ns
+	}
+	return 0
 }

@@ -56,21 +56,22 @@ func TestPolicyMerge(t *testing.T) {
 
 func TestTrackerPercentileAndRank(t *testing.T) {
 	tr := NewTracker(3)
+	op := GetOp(0)
 	// Cloud 0: fast. Cloud 2: slow. Cloud 1: never observed.
 	for i := 0; i < 50; i++ {
-		tr.Observe(0, time.Millisecond)
-		tr.Observe(2, 10*time.Millisecond)
+		tr.Observe(0, op, time.Millisecond)
+		tr.Observe(2, op, 10*time.Millisecond)
 	}
-	if d, ok := tr.Percentile(0, 0.95); !ok || d != time.Millisecond {
+	if d, ok := tr.Percentile(0, op, 0.95); !ok || d != time.Millisecond {
 		t.Fatalf("cloud 0 p95 = %v, %v", d, ok)
 	}
-	if _, ok := tr.Percentile(1, 0.95); ok {
+	if _, ok := tr.Percentile(1, op, 0.95); ok {
 		t.Fatal("cloud 1 has no samples")
 	}
-	if d, ok := tr.EWMA(2); !ok || d < 9*time.Millisecond {
+	if d, ok := tr.EWMA(2, op); !ok || d < 9*time.Millisecond {
 		t.Fatalf("cloud 2 ewma = %v, %v", d, ok)
 	}
-	rank := tr.Rank()
+	rank := tr.Rank(op)
 	if len(rank) != 3 || rank[2] != 2 {
 		t.Fatalf("slow cloud should rank last: %v", rank)
 	}
@@ -82,33 +83,77 @@ func TestTrackerPercentileAndRank(t *testing.T) {
 
 func TestTrackerPercentileSpread(t *testing.T) {
 	tr := NewTracker(1)
+	op := GetOp(0)
 	// 90 fast samples, 10 slow: p50 must be fast, p99 slow.
 	for i := 0; i < 90; i++ {
-		tr.Observe(0, time.Millisecond)
+		tr.Observe(0, op, time.Millisecond)
 	}
 	for i := 0; i < 10; i++ {
-		tr.Observe(0, 100*time.Millisecond)
+		tr.Observe(0, op, 100*time.Millisecond)
 	}
-	if d, _ := tr.Percentile(0, 0.5); d != time.Millisecond {
+	if d, _ := tr.Percentile(0, op, 0.5); d != time.Millisecond {
 		t.Fatalf("p50 = %v", d)
 	}
-	if d, _ := tr.Percentile(0, 0.99); d != 100*time.Millisecond {
+	if d, _ := tr.Percentile(0, op, 0.99); d != 100*time.Millisecond {
 		t.Fatalf("p99 = %v", d)
+	}
+}
+
+// TestTrackerSplitsByClassAndSize pins the ROADMAP fix: GETs and PUTs (and
+// different payload-size buckets) form separate series, so a cloud that
+// serves fast point reads but slow bulk uploads is ranked per operation,
+// and a cold series borrows the nearest populated one instead of reporting
+// nothing.
+func TestTrackerSplitsByClassAndSize(t *testing.T) {
+	tr := NewTracker(2)
+	smallGet := GetOp(100)
+	bigPut := PutOp(4 << 20)
+	// Cloud 0: instant point GETs, terrible bulk PUTs. Cloud 1: the reverse.
+	for i := 0; i < 40; i++ {
+		tr.Observe(0, smallGet, time.Millisecond)
+		tr.Observe(0, bigPut, 200*time.Millisecond)
+		tr.Observe(1, smallGet, 50*time.Millisecond)
+		tr.Observe(1, bigPut, 20*time.Millisecond)
+	}
+	if rank := tr.Rank(smallGet); rank[0] != 0 {
+		t.Fatalf("GET rank = %v, cloud 0 should lead", rank)
+	}
+	if rank := tr.Rank(bigPut); rank[0] != 1 {
+		t.Fatalf("bulk PUT rank = %v, cloud 1 should lead", rank)
+	}
+	// The PUT series must not be polluted by the 1ms GETs: cloud 0's bulk
+	// PUT percentile stays at its own 200ms.
+	if d, ok := tr.Percentile(0, bigPut, 0.9); !ok || d != 200*time.Millisecond {
+		t.Fatalf("bulk PUT p90 = %v, %v (want the PUT series, not the GET one)", d, ok)
+	}
+	// A cold series (medium-sized GET) falls back to the nearest populated
+	// bucket of the same class rather than reporting "no samples".
+	if d, ok := tr.EWMA(0, GetOp(1<<20)); !ok || d > 2*time.Millisecond {
+		t.Fatalf("cold-bucket fallback = %v, %v (want the small-GET series)", d, ok)
+	}
+	// A class with no samples at all falls back to the other class.
+	tr2 := NewTracker(1)
+	for i := 0; i < 10; i++ {
+		tr2.Observe(0, smallGet, 3*time.Millisecond)
+	}
+	if d, ok := tr2.EWMA(0, PutOp(100)); !ok || d != 3*time.Millisecond {
+		t.Fatalf("cross-class fallback = %v, %v", d, ok)
 	}
 }
 
 func TestHedgeDelayClamp(t *testing.T) {
 	tr := NewTracker(2)
+	op := GetOp(0)
 	h := Hedge{Percentile: 0.9, MinDelay: 2 * time.Millisecond, MaxDelay: 20 * time.Millisecond}
 	// Cold tracker: MinDelay.
-	if d := tr.HedgeDelay(h, []int{0, 1}); d != 2*time.Millisecond {
+	if d := tr.HedgeDelay(op, h, []int{0, 1}); d != 2*time.Millisecond {
 		t.Fatalf("cold delay = %v", d)
 	}
 	for i := 0; i < 50; i++ {
-		tr.Observe(0, 50*time.Millisecond)
+		tr.Observe(0, op, 50*time.Millisecond)
 	}
 	// Tracked p90 of 50ms is clamped by MaxDelay.
-	if d := tr.HedgeDelay(h, []int{0}); d != 20*time.Millisecond {
+	if d := tr.HedgeDelay(op, h, []int{0}); d != 20*time.Millisecond {
 		t.Fatalf("clamped delay = %v", d)
 	}
 }
@@ -139,5 +184,91 @@ func TestGovernorRampAndReset(t *testing.T) {
 	var nilG *Governor
 	if got := nilG.Observe(0, 1); got != 0 {
 		t.Fatal("nil governor must be a no-op")
+	}
+}
+
+// TestGovernorInterleavedStreams pins the ROADMAP fix: two sequential scans
+// interleaving their reads on one open file must each ramp their own
+// window instead of defeating the sequentiality detector.
+func TestGovernorInterleavedStreams(t *testing.T) {
+	g := NewGovernor(8)
+	offA, offB := int64(0), int64(1<<20)
+	want := []int{1, 2, 4, 8, 8}
+	for i, w := range want {
+		if got := g.Observe(offA, 100); got != w {
+			// Stream B's first read creates its stream (window 0), so its
+			// ramp trails A's by one read.
+			t.Fatalf("stream A read %d: window = %d, want %d", i, got, w)
+		}
+		wantB := 0
+		if i > 0 {
+			wantB = want[i-1]
+		}
+		if got := g.Observe(offB, 100); got != wantB {
+			t.Fatalf("stream B read %d: window = %d, want %d", i, got, wantB)
+		}
+		offA += 100
+		offB += 100
+	}
+	// Random reads occupy the remaining stream slots without evicting the
+	// two live scans, so a continuing scan keeps its window.
+	for i := int64(0); i < 2; i++ {
+		g.Observe(5<<20+i*7777, 10)
+	}
+	if got := g.Observe(offA, 100); got != 8 {
+		t.Fatalf("stream A lost its window to random churn: %d", got)
+	}
+	offA += 100
+	if got := g.Observe(offB, 100); got != 8 {
+		t.Fatalf("stream B lost its window to random churn: %d", got)
+	}
+	offB += 100
+	// A hot block re-read repeatedly during the scans must refresh one
+	// stream, not mint a duplicate per re-read: the first re-read takes
+	// one (LRU) slot, the rest reuse it, and both scans keep their windows.
+	for i := 0; i < 10; i++ {
+		if got := g.Observe(9<<20, 100); got != 0 {
+			t.Fatalf("hot re-read %d got window %d, want 0", i, got)
+		}
+	}
+	if got := g.Observe(offA, 100); got != 8 {
+		t.Fatalf("stream A lost its window to hot re-read churn: %d", got)
+	}
+	if got := g.Observe(offB, 100); got != 8 {
+		t.Fatalf("stream B lost its window to hot re-read churn: %d", got)
+	}
+}
+
+func TestPlacementMerge(t *testing.T) {
+	base := Policy{WriteHedge: Hedge{Percentile: 0.9, MaxDelay: time.Second}}
+	merged := base.Merge(Policy{Placement: Placement{Strategy: PlaceCost}})
+	if merged.Placement.Strategy != PlaceCost {
+		t.Fatalf("placement override lost: %+v", merged)
+	}
+	if merged.WriteHedge.Percentile != 0.9 {
+		t.Fatalf("write hedge lost: %+v", merged)
+	}
+	// An explicit latency placement must override a cost-first default —
+	// PlaceLatency is deliberately not the zero value so the merge can see
+	// it.
+	costFirst := Policy{Placement: Placement{Strategy: PlaceCost}}
+	merged = costFirst.Merge(Policy{Placement: Placement{Strategy: PlaceLatency}})
+	if merged.Placement.Strategy != PlaceLatency {
+		t.Fatalf("explicit latency placement lost under a cost default: %+v", merged)
+	}
+	// The zero (unset) placement inherits the default.
+	merged = costFirst.Merge(Policy{})
+	if merged.Placement.Strategy != PlaceCost {
+		t.Fatalf("unset placement must inherit the default: %+v", merged)
+	}
+	merged = base.Merge(Policy{WriteHedge: Hedge{MinDelay: 5 * time.Millisecond}})
+	if merged.WriteHedge.Percentile != 0.9 || merged.WriteHedge.MinDelay != 5*time.Millisecond || merged.WriteHedge.MaxDelay != time.Second {
+		t.Fatalf("write hedge must merge field-wise: %+v", merged)
+	}
+	if (Policy{WriteHedge: Hedge{Percentile: 0.5}}).IsZero() {
+		t.Fatal("write-hedged policy must not report IsZero")
+	}
+	if (Policy{Placement: Placement{Strategy: PlaceBalanced, CostWeight: 0.5}}).IsZero() {
+		t.Fatal("placed policy must not report IsZero")
 	}
 }

@@ -43,18 +43,63 @@ type Hedge struct {
 // Enabled reports whether the hedge configuration is active.
 func (h Hedge) Enabled() bool { return h.Percentile > 0 }
 
-// Preference orders the clouds a read dispatches to first.
+// Preference orders the clouds an operation's fan-outs dispatch to first —
+// quorum reads and, when WriteHedge is enabled, the preferred write quorum
+// alike. An explicit Order is the strongest placement signal: it takes
+// precedence over the Placement objective, so a call that pins clouds
+// (e.g. for an egress contract) also pins where its hedged writes land.
 type Preference struct {
 	// Fastest ranks clouds by their tracked latency, fastest first. This is
 	// the default whenever hedging is enabled.
 	Fastest bool
 	// Order lists cloud indices to prefer, in order; clouds not listed are
-	// ranked after the listed ones. Takes precedence over Fastest.
+	// ranked after the listed ones. Takes precedence over Fastest and over
+	// the Placement objective.
 	Order []int
 }
 
 // IsZero reports whether the preference is unset.
 func (p Preference) IsZero() bool { return !p.Fastest && len(p.Order) == 0 }
+
+// PlacementStrategy selects the objective a dispatch ranks clouds by.
+type PlacementStrategy int
+
+const (
+	// PlaceDefault is the unset strategy: it ranks like PlaceLatency but,
+	// being the zero value, is overridden by any mount-wide default when
+	// policies merge. An explicit PlaceLatency survives the merge instead,
+	// so a latency-critical call can opt out of a cost-first mount.
+	PlaceDefault PlacementStrategy = iota
+	// PlaceLatency ranks clouds by tracked latency, fastest first (the
+	// same ranking a zero placement uses, but explicit: it overrides a
+	// mount-wide cost objective when merged).
+	PlaceLatency
+	// PlaceCost ranks clouds by the estimated dollars the operation costs
+	// at each of them (request fee + transfer + storage for uploads),
+	// cheapest first.
+	PlaceCost
+	// PlaceBalanced blends the two normalized objectives with CostWeight.
+	PlaceBalanced
+)
+
+// Placement is the per-operation placement objective: which clouds should
+// serve this request, ranked by cost, latency, or a weighted blend. The
+// ranking decides the preferred quorum of hedged reads and writes — under a
+// cost objective a hedged write sends its shards to the cheapest n-f clouds
+// and contacts the expensive spares only if the preferred set stalls or
+// fails. The zero value keeps the latency-first default. The dollar side of
+// the objective is evaluated by internal/placement, which owns the price
+// tables; this spec only travels with the policy.
+type Placement struct {
+	// Strategy selects the objective.
+	Strategy PlacementStrategy
+	// CostWeight in [0, 1] sets the cost share under PlaceBalanced
+	// (0 = pure latency, 1 = pure cost). Ignored by the other strategies.
+	CostWeight float64
+}
+
+// IsZero reports whether the placement objective is unset.
+func (p Placement) IsZero() bool { return p == Placement{} }
 
 // Limits bounds the extra work a policy may spend on one call.
 type Limits struct {
@@ -70,24 +115,35 @@ type Limits struct {
 }
 
 // Policy is the per-operation I/O policy. The zero value reproduces the
-// pre-policy behaviour exactly: immediate full fan-out, no readahead.
+// pre-policy behaviour exactly: immediate full fan-out for reads and
+// writes, no readahead, latency-neutral placement.
 type Policy struct {
 	// Hedge configures hedged (delayed-straggler) fan-outs for reads.
 	Hedge Hedge
+	// WriteHedge configures hedged quorum writes: uploads go to the
+	// preferred n-f quorum immediately and the spare clouds launch only
+	// after the tracked delay percentile elapses or a preferred upload
+	// fails. On a stable deployment the spares are never contacted, cutting
+	// the write's ingress bytes and PUT fees to the quorum the paper's cost
+	// model charges for. The zero value keeps the immediate full fan-out.
+	WriteHedge Hedge
 	// Readahead is the maximum number of chunks a sequential scan prefetches
 	// ahead of the consumer (0 = no prefetch). The actual window ramps up
 	// only while the access pattern stays sequential.
 	Readahead int
 	// Preference orders the clouds dispatched to first.
 	Preference Preference
+	// Placement ranks the clouds of a fan-out by cost, latency or a blend;
+	// an explicit Preference order takes precedence over it.
+	Placement Placement
 	// Limits bounds the extra work.
 	Limits Limits
 }
 
 // IsZero reports whether the policy requests nothing beyond the defaults.
 func (p Policy) IsZero() bool {
-	return !p.Hedge.Enabled() && p.Readahead == 0 && p.Preference.IsZero() &&
-		p.Limits == Limits{}
+	return !p.Hedge.Enabled() && !p.WriteHedge.Enabled() && p.Readahead == 0 &&
+		p.Preference.IsZero() && p.Placement.IsZero() && p.Limits == Limits{}
 }
 
 // Merge overlays override on p: fields set in override win, unset fields
@@ -107,11 +163,23 @@ func (p Policy) Merge(override Policy) Policy {
 	if override.Hedge.MaxDelay != 0 {
 		out.Hedge.MaxDelay = override.Hedge.MaxDelay
 	}
+	if override.WriteHedge.Percentile != 0 {
+		out.WriteHedge.Percentile = override.WriteHedge.Percentile
+	}
+	if override.WriteHedge.MinDelay != 0 {
+		out.WriteHedge.MinDelay = override.WriteHedge.MinDelay
+	}
+	if override.WriteHedge.MaxDelay != 0 {
+		out.WriteHedge.MaxDelay = override.WriteHedge.MaxDelay
+	}
 	if override.Readahead != 0 {
 		out.Readahead = override.Readahead
 	}
 	if !override.Preference.IsZero() {
 		out.Preference = override.Preference
+	}
+	if !override.Placement.IsZero() {
+		out.Placement = override.Placement
 	}
 	if override.Limits.MaxParallelChunks != 0 {
 		out.Limits.MaxParallelChunks = override.Limits.MaxParallelChunks

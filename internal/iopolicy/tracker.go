@@ -6,17 +6,67 @@ import (
 	"time"
 )
 
-// trackerWindow is how many recent samples each cloud's percentile estimate
-// is computed over. 64 samples keep the estimate responsive to provider
-// weather while smoothing per-request jitter; sorting 64 int64s on demand
-// is far cheaper than any RPC the answer gates.
+// trackerWindow is how many recent samples each latency series' percentile
+// estimate is computed over. 64 samples keep the estimate responsive to
+// provider weather while smoothing per-request jitter; sorting 64 int64s on
+// demand is far cheaper than any RPC the answer gates.
 const trackerWindow = 64
 
 // ewmaAlpha weighs the newest sample in the exponentially weighted moving
 // average used for ranking clouds.
 const ewmaAlpha = 0.2
 
-// series is one cloud's latency history.
+// OpClass distinguishes the direction of one cloud RPC. Downloads and
+// uploads move through different bottlenecks (egress vs ingress bandwidth,
+// read vs write amplification at the provider), so their latency series are
+// tracked separately: a hedge delay for a shard upload must not be computed
+// from point-GET latencies.
+type OpClass int
+
+const (
+	// OpGet is a download (metadata, block or chunk fetch).
+	OpGet OpClass = iota
+	// OpPut is an upload (block, chunk or metadata write).
+	OpPut
+
+	opClasses = 2
+)
+
+// sizeBuckets is how many payload-size buckets each class is split into: a
+// 64-byte metadata object and a 1 MiB shard share a cloud but not a latency
+// distribution. Buckets are coarse on purpose — enough to separate "request
+// dominated" from "transfer dominated" without starving any series of
+// samples.
+const sizeBuckets = 3
+
+// sizeBucket buckets a payload size: requests up to 128 KiB are
+// RTT-dominated, up to 2 MiB they are mixed (one default chunk and its
+// erasure shards land here), beyond that transfer time dominates.
+func sizeBucket(bytes int) int {
+	switch {
+	case bytes <= 128<<10:
+		return 0
+	case bytes <= 2<<20:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Op identifies the latency series one RPC belongs to: its direction and
+// payload size. Construct with GetOp/PutOp.
+type Op struct {
+	Class OpClass
+	Bytes int
+}
+
+// GetOp is the Op of a download of the given payload size.
+func GetOp(bytes int) Op { return Op{Class: OpGet, Bytes: bytes} }
+
+// PutOp is the Op of an upload of the given payload size.
+func PutOp(bytes int) Op { return Op{Class: OpPut, Bytes: bytes} }
+
+// series is one (cloud, class, size-bucket) latency history.
 type series struct {
 	samples [trackerWindow]int64 // nanoseconds, ring buffer
 	next    int
@@ -24,35 +74,7 @@ type series struct {
 	ewma    float64
 }
 
-// Tracker records per-cloud RPC latencies and answers the dispatch-time
-// questions of hedged reads: how clouds rank by recent latency, and what
-// delay corresponds to a latency percentile of a preferred set. It is fed
-// by every quorum RPC (reads and writes) and is safe for concurrent use.
-//
-// Only successful RPCs are recorded: a failing provider answers quickly
-// with an error, and recording that would make a broken cloud look fast.
-// Failures instead release hedges immediately at the dispatch layer.
-type Tracker struct {
-	mu     sync.Mutex
-	clouds []series
-}
-
-// NewTracker creates a tracker for n clouds.
-func NewTracker(n int) *Tracker {
-	return &Tracker{clouds: make([]series, n)}
-}
-
-// Observe records one successful RPC against cloud i taking d.
-func (t *Tracker) Observe(i int, d time.Duration) {
-	if i < 0 || d < 0 {
-		return
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if i >= len(t.clouds) {
-		return
-	}
-	s := &t.clouds[i]
+func (s *series) observe(d time.Duration) {
 	ns := float64(d)
 	if s.count == 0 {
 		s.ewma = ns
@@ -64,20 +86,100 @@ func (t *Tracker) Observe(i int, d time.Duration) {
 	s.count++
 }
 
-// EWMA returns cloud i's exponentially weighted moving average latency and
-// whether any sample has been observed.
-func (t *Tracker) EWMA(i int) (time.Duration, bool) {
+// cloudSeries is one cloud's latency histories, one series per (operation
+// class, payload-size bucket).
+type cloudSeries struct {
+	s [opClasses][sizeBuckets]series
+}
+
+// lookup returns the series for op, falling back — when that exact series
+// has no samples yet — to the nearest populated bucket of the same class,
+// then to the other class (same-bucket-first). A cold (class, bucket) pair
+// thus borrows the best available signal instead of reporting "unknown"
+// until its own traffic arrives; the fallback result is read-only.
+func (c *cloudSeries) lookup(op Op) *series {
+	class := op.Class
+	if class < 0 || class >= opClasses {
+		class = OpGet
+	}
+	b := sizeBucket(op.Bytes)
+	for _, cl := range [2]OpClass{class, (class + 1) % opClasses} {
+		if s := &c.s[cl][b]; s.count > 0 {
+			return s
+		}
+		for dist := 1; dist < sizeBuckets; dist++ {
+			for _, nb := range []int{b - dist, b + dist} {
+				if nb >= 0 && nb < sizeBuckets && c.s[cl][nb].count > 0 {
+					return &c.s[cl][nb]
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Tracker records per-cloud RPC latencies and answers the dispatch-time
+// questions of hedged reads and writes: how clouds rank by recent latency,
+// and what delay corresponds to a latency percentile of a preferred set.
+// It is fed by every quorum RPC and is safe for concurrent use.
+//
+// Latencies are tracked per (cloud, operation class, payload-size bucket):
+// GETs and PUTs form separate series, further split by payload size, so the
+// hedge delay of a 1 MiB shard upload is computed from comparable uploads
+// and not polluted by sub-millisecond metadata GETs (or vice versa).
+// Queries for a series with no samples yet fall back to the nearest
+// populated series of the same cloud.
+//
+// Only successful RPCs are recorded: a failing provider answers quickly
+// with an error, and recording that would make a broken cloud look fast.
+// Failures instead release hedges immediately at the dispatch layer.
+type Tracker struct {
+	mu     sync.Mutex
+	clouds []cloudSeries
+}
+
+// NewTracker creates a tracker for n clouds.
+func NewTracker(n int) *Tracker {
+	return &Tracker{clouds: make([]cloudSeries, n)}
+}
+
+// Observe records one successful RPC of class/size op against cloud i
+// taking d.
+func (t *Tracker) Observe(i int, op Op, d time.Duration) {
+	if i < 0 || d < 0 {
+		return
+	}
+	class := op.Class
+	if class < 0 || class >= opClasses {
+		class = OpGet
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if i < 0 || i >= len(t.clouds) || t.clouds[i].count == 0 {
+	if i >= len(t.clouds) {
+		return
+	}
+	t.clouds[i].s[class][sizeBucket(op.Bytes)].observe(d)
+}
+
+// EWMA returns cloud i's exponentially weighted moving average latency for
+// op (with the cold-series fallback) and whether any sample was available.
+func (t *Tracker) EWMA(i int, op Op) (time.Duration, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i < 0 || i >= len(t.clouds) {
 		return 0, false
 	}
-	return time.Duration(t.clouds[i].ewma), true
+	s := t.clouds[i].lookup(op)
+	if s == nil {
+		return 0, false
+	}
+	return time.Duration(s.ewma), true
 }
 
 // Percentile returns the p-th (0 < p <= 1) latency quantile of cloud i's
-// recent samples and whether any sample has been observed.
-func (t *Tracker) Percentile(i int, p float64) (time.Duration, bool) {
+// recent samples for op (with the cold-series fallback) and whether any
+// sample was available.
+func (t *Tracker) Percentile(i int, op Op, p float64) (time.Duration, bool) {
 	if p <= 0 {
 		return 0, false
 	}
@@ -85,11 +187,15 @@ func (t *Tracker) Percentile(i int, p float64) (time.Duration, bool) {
 		p = 1
 	}
 	t.mu.Lock()
-	if i < 0 || i >= len(t.clouds) || t.clouds[i].count == 0 {
+	if i < 0 || i >= len(t.clouds) {
 		t.mu.Unlock()
 		return 0, false
 	}
-	s := &t.clouds[i]
+	s := t.clouds[i].lookup(op)
+	if s == nil {
+		t.mu.Unlock()
+		return 0, false
+	}
 	n := int(s.count)
 	if n > trackerWindow {
 		n = trackerWindow
@@ -109,15 +215,15 @@ func (t *Tracker) Percentile(i int, p float64) (time.Duration, bool) {
 	return time.Duration(window[idx]), true
 }
 
-// Rank returns all cloud indices ordered fastest first by EWMA. Clouds with
-// no samples yet rank first (optimistically, so they get explored and
-// sampled), ties break by index for determinism.
-func (t *Tracker) Rank() []int {
+// Rank returns all cloud indices ordered fastest first by the EWMA of op's
+// series. Clouds with no samples yet rank first (optimistically, so they
+// get explored and sampled), ties break by index for determinism.
+func (t *Tracker) Rank(op Op) []int {
 	t.mu.Lock()
 	ewmas := make([]float64, len(t.clouds))
 	for i := range t.clouds {
-		if t.clouds[i].count > 0 {
-			ewmas[i] = t.clouds[i].ewma
+		if s := t.clouds[i].lookup(op); s != nil {
+			ewmas[i] = s.ewma
 		}
 	}
 	t.mu.Unlock()
@@ -140,16 +246,16 @@ func (t *Tracker) Rank() []int {
 // RTT while keeping near-instant backends honestly hedged.
 const DefaultMinDelay = time.Millisecond
 
-// HedgeDelay computes the hedge delay for a fan-out whose preferred set is
-// the given cloud indices: the largest of the preferred clouds' h.Percentile
-// quantiles, clamped to [max(h.MinDelay, DefaultMinDelay), h.MaxDelay].
-// With no samples at all the delay is the floor — a cold tracker hedges
-// almost immediately, which is safe: it degrades toward the pre-policy full
-// fan-out rather than stalling.
-func (t *Tracker) HedgeDelay(h Hedge, preferred []int) time.Duration {
+// HedgeDelay computes the hedge delay for a fan-out of op whose preferred
+// set is the given cloud indices: the largest of the preferred clouds'
+// h.Percentile quantiles, clamped to [max(h.MinDelay, DefaultMinDelay),
+// h.MaxDelay]. With no samples at all the delay is the floor — a cold
+// tracker hedges almost immediately, which is safe: it degrades toward the
+// pre-policy full fan-out rather than stalling.
+func (t *Tracker) HedgeDelay(op Op, h Hedge, preferred []int) time.Duration {
 	var d time.Duration
 	for _, i := range preferred {
-		if q, ok := t.Percentile(i, h.Percentile); ok && q > d {
+		if q, ok := t.Percentile(i, op, h.Percentile); ok && q > d {
 			d = q
 		}
 	}

@@ -1,0 +1,116 @@
+// Package placement ranks the clouds of a cloud-of-clouds deployment per
+// operation, by a pluggable objective: cost-first (priced by a
+// pricing.Table), latency-first (fed by the iopolicy.Tracker), or a
+// weighted blend of the two.
+//
+// DepSky's quorum protocols treat clouds as interchangeable — any n-f
+// subset is a valid write quorum, any f+1 block holders serve a read. That
+// freedom is worth money: providers differ by an order of magnitude in
+// per-request fees and per-GB prices (see pricing.DefaultTable), so WHICH
+// n-f subset serves a request decides what it costs. The Selector turns an
+// iopolicy.Placement spec (carried by the operation's policy) plus the
+// per-cloud price cards and latency tracker into a concrete dispatch order;
+// the hedged-dispatch gate then launches the first n-f (or f+1) clouds of
+// that order immediately and holds the rest back as spares.
+package placement
+
+import (
+	"sort"
+
+	"scfs/internal/iopolicy"
+	"scfs/internal/pricing"
+)
+
+// Selector ranks cloud indices for one deployment. It is immutable and safe
+// for concurrent use (the tracker it consults is itself concurrent).
+type Selector struct {
+	rates   []pricing.Rates
+	tracker *iopolicy.Tracker
+}
+
+// NewSelector builds a selector over the per-cloud-index rate cards and the
+// deployment's latency tracker. rates[i] prices the cloud at dispatch
+// index i; a nil tracker disables the latency axis (cost ties then break by
+// index).
+func NewSelector(rates []pricing.Rates, tracker *iopolicy.Tracker) *Selector {
+	return &Selector{rates: append([]pricing.Rates(nil), rates...), tracker: tracker}
+}
+
+// OpCost estimates the dollars cloud i charges for one RPC of op: an upload
+// pays its PUT fee, ingress, and one month of storage for the payload (the
+// horizon that makes "cheap to store" and "cheap to accept" comparable); a
+// download pays its GET fee and egress.
+func (s *Selector) OpCost(i int, op iopolicy.Op) float64 {
+	if i < 0 || i >= len(s.rates) {
+		return 0
+	}
+	r := s.rates[i]
+	if op.Class == iopolicy.OpPut {
+		return r.PutCost(int64(op.Bytes)) + r.StorageCost(int64(op.Bytes))
+	}
+	return r.GetCost(int64(op.Bytes))
+}
+
+// Rank orders all cloud indices for dispatching op under the given
+// objective: the clouds a hedged fan-out should contact first come first.
+// Latency-first (and the zero spec) delegates to the tracker's
+// fastest-first ranking; cost-first sorts by OpCost; balanced normalizes
+// both axes to [0, 1] across the clouds and sorts by the weighted sum.
+// Ties (and a pure-cost ranking over identical rate cards) preserve index
+// order, so the zero-value price table degrades to the pre-placement
+// dispatch order.
+func (s *Selector) Rank(spec iopolicy.Placement, op iopolicy.Op) []int {
+	w := 0.0
+	switch spec.Strategy {
+	case iopolicy.PlaceCost:
+		w = 1
+	case iopolicy.PlaceBalanced:
+		w = spec.CostWeight
+		if w < 0 {
+			w = 0
+		}
+		if w > 1 {
+			w = 1
+		}
+	}
+	if w == 0 && s.tracker != nil {
+		return s.tracker.Rank(op)
+	}
+
+	n := len(s.rates)
+	costs := make([]float64, n)
+	lats := make([]float64, n)
+	var maxCost, maxLat float64
+	for i := 0; i < n; i++ {
+		costs[i] = s.OpCost(i, op)
+		if costs[i] > maxCost {
+			maxCost = costs[i]
+		}
+		if w < 1 && s.tracker != nil {
+			// Unobserved clouds keep latency 0: optimistically early, the
+			// same exploration bias as the tracker's own ranking.
+			if d, ok := s.tracker.EWMA(i, op); ok {
+				lats[i] = float64(d)
+			}
+			if lats[i] > maxLat {
+				maxLat = lats[i]
+			}
+		}
+	}
+	score := func(i int) float64 {
+		sc := 0.0
+		if maxCost > 0 {
+			sc += w * costs[i] / maxCost
+		}
+		if maxLat > 0 {
+			sc += (1 - w) * lats[i] / maxLat
+		}
+		return sc
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return score(order[a]) < score(order[b]) })
+	return order
+}

@@ -1,0 +1,104 @@
+package placement
+
+import (
+	"testing"
+	"time"
+
+	"scfs/internal/iopolicy"
+	"scfs/internal/pricing"
+)
+
+// fourRates builds a deployment where cloud 3 bills no request fees but the
+// priciest storage, and cloud 1 is the cheapest store — the shape of the
+// bundled table, reduced to what the tests pin.
+func fourRates() []pricing.Rates {
+	return []pricing.Rates{
+		{StorageGBMonth: 0.023, PutRequest: 5e-6, GetRequest: 4e-7, EgressPerGB: 0.09},
+		{StorageGBMonth: 0.018, PutRequest: 5e-6, GetRequest: 4e-7, EgressPerGB: 0.087},
+		{StorageGBMonth: 0.020, PutRequest: 5e-6, GetRequest: 4e-7, EgressPerGB: 0.12},
+		{StorageGBMonth: 0.100, PutRequest: 0, GetRequest: 0, EgressPerGB: 0.12},
+	}
+}
+
+func TestRankCostFirstDependsOnOp(t *testing.T) {
+	s := NewSelector(fourRates(), nil)
+	spec := iopolicy.Placement{Strategy: iopolicy.PlaceCost}
+
+	// Tiny upload: request fees dominate — the fee-free cloud 3 wins.
+	order := s.Rank(spec, iopolicy.PutOp(64))
+	if order[0] != 3 {
+		t.Fatalf("small PUT should go to the fee-free cloud first: %v", order)
+	}
+	// Bulk upload: a month of storage dwarfs the fee — the cheap stores win
+	// and the expensive cloud 3 ranks last.
+	order = s.Rank(spec, iopolicy.PutOp(8<<20))
+	if order[0] != 1 || order[len(order)-1] != 3 {
+		t.Fatalf("bulk PUT should go to cheap storage first: %v", order)
+	}
+	// Bulk download: egress dominates — cheapest egress first.
+	order = s.Rank(spec, iopolicy.GetOp(8<<20))
+	if order[0] != 1 {
+		t.Fatalf("bulk GET should prefer cheap egress: %v", order)
+	}
+}
+
+func TestRankLatencyDelegatesToTracker(t *testing.T) {
+	tr := iopolicy.NewTracker(4)
+	op := iopolicy.GetOp(0)
+	for i := 0; i < 20; i++ {
+		tr.Observe(0, op, 50*time.Millisecond)
+		tr.Observe(1, op, time.Millisecond)
+		tr.Observe(2, op, 10*time.Millisecond)
+		tr.Observe(3, op, 20*time.Millisecond)
+	}
+	s := NewSelector(fourRates(), tr)
+	order := s.Rank(iopolicy.Placement{}, op)
+	if order[0] != 1 || order[3] != 0 {
+		t.Fatalf("zero spec must rank by latency: %v", order)
+	}
+	order = s.Rank(iopolicy.Placement{Strategy: iopolicy.PlaceLatency}, op)
+	if order[0] != 1 || order[3] != 0 {
+		t.Fatalf("latency-first must rank by latency: %v", order)
+	}
+}
+
+func TestRankBalancedBlends(t *testing.T) {
+	// Cloud 3 is free but slow; cloud 1 cheap-ish and fast; cloud 0 is both
+	// expensive and slow.
+	tr := iopolicy.NewTracker(4)
+	op := iopolicy.PutOp(64)
+	for i := 0; i < 20; i++ {
+		tr.Observe(0, op, 100*time.Millisecond)
+		tr.Observe(1, op, time.Millisecond)
+		tr.Observe(2, op, 30*time.Millisecond)
+		tr.Observe(3, op, 100*time.Millisecond)
+	}
+	s := NewSelector(fourRates(), tr)
+	// Pure cost: the free-but-slow cloud leads.
+	if order := s.Rank(iopolicy.Placement{Strategy: iopolicy.PlaceCost}, op); order[0] != 3 {
+		t.Fatalf("pure cost: %v", order)
+	}
+	// A latency-leaning blend flips the leader to the fast cheap cloud,
+	// and the expensive slow cloud is last under any weight.
+	order := s.Rank(iopolicy.Placement{Strategy: iopolicy.PlaceBalanced, CostWeight: 0.3}, op)
+	if order[0] != 1 {
+		t.Fatalf("balanced(0.3): %v", order)
+	}
+	if order[len(order)-1] != 0 {
+		t.Fatalf("expensive+slow cloud must rank last: %v", order)
+	}
+}
+
+func TestRankIdenticalRatesPreserveIndexOrder(t *testing.T) {
+	rates := make([]pricing.Rates, 4)
+	for i := range rates {
+		rates[i] = pricing.DefaultRates
+	}
+	s := NewSelector(rates, nil)
+	order := s.Rank(iopolicy.Placement{Strategy: iopolicy.PlaceCost}, iopolicy.PutOp(1<<20))
+	for i, c := range order {
+		if c != i {
+			t.Fatalf("identical rate cards must keep index order: %v", order)
+		}
+	}
+}

@@ -10,12 +10,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"sort"
 	"sync"
 	"time"
 
 	"scfs/internal/clock"
 	"scfs/internal/cloud"
 	"scfs/internal/depsky"
+	"scfs/internal/pricing"
 	"scfs/internal/seccrypto"
 )
 
@@ -81,10 +84,11 @@ type RangeOpener interface {
 	OpenVersionAt(ctx context.Context, fileID, hash string) (ReaderAtCloser, error)
 }
 
-// SweepStats summarizes what a batched version sweep reclaimed, in the two
-// axes of the cloud cost model: bytes (storage fees) and objects (the
-// per-request fees every surviving object keeps incurring). Bytes and
-// Objects are best-effort estimates — a backend that cannot attribute them
+// SweepStats summarizes what a batched version sweep reclaimed, in the
+// axes of the cloud cost model: bytes (storage fees), objects (the
+// per-request fees every surviving object keeps incurring), and the dollars
+// the two convert to under the backend's price table. Everything but
+// Deleted is a best-effort estimate — a backend that cannot attribute them
 // reports zero and only counts Deleted.
 type SweepStats struct {
 	// Deleted is how many versions were removed.
@@ -95,6 +99,9 @@ type SweepStats struct {
 	// versions count one object per chunk per charged cloud, which is why a
 	// byte count alone under-weighs them.
 	ReclaimedObjects int64
+	// ReclaimedDollars is the recurring storage spend, in $/month, the
+	// deleted versions stop accruing (priced by the backend's rate table).
+	ReclaimedDollars float64
 }
 
 // VersionSweeper is the optional batched delete face of a VersionedStore,
@@ -105,15 +112,20 @@ type VersionSweeper interface {
 }
 
 // VersionFootprint estimates the cloud-side cost of storing one version:
-// bytes across the charged clouds, objects created, and the request counts
-// of its lifecycle. It mirrors depsky.Footprint at the storage abstraction
-// so the agent can meter cost pressure without knowing the backend.
+// bytes across the charged clouds, objects created, the request counts of
+// its lifecycle, and the dollars those convert to under the backend's price
+// table. It mirrors depsky.Footprint at the storage abstraction so the
+// agent can meter cost pressure — and report spend — without knowing the
+// backend.
 type VersionFootprint struct {
 	Bytes              int64
 	Objects            int64
 	PutRequests        int64
 	GetRequestsPerRead int64
 	DeleteRequests     int64
+	// Dollars is the priced lifecycle of the version (recurring storage,
+	// one-time upload, per-read and reclamation charges).
+	Dollars pricing.Estimate
 }
 
 // VersionCoster is the optional cost-estimation face of a VersionedStore:
@@ -137,12 +149,15 @@ type SingleCloud struct {
 	// paper's AWS backend stores plaintext (confidentiality requires the CoC
 	// backend or trusting the provider); encryption is optional here.
 	key []byte
+	// rates prices the provider for footprint estimates; defaults to the
+	// bundled table's card for the store's provider name.
+	rates pricing.Rates
 }
 
 // NewSingleCloud creates a single-cloud backend. If encrypt is true a random
 // agent key is generated and used for all versions.
 func NewSingleCloud(store cloud.ObjectStore, encrypt bool) (*SingleCloud, error) {
-	sc := &SingleCloud{store: store}
+	sc := &SingleCloud{store: store, rates: pricing.DefaultTable().For(store.Provider())}
 	if encrypt {
 		key, err := seccrypto.NewKey()
 		if err != nil {
@@ -152,6 +167,10 @@ func NewSingleCloud(store cloud.ObjectStore, encrypt bool) (*SingleCloud, error)
 	}
 	return sc, nil
 }
+
+// SetRates replaces the price card used for footprint estimates (mounts
+// with a custom pricing table).
+func (s *SingleCloud) SetRates(r pricing.Rates) { s.rates = r }
 
 // Name implements VersionedStore.
 func (s *SingleCloud) Name() string { return "single:" + s.store.Provider() }
@@ -243,7 +262,15 @@ func (s *SingleCloud) DeleteVersionsBatch(ctx context.Context, batch map[string]
 // EstimateVersionFootprint implements VersionCoster: a single-cloud version
 // is always one object, whatever its size.
 func (s *SingleCloud) EstimateVersionFootprint(size int64, streamed bool) VersionFootprint {
-	return VersionFootprint{Bytes: size, Objects: 1, PutRequests: 1, GetRequestsPerRead: 1, DeleteRequests: 1}
+	return VersionFootprint{
+		Bytes: size, Objects: 1, PutRequests: 1, GetRequestsPerRead: 1, DeleteRequests: 1,
+		Dollars: pricing.Estimate{
+			StoragePerMonth: s.rates.StorageCost(size),
+			UploadOnce:      s.rates.PutCost(size),
+			ReadOnce:        s.rates.GetCost(size),
+			DeleteOnce:      s.rates.DeleteRequest,
+		},
+	}
 }
 
 // Underlying exposes the wrapped object store (used by the ACL propagation
@@ -366,6 +393,12 @@ const sweepConcurrency = 4
 // deleted with a single metadata round trip. The reclaimed footprint is
 // computed from the version metadata the sweep already fetched, so chunked
 // versions are credited with every chunk object they free.
+//
+// The per-file deletions are issued in descending dollars-per-byte order:
+// a version whose spend is dominated by per-object fees (many small chunks)
+// reclaims more money per byte than a big cheap blob, so when the sweep is
+// cut short — context cancelled, unmount, provider outage — the dollars
+// already reclaimed are maximal for the work done.
 func (c *CloudOfClouds) DeleteVersionsBatch(ctx context.Context, batch map[string][]string) SweepStats {
 	fileIDs := make([]string, 0, len(batch))
 	for fileID := range batch {
@@ -373,10 +406,14 @@ func (c *CloudOfClouds) DeleteVersionsBatch(ctx context.Context, batch map[strin
 	}
 	meta := c.mgr.ReadMetadataBatch(ctx, fileIDs)
 
-	var stats SweepStats
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, sweepConcurrency)
+	type sweepJob struct {
+		fileID  string
+		numbers []uint64
+		doomed  depsky.Footprint
+		dollars float64 // $/month the job stops accruing (reported)
+		value   float64 // ranking value, see below
+	}
+	jobs := make([]sweepJob, 0, len(batch))
 	for fileID, hashes := range batch {
 		versions := meta[fileID]
 		if len(versions) == 0 {
@@ -386,39 +423,72 @@ func (c *CloudOfClouds) DeleteVersionsBatch(ctx context.Context, batch map[strin
 		for _, v := range versions {
 			byHash[v.DataHash] = v
 		}
-		numbers := make([]uint64, 0, len(hashes))
-		var doomed depsky.Footprint
+		job := sweepJob{fileID: fileID}
 		for _, h := range hashes {
 			if v, ok := byHash[h]; ok {
-				numbers = append(numbers, v.Number)
-				doomed.Add(c.mgr.VersionFootprint(v))
+				job.numbers = append(job.numbers, v.Number)
+				job.doomed.Add(c.mgr.VersionFootprint(v))
+				est := c.mgr.VersionCost(v)
+				job.dollars += est.StoragePerMonth
+				// The ranking value needs an axis that is NOT simply
+				// proportional to bytes (recurring storage alone is — every
+				// job would tie). ReadOnce's per-object GET fees scale with
+				// the chunk count, so a fee-heavy chunked version outranks
+				// a big cheap blob of equal byte footprint.
+				job.value += est.StoragePerMonth + est.ReadOnce
 			}
 		}
-		if len(numbers) == 0 {
-			continue
+		if len(job.numbers) > 0 {
+			jobs = append(jobs, job)
 		}
+	}
+	// Rank by estimated reclaim value per byte, fee-dominated reclamations
+	// first (zero bytes with nonzero value is pure request-fee relief).
+	perByte := func(j sweepJob) float64 {
+		if j.doomed.Bytes <= 0 {
+			if j.value > 0 {
+				return math.Inf(1)
+			}
+			return 0
+		}
+		return j.value / float64(j.doomed.Bytes)
+	}
+	sort.SliceStable(jobs, func(a, b int) bool { return perByte(jobs[a]) > perByte(jobs[b]) })
+
+	var stats SweepStats
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, sweepConcurrency)
+	for _, job := range jobs {
+		if ctx.Err() != nil {
+			break
+		}
+		// Acquire the slot before spawning so jobs are issued in rank order
+		// even under the bounded concurrency.
+		sem <- struct{}{}
 		wg.Add(1)
-		go func(fileID string, numbers []uint64, doomed depsky.Footprint) {
+		go func(job sweepJob) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
-			if n, err := c.mgr.DeleteVersions(ctx, fileID, numbers); err == nil {
+			if n, err := c.mgr.DeleteVersions(ctx, job.fileID, job.numbers); err == nil {
 				mu.Lock()
 				stats.Deleted += n
-				if n == len(numbers) {
-					stats.ReclaimedBytes += doomed.Bytes
-					stats.ReclaimedObjects += doomed.Objects
+				if n == len(job.numbers) {
+					stats.ReclaimedBytes += job.doomed.Bytes
+					stats.ReclaimedObjects += job.doomed.Objects
+					stats.ReclaimedDollars += job.dollars
 				}
 				mu.Unlock()
 			}
-		}(fileID, numbers, doomed)
+		}(job)
 	}
 	wg.Wait()
 	return stats
 }
 
 // EstimateVersionFootprint implements VersionCoster by delegating to the
-// DepSky cost model (see depsky.Footprint).
+// DepSky cost model (see depsky.Footprint and the dollar view in
+// depsky/cost.go).
 func (c *CloudOfClouds) EstimateVersionFootprint(size int64, streamed bool) VersionFootprint {
 	fp := c.mgr.EstimateFootprint(size, streamed)
 	return VersionFootprint{
@@ -427,6 +497,7 @@ func (c *CloudOfClouds) EstimateVersionFootprint(size int64, streamed bool) Vers
 		PutRequests:        fp.PutRequests,
 		GetRequestsPerRead: fp.GetRequestsPerRead,
 		DeleteRequests:     fp.DeleteRequests,
+		Dollars:            c.mgr.EstimateCost(size, streamed),
 	}
 }
 

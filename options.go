@@ -11,8 +11,24 @@ import (
 	"scfs/internal/depsky"
 	"scfs/internal/depspace"
 	"scfs/internal/iopolicy"
+	"scfs/internal/pricing"
 	"scfs/internal/storage"
 )
+
+// Pricing types, re-exported so mounts can bring their own price tables.
+type (
+	// PriceTable maps provider names to their rate cards; it drives the
+	// cost-aware placement objective, the garbage collector's
+	// dollars-per-byte ranking and CostReport.
+	PriceTable = pricing.Table
+	// CloudRates is the price card of one provider.
+	CloudRates = pricing.Rates
+)
+
+// DefaultPriceTable returns the bundled price table for the simulated
+// providers (realistic list prices for the paper's four clouds; see
+// internal/pricing).
+func DefaultPriceTable() PriceTable { return pricing.DefaultTable() }
 
 // Option configures a mount created by New.
 type Option func(*config)
@@ -36,6 +52,8 @@ type config struct {
 	streamThreshold int64
 	lockTTL         time.Duration
 	ioPolicy        iopolicy.Policy
+	pricing         pricing.Table
+	pricingSet      bool
 }
 
 func defaultConfig() config {
@@ -105,6 +123,15 @@ func WithStreamThreshold(bytes int64) Option { return func(c *config) { c.stream
 // WithLockTTL sets the lease attached to ephemeral write locks.
 func WithLockTTL(ttl time.Duration) Option { return func(c *config) { c.lockTTL = ttl } }
 
+// WithPriceTable replaces the bundled per-provider price table (matched by
+// ObjectStore.Provider() name). The table prices the cost-aware placement
+// objective (WithPlacement), the garbage collector's dollars-per-byte
+// ranking, and CostReport. Mounts without this option use
+// DefaultPriceTable.
+func WithPriceTable(t PriceTable) Option {
+	return func(c *config) { c.pricing, c.pricingSet = t, true }
+}
+
 // WithDefaultIOPolicy sets the mount-wide default I/O policy from the same
 // CallOptions used per call: every operation behaves as if the options were
 // passed to it, and per-call options (or a WithPolicy context) are overlaid
@@ -135,6 +162,11 @@ func (c *config) build(ctx context.Context) (*core.Agent, error) {
 		}
 	}
 
+	prices := c.pricing
+	if !c.pricingSet {
+		prices = pricing.DefaultTable()
+	}
+
 	var (
 		store storage.VersionedStore
 		pns   storage.PNSStore
@@ -145,10 +177,11 @@ func (c *config) build(ctx context.Context) (*core.Agent, error) {
 		if err != nil {
 			return nil, fmt.Errorf("scfs: building single-cloud backend: %w", err)
 		}
+		sc.SetRates(prices.For(clouds[0].Provider()))
 		store = sc
 		pns = storage.NewSingleCloudPNS(clouds[0])
 	case len(clouds) >= 3*c.f+1:
-		mgr, err := depsky.New(depsky.Options{Clouds: clouds, F: c.f, Policy: c.ioPolicy})
+		mgr, err := depsky.New(depsky.Options{Clouds: clouds, F: c.f, Policy: c.ioPolicy, Pricing: prices})
 		if err != nil {
 			return nil, fmt.Errorf("scfs: building cloud-of-clouds backend: %w", err)
 		}

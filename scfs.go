@@ -66,6 +66,11 @@ type (
 	GCPolicy = core.GCPolicy
 	// Stats aggregates the mount's activity counters.
 	Stats = core.Stats
+	// CostReport is the mount's cloud-spend snapshot (see FS.CostReport).
+	CostReport = core.CostReport
+	// GCReport summarizes one garbage-collection run, including the
+	// $/month of storage spend it reclaimed.
+	GCReport = core.GCReport
 	// ObjectStore is the per-account client view of one cloud provider;
 	// custom backends implement it and are mounted with WithClouds.
 	ObjectStore = cloud.ObjectStore
@@ -213,8 +218,18 @@ func (m *FS) Close(ctx context.Context) error { return m.agent.Unmount(ctx) }
 // processed (non-blocking and non-sharing modes), or until ctx is done.
 func (m *FS) WaitForUploads(ctx context.Context) error { return m.agent.WaitForUploads(ctx) }
 
-// Collect runs one synchronous garbage-collection pass.
+// Collect runs one synchronous garbage-collection pass. The report carries
+// what was reclaimed along every axis of the cloud cost model, including
+// the $/month of storage spend the run stopped accruing; candidates are
+// swept in descending dollars-per-byte order.
 func (m *FS) Collect(ctx context.Context) (core.GCReport, error) { return m.agent.Collect(ctx) }
+
+// CostReport prices the mount's current cloud footprint: files, versions
+// and objects resident across the clouds, the recurring $/month they cost
+// under the mount's price table (WithPriceTable), and what reading or
+// reclaiming them would spend. It issues one batched metadata listing and
+// moves no payload bytes.
+func (m *FS) CostReport(ctx context.Context) (CostReport, error) { return m.agent.CostReport(ctx) }
 
 // ReadFile opens path, reads it fully and closes it. CallOptions tune the
 // read's I/O policy (hedged quorum reads, readahead for large files).
