@@ -172,6 +172,24 @@ var pairRules = []pairRule{
 		metric: func(b bench) float64 { return b.NsOp }, what: "ns/op",
 		maxRatio: 1.25,
 	},
+	// PR 6 acceptance, graceful degradation. A retry-budgeted read against
+	// a deployment with one cloud throttling 30% of requests must stay off
+	// the flake's latency path: the quorum verdict comes from the healthy
+	// clouds while the flaky one retries in the background (measured ~1x;
+	// 3.0 is the degradation ceiling)...
+	{
+		num: "BenchmarkDepSkyDegradedRead/Degraded", den: "BenchmarkDepSkyDegradedRead/Healthy",
+		metric: func(b bench) float64 { return b.NsOp }, what: "ns/op",
+		maxRatio: 3.0,
+	},
+	// ...and the retry budget must bound the extra traffic: a 30% flake
+	// retried inside a 3-attempt budget adds ~15-20% requests (measured
+	// ~1.2x); 2.0 is the run-away ceiling.
+	{
+		num: "BenchmarkDepSkyDegradedRead/Degraded", den: "BenchmarkDepSkyDegradedRead/Healthy",
+		metric: func(b bench) float64 { return b.CloudReqOp }, what: "cloudReq/op",
+		maxRatio: 2.0,
+	},
 }
 
 // load parses one BENCH_*.json report.

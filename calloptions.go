@@ -40,6 +40,26 @@ type (
 	// PlacementObjective ranks the clouds an operation dispatches to by
 	// cost, latency, or a weighted blend (see WithPlacement).
 	PlacementObjective = iopolicy.Placement
+	// RetryPolicy grants the operation's per-cloud RPCs a retry budget (see
+	// WithRetry).
+	RetryPolicy = iopolicy.Retry
+	// BreakerMode selects how the operation treats clouds whose circuit
+	// breaker is open (see WithBreaker).
+	BreakerMode = iopolicy.BreakerMode
+)
+
+// Breaker modes for WithBreaker.
+const (
+	// BreakerDemote (the default) keeps contacting suspected clouds but
+	// demotes them to the back of every dispatch ranking, where a hedged
+	// fan-out usually decides the quorum before reaching them.
+	BreakerDemote = iopolicy.BreakerDemote
+	// BreakerBypass ignores the breaker scoreboard for this operation
+	// (outcomes still feed it).
+	BreakerBypass = iopolicy.BreakerBypass
+	// BreakerFailFast skips suspected clouds without contacting them; the
+	// skipped slot counts as that cloud's failure in the quorum math.
+	BreakerFailFast = iopolicy.BreakerFailFast
 )
 
 // CallOption tunes the I/O policy of a single operation. Pass CallOptions
@@ -179,6 +199,45 @@ func PreferClouds(order ...int) ReadPreference { return ReadPreference{Order: or
 // clouds a hedge firing may contact at once.
 func WithLimits(limits IOLimits) CallOption {
 	return func(p *IOPolicy) { p.Limits = limits }
+}
+
+// WithRetry grants every per-cloud RPC of the operation a retry budget of
+// maxAttempts total attempts (first try included): transient provider
+// failures — outages, throttling — are retried with full-jitter exponential
+// backoff inside the budget, while permanent answers (not-found, access
+// denied) and context cancellations return immediately. Clouds whose
+// circuit breaker is open get no budget (one probe-like attempt only), so
+// retries are spent where they can help. maxAttempts <= 1 disables retries,
+// the default.
+//
+// The backoff starts at 50ms and grows exponentially (capped at 16x);
+// use WithRetryBackoff to tune it.
+func WithRetry(maxAttempts int) CallOption {
+	return func(p *IOPolicy) {
+		p.Retry.MaxAttempts = maxAttempts
+		if p.Retry.BackoffBase == 0 {
+			p.Retry.BackoffBase = 50 * time.Millisecond
+		}
+	}
+}
+
+// WithRetryBackoff shapes the delays between WithRetry attempts: base caps
+// the first (jittered) delay and max caps the exponential growth (0 = 16x
+// base).
+func WithRetryBackoff(base, max time.Duration) CallOption {
+	return func(p *IOPolicy) {
+		p.Retry.BackoffBase = base
+		p.Retry.BackoffMax = max
+	}
+}
+
+// WithBreaker selects how the operation treats clouds whose circuit breaker
+// is currently open (suspected of misbehaving): BreakerDemote (default)
+// still contacts them but last, BreakerFailFast refuses to contact them at
+// all (cheapest, but their quorum slot is forfeit), BreakerBypass pretends
+// the scoreboard is clean (e.g. for a health-probing read).
+func WithBreaker(mode BreakerMode) CallOption {
+	return func(p *IOPolicy) { p.Breaker = mode }
 }
 
 // WithPolicy returns a context carrying the I/O policy assembled from the

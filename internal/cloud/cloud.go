@@ -96,15 +96,32 @@ func (u *Usage) Add(other Usage) {
 	u.ByteHours += other.ByteHours
 }
 
-// Sentinel errors shared by all object-store implementations.
+// Sentinel errors shared by all object-store implementations. They fall in
+// two classes the resilience layer (internal/resilience) tells apart:
+// transient errors describe the provider's moment (an outage passes, a
+// throttle clears) and are worth retrying with backoff; permanent errors
+// describe the request (the object is absent, the ACL forbids it) and no
+// retry can change the answer. Implementations should wrap the sentinels
+// (%w) with provider context rather than replace them, so errors.Is keeps
+// classifying through the chain.
 var (
 	// ErrNotFound is returned when the object does not exist or is not yet
-	// visible (eventual consistency).
+	// visible (eventual consistency). Permanent for the RPC: the read loop
+	// of the consistency anchor retries at a higher layer, with its own
+	// schedule.
 	ErrNotFound = errors.New("cloud: object not found")
-	// ErrAccessDenied is returned when the ACL forbids the operation.
+	// ErrAccessDenied is returned when the ACL forbids the operation
+	// (permanent).
 	ErrAccessDenied = errors.New("cloud: access denied")
 	// ErrUnavailable is returned when the provider is unreachable (outage).
+	// Transient: the defining property of a cloud-of-clouds is that
+	// provider outages pass.
 	ErrUnavailable = errors.New("cloud: provider unavailable")
+	// ErrThrottled is returned when the provider rate-limits the request
+	// (HTTP 429/503 slow-down responses). Transient, and the one error that
+	// positively demands backoff: retrying a throttle immediately makes it
+	// worse.
+	ErrThrottled = errors.New("cloud: request throttled")
 	// ErrCorrupted is returned when the returned payload fails integrity
 	// verification performed by a higher layer. The simulator may also
 	// return silently corrupted data without this error, which is exactly

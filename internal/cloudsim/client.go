@@ -12,6 +12,12 @@ import (
 // cancelled mid-request, the call returns ctx.Err() immediately, and the
 // request behaves like a message lost on the wire — a cancelled Put never
 // reaches the provider, a cancelled Get transfers (and bills) no payload.
+//
+// Each request's fate against the fault schedule is settled once, at entry
+// (beginRequest), and honoured coherently across the latency simulation and
+// the operation itself: a gray-slow request is slow on the wire, a hung
+// request parks after its network time, an unavailable one errors at the
+// provider.
 type client struct {
 	p       *Provider
 	account string
@@ -23,10 +29,14 @@ func (c *client) Provider() string { return c.p.Name() }
 func (c *client) Account() string  { return c.account }
 
 func (c *client) Put(ctx context.Context, name string, data []byte) error {
-	if err := c.p.simulateLatency(ctx, len(data), 0); err != nil {
+	d := c.p.beginRequest(OpPut)
+	if err := c.p.simulateLatency(ctx, len(data), 0, d); err != nil {
 		return err
 	}
-	return c.p.put(c.account, name, data)
+	if d.mode == FaultHang {
+		return c.p.hang(ctx)
+	}
+	return c.p.put(c.account, name, data, d)
 }
 
 func (c *client) Get(ctx context.Context, name string) ([]byte, error) {
@@ -36,50 +46,74 @@ func (c *client) Get(ctx context.Context, name string) ([]byte, error) {
 	// transfer sleep drops the payload: the provider already billed the
 	// outbound bytes (the data left the data centre), but the caller gets
 	// only ctx.Err(), never partial data.
-	if err := c.p.simulateLatency(ctx, 0, 0); err != nil {
+	d := c.p.beginRequest(OpGet)
+	if err := c.p.simulateLatency(ctx, 0, 0, d); err != nil {
 		return nil, err
 	}
-	data, err := c.p.get(c.account, name)
+	if d.mode == FaultHang {
+		return nil, c.p.hang(ctx)
+	}
+	data, err := c.p.get(c.account, name, d)
 	if err != nil {
 		return nil, err
 	}
-	if err := c.p.simulateTransfer(ctx, 0, len(data)); err != nil {
+	if err := c.p.simulateTransfer(ctx, 0, len(data), d); err != nil {
 		return nil, err
 	}
 	return data, nil
 }
 
 func (c *client) Head(ctx context.Context, name string) (cloud.ObjectInfo, error) {
-	if err := c.p.simulateLatency(ctx, 0, 0); err != nil {
+	d := c.p.beginRequest(OpHead)
+	if err := c.p.simulateLatency(ctx, 0, 0, d); err != nil {
 		return cloud.ObjectInfo{}, err
 	}
-	return c.p.head(c.account, name)
+	if d.mode == FaultHang {
+		return cloud.ObjectInfo{}, c.p.hang(ctx)
+	}
+	return c.p.head(c.account, name, d)
 }
 
 func (c *client) Delete(ctx context.Context, name string) error {
-	if err := c.p.simulateLatency(ctx, 0, 0); err != nil {
+	d := c.p.beginRequest(OpDelete)
+	if err := c.p.simulateLatency(ctx, 0, 0, d); err != nil {
 		return err
 	}
-	return c.p.delete(c.account, name)
+	if d.mode == FaultHang {
+		return c.p.hang(ctx)
+	}
+	return c.p.delete(c.account, name, d)
 }
 
 func (c *client) List(ctx context.Context, prefix string) ([]cloud.ObjectInfo, error) {
-	if err := c.p.simulateLatency(ctx, 0, 0); err != nil {
+	d := c.p.beginRequest(OpList)
+	if err := c.p.simulateLatency(ctx, 0, 0, d); err != nil {
 		return nil, err
 	}
-	return c.p.list(c.account, prefix)
+	if d.mode == FaultHang {
+		return nil, c.p.hang(ctx)
+	}
+	return c.p.list(c.account, prefix, d)
 }
 
 func (c *client) SetACL(ctx context.Context, name string, grants []cloud.Grant) error {
-	if err := c.p.simulateLatency(ctx, 0, 0); err != nil {
+	d := c.p.beginRequest(OpACL)
+	if err := c.p.simulateLatency(ctx, 0, 0, d); err != nil {
 		return err
 	}
-	return c.p.setACL(c.account, name, grants)
+	if d.mode == FaultHang {
+		return c.p.hang(ctx)
+	}
+	return c.p.setACL(c.account, name, grants, d)
 }
 
 func (c *client) GetACL(ctx context.Context, name string) ([]cloud.Grant, error) {
-	if err := c.p.simulateLatency(ctx, 0, 0); err != nil {
+	d := c.p.beginRequest(OpACL)
+	if err := c.p.simulateLatency(ctx, 0, 0, d); err != nil {
 		return nil, err
 	}
-	return c.p.getACL(c.account, name)
+	if d.mode == FaultHang {
+		return nil, c.p.hang(ctx)
+	}
+	return c.p.getACL(c.account, name, d)
 }

@@ -55,21 +55,35 @@ func (p LatencyProfile) requestLatency(upBytes, downBytes int, rng *rand.Rand) t
 	return d
 }
 
-// FaultMode selects how a provider misbehaves. The CoC backend must tolerate
-// f providers in any of these modes.
+// FaultMode selects how a struck request misbehaves. The CoC backend must
+// tolerate f providers in any of these modes. Which requests are struck is
+// decided by the fault schedule (see FaultSpec in faults.go): SetFault
+// strikes everything, SetFaults composes probabilistic, time-windowed and
+// counter-windowed predicates.
 type FaultMode int
 
 const (
 	// FaultNone is normal operation.
 	FaultNone FaultMode = iota
-	// FaultUnavailable makes every request fail with cloud.ErrUnavailable.
+	// FaultUnavailable fails struck requests with cloud.ErrUnavailable.
 	FaultUnavailable
-	// FaultCorrupt makes reads return silently corrupted payloads.
+	// FaultCorrupt makes struck reads return silently corrupted payloads.
 	FaultCorrupt
-	// FaultLoseWrites acknowledges writes but drops the data.
+	// FaultLoseWrites acknowledges struck writes but drops the data.
 	FaultLoseWrites
-	// FaultSlow multiplies latency by 10 (a "slow but correct" provider).
+	// FaultSlow inflates the latency of struck requests (default 10x, see
+	// FaultSpec.LatencyFactor) without any error: a gray, slow-but-correct
+	// provider.
 	FaultSlow
+	// FaultThrottle fails struck requests with cloud.ErrThrottled (the
+	// provider's 429/slow-down answer): transient, and the classification
+	// the retry/backoff layer exists for.
+	FaultThrottle
+	// FaultHang accepts the struck request and then never answers: the
+	// connection stays open until the caller's context cancels it. The
+	// nastiest gray failure — no error, no progress — which only timeouts,
+	// hedging and quorum cancellation can mask.
+	FaultHang
 )
 
 // Options configures a Provider.
@@ -132,7 +146,11 @@ type Provider struct {
 	rng      *rand.Rand
 	objects  map[string]*object
 	accounts map[string]*accountState
-	fault    FaultMode
+
+	// faults is the active fault schedule (see faults.go); staticFault
+	// remembers the last wholesale SetFault mode for the legacy getter.
+	faults      []*faultEntry
+	staticFault FaultMode
 
 	// Counters for observability in tests/experiments.
 	totalRequests int64
@@ -160,20 +178,6 @@ func NewProvider(opts Options) *Provider {
 
 // Name returns the provider name.
 func (p *Provider) Name() string { return p.opts.Name }
-
-// SetFault switches the provider's fault mode (test / experiment hook).
-func (p *Provider) SetFault(mode FaultMode) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.fault = mode
-}
-
-// Fault returns the current fault mode.
-func (p *Provider) Fault() FaultMode {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.fault
-}
 
 // CreateAccount registers an account and returns its canonical identifier,
 // unique within the provider (mirrors the per-provider canonical user IDs
@@ -253,12 +257,13 @@ func (p *Provider) meterStorageLocked(st *accountState) {
 }
 
 // simulateLatency sleeps for the duration of a request outside the lock,
-// returning early with ctx.Err() if the caller cancels mid-flight.
-func (p *Provider) simulateLatency(ctx context.Context, upBytes, downBytes int) error {
+// returning early with ctx.Err() if the caller cancels mid-flight. The
+// request's fault decision inflates the sleep for gray-slow requests.
+func (p *Provider) simulateLatency(ctx context.Context, upBytes, downBytes int, d decision) error {
 	p.mu.Lock()
 	base := p.opts.Latency.requestLatency(upBytes, downBytes, p.rng)
-	if p.fault == FaultSlow {
-		base *= 10
+	if d.latencyFactor > 0 {
+		base = time.Duration(float64(base) * d.latencyFactor)
 	}
 	scaled := time.Duration(float64(base) * p.opts.LatencyScale)
 	p.mu.Unlock()
@@ -268,17 +273,48 @@ func (p *Provider) simulateLatency(ctx context.Context, upBytes, downBytes int) 
 // simulateTransfer sleeps only for the payload-transfer component of a
 // request (no RTT); used when the payload size is only known after the
 // metadata lookup has already been charged.
-func (p *Provider) simulateTransfer(ctx context.Context, upBytes, downBytes int) error {
+func (p *Provider) simulateTransfer(ctx context.Context, upBytes, downBytes int, d decision) error {
 	p.mu.Lock()
 	prof := p.opts.Latency
 	prof.RTT = 0
 	base := prof.requestLatency(upBytes, downBytes, p.rng)
-	if p.fault == FaultSlow {
-		base *= 10
+	if d.latencyFactor > 0 {
+		base = time.Duration(float64(base) * d.latencyFactor)
 	}
 	scaled := time.Duration(float64(base) * p.opts.LatencyScale)
 	p.mu.Unlock()
 	return clock.SleepCtx(ctx, p.clk, scaled)
+}
+
+// hang parks a FaultHang request until the caller gives up: the provider
+// accepted the connection and will never answer. The request is counted
+// (the bytes did reach the provider) but the operation never executes.
+func (p *Provider) hang(ctx context.Context) error {
+	p.mu.Lock()
+	p.totalRequests++
+	p.mu.Unlock()
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// faultErr wraps a sentinel with provider context, preserving errors.Is
+// classification through the chain.
+func (p *Provider) faultErr(sentinel error) error {
+	return fmt.Errorf("%s: %w", p.opts.Name, sentinel)
+}
+
+// opErr translates an error-mode decision into the wrapped sentinel the
+// struck request fails with, or nil when the mode corrupts/drops/delays
+// instead of erroring.
+func (p *Provider) opErr(d decision) error {
+	switch d.mode {
+	case FaultUnavailable:
+		return p.faultErr(cloud.ErrUnavailable)
+	case FaultThrottle:
+		return p.faultErr(cloud.ErrThrottled)
+	default:
+		return nil
+	}
 }
 
 // visibility returns when a write performed now becomes visible.
@@ -306,15 +342,15 @@ func (p *Provider) permFor(o *object, account string) cloud.Permission {
 
 // --- operations (called by client with latency already simulated) ---
 
-func (p *Provider) put(account, name string, data []byte) error {
+func (p *Provider) put(account, name string, data []byte, d decision) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.totalRequests++
 	st := p.accounts[account]
 	st.usage.PutRequests++
 	st.usage.BytesIn += int64(len(data))
-	if p.fault == FaultUnavailable {
-		return cloud.ErrUnavailable
+	if err := p.opErr(d); err != nil {
+		return err
 	}
 	o, ok := p.objects[name]
 	if !ok || (o.deleted && len(o.versions) == 0) {
@@ -324,7 +360,7 @@ func (p *Provider) put(account, name string, data []byte) error {
 	if !p.permFor(o, account).CanWrite() {
 		return cloud.ErrAccessDenied
 	}
-	if p.fault == FaultLoseWrites {
+	if d.mode == FaultLoseWrites {
 		// Acknowledge but drop: a Byzantine provider.
 		return nil
 	}
@@ -352,14 +388,14 @@ func (p *Provider) put(account, name string, data []byte) error {
 	return nil
 }
 
-func (p *Provider) get(account, name string) ([]byte, error) {
+func (p *Provider) get(account, name string, d decision) ([]byte, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.totalRequests++
 	st := p.accounts[account]
 	st.usage.GetRequests++
-	if p.fault == FaultUnavailable {
-		return nil, cloud.ErrUnavailable
+	if err := p.opErr(d); err != nil {
+		return nil, err
 	}
 	o, ok := p.objects[name]
 	if !ok || o.deleted {
@@ -373,7 +409,7 @@ func (p *Provider) get(account, name string) ([]byte, error) {
 		return nil, cloud.ErrNotFound
 	}
 	data := append([]byte(nil), v.data...)
-	if p.fault == FaultCorrupt && len(data) > 0 {
+	if d.mode == FaultCorrupt && len(data) > 0 {
 		// Flip bytes silently; integrity must be caught by hashes upstream.
 		for i := 0; i < len(data); i += 97 {
 			data[i] ^= 0x5A
@@ -383,14 +419,14 @@ func (p *Provider) get(account, name string) ([]byte, error) {
 	return data, nil
 }
 
-func (p *Provider) head(account, name string) (cloud.ObjectInfo, error) {
+func (p *Provider) head(account, name string, d decision) (cloud.ObjectInfo, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.totalRequests++
 	st := p.accounts[account]
 	st.usage.GetRequests++
-	if p.fault == FaultUnavailable {
-		return cloud.ObjectInfo{}, cloud.ErrUnavailable
+	if err := p.opErr(d); err != nil {
+		return cloud.ObjectInfo{}, err
 	}
 	o, ok := p.objects[name]
 	if !ok || o.deleted {
@@ -406,14 +442,14 @@ func (p *Provider) head(account, name string) (cloud.ObjectInfo, error) {
 	return cloud.ObjectInfo{Name: o.name, Size: int64(len(v.data)), Owner: o.owner, ModTime: v.modTime}, nil
 }
 
-func (p *Provider) delete(account, name string) error {
+func (p *Provider) delete(account, name string, d decision) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.totalRequests++
 	st := p.accounts[account]
 	st.usage.DeleteRequests++
-	if p.fault == FaultUnavailable {
-		return cloud.ErrUnavailable
+	if err := p.opErr(d); err != nil {
+		return err
 	}
 	o, ok := p.objects[name]
 	if !ok || o.deleted {
@@ -437,14 +473,14 @@ func (p *Provider) delete(account, name string) error {
 	return nil
 }
 
-func (p *Provider) list(account, prefix string) ([]cloud.ObjectInfo, error) {
+func (p *Provider) list(account, prefix string, d decision) ([]cloud.ObjectInfo, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.totalRequests++
 	st := p.accounts[account]
 	st.usage.ListRequests++
-	if p.fault == FaultUnavailable {
-		return nil, cloud.ErrUnavailable
+	if err := p.opErr(d); err != nil {
+		return nil, err
 	}
 	now := p.clk.Now()
 	var out []cloud.ObjectInfo
@@ -465,14 +501,14 @@ func (p *Provider) list(account, prefix string) ([]cloud.ObjectInfo, error) {
 	return out, nil
 }
 
-func (p *Provider) setACL(account, name string, grants []cloud.Grant) error {
+func (p *Provider) setACL(account, name string, grants []cloud.Grant, d decision) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.totalRequests++
 	st := p.accounts[account]
 	st.usage.PutRequests++
-	if p.fault == FaultUnavailable {
-		return cloud.ErrUnavailable
+	if err := p.opErr(d); err != nil {
+		return err
 	}
 	o, ok := p.objects[name]
 	if !ok || o.deleted {
@@ -491,14 +527,14 @@ func (p *Provider) setACL(account, name string, grants []cloud.Grant) error {
 	return nil
 }
 
-func (p *Provider) getACL(account, name string) ([]cloud.Grant, error) {
+func (p *Provider) getACL(account, name string, d decision) ([]cloud.Grant, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.totalRequests++
 	st := p.accounts[account]
 	st.usage.GetRequests++
-	if p.fault == FaultUnavailable {
-		return nil, cloud.ErrUnavailable
+	if err := p.opErr(d); err != nil {
+		return nil, err
 	}
 	o, ok := p.objects[name]
 	if !ok || o.deleted {

@@ -29,13 +29,13 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"time"
 
 	"scfs/internal/cloud"
 	"scfs/internal/erasure"
 	"scfs/internal/iopolicy"
 	"scfs/internal/placement"
 	"scfs/internal/pricing"
+	"scfs/internal/resilience"
 	"scfs/internal/seccrypto"
 	"scfs/internal/secretshare"
 	"scfs/internal/stream"
@@ -236,6 +236,10 @@ type Options struct {
 	// footprints into dollars. The zero Table prices every provider with
 	// pricing.DefaultRates (placement then treats them as equals).
 	Pricing pricing.Table
+	// Breakers tunes the per-(cloud, direction) circuit breakers fed by
+	// every per-cloud RPC. The zero value enables them with the default
+	// threshold and cooldown; see resilience.BreakerPolicy.
+	Breakers resilience.BreakerPolicy
 }
 
 // Manager reads and writes data units spread over the configured clouds.
@@ -246,6 +250,7 @@ type Manager struct {
 	opts     Options
 	coder    *erasure.Coder
 	tracker  *iopolicy.Tracker
+	board    *resilience.Board
 	rates    []pricing.Rates
 	mean     pricing.Rates // rate card averaged across the clouds
 	selector *placement.Selector
@@ -270,6 +275,7 @@ func New(opts Options) (*Manager, error) {
 		opts:     opts,
 		coder:    coder,
 		tracker:  tracker,
+		board:    resilience.NewBoard(len(opts.Clouds), opts.Breakers),
 		rates:    rates,
 		mean:     meanRates(rates),
 		selector: placement.NewSelector(rates, tracker),
@@ -339,9 +345,12 @@ func (m *Manager) readMetadataQuorum(ctx context.Context, unit string) []*unitMe
 				results <- fetched{idx: i}
 				return
 			}
-			start := time.Now()
-			data, err := c.Get(opCtx, name)
-			m.observeRPC(i, op, start, err)
+			var data []byte
+			err := m.timedCloudCall(opCtx, pol, i, op, func(ctx context.Context) error {
+				var err error
+				data, err = c.Get(ctx, name)
+				return err
+			})
 			if err != nil {
 				results <- fetched{idx: i}
 				return
@@ -531,9 +540,9 @@ func (m *Manager) writeQuorumHooked(ctx context.Context, name string, payload fu
 				results <- outcome{idx: i, err: errHedgeSkipped}
 				return
 			}
-			start := time.Now()
-			err := c.Put(opCtx, name, payload(i))
-			m.observeRPC(i, op, start, err)
+			err := m.timedCloudCall(opCtx, pol, i, op, func(ctx context.Context) error {
+				return c.Put(ctx, name, payload(i))
+			})
 			results <- outcome{idx: i, err: err}
 		}(i, c)
 	}
@@ -854,9 +863,12 @@ func (m *Manager) readVersion(ctx context.Context, unit string, info VersionInfo
 				results <- fetched{idx: i}
 				return
 			}
-			start := time.Now()
-			data, err := c.Get(opCtx, name)
-			m.observeRPC(i, op, start, err)
+			var data []byte
+			err := m.timedCloudCall(opCtx, pol, i, op, func(ctx context.Context) error {
+				var err error
+				data, err = c.Get(ctx, name)
+				return err
+			})
 			if err != nil {
 				results <- fetched{idx: i}
 				return

@@ -59,6 +59,12 @@ func (m *Manager) Tracker() *iopolicy.Tracker { return m.tracker }
 // otherwise the tracker's fastest-first ranking. Preference beating
 // Placement is what lets one latency-critical call opt out of a
 // cost-first mount with WithReadPreference(PreferFastest()).
+//
+// Unless the policy pins an explicit Order (or bypasses the breakers),
+// the circuit-breaker scoreboard then demotes suspected clouds to the
+// back of the ranking: a provider the breakers condemned lands in the
+// last hedge tier, where the quorum verdict usually arrives before its
+// gate ever releases — graceful degradation without giving up its vote.
 func (m *Manager) rankClouds(pol iopolicy.Policy, op iopolicy.Op) []int {
 	n := m.N()
 	if pref := pol.Preference; len(pref.Order) > 0 {
@@ -77,13 +83,19 @@ func (m *Manager) rankClouds(pol iopolicy.Policy, op iopolicy.Op) []int {
 		}
 		return order
 	}
-	if pol.Preference.Fastest {
-		return m.tracker.Rank(op)
+	var order []int
+	switch {
+	case pol.Preference.Fastest:
+		order = m.tracker.Rank(op)
+	case !pol.Placement.IsZero():
+		order = m.selector.Rank(pol.Placement, op)
+	default:
+		order = m.tracker.Rank(op)
 	}
-	if !pol.Placement.IsZero() {
-		return m.selector.Rank(pol.Placement, op)
+	if pol.Breaker != iopolicy.BreakerBypass {
+		order = m.board.Demote(order, breakerClass(op))
 	}
-	return m.tracker.Rank(op)
+	return order
 }
 
 // hedgeGate gates the non-preferred clouds of one fan-out. Each per-cloud

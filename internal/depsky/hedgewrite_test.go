@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -296,4 +297,67 @@ func testTable(storageByIdx map[int]float64) pricing.Table {
 		t.ByProvider[fmt.Sprintf("c%d", idx)] = pricing.Rates{StorageGBMonth: gbMonth, EgressPerGB: 0.1}
 	}
 	return t
+}
+
+// TestHedgedWriteSpareReleaseOnMidUploadOutage: a preferred cloud accepts
+// the first frames of a chunked hedged upload and then goes dark between
+// frames. The failure kick must release the parked spare mid-write (not
+// after the enormous hedge delay), the write must commit exactly one
+// complete version, and the fan-out goroutines must all drain — an outage
+// must not strand workers parked on hedge gates.
+func TestHedgedWriteSpareReleaseOnMidUploadOutage(t *testing.T) {
+	const cs = 4096
+	rtts := []time.Duration{0, 0, 0, 0}
+	m, providers, accounts := hedgeManager(t, rtts, Options{ChunkSize: cs})
+	warmTracker(m, rtts)
+
+	// c1 accepts two frame uploads, then every further PUT fails: an outage
+	// landing between frame N and N+1 of the same logical write.
+	providers[1].SetFaults(cloudsim.FaultSpec{
+		Mode: cloudsim.FaultUnavailable, Ops: cloudsim.MaskPut, AfterN: 2,
+	})
+
+	baseline := runtime.NumGoroutine()
+	data := bytes.Repeat([]byte{0xC7}, 6*cs+19)
+	start := time.Now()
+	info, err := m.WriteFrom(writeHedgeCtx(0, 1, 2), "u", bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("hedged write across a mid-upload outage: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("write took %v — the spare was not kicked loose when the preferred upload died", elapsed)
+	}
+	// The spare completed the quorum for the frames c1 dropped.
+	if u := providers[3].Usage(accounts[3]); u.PutRequests == 0 {
+		t.Fatal("spare cloud received no uploads despite the mid-write outage")
+	}
+
+	// Exactly one complete version, readable while c1 is still dark.
+	versions, err := m.ListVersions(bg, "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != 1 {
+		t.Fatalf("outage left %d visible versions, want exactly 1", len(versions))
+	}
+	got, rinfo, err := m.Read(bg, "u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rinfo.DataHash != info.DataHash || !bytes.Equal(got, data) {
+		t.Fatal("read returned a different or partial version")
+	}
+
+	// All fan-out goroutines (including spares parked behind the 10s hedge
+	// delay on healthy chunks) must have been cancelled and drained.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak after mid-upload outage: %d, baseline %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
 }

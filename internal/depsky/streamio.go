@@ -20,7 +20,6 @@ import (
 	"fmt"
 	"io"
 	"sync"
-	"time"
 
 	"scfs/internal/cloud"
 	"scfs/internal/iopolicy"
@@ -414,9 +413,12 @@ func (f *chunkFetcher) Fetch(ctx context.Context, idx int, dst []byte) error {
 				results <- nil
 				return
 			}
-			start := time.Now()
-			data, err := c.Get(opCtx, name)
-			m.observeRPC(i, op, start, err)
+			var data []byte
+			err := m.timedCloudCall(opCtx, pol, i, op, func(ctx context.Context) error {
+				var err error
+				data, err = c.Get(ctx, name)
+				return err
+			})
 			if err != nil {
 				results <- nil
 				return

@@ -272,3 +272,78 @@ func TestPlacementMerge(t *testing.T) {
 		t.Fatal("placed policy must not report IsZero")
 	}
 }
+
+func TestRetryAndBreakerMerge(t *testing.T) {
+	base := Policy{Retry: Retry{MaxAttempts: 3, BackoffBase: time.Millisecond}}
+	if got := base.Merge(Policy{}); got.Retry != base.Retry {
+		t.Fatalf("empty override clobbered retry: %+v", got.Retry)
+	}
+	override := Policy{Retry: Retry{MaxAttempts: 5}}
+	if got := base.Merge(override); got.Retry != override.Retry {
+		t.Fatalf("override retry did not replace: %+v", got.Retry)
+	}
+	if base.Merge(Policy{Breaker: BreakerFailFast}).Breaker != BreakerFailFast {
+		t.Fatal("breaker mode override lost")
+	}
+	ff := Policy{Breaker: BreakerFailFast}
+	if ff.Merge(Policy{Breaker: BreakerBypass}).Breaker != BreakerBypass {
+		t.Fatal("bypass must override a fail-fast default")
+	}
+	if ff.Merge(Policy{}).Breaker != BreakerFailFast {
+		t.Fatal("unset breaker mode must keep the default")
+	}
+	if (Policy{Retry: Retry{MaxAttempts: 2}}).IsZero() {
+		t.Fatal("retry policy must not report IsZero")
+	}
+	if (Policy{Breaker: BreakerFailFast}).IsZero() {
+		t.Fatal("breaker policy must not report IsZero")
+	}
+	if !(Retry{}).IsZero() || (Retry{}).Enabled() || !(Retry{MaxAttempts: 2}).Enabled() {
+		t.Fatal("Retry zero/enabled predicates wrong")
+	}
+}
+
+func TestTrackerDecayRestoresSilentClouds(t *testing.T) {
+	now := time.Unix(1000, 0)
+	tr := NewTracker(2)
+	tr.SetNow(func() time.Time { return now })
+
+	// Cloud 0 was measured slow, cloud 1 fast.
+	for i := 0; i < 10; i++ {
+		tr.Observe(0, GetOp(100), 500*time.Millisecond)
+		tr.Observe(1, GetOp(100), 10*time.Millisecond)
+	}
+	if order := tr.Rank(GetOp(100)); order[0] != 1 {
+		t.Fatalf("rank = %v, want fast cloud first", order)
+	}
+	slow, _ := tr.EWMA(0, GetOp(100))
+
+	// Within the grace period nothing changes.
+	now = now.Add(5 * time.Second)
+	if d, _ := tr.EWMA(0, GetOp(100)); d != slow {
+		t.Fatalf("EWMA decayed within grace: %v -> %v", slow, d)
+	}
+
+	// Cloud 0 goes silent (demoted) while cloud 1 keeps serving traffic.
+	for i := 0; i < 90; i++ {
+		now = now.Add(time.Second)
+		tr.Observe(1, GetOp(100), 10*time.Millisecond)
+	}
+	d0, _ := tr.EWMA(0, GetOp(100))
+	d1, _ := tr.EWMA(1, GetOp(100))
+	if d0 >= slow {
+		t.Fatalf("stale EWMA did not decay: %v", d0)
+	}
+	if d0 >= d1 {
+		t.Fatalf("after sustained silence the stale cloud (%v) should rank below the active one (%v)", d0, d1)
+	}
+	if order := tr.Rank(GetOp(100)); order[0] != 0 {
+		t.Fatalf("rank = %v, want the silent cloud re-promoted for exploration", order)
+	}
+
+	// A fresh sample resumes from the true (undecayed) average.
+	tr.Observe(0, GetOp(100), 500*time.Millisecond)
+	if d, _ := tr.EWMA(0, GetOp(100)); d < 400*time.Millisecond {
+		t.Fatalf("fresh sample should restore the true EWMA, got %v", d)
+	}
+}

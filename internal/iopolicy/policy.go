@@ -101,6 +101,52 @@ type Placement struct {
 // IsZero reports whether the placement objective is unset.
 func (p Placement) IsZero() bool { return p == Placement{} }
 
+// Retry is the per-RPC retry budget an operation grants each cloud: how
+// many attempts one logical RPC may spend on transient failures (outage,
+// throttle) and how the jittered exponential backoff between them grows.
+// The zero value disables retries — one attempt per cloud, the
+// pre-resilience behaviour — because the quorum layer already masks f
+// failed clouds without retrying anyone; retries are for riding out
+// transient weather when redundancy alone is not enough (e.g. more than f
+// clouds flaking at once, or a single-cloud backend).
+type Retry struct {
+	// MaxAttempts is the total attempts per RPC (first try included); 0 and
+	// 1 both mean a single attempt.
+	MaxAttempts int
+	// BackoffBase caps the first retry delay (full jitter draws uniformly
+	// below the cap); 0 with MaxAttempts > 1 retries without delay.
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential growth; 0 means 16x BackoffBase.
+	BackoffMax time.Duration
+}
+
+// IsZero reports whether the retry budget is unset.
+func (r Retry) IsZero() bool { return r == Retry{} }
+
+// Enabled reports whether the budget grants any retries.
+func (r Retry) Enabled() bool { return r.MaxAttempts > 1 }
+
+// BreakerMode selects how an operation consumes the per-(cloud, op-class)
+// circuit-breaker scoreboard.
+type BreakerMode int
+
+const (
+	// BreakerDemote (the default) keeps suspected clouds reachable but
+	// deprioritized: they move to the back of every dispatch ranking (last
+	// hedge tier) and receive no retry budget, yet a fan-out that needs them
+	// for its quorum still contacts them. Availability is never traded away.
+	BreakerDemote BreakerMode = iota
+	// BreakerBypass ignores breaker state entirely for this operation (it is
+	// still recorded): the pre-resilience dispatch order.
+	BreakerBypass
+	// BreakerFailFast additionally skips suspected clouds outright instead
+	// of queueing them behind the hedge gate — latency-critical reads would
+	// rather fail a cloud silently than wait on it. Quorum math still counts
+	// the skipped cloud as failed, so writes needing n-f acks should prefer
+	// BreakerDemote.
+	BreakerFailFast
+)
+
 // Limits bounds the extra work a policy may spend on one call.
 type Limits struct {
 	// MaxParallelChunks bounds the number of chunk fetches a readahead
@@ -136,6 +182,12 @@ type Policy struct {
 	// Placement ranks the clouds of a fan-out by cost, latency or a blend;
 	// an explicit Preference order takes precedence over it.
 	Placement Placement
+	// Retry grants each per-cloud RPC a budget of backoff retries against
+	// transient provider failures.
+	Retry Retry
+	// Breaker selects how the operation consumes the circuit-breaker
+	// scoreboard (demote suspected clouds, bypass it, or fail fast).
+	Breaker BreakerMode
 	// Limits bounds the extra work.
 	Limits Limits
 }
@@ -143,7 +195,8 @@ type Policy struct {
 // IsZero reports whether the policy requests nothing beyond the defaults.
 func (p Policy) IsZero() bool {
 	return !p.Hedge.Enabled() && !p.WriteHedge.Enabled() && p.Readahead == 0 &&
-		p.Preference.IsZero() && p.Placement.IsZero() && p.Limits == Limits{}
+		p.Preference.IsZero() && p.Placement.IsZero() && p.Retry.IsZero() &&
+		p.Breaker == BreakerDemote && p.Limits == Limits{}
 }
 
 // Merge overlays override on p: fields set in override win, unset fields
@@ -180,6 +233,12 @@ func (p Policy) Merge(override Policy) Policy {
 	}
 	if !override.Placement.IsZero() {
 		out.Placement = override.Placement
+	}
+	if !override.Retry.IsZero() {
+		out.Retry = override.Retry
+	}
+	if override.Breaker != BreakerDemote {
+		out.Breaker = override.Breaker
 	}
 	if override.Limits.MaxParallelChunks != 0 {
 		out.Limits.MaxParallelChunks = override.Limits.MaxParallelChunks

@@ -1,6 +1,7 @@
 package iopolicy
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -66,15 +67,35 @@ func GetOp(bytes int) Op { return Op{Class: OpGet, Bytes: bytes} }
 // PutOp is the Op of an upload of the given payload size.
 func PutOp(bytes int) Op { return Op{Class: OpPut, Bytes: bytes} }
 
+// Staleness decay: a series that stops receiving samples says less and less
+// about the cloud's present. Only successful RPCs are recorded, so a cloud
+// that turns slow or broken gets demoted — and then stops producing samples,
+// which without decay would freeze its bad EWMA forever ("slow once during
+// warmup, ranked slow for the rest of the mount"). After decayGrace of
+// silence the read-side EWMA decays toward zero with half-life
+// decayHalfLife, which ranks the silent cloud like an unexplored one:
+// optimistically early, so it gets probed and re-measured instead of exiled.
+const (
+	// decayGrace is how long a series stays fully trusted after its last
+	// sample. Long enough that ordinary request spacing (and fast-running
+	// tests) see no decay at all.
+	decayGrace = 10 * time.Second
+	// decayHalfLife halves the stale EWMA per interval past the grace
+	// period; ~30s of silence discounts a cloud to an eighth of its last
+	// known latency, enough to re-enter most preferred sets.
+	decayHalfLife = 10 * time.Second
+)
+
 // series is one (cloud, class, size-bucket) latency history.
 type series struct {
 	samples [trackerWindow]int64 // nanoseconds, ring buffer
 	next    int
 	count   int64 // total observations (ring holds min(count, trackerWindow))
 	ewma    float64
+	last    int64 // unix nanoseconds of the latest observation
 }
 
-func (s *series) observe(d time.Duration) {
+func (s *series) observe(d time.Duration, now time.Time) {
 	ns := float64(d)
 	if s.count == 0 {
 		s.ewma = ns
@@ -84,6 +105,18 @@ func (s *series) observe(d time.Duration) {
 	s.samples[s.next] = int64(d)
 	s.next = (s.next + 1) % trackerWindow
 	s.count++
+	s.last = now.UnixNano()
+}
+
+// decayedEWMA returns the EWMA discounted for staleness as of now. The
+// stored value is never mutated — a fresh sample resumes from the true
+// average, not the discounted one.
+func (s *series) decayedEWMA(now time.Time) float64 {
+	idle := now.Sub(time.Unix(0, s.last)) - decayGrace
+	if idle <= 0 {
+		return s.ewma
+	}
+	return s.ewma * math.Pow(0.5, float64(idle)/float64(decayHalfLife))
 }
 
 // cloudSeries is one cloud's latency histories, one series per (operation
@@ -135,12 +168,20 @@ func (c *cloudSeries) lookup(op Op) *series {
 // Failures instead release hedges immediately at the dispatch layer.
 type Tracker struct {
 	mu     sync.Mutex
+	now    func() time.Time
 	clouds []cloudSeries
 }
 
 // NewTracker creates a tracker for n clouds.
 func NewTracker(n int) *Tracker {
-	return &Tracker{clouds: make([]cloudSeries, n)}
+	return &Tracker{now: time.Now, clouds: make([]cloudSeries, n)}
+}
+
+// SetNow replaces the tracker's clock (tests exercising staleness decay).
+func (t *Tracker) SetNow(now func() time.Time) {
+	t.mu.Lock()
+	t.now = now
+	t.mu.Unlock()
 }
 
 // Observe records one successful RPC of class/size op against cloud i
@@ -158,11 +199,12 @@ func (t *Tracker) Observe(i int, op Op, d time.Duration) {
 	if i >= len(t.clouds) {
 		return
 	}
-	t.clouds[i].s[class][sizeBucket(op.Bytes)].observe(d)
+	t.clouds[i].s[class][sizeBucket(op.Bytes)].observe(d, t.now())
 }
 
 // EWMA returns cloud i's exponentially weighted moving average latency for
-// op (with the cold-series fallback) and whether any sample was available.
+// op (with the cold-series fallback, discounted for staleness) and whether
+// any sample was available.
 func (t *Tracker) EWMA(i int, op Op) (time.Duration, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -173,7 +215,7 @@ func (t *Tracker) EWMA(i int, op Op) (time.Duration, bool) {
 	if s == nil {
 		return 0, false
 	}
-	return time.Duration(s.ewma), true
+	return time.Duration(s.decayedEWMA(t.now())), true
 }
 
 // Percentile returns the p-th (0 < p <= 1) latency quantile of cloud i's
@@ -215,15 +257,19 @@ func (t *Tracker) Percentile(i int, op Op, p float64) (time.Duration, bool) {
 	return time.Duration(window[idx]), true
 }
 
-// Rank returns all cloud indices ordered fastest first by the EWMA of op's
-// series. Clouds with no samples yet rank first (optimistically, so they
-// get explored and sampled), ties break by index for determinism.
+// Rank returns all cloud indices ordered fastest first by the
+// staleness-discounted EWMA of op's series. Clouds with no samples yet rank
+// first (optimistically, so they get explored and sampled) — and so,
+// increasingly, do clouds whose series have gone silent, which is how a
+// breaker-recovered cloud re-enters preferred sets. Ties break by index for
+// determinism.
 func (t *Tracker) Rank(op Op) []int {
 	t.mu.Lock()
+	now := t.now()
 	ewmas := make([]float64, len(t.clouds))
 	for i := range t.clouds {
 		if s := t.clouds[i].lookup(op); s != nil {
-			ewmas[i] = s.ewma
+			ewmas[i] = s.decayedEWMA(now)
 		}
 	}
 	t.mu.Unlock()

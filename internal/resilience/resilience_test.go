@@ -1,0 +1,308 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"scfs/internal/cloud"
+)
+
+func TestRetryableClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{cloud.ErrUnavailable, true},
+		{cloud.ErrThrottled, true},
+		{fmt.Errorf("s3: %w", cloud.ErrUnavailable), true},
+		{fmt.Errorf("s3: %w", cloud.ErrThrottled), true},
+		{cloud.ErrNotFound, false},
+		{cloud.ErrAccessDenied, false},
+		{cloud.ErrCorrupted, false},
+		{context.Canceled, false},
+		{context.DeadlineExceeded, false},
+		{fmt.Errorf("op: %w", context.Canceled), false},
+		{errors.New("mystery"), false},
+	}
+	for _, c := range cases {
+		if got := Retryable(c.err); got != c.want {
+			t.Errorf("Retryable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+	if !Ignorable(context.Canceled) || !Ignorable(fmt.Errorf("x: %w", context.DeadlineExceeded)) {
+		t.Fatal("context errors must be ignorable")
+	}
+	if Ignorable(cloud.ErrUnavailable) {
+		t.Fatal("provider errors are not ignorable")
+	}
+}
+
+func TestBackoffDelayBounds(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 2}
+	caps := []time.Duration{10, 20, 40, 80, 80, 80} // ms
+	for attempt, capMs := range caps {
+		cap := capMs * time.Millisecond
+		for i := 0; i < 50; i++ {
+			d := b.Delay(attempt)
+			if d < 0 || d > cap {
+				t.Fatalf("attempt %d: delay %v outside [0, %v]", attempt, d, cap)
+			}
+		}
+	}
+}
+
+func TestBackoffDelayJitters(t *testing.T) {
+	b := Backoff{Base: time.Second}
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 32; i++ {
+		seen[b.Delay(3)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("full jitter produced a constant delay")
+	}
+}
+
+func TestBackoffZeroBase(t *testing.T) {
+	var b Backoff
+	for attempt := 0; attempt < 4; attempt++ {
+		if d := b.Delay(attempt); d != 0 {
+			t.Fatalf("zero backoff slept %v", d)
+		}
+	}
+}
+
+func TestBackoffSleepHonoursContext(t *testing.T) {
+	b := Backoff{Base: time.Hour, Max: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := b.Sleep(ctx, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sleep on cancelled ctx = %v, want Canceled", err)
+	}
+}
+
+func TestRetryPolicyZeroValueSingleAttempt(t *testing.T) {
+	var p RetryPolicy
+	if p.Enabled() {
+		t.Fatal("zero policy must disable retries")
+	}
+	calls := 0
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return cloud.ErrUnavailable
+	}, nil)
+	if calls != 1 || !errors.Is(err, cloud.ErrUnavailable) {
+		t.Fatalf("calls=%d err=%v, want one attempt returning the error", calls, err)
+	}
+}
+
+func TestRetryPolicyRetriesTransient(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 4}
+	calls := 0
+	var seen []error
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return cloud.ErrThrottled
+		}
+		return nil
+	}, func(e error) { seen = append(seen, e) })
+	if err != nil || calls != 3 {
+		t.Fatalf("calls=%d err=%v, want success on attempt 3", calls, err)
+	}
+	if len(seen) != 3 || seen[2] != nil {
+		t.Fatalf("observer saw %v, want three outcomes ending nil", seen)
+	}
+}
+
+func TestRetryPolicyStopsOnPermanent(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5}
+	calls := 0
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return cloud.ErrNotFound
+	}, nil)
+	if calls != 1 || !errors.Is(err, cloud.ErrNotFound) {
+		t.Fatalf("calls=%d err=%v, want no retry of a permanent error", calls, err)
+	}
+}
+
+func TestRetryPolicyExhaustsBudget(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 3}
+	calls := 0
+	err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return cloud.ErrUnavailable
+	}, nil)
+	if calls != 3 || !errors.Is(err, cloud.ErrUnavailable) {
+		t.Fatalf("calls=%d err=%v, want the budget spent and the last error returned", calls, err)
+	}
+}
+
+func TestRetryPolicyStopsWhenContextEnds(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 10, Backoff: Backoff{Base: time.Millisecond}}
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := p.Do(ctx, func(context.Context) error {
+		calls++
+		cancel()
+		return cloud.ErrUnavailable
+	}, nil)
+	if calls != 1 {
+		t.Fatalf("retried %d times past a dead context", calls)
+	}
+	if !errors.Is(err, cloud.ErrUnavailable) {
+		t.Fatalf("err = %v, want the RPC error, not the context's", err)
+	}
+}
+
+func TestBoardOpensAfterThreshold(t *testing.T) {
+	b := NewBoard(2, BreakerPolicy{FailureThreshold: 3, Cooldown: time.Minute})
+	now := time.Unix(0, 0)
+	b.SetNow(func() time.Time { return now })
+
+	for i := 0; i < 2; i++ {
+		b.Record(0, 0, cloud.ErrUnavailable)
+	}
+	if b.State(0, 0) != BreakerClosed {
+		t.Fatal("opened below threshold")
+	}
+	b.Record(0, 0, cloud.ErrUnavailable)
+	if b.State(0, 0) != BreakerOpen {
+		t.Fatal("did not open at threshold")
+	}
+	if !b.Suspected(0, 0) {
+		t.Fatal("open breaker must be suspected")
+	}
+	if b.Suspected(0, 1) || b.Suspected(1, 0) {
+		t.Fatal("failure leaked into another (cloud, class)")
+	}
+	if b.Admit(0, 0) {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+}
+
+func TestBoardSuccessResetsFailureCount(t *testing.T) {
+	b := NewBoard(1, BreakerPolicy{FailureThreshold: 3})
+	b.Record(0, 0, cloud.ErrUnavailable)
+	b.Record(0, 0, cloud.ErrUnavailable)
+	b.Record(0, 0, nil)
+	b.Record(0, 0, cloud.ErrUnavailable)
+	b.Record(0, 0, cloud.ErrUnavailable)
+	if b.State(0, 0) != BreakerClosed {
+		t.Fatal("success did not reset the failure streak")
+	}
+}
+
+func TestBoardPermanentErrorsAreHealthy(t *testing.T) {
+	b := NewBoard(1, BreakerPolicy{FailureThreshold: 2})
+	for i := 0; i < 10; i++ {
+		b.Record(0, 0, cloud.ErrNotFound)
+	}
+	if b.State(0, 0) != BreakerClosed {
+		t.Fatal("not-found responses opened the breaker")
+	}
+}
+
+func TestBoardIgnoresContextErrors(t *testing.T) {
+	b := NewBoard(1, BreakerPolicy{FailureThreshold: 2})
+	for i := 0; i < 10; i++ {
+		b.Record(0, 0, context.Canceled)
+		b.Record(0, 0, fmt.Errorf("get: %w", context.DeadlineExceeded))
+	}
+	if b.State(0, 0) != BreakerClosed {
+		t.Fatal("quorum cancellations opened the breaker")
+	}
+}
+
+func TestBoardHalfOpenProbeCycle(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBoard(1, BreakerPolicy{FailureThreshold: 1, Cooldown: time.Second})
+	b.SetNow(func() time.Time { return now })
+
+	b.Record(0, 0, cloud.ErrUnavailable)
+	if b.State(0, 0) != BreakerOpen {
+		t.Fatal("did not open")
+	}
+
+	now = now.Add(2 * time.Second)
+	if b.Suspected(0, 0) {
+		t.Fatal("still suspected after cooldown")
+	}
+	if !b.Admit(0, 0) {
+		t.Fatal("half-open breaker refused the probe")
+	}
+	if b.Admit(0, 0) {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+
+	// Probe fails: back to open with a fresh cooldown.
+	b.Record(0, 0, cloud.ErrUnavailable)
+	if b.State(0, 0) != BreakerOpen || b.Admit(0, 0) {
+		t.Fatal("failed probe did not reopen the breaker")
+	}
+
+	// Next cooldown, successful probe: closed for good.
+	now = now.Add(2 * time.Second)
+	if !b.Admit(0, 0) {
+		t.Fatal("second probe refused")
+	}
+	b.Record(0, 0, nil)
+	if b.State(0, 0) != BreakerClosed {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	if !b.Admit(0, 0) || !b.Admit(0, 0) {
+		t.Fatal("closed breaker must admit freely")
+	}
+}
+
+func TestBoardDemoteStable(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBoard(4, BreakerPolicy{FailureThreshold: 1, Cooldown: time.Hour})
+	b.SetNow(func() time.Time { return now })
+	b.Record(1, 0, cloud.ErrUnavailable)
+	b.Record(3, 0, cloud.ErrUnavailable)
+
+	got := b.Demote([]int{3, 2, 1, 0}, 0)
+	want := []int{2, 0, 3, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Demote = %v, want %v", got, want)
+		}
+	}
+
+	// The other class is untouched.
+	got = b.Demote([]int{3, 2, 1, 0}, 1)
+	for i, w := range []int{3, 2, 1, 0} {
+		if got[i] != w {
+			t.Fatalf("class 1 Demote = %v, want unchanged", got)
+		}
+	}
+}
+
+func TestNilBoardIsHealthy(t *testing.T) {
+	b := NewBoard(4, BreakerPolicy{Disable: true})
+	if b != nil {
+		t.Fatal("disabled policy must yield a nil board")
+	}
+	b.Record(0, 0, cloud.ErrUnavailable)
+	if b.Suspected(0, 0) || !b.Admit(0, 0) || b.State(0, 0) != BreakerClosed {
+		t.Fatal("nil board must report healthy")
+	}
+	order := []int{2, 1, 0}
+	got := b.Demote(order, 0)
+	for i, w := range order {
+		if got[i] != w {
+			t.Fatal("nil board must not reorder")
+		}
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	if BreakerClosed.String() != "closed" || BreakerOpen.String() != "open" || BreakerHalfOpen.String() != "half-open" {
+		t.Fatal("unexpected state names")
+	}
+}

@@ -1,0 +1,147 @@
+// Package scenario is the chaos-scenario harness of SCFS: a driver that
+// replays named fault scenarios — provider outages mid-write, gray
+// failures, corrupting clouds, flapping providers, breaker recovery —
+// against a real mounted scfs instance backed by simulated clouds, and
+// asserts the invariants the paper's design promises under each:
+//
+//   - Availability: client operations keep succeeding while up to f clouds
+//     misbehave arbitrarily.
+//   - Consistency: whatever a read returns is a complete, integrity-checked
+//     version some write produced — never a torn or corrupted mix.
+//   - Resource hygiene: a fault burst leaks no goroutines and the retry
+//     layer's extra requests stay inside the configured budgets (faults
+//     must not balloon the dollar cost of the workload).
+//
+// Scenarios are data (see All): each names its fault schedule, mount
+// configuration, and assertions, and the Run harness wraps every scenario
+// with the invariants that always hold — the goroutine-leak check and a
+// cost-accounting probe on the degraded mount. The package is exercised by
+// `go test ./internal/scenario/...`, which CI runs with -race; scenarios
+// marked Long are skipped in -short mode.
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"scfs"
+	"scfs/internal/cloudsim"
+)
+
+var bg = context.Background()
+
+// Env is the deployment a scenario runs against: a mounted scfs instance
+// over four simulated clouds (f=1) whose fault schedules the scenario
+// scripts via the providers.
+type Env struct {
+	FS        *scfs.FS
+	Providers []*cloudsim.Provider
+}
+
+// Requests snapshots every provider's served-request counter; diff two
+// snapshots to bound how much traffic a fault phase generated.
+func (e *Env) Requests() []int64 {
+	out := make([]int64, len(e.Providers))
+	for i, p := range e.Providers {
+		out[i] = p.TotalRequests()
+	}
+	return out
+}
+
+// Scenario is one named chaos experiment.
+type Scenario struct {
+	// Name identifies the scenario (kebab-case; used as the subtest name).
+	Name string
+	// Description is one sentence of what is injected and what must hold.
+	Description string
+	// Long marks scenarios skipped in -short mode (CI's chaos job runs the
+	// short subset under -race; `go test ./internal/scenario/` runs all).
+	Long bool
+	// RTTs gives each cloud a fixed round-trip latency (nil = instant).
+	RTTs []time.Duration
+	// Mount appends mount options (breaker tuning, default I/O policy).
+	Mount []scfs.Option
+	// Run scripts the faults and asserts the scenario's own invariants.
+	Run func(t *testing.T, env *Env)
+}
+
+// Run executes one scenario under the harness-level invariants: the mount
+// is built fresh, the scenario runs, cost accounting must still answer on
+// the (possibly degraded) mount, and after unmount the process must return
+// to its goroutine baseline — a fault burst that strands fan-out goroutines
+// fails here even if every operation succeeded.
+func Run(t *testing.T, s Scenario) {
+	if s.Long && testing.Short() {
+		t.Skip("long scenario skipped in -short mode")
+	}
+	baseline := runtime.NumGoroutine()
+
+	env := newEnv(t, s)
+	s.Run(t, env)
+
+	// The dollar ledger must stay available and sane on a degraded mount:
+	// chaos that silently duplicated uploads would surface as runaway
+	// objects here.
+	report, err := env.FS.CostReport(bg)
+	if err != nil {
+		t.Fatalf("CostReport on post-scenario mount: %v", err)
+	}
+	if report.Files > 0 && report.CloudObjects <= 0 {
+		t.Fatalf("cost report lost the cloud footprint: %+v", report)
+	}
+
+	if err := env.FS.Close(bg); err != nil {
+		t.Fatalf("unmount after scenario: %v", err)
+	}
+	waitGoroutineBaseline(t, baseline)
+}
+
+// newEnv builds the scenario's deployment: four simulated clouds (f=1)
+// with the scenario's latency profile, mounted with a local disk cache.
+func newEnv(t *testing.T, s Scenario) *Env {
+	t.Helper()
+	providers := make([]*cloudsim.Provider, 4)
+	stores := make([]scfs.ObjectStore, 4)
+	for i := range providers {
+		o := cloudsim.Options{Name: fmt.Sprintf("c%d", i), Seed: int64(i + 1)}
+		if i < len(s.RTTs) {
+			o.Latency = cloudsim.LatencyProfile{RTT: s.RTTs[i]}
+		}
+		providers[i] = cloudsim.NewProvider(o)
+		stores[i] = providers[i].MustClient(providers[i].CreateAccount("user"))
+	}
+	opts := append([]scfs.Option{
+		scfs.WithClouds(stores...),
+		scfs.WithDiskCache(t.TempDir(), 0),
+		scfs.WithStreamThreshold(8 << 10),
+	}, s.Mount...)
+	m, err := scfs.New(bg, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Env{FS: m, Providers: providers}
+}
+
+// waitGoroutineBaseline polls until the goroutine count settles back to (or
+// below) the pre-scenario baseline, with slack for runtime housekeeping.
+// Fan-out goroutines parked on hedge gates or hung RPCs show up here.
+func waitGoroutineBaseline(t *testing.T, baseline int) {
+	t.Helper()
+	const slack = 3
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= baseline+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d goroutines, baseline %d\n%s",
+				n, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

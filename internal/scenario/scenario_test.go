@@ -1,0 +1,12 @@
+package scenario
+
+import "testing"
+
+// TestScenarios replays every named chaos scenario against a fresh mount.
+// CI runs this with -race; Long scenarios are skipped under -short.
+func TestScenarios(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) { Run(t, s) })
+	}
+}

@@ -1,0 +1,292 @@
+package scenario
+
+// The named scenarios. Each scripts one failure pattern the paper's design
+// claims to survive and asserts what "survive" means for it. They share the
+// standard deployment of newEnv: four simulated clouds, f=1, streaming
+// above 8 KiB so large reads and writes actually fan out to the clouds
+// instead of being absorbed by the local cache.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"scfs"
+	"scfs/internal/cloudsim"
+)
+
+// payload builds deterministic, seed-tagged file contents.
+func payload(seed byte, n int) []byte {
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = seed + byte(i%97)
+	}
+	return data
+}
+
+// mustWrite / mustRead are the availability assertions: under every
+// scenario's faults, client operations must keep succeeding.
+func mustWrite(t *testing.T, env *Env, path string, data []byte, opts ...scfs.CallOption) {
+	t.Helper()
+	if err := scfs.WriteFile(bg, env.FS, path, data, opts...); err != nil {
+		t.Fatalf("write %s: %v", path, err)
+	}
+}
+
+func mustRead(t *testing.T, env *Env, path string, want []byte, opts ...scfs.CallOption) {
+	t.Helper()
+	got, err := scfs.ReadFile(bg, env.FS, path, opts...)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("read %s: got %d bytes, want %d (content mismatch)", path, len(got), len(want))
+	}
+}
+
+// All returns the chaos scenarios, each runnable with Run.
+func All() []Scenario {
+	return []Scenario{
+		providerOutageMidWrite(),
+		grayFailureSequentialScan(),
+		fCorruptingClouds(),
+		flappingProvider(),
+		breakerRecovery(),
+	}
+}
+
+// providerOutageMidWrite: a cloud accepts the first requests of a chunked
+// upload and then goes dark between chunks. The write must complete on the
+// surviving quorum, the read-back must match, and the outage must not leave
+// a torn half-version behind (exactly one stored version per file).
+func providerOutageMidWrite() Scenario {
+	const chunk = 1 << 20
+	return Scenario{
+		Name: "provider-outage-mid-write",
+		Description: "one cloud dies between chunks of a streamed upload; " +
+			"the write completes on the quorum and no partial version exists",
+		Run: func(t *testing.T, env *Env) {
+			warm := payload(0x10, 2*chunk+300)
+			mustWrite(t, env, "/warm.bin", warm)
+
+			// c0 serves two more requests of the upload, then everything
+			// it is asked fails: an outage striking mid-write.
+			env.Providers[0].SetFaults(cloudsim.FaultSpec{
+				Mode: cloudsim.FaultUnavailable, AfterN: 2,
+			})
+			mid := payload(0x33, 3*chunk+11)
+			mustWrite(t, env, "/mid.bin", mid)
+			mustRead(t, env, "/mid.bin", mid)
+			// Files written before the outage stay readable through it.
+			mustRead(t, env, "/warm.bin", warm)
+
+			// The outage heals; the version written during it is still the
+			// one read afterwards.
+			env.Providers[0].ClearFaults()
+			mustRead(t, env, "/mid.bin", mid)
+
+			// No torn versions: two files, one complete version each. A
+			// retry loop that re-uploaded chunks into fresh versions (or a
+			// failed fan-out that committed metadata anyway) shows up here.
+			report, err := env.FS.CostReport(bg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if report.Files != 2 || report.Versions != 2 {
+				t.Fatalf("stored %d versions across %d files, want exactly 2/2",
+					report.Versions, report.Files)
+			}
+		},
+	}
+}
+
+// grayFailureSequentialScan: a provider turns gray — no errors, just a
+// ~500x latency inflation — during a sequential scan. Hedged, readahead
+// reads must route around it: the scan returns correct bytes in a small
+// fraction of the time a scan serialized behind the gray cloud would take.
+func grayFailureSequentialScan() Scenario {
+	const chunk = 1 << 20
+	rtt := 2 * time.Millisecond
+	return Scenario{
+		Name: "gray-failure-sequential-scan",
+		Description: "a cloud inflates read latency 500x without erroring; " +
+			"a hedged sequential scan completes near healthy speed",
+		RTTs: []time.Duration{rtt, rtt, rtt, rtt},
+		Run: func(t *testing.T, env *Env) {
+			data := payload(0x5E, 3*chunk+77)
+			mustWrite(t, env, "/scan.bin", data)
+
+			// c1 goes gray for reads: struck requests take ~1s each.
+			env.Providers[1].SetFaults(cloudsim.FaultSpec{
+				Mode: cloudsim.FaultSlow, Ops: cloudsim.MaskReads, LatencyFactor: 500,
+			})
+
+			var sink bytes.Buffer
+			start := time.Now()
+			n, err := scfs.ReadFileTo(bg, env.FS, "/scan.bin", &sink,
+				scfs.WithHedge(0.9),
+				scfs.WithHedgeDelayBounds(2*time.Millisecond, 30*time.Millisecond),
+				scfs.WithReadahead(2),
+			)
+			elapsed := time.Since(start)
+			if err != nil {
+				t.Fatalf("scan under gray failure: %v", err)
+			}
+			if n != int64(len(data)) || !bytes.Equal(sink.Bytes(), data) {
+				t.Fatalf("scan returned %d/%d correct bytes", n, len(data))
+			}
+			// Serialized behind the gray cloud the scan would take >= 3s
+			// (three chunk fetches at ~1s each). Hedging must keep it far
+			// below that.
+			if elapsed > 1500*time.Millisecond {
+				t.Fatalf("gray cloud dominated the scan: %v elapsed", elapsed)
+			}
+		},
+	}
+}
+
+// fCorruptingClouds: f clouds return silently corrupted payloads on every
+// read. The integrity layer must discard their answers and serve correct
+// data from the rest, for streamed files and small inline ones alike.
+func fCorruptingClouds() Scenario {
+	return Scenario{
+		Name: "f-corrupting-clouds",
+		Description: "f=1 cloud corrupts every read; integrity checks " +
+			"discard it and reads stay correct",
+		Run: func(t *testing.T, env *Env) {
+			big := payload(0x71, 64<<10)
+			small := payload(0x72, 512)
+			mustWrite(t, env, "/doc.bin", big)
+			mustWrite(t, env, "/note.txt", small)
+
+			env.Providers[3].SetFaults(cloudsim.FaultSpec{
+				Mode: cloudsim.FaultCorrupt, Ops: cloudsim.MaskGet,
+			})
+			mustRead(t, env, "/doc.bin", big)
+			mustRead(t, env, "/note.txt", small)
+
+			// Writing through a corrupting cloud works too, and what was
+			// written reads back intact while the corruption continues.
+			during := payload(0x73, 32<<10)
+			mustWrite(t, env, "/during.bin", during)
+			mustRead(t, env, "/during.bin", during)
+		},
+	}
+}
+
+// flappingProvider: one cloud fails roughly half its requests at random,
+// indefinitely. A retry-budgeted workload must see every operation succeed,
+// and the flapping cloud's request count must stay inside the budget (the
+// dollar bound: retries may at most multiply that cloud's traffic by the
+// attempt budget, never run away).
+func flappingProvider() Scenario {
+	const rounds = 15
+	return Scenario{
+		Name: "flapping-provider",
+		Description: "one cloud fails ~45% of requests; a retry-budgeted " +
+			"workload fully succeeds with per-cloud traffic inside budget",
+		Long: true, // probabilistic and iteration-heavy: full runs only
+		Run: func(t *testing.T, env *Env) {
+			if err := env.FS.Mkdir(bg, "/flap"); err != nil {
+				t.Fatal(err)
+			}
+			env.Providers[2].SetFaults(cloudsim.FaultSpec{
+				Mode: cloudsim.FaultUnavailable, Probability: 0.45,
+			})
+			retry := []scfs.CallOption{
+				scfs.WithRetry(3),
+				scfs.WithRetryBackoff(time.Millisecond, 4*time.Millisecond),
+			}
+			before := env.Requests()
+			files := make(map[string][]byte, rounds)
+			for i := 0; i < rounds; i++ {
+				path := fmt.Sprintf("/flap/f%02d.bin", i)
+				data := payload(byte(i), 12<<10)
+				files[path] = data
+				mustWrite(t, env, path, data, retry...)
+				mustRead(t, env, path, data, retry...)
+			}
+			// Everything remains readable after the storm.
+			env.Providers[2].ClearFaults()
+			for path, data := range files {
+				mustRead(t, env, path, data)
+			}
+			// Budget bound: the flapping cloud saw at most MaxAttempts times
+			// the traffic of the busiest healthy cloud (plus slack for the
+			// final verification pass).
+			delta := env.Requests()
+			var maxHealthy int64
+			for i := range delta {
+				d := delta[i] - before[i]
+				if i != 2 && d > maxHealthy {
+					maxHealthy = d
+				}
+			}
+			if flapped := delta[2] - before[2]; flapped > 3*maxHealthy+10 {
+				t.Fatalf("flapping cloud served %d requests, healthy max %d: retry budget not honored",
+					flapped, maxHealthy)
+			}
+		},
+	}
+}
+
+// breakerRecovery: a provider goes down long enough to trip its breakers,
+// a fail-fast workload then runs without contacting it at all, and after
+// the outage ends the cooldown's probe readmits it — traffic resumes
+// against the healed cloud without any operator intervention.
+func breakerRecovery() Scenario {
+	return Scenario{
+		Name: "breaker-recovery",
+		Description: "an outage trips the breakers, fail-fast ops skip the " +
+			"dead cloud entirely, and the post-cooldown probe readmits it",
+		Mount: []scfs.Option{
+			scfs.WithBreakerPolicy(scfs.BreakerPolicy{
+				FailureThreshold: 2,
+				Cooldown:         150 * time.Millisecond,
+			}),
+		},
+		Run: func(t *testing.T, env *Env) {
+			steady := payload(0x2B, 12<<10)
+			mustWrite(t, env, "/steady.bin", steady)
+
+			// Outage: every request to c0 fails. Full-fan-out writes keep
+			// succeeding on the quorum while the failures trip c0's GET and
+			// PUT breakers.
+			env.Providers[0].SetFault(cloudsim.FaultUnavailable)
+			for i := 0; i < 3; i++ {
+				mustWrite(t, env, fmt.Sprintf("/outage%d.bin", i), payload(byte(i), 12<<10))
+			}
+
+			// Breakers open: fail-fast operations must not touch c0 at all.
+			before := env.Providers[0].TotalRequests()
+			for i := 0; i < 4; i++ {
+				data := payload(byte(0x40 + i), 12<<10)
+				path := fmt.Sprintf("/open%d.bin", i)
+				mustWrite(t, env, path, data, scfs.WithBreaker(scfs.BreakerFailFast))
+				mustRead(t, env, path, data, scfs.WithBreaker(scfs.BreakerFailFast))
+			}
+			if extra := env.Providers[0].TotalRequests() - before; extra != 0 {
+				t.Fatalf("fail-fast ops sent %d requests to a cloud with open breakers", extra)
+			}
+
+			// Recovery: the outage ends, the cooldown elapses, and the next
+			// fail-fast operations probe and readmit c0 — its request
+			// counter moves again with no change in client behaviour.
+			env.Providers[0].SetFault(cloudsim.FaultNone)
+			time.Sleep(200 * time.Millisecond)
+			before = env.Providers[0].TotalRequests()
+			for i := 0; i < 3; i++ {
+				data := payload(byte(0x60 + i), 12<<10)
+				path := fmt.Sprintf("/healed%d.bin", i)
+				mustWrite(t, env, path, data, scfs.WithBreaker(scfs.BreakerFailFast))
+				mustRead(t, env, path, data, scfs.WithBreaker(scfs.BreakerFailFast))
+			}
+			if env.Providers[0].TotalRequests() == before {
+				t.Fatal("healed cloud never readmitted: breaker probe did not close it")
+			}
+			// And the pre-outage file is still intact.
+			mustRead(t, env, "/steady.bin", steady)
+		},
+	}
+}

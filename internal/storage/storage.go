@@ -19,6 +19,7 @@ import (
 	"scfs/internal/cloud"
 	"scfs/internal/depsky"
 	"scfs/internal/pricing"
+	"scfs/internal/resilience"
 	"scfs/internal/seccrypto"
 )
 
@@ -523,8 +524,11 @@ var ErrAnchorNotFound = errors.New("storage: anchor not found")
 type Composite struct {
 	CA AnchorStore
 	SS VersionedStore
-	// RetryInterval is the pause between SS read attempts while waiting for
-	// an eventually-consistent write to become visible.
+	// RetryInterval seeds the backoff between SS read attempts while waiting
+	// for an eventually-consistent write to become visible: the pauses grow
+	// exponentially from this base with full jitter (resilience.Backoff), so
+	// a slow-to-converge SS is polled hard at first and gently later, and
+	// concurrent readers waiting on the same write don't poll in lockstep.
 	RetryInterval time.Duration
 	// MaxRetries bounds the read loop (0 = 100 attempts).
 	MaxRetries int
@@ -573,6 +577,7 @@ func (c *Composite) Read(ctx context.Context, id string) ([]byte, error) {
 	if sleep == nil {
 		sleep = sleepCtx
 	}
+	backoff := resilience.Backoff{Base: c.RetryInterval}
 	for attempt := 0; attempt < maxRetries; attempt++ { // r2
 		value, err := c.SS.ReadVersion(ctx, id, h)
 		if err == nil {
@@ -581,7 +586,7 @@ func (c *Composite) Read(ctx context.Context, id string) ([]byte, error) {
 		if !errors.Is(err, ErrVersionNotFound) {
 			return nil, err
 		}
-		if err := sleep(ctx, c.RetryInterval); err != nil {
+		if err := sleep(ctx, backoff.Delay(attempt)); err != nil {
 			return nil, err
 		}
 	}

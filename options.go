@@ -12,6 +12,7 @@ import (
 	"scfs/internal/depspace"
 	"scfs/internal/iopolicy"
 	"scfs/internal/pricing"
+	"scfs/internal/resilience"
 	"scfs/internal/storage"
 )
 
@@ -52,6 +53,7 @@ type config struct {
 	streamThreshold int64
 	lockTTL         time.Duration
 	ioPolicy        iopolicy.Policy
+	breakers        resilience.BreakerPolicy
 	pricing         pricing.Table
 	pricingSet      bool
 }
@@ -142,6 +144,19 @@ func WithDefaultIOPolicy(opts ...CallOption) Option {
 	return func(c *config) { c.ioPolicy = applyCallOptions(c.ioPolicy, opts) }
 }
 
+// BreakerPolicy tunes the cloud-of-clouds' per-(cloud, op-class) circuit
+// breakers: how many consecutive transient failures mark a cloud suspected
+// and how long it stays demoted before a recovery probe. The zero value
+// keeps the defaults (4 failures, 2s cooldown); Disable mounts without
+// breakers. How a given operation treats suspected clouds is the per-call
+// WithBreaker option.
+type BreakerPolicy = resilience.BreakerPolicy
+
+// WithBreakerPolicy tunes (or disables) the mount's circuit breakers.
+func WithBreakerPolicy(pol BreakerPolicy) Option {
+	return func(c *config) { c.breakers = pol }
+}
+
 // build assembles the provider, coordination and storage stack and mounts
 // the agent.
 func (c *config) build(ctx context.Context) (*core.Agent, error) {
@@ -181,7 +196,7 @@ func (c *config) build(ctx context.Context) (*core.Agent, error) {
 		store = sc
 		pns = storage.NewSingleCloudPNS(clouds[0])
 	case len(clouds) >= 3*c.f+1:
-		mgr, err := depsky.New(depsky.Options{Clouds: clouds, F: c.f, Policy: c.ioPolicy, Pricing: prices})
+		mgr, err := depsky.New(depsky.Options{Clouds: clouds, F: c.f, Policy: c.ioPolicy, Pricing: prices, Breakers: c.breakers})
 		if err != nil {
 			return nil, fmt.Errorf("scfs: building cloud-of-clouds backend: %w", err)
 		}

@@ -157,3 +157,41 @@ func TestIOFSWithPolicyContext(t *testing.T) {
 		t.Fatalf("io/fs read under policy context returned %d/%d correct bytes", n, len(data))
 	}
 }
+
+// TestWithRetryMasksTransientFaultsThroughFacade: two clouds flake on their
+// first Put each — one more simultaneous fault than the write quorum
+// tolerates — and WithRetry rides the write through where a budget-less
+// write fails. The full option path is exercised: facade → context policy →
+// quorum engine → per-cloud retry loop.
+func TestWithRetryMasksTransientFaultsThroughFacade(t *testing.T) {
+	m, providers := skewedMount(t, 0)
+	data := bytes.Repeat([]byte{0x5A}, 16<<10)
+
+	flake := func() {
+		providers[0].SetFaults(cloudsim.FaultSpec{Mode: cloudsim.FaultThrottle, Ops: cloudsim.MaskPut, FirstN: 1})
+		providers[1].SetFaults(cloudsim.FaultSpec{Mode: cloudsim.FaultUnavailable, Ops: cloudsim.MaskPut, FirstN: 1})
+	}
+	flake()
+	if err := scfs.WriteFile(bg, m, "/no-retry.bin", data); err == nil {
+		t.Fatal("write facing 2 transient faults without a retry budget should fail (sanity check)")
+	}
+	providers[0].ClearFaults()
+	providers[1].ClearFaults()
+
+	flake()
+	err := scfs.WriteFile(bg, m, "/retried.bin", data,
+		scfs.WithRetry(3),
+		scfs.WithRetryBackoff(time.Millisecond, 4*time.Millisecond),
+		scfs.WithBreaker(scfs.BreakerDemote),
+	)
+	if err != nil {
+		t.Fatalf("retried write failed: %v", err)
+	}
+	got, err := scfs.ReadFile(bg, m, "/retried.bin", scfs.WithRetry(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("retried write round-trip returned different bytes")
+	}
+}
