@@ -190,6 +190,24 @@ var pairRules = []pairRule{
 		metric: func(b bench) float64 { return b.CloudReqOp }, what: "cloudReq/op",
 		maxRatio: 2.0,
 	},
+	// PR 7 acceptance, telemetry overhead. A hedged read with the full
+	// telemetry plane enabled — metrics registry and request tracing —
+	// must cost at most 5% latency over the uninstrumented discipline
+	// (measured ~1.00x: the hot path takes a handful of atomic adds and
+	// span writes into a preallocated ring)...
+	{
+		num: "BenchmarkDepSkyHedgedRead/HedgedTelemetry", den: "BenchmarkDepSkyHedgedRead/Hedged",
+		metric: func(b bench) float64 { return b.NsOp }, what: "ns/op",
+		maxRatio: 1.05,
+	},
+	// ...and at most 2% allocations: the instruments are resolved at mount
+	// time, so per read only the trace object and its context link
+	// allocate (measured +2 allocs on ~174, ~1.01x).
+	{
+		num: "BenchmarkDepSkyHedgedRead/HedgedTelemetry", den: "BenchmarkDepSkyHedgedRead/Hedged",
+		metric: func(b bench) float64 { return b.AllocsOp }, what: "allocs/op",
+		maxRatio: 1.02,
+	},
 }
 
 // load parses one BENCH_*.json report.

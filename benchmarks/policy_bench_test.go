@@ -13,6 +13,7 @@ import (
 	"scfs/internal/cloudsim"
 	"scfs/internal/depsky"
 	"scfs/internal/iopolicy"
+	"scfs/internal/telemetry"
 )
 
 // countingStore wraps an ObjectStore and counts the requests actually
@@ -38,7 +39,7 @@ func (c countingStore) Get(ctx context.Context, name string) ([]byte, error) {
 // hedgedBenchManager builds the skewed deployment of the hedged-read
 // benchmark — three instant clouds, one straggler — with request counting
 // on every client.
-func hedgedBenchManager(b testing.TB, disableCancel bool) (*depsky.Manager, []*cloudsim.Provider, []string, *atomic.Int64) {
+func hedgedBenchManager(b testing.TB, disableCancel, instrumented bool) (*depsky.Manager, []*cloudsim.Provider, []string, *atomic.Int64) {
 	b.Helper()
 	const stragglerRTT = 5 * time.Millisecond
 	issued := &atomic.Int64{}
@@ -54,7 +55,12 @@ func hedgedBenchManager(b testing.TB, disableCancel bool) (*depsky.Manager, []*c
 		accounts[i] = providers[i].CreateAccount("bench")
 		clients[i] = countingStore{ObjectStore: providers[i].MustClient(accounts[i]), n: issued}
 	}
-	m, err := depsky.New(depsky.Options{Clouds: clients, F: 1, DisableQuorumCancel: disableCancel})
+	opts := depsky.Options{Clouds: clients, F: 1, DisableQuorumCancel: disableCancel}
+	if instrumented {
+		opts.Metrics = telemetry.NewRegistry()
+		opts.Tracer = telemetry.NewTracer(64)
+	}
+	m, err := depsky.New(opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -71,22 +77,28 @@ func hedgedBenchManager(b testing.TB, disableCancel bool) (*depsky.Manager, []*c
 //   - Hedged: preferred-set-first dispatch (WithHedge-style policy) — the
 //     straggler is only contacted if the tracked delay percentile elapses,
 //     which on this profile it never does.
+//   - HedgedTelemetry: the Hedged discipline with the full telemetry plane
+//     enabled (metrics registry + request tracing) — the observability
+//     overhead benchmark.
 //
 // Tracked by benchguard: the Hedged leg must keep the tail-latency win
 // (ns/op vs NoCancel) while issuing fewer requests than the Immediate
-// fan-out (cloudReq/op) and shipping no more bytes (cloudB/op).
+// fan-out (cloudReq/op) and shipping no more bytes (cloudB/op); the
+// HedgedTelemetry leg must stay within 5% ns/op and 2% allocs/op of Hedged.
 func BenchmarkDepSkyHedgedRead(b *testing.B) {
 	for _, mode := range []struct {
 		name          string
 		disableCancel bool
 		hedged        bool
+		instrumented  bool
 	}{
-		{"Hedged", false, true},
-		{"Immediate", false, false},
-		{"NoCancel", true, false},
+		{"Hedged", false, true, false},
+		{"HedgedTelemetry", false, true, true},
+		{"Immediate", false, false, false},
+		{"NoCancel", true, false, false},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
-			m, providers, accounts, issued := hedgedBenchManager(b, mode.disableCancel)
+			m, providers, accounts, issued := hedgedBenchManager(b, mode.disableCancel, mode.instrumented)
 			data := bytes.Repeat([]byte{0x42}, 256<<10)
 			if _, err := m.Write(bg, "u", data); err != nil {
 				b.Fatal(err)
@@ -108,8 +120,15 @@ func BenchmarkDepSkyHedgedRead(b *testing.B) {
 			}
 			ctx := bg
 			if mode.hedged {
+				// The explicit MinDelay keeps the hedge release strictly
+				// after the preferred quorum's verdict: without it the
+				// tracked-percentile delay rides the 1ms floor, right at
+				// this profile's quorum latency, and scheduler noise
+				// occasionally fires the hedge into the 5ms straggler —
+				// which at small CI iteration counts dominates the ns/op
+				// ratios tracked between the hedged legs.
 				ctx = iopolicy.With(bg, iopolicy.Policy{
-					Hedge:      iopolicy.Hedge{Percentile: 0.95},
+					Hedge:      iopolicy.Hedge{Percentile: 0.95, MinDelay: 50 * time.Millisecond},
 					Preference: iopolicy.Preference{Fastest: true},
 				})
 			}

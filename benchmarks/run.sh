@@ -15,8 +15,15 @@ go test -run '^$' -bench . -benchmem "$@" \
 	./internal/gf256 ./internal/erasure ./internal/secretshare \
 	./internal/depsky ./benchmarks | tee "$raw"
 
+# The telemetry-overhead guard compares the ns/op of two near-identical
+# legs (HedgedTelemetry vs Hedged) at a 5% tolerance — far below the
+# scheduler noise of a handful of iterations. Re-measure that pair at a
+# fixed high iteration count; in the merge below the later measurement of
+# a benchmark wins.
+go test -run '^$' -bench 'BenchmarkDepSkyHedgedRead/(Hedged|HedgedTelemetry)$' \
+	-benchmem -benchtime 800x ./benchmarks | tee -a "$raw"
+
 awk -v go_version="$(go version | awk '{print $3}')" -v stamp="$stamp" '
-BEGIN { print "{"; printf "  \"captured\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": {", stamp, go_version }
 /^Benchmark/ {
 	name = $1; sub(/-[0-9]+$/, "", name)
 	iters = $2
@@ -31,17 +38,26 @@ BEGIN { print "{"; printf "  \"captured\": \"%s\",\n  \"go\": \"%s\",\n  \"bench
 		if ($i == "$/op") dollar = $(i-1)
 	}
 	if (ns == "") next
-	if (n++) printf ","
-	printf "\n    \"%s\": {\"n\": %s, \"ns_op\": %s", name, iters, ns
-	if (mbs != "") printf ", \"mb_s\": %s", mbs
-	if (bop != "") printf ", \"b_op\": %s", bop
-	if (allocs != "") printf ", \"allocs_op\": %s", allocs
-	if (cloudb != "") printf ", \"cloud_b_op\": %s", cloudb
-	if (cloudreq != "") printf ", \"cloud_req_op\": %s", cloudreq
-	if (dollar != "") printf ", \"dollar_op\": %s", dollar
-	printf "}"
+	entry = sprintf("\"%s\": {\"n\": %s, \"ns_op\": %s", name, iters, ns)
+	if (mbs != "") entry = entry sprintf(", \"mb_s\": %s", mbs)
+	if (bop != "") entry = entry sprintf(", \"b_op\": %s", bop)
+	if (allocs != "") entry = entry sprintf(", \"allocs_op\": %s", allocs)
+	if (cloudb != "") entry = entry sprintf(", \"cloud_b_op\": %s", cloudb)
+	if (cloudreq != "") entry = entry sprintf(", \"cloud_req_op\": %s", cloudreq)
+	if (dollar != "") entry = entry sprintf(", \"dollar_op\": %s", dollar)
+	entry = entry "}"
+	if (!(name in entries)) order[++count] = name
+	entries[name] = entry  # later measurements of a name win
 }
-END { print "\n  }\n}" }
+END {
+	print "{"
+	printf "  \"captured\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": {", stamp, go_version
+	for (i = 1; i <= count; i++) {
+		if (i > 1) printf ","
+		printf "\n    %s", entries[order[i]]
+	}
+	print "\n  }\n}"
+}
 ' "$raw" > "$out"
 
 echo "wrote $out"

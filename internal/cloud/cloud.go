@@ -84,6 +84,15 @@ type Usage struct {
 	ByteHours   float64
 }
 
+// Meter is an optional interface an ObjectStore may implement to expose the
+// provider-metered consumption of its account. The telemetry layer uses it
+// to surface per-provider usage (and, priced through internal/pricing,
+// dollar spend) in the mount's stats without instrumenting each RPC twice.
+type Meter interface {
+	// Usage returns the metered consumption so far.
+	Usage() Usage
+}
+
 // Add accumulates other into u.
 func (u *Usage) Add(other Usage) {
 	u.PutRequests += other.PutRequests

@@ -23,10 +23,17 @@ type client struct {
 	account string
 }
 
-var _ cloud.ObjectStore = (*client)(nil)
+var (
+	_ cloud.ObjectStore = (*client)(nil)
+	_ cloud.Meter       = (*client)(nil)
+)
 
 func (c *client) Provider() string { return c.p.Name() }
 func (c *client) Account() string  { return c.account }
+
+// Usage implements cloud.Meter: the provider-metered consumption of this
+// client's account.
+func (c *client) Usage() cloud.Usage { return c.p.Usage(c.account) }
 
 func (c *client) Put(ctx context.Context, name string, data []byte) error {
 	d := c.p.beginRequest(OpPut)

@@ -19,10 +19,12 @@ import (
 
 	"scfs/internal/cache"
 	"scfs/internal/clock"
+	"scfs/internal/cloud"
 	"scfs/internal/coord"
 	"scfs/internal/fsapi"
 	"scfs/internal/fsmeta"
 	"scfs/internal/storage"
+	"scfs/internal/telemetry"
 )
 
 // Mode selects the consistency/durability tradeoff of the agent (§3.1).
@@ -137,8 +139,32 @@ type Options struct {
 	// GC configures garbage collection.
 	GC GCPolicy
 
+	// Telemetry, when set, is the mount's metrics registry: the agent
+	// registers pull gauges for its own state (upload queue depth, open
+	// files, cache hits) and Stats embeds a full registry snapshot, so one
+	// call answers both the file-system-level and the dispatch-level
+	// questions.
+	Telemetry *telemetry.Registry
+	// Metered, when set, reports the per-provider metered consumption and
+	// dollar spend of the storage backend; Stats surfaces it verbatim. The
+	// facade wires it to the cloud-of-clouds manager's meters.
+	Metered func() []ProviderSpend
+
 	// Clock defaults to the real clock.
 	Clock clock.Clock
+}
+
+// ProviderSpend is one storage provider's metered consumption priced under
+// its rate card, as surfaced by Stats. It mirrors the backend's usage report
+// without importing it.
+type ProviderSpend struct {
+	// Provider is the cloud's label (provider name, de-duplicated by the
+	// backend when one provider hosts several accounts).
+	Provider string
+	// Usage is the provider-metered consumption of this mount's account.
+	Usage cloud.Usage
+	// Dollars prices Usage under the provider's rate card.
+	Dollars float64
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -212,6 +238,15 @@ type Stats struct {
 	GCsTriggered  int64
 	UploadsQueued int64
 	UploadErrors  int64
+
+	// Telemetry is a snapshot of the mount's metrics registry (empty when
+	// the mount was built without one). It carries the dispatch-level
+	// counters — per-cloud RPCs, hedges, retries, breaker transitions,
+	// readahead activity — that the flat fields above do not.
+	Telemetry telemetry.Snapshot
+	// Spend is the per-provider metered consumption and priced dollar spend
+	// of the storage backend, when it exposes meters.
+	Spend []ProviderSpend
 }
 
 // Agent is the SCFS client mounted at a user machine. It implements
@@ -290,6 +325,9 @@ func New(ctx context.Context, opts Options) (*Agent, error) {
 	a.memCache.OnEvict = func(key string, value []byte) {
 		_ = a.diskCache.Put(key, value)
 	}
+	if opts.Telemetry != nil {
+		a.registerGauges(opts.Telemetry)
+	}
 	if opts.UsePNS || opts.Mode == NonSharing {
 		if err := a.loadPNS(ctx); err != nil {
 			cancelBase()
@@ -327,7 +365,46 @@ func (a *Agent) Stats() Stats {
 	s.MemCacheHits, s.MemCacheMisses = a.memCache.Stats()
 	s.DiskCacheHits, s.DiskCacheMisses = a.diskCache.Stats()
 	s.MetaCacheHits, s.MetaCacheMisses = a.metaCache.Stats()
+	if a.opts.Telemetry != nil {
+		s.Telemetry = a.opts.Telemetry.Snapshot()
+	}
+	if a.opts.Metered != nil {
+		s.Spend = a.opts.Metered()
+	}
 	return s
+}
+
+// registerGauges publishes the agent's own state as pull gauges: values are
+// read at snapshot time, so the file-system hot path is untouched.
+func (a *Agent) registerGauges(reg *telemetry.Registry) {
+	reg.RegisterGauge("agent_upload_queue_depth", func() int64 {
+		return int64(len(a.uploadCh))
+	})
+	reg.RegisterGauge("agent_open_files", func() int64 {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		return int64(len(a.openFiles))
+	})
+	stat := func(pick func(Stats) int64) func() int64 {
+		return func() int64 {
+			a.stats.Lock()
+			defer a.stats.Unlock()
+			return pick(a.stats.s)
+		}
+	}
+	reg.RegisterGauge("agent_gcs_triggered_total", stat(func(s Stats) int64 { return s.GCsTriggered }))
+	reg.RegisterGauge("agent_uploads_queued_total", stat(func(s Stats) int64 { return s.UploadsQueued }))
+	reg.RegisterGauge("agent_upload_errors_total", stat(func(s Stats) int64 { return s.UploadErrors }))
+	reg.RegisterGauge("agent_bytes_written_total", stat(func(s Stats) int64 { return s.BytesWritten }))
+	reg.RegisterGauge("agent_cloud_reads_total", stat(func(s Stats) int64 { return s.CloudReads }))
+	reg.RegisterGauge("agent_cloud_writes_total", stat(func(s Stats) int64 { return s.CloudWrites }))
+	cachePair := func(name string, stats func() (int64, int64)) {
+		reg.RegisterGauge(telemetry.Name(name, "result", "hit"), func() int64 { h, _ := stats(); return h })
+		reg.RegisterGauge(telemetry.Name(name, "result", "miss"), func() int64 { _, m := stats(); return m })
+	}
+	cachePair("agent_mem_cache_lookups", a.memCache.Stats)
+	cachePair("agent_disk_cache_lookups", a.diskCache.Stats)
+	cachePair("agent_meta_cache_lookups", a.metaCache.Stats)
 }
 
 func (a *Agent) addStat(f func(*Stats)) {

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"scfs/internal/cloud"
 	"scfs/internal/erasure"
@@ -39,6 +40,7 @@ import (
 	"scfs/internal/seccrypto"
 	"scfs/internal/secretshare"
 	"scfs/internal/stream"
+	"scfs/internal/telemetry"
 )
 
 // Protocol selects how data is dispersed across the clouds.
@@ -240,6 +242,18 @@ type Options struct {
 	// every per-cloud RPC. The zero value enables them with the default
 	// threshold and cooldown; see resilience.BreakerPolicy.
 	Breakers resilience.BreakerPolicy
+	// Metrics, when non-nil, receives the dispatch layer's counters and
+	// latency histograms: per-(cloud, op-class) RPC outcomes, hedge
+	// fire/suppress/kick, retry attempts, breaker skips and transitions,
+	// plus pull gauges for each metered cloud's usage and dollar spend.
+	// All instruments are resolved once here; nil disables metering with a
+	// single nil check per RPC.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, records one trace per client operation: the
+	// quorum fan-out tree of per-cloud attempts (timings, winners,
+	// cancelled stragglers, suppressed hedges) and the quorum verdict
+	// latency. nil disables tracing.
+	Tracer *telemetry.Tracer
 }
 
 // Manager reads and writes data units spread over the configured clouds.
@@ -247,13 +261,15 @@ type Options struct {
 // different goroutines operate on different data units (SCFS guarantees a
 // single writer per file via its lock service).
 type Manager struct {
-	opts     Options
-	coder    *erasure.Coder
-	tracker  *iopolicy.Tracker
-	board    *resilience.Board
-	rates    []pricing.Rates
-	mean     pricing.Rates // rate card averaged across the clouds
-	selector *placement.Selector
+	opts       Options
+	coder      *erasure.Coder
+	tracker    *iopolicy.Tracker
+	board      *resilience.Board
+	rates      []pricing.Rates
+	mean       pricing.Rates // rate card averaged across the clouds
+	selector   *placement.Selector
+	cloudNames []string
+	ins        *instruments // nil when Options.Metrics is nil
 }
 
 // New validates the options and creates a manager.
@@ -271,15 +287,29 @@ func New(opts Options) (*Manager, error) {
 	}
 	tracker := iopolicy.NewTracker(len(opts.Clouds))
 	rates := opts.Pricing.Resolve(opts.Clouds)
-	return &Manager{
-		opts:     opts,
-		coder:    coder,
-		tracker:  tracker,
-		board:    resilience.NewBoard(len(opts.Clouds), opts.Breakers),
-		rates:    rates,
-		mean:     meanRates(rates),
-		selector: placement.NewSelector(rates, tracker),
-	}, nil
+	names := cloudLabels(opts.Clouds)
+	m := &Manager{
+		opts:       opts,
+		coder:      coder,
+		tracker:    tracker,
+		board:      resilience.NewBoard(len(opts.Clouds), opts.Breakers),
+		rates:      rates,
+		mean:       meanRates(rates),
+		selector:   placement.NewSelector(rates, tracker),
+		cloudNames: names,
+		ins:        newInstruments(opts.Metrics, names),
+	}
+	if m.ins != nil {
+		if m.board != nil {
+			ins := m.ins
+			m.board.SetObserver(func(cloud, class int, _, to resilience.BreakerState) {
+				ins.breakerTo[cloud][class][to].Inc()
+			})
+		}
+		m.tracker.SetObservationCounter(opts.Metrics.Counter("tracker_observations_total"))
+		m.registerUsageGauges(opts.Metrics)
+	}
+	return m, nil
 }
 
 // N returns the number of clouds.
@@ -332,6 +362,7 @@ func (m *Manager) readMetadataQuorum(ctx context.Context, unit string) []*unitMe
 	pol := m.policyFor(ctx)
 	op := metadataOp()
 	gate := m.newHedgeGate(pol, pol.Hedge, m.QuorumSize(), op)
+	tr := telemetry.FromContext(ctx)
 	opCtx, cancel := m.quorumCtx(ctx)
 	defer cancel()
 	type fetched struct {
@@ -342,15 +373,18 @@ func (m *Manager) readMetadataQuorum(ctx context.Context, unit string) []*unitMe
 	for i, c := range m.opts.Clouds {
 		go func(i int, c cloud.ObjectStore) {
 			if !gate.enter(opCtx, i) {
+				m.recordGated(tr, "meta.get", i, gate.hedged(i))
 				results <- fetched{idx: i}
 				return
 			}
+			start := time.Now()
 			var data []byte
 			err := m.timedCloudCall(opCtx, pol, i, op, func(ctx context.Context) error {
 				var err error
 				data, err = c.Get(ctx, name)
 				return err
 			})
+			m.recordSpan(tr, "meta.get", i, start, gate.hedged(i), err)
 			if err != nil {
 				results <- fetched{idx: i}
 				return
@@ -480,7 +514,7 @@ func (m *Manager) writeMetadataQuorum(ctx context.Context, md *unitMetadata) err
 	if err != nil {
 		return fmt.Errorf("depsky: encoding metadata: %w", err)
 	}
-	return m.writeQuorum(ctx, m.metaName(md.Unit), func(int) []byte { return payload })
+	return m.writeQuorum(ctx, m.metaName(md.Unit), "meta.put", func(int) []byte { return payload })
 }
 
 // writeQuorum writes per-cloud payloads (payload(i) for cloud i) and waits
@@ -488,8 +522,8 @@ func (m *Manager) writeMetadataQuorum(ctx context.Context, md *unitMetadata) err
 // cancelled: the preferred quorum of n-f clouds (the one the paper's cost
 // analysis charges for) holds the version, and the stragglers neither bill
 // upload traffic nor keep goroutines alive.
-func (m *Manager) writeQuorum(ctx context.Context, name string, payload func(i int) []byte) error {
-	return m.writeQuorumHooked(ctx, name, payload, nil)
+func (m *Manager) writeQuorum(ctx context.Context, name, kind string, payload func(i int) []byte) error {
+	return m.writeQuorumHooked(ctx, name, kind, payload, nil)
 }
 
 // errHedgeSkipped marks the outcome of a cloud whose upload was never
@@ -523,11 +557,12 @@ var errHedgeSkipped = errors.New("depsky: upload gated out by the quorum verdict
 // the losers are already cancelled (and the gated spares release without
 // touching the network), so it exits promptly rather than living as long
 // as the slowest cloud.
-func (m *Manager) writeQuorumHooked(ctx context.Context, name string, payload func(i int) []byte, onCloudDone func(i int)) error {
+func (m *Manager) writeQuorumHooked(ctx context.Context, name, kind string, payload func(i int) []byte, onCloudDone func(i int)) error {
 	n := m.N()
 	pol := m.policyFor(ctx)
 	op := iopolicy.PutOp(len(payload(0)))
 	gate := m.newHedgeGate(pol, pol.WriteHedge, m.QuorumSize(), op)
+	tr := telemetry.FromContext(ctx)
 	opCtx, cancel := m.quorumCtx(ctx)
 	type outcome struct {
 		idx int
@@ -537,12 +572,15 @@ func (m *Manager) writeQuorumHooked(ctx context.Context, name string, payload fu
 	for i, c := range m.opts.Clouds {
 		go func(i int, c cloud.ObjectStore) {
 			if !gate.enter(opCtx, i) {
+				m.recordGated(tr, kind, i, gate.hedged(i))
 				results <- outcome{idx: i, err: errHedgeSkipped}
 				return
 			}
+			start := time.Now()
 			err := m.timedCloudCall(opCtx, pol, i, op, func(ctx context.Context) error {
 				return c.Put(ctx, name, payload(i))
 			})
+			m.recordSpan(tr, kind, i, start, gate.hedged(i), err)
 			results <- outcome{idx: i, err: err}
 		}(i, c)
 	}
@@ -569,6 +607,9 @@ func (m *Manager) writeQuorumHooked(ctx context.Context, name string, payload fu
 			}
 			switch {
 			case successes >= m.QuorumSize():
+				if tr != nil {
+					tr.SetVerdict(time.Since(tr.Start))
+				}
 				verdict <- nil
 				decided = true
 				cancel() // quorum reached: abort the redundant uploads
@@ -602,6 +643,8 @@ func (m *Manager) writeQuorumHooked(ctx context.Context, name string, payload fu
 // the blocks reach a quorum, a cancelled write never leaves a partially
 // visible version.
 func (m *Manager) Write(ctx context.Context, unit string, data []byte) (VersionInfo, error) {
+	ctx, tr := m.opts.Tracer.Start(ctx, "write", unit)
+	defer tr.Finish()
 	merged := m.mergeMetadata(unit, m.readMetadataQuorum(ctx, unit))
 	var next uint64 = 1
 	if newest := merged.newest(); newest != nil {
@@ -621,7 +664,7 @@ func (m *Manager) Write(ctx context.Context, unit string, data []byte) (VersionI
 		info.BlockHashes[i] = seccrypto.Hash(b)
 	}
 
-	if err := m.writeQuorum(ctx, m.blockName(unit, next), func(i int) []byte { return blockPayloads[i] }); err != nil {
+	if err := m.writeQuorum(ctx, m.blockName(unit, next), "block.put", func(i int) []byte { return blockPayloads[i] }); err != nil {
 		return VersionInfo{}, err
 	}
 	merged.Versions = append(merged.Versions, info)
@@ -677,6 +720,8 @@ func (m *Manager) encode(data []byte) ([]block, VersionInfo, error) {
 
 // Read returns the newest version of unit.
 func (m *Manager) Read(ctx context.Context, unit string) ([]byte, VersionInfo, error) {
+	ctx, tr := m.opts.Tracer.Start(ctx, "read", unit)
+	defer tr.Finish()
 	merged := m.mergeMetadata(unit, m.readMetadataQuorum(ctx, unit))
 	newest := merged.newest()
 	if newest == nil {
@@ -692,6 +737,8 @@ func (m *Manager) Read(ctx context.Context, unit string) ([]byte, VersionInfo, e
 // ReadMatching returns the version of unit whose plaintext hash equals hash.
 // This is the operation added to DepSky for SCFS's consistency anchor.
 func (m *Manager) ReadMatching(ctx context.Context, unit, hash string) ([]byte, VersionInfo, error) {
+	ctx, tr := m.opts.Tracer.Start(ctx, "read", unit)
+	defer tr.Finish()
 	merged := m.mergeMetadata(unit, m.readMetadataQuorum(ctx, unit))
 	info := merged.find(hash)
 	if info == nil {
@@ -744,6 +791,8 @@ func (m *Manager) ListVersions(ctx context.Context, unit string) ([]VersionInfo,
 // DeleteVersion removes the blocks of one version from all clouds and drops
 // it from the metadata (used by the SCFS garbage collector).
 func (m *Manager) DeleteVersion(ctx context.Context, unit string, number uint64) error {
+	ctx, tr := m.opts.Tracer.Start(ctx, "delete", unit)
+	defer tr.Finish()
 	merged := m.mergeMetadata(unit, m.readMetadataQuorum(ctx, unit))
 	idx := -1
 	for i, v := range merged.Versions {
@@ -776,6 +825,8 @@ func (m *Manager) DeleteVersions(ctx context.Context, unit string, numbers []uin
 	if len(numbers) == 0 {
 		return 0, nil
 	}
+	ctx, tr := m.opts.Tracer.Start(ctx, "delete", unit)
+	defer tr.Finish()
 	doomed := make(map[uint64]bool, len(numbers))
 	for _, n := range numbers {
 		doomed[n] = true
@@ -846,6 +897,7 @@ func (m *Manager) readVersion(ctx context.Context, unit string, info VersionInfo
 	pol := m.policyFor(ctx)
 	op := m.blockOp(info.Protocol, info.Size)
 	gate := m.newHedgeGate(pol, pol.Hedge, m.readNeed(info.Protocol), op)
+	tr := telemetry.FromContext(ctx)
 	opCtx, cancel := m.quorumCtx(ctx)
 	defer cancel()
 	name := m.blockName(unit, info.Number)
@@ -860,15 +912,18 @@ func (m *Manager) readVersion(ctx context.Context, unit string, info VersionInfo
 		go func(i int, c cloud.ObjectStore) {
 			defer wg.Done()
 			if !gate.enter(opCtx, i) {
+				m.recordGated(tr, "block.get", i, gate.hedged(i))
 				results <- fetched{idx: i}
 				return
 			}
+			start := time.Now()
 			var data []byte
 			err := m.timedCloudCall(opCtx, pol, i, op, func(ctx context.Context) error {
 				var err error
 				data, err = c.Get(ctx, name)
 				return err
 			})
+			m.recordSpan(tr, "block.get", i, start, gate.hedged(i), err)
 			if err != nil {
 				results <- fetched{idx: i}
 				return
@@ -902,6 +957,9 @@ func (m *Manager) readVersion(ctx context.Context, unit string, info VersionInfo
 		blocks[f.idx] = f.blk
 		got++
 		if data, err := m.tryDecode(blocks, info, scratch); err == nil {
+			if tr != nil {
+				tr.SetVerdict(time.Since(tr.Start))
+			}
 			cancel() // first quorum wins: abort the redundant fetches
 			return data, nil
 		} else if got >= m.readNeed(info.Protocol) {

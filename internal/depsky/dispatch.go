@@ -28,7 +28,9 @@ import (
 	"time"
 
 	"scfs/internal/iopolicy"
+	"scfs/internal/resilience"
 	"scfs/internal/seccrypto"
+	"scfs/internal/telemetry"
 )
 
 // policyFor resolves the effective I/O policy of one operation: the
@@ -40,12 +42,28 @@ func (m *Manager) policyFor(ctx context.Context) iopolicy.Policy {
 	return m.opts.Policy
 }
 
-// observeRPC feeds the per-cloud latency tracker with the outcome of one
-// RPC of the given class and payload size. Only successes are recorded:
-// failures return fast and would make a broken cloud look attractive.
+// observeRPC feeds the per-cloud latency tracker and the metrics registry
+// with the outcome of one RPC attempt of the given class and payload size.
+// Only successes reach the tracker (and the latency histogram): failures
+// return fast and would make a broken cloud look attractive. The counters
+// see every attempt, split by outcome — cancellations (quorum verdicts
+// cutting down stragglers) are kept apart from provider errors.
 func (m *Manager) observeRPC(i int, op iopolicy.Op, start time.Time, err error) {
+	d := time.Since(start)
 	if err == nil {
-		m.tracker.Observe(i, op, time.Since(start))
+		m.tracker.Observe(i, op, d)
+	}
+	if ins := m.ins; ins != nil {
+		class := breakerClass(op)
+		switch {
+		case err == nil:
+			ins.rpcOK[i][class].Inc()
+			ins.rpcLat[i][class].Observe(d)
+		case resilience.Ignorable(err):
+			ins.rpcCancel[i][class].Inc()
+		default:
+			ins.rpcErr[i][class].Inc()
+		}
 	}
 }
 
@@ -114,6 +132,16 @@ type hedgeGate struct {
 	hedges int
 	delay  time.Duration
 	kicks  chan struct{}
+
+	// Per-cloud hedge counters for the op class of this fan-out (nil rows
+	// with metrics disabled; counterAt tolerates both).
+	fired, kicked, supp []*telemetry.Counter
+}
+
+// hedged reports whether cloud i sits behind the gate (a hedge-tier cloud
+// rather than a preferred one).
+func (g *hedgeGate) hedged(i int) bool {
+	return g.enabled && g.pos[i] >= g.need
 }
 
 // newHedgeGate builds the gate for a fan-out of op that needs `need` usable
@@ -133,7 +161,7 @@ func (m *Manager) newHedgeGate(pol iopolicy.Policy, h iopolicy.Hedge, need int, 
 	if hedges <= 0 || hedges > n-need {
 		hedges = n - need
 	}
-	return &hedgeGate{
+	g := &hedgeGate{
 		enabled: true,
 		pos:     pos,
 		need:    need,
@@ -141,6 +169,13 @@ func (m *Manager) newHedgeGate(pol iopolicy.Policy, h iopolicy.Hedge, need int, 
 		delay:   m.tracker.HedgeDelay(op, h, order[:need]),
 		kicks:   make(chan struct{}, n),
 	}
+	if m.ins != nil {
+		class := breakerClass(op)
+		g.fired = m.ins.hedgeFired[class]
+		g.kicked = m.ins.hedgeKicked[class]
+		g.supp = m.ins.hedgeSuppressed[class]
+	}
+	return g
 }
 
 // enter blocks until cloud i may issue its RPC. It returns false when the
@@ -161,10 +196,13 @@ func (g *hedgeGate) enter(ctx context.Context, i int) bool {
 	defer t.Stop()
 	select {
 	case <-ctx.Done():
+		counterAt(g.supp, i).Inc() // verdict beat the hedge: RPC never issued
 		return false
 	case <-t.C:
+		counterAt(g.fired, i).Inc() // hedge delay elapsed without a verdict
 		return true
 	case <-g.kicks:
+		counterAt(g.kicked, i).Inc() // released early by a failure upstream
 		return true
 	}
 }

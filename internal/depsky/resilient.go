@@ -29,6 +29,7 @@ import (
 
 	"scfs/internal/iopolicy"
 	"scfs/internal/resilience"
+	"scfs/internal/telemetry"
 )
 
 // errBreakerSkipped is the outcome of a cloud that a fail-fast operation
@@ -64,6 +65,9 @@ func (m *Manager) Board() *resilience.Board { return m.board }
 func (m *Manager) cloudCall(ctx context.Context, pol iopolicy.Policy, i int, op iopolicy.Op, fn func(context.Context) error) error {
 	class := breakerClass(op)
 	if pol.Breaker == iopolicy.BreakerFailFast && !m.board.Admit(i, class) {
+		if m.ins != nil {
+			m.ins.breakerSkip[i][class].Inc()
+		}
 		return errBreakerSkipped
 	}
 	retry := retryFor(pol)
@@ -71,8 +75,15 @@ func (m *Manager) cloudCall(ctx context.Context, pol iopolicy.Policy, i int, op 
 		// No budget for a suspected cloud: one probe-like attempt only.
 		retry = resilience.RetryPolicy{}
 	}
-	return retry.Do(ctx, fn, func(err error) {
+	var retries *telemetry.Counter
+	if m.ins != nil {
+		retries = m.ins.retries[i][class]
+	}
+	return retry.Do(ctx, fn, func(attempt int, err error) {
 		m.board.Record(i, class, err)
+		if attempt > 0 {
+			retries.Inc()
+		}
 	})
 }
 

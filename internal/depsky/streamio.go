@@ -20,12 +20,14 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"scfs/internal/cloud"
 	"scfs/internal/iopolicy"
 	"scfs/internal/seccrypto"
 	"scfs/internal/secretshare"
 	"scfs/internal/stream"
+	"scfs/internal/telemetry"
 )
 
 // chunkSize returns the configured streamed-write chunk size.
@@ -74,6 +76,8 @@ type encodedChunk struct {
 // invisible to readers and reclaimed when the version number is reused or
 // the unit is deleted.
 func (m *Manager) WriteFrom(ctx context.Context, unit string, r io.Reader) (VersionInfo, error) {
+	ctx, tr := m.opts.Tracer.Start(ctx, "write.stream", unit)
+	defer tr.Finish()
 	merged := m.mergeMetadata(unit, m.readMetadataQuorum(ctx, unit))
 	var next uint64 = 1
 	if newest := merged.newest(); newest != nil {
@@ -106,7 +110,7 @@ func (m *Manager) WriteFrom(ctx context.Context, unit string, r io.Reader) (Vers
 			// attempt finishes — and since the quorum verdict cancels the
 			// straggling uploads, no cloud pins a frame for longer than the
 			// quorum round trip (plus the cancellation delivery).
-			err := m.writeQuorumHooked(ctx, m.chunkName(unit, next, idx),
+			err := m.writeQuorumHooked(ctx, m.chunkName(unit, next, idx), "chunk.put",
 				func(i int) []byte { return ec.frames[i] },
 				func(i int) { stream.Buffers.Put(ec.frames[i]) })
 			if err != nil {
@@ -195,6 +199,8 @@ func (m *Manager) encodeChunk(idx int, plain []byte, key []byte, shares []secret
 // bounds only the metadata lookup performed here; each read through the
 // returned reader carries its own context (ReadAtContext / Section).
 func (m *Manager) Open(ctx context.Context, unit string) (*stream.Reader, VersionInfo, error) {
+	ctx, tr := m.opts.Tracer.Start(ctx, "open", unit)
+	defer tr.Finish()
 	merged := m.mergeMetadata(unit, m.readMetadataQuorum(ctx, unit))
 	newest := merged.newest()
 	if newest == nil {
@@ -209,6 +215,8 @@ func (m *Manager) Open(ctx context.Context, unit string) (*stream.Reader, Versio
 // OpenMatching is Open for the version whose plaintext hash equals hash
 // (the read-by-hash SCFS's consistency anchor needs).
 func (m *Manager) OpenMatching(ctx context.Context, unit, hash string) (*stream.Reader, VersionInfo, error) {
+	ctx, tr := m.opts.Tracer.Start(ctx, "open", unit)
+	defer tr.Finish()
 	merged := m.mergeMetadata(unit, m.readMetadataQuorum(ctx, unit))
 	info := merged.find(hash)
 	if info == nil {
@@ -237,6 +245,8 @@ var ErrWholeObjectOnly = errors.New("depsky: version requires the whole-object r
 // serving. The SCFS storage backend uses it so that only reads that
 // actually save memory bypass the agent's whole-object caches.
 func (m *Manager) OpenRangedMatching(ctx context.Context, unit, hash string) (*stream.Reader, VersionInfo, error) {
+	ctx, tr := m.opts.Tracer.Start(ctx, "open", unit)
+	defer tr.Finish()
 	merged := m.mergeMetadata(unit, m.readMetadataQuorum(ctx, unit))
 	info := merged.find(hash)
 	if info == nil {
@@ -262,11 +272,15 @@ func (m *Manager) newChunkReader(ctx context.Context, f stream.Fetcher) *stream.
 	if pol.Readahead <= 0 {
 		return stream.NewReader(f, stream.Buffers)
 	}
-	return stream.NewReaderOpts(f, stream.Buffers, stream.ReaderOptions{
+	opts := stream.ReaderOptions{
 		Readahead:   pol.Readahead,
 		MaxParallel: pol.Limits.MaxParallelChunks,
 		BaseContext: iopolicy.With(context.Background(), pol),
-	})
+	}
+	if m.ins != nil {
+		opts.Metrics = m.ins.stream
+	}
+	return stream.NewReaderOpts(f, stream.Buffers, opts)
 }
 
 // OpenRange returns a reader over [off, off+length) of the newest version
@@ -400,6 +414,7 @@ func (f *chunkFetcher) Fetch(ctx context.Context, idx int, dst []byte) error {
 	pol := m.policyFor(ctx)
 	op := m.blockOp(info.Protocol, len(dst))
 	gate := m.newHedgeGate(pol, pol.Hedge, m.readNeed(info.Protocol), op)
+	tr := telemetry.FromContext(ctx)
 	opCtx, cancel := m.quorumCtx(ctx)
 	defer cancel()
 	name := m.chunkName(f.unit, info.Number, idx)
@@ -410,15 +425,18 @@ func (f *chunkFetcher) Fetch(ctx context.Context, idx int, dst []byte) error {
 		go func(i int, c cloud.ObjectStore) {
 			defer wg.Done()
 			if !gate.enter(opCtx, i) {
+				m.recordGated(tr, "chunk.get", i, gate.hedged(i))
 				results <- nil
 				return
 			}
+			start := time.Now()
 			var data []byte
 			err := m.timedCloudCall(opCtx, pol, i, op, func(ctx context.Context) error {
 				var err error
 				data, err = c.Get(ctx, name)
 				return err
 			})
+			m.recordSpan(tr, "chunk.get", i, start, gate.hedged(i), err)
 			if err != nil {
 				results <- nil
 				return
@@ -455,6 +473,9 @@ func (f *chunkFetcher) Fetch(ctx context.Context, idx int, dst []byte) error {
 		blocks = append(blocks, b)
 		got++
 		if err := f.decodeChunk(idx, blocks, dst, scratch); err == nil {
+			if tr != nil {
+				tr.SetVerdict(time.Since(tr.Start))
+			}
 			cancel() // first quorum wins: abort the redundant fetches
 			return nil
 		} else if got >= m.readNeed(info.Protocol) {

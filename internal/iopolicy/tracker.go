@@ -170,6 +170,19 @@ type Tracker struct {
 	mu     sync.Mutex
 	now    func() time.Time
 	clouds []cloudSeries
+	// obsCount, when set, counts every accepted observation (telemetry). It
+	// is a nil-safe *telemetry.Counter kept as a minimal interface to avoid
+	// the import.
+	obsCount interface{ Inc() }
+}
+
+// SetObservationCounter installs a counter incremented on every accepted
+// Observe (telemetry: how many samples the ranking and hedge-delay answers
+// rest on). Pass nil to remove it.
+func (t *Tracker) SetObservationCounter(c interface{ Inc() }) {
+	t.mu.Lock()
+	t.obsCount = c
+	t.mu.Unlock()
 }
 
 // NewTracker creates a tracker for n clouds.
@@ -200,6 +213,9 @@ func (t *Tracker) Observe(i int, op Op, d time.Duration) {
 		return
 	}
 	t.clouds[i].s[class][sizeBucket(op.Bytes)].observe(d, t.now())
+	if t.obsCount != nil {
+		t.obsCount.Inc()
+	}
 }
 
 // EWMA returns cloud i's exponentially weighted moving average latency for

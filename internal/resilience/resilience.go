@@ -141,15 +141,16 @@ func (p RetryPolicy) Attempts() int {
 // Do runs fn under the retry policy: transient failures are retried with
 // jittered backoff until the budget or the context runs out; permanent
 // failures and successes return immediately. The per-attempt observer (nil
-// ok) sees every outcome — the breaker layer uses it to record attempts
-// individually rather than only the final verdict.
-func (p RetryPolicy) Do(ctx context.Context, fn func(context.Context) error, observe func(error)) error {
+// ok) sees every outcome with its attempt number (0 = the first try) — the
+// breaker layer uses it to record attempts individually rather than only
+// the final verdict, and the telemetry layer to count retries exactly.
+func (p RetryPolicy) Do(ctx context.Context, fn func(context.Context) error, observe func(int, error)) error {
 	attempts := p.Attempts()
 	var err error
 	for attempt := 0; attempt < attempts; attempt++ {
 		err = fn(ctx)
 		if observe != nil {
-			observe(err)
+			observe(attempt, err)
 		}
 		if err == nil || !Retryable(err) {
 			return err
@@ -245,6 +246,7 @@ type Board struct {
 
 	mu       sync.Mutex
 	breakers [][]breaker // [cloud][class]
+	obs      func(cloud, class int, from, to BreakerState)
 }
 
 // classCount is how many operation classes the board distinguishes. It
@@ -276,6 +278,28 @@ func (b *Board) SetNow(now func() time.Time) {
 	b.mu.Unlock()
 }
 
+// SetObserver installs a callback invoked on every breaker state
+// transition (telemetry). The observer runs with the board's lock held —
+// it must be cheap and must not call back into the Board. nil disables it.
+func (b *Board) SetObserver(fn func(cloud, class int, from, to BreakerState)) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.obs = fn
+	b.mu.Unlock()
+}
+
+// transitionLocked applies a state change and notifies the observer when
+// the state actually changed.
+func (b *Board) transitionLocked(i, class int, br *breaker, to BreakerState) {
+	from := br.state
+	br.state = to
+	if from != to && b.obs != nil {
+		b.obs(i, class, from, to)
+	}
+}
+
 func clampClass(class int) int {
 	if class < 0 || class >= classCount {
 		return 0
@@ -295,8 +319,9 @@ func (b *Board) Suspected(i int, class int) bool {
 	if i < 0 || i >= len(b.breakers) {
 		return false
 	}
-	br := &b.breakers[i][clampClass(class)]
-	b.advanceLocked(br)
+	class = clampClass(class)
+	br := &b.breakers[i][class]
+	b.advanceLocked(i, class, br)
 	return br.state == BreakerOpen
 }
 
@@ -315,8 +340,9 @@ func (b *Board) Admit(i int, class int) bool {
 	if i < 0 || i >= len(b.breakers) {
 		return true
 	}
-	br := &b.breakers[i][clampClass(class)]
-	b.advanceLocked(br)
+	class = clampClass(class)
+	br := &b.breakers[i][class]
+	b.advanceLocked(i, class, br)
 	switch br.state {
 	case BreakerOpen:
 		return false
@@ -333,9 +359,9 @@ func (b *Board) Admit(i int, class int) bool {
 
 // advanceLocked moves an open breaker to half-open once its cooldown has
 // elapsed.
-func (b *Board) advanceLocked(br *breaker) {
+func (b *Board) advanceLocked(i, class int, br *breaker) {
 	if br.state == BreakerOpen && b.now().Sub(br.openedAt) >= b.pol.cooldown() {
-		br.state = BreakerHalfOpen
+		b.transitionLocked(i, class, br, BreakerHalfOpen)
 		br.probing = false
 	}
 }
@@ -358,10 +384,11 @@ func (b *Board) Record(i int, class int, err error) {
 	if i < 0 || i >= len(b.breakers) {
 		return
 	}
-	br := &b.breakers[i][clampClass(class)]
-	b.advanceLocked(br)
+	class = clampClass(class)
+	br := &b.breakers[i][class]
+	b.advanceLocked(i, class, br)
 	if err == nil || !Retryable(err) {
-		br.state = BreakerClosed
+		b.transitionLocked(i, class, br, BreakerClosed)
 		br.failures = 0
 		br.probing = false
 		return
@@ -369,13 +396,13 @@ func (b *Board) Record(i int, class int, err error) {
 	switch br.state {
 	case BreakerHalfOpen:
 		// The probe failed: back to open, restart the cooldown.
-		br.state = BreakerOpen
+		b.transitionLocked(i, class, br, BreakerOpen)
 		br.openedAt = b.now()
 		br.probing = false
 	case BreakerClosed:
 		br.failures++
 		if br.failures >= b.pol.threshold() {
-			br.state = BreakerOpen
+			b.transitionLocked(i, class, br, BreakerOpen)
 			br.openedAt = b.now()
 			br.failures = 0
 		}
@@ -393,8 +420,9 @@ func (b *Board) State(i int, class int) BreakerState {
 	if i < 0 || i >= len(b.breakers) {
 		return BreakerClosed
 	}
-	br := &b.breakers[i][clampClass(class)]
-	b.advanceLocked(br)
+	class = clampClass(class)
+	br := &b.breakers[i][class]
+	b.advanceLocked(i, class, br)
 	return br.state
 }
 

@@ -109,7 +109,7 @@ func TestRetryPolicyRetriesTransient(t *testing.T) {
 			return cloud.ErrThrottled
 		}
 		return nil
-	}, func(e error) { seen = append(seen, e) })
+	}, func(_ int, e error) { seen = append(seen, e) })
 	if err != nil || calls != 3 {
 		t.Fatalf("calls=%d err=%v, want success on attempt 3", calls, err)
 	}
@@ -305,4 +305,49 @@ func TestBreakerStateString(t *testing.T) {
 	if BreakerClosed.String() != "closed" || BreakerOpen.String() != "open" || BreakerHalfOpen.String() != "half-open" {
 		t.Fatal("unexpected state names")
 	}
+}
+
+// TestBoardObserverSeesTransitions: the telemetry hook fires once per real
+// state change — open on threshold, half-open on cooldown, closed on the
+// successful probe — and never for a no-op Record.
+func TestBoardObserverSeesTransitions(t *testing.T) {
+	now := time.Unix(100, 0)
+	b := NewBoard(2, BreakerPolicy{FailureThreshold: 2, Cooldown: time.Second})
+	b.SetNow(func() time.Time { return now })
+	type tr struct {
+		cloud, class int
+		from, to     BreakerState
+	}
+	var seen []tr
+	b.SetObserver(func(cloud, class int, from, to BreakerState) {
+		seen = append(seen, tr{cloud, class, from, to})
+	})
+
+	fail := fmt.Errorf("down: %w", cloud.ErrUnavailable)
+	b.Record(1, 0, nil)  // closed -> closed: no event
+	b.Record(1, 0, fail) // below threshold: no event
+	b.Record(1, 0, fail) // threshold: closed -> open
+	now = now.Add(2 * time.Second)
+	if !b.Admit(1, 0) { // cooldown elapsed: open -> half-open, probe admitted
+		t.Fatal("probe not admitted after cooldown")
+	}
+	b.Record(1, 0, nil) // probe succeeded: half-open -> closed
+
+	want := []tr{
+		{1, 0, BreakerClosed, BreakerOpen},
+		{1, 0, BreakerOpen, BreakerHalfOpen},
+		{1, 0, BreakerHalfOpen, BreakerClosed},
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("observer saw %d transitions %v, want %d", len(seen), seen, len(want))
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("transition %d = %+v, want %+v", i, seen[i], want[i])
+		}
+	}
+
+	// A nil board accepts an observer without blowing up.
+	var nilBoard *Board
+	nilBoard.SetObserver(func(int, int, BreakerState, BreakerState) {})
 }

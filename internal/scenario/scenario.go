@@ -24,6 +24,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -32,6 +33,19 @@ import (
 )
 
 var bg = context.Background()
+
+// counterSum sums every counter of the snapshot whose fully qualified name
+// starts with prefix — e.g. counterSum(s, `breaker_open_total{cloud="c0"`)
+// totals one cloud's breaker trips across op classes.
+func counterSum(s scfs.MetricsSnapshot, prefix string) int64 {
+	var sum int64
+	for name, v := range s.Counters {
+		if strings.HasPrefix(name, prefix) {
+			sum += v
+		}
+	}
+	return sum
+}
 
 // Env is the deployment a scenario runs against: a mounted scfs instance
 // over four simulated clouds (f=1) whose fault schedules the scenario
@@ -93,6 +107,21 @@ func Run(t *testing.T, s Scenario) {
 		t.Fatalf("cost report lost the cloud footprint: %+v", report)
 	}
 
+	// One Stats() call must still tell the whole story of the run: which
+	// clouds served RPCs and what the workload cost in dollars. A scenario
+	// whose faults silently disabled instrumentation fails here.
+	stats := env.FS.Stats()
+	if stats.Telemetry.Total("rpc_total") == 0 {
+		t.Fatal("telemetry recorded no RPCs over a full chaos scenario")
+	}
+	var dollars float64
+	for _, ps := range stats.Spend {
+		dollars += ps.Dollars
+	}
+	if dollars <= 0 {
+		t.Fatalf("metered spend is empty after a workload: %+v", stats.Spend)
+	}
+
 	if err := env.FS.Close(bg); err != nil {
 		t.Fatalf("unmount after scenario: %v", err)
 	}
@@ -117,6 +146,7 @@ func newEnv(t *testing.T, s Scenario) *Env {
 		scfs.WithClouds(stores...),
 		scfs.WithDiskCache(t.TempDir(), 0),
 		scfs.WithStreamThreshold(8 << 10),
+		scfs.WithMetrics(),
 	}, s.Mount...)
 	m, err := scfs.New(bg, opts...)
 	if err != nil {

@@ -258,32 +258,59 @@ func breakerRecovery() Scenario {
 				mustWrite(t, env, fmt.Sprintf("/outage%d.bin", i), payload(byte(i), 12<<10))
 			}
 
-			// Breakers open: fail-fast operations must not touch c0 at all.
+			// The failures must have tripped c0's breakers — telemetry, not
+			// inference, says so.
+			if trips := counterSum(env.FS.Stats().Telemetry, `breaker_open_total{cloud="c0"`); trips < 1 {
+				t.Fatalf("outage tripped no breaker for c0 (breaker_open_total = %d)", trips)
+			}
+
+			// Breakers open: fail-fast operations must not touch c0 at all —
+			// neither at the provider nor in the RPC counters (the skips land
+			// on their own counter instead).
 			before := env.Providers[0].TotalRequests()
+			beforeTel := env.FS.Stats().Telemetry
 			for i := 0; i < 4; i++ {
-				data := payload(byte(0x40 + i), 12<<10)
+				data := payload(byte(0x40+i), 12<<10)
 				path := fmt.Sprintf("/open%d.bin", i)
 				mustWrite(t, env, path, data, scfs.WithBreaker(scfs.BreakerFailFast))
 				mustRead(t, env, path, data, scfs.WithBreaker(scfs.BreakerFailFast))
 			}
+			afterTel := env.FS.Stats().Telemetry
 			if extra := env.Providers[0].TotalRequests() - before; extra != 0 {
 				t.Fatalf("fail-fast ops sent %d requests to a cloud with open breakers", extra)
 			}
+			const c0RPCs = `rpc_total{cloud="c0"`
+			if d := counterSum(afterTel, c0RPCs) - counterSum(beforeTel, c0RPCs); d != 0 {
+				t.Fatalf("fail-fast phase recorded %d RPC attempts against c0", d)
+			}
+			const c0Skips = `rpc_breaker_skipped_total{cloud="c0"`
+			if d := counterSum(afterTel, c0Skips) - counterSum(beforeTel, c0Skips); d == 0 {
+				t.Fatal("fail-fast phase recorded no breaker skips for c0")
+			}
 
-			// Recovery: the outage ends, the cooldown elapses, and the next
-			// fail-fast operations probe and readmit c0 — its request
-			// counter moves again with no change in client behaviour.
+			// Recovery: the outage ends and fail-fast traffic keeps flowing.
+			// Poll against a deadline instead of guessing a settle time —
+			// once the cooldown elapses, some operation's probe readmits c0
+			// and its request counter moves again with no change in client
+			// behaviour.
 			env.Providers[0].SetFault(cloudsim.FaultNone)
-			time.Sleep(200 * time.Millisecond)
 			before = env.Providers[0].TotalRequests()
-			for i := 0; i < 3; i++ {
-				data := payload(byte(0x60 + i), 12<<10)
+			deadline := time.Now().Add(10 * time.Second)
+			for i := 0; env.Providers[0].TotalRequests() == before; i++ {
+				if time.Now().After(deadline) {
+					t.Fatal("healed cloud never readmitted: breaker probe did not close it")
+				}
+				data := payload(byte(0x60+i%32), 12<<10)
 				path := fmt.Sprintf("/healed%d.bin", i)
 				mustWrite(t, env, path, data, scfs.WithBreaker(scfs.BreakerFailFast))
 				mustRead(t, env, path, data, scfs.WithBreaker(scfs.BreakerFailFast))
+				time.Sleep(20 * time.Millisecond)
 			}
-			if env.Providers[0].TotalRequests() == before {
-				t.Fatal("healed cloud never readmitted: breaker probe did not close it")
+			// The readmission is a recorded breaker transition, not an
+			// accident: a successful probe moved some c0 breaker back to
+			// closed.
+			if rec := counterSum(env.FS.Stats().Telemetry, `breaker_recovered_total{cloud="c0"`); rec < 1 {
+				t.Fatalf("c0 serves requests again but no breaker recovery was recorded (%d)", rec)
 			}
 			// And the pre-outage file is still intact.
 			mustRead(t, env, "/steady.bin", steady)

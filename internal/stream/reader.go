@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"scfs/internal/iopolicy"
+	"scfs/internal/telemetry"
 )
 
 // Fetcher yields decoded plaintext chunks of a chunked object. Implementations
@@ -45,6 +46,28 @@ type cachedChunk struct {
 	idx  int
 	buf  []byte // pooled
 	used int64  // access stamp for LRU eviction
+	// prefetched marks a slot deposited by the readahead pipeline that no
+	// foreground read has consumed yet; the first lookup counts it as a
+	// prefetch hit and clears the mark.
+	prefetched bool
+}
+
+// ReaderMetrics are the optional prefetch instruments of a Reader. Every
+// field is a nil-safe telemetry instrument, so a zero ReaderMetrics (or any
+// subset of fields) disables exactly that measurement.
+type ReaderMetrics struct {
+	// PrefetchLaunched counts background chunk fetches started.
+	PrefetchLaunched *telemetry.Counter
+	// PrefetchHits counts prefetched chunks later consumed by a foreground
+	// read (each chunk at most once) — the wins of the speculation.
+	PrefetchHits *telemetry.Counter
+	// PrefetchAborted counts prefetches whose fetch failed or was cancelled
+	// (reader closed, triggering read cancelled) — the speculation wasted.
+	PrefetchAborted *telemetry.Counter
+	// Window tracks the governor's latest readahead window decision.
+	Window *telemetry.Gauge
+	// Inflight tracks how many prefetches are running right now.
+	Inflight *telemetry.Gauge
 }
 
 // inflightChunk tracks one chunk fetch in progress, so concurrent readers
@@ -68,6 +91,8 @@ type ReaderOptions struct {
 	// lifetime and the triggering read's context. Defaults to
 	// context.Background().
 	BaseContext context.Context
+	// Metrics instruments the readahead pipeline (zero value: unmetered).
+	Metrics ReaderMetrics
 }
 
 // Reader provides io.Reader, io.ReaderAt and io.Closer over a Fetcher,
@@ -88,6 +113,7 @@ type Reader struct {
 	lifeCtx     context.Context
 	lifeCancel  context.CancelFunc
 	prefetchWG  sync.WaitGroup
+	metrics     ReaderMetrics
 
 	// seqMu serializes sequential Reads so concurrent Reads consume
 	// disjoint ranges even though the fetches themselves run outside mu.
@@ -113,7 +139,7 @@ func NewReaderOpts(f Fetcher, pool *Pool, opts ReaderOptions) *Reader {
 	if pool == nil {
 		pool = Buffers
 	}
-	r := &Reader{f: f, pool: pool, slotN: readerCacheSlots, inflight: make(map[int]*inflightChunk)}
+	r := &Reader{f: f, pool: pool, slotN: readerCacheSlots, inflight: make(map[int]*inflightChunk), metrics: opts.Metrics}
 	if opts.Readahead > 0 {
 		r.govern = iopolicy.NewGovernor(opts.Readahead)
 		r.maxParallel = opts.MaxParallel
@@ -153,18 +179,38 @@ func (r *Reader) lookupLocked(idx int) ([]byte, bool) {
 		if r.slots[i].idx == idx {
 			r.tick++
 			r.slots[i].used = r.tick
+			if r.slots[i].prefetched {
+				r.slots[i].prefetched = false
+				r.metrics.PrefetchHits.Inc()
+			}
 			return r.slots[i].buf, true
 		}
 	}
 	return nil, false
 }
 
+// touchLocked refreshes chunk idx's LRU stamp if cached, without counting a
+// prefetch hit (the readahead pipeline peeks at the cache; only foreground
+// lookups are hits). Called with mu held.
+func (r *Reader) touchLocked(idx int) bool {
+	for i := range r.slots {
+		if r.slots[i].idx == idx {
+			r.tick++
+			r.slots[i].used = r.tick
+			return true
+		}
+	}
+	return false
+}
+
 // depositLocked installs a fetched chunk into the cache, evicting the least
-// recently used slot if full. Called with mu held.
-func (r *Reader) depositLocked(idx int, buf []byte) {
+// recently used slot if full. prefetched marks chunks the readahead pipeline
+// deposited. Called with mu held.
+func (r *Reader) depositLocked(idx int, buf []byte, prefetched bool) {
 	r.tick++
+	entry := cachedChunk{idx: idx, buf: buf, used: r.tick, prefetched: prefetched}
 	if len(r.slots) < r.slotN {
-		r.slots = append(r.slots, cachedChunk{idx: idx, buf: buf, used: r.tick})
+		r.slots = append(r.slots, entry)
 		return
 	}
 	victim := 0
@@ -174,7 +220,7 @@ func (r *Reader) depositLocked(idx int, buf []byte) {
 		}
 	}
 	r.pool.Put(r.slots[victim].buf[:cap(r.slots[victim].buf)])
-	r.slots[victim] = cachedChunk{idx: idx, buf: buf, used: r.tick}
+	r.slots[victim] = entry
 }
 
 // withChunk makes chunk idx resident and calls use(buf) with the chunk's
@@ -217,7 +263,7 @@ func (r *Reader) withChunk(ctx context.Context, idx int, use func([]byte)) error
 		delete(r.inflight, idx)
 		closed := r.closed
 		if err == nil && !closed {
-			r.depositLocked(idx, buf)
+			r.depositLocked(idx, buf, false)
 			if use != nil {
 				use(buf)
 			}
@@ -297,6 +343,7 @@ func (r *Reader) ReadAtContext(ctx context.Context, p []byte, off int64) (int, e
 // background fetches for the chunks inside the resulting window.
 func (r *Reader) triggerPrefetch(ctx context.Context, off, n, size int64, cs int64) {
 	window := r.govern.Observe(off, n)
+	r.metrics.Window.Set(int64(window))
 	if window <= 0 {
 		return
 	}
@@ -318,7 +365,7 @@ func (r *Reader) startPrefetch(ctx context.Context, idx int) {
 		r.mu.Unlock()
 		return
 	}
-	if _, ok := r.lookupLocked(idx); ok {
+	if r.touchLocked(idx) {
 		r.mu.Unlock()
 		return
 	}
@@ -331,6 +378,8 @@ func (r *Reader) startPrefetch(ctx context.Context, idx int) {
 	r.prefetching++
 	r.prefetchWG.Add(1)
 	r.mu.Unlock()
+	r.metrics.PrefetchLaunched.Inc()
+	r.metrics.Inflight.Add(1)
 
 	// The prefetch runs under the reader's lifetime context (values come
 	// from BaseContext, so the prefetch carries the open-time I/O policy)
@@ -346,10 +395,12 @@ func (r *Reader) startPrefetch(ctx context.Context, idx int) {
 		r.mu.Lock()
 		delete(r.inflight, idx)
 		r.prefetching--
+		r.metrics.Inflight.Add(-1)
 		if err == nil && !r.closed {
-			r.depositLocked(idx, buf)
+			r.depositLocked(idx, buf, true)
 		} else {
 			r.pool.Put(buf[:cap(buf)])
+			r.metrics.PrefetchAborted.Inc()
 		}
 		r.mu.Unlock()
 		close(fl.done)

@@ -1,0 +1,199 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInstrumentsAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var r *Registry
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(time.Second)
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	r.RegisterGauge("x", func() int64 { return 1 })
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || s.Counter("x") != 0 || s.Total("x") != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events_total")
+	g := r.Gauge("depth")
+	h := r.Histogram("lat_ns")
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(time.Duration(i) * time.Microsecond)
+				// Concurrent get-or-create of the same name must converge on
+				// one instrument.
+				r.Counter("events_total").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 2*workers*per {
+		t.Fatalf("counter = %d, want %d", got, 2*workers*per)
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d, want 0", g.Value())
+	}
+	s := r.Snapshot()
+	if s.Histograms["lat_ns"].Count != workers*per {
+		t.Fatalf("histogram count = %d, want %d", s.Histograms["lat_ns"].Count, workers*per)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	var h Histogram
+	// Bucket i holds nanosecond values of bit length i: [2^(i-1), 2^i).
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{255, 8},
+		{256, 9},
+		{time.Microsecond, 10}, // 1000ns → bits.Len(1000) = 10
+		{time.Millisecond, 20}, // 1e6 ns
+		{time.Second, 30},      // 1e9 ns
+		{20 * time.Minute, 39}, // beyond the range: overflow bucket
+		{-5 * time.Second, 0},  // clamped
+		{1000 * time.Hour, histBuckets - 1},
+	}
+	for _, tc := range cases {
+		if got := bucketIndex(int64(tc.d)); got != tc.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+		h.Observe(tc.d)
+	}
+	s := h.snapshot()
+	if s.Count != int64(len(cases)) {
+		t.Fatalf("count = %d, want %d", s.Count, len(cases))
+	}
+	// Each bucket's upper bound must be >= every value it holds and the
+	// bounds must be strictly increasing.
+	for i := 1; i < histBuckets-1; i++ {
+		if BucketUpperNanos(i) <= BucketUpperNanos(i-1) {
+			t.Fatalf("bucket bounds not increasing at %d", i)
+		}
+	}
+	if q := s.Quantile(0.5); q <= 0 {
+		t.Fatalf("median = %v, want > 0", q)
+	}
+}
+
+func TestSnapshotMergeDeterminism(t *testing.T) {
+	build := func(n int64) Snapshot {
+		r := NewRegistry()
+		r.Counter(Name("rpc_total", "cloud", "c0", "op", "get")).Add(n)
+		r.Counter(Name("rpc_total", "cloud", "c1", "op", "put")).Add(2 * n)
+		r.Gauge("depth").Set(n)
+		r.RegisterGauge("queue", func() int64 { return 7 })
+		h := r.Histogram(Name("rpc_latency_ns", "cloud", "c0"))
+		for i := int64(0); i < n; i++ {
+			h.Observe(time.Duration(i) * time.Millisecond)
+		}
+		return r.Snapshot()
+	}
+	a, b := build(3), build(5)
+
+	ab, ba := a.Merge(b), b.Merge(a)
+	j := func(s Snapshot) string {
+		var buf bytes.Buffer
+		if err := s.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if j(ab) != j(ba) {
+		t.Fatalf("merge is not commutative:\n%s\nvs\n%s", j(ab), j(ba))
+	}
+	if got := ab.Counter(Name("rpc_total", "cloud", "c0", "op", "get")); got != 8 {
+		t.Fatalf("merged counter = %d, want 8", got)
+	}
+	if got := ab.Total("rpc_total"); got != 8+6+10 {
+		t.Fatalf("Total(rpc_total) = %d, want 24", got)
+	}
+	if ab.Histograms[Name("rpc_latency_ns", "cloud", "c0")].Count != 8 {
+		t.Fatal("merged histogram lost observations")
+	}
+	// Repeated snapshots of an idle registry render identically.
+	if j(a) != j(a) {
+		t.Fatal("snapshot rendering not deterministic")
+	}
+	// And the merged snapshot round-trips through JSON.
+	var back Snapshot
+	if err := json.Unmarshal([]byte(j(ab)), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counter(Name("rpc_total", "cloud", "c0", "op", "get")) != 8 {
+		t.Fatal("JSON round-trip lost a counter")
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Name("rpc_total", "cloud", "c0", "op", "get", "outcome", "ok")).Add(4)
+	r.Gauge("uploader_queue_depth").Set(2)
+	r.Histogram(Name("rpc_latency_ns", "cloud", "c0", "op", "get")).Observe(3 * time.Millisecond)
+	r.Histogram("plain_hist").Observe(time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`rpc_total{cloud="c0",op="get",outcome="ok"} 4`,
+		`uploader_queue_depth 2`,
+		`rpc_latency_ns_bucket{cloud="c0",op="get",le="+Inf"} 1`,
+		`rpc_latency_ns_count{cloud="c0",op="get"} 1`,
+		`plain_hist_bucket{le="+Inf"} 1`,
+		"plain_hist_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "{}") {
+		t.Fatalf("exposition contains empty label set:\n%s", out)
+	}
+}
+
+func TestNameAndBase(t *testing.T) {
+	n := Name("rpc_total", "cloud", "c0", "op", "get")
+	if n != `rpc_total{cloud="c0",op="get"}` {
+		t.Fatalf("Name = %s", n)
+	}
+	if Base(n) != "rpc_total" || Base("plain") != "plain" {
+		t.Fatal("Base failed")
+	}
+}

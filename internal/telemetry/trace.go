@@ -1,0 +1,323 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// SpanOutcome classifies how one per-cloud attempt inside a quorum fan-out
+// ended.
+type SpanOutcome uint8
+
+const (
+	// SpanOK: the attempt completed and its answer was used (or usable).
+	SpanOK SpanOutcome = iota
+	// SpanError: the attempt failed with a provider error.
+	SpanError
+	// SpanCanceled: the attempt was cancelled — typically a straggler cut
+	// down by a first-quorum-wins verdict.
+	SpanCanceled
+	// SpanBreakerSkipped: the attempt was never issued because the cloud's
+	// breaker was open under a fail-fast policy.
+	SpanBreakerSkipped
+	// SpanSuppressed: a hedged attempt whose release never came — the
+	// quorum verdict arrived while it waited in its hedge tier.
+	SpanSuppressed
+)
+
+// String implements fmt.Stringer.
+func (o SpanOutcome) String() string {
+	switch o {
+	case SpanOK:
+		return "ok"
+	case SpanError:
+		return "error"
+	case SpanCanceled:
+		return "canceled"
+	case SpanBreakerSkipped:
+		return "breaker-skipped"
+	case SpanSuppressed:
+		return "suppressed"
+	default:
+		return "unknown"
+	}
+}
+
+// Span is one per-cloud attempt in an operation's fan-out tree. Name is
+// the attempt kind ("meta.get", "block.get", "block.put", "chunk.get"),
+// Cloud the provider it targeted. Hedged marks attempts that launched from
+// a hedge tier rather than the preferred set. Err (if any) is kept as an
+// error value — formatting is deferred to export time so the hot path
+// never builds strings.
+type Span struct {
+	Name    string
+	Cloud   string
+	Start   time.Time
+	Dur     time.Duration
+	Outcome SpanOutcome
+	Hedged  bool
+	Err     error
+}
+
+// describe renders the span for the event log and JSON export.
+func (s Span) describe() string {
+	h := ""
+	if s.Hedged {
+		h = " hedged"
+	}
+	e := ""
+	if s.Err != nil {
+		e = " err=" + s.Err.Error()
+	}
+	return fmt.Sprintf("%s %s %v %s%s%s", s.Name, s.Cloud, s.Dur, s.Outcome, h, e)
+}
+
+// traceKey carries the active *Trace on a context (same idiom as
+// internal/iopolicy's policy key).
+type traceKey struct{}
+
+// FromContext returns the trace the context carries, or nil. All Trace
+// methods are nil-safe, so call sites never branch.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// inlineSpans bounds the per-trace span storage that comes for free with
+// the Trace allocation. A hedged read against 4 clouds records ~8 spans
+// (metadata quorum + block fetch, winners and suppressed alike); 12 leaves
+// room for retries before the slice spills to the heap.
+const inlineSpans = 12
+
+// Trace is the record of one client operation's quorum fan-out: which
+// clouds were tried for each phase, how long each attempt took, who won,
+// who was cancelled or never released, and how long the quorum verdict
+// took. A Trace is created by Tracer.Start, carried on the context through
+// the dispatch layers, and finished (and exported) when the operation
+// returns. A nil *Trace is a disabled trace: every method no-ops.
+type Trace struct {
+	// Op is the operation kind ("read", "write", "write.stream", "delete").
+	Op string
+	// Unit names the object the operation worked on.
+	Unit string
+	// Start is when the operation began.
+	Start time.Time
+
+	tracer *Tracer
+
+	mu      sync.Mutex
+	end     time.Time
+	verdict time.Duration
+	spans   []Span
+	inline  [inlineSpans]Span
+	done    bool
+}
+
+// Record appends one attempt span. Records arriving after Finish — e.g. a
+// straggler goroutine that lost the quorum race and unwound late — are
+// dropped, so an exported trace never mutates and stragglers cannot leak
+// spans into the ring.
+func (t *Trace) Record(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if !t.done {
+		if t.spans == nil {
+			t.spans = t.inline[:0]
+		}
+		t.spans = append(t.spans, s)
+	}
+	t.mu.Unlock()
+}
+
+// SetVerdict records the quorum verdict latency — how long until enough
+// answers were in to decide the operation. Only the first call sticks
+// (nested phases each race to report; the outermost verdict is the one
+// that matters for the client).
+func (t *Trace) SetVerdict(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if !t.done && t.verdict == 0 {
+		t.verdict = d
+	}
+	t.mu.Unlock()
+}
+
+// Finish seals the trace and hands it to its tracer's ring buffer and
+// event log. Idempotent; safe on nil.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.done {
+		t.mu.Unlock()
+		return
+	}
+	t.done = true
+	t.end = time.Now()
+	t.mu.Unlock()
+	if t.tracer != nil {
+		t.tracer.record(t)
+	}
+}
+
+// Duration returns the operation's total wall time (0 until finished).
+func (t *Trace) Duration() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.end.IsZero() {
+		return 0
+	}
+	return t.end.Sub(t.Start)
+}
+
+// VerdictLatency returns the recorded quorum verdict latency.
+func (t *Trace) VerdictLatency() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.verdict
+}
+
+// Spans returns a copy of the recorded spans.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Describe renders the trace as one line per span, for logs and debugging.
+func (t *Trace) Describe() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, len(t.spans))
+	for i, s := range t.spans {
+		out[i] = s.describe()
+	}
+	return out
+}
+
+// Tracer owns a fixed ring buffer of completed traces and an optional
+// structured event log. A nil *Tracer is disabled: Start returns the
+// context unchanged and a nil trace.
+type Tracer struct {
+	mu      sync.Mutex
+	ring    []*Trace
+	next    int
+	total   int64
+	handler slog.Handler
+}
+
+// NewTracer creates a tracer keeping the last capacity completed traces
+// (capacity <= 0 means 64).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &Tracer{ring: make([]*Trace, capacity)}
+}
+
+// SetHandler installs a slog handler that receives one record per
+// completed trace (the structured event log). nil disables it. The
+// handler runs synchronously on the finishing goroutine; keep it cheap or
+// buffer inside it.
+func (tr *Tracer) SetHandler(h slog.Handler) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.handler = h
+	tr.mu.Unlock()
+}
+
+// Start begins a trace for one operation and returns a context carrying
+// it. When the context already carries a live trace — a chunk fetch inside
+// a streamed read, say — Start joins it instead: the inner phase's spans
+// land on the parent and the returned trace is nil (its Finish is a
+// no-op), so exactly one trace per client operation reaches the ring.
+func (tr *Tracer) Start(ctx context.Context, op, unit string) (context.Context, *Trace) {
+	if tr == nil {
+		return ctx, nil
+	}
+	if FromContext(ctx) != nil {
+		return ctx, nil
+	}
+	t := &Trace{Op: op, Unit: unit, Start: time.Now(), tracer: tr}
+	return context.WithValue(ctx, traceKey{}, t), t
+}
+
+// record files a finished trace into the ring and the event log.
+func (tr *Tracer) record(t *Trace) {
+	tr.mu.Lock()
+	tr.ring[tr.next] = t
+	tr.next = (tr.next + 1) % len(tr.ring)
+	tr.total++
+	h := tr.handler
+	tr.mu.Unlock()
+	if h == nil {
+		return
+	}
+	rec := slog.NewRecord(t.end, slog.LevelInfo, "scfs.trace", 0)
+	rec.AddAttrs(
+		slog.String("op", t.Op),
+		slog.String("unit", t.Unit),
+		slog.Duration("dur", t.Duration()),
+		slog.Duration("verdict", t.VerdictLatency()),
+		slog.Any("spans", t.Describe()),
+	)
+	_ = h.Handle(context.Background(), rec)
+}
+
+// Recent returns up to n completed traces, newest first (n <= 0 means
+// all). Nil-safe.
+func (tr *Tracer) Recent(n int) []*Trace {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	size := len(tr.ring)
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]*Trace, 0, n)
+	for i := 1; i <= size && len(out) < n; i++ {
+		t := tr.ring[(tr.next-i+size)%size]
+		if t == nil {
+			break
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Total returns how many traces have completed over the tracer's lifetime
+// (including ones the ring has since evicted).
+func (tr *Tracer) Total() int64 {
+	if tr == nil {
+		return 0
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	return tr.total
+}

@@ -3,6 +3,7 @@ package scfs
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"scfs/internal/cloudsim"
@@ -14,6 +15,7 @@ import (
 	"scfs/internal/pricing"
 	"scfs/internal/resilience"
 	"scfs/internal/storage"
+	"scfs/internal/telemetry"
 )
 
 // Pricing types, re-exported so mounts can bring their own price tables.
@@ -56,6 +58,13 @@ type config struct {
 	breakers        resilience.BreakerPolicy
 	pricing         pricing.Table
 	pricingSet      bool
+
+	metrics   bool
+	tracing   bool
+	traceCap  int
+	eventLog  slog.Handler
+	debugAddr string
+	debugSet  bool
 }
 
 func defaultConfig() config {
@@ -157,9 +166,69 @@ func WithBreakerPolicy(pol BreakerPolicy) Option {
 	return func(c *config) { c.breakers = pol }
 }
 
+// WithMetrics gives the mount a metrics registry. Every layer of the stack
+// instruments itself against it — per-cloud RPC counts and latency
+// histograms, hedge fires and suppressions, retries, breaker transitions,
+// readahead pipeline activity, cache hits, upload queue depth, and each
+// provider's metered usage priced in dollars. Stats().Telemetry carries a
+// full snapshot; a disabled mount (the default) pays nothing beyond a nil
+// check on the hot path.
+func WithMetrics() Option { return func(c *config) { c.metrics = true } }
+
+// WithTracing gives the mount a request tracer: every client operation
+// (read, write, open, delete) gets a trace recording one span per per-cloud
+// RPC of its quorum fan-outs — which clouds were contacted, which were
+// hedged, which answered, which were cancelled as losers — plus the quorum
+// verdict latency. The last capacity completed traces are kept in a ring
+// (capacity <= 0 keeps 64); read them with FS.Traces.
+func WithTracing(capacity int) Option {
+	return func(c *config) { c.tracing, c.traceCap = true, capacity }
+}
+
+// WithEventLog streams one structured record per completed operation trace
+// to the given slog handler (op, unit, duration, verdict latency, spans).
+// Implies WithTracing if no capacity was set.
+func WithEventLog(h slog.Handler) Option {
+	return func(c *config) {
+		c.eventLog = h
+		c.tracing = true
+	}
+}
+
+// WithDebugServer serves the mount's runtime introspection over HTTP on
+// addr (use ":0" for an ephemeral port, read it back with FS.DebugAddr):
+// GET /metrics in Prometheus text format, /debug/stats as JSON,
+// /debug/traces as recent operation traces, and the net/http/pprof
+// profiles under /debug/pprof/. Implies WithMetrics and WithTracing. The
+// server is shut down by Close/Unmount.
+func WithDebugServer(addr string) Option {
+	return func(c *config) {
+		c.debugAddr, c.debugSet = addr, true
+		c.metrics = true
+		c.tracing = true
+	}
+}
+
+// mountTelemetry bundles the observability handles build assembles so the
+// facade can serve them (FS.Traces, the debug server).
+type mountTelemetry struct {
+	metrics *telemetry.Registry
+	tracer  *telemetry.Tracer
+}
+
 // build assembles the provider, coordination and storage stack and mounts
 // the agent.
-func (c *config) build(ctx context.Context) (*core.Agent, error) {
+func (c *config) build(ctx context.Context) (*core.Agent, mountTelemetry, error) {
+	var tel mountTelemetry
+	if c.metrics {
+		tel.metrics = telemetry.NewRegistry()
+	}
+	if c.tracing {
+		tel.tracer = telemetry.NewTracer(c.traceCap)
+		if c.eventLog != nil {
+			tel.tracer.SetHandler(c.eventLog)
+		}
+	}
 	if c.f < 1 {
 		c.f = 1
 	}
@@ -183,27 +252,49 @@ func (c *config) build(ctx context.Context) (*core.Agent, error) {
 	}
 
 	var (
-		store storage.VersionedStore
-		pns   storage.PNSStore
+		store   storage.VersionedStore
+		pns     storage.PNSStore
+		metered func() []core.ProviderSpend
 	)
 	switch {
 	case len(clouds) == 1:
 		sc, err := storage.NewSingleCloud(clouds[0], true)
 		if err != nil {
-			return nil, fmt.Errorf("scfs: building single-cloud backend: %w", err)
+			return nil, tel, fmt.Errorf("scfs: building single-cloud backend: %w", err)
 		}
 		sc.SetRates(prices.For(clouds[0].Provider()))
 		store = sc
 		pns = storage.NewSingleCloudPNS(clouds[0])
 	case len(clouds) >= 3*c.f+1:
-		mgr, err := depsky.New(depsky.Options{Clouds: clouds, F: c.f, Policy: c.ioPolicy, Pricing: prices, Breakers: c.breakers})
+		mgr, err := depsky.New(depsky.Options{
+			Clouds:   clouds,
+			F:        c.f,
+			Policy:   c.ioPolicy,
+			Pricing:  prices,
+			Breakers: c.breakers,
+			Metrics:  tel.metrics,
+			Tracer:   tel.tracer,
+		})
 		if err != nil {
-			return nil, fmt.Errorf("scfs: building cloud-of-clouds backend: %w", err)
+			return nil, tel, fmt.Errorf("scfs: building cloud-of-clouds backend: %w", err)
 		}
 		store = storage.NewCloudOfClouds(mgr)
 		pns = storage.NewCoCPNS(mgr)
+		// Spend only surfaces on metered mounts: keeping Stats() free of
+		// meter polling is part of the "disabled telemetry costs nothing"
+		// contract (plain mounts still have CostReport).
+		if c.metrics {
+			metered = func() []core.ProviderSpend {
+				usage := mgr.MeteredUsage()
+				out := make([]core.ProviderSpend, len(usage))
+				for i, u := range usage {
+					out[i] = core.ProviderSpend{Provider: u.Provider, Usage: u.Usage, Dollars: u.Dollars}
+				}
+				return out
+			}
+		}
 	default:
-		return nil, fmt.Errorf("scfs: need 1 cloud or at least %d (3f+1 with f=%d), have %d", 3*c.f+1, c.f, len(clouds))
+		return nil, tel, fmt.Errorf("scfs: need 1 cloud or at least %d (3f+1 with f=%d), have %d", 3*c.f+1, c.f, len(clouds))
 	}
 
 	coordination := c.coordination
@@ -212,7 +303,7 @@ func (c *config) build(ctx context.Context) (*core.Agent, error) {
 			depspace.NewClient(&depspace.LocalInvoker{Space: depspace.NewSpace()}, c.user, nil))
 	}
 
-	return core.New(ctx, core.Options{
+	agent, err := core.New(ctx, core.Options{
 		User:                 c.user,
 		Mode:                 c.mode,
 		Coordination:         coordination,
@@ -226,5 +317,8 @@ func (c *config) build(ctx context.Context) (*core.Agent, error) {
 		MetadataCacheTTL:     c.metadataTTL,
 		StreamThresholdBytes: c.streamThreshold,
 		LockTTL:              c.lockTTL,
+		Telemetry:            tel.metrics,
+		Metered:              metered,
 	})
+	return agent, tel, err
 }

@@ -43,6 +43,7 @@ import (
 	"scfs/internal/cloud"
 	"scfs/internal/core"
 	"scfs/internal/fsapi"
+	"scfs/internal/telemetry"
 )
 
 // Re-exported types: the facade is intentionally a thin skin over the
@@ -74,6 +75,19 @@ type (
 	// ObjectStore is the per-account client view of one cloud provider;
 	// custom backends implement it and are mounted with WithClouds.
 	ObjectStore = cloud.ObjectStore
+	// MetricsSnapshot is a point-in-time copy of the mount's metrics
+	// registry, carried by Stats().Telemetry on mounts built WithMetrics.
+	MetricsSnapshot = telemetry.Snapshot
+	// HistogramSnapshot is one latency histogram inside a MetricsSnapshot.
+	HistogramSnapshot = telemetry.HistogramSnapshot
+	// ProviderSpend is one provider's metered usage priced in dollars,
+	// carried by Stats().Spend.
+	ProviderSpend = core.ProviderSpend
+	// Trace is one client operation's recorded quorum fan-out (see
+	// WithTracing and FS.Traces).
+	Trace = telemetry.Trace
+	// Span is one per-cloud RPC attempt inside a Trace.
+	Span = telemetry.Span
 )
 
 // Open flags.
@@ -133,7 +147,10 @@ var (
 // service, and the DepSky cloud-of-clouds dispersal. All methods are safe
 // for concurrent use.
 type FS struct {
-	agent *core.Agent
+	agent   *core.Agent
+	metrics *telemetry.Registry
+	tracer  *telemetry.Tracer
+	debug   *debugServer
 }
 
 // New mounts an SCFS file system. With no options it assembles a fully
@@ -149,19 +166,47 @@ func New(ctx context.Context, opts ...Option) (*FS, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	agent, err := cfg.build(ctx)
+	agent, tel, err := cfg.build(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return &FS{agent: agent}, nil
+	m := &FS{agent: agent, metrics: tel.metrics, tracer: tel.tracer}
+	if cfg.debugSet {
+		dbg, err := startDebugServer(cfg.debugAddr, m)
+		if err != nil {
+			_ = agent.Unmount(context.Background())
+			return nil, err
+		}
+		m.debug = dbg
+	}
+	return m, nil
 }
 
 // Agent exposes the underlying SCFS agent for advanced use (stats,
 // garbage-collection control, durability introspection).
 func (m *FS) Agent() *core.Agent { return m.agent }
 
-// Stats returns a snapshot of the mount's activity counters.
+// Stats returns a snapshot of the mount's activity counters. On mounts
+// built WithMetrics it includes the full telemetry snapshot (per-cloud RPC
+// counters and latency histograms, hedge and breaker activity, readahead
+// pipeline state, per-provider metered spend) under Stats.Telemetry and
+// Stats.Spend.
 func (m *FS) Stats() Stats { return m.agent.Stats() }
+
+// Traces returns up to n recently completed operation traces, newest first
+// (n <= 0 returns the whole ring). Empty unless the mount was built
+// WithTracing (or WithDebugServer).
+func (m *FS) Traces(n int) []*Trace { return m.tracer.Recent(n) }
+
+// DebugAddr returns the listen address of the mount's debug server, or ""
+// when WithDebugServer was not used. With WithDebugServer(":0") this is how
+// the ephemeral port is discovered.
+func (m *FS) DebugAddr() string {
+	if m.debug == nil {
+		return ""
+	}
+	return m.debug.addr
+}
 
 // Open opens (or with Create, creates) a file. CallOptions set the I/O
 // policy of the open and of the returned handle's reads: WithReadahead
@@ -207,12 +252,18 @@ func (m *FS) GetFacl(ctx context.Context, path string) ([]ACLEntry, error) {
 	return m.agent.GetFacl(ctx, path)
 }
 
-// Unmount flushes all state and releases resources. Cancelling ctx forces
-// the unmount, aborting pending background uploads.
-func (m *FS) Unmount(ctx context.Context) error { return m.agent.Unmount(ctx) }
+// Unmount flushes all state and releases resources (including the debug
+// server, when one was started). Cancelling ctx forces the unmount,
+// aborting pending background uploads.
+func (m *FS) Unmount(ctx context.Context) error {
+	if m.debug != nil {
+		m.debug.shutdown(ctx)
+	}
+	return m.agent.Unmount(ctx)
+}
 
 // Close is Unmount, under the name Go readers expect on a resource.
-func (m *FS) Close(ctx context.Context) error { return m.agent.Unmount(ctx) }
+func (m *FS) Close(ctx context.Context) error { return m.Unmount(ctx) }
 
 // WaitForUploads blocks until the background uploads queued so far have been
 // processed (non-blocking and non-sharing modes), or until ctx is done.
