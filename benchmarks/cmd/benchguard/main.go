@@ -45,6 +45,13 @@ type bench struct {
 	// the request and transfer fees of one operation priced per provider
 	// by the bundled table (internal/pricing).
 	DollarOp float64 `json:"dollar_op"`
+	// CoordRTOp is the custom coordRT/op metric of the metadata-storm
+	// benchmark: ordered wire round trips to the replica groups (below the
+	// coalescers) per file-system operation, totaled across the plane.
+	CoordRTOp float64 `json:"coord_rt_op"`
+	// CoordRTShardMaxOp is the busiest single instance's share of the
+	// same count — the figure sharding is accountable for.
+	CoordRTShardMaxOp float64 `json:"coord_rt_shard_max_op"`
 }
 
 type report struct {
@@ -207,6 +214,37 @@ var pairRules = []pairRule{
 		num: "BenchmarkDepSkyHedgedRead/HedgedTelemetry", den: "BenchmarkDepSkyHedgedRead/Hedged",
 		metric: func(b bench) float64 { return b.AllocsOp }, what: "allocs/op",
 		maxRatio: 1.02,
+	},
+	// PR 8 acceptance, client pipelining. 64 concurrent sessions through one
+	// smr client with the default 64-slot window must sustain >= 5x the
+	// throughput of the same client with the window forced to 1 (the
+	// pre-pipelining behavior), i.e. ns/op <= 0.2x. Measured ~0.03x: with
+	// requests tagged and demultiplexed by ID, sessions overlap their round
+	// trips instead of queuing behind one outstanding request.
+	{
+		num: "BenchmarkSMRPipeline/Pipelined", den: "BenchmarkSMRPipeline/Serialized",
+		metric: func(b bench) float64 { return b.NsOp }, what: "ns/op",
+		maxRatio: 0.2,
+	},
+	// PR 8 acceptance, namespace sharding. Under the 1024-session metadata
+	// storm, no instance of the 4-shard plane may serve more coordination
+	// round trips per file-system op than the unsharded single instance
+	// serves: the partition must actually divide the load rather than fan
+	// every op out to every shard (measured ~0.6x — below 1/4 of the
+	// single-instance figure is impossible because coalescer batches get
+	// shallower as each shard's queue shortens).
+	{
+		num: "BenchmarkMetadataStorm/Sharded4", den: "BenchmarkMetadataStorm/Single",
+		metric: func(b bench) float64 { return b.CoordRTShardMaxOp }, what: "coordRTshardMax/op",
+		maxRatio: 1.0,
+	},
+	// ...and spreading the namespace across shards must help wall-clock
+	// latency under contention, not just divide the counters (measured
+	// ~0.13x on one core; the ceiling leaves room for scheduler noise).
+	{
+		num: "BenchmarkMetadataStorm/Sharded4", den: "BenchmarkMetadataStorm/Single",
+		metric: func(b bench) float64 { return b.NsOp }, what: "ns/op",
+		maxRatio: 0.8,
 	},
 }
 

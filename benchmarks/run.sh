@@ -23,11 +23,21 @@ go test -run '^$' -bench . -benchmem "$@" \
 go test -run '^$' -bench 'BenchmarkDepSkyHedgedRead/(Hedged|HedgedTelemetry)$' \
 	-benchmem -benchtime 800x ./benchmarks | tee -a "$raw"
 
+# The metadata-plane guards compare legs whose interesting behavior only
+# shows under real concurrency: the storm needs its full 1024 sessions (b.N
+# is the session count, capped at 1024) and enough operations per session
+# for the coalescer to reach steady state, and the pipelining pair needs the
+# serialized leg to run long enough to amortize group startup. Re-measure
+# both at fixed iteration counts.
+go test -run '^$' -bench 'BenchmarkSMRPipeline' -benchmem -benchtime 2000x ./benchmarks | tee -a "$raw"
+go test -run '^$' -bench 'BenchmarkMetadataStorm' -benchmem -benchtime 20000x ./benchmarks | tee -a "$raw"
+
 awk -v go_version="$(go version | awk '{print $3}')" -v stamp="$stamp" '
 /^Benchmark/ {
 	name = $1; sub(/-[0-9]+$/, "", name)
 	iters = $2
 	ns = ""; mbs = ""; bop = ""; allocs = ""; cloudb = ""; cloudreq = ""; dollar = ""
+	coordrt = ""; coordrtmax = ""
 	for (i = 2; i <= NF; i++) {
 		if ($i == "ns/op") ns = $(i-1)
 		if ($i == "MB/s") mbs = $(i-1)
@@ -36,6 +46,8 @@ awk -v go_version="$(go version | awk '{print $3}')" -v stamp="$stamp" '
 		if ($i == "cloudB/op") cloudb = $(i-1)
 		if ($i == "cloudReq/op") cloudreq = $(i-1)
 		if ($i == "$/op") dollar = $(i-1)
+		if ($i == "coordRT/op") coordrt = $(i-1)
+		if ($i == "coordRTshardMax/op") coordrtmax = $(i-1)
 	}
 	if (ns == "") next
 	entry = sprintf("\"%s\": {\"n\": %s, \"ns_op\": %s", name, iters, ns)
@@ -45,6 +57,8 @@ awk -v go_version="$(go version | awk '{print $3}')" -v stamp="$stamp" '
 	if (cloudb != "") entry = entry sprintf(", \"cloud_b_op\": %s", cloudb)
 	if (cloudreq != "") entry = entry sprintf(", \"cloud_req_op\": %s", cloudreq)
 	if (dollar != "") entry = entry sprintf(", \"dollar_op\": %s", dollar)
+	if (coordrt != "") entry = entry sprintf(", \"coord_rt_op\": %s", coordrt)
+	if (coordrtmax != "") entry = entry sprintf(", \"coord_rt_shard_max_op\": %s", coordrtmax)
 	entry = entry "}"
 	if (!(name in entries)) order[++count] = name
 	entries[name] = entry  # later measurements of a name win

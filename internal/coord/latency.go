@@ -142,3 +142,6 @@ func (l *latencyService) Unlock(ctx context.Context, name, owner string) error {
 }
 
 func (l *latencyService) Stats() Stats { return l.inner.Stats() }
+
+// Backend forwards the wrapped backend's telemetry label.
+func (l *latencyService) Backend() string { return BackendName(l.inner) }

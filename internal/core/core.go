@@ -309,6 +309,12 @@ func New(ctx context.Context, opts Options) (*Agent, error) {
 	if err != nil {
 		return nil, err
 	}
+	// With metrics on, every coordination access is also exported as a
+	// coord_ops_total{backend,op} counter (satisfying the paper's §4 focus on
+	// coordination accesses as the dominant metadata cost).
+	if opts.Telemetry != nil && opts.Coordination != nil {
+		opts.Coordination = coord.Instrument(opts.Coordination, opts.Telemetry)
+	}
 	baseCtx, cancelBase := context.WithCancel(context.Background())
 	a := &Agent{
 		opts:       opts,

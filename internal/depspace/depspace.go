@@ -50,6 +50,20 @@ func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
 // String renders the tuple for debugging.
 func (t Tuple) String() string { return "<" + strings.Join(t, ", ") + ">" }
 
+// Less orders tuples field-wise lexicographically. It exists so sorts over
+// large match sets (directory listings) do not allocate: a comparator built
+// on String() materializes two joined strings per comparison, which turns an
+// rdAll over a big directory into a multi-thousand-allocation sort — hot
+// enough to dominate replica execution under metadata-heavy load.
+func (t Tuple) Less(o Tuple) bool {
+	for i := 0; i < len(t) && i < len(o); i++ {
+		if t[i] != o[i] {
+			return t[i] < o[i]
+		}
+	}
+	return len(t) < len(o)
+}
+
 // ACL restricts who can read or overwrite a stored tuple. An empty ACL means
 // the tuple is accessible to every client (used for bootstrap data).
 type ACL struct {
@@ -277,7 +291,7 @@ func (s *Space) rdAll(cmd Command) Result {
 		}
 		out = append(out, *cloneEntry(e))
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.String() < out[j].Tuple.String() })
+	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Less(out[j].Tuple) })
 	return Result{OK: true, Entries: out, Count: len(out)}
 }
 

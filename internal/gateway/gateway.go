@@ -1,0 +1,197 @@
+// Package gateway serves many tenants over one SCFS mount through HTTP —
+// the "serving" half of the scale-out metadata plane. The paper's agent is a
+// per-user FUSE mount; at service scale one agent (one cache, one
+// coordination pipeline) is instead shared by many tenants, each confined to
+// its own namespace root, each with its own in-flight request cap and its own
+// telemetry instruments.
+//
+// Files are served through the mount's io/fs adapter, so range requests,
+// If-Modified-Since and directory listings come from net/http's file server
+// while every byte still flows through the SCFS cache and cloud-of-clouds
+// quorum stack. A request's context bounds its reads: a tenant disconnecting
+// cancels its transfers without disturbing other tenants.
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"net/http"
+	"strings"
+	"time"
+
+	"scfs/internal/telemetry"
+)
+
+// Mount is the slice of the scfs mount facade the gateway consumes
+// (*scfs.FS implements it). Taking the interface keeps this package
+// import-cycle-free with the facade.
+type Mount interface {
+	IOFS(ctx context.Context) fs.FS
+}
+
+// DefaultMaxInflight is the per-tenant concurrent request cap used when a
+// Tenant does not set its own.
+const DefaultMaxInflight = 64
+
+// Tenant is one namespace served by the gateway.
+type Tenant struct {
+	// Name is the tenant identifier and the first path segment of the
+	// tenant's URLs: GET /{name}/{path} serves {Root}/{path}.
+	Name string
+	// Root is the io/fs-rooted directory the tenant is confined to
+	// ("docs/public"; empty or "." serves the whole mount).
+	Root string
+	// MaxInflight caps the tenant's concurrently served requests; excess
+	// requests are rejected with 429 rather than queued, so one tenant's
+	// burst cannot monopolize the shared agent (0 = DefaultMaxInflight).
+	MaxInflight int
+}
+
+// tenantState is a Tenant plus its runtime artifacts: the admission
+// semaphore and the telemetry instruments, resolved once at construction.
+type tenantState struct {
+	cfg      Tenant
+	sem      chan struct{}
+	requests *telemetry.Counter
+	rejected *telemetry.Counter
+	errors   *telemetry.Counter
+	inflight *telemetry.Gauge
+	latency  *telemetry.Histogram
+}
+
+// Gateway is an http.Handler multiplexing tenants over one mount.
+type Gateway struct {
+	mnt     Mount
+	reg     *telemetry.Registry
+	tenants map[string]*tenantState
+}
+
+// Option configures a Gateway.
+type Option func(*Gateway)
+
+// WithTelemetry records per-tenant instruments into reg:
+// gateway_requests_total{tenant}, gateway_rejected_total{tenant},
+// gateway_errors_total{tenant}, gateway_inflight{tenant} and
+// gateway_latency_ns{tenant}.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(g *Gateway) { g.reg = reg }
+}
+
+// New builds a gateway serving the given tenants over mnt.
+func New(mnt Mount, tenants []Tenant, opts ...Option) (*Gateway, error) {
+	if mnt == nil {
+		return nil, errors.New("gateway: nil mount")
+	}
+	if len(tenants) == 0 {
+		return nil, errors.New("gateway: at least one tenant is required")
+	}
+	g := &Gateway{mnt: mnt, tenants: make(map[string]*tenantState, len(tenants))}
+	for _, o := range opts {
+		o(g)
+	}
+	for _, t := range tenants {
+		if t.Name == "" || strings.ContainsAny(t.Name, "/\\") {
+			return nil, fmt.Errorf("gateway: invalid tenant name %q", t.Name)
+		}
+		if _, dup := g.tenants[t.Name]; dup {
+			return nil, fmt.Errorf("gateway: duplicate tenant %q", t.Name)
+		}
+		n := t.MaxInflight
+		if n <= 0 {
+			n = DefaultMaxInflight
+		}
+		g.tenants[t.Name] = &tenantState{
+			cfg:      t,
+			sem:      make(chan struct{}, n),
+			requests: g.reg.Counter(telemetry.Name("gateway_requests_total", "tenant", t.Name)),
+			rejected: g.reg.Counter(telemetry.Name("gateway_rejected_total", "tenant", t.Name)),
+			errors:   g.reg.Counter(telemetry.Name("gateway_errors_total", "tenant", t.Name)),
+			inflight: g.reg.Gauge(telemetry.Name("gateway_inflight", "tenant", t.Name)),
+			latency:  g.reg.Histogram(telemetry.Name("gateway_latency_ns", "tenant", t.Name)),
+		}
+	}
+	return g, nil
+}
+
+// ServeHTTP implements http.Handler: GET/HEAD /{tenant}/{path}.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	name, rest, ok := splitTenantPath(r.URL.Path)
+	t := g.tenants[name]
+	if t == nil {
+		http.NotFound(w, r)
+		return
+	}
+	if !ok {
+		// "/{tenant}" without the trailing slash: canonicalize so the file
+		// server's relative directory links work.
+		http.Redirect(w, r, "/"+name+"/", http.StatusMovedPermanently)
+		return
+	}
+
+	// Admission: reject over-cap rather than queue, so a runaway tenant
+	// degrades itself, not the shared mount.
+	select {
+	case t.sem <- struct{}{}:
+	default:
+		t.rejected.Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "tenant request cap exceeded", http.StatusTooManyRequests)
+		return
+	}
+	defer func() { <-t.sem }()
+
+	t.requests.Inc()
+	t.inflight.Add(1)
+	defer t.inflight.Add(-1)
+	start := time.Now()
+	defer func() { t.latency.Observe(time.Since(start)) }()
+
+	fsys := g.mnt.IOFS(r.Context())
+	if root := t.cfg.Root; root != "" && root != "." {
+		sub, err := fs.Sub(fsys, root)
+		if err != nil {
+			t.errors.Inc()
+			http.Error(w, "tenant root unavailable", http.StatusInternalServerError)
+			return
+		}
+		fsys = sub
+	}
+
+	// Strip the tenant segment and let net/http do the heavy lifting:
+	// http.FS exposes the adapter's io.Seeker/io.ReaderAt files, which is
+	// what makes Range requests and 206 responses work.
+	r2 := r.Clone(r.Context())
+	r2.URL.Path = "/" + rest
+	sw := &statusWriter{ResponseWriter: w}
+	http.FileServer(http.FS(fsys)).ServeHTTP(sw, r2)
+	if sw.status >= 500 {
+		t.errors.Inc()
+	}
+}
+
+// splitTenantPath splits "/tenant/rest" into ("tenant", "rest", true);
+// "/tenant" (no slash) returns ok=false so the caller can redirect.
+func splitTenantPath(p string) (tenant, rest string, ok bool) {
+	p = strings.TrimPrefix(p, "/")
+	if i := strings.IndexByte(p, '/'); i >= 0 {
+		return p[:i], p[i+1:], true
+	}
+	return p, "", false
+}
+
+// statusWriter records the response status for error accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (s *statusWriter) WriteHeader(code int) {
+	s.status = code
+	s.ResponseWriter.WriteHeader(code)
+}

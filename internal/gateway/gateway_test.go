@@ -1,0 +1,323 @@
+package gateway_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"io/fs"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"scfs"
+	"scfs/internal/cloudsim"
+	"scfs/internal/gateway"
+	"scfs/internal/telemetry"
+)
+
+var bg = context.Background()
+
+func newMount(t *testing.T, opts ...scfs.Option) *scfs.FS {
+	t.Helper()
+	stores := make([]scfs.ObjectStore, 4)
+	for i := range stores {
+		p := cloudsim.NewProvider(cloudsim.Options{Name: fmt.Sprintf("c%d", i)})
+		stores[i] = p.MustClient(p.CreateAccount("user"))
+	}
+	m, err := scfs.New(bg, append([]scfs.Option{scfs.WithClouds(stores...)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := m.Close(bg); err != nil {
+			t.Errorf("unmount: %v", err)
+		}
+	})
+	return m
+}
+
+func seed(t *testing.T, m *scfs.FS) {
+	t.Helper()
+	for _, dir := range []string{"/ta", "/tb"} {
+		if err := m.Mkdir(bg, dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := scfs.WriteFile(bg, m, "/ta/hello.txt", []byte("hello from tenant a")); err != nil {
+		t.Fatal(err)
+	}
+	big := make([]byte, 64<<10)
+	for i := range big {
+		big[i] = byte(i % 251)
+	}
+	if err := scfs.WriteFile(bg, m, "/ta/big.bin", big); err != nil {
+		t.Fatal(err)
+	}
+	if err := scfs.WriteFile(bg, m, "/tb/secret.txt", []byte("tenant b only")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newGateway(t *testing.T, m gateway.Mount, reg *telemetry.Registry) *httptest.Server {
+	t.Helper()
+	g, err := gateway.New(m, []gateway.Tenant{
+		{Name: "alice", Root: "ta"},
+		{Name: "bob", Root: "tb"},
+	}, gateway.WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(g)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func get(t *testing.T, url string, hdr ...string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i+1 < len(hdr); i += 2 {
+		req.Header.Set(hdr[i], hdr[i+1])
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func TestServesTenantFiles(t *testing.T) {
+	m := newMount(t)
+	seed(t, m)
+	srv := newGateway(t, m, nil)
+
+	resp, body := get(t, srv.URL+"/alice/hello.txt")
+	if resp.StatusCode != http.StatusOK || string(body) != "hello from tenant a" {
+		t.Fatalf("GET /alice/hello.txt = %d %q", resp.StatusCode, body)
+	}
+	resp, body = get(t, srv.URL+"/bob/secret.txt")
+	if resp.StatusCode != http.StatusOK || string(body) != "tenant b only" {
+		t.Fatalf("GET /bob/secret.txt = %d %q", resp.StatusCode, body)
+	}
+	// Directory listings work too (the io/fs adapter serves ReadDirFile).
+	if resp, body = get(t, srv.URL+"/alice/"); resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "hello.txt") {
+		t.Fatalf("GET /alice/ = %d, body %.200q", resp.StatusCode, body)
+	}
+}
+
+func TestRangeReads(t *testing.T) {
+	m := newMount(t)
+	seed(t, m)
+	srv := newGateway(t, m, nil)
+
+	resp, body := get(t, srv.URL+"/alice/big.bin", "Range", "bytes=1000-1999")
+	if resp.StatusCode != http.StatusPartialContent {
+		t.Fatalf("range GET status = %d, want 206", resp.StatusCode)
+	}
+	if len(body) != 1000 {
+		t.Fatalf("range GET returned %d bytes, want 1000", len(body))
+	}
+	for i, b := range body {
+		if b != byte((1000+i)%251) {
+			t.Fatalf("range byte %d = %d, want %d", i, b, byte((1000+i)%251))
+		}
+	}
+	if cr := resp.Header.Get("Content-Range"); !strings.HasPrefix(cr, "bytes 1000-1999/") {
+		t.Fatalf("Content-Range = %q", cr)
+	}
+}
+
+func TestTenantIsolation(t *testing.T) {
+	m := newMount(t)
+	seed(t, m)
+	srv := newGateway(t, m, nil)
+
+	// Alice cannot see bob's root, by name or by traversal.
+	for _, path := range []string{"/alice/secret.txt", "/alice/../tb/secret.txt", "/alice/..%2f..%2ftb%2fsecret.txt"} {
+		resp, body := get(t, srv.URL+path)
+		if resp.StatusCode == http.StatusOK && strings.Contains(string(body), "tenant b only") {
+			t.Fatalf("GET %s leaked tenant b data", path)
+		}
+	}
+	// Unknown tenant is a 404, not a fallthrough to the mount root.
+	if resp, _ := get(t, srv.URL+"/mallory/hello.txt"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown tenant status = %d, want 404", resp.StatusCode)
+	}
+	// Bare tenant path redirects to the canonical directory URL.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/alice", nil)
+	noRedirect := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse }}
+	resp, err := noRedirect.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMovedPermanently || resp.Header.Get("Location") != "/alice/" {
+		t.Fatalf("GET /alice = %d, Location %q", resp.StatusCode, resp.Header.Get("Location"))
+	}
+	// Writes are not accepted.
+	postResp, err := http.Post(srv.URL+"/alice/hello.txt", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	postResp.Body.Close()
+	if postResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST status = %d, want 405", postResp.StatusCode)
+	}
+}
+
+// blockingMount is a Mount whose files block until released, to make the
+// per-tenant cap observable.
+type blockingMount struct {
+	gate chan struct{}
+}
+
+type blockingFS struct{ gate chan struct{} }
+
+type blockingFile struct{ gate chan struct{} }
+
+func (m *blockingMount) IOFS(ctx context.Context) fs.FS { return &blockingFS{gate: m.gate} }
+
+func (f *blockingFS) Open(name string) (fs.File, error) {
+	return &blockingFile{gate: f.gate}, nil
+}
+
+func (f *blockingFile) Stat() (fs.FileInfo, error) { return blockInfo{}, nil }
+func (f *blockingFile) Read(p []byte) (int, error) { <-f.gate; return 0, io.EOF }
+func (f *blockingFile) Close() error               { return nil }
+
+type blockInfo struct{}
+
+func (blockInfo) Name() string       { return "slow.bin" }
+func (blockInfo) Size() int64        { return 1 }
+func (blockInfo) Mode() fs.FileMode  { return 0o444 }
+func (blockInfo) ModTime() time.Time { return time.Time{} }
+func (blockInfo) IsDir() bool        { return false }
+func (blockInfo) Sys() any           { return nil }
+
+func TestPerTenantRequestCap(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	bm := &blockingMount{gate: make(chan struct{})}
+	g, err := gateway.New(bm, []gateway.Tenant{
+		{Name: "capped", MaxInflight: 2},
+		{Name: "other", MaxInflight: 2},
+	}, gateway.WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(g)
+	defer srv.Close()
+
+	// Fill capped's window with 2 requests parked in Read.
+	done := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			resp, err := http.Get(srv.URL + "/capped/slow.bin")
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	waitInflight := func(tenant string, want int64) {
+		t.Helper()
+		deadline := time.After(5 * time.Second)
+		for {
+			s := reg.Snapshot()
+			if s.Gauges[`gateway_inflight{tenant="`+tenant+`"}`] == want {
+				return
+			}
+			select {
+			case <-deadline:
+				t.Fatalf("tenant %s never reached %d in-flight; gauges: %v", tenant, want, s.Gauges)
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+	}
+	waitInflight("capped", 2)
+
+	// The third capped request is rejected immediately...
+	resp, _ := get(t, srv.URL+"/capped/slow.bin")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap status = %d, want 429", resp.StatusCode)
+	}
+	// ...while the other tenant is admitted (parked, not rejected).
+	otherDone := make(chan struct{})
+	go func() {
+		defer close(otherDone)
+		resp, err := http.Get(srv.URL + "/other/slow.bin")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	waitInflight("other", 1)
+
+	close(bm.gate)
+	<-done
+	<-done
+	<-otherDone
+
+	s := reg.Snapshot()
+	if n := s.Counters[`gateway_rejected_total{tenant="capped"}`]; n != 1 {
+		t.Fatalf("rejected counter = %d, want 1; counters: %v", n, s.Counters)
+	}
+	if n := s.Counters[`gateway_requests_total{tenant="capped"}`]; n != 2 {
+		t.Fatalf("requests counter = %d, want 2 (rejections are not requests)", n)
+	}
+	if n := s.Counters[`gateway_requests_total{tenant="other"}`]; n != 1 {
+		t.Fatalf("other tenant requests = %d, want 1", n)
+	}
+}
+
+func TestPerTenantTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := newMount(t)
+	seed(t, m)
+	srv := newGateway(t, m, reg)
+
+	for i := 0; i < 3; i++ {
+		if resp, _ := get(t, srv.URL+"/alice/hello.txt"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %d failed: %d", i, resp.StatusCode)
+		}
+	}
+	if resp, _ := get(t, srv.URL+"/bob/secret.txt"); resp.StatusCode != http.StatusOK {
+		t.Fatal("bob GET failed")
+	}
+	s := reg.Snapshot()
+	if n := s.Counters[`gateway_requests_total{tenant="alice"}`]; n != 3 {
+		t.Fatalf("alice requests = %d, want 3", n)
+	}
+	if n := s.Counters[`gateway_requests_total{tenant="bob"}`]; n != 1 {
+		t.Fatalf("bob requests = %d, want 1", n)
+	}
+	h, ok := s.Histograms[`gateway_latency_ns{tenant="alice"}`]
+	if !ok || h.Count != 3 {
+		t.Fatalf("alice latency histogram missing or wrong count: %+v", h)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	m := &blockingMount{gate: make(chan struct{})}
+	if _, err := gateway.New(nil, []gateway.Tenant{{Name: "a"}}); err == nil {
+		t.Fatal("nil mount accepted")
+	}
+	if _, err := gateway.New(m, nil); err == nil {
+		t.Fatal("empty tenant list accepted")
+	}
+	if _, err := gateway.New(m, []gateway.Tenant{{Name: "a/b"}}); err == nil {
+		t.Fatal("slash in tenant name accepted")
+	}
+	if _, err := gateway.New(m, []gateway.Tenant{{Name: "a"}, {Name: "a"}}); err == nil {
+		t.Fatal("duplicate tenant accepted")
+	}
+}

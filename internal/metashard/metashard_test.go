@@ -1,0 +1,368 @@
+package metashard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"scfs/internal/coord"
+	"scfs/internal/depspace"
+)
+
+var bg = context.Background()
+
+func newShards(t *testing.T, n int) []coord.Service {
+	t.Helper()
+	shards := make([]coord.Service, n)
+	for i := range shards {
+		shards[i] = coord.NewDepSpaceService(
+			depspace.NewClient(&depspace.LocalInvoker{Space: depspace.NewSpace()}, "agent", nil))
+	}
+	return shards
+}
+
+func newSharded(t *testing.T, n int, opts ...Option) *Service {
+	t.Helper()
+	s, err := New(newShards(t, n), opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestRoutingIsStable(t *testing.T) {
+	s := newSharded(t, 4)
+	for _, key := range []string{"a/b/c", "", "/", "x", "dir/file.txt"} {
+		first := s.ShardFor(key)
+		for i := 0; i < 10; i++ {
+			if got := s.ShardFor(key); got != first {
+				t.Fatalf("ShardFor(%q) flapped: %d then %d", key, first, got)
+			}
+		}
+	}
+	// Subtree mode co-locates a whole subtree.
+	sub := newSharded(t, 4, WithSubtreePartition())
+	base := sub.ShardFor("tree")
+	for _, key := range []string{"tree/a", "tree/a/b", "tree/zzz", "/tree/lead-slash"} {
+		if got := sub.ShardFor(key); got != base {
+			t.Fatalf("subtree key %q routed to shard %d, root to %d", key, got, base)
+		}
+	}
+}
+
+func TestBasicOpsRouteAndRoundTrip(t *testing.T) {
+	s := newSharded(t, 3)
+	acl := coord.ACL{Owner: "agent"}
+	keys := make([]string, 20)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("dir-%d/file-%d", i%5, i)
+		if _, err := s.PutMetadata(bg, keys[i], []byte(fmt.Sprintf("v%d", i)), acl); err != nil {
+			t.Fatalf("put %s: %v", keys[i], err)
+		}
+	}
+	used := map[int]bool{}
+	for i, key := range keys {
+		rec, err := s.GetMetadata(bg, key)
+		if err != nil || string(rec.Value) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("get %s = %q, %v", key, rec.Value, err)
+		}
+		used[s.ShardFor(key)] = true
+	}
+	if len(used) < 2 {
+		t.Fatalf("20 keys across 3 shards landed on %d shard(s); hash is not spreading", len(used))
+	}
+	if err := s.DeleteMetadata(bg, keys[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetMetadata(bg, keys[0]); !errors.Is(err, coord.ErrNotFound) {
+		t.Fatalf("get after delete: %v, want ErrNotFound", err)
+	}
+}
+
+func TestListMergeOrderIsDeterministic(t *testing.T) {
+	acl := coord.ACL{Owner: "agent"}
+	// Same data, different shard counts: the merged listing must be identical.
+	var listings [][]string
+	for _, n := range []int{1, 2, 5} {
+		s := newSharded(t, n)
+		for i := 0; i < 30; i++ {
+			key := fmt.Sprintf("ls/%02d", (i*7)%30) // insertion order != key order
+			if _, err := s.PutMetadata(bg, key, []byte("x"), acl); err != nil {
+				t.Fatal(err)
+			}
+		}
+		recs, err := s.ListMetadata(bg, "ls/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := make([]string, len(recs))
+		for i, r := range recs {
+			keys[i] = r.Key
+		}
+		if !sort.StringsAreSorted(keys) {
+			t.Fatalf("listing with %d shards is not key-sorted: %v", n, keys)
+		}
+		listings = append(listings, keys)
+	}
+	for i := 1; i < len(listings); i++ {
+		if fmt.Sprint(listings[i]) != fmt.Sprint(listings[0]) {
+			t.Fatalf("listing differs across shard counts:\n%v\nvs\n%v", listings[0], listings[i])
+		}
+	}
+}
+
+func TestConcurrentCasSameKeySameShard(t *testing.T) {
+	s := newSharded(t, 4)
+	acl := coord.ACL{Owner: "agent"}
+	const key = "contended/key"
+	ver, err := s.PutMetadata(bg, key, []byte("0"), acl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 goroutines CAS the same key from the same observed version: exactly
+	// one must win per round, which is only guaranteed if every CAS lands on
+	// the same backend.
+	const rounds = 8
+	for r := 0; r < rounds; r++ {
+		var wg sync.WaitGroup
+		var wins, conflicts int64
+		var mu sync.Mutex
+		var nextVer uint64
+		for g := 0; g < 16; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				v, err := s.CasMetadata(bg, key, []byte(fmt.Sprintf("r%d-g%d", r, g)), ver, acl)
+				mu.Lock()
+				defer mu.Unlock()
+				switch {
+				case err == nil:
+					wins++
+					nextVer = v
+				case errors.Is(err, coord.ErrConflict):
+					conflicts++
+				default:
+					t.Errorf("cas: %v", err)
+				}
+			}(g)
+		}
+		wg.Wait()
+		if wins != 1 || conflicts != 15 {
+			t.Fatalf("round %d: %d winners, %d conflicts (want exactly 1 and 15)", r, wins, conflicts)
+		}
+		ver = nextVer
+	}
+}
+
+func TestRenamePrefixAcrossShards(t *testing.T) {
+	s := newSharded(t, 4)
+	acl := coord.ACL{Owner: "agent"}
+	for i := 0; i < 12; i++ {
+		if _, err := s.PutMetadata(bg, fmt.Sprintf("src/f%02d", i), []byte(fmt.Sprintf("v%d", i)), acl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// "src-sibling" must NOT match the rename of "src" (separator rule).
+	if _, err := s.PutMetadata(bg, "src-sibling", []byte("keep"), acl); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.RenamePrefix(bg, "src", "dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 12 {
+		t.Fatalf("renamed %d records, want 12", n)
+	}
+	for i := 0; i < 12; i++ {
+		rec, err := s.GetMetadata(bg, fmt.Sprintf("dst/f%02d", i))
+		if err != nil || string(rec.Value) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("dst/f%02d = %q, %v", i, rec.Value, err)
+		}
+		if _, err := s.GetMetadata(bg, fmt.Sprintf("src/f%02d", i)); !errors.Is(err, coord.ErrNotFound) {
+			t.Fatalf("src/f%02d still present after rename (err=%v)", i, err)
+		}
+	}
+	if rec, err := s.GetMetadata(bg, "src-sibling"); err != nil || string(rec.Value) != "keep" {
+		t.Fatalf("src-sibling disturbed by rename: %q, %v", rec.Value, err)
+	}
+}
+
+func TestSubtreeRenameDelegatesToOneShard(t *testing.T) {
+	s := newSharded(t, 4, WithSubtreePartition())
+	acl := coord.ACL{Owner: "agent"}
+	for i := 0; i < 6; i++ {
+		if _, err := s.PutMetadata(bg, fmt.Sprintf("tree/a/f%d", i), []byte("x"), acl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.PerShardStats()
+	n, err := s.RenamePrefix(bg, "tree/a", "tree/b")
+	if err != nil || n != 6 {
+		t.Fatalf("rename = %d, %v (want 6, nil)", n, err)
+	}
+	after := s.PerShardStats()
+	// A delegated rename is one write on the owning shard — no fan-out.
+	touched := 0
+	for i := range before {
+		if after[i] != before[i] {
+			touched++
+		}
+	}
+	if touched != 1 {
+		t.Fatalf("subtree rename touched %d shards, want exactly 1", touched)
+	}
+	recs, err := s.ListMetadata(bg, "tree/b/")
+	if err != nil || len(recs) != 6 {
+		t.Fatalf("post-rename listing = %d records, %v", len(recs), err)
+	}
+}
+
+// failingShard wraps a backend and fails writes on demand, to exercise the
+// partial-failure contract of the cross-shard move.
+type failingShard struct {
+	coord.Service
+	mu   sync.Mutex
+	fail bool
+}
+
+func (f *failingShard) setFail(v bool) { f.mu.Lock(); f.fail = v; f.mu.Unlock() }
+
+func (f *failingShard) failing() bool { f.mu.Lock(); defer f.mu.Unlock(); return f.fail }
+
+func (f *failingShard) PutMetadata(ctx context.Context, key string, value []byte, acl coord.ACL) (uint64, error) {
+	if f.failing() {
+		return 0, errors.New("injected shard outage")
+	}
+	return f.Service.PutMetadata(ctx, key, value, acl)
+}
+
+func TestRenamePartialFailureContract(t *testing.T) {
+	inner := newShards(t, 2)
+	flaky := &failingShard{Service: inner[1]}
+	s, err := New([]coord.Service{inner[0], flaky})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acl := coord.ACL{Owner: "agent"}
+	const total = 16
+	for i := 0; i < total; i++ {
+		if _, err := s.PutMetadata(bg, fmt.Sprintf("mv/%02d", i), []byte("x"), acl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flaky.setFail(true)
+	n, err := s.RenamePrefix(bg, "mv", "moved")
+	if err == nil {
+		t.Fatal("rename succeeded with a shard down")
+	}
+	// Contract: the first n records are fully moved; re-issuing the rename
+	// after the outage completes the move, and nothing is lost.
+	flaky.setFail(false)
+	n2, err := s.RenamePrefix(bg, "mv", "moved")
+	if err != nil {
+		t.Fatalf("re-issued rename: %v", err)
+	}
+	recs, err := s.ListMetadata(bg, "moved/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != total {
+		t.Fatalf("after recovery %d records under moved/, want %d (first pass %d, second %d)", len(recs), total, n, n2)
+	}
+	if left, _ := s.ListMetadata(bg, "mv/"); len(left) != 0 {
+		t.Fatalf("%d records stranded under mv/ after recovery", len(left))
+	}
+}
+
+func TestSubtreeListTargetsOneShard(t *testing.T) {
+	s := newSharded(t, 4, WithSubtreePartition())
+	acl := coord.ACL{Owner: "agent"}
+	for i := 0; i < 5; i++ {
+		if _, err := s.PutMetadata(bg, fmt.Sprintf("/dir/f%d", i), []byte("x"), acl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := s.PerShardStats()
+	recs, err := s.ListMetadata(bg, "/dir/")
+	if err != nil || len(recs) != 5 {
+		t.Fatalf("list = %d records, %v", len(recs), err)
+	}
+	if !sort.SliceIsSorted(recs, func(a, b int) bool { return recs[a].Key < recs[b].Key }) {
+		t.Fatal("single-shard listing not key-sorted")
+	}
+	after := s.PerShardStats()
+	listed := 0
+	for i := range before {
+		listed += int(after[i].MetadataLists - before[i].MetadataLists)
+	}
+	if listed != 1 {
+		t.Fatalf("subtree-pinned listing hit %d shards, want 1", listed)
+	}
+	// An incomplete top segment must still fan out.
+	before = s.PerShardStats()
+	if _, err := s.ListMetadata(bg, "/di"); err != nil {
+		t.Fatal(err)
+	}
+	after = s.PerShardStats()
+	listed = 0
+	for i := range before {
+		listed += int(after[i].MetadataLists - before[i].MetadataLists)
+	}
+	if listed != 4 {
+		t.Fatalf("unpinned listing hit %d shards, want 4", listed)
+	}
+}
+
+func TestLocksRouteByName(t *testing.T) {
+	s := newSharded(t, 3)
+	if err := s.TryLock(bg, "locks/a", "alice", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.TryLock(bg, "locks/a", "bob", time.Minute); !errors.Is(err, coord.ErrLockHeld) {
+		t.Fatalf("second owner acquired the lock: %v", err)
+	}
+	if err := s.Unlock(bg, "locks/a", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.TryLock(bg, "locks/a", "bob", time.Minute); err != nil {
+		t.Fatalf("lock not acquirable after unlock: %v", err)
+	}
+}
+
+func TestStatsAggregation(t *testing.T) {
+	s := newSharded(t, 3)
+	acl := coord.ACL{Owner: "agent"}
+	for i := 0; i < 9; i++ {
+		if _, err := s.PutMetadata(bg, fmt.Sprintf("st/%d", i), []byte("x"), acl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.ListMetadata(bg, "st/"); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.MetadataWrites != 9 {
+		t.Fatalf("aggregated writes = %d, want 9", st.MetadataWrites)
+	}
+	if st.MetadataLists != 3 {
+		t.Fatalf("aggregated lists = %d, want 3 (one per shard fan-out)", st.MetadataLists)
+	}
+	per := s.PerShardStats()
+	var sum int64
+	for _, p := range per {
+		sum += p.Total()
+	}
+	if sum != st.Total() {
+		t.Fatalf("per-shard totals sum %d != aggregate %d", sum, st.Total())
+	}
+}
+
+func TestNewRejectsEmptyShardList(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Fatal("New(nil) succeeded")
+	}
+}

@@ -30,6 +30,8 @@ import (
 
 	"scfs"
 	"scfs/internal/cloudsim"
+	"scfs/internal/coord"
+	"scfs/internal/smr"
 )
 
 var bg = context.Background()
@@ -53,6 +55,12 @@ func counterSum(s scfs.MetricsSnapshot, prefix string) int64 {
 type Env struct {
 	FS        *scfs.FS
 	Providers []*cloudsim.Provider
+	// Shards holds the replica groups of a scenario-built coordination
+	// plane (see Scenario.Coord), one slice per shard; nil for scenarios
+	// using the default built-in coordination.
+	Shards [][]*smr.Replica
+
+	stopCoord func()
 }
 
 // Requests snapshots every provider's served-request counter; diff two
@@ -78,6 +86,12 @@ type Scenario struct {
 	RTTs []time.Duration
 	// Mount appends mount options (breaker tuning, default I/O policy).
 	Mount []scfs.Option
+	// Coord optionally builds the coordination plane the mount runs on —
+	// e.g. a sharded set of BFT replica groups whose members the scenario
+	// then crashes. The returned stop tears the plane down; the harness
+	// calls it after unmount and before the goroutine-leak check, so a
+	// plane that strands replica or client goroutines fails the scenario.
+	Coord func(t *testing.T) (svc coord.Service, shards [][]*smr.Replica, stop func())
 	// Run scripts the faults and asserts the scenario's own invariants.
 	Run func(t *testing.T, env *Env)
 }
@@ -125,6 +139,10 @@ func Run(t *testing.T, s Scenario) {
 	if err := env.FS.Close(bg); err != nil {
 		t.Fatalf("unmount after scenario: %v", err)
 	}
+	if env.stopCoord != nil {
+		env.stopCoord()
+		env.stopCoord = nil
+	}
 	waitGoroutineBaseline(t, baseline)
 }
 
@@ -148,11 +166,25 @@ func newEnv(t *testing.T, s Scenario) *Env {
 		scfs.WithStreamThreshold(8 << 10),
 		scfs.WithMetrics(),
 	}, s.Mount...)
+	env := &Env{Providers: providers}
+	if s.Coord != nil {
+		svc, shards, stop := s.Coord(t)
+		env.Shards, env.stopCoord = shards, stop
+		opts = append(opts, scfs.WithCoordination(svc))
+		// Safety net for scenarios aborted by t.Fatal before the harness's
+		// ordered teardown: the plane still comes down with the subtest.
+		t.Cleanup(func() {
+			if env.stopCoord != nil {
+				env.stopCoord()
+			}
+		})
+	}
 	m, err := scfs.New(bg, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &Env{FS: m, Providers: providers}
+	env.FS = m
+	return env
 }
 
 // waitGoroutineBaseline polls until the goroutine count settles back to (or

@@ -9,11 +9,17 @@ package scenario
 import (
 	"bytes"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"scfs"
 	"scfs/internal/cloudsim"
+	"scfs/internal/coord"
+	"scfs/internal/depspace"
+	"scfs/internal/metashard"
+	"scfs/internal/smr"
 )
 
 // payload builds deterministic, seed-tagged file contents.
@@ -53,6 +59,7 @@ func All() []Scenario {
 		fCorruptingClouds(),
 		flappingProvider(),
 		breakerRecovery(),
+		shardOutageMetadataStorm(),
 	}
 }
 
@@ -226,6 +233,152 @@ func flappingProvider() Scenario {
 			if flapped := delta[2] - before[2]; flapped > 3*maxHealthy+10 {
 				t.Fatalf("flapping cloud served %d requests, healthy max %d: retry budget not honored",
 					flapped, maxHealthy)
+			}
+		},
+	}
+}
+
+// shardOutageMetadataStorm: the mount's coordination runs on two BFT-
+// replicated metadata shards; mid-storm, the leader replica of one shard
+// crashes. The surviving 3-of-4 quorum must view-change and keep that shard
+// serving — every session's metadata ops succeed, cross-shard listings stay
+// complete, both shards demonstrably executed commands, and tearing the
+// plane down leaks nothing.
+func shardOutageMetadataStorm() Scenario {
+	const (
+		shards   = 2
+		dirs     = 8
+		sessions = 16
+		ops      = 24 // per session
+	)
+	var groups [][]*smr.Replica
+	return Scenario{
+		Name: "shard-outage-metadata-storm",
+		Description: "a metadata shard loses its leader replica mid-storm; " +
+			"the quorum view-changes and every session's ops still succeed",
+		Coord: func(t *testing.T) (coord.Service, [][]*smr.Replica, func()) {
+			var stops []func()
+			services := make([]coord.Service, shards)
+			groups = make([][]*smr.Replica, shards)
+			for i := range services {
+				cfg := smr.Config{ReplicaIDs: []int{0, 1, 2, 3}, Model: smr.ByzantineFaults}
+				net := smr.NewNetwork()
+				net.SetDelay(50 * time.Microsecond)
+				for _, id := range cfg.ReplicaIDs {
+					r, err := smr.NewReplica(id, cfg, smr.NewBatchApplication(depspace.NewSpace()), net)
+					if err != nil {
+						t.Fatal(err)
+					}
+					r.Start()
+					groups[i] = append(groups[i], r)
+					stops = append(stops, r.Stop)
+				}
+				cli := smr.NewClient(fmt.Sprintf("chaos-shard-%d", i), cfg, net)
+				stops = append(stops, cli.Close)
+				// The requester must match the mount's principal ("user"):
+				// metadata tuples are ACL'd to their owner.
+				services[i] = coord.NewDepSpaceService(depspace.NewClient(smr.NewCoalescer(cli), "user", nil))
+				stops = append(stops, net.Close)
+			}
+			svc, err := metashard.New(services, metashard.WithSubtreePartition())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return svc, groups, func() {
+				for _, stop := range stops {
+					stop()
+				}
+			}
+		},
+		Run: func(t *testing.T, env *Env) {
+			for d := 0; d < dirs; d++ {
+				if err := env.FS.Mkdir(bg, fmt.Sprintf("/d%d", d)); err != nil {
+					t.Fatal(err)
+				}
+				mustWrite(t, env, fmt.Sprintf("/d%d/seed.bin", d), payload(byte(d), 600))
+			}
+			// Both shards must own part of the namespace, or crashing one
+			// would prove nothing about the other's independence.
+			seeded := make([]uint64, shards)
+			for i, g := range env.Shards {
+				if _, seeded[i] = g[0].Progress(); seeded[i] == 0 {
+					t.Fatalf("shard %d executed nothing during seeding: partition is one-sided", i)
+				}
+			}
+
+			// The storm: sessions hammer stat/readdir/create across every
+			// directory. Once half the ops are in, shard 1's current leader
+			// (replica 0, view 0) crashes; the remaining replicas must
+			// suspect it, view-change, and resume — no client ever errors.
+			var done atomic.Int64
+			var crashOnce sync.Once
+			var wg sync.WaitGroup
+			for s := 0; s < sessions; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					for i := 0; i < ops; i++ {
+						if done.Add(1) == sessions*ops/2 {
+							crashOnce.Do(func() { env.Shards[1][0].Stop() })
+						}
+						dir := fmt.Sprintf("/d%d", (s+i)%dirs)
+						var err error
+						switch {
+						case i%8 == 0:
+							err = scfs.WriteFile(bg, env.FS,
+								fmt.Sprintf("%s/s%d-%d.bin", dir, s, i), payload(byte(s), 600))
+						case i%8 == 1:
+							_, err = env.FS.ReadDir(bg, dir)
+						default:
+							_, err = env.FS.Stat(bg, dir+"/seed.bin")
+						}
+						if err != nil {
+							t.Errorf("session %d op %d (%s): %v", s, i, dir, err)
+							return
+						}
+					}
+				}(s)
+			}
+			wg.Wait()
+			if t.Failed() {
+				for i, g := range env.Shards {
+					for _, r := range g {
+						view, exec := r.Progress()
+						t.Logf("shard %d replica %d: view=%d lastExec=%d", i, r.ID(), view, exec)
+					}
+				}
+				return
+			}
+
+			// The crashed shard made progress after losing its leader, under
+			// a new view: the outage was survived, not routed around.
+			view, exec := env.Shards[1][1].Progress()
+			if view == 0 {
+				t.Fatalf("shard 1 never view-changed after its leader crashed (view=%d)", view)
+			}
+			if exec <= seeded[1] {
+				t.Fatalf("shard 1 executed nothing after the crash (lastExec %d <= %d)", exec, seeded[1])
+			}
+
+			// Cross-shard consistency after the storm: the merged root lists
+			// every directory, and each directory holds its seed plus the
+			// three files every session created in it.
+			root, err := env.FS.ReadDir(bg, "/")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(root) != dirs {
+				t.Fatalf("root lists %d entries after the storm, want %d", len(root), dirs)
+			}
+			for d := 0; d < dirs; d++ {
+				ents, err := env.FS.ReadDir(bg, fmt.Sprintf("/d%d", d))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := 1 + sessions*ops/8/dirs
+				if len(ents) != want {
+					t.Fatalf("/d%d lists %d entries, want %d", d, len(ents), want)
+				}
 			}
 		},
 	}

@@ -1,0 +1,248 @@
+package smr
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Batching lets the metadata plane amortize coordination round trips:
+// concurrently submitted operations are packed into one ordered invocation
+// and executed back to back at the replicas. The envelope below frames a
+// batch; BatchApplication unpacks it replica-side; Coalescer packs it
+// client-side. The three pieces are application-agnostic — any Application
+// whose commands never begin with a 0x00 byte (JSON commands, as both
+// depspace and zkcoord use, never do) can be wrapped.
+
+// batchMagic prefixes a batch envelope. The leading 0x00 byte cannot start a
+// JSON document, so plain commands and envelopes are unambiguous.
+var batchMagic = []byte{0x00, 'S', 'B', '1'}
+
+// EncodeBatch frames a list of operations into one envelope.
+func EncodeBatch(ops [][]byte) []byte {
+	size := len(batchMagic) + binary.MaxVarintLen64
+	for _, op := range ops {
+		size += binary.MaxVarintLen64 + len(op)
+	}
+	out := make([]byte, 0, size)
+	out = append(out, batchMagic...)
+	out = binary.AppendUvarint(out, uint64(len(ops)))
+	for _, op := range ops {
+		out = binary.AppendUvarint(out, uint64(len(op)))
+		out = append(out, op...)
+	}
+	return out
+}
+
+// DecodeBatch unpacks an envelope produced by EncodeBatch. The second return
+// is false when b is not an envelope (a plain command); a malformed envelope
+// returns (nil, true).
+func DecodeBatch(b []byte) ([][]byte, bool) {
+	if len(b) < len(batchMagic) || string(b[:len(batchMagic)]) != string(batchMagic) {
+		return nil, false
+	}
+	b = b[len(batchMagic):]
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, true
+	}
+	b = b[sz:]
+	ops := make([][]byte, 0, n)
+	for i := uint64(0); i < n; i++ {
+		l, sz := binary.Uvarint(b)
+		if sz <= 0 || uint64(len(b)-sz) < l {
+			return nil, true
+		}
+		b = b[sz:]
+		ops = append(ops, b[:l:l])
+		b = b[l:]
+	}
+	return ops, true
+}
+
+// BatchApplication wraps a deterministic Application so that a batch
+// envelope executes as its sub-operations in order, replying with an
+// envelope of the sub-replies. Plain commands pass through untouched, so
+// batching and non-batching clients interoperate against the same replicas.
+type BatchApplication struct {
+	App Application
+}
+
+var _ Application = (*BatchApplication)(nil)
+
+// NewBatchApplication wraps app.
+func NewBatchApplication(app Application) *BatchApplication {
+	return &BatchApplication{App: app}
+}
+
+// Execute implements Application.
+func (b *BatchApplication) Execute(cmd []byte) []byte {
+	ops, isBatch := DecodeBatch(cmd)
+	if !isBatch {
+		return b.App.Execute(cmd)
+	}
+	replies := make([][]byte, len(ops))
+	for i, op := range ops {
+		replies[i] = b.App.Execute(op)
+	}
+	return EncodeBatch(replies)
+}
+
+// Snapshot implements Application.
+func (b *BatchApplication) Snapshot() []byte { return b.App.Snapshot() }
+
+// Restore implements Application.
+func (b *BatchApplication) Restore(snapshot []byte) error { return b.App.Restore(snapshot) }
+
+// Invoker submits a serialized command for totally ordered execution and
+// returns the serialized result (the same shape depspace.Invoker and
+// zkcoord.Invoker declare). Client implements it.
+type Invoker interface {
+	Invoke(ctx context.Context, op []byte) ([]byte, error)
+}
+
+// Coalescer packs concurrently submitted operations into batch invocations
+// against replicas wrapped in BatchApplication. The first submitter of a
+// generation becomes its flusher: it waits up to MaxDelay for concurrent
+// submitters to pile in (or until MaxBatch operations are queued), then
+// issues the whole batch as one ordered invocation and distributes the
+// replies. A lone operation is invoked directly with no envelope and no
+// delay beyond MaxDelay.
+//
+// Combined with a pipelined Client, multiple batches are in flight at once:
+// the coalescer bounds round trips per operation, the pipeline overlaps the
+// round trips that remain.
+type Coalescer struct {
+	// Inv is the underlying invoker (typically a pipelined *Client).
+	Inv Invoker
+	// MaxBatch is the largest batch packed into one invocation (default 32).
+	MaxBatch int
+	// MaxDelay is how long the flusher waits for concurrent submitters
+	// (default 200µs). Zero after NewCoalescer means the default; negative
+	// disables the wait (batching then only captures ops submitted in the
+	// same instant).
+	MaxDelay time.Duration
+
+	mu       sync.Mutex
+	queue    []*batchItem
+	flushing bool
+	full     chan struct{} // signaled when the queue reaches MaxBatch
+}
+
+// batchItem is one queued operation and its reply slot.
+type batchItem struct {
+	op     []byte
+	done   chan struct{}
+	result []byte
+	err    error
+}
+
+// NewCoalescer creates a coalescing layer over inv.
+func NewCoalescer(inv Invoker) *Coalescer {
+	return &Coalescer{Inv: inv, MaxBatch: 32, MaxDelay: 200 * time.Microsecond}
+}
+
+func (c *Coalescer) maxBatch() int {
+	if c.MaxBatch <= 0 {
+		return 32
+	}
+	return c.MaxBatch
+}
+
+// Invoke implements the invoker shape shared by the coordination clients.
+// Cancelling ctx abandons the wait for the reply; as with a lost reply, the
+// operation may still execute. The flusher invokes the batch under its own
+// ctx: a follower's cancellation never aborts the batch, and a flusher's
+// cancellation fails the batch's items with the flusher's ctx error (they
+// were never sent).
+func (c *Coalescer) Invoke(ctx context.Context, op []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	item := &batchItem{op: op, done: make(chan struct{})}
+	c.mu.Lock()
+	c.queue = append(c.queue, item)
+	leader := !c.flushing
+	if leader {
+		c.flushing = true
+		c.full = make(chan struct{})
+	} else if len(c.queue) >= c.maxBatch() && c.full != nil {
+		// Wake the flusher early: the batch is full.
+		close(c.full)
+		c.full = nil
+	}
+	full := c.full
+	c.mu.Unlock()
+
+	if !leader {
+		select {
+		case <-item.done:
+			return item.result, item.err
+		case <-ctx.Done():
+			// The batch will carry the op anyway; its reply is discarded.
+			return nil, ctx.Err()
+		}
+	}
+
+	// Flusher: linger briefly so concurrent submitters coalesce.
+	if d := c.MaxDelay; d >= 0 {
+		if d == 0 {
+			d = 200 * time.Microsecond
+		}
+		timer := time.NewTimer(d)
+		select {
+		case <-timer.C:
+		case <-full:
+			timer.Stop()
+		case <-ctx.Done():
+			timer.Stop()
+		}
+	}
+
+	c.mu.Lock()
+	batch := c.queue
+	c.queue = nil
+	c.flushing = false
+	c.full = nil
+	c.mu.Unlock()
+
+	c.flush(ctx, batch)
+	return item.result, item.err
+}
+
+// flush issues one generation of queued operations and distributes replies.
+func (c *Coalescer) flush(ctx context.Context, batch []*batchItem) {
+	switch len(batch) {
+	case 0:
+		return
+	case 1:
+		batch[0].result, batch[0].err = c.Inv.Invoke(ctx, batch[0].op)
+		close(batch[0].done)
+		return
+	}
+	ops := make([][]byte, len(batch))
+	for i, it := range batch {
+		ops[i] = it.op
+	}
+	reply, err := c.Inv.Invoke(ctx, EncodeBatch(ops))
+	if err == nil {
+		replies, isBatch := DecodeBatch(reply)
+		if !isBatch || len(replies) != len(batch) {
+			err = fmt.Errorf("smr: malformed batch reply (%d ops, %d replies; replicas must wrap their application in BatchApplication)", len(batch), len(replies))
+		} else {
+			for i, it := range batch {
+				it.result = cloneBytes(replies[i])
+			}
+		}
+	}
+	if err != nil {
+		for _, it := range batch {
+			it.err = err
+		}
+	}
+	for _, it := range batch {
+		close(it.done)
+	}
+}

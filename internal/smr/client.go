@@ -10,28 +10,66 @@ import (
 	"time"
 )
 
+// DefaultMaxInflight is the pipelining window of a client that does not set
+// MaxInflight explicitly: up to this many invocations may be outstanding at
+// the replica group concurrently.
+const DefaultMaxInflight = 64
+
 // Client invokes commands on a replica group and waits for the reply quorum
 // required by the fault model (1 reply for crash faults, f+1 matching replies
-// for Byzantine faults). A Client is safe for concurrent use; concurrent
-// invocations are serialized.
+// for Byzantine faults).
+//
+// A Client is safe for concurrent use and *pipelines* concurrent
+// invocations: each in-flight request is tagged with its request ID, a
+// single receiver goroutine demultiplexes replies back to their waiters, and
+// invocations complete out of order — a slow command does not block the
+// replies of the commands submitted after it. At most MaxInflight
+// invocations are outstanding at once; excess Invoke calls queue for a
+// window slot. Retransmission and reply-vote tracking are per request, not
+// per client.
 type Client struct {
 	id    string
 	cfg   Config
 	net   *Network
 	inbox chan Reply
 
-	// RequestTimeout bounds one attempt; RetryInterval is the retransmission
-	// period within an attempt.
+	// RequestTimeout bounds one invocation; RetryInterval is the
+	// retransmission period within an invocation. MaxInflight is the
+	// pipelining window (0 selects DefaultMaxInflight; 1 serializes
+	// invocations exactly like the pre-pipelining client). All three must be
+	// set before the first Invoke.
 	RequestTimeout time.Duration
 	RetryInterval  time.Duration
+	MaxInflight    int
 
-	mu     sync.Mutex
-	nextID uint64
-	closed atomic.Bool
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]*pendingCall
+
+	windowOnce sync.Once
+	window     chan struct{}
+
+	recvOnce sync.Once
+	closed   atomic.Bool
+	closeCh  chan struct{}
+	recvDone chan struct{}
+}
+
+// pendingCall is one in-flight invocation. votes and results are owned by
+// the receiver goroutine; result/err are published to the waiter by the
+// close of done.
+type pendingCall struct {
+	done chan struct{}
+	// votes maps result digests to the set of replicas that reported them.
+	votes  map[string]map[int]bool
+	result []byte
 }
 
 // ErrTimeout is returned when the group does not answer in time.
 var ErrTimeout = errors.New("smr: request timed out")
+
+// ErrClosed is returned by Invoke on a closed client.
+var ErrClosed = errors.New("smr: client is closed")
 
 // NewClient registers a client with the network.
 func NewClient(id string, cfg Config, net *Network) *Client {
@@ -43,13 +81,109 @@ func NewClient(id string, cfg Config, net *Network) *Client {
 		inbox:          net.RegisterClient(id),
 		RequestTimeout: 10 * time.Second,
 		RetryInterval:  100 * time.Millisecond,
+		pending:        make(map[uint64]*pendingCall),
+		closeCh:        make(chan struct{}),
+		recvDone:       make(chan struct{}),
 	}
 }
 
-// Close unregisters the client.
+// Close unregisters the client, stops the receiver goroutine and fails every
+// in-flight invocation with ErrClosed.
 func (c *Client) Close() {
 	if c.closed.CompareAndSwap(false, true) {
+		close(c.closeCh)
 		c.net.UnregisterClient(c.id)
+	}
+}
+
+// initWindow sizes the in-flight window on first use, so MaxInflight can be
+// assigned field-style after NewClient (like RequestTimeout).
+func (c *Client) initWindow() {
+	c.windowOnce.Do(func() {
+		n := c.MaxInflight
+		if n <= 0 {
+			n = DefaultMaxInflight
+		}
+		c.window = make(chan struct{}, n)
+	})
+}
+
+// register tags a new invocation and makes it visible to the receiver.
+func (c *Client) register() (uint64, *pendingCall) {
+	call := &pendingCall{done: make(chan struct{})}
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = call
+	c.mu.Unlock()
+	return id, call
+}
+
+// forget removes an invocation from the demux table; idempotent (both the
+// waiter's deferred cleanup and the receiver's completion path call it).
+func (c *Client) forget(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// lowID returns the client's lowest unresolved request ID — the cumulative
+// acknowledgement piggybacked on every request so replicas can prune their
+// reply records. With nothing in flight, everything ever issued is resolved.
+func (c *Client) lowID() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.pending) == 0 {
+		return c.nextID + 1
+	}
+	low := uint64(0)
+	for id := range c.pending {
+		if low == 0 || id < low {
+			low = id
+		}
+	}
+	return low
+}
+
+// lookup returns the in-flight call for a request ID, or nil when the
+// invocation already completed or was abandoned.
+func (c *Client) lookup(id uint64) *pendingCall {
+	c.mu.Lock()
+	call := c.pending[id]
+	c.mu.Unlock()
+	return call
+}
+
+// receive is the single receiver goroutine: it demultiplexes every reply to
+// its in-flight invocation by request ID and tallies the per-request vote.
+// Replies for completed or abandoned requests are dropped without touching
+// any other invocation — concurrent sessions never see each other's replies.
+func (c *Client) receive() {
+	defer close(c.recvDone)
+	needed := c.cfg.Model.ReplyQuorum(c.cfg.N())
+	for {
+		select {
+		case <-c.closeCh:
+			return
+		case r := <-c.inbox:
+			call := c.lookup(r.ReqID)
+			if call == nil {
+				continue // stale reply for a completed or abandoned request
+			}
+			key := string(r.Result)
+			if call.votes == nil {
+				call.votes = make(map[string]map[int]bool)
+			}
+			if call.votes[key] == nil {
+				call.votes[key] = make(map[int]bool)
+			}
+			call.votes[key][r.Replica] = true
+			if len(call.votes[key]) >= needed {
+				call.result = cloneBytes(r.Result)
+				c.forget(r.ReqID)
+				close(call.done)
+			}
+		}
 	}
 }
 
@@ -58,64 +192,60 @@ func (c *Client) Close() {
 // command may still execute at the replicas (an abandoned request is
 // indistinguishable from a lost reply).
 func (c *Client) Invoke(ctx context.Context, op []byte) ([]byte, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed.Load() {
-		return nil, fmt.Errorf("smr: client %s is closed", c.id)
+		return nil, fmt.Errorf("%w (%s)", ErrClosed, c.id)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	c.nextID++
-	reqID := c.nextID
-	req := request{ClientID: c.id, ReqID: reqID, Op: op}
-	msg := message{Type: msgRequest, From: -1, FromCli: c.id, Req: req}
+	c.initWindow()
+	c.recvOnce.Do(func() { go c.receive() })
 
-	needed := c.cfg.Model.ReplyQuorum(c.cfg.N())
-	deadline := time.Now().Add(c.RequestTimeout)
-
-	// Drain stale replies from previous invocations.
-	for {
-		select {
-		case <-c.inbox:
-			continue
-		default:
-		}
-		break
+	// Acquire a pipelining window slot.
+	select {
+	case c.window <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-c.closeCh:
+		return nil, fmt.Errorf("%w (%s)", ErrClosed, c.id)
 	}
+	defer func() { <-c.window }()
 
+	reqID, call := c.register()
+	defer c.forget(reqID)
+
+	msg := message{Type: msgRequest, From: -1, FromCli: c.id,
+		Req: request{ClientID: c.id, ReqID: reqID, LowID: c.lowID(), Op: op}}
 	c.net.Broadcast(msg)
-	retry := time.NewTicker(c.RetryInterval)
+
+	// One deadline timer and one retransmission timer per invocation, both
+	// reused across wakeups — no per-iteration timer allocation. Retries back
+	// off exponentially (capped at 16x): with a full pipelining window every
+	// outstanding request retransmits, and a fixed cadence under a loaded
+	// group adds exactly the flood that keeps it loaded.
+	deadline := time.NewTimer(c.RequestTimeout)
+	defer deadline.Stop()
+	interval := c.RetryInterval
+	retry := time.NewTimer(interval)
 	defer retry.Stop()
 
-	// votes maps result digests to the set of replicas that reported them.
-	votes := make(map[string]map[int]bool)
-	results := make(map[string][]byte)
 	for {
-		remaining := time.Until(deadline)
-		if remaining <= 0 {
-			return nil, fmt.Errorf("%w after %v (request %d)", ErrTimeout, c.RequestTimeout, reqID)
-		}
 		select {
-		case r := <-c.inbox:
-			if r.ReqID != reqID {
-				continue
-			}
-			key := string(r.Result)
-			if votes[key] == nil {
-				votes[key] = make(map[int]bool)
-			}
-			votes[key][r.Replica] = true
-			results[key] = r.Result
-			if len(votes[key]) >= needed {
-				return cloneBytes(results[key]), nil
-			}
+		case <-call.done:
+			return call.result, nil
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		case <-retry.C:
+			msg.Req.LowID = c.lowID() // refresh the cumulative ack
 			c.net.Broadcast(msg)
-		case <-time.After(remaining):
+			if interval < 16*c.RetryInterval {
+				interval *= 2
+			}
+			retry.Reset(interval)
+		case <-deadline.C:
 			return nil, fmt.Errorf("%w after %v (request %d)", ErrTimeout, c.RequestTimeout, reqID)
+		case <-c.closeCh:
+			return nil, fmt.Errorf("%w (%s)", ErrClosed, c.id)
 		}
 	}
 }

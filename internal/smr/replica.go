@@ -18,9 +18,10 @@ type Replica struct {
 	app Application
 	net Transport
 
-	inbox  chan message
-	stopCh chan struct{}
-	doneCh chan struct{}
+	inbox    chan message
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	doneCh   chan struct{}
 
 	// Mutable protocol state, owned by run().
 	view       int
@@ -29,18 +30,40 @@ type Replica struct {
 	highestSeq uint64
 	instances  map[uint64]*instance
 	pending    map[string]pendingReq
-	lastReply  map[string]clientRecord
+	lastReply  map[string]*clientRecord
 	vcVotes    map[int]map[int]bool
 
 	// Checkpointing.
 	lastCheckpointSeq uint64
 	lastCheckpoint    []byte
+	// lastTickExec is lastExec as of the previous liveness tick; an unchanged
+	// value with assigned sequence numbers ahead means execution is stalled
+	// and needs repair (see checkStalled).
+	lastTickExec uint64
+	// lastStateReq throttles outgoing state requests: a full snapshot is
+	// expensive to serve, so a stalled replica asks at most once a second.
+	lastStateReq time.Time
+	// lastLeaderSeen is when this replica last heard from the current view's
+	// leader; leader suspicion is driven by leader silence, not by slow
+	// progress (see checkLeaderLiveness). lastProgress is when lastExec last
+	// advanced — the backstop for replacing a live but permanently stuck
+	// leader.
+	lastLeaderSeen time.Time
+	lastProgress   time.Time
+	// stateReplyCache and stateReplyClients memoize the marshaled snapshot
+	// and reply-record copy served at stateReplySeq, so a burst of stalled
+	// peers does not re-serialize the application (or re-copy every retained
+	// reply) once per request.
+	stateReplySeq     uint64
+	stateReplyCache   []byte
+	stateReplyClients map[string]clientReplySnapshot
 
 	// Test hooks and observability, protected by statsMu.
 	statsMu      sync.Mutex
 	byzantine    bool
 	executed     int64
 	viewSnapshot int
+	execSnapshot uint64
 }
 
 type pendingReq struct {
@@ -48,9 +71,67 @@ type pendingReq struct {
 	arrival time.Time
 }
 
+// pruneStride amortizes reply-record pruning: the results map is swept only
+// after the client's resolution floor advances this far, so steady-state
+// requests do not rescan it. Retained replies can be large (a coalesced
+// batch reply holds every result in the batch), so the stride trades a
+// slightly more frequent O(map) sweep for a much smaller retained set.
+const pruneStride = 128
+
+// clientRecord remembers the replies owed to one client. A pipelined client
+// keeps many requests outstanding and they complete out of order -- a single
+// delayed request can trail the client's newest completed ID by an unbounded
+// distance while the other window slots recycle -- so no window heuristic
+// over request IDs can say which replies are still needed. Instead the client
+// piggybacks its lowest unresolved ID (request.LowID) on every request:
+// everything below that floor is provably resolved and prunable, everything
+// at or above it is retained for at-most-once dedup and reply retransmission.
 type clientRecord struct {
-	reqID  uint64
-	result []byte
+	results  map[uint64][]byte
+	floor    uint64 // lowest possibly-unresolved ID advertised by the client
+	prunedTo uint64
+}
+
+// observeLow advances the resolution floor from a request's piggybacked
+// cumulative ack and periodically prunes replies below it.
+func (c *clientRecord) observeLow(low uint64) {
+	if low <= c.floor {
+		return
+	}
+	c.floor = low
+	if c.floor-c.prunedTo >= pruneStride {
+		for id := range c.results {
+			if id < c.floor {
+				delete(c.results, id)
+			}
+		}
+		c.prunedTo = c.floor
+	}
+}
+
+// recall returns the recorded reply for reqID, if the record still holds it.
+func (c *clientRecord) recall(reqID uint64) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	res, ok := c.results[reqID]
+	return res, ok
+}
+
+// stale reports whether reqID is resolved at the client: either its reply was
+// recorded and since pruned, or the client abandoned it. Stale requests are
+// dropped rather than executed -- re-executing would break at-most-once, and
+// nobody is waiting for the reply.
+func (c *clientRecord) stale(reqID uint64) bool {
+	return c != nil && reqID < c.floor
+}
+
+// record stores a reply.
+func (c *clientRecord) record(reqID uint64, result []byte) {
+	if c.results == nil {
+		c.results = make(map[uint64][]byte)
+	}
+	c.results[reqID] = result
 }
 
 type instance struct {
@@ -92,7 +173,7 @@ func NewReplica(id int, cfg Config, app Application, net *Network) (*Replica, er
 		nextSeq:   1,
 		instances: make(map[uint64]*instance),
 		pending:   make(map[string]pendingReq),
-		lastReply: make(map[string]clientRecord),
+		lastReply: make(map[string]*clientRecord),
 		vcVotes:   make(map[int]map[int]bool),
 	}
 	net.registerReplica(id, r.inbox)
@@ -105,9 +186,10 @@ func (r *Replica) ID() int { return r.id }
 // Start launches the replica's event loop.
 func (r *Replica) Start() { go r.run() }
 
-// Stop terminates the event loop.
+// Stop terminates the event loop. It is idempotent, so a test that crashes
+// a replica mid-scenario can still run the group's blanket teardown.
 func (r *Replica) Stop() {
-	close(r.stopCh)
+	r.stopOnce.Do(func() { close(r.stopCh) })
 	<-r.doneCh
 }
 
@@ -140,6 +222,23 @@ func (r *Replica) CurrentView() int {
 	return r.viewSnapshot
 }
 
+// Progress returns the replica's current view and the highest executed
+// sequence number — the observability needed to tell a stalled group (no
+// replica advances) from a diverged one (replicas advance but clients
+// starve). Safe to call concurrently; values may be immediately stale.
+func (r *Replica) Progress() (view int, lastExec uint64) {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	return r.viewSnapshot, r.execSnapshot
+}
+
+// setExecSnapshot mirrors lastExec for concurrent readers; called by run().
+func (r *Replica) setExecSnapshot(seq uint64) {
+	r.statsMu.Lock()
+	r.execSnapshot = seq
+	r.statsMu.Unlock()
+}
+
 // setViewSnapshot mirrors view for concurrent readers; called by run().
 func (r *Replica) setViewSnapshot(v int) {
 	r.statsMu.Lock()
@@ -154,6 +253,8 @@ func (r *Replica) run() {
 	ticker := time.NewTicker(r.cfg.LeaderTimeout / 2)
 	defer ticker.Stop()
 	r.setViewSnapshot(r.view)
+	r.lastLeaderSeen = time.Now()
+	r.lastProgress = time.Now()
 	for {
 		select {
 		case <-r.stopCh:
@@ -162,8 +263,22 @@ func (r *Replica) run() {
 			r.handle(m)
 		case <-ticker.C:
 			r.checkLeaderLiveness()
+			r.checkStalled()
 		}
 	}
+}
+
+// broadcast sends m to the peer replicas and processes the local copy
+// synchronously. A replica's own proposals and votes must never be lost to
+// transport drops — a prepare that fails to reach its own caster silently
+// breaks quorum accounting in ways no retransmission repairs — so loopback
+// does not traverse the (lossy) network. The inline self-handling recurses
+// through handle (a pre-prepare triggers our prepare, which may complete a
+// quorum and trigger our commit); the chain is bounded by the protocol's
+// phase count.
+func (r *Replica) broadcast(m message) {
+	r.net.Broadcast(m)
+	r.handle(m)
 }
 
 func (r *Replica) handle(m message) {
@@ -180,6 +295,10 @@ func (r *Replica) handle(m message) {
 		r.onViewChange(m)
 	case msgNewView:
 		r.onNewView(m)
+	case msgStateRequest:
+		r.onStateRequest(m)
+	case msgStateReply:
+		r.onStateReply(m)
 	}
 }
 
@@ -189,11 +308,19 @@ func (r *Replica) onRequest(m message) {
 	req := m.Req
 	key := req.key()
 	// At-most-once execution: if this request was already executed, resend
-	// the recorded reply.
-	if rec, ok := r.lastReply[req.ClientID]; ok && rec.reqID >= req.ReqID {
-		if rec.reqID == req.ReqID {
-			r.sendReply(req, rec.result)
-		}
+	// the recorded reply; ancient duplicates that fell out of the reply
+	// window are dropped.
+	rec := r.lastReply[req.ClientID]
+	if rec == nil {
+		rec = &clientRecord{}
+		r.lastReply[req.ClientID] = rec
+	}
+	rec.observeLow(req.LowID)
+	if result, ok := rec.recall(req.ReqID); ok {
+		r.sendReply(req, result)
+		return
+	}
+	if rec.stale(req.ReqID) {
 		return
 	}
 	if _, ok := r.pending[key]; !ok {
@@ -205,7 +332,11 @@ func (r *Replica) onRequest(m message) {
 }
 
 func (r *Replica) propose(req request) {
-	// Avoid proposing a request twice in the same view.
+	// Never propose a request twice: a second arrival is a client
+	// retransmission, and the existing instance is repaired by the stall tick
+	// (checkStalled), not here — re-driving per retransmission amplifies
+	// repair traffic quadratically under load (every duplicate triggers a
+	// pre-prepare broadcast, and every receiver re-affirms with two more).
 	for _, inst := range r.instances {
 		if inst.hasReq && inst.req.key() == req.key() && !inst.executed {
 			return
@@ -221,7 +352,7 @@ func (r *Replica) propose(req request) {
 		Digest: seccrypto.Hash(req.Op),
 		Req:    req,
 	}
-	r.net.Broadcast(m)
+	r.broadcast(m)
 }
 
 func (r *Replica) getInstance(seq uint64) *instance {
@@ -237,11 +368,20 @@ func (r *Replica) onPrePrepare(m message) {
 	if m.View != r.view || m.From != r.cfg.LeaderFor(r.view) {
 		return
 	}
-	if m.Seq <= r.lastExec {
-		return
-	}
+	r.lastLeaderSeen = time.Now()
 	if seccrypto.Hash(m.Req.Op) != m.Digest {
 		return // malformed or tampered proposal
+	}
+	if m.Seq <= r.lastExec {
+		// Already executed here. The leader only re-sends a pre-prepare when
+		// re-driving a stalled instance for some lagging replica, so re-affirm
+		// our prepare and commit (recipients tolerate duplicates) — executed
+		// instances are retained until the next checkpoint for exactly this.
+		if inst, ok := r.instances[m.Seq]; ok && inst.executed && inst.digest == m.Digest {
+			r.broadcast(message{Type: msgPrepare, From: r.id, View: r.view, Seq: m.Seq, Digest: m.Digest})
+			r.broadcast(message{Type: msgCommit, From: r.id, View: r.view, Seq: m.Seq, Digest: m.Digest})
+		}
+		return
 	}
 	inst := r.getInstance(m.Seq)
 	if inst.hasReq && inst.digest != m.Digest {
@@ -256,9 +396,13 @@ func (r *Replica) onPrePrepare(m message) {
 	if m.Seq >= r.nextSeq {
 		r.nextSeq = m.Seq + 1
 	}
-	if !inst.sentPrep {
-		inst.sentPrep = true
-		r.net.Broadcast(message{Type: msgPrepare, From: r.id, View: r.view, Seq: m.Seq, Digest: m.Digest})
+	// On the first pre-prepare this sends our prepare; on a re-driven
+	// duplicate it re-sends it (and our commit, if any) in case the originals
+	// were lost — vote maps make duplicates idempotent at the recipients.
+	inst.sentPrep = true
+	r.broadcast(message{Type: msgPrepare, From: r.id, View: r.view, Seq: m.Seq, Digest: m.Digest})
+	if inst.sentComm {
+		r.broadcast(message{Type: msgCommit, From: r.id, View: r.view, Seq: m.Seq, Digest: m.Digest})
 	}
 	r.maybeAdvance(m.Seq)
 }
@@ -291,7 +435,7 @@ func (r *Replica) maybeAdvance(seq uint64) {
 	quorum := r.cfg.Model.QuorumSize(r.cfg.N())
 	if inst.hasReq && !inst.sentComm && len(inst.prepares) >= quorum {
 		inst.sentComm = true
-		r.net.Broadcast(message{Type: msgCommit, From: r.id, View: r.view, Seq: seq, Digest: inst.digest})
+		r.broadcast(message{Type: msgCommit, From: r.id, View: r.view, Seq: seq, Digest: inst.digest})
 	}
 	r.executeReady()
 }
@@ -300,6 +444,12 @@ func (r *Replica) maybeAdvance(seq uint64) {
 // executed.
 func (r *Replica) executeReady() {
 	quorum := r.cfg.Model.QuorumSize(r.cfg.N())
+	start := r.lastExec
+	defer func() {
+		if r.lastExec != start {
+			r.setExecSnapshot(r.lastExec)
+		}
+	}()
 	for {
 		next := r.lastExec + 1
 		inst, ok := r.instances[next]
@@ -309,26 +459,50 @@ func (r *Replica) executeReady() {
 		inst.executed = true
 		r.lastExec = next
 		req := inst.req
+		if req.ClientID == "" {
+			// Null command filling a view-change gap: it advances the log and
+			// nothing else — no execution, no reply.
+			continue
+		}
 		key := req.key()
 		delete(r.pending, key)
 
-		var result []byte
-		if rec, ok := r.lastReply[req.ClientID]; ok && rec.reqID >= req.ReqID {
-			// Already executed in a previous view (re-proposed after a view
-			// change): do not re-apply, reuse the recorded reply.
-			result = rec.result
-		} else {
+		rec := r.lastReply[req.ClientID]
+		if rec == nil {
+			rec = &clientRecord{}
+			r.lastReply[req.ClientID] = rec
+		}
+		rec.observeLow(req.LowID)
+		if rec.stale(req.ReqID) {
+			// Below the client's resolution floor: the request may already
+			// have executed (and its reply was pruned), so neither
+			// re-executing nor replying is safe — and the client declared it
+			// resolved. The instance stays (executed, unapplied) until the
+			// checkpoint prune so lagging replicas can still be repaired past
+			// this sequence number.
+			continue
+		}
+		result, executedBefore := rec.recall(req.ReqID)
+		if !executedBefore {
+			// Not yet executed (a recalled reply means this request was
+			// re-proposed after a view change): apply it and record the reply.
 			result = r.app.Execute(req.Op)
-			r.lastReply[req.ClientID] = clientRecord{reqID: req.ReqID, result: result}
+			rec.record(req.ReqID, result)
 			r.statsMu.Lock()
 			r.executed++
 			r.statsMu.Unlock()
 		}
 		r.sendReply(req, result)
-		delete(r.instances, next)
+		// Executed instances are retained until the next checkpoint: the
+		// leader can re-drive them for lagging replicas (see onPrePrepare).
 		if r.lastExec-r.lastCheckpointSeq >= uint64(r.cfg.CheckpointInterval) {
 			r.lastCheckpointSeq = r.lastExec
 			r.lastCheckpoint = r.app.Snapshot()
+			for seq, inst := range r.instances {
+				if inst.executed && seq <= r.lastCheckpointSeq {
+					delete(r.instances, seq)
+				}
+			}
 		}
 	}
 }
@@ -343,8 +517,22 @@ func (r *Replica) sendReply(req request, result []byte) {
 
 // --- view change ---
 
+// stuckLeaderFactor scales LeaderTimeout into the backstop deadline for
+// replacing a leader that keeps talking but never makes progress. A view
+// change destroys every in-flight instance, so while the leader is audibly
+// re-driving repair it deserves several timeouts of patience; only persistent
+// stagnation justifies the disruption.
+const stuckLeaderFactor = 8
+
 func (r *Replica) checkLeaderLiveness() {
 	if r.isLeader() || len(r.pending) == 0 {
+		return
+	}
+	// A loaded-but-live leader is not a faulty leader: when execution is
+	// advancing, old pending requests mean queueing, not leader failure, and
+	// a view change would only add disruption. Only suspect when the log has
+	// stopped moving (lastTickExec is refreshed by checkStalled each tick).
+	if r.lastExec != r.lastTickExec {
 		return
 	}
 	oldest := time.Now()
@@ -356,9 +544,19 @@ func (r *Replica) checkLeaderLiveness() {
 	if time.Since(oldest) < r.cfg.LeaderTimeout {
 		return
 	}
+	// Suspicion is driven by leader *silence*, not slowness: a leader whose
+	// pre-prepares are still arriving is alive and (with checkStalled)
+	// re-driving repair, and deposing it resets that repair. A crashed or
+	// partitioned leader goes quiet and is replaced after one LeaderTimeout,
+	// exactly as before; a live-but-wedged leader is replaced only after the
+	// stuckLeaderFactor backstop expires with no execution progress at all.
+	if time.Since(r.lastLeaderSeen) < r.cfg.LeaderTimeout &&
+		time.Since(r.lastProgress) < stuckLeaderFactor*r.cfg.LeaderTimeout {
+		return
+	}
 	// Suspect the leader: vote to move to the next view.
 	newView := r.view + 1
-	r.net.Broadcast(r.viewChangeMsg(newView))
+	r.broadcast(r.viewChangeMsg(newView))
 	// Reset arrival times so we do not flood view changes every tick.
 	for k, p := range r.pending {
 		p.arrival = time.Now()
@@ -373,16 +571,24 @@ func (r *Replica) viewChangeMsg(newView int) message {
 	}
 	sort.Slice(pend, func(i, j int) bool { return pend[i].key() < pend[j].key() })
 	return message{
-		Type:     msgViewChange,
-		From:     r.id,
-		View:     newView,
-		LastExec: r.lastExec,
-		Pending:  pend,
+		Type:       msgViewChange,
+		From:       r.id,
+		View:       newView,
+		LastExec:   r.lastExec,
+		HighestSeq: r.highestSeq,
+		Pending:    pend,
 	}
 }
 
 func (r *Replica) onViewChange(m message) {
 	if m.View <= r.view {
+		// A laggard is still trying to assemble an older view. NEW-VIEW
+		// announcements are not retransmitted, so if the one that moved us
+		// here was dropped at that replica it would stay behind forever —
+		// re-announce the current view to it if we lead it.
+		if r.isLeader() && m.From != r.id {
+			r.net.SendToReplica(m.From, message{Type: msgNewView, From: r.id, View: r.view, LastExec: r.lastExec})
+		}
 		return
 	}
 	votes, ok := r.vcVotes[m.View]
@@ -391,26 +597,37 @@ func (r *Replica) onViewChange(m message) {
 		r.vcVotes[m.View] = votes
 	}
 	votes[m.From] = true
+	// Learn the highest sequence number assigned anywhere in the vote quorum,
+	// so a new leader knows how far its gap filling must reach.
+	if m.HighestSeq > r.highestSeq {
+		r.highestSeq = m.HighestSeq
+	}
 	// Adopt the pending requests advertised by others so the new leader can
 	// re-propose them even if the client request never reached it.
 	for _, req := range m.Pending {
 		key := req.key()
-		if rec, ok := r.lastReply[req.ClientID]; ok && rec.reqID >= req.ReqID {
+		rec := r.lastReply[req.ClientID]
+		if _, ok := rec.recall(req.ReqID); ok || rec.stale(req.ReqID) {
 			continue
 		}
 		if _, ok := r.pending[key]; !ok {
 			r.pending[key] = pendingReq{req: req, arrival: time.Now()}
 		}
 	}
-	// Echo our own vote once we have seen evidence that others want to move.
-	if !votes[r.id] && m.View == r.view+1 {
+	// Echo our own vote once we have seen evidence that others want to move:
+	// either the next view (we share the suspicion), or — the PBFT catch-up
+	// rule — any higher view that more than f replicas already voted for,
+	// which means at least one correct replica is ahead of us and views
+	// would otherwise scatter without ever assembling a quorum in any one.
+	f := r.cfg.Model.MaxFaults(r.cfg.N())
+	if !votes[r.id] && (m.View == r.view+1 || len(votes) > f) {
 		votes[r.id] = true
-		r.net.Broadcast(r.viewChangeMsg(m.View))
+		r.broadcast(r.viewChangeMsg(m.View))
 	}
 	quorum := r.cfg.Model.QuorumSize(r.cfg.N())
 	if len(votes) >= quorum && r.cfg.LeaderFor(m.View) == r.id {
 		// We are the leader of the new view: announce it.
-		r.net.Broadcast(message{Type: msgNewView, From: r.id, View: m.View, LastExec: r.lastExec})
+		r.broadcast(message{Type: msgNewView, From: r.id, View: m.View, LastExec: r.lastExec})
 	}
 }
 
@@ -420,6 +637,7 @@ func (r *Replica) onNewView(m message) {
 	}
 	r.view = m.View
 	r.setViewSnapshot(r.view)
+	r.lastLeaderSeen = time.Now()
 	// Drop in-flight instances above the last executed command; the new
 	// leader re-proposes pending requests with fresh sequence numbers.
 	for seq := range r.instances {
@@ -430,16 +648,42 @@ func (r *Replica) onNewView(m message) {
 	if r.nextSeq <= r.highestSeq {
 		r.nextSeq = r.highestSeq + 1
 	}
-	delete(r.vcVotes, m.View)
+	for v := range r.vcVotes {
+		if v <= m.View {
+			delete(r.vcVotes, v)
+		}
+	}
 	if r.isLeader() {
-		// Re-propose everything still pending, in a deterministic order.
+		// Execution is strictly in sequence order, and the unexecuted
+		// instances just dropped leave holes between lastExec and the highest
+		// sequence number the previous views assigned — holes nothing will
+		// ever fill, wedging the log forever. Re-propose the pending requests
+		// into those holes first (deterministic order), fill any holes left
+		// over with null commands (the PBFT null-request rule), and give
+		// whatever pending remains fresh sequence numbers.
 		keys := make([]string, 0, len(r.pending))
 		for k := range r.pending {
 			keys = append(keys, k)
 		}
 		sort.Strings(keys)
-		for _, k := range keys {
-			r.propose(r.pending[k].req)
+		i := 0
+		for seq := r.lastExec + 1; seq <= r.highestSeq; seq++ {
+			var req request // null command unless a pending request fills it
+			if i < len(keys) {
+				req = r.pending[keys[i]].req
+				i++
+			}
+			r.broadcast(message{
+				Type:   msgPrePrepare,
+				From:   r.id,
+				View:   r.view,
+				Seq:    seq,
+				Digest: seccrypto.Hash(req.Op),
+				Req:    req,
+			})
+		}
+		for ; i < len(keys); i++ {
+			r.propose(r.pending[keys[i]].req)
 		}
 	} else {
 		// Restart liveness accounting in the new view.
@@ -448,4 +692,154 @@ func (r *Replica) onNewView(m message) {
 			r.pending[k] = p
 		}
 	}
+}
+
+// --- state transfer ---
+
+// redriveWindow bounds how many stalled instances the leader re-drives per
+// liveness tick. Execution is strictly in-order, so repairing the instances
+// right at the execution head is what unblocks progress; a wide window only
+// multiplies repair traffic (every re-driven pre-prepare triggers re-affirm
+// broadcasts at every receiver) without unblocking anything sooner.
+const redriveWindow = 8
+
+// checkStalled detects an execution stall — a full liveness tick with no
+// execution progress while sequence numbers are known to be assigned ahead of
+// us — and runs the two recovery paths that client retransmission cannot
+// cover:
+//
+//   - The leader re-broadcasts the pre-prepares of the oldest unexecuted
+//     instances. Client retransmission re-drives live requests, but a null
+//     gap-filler or a request already resolved at the client has no
+//     retransmission source; if its pre-prepare was lost (the in-memory
+//     transport does not preserve ordering across its delivery timers, so a
+//     gap fill can race the NEW-VIEW that precedes it and be dropped), only
+//     the leader can revive the instance.
+//
+//   - Everyone broadcasts a state request, so a replica wedged behind an
+//     instance its peers have executed and pruned past a checkpoint can adopt
+//     a peer's state wholesale (see onStateRequest/onStateReply).
+func (r *Replica) checkStalled() {
+	if r.lastExec != r.lastTickExec {
+		r.lastProgress = time.Now()
+	}
+	stalled := r.lastExec == r.lastTickExec && r.highestSeq > r.lastExec
+	r.lastTickExec = r.lastExec
+	if !stalled {
+		return
+	}
+	if r.isLeader() {
+		for seq := r.lastExec + 1; seq <= r.lastExec+redriveWindow; seq++ {
+			if inst, ok := r.instances[seq]; ok && inst.hasReq && !inst.executed {
+				r.broadcast(message{
+					Type:   msgPrePrepare,
+					From:   r.id,
+					View:   r.view,
+					Seq:    seq,
+					Digest: inst.digest,
+					Req:    inst.req,
+				})
+			}
+		}
+	}
+	// A state transfer is a full snapshot per serving peer — too expensive to
+	// solicit on every 125ms tick. One request a second is plenty: transfer
+	// is the recovery of last resort behind re-drive repair.
+	if time.Since(r.lastStateReq) >= time.Second {
+		r.lastStateReq = time.Now()
+		r.broadcast(message{Type: msgStateRequest, From: r.id, LastExec: r.lastExec})
+	}
+}
+
+// onStateRequest answers a stalled replica with this replica's current state:
+// an application snapshot, the executed prefix it covers, and the client
+// reply records needed to keep deduplicating retransmissions past the jump.
+// All three are captured together on the run goroutine, so they are mutually
+// consistent. (A production BFT deployment would have the requester verify
+// f+1 matching checkpoint digests before adopting one; the in-memory
+// transport carries no signatures, so this implementation trusts the first
+// usable reply — the Byzantine test hook corrupts client replies only.)
+func (r *Replica) onStateRequest(m message) {
+	if m.From == r.id || r.lastExec <= m.LastExec {
+		return
+	}
+	// Serialization is the expensive part — the marshaled snapshot AND the
+	// reply-record copy (retained replies can be large batch results) — so
+	// both are memoized per executed prefix: a burst of stalled peers is
+	// served one Snapshot call and one record copy. The cached values are
+	// shared read-only with every receiver (Restore only unmarshals the
+	// snapshot; onStateReply clones each result it merges). Results below a
+	// client's resolution floor are omitted: the floor itself tells the
+	// receiver they are stale, and under pipelining they are the bulk of the
+	// record.
+	if r.stateReplySeq != r.lastExec || r.stateReplyCache == nil {
+		r.stateReplySeq = r.lastExec
+		r.stateReplyCache = r.app.Snapshot()
+		replies := make(map[string]clientReplySnapshot, len(r.lastReply))
+		for id, rec := range r.lastReply {
+			res := make(map[uint64][]byte)
+			for reqID, result := range rec.results {
+				if reqID < rec.floor {
+					continue
+				}
+				res[reqID] = cloneBytes(result)
+			}
+			replies[id] = clientReplySnapshot{Results: res, Floor: rec.floor}
+		}
+		r.stateReplyClients = replies
+	}
+	r.net.SendToReplica(m.From, message{
+		Type:          msgStateReply,
+		From:          r.id,
+		LastExec:      r.lastExec,
+		Checkpoint:    r.stateReplyCache,
+		ClientReplies: r.stateReplyClients,
+	})
+}
+
+// onStateReply adopts a peer's state if it is ahead of ours: restore the
+// application snapshot, jump the executed prefix, merge the reply records,
+// and discard everything the jump made obsolete.
+func (r *Replica) onStateReply(m message) {
+	if m.LastExec <= r.lastExec {
+		return
+	}
+	if err := r.app.Restore(m.Checkpoint); err != nil {
+		return
+	}
+	r.lastExec = m.LastExec
+	r.setExecSnapshot(r.lastExec)
+	r.lastCheckpointSeq = m.LastExec
+	r.lastCheckpoint = cloneBytes(m.Checkpoint)
+	if r.highestSeq < m.LastExec {
+		r.highestSeq = m.LastExec
+	}
+	if r.nextSeq <= m.LastExec {
+		r.nextSeq = m.LastExec + 1
+	}
+	for id, snap := range m.ClientReplies {
+		rec := r.lastReply[id]
+		if rec == nil {
+			rec = &clientRecord{}
+			r.lastReply[id] = rec
+		}
+		for reqID, result := range snap.Results {
+			rec.record(reqID, cloneBytes(result))
+		}
+		rec.observeLow(snap.Floor)
+	}
+	for seq := range r.instances {
+		if seq <= r.lastExec {
+			delete(r.instances, seq)
+		}
+	}
+	// Requests the adopted state already resolved must leave pending, or they
+	// would keep the leader-liveness timer suspicious forever.
+	for key, p := range r.pending {
+		rec := r.lastReply[p.req.ClientID]
+		if _, ok := rec.recall(p.req.ReqID); ok || rec.stale(p.req.ReqID) {
+			delete(r.pending, key)
+		}
+	}
+	r.executeReady()
 }

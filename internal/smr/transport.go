@@ -12,7 +12,13 @@ import (
 type Transport interface {
 	// SendToReplica delivers a message to one replica (best effort).
 	SendToReplica(id int, m message)
-	// Broadcast delivers a message to every replica, including the sender.
+	// Broadcast delivers a message to every replica except the sender
+	// (identified by m.From when it is a replica). A replica's loopback does
+	// not traverse the network: replicas process their own copy of a
+	// broadcast synchronously and reliably (Replica.broadcast), because a
+	// protocol vote that can be dropped on the way to its own caster breaks
+	// quorum accounting in ways no retransmission repairs. Client broadcasts
+	// (From < 0) go to every replica.
 	Broadcast(m message)
 	// SendToClient delivers a reply to a client by ID (best effort).
 	SendToClient(clientID string, r Reply)
@@ -52,7 +58,10 @@ func (n *Network) registerReplica(id int, inbox chan message) {
 func (n *Network) RegisterClient(clientID string) chan Reply {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	ch := make(chan Reply, 256)
+	// Sized for a full pipelining window of replies from every replica, with
+	// headroom for re-driven duplicates; overflow is dropped and repaired by
+	// client retransmission against the replicas' reply records.
+	ch := make(chan Reply, 1024)
 	n.clients[clientID] = ch
 	return ch
 }
@@ -133,6 +142,9 @@ func (n *Network) Broadcast(m message) {
 	delay := n.delay
 	n.mu.Unlock()
 	for _, id := range ids {
+		if m.From >= 0 && id == m.From {
+			continue // replica loopback is handled locally, not via the network
+		}
 		n.deliverReplica(id, m, delay)
 	}
 }

@@ -147,6 +147,8 @@ const (
 	msgReply
 	msgViewChange
 	msgNewView
+	msgStateRequest
+	msgStateReply
 )
 
 func (t msgType) String() string {
@@ -165,6 +167,10 @@ func (t msgType) String() string {
 		return "VIEW-CHANGE"
 	case msgNewView:
 		return "NEW-VIEW"
+	case msgStateRequest:
+		return "STATE-REQUEST"
+	case msgStateReply:
+		return "STATE-REPLY"
 	default:
 		return fmt.Sprintf("msgType(%d)", int(t))
 	}
@@ -174,7 +180,14 @@ func (t msgType) String() string {
 type request struct {
 	ClientID string
 	ReqID    uint64
-	Op       []byte
+	// LowID is the client's lowest unresolved request ID when this message
+	// was sent — a piggybacked cumulative acknowledgement that every ID below
+	// it is resolved (completed or abandoned) and will never be retransmitted.
+	// Replicas prune their reply records below it; it is advisory for
+	// ordering (not part of the command digest, since retransmissions carry
+	// fresher values).
+	LowID uint64
+	Op    []byte
 }
 
 func (r request) key() string { return fmt.Sprintf("%s/%d", r.ClientID, r.ReqID) }
@@ -191,8 +204,19 @@ type message struct {
 	Result  []byte
 	// View change support.
 	LastExec   uint64
+	HighestSeq uint64
 	Checkpoint []byte
 	Pending    []request
+	// State transfer support: the sender's client reply records as of the
+	// checkpoint, so the receiver can keep deduplicating retransmissions after
+	// jumping over the executions it missed.
+	ClientReplies map[string]clientReplySnapshot
+}
+
+// clientReplySnapshot carries one client's reply record in a state transfer.
+type clientReplySnapshot struct {
+	Results map[uint64][]byte
+	Floor   uint64
 }
 
 // Reply is delivered to clients.

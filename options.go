@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"sync"
 	"time"
 
 	"scfs/internal/cloudsim"
@@ -12,8 +13,10 @@ import (
 	"scfs/internal/depsky"
 	"scfs/internal/depspace"
 	"scfs/internal/iopolicy"
+	"scfs/internal/metashard"
 	"scfs/internal/pricing"
 	"scfs/internal/resilience"
+	"scfs/internal/smr"
 	"scfs/internal/storage"
 	"scfs/internal/telemetry"
 )
@@ -47,6 +50,8 @@ type config struct {
 	clouds       []ObjectStore
 	simLatency   float64
 	coordination coord.Service
+	coordShards  int
+	maxInflight  int
 
 	memCacheBytes   int64
 	diskCacheBytes  int64
@@ -104,6 +109,26 @@ func WithSimulatedLatency(scale float64) Option { return func(c *config) { c.sim
 // WithCoordination replaces the default in-process DepSpace coordination
 // service (ignored in NonSharing mode, which uses none).
 func WithCoordination(svc coord.Service) Option { return func(c *config) { c.coordination = svc } }
+
+// WithCoordShards partitions the metadata namespace across n coordination
+// service instances by stable key hash — the scale-out the paper proposes
+// for going beyond one coordination service. Single-key operations route to
+// one shard, listings fan out and merge deterministically, and concurrent
+// updates of one key keep hitting the same shard, preserving conditional
+// update semantics. Applies to the default in-process coordination stack;
+// ignored when WithCoordination supplies a custom service (shard externally
+// with internal/metashard in that case) and in NonSharing mode.
+func WithCoordShards(n int) Option { return func(c *config) { c.coordShards = n } }
+
+// WithMaxInflight backs each coordination shard with a BFT-replicated
+// DepSpace instance (the paper's four-replica configuration) reached through
+// a pipelined client: up to window invocations are outstanding at once,
+// completing out of order, with concurrently submitted tuple operations
+// coalesced into batched invocations. window <= 0 selects the default
+// (smr.DefaultMaxInflight, 64); window == 1 serializes, reproducing the
+// pre-pipelining behavior. Applies to the default coordination stack, like
+// WithCoordShards.
+func WithMaxInflight(window int) Option { return func(c *config) { c.maxInflight = window } }
 
 // WithGC configures the multi-version garbage collector.
 func WithGC(policy GCPolicy) Option { return func(c *config) { c.gc = policy } }
@@ -217,8 +242,10 @@ type mountTelemetry struct {
 }
 
 // build assembles the provider, coordination and storage stack and mounts
-// the agent.
-func (c *config) build(ctx context.Context) (*core.Agent, mountTelemetry, error) {
+// the agent. The returned cleanup (which may be nil) releases resources the
+// agent does not own — the in-process coordination replica groups — and must
+// run after the agent unmounts.
+func (c *config) build(ctx context.Context) (*core.Agent, mountTelemetry, func(), error) {
 	var tel mountTelemetry
 	if c.metrics {
 		tel.metrics = telemetry.NewRegistry()
@@ -260,7 +287,7 @@ func (c *config) build(ctx context.Context) (*core.Agent, mountTelemetry, error)
 	case len(clouds) == 1:
 		sc, err := storage.NewSingleCloud(clouds[0], true)
 		if err != nil {
-			return nil, tel, fmt.Errorf("scfs: building single-cloud backend: %w", err)
+			return nil, tel, nil, fmt.Errorf("scfs: building single-cloud backend: %w", err)
 		}
 		sc.SetRates(prices.For(clouds[0].Provider()))
 		store = sc
@@ -276,7 +303,7 @@ func (c *config) build(ctx context.Context) (*core.Agent, mountTelemetry, error)
 			Tracer:   tel.tracer,
 		})
 		if err != nil {
-			return nil, tel, fmt.Errorf("scfs: building cloud-of-clouds backend: %w", err)
+			return nil, tel, nil, fmt.Errorf("scfs: building cloud-of-clouds backend: %w", err)
 		}
 		store = storage.NewCloudOfClouds(mgr)
 		pns = storage.NewCoCPNS(mgr)
@@ -294,13 +321,17 @@ func (c *config) build(ctx context.Context) (*core.Agent, mountTelemetry, error)
 			}
 		}
 	default:
-		return nil, tel, fmt.Errorf("scfs: need 1 cloud or at least %d (3f+1 with f=%d), have %d", 3*c.f+1, c.f, len(clouds))
+		return nil, tel, nil, fmt.Errorf("scfs: need 1 cloud or at least %d (3f+1 with f=%d), have %d", 3*c.f+1, c.f, len(clouds))
 	}
 
 	coordination := c.coordination
+	var cleanup func()
 	if coordination == nil && c.mode != NonSharing {
-		coordination = coord.NewDepSpaceService(
-			depspace.NewClient(&depspace.LocalInvoker{Space: depspace.NewSpace()}, c.user, nil))
+		var err error
+		coordination, cleanup, err = c.buildCoordination()
+		if err != nil {
+			return nil, tel, nil, err
+		}
 	}
 
 	agent, err := core.New(ctx, core.Options{
@@ -320,5 +351,99 @@ func (c *config) build(ctx context.Context) (*core.Agent, mountTelemetry, error)
 		Telemetry:            tel.metrics,
 		Metered:              metered,
 	})
-	return agent, tel, err
+	if err != nil {
+		if cleanup != nil {
+			cleanup()
+		}
+		return nil, tel, nil, err
+	}
+	return agent, tel, cleanup, nil
+}
+
+// buildCoordination assembles the default in-process coordination stack:
+// one local DepSpace by default, metashard-partitioned across WithCoordShards
+// instances, each backed by a BFT-replicated DepSpace group behind a
+// pipelined, coalescing client when WithMaxInflight asks for pipelining.
+func (c *config) buildCoordination() (coord.Service, func(), error) {
+	n := c.coordShards
+	if n < 1 {
+		n = 1
+	}
+	if n == 1 && c.maxInflight == 0 {
+		return coord.NewDepSpaceService(
+			depspace.NewClient(&depspace.LocalInvoker{Space: depspace.NewSpace()}, c.user, nil)), nil, nil
+	}
+	shards := make([]coord.Service, n)
+	var stops []func()
+	for i := range shards {
+		if c.maxInflight != 0 {
+			svc, stop, err := replicatedCoordShard(c.user, i, c.maxInflight)
+			if err != nil {
+				for _, s := range stops {
+					s()
+				}
+				return nil, nil, err
+			}
+			shards[i] = svc
+			stops = append(stops, stop)
+		} else {
+			shards[i] = coord.NewDepSpaceService(
+				depspace.NewClient(&depspace.LocalInvoker{Space: depspace.NewSpace()}, c.user, nil))
+		}
+	}
+	var cleanup func()
+	if len(stops) > 0 {
+		var once sync.Once
+		cleanup = func() {
+			once.Do(func() {
+				for _, s := range stops {
+					s()
+				}
+			})
+		}
+	}
+	if n == 1 {
+		return shards[0], cleanup, nil
+	}
+	sharded, err := metashard.New(shards)
+	if err != nil {
+		if cleanup != nil {
+			cleanup()
+		}
+		return nil, nil, err
+	}
+	return sharded, cleanup, nil
+}
+
+// replicatedCoordShard assembles one BFT-replicated DepSpace shard: four
+// in-process replicas (the paper's BFT-SMaRt configuration, f=1 Byzantine)
+// executing batched tuple commands, reached through a pipelined smr client
+// with a coalescing layer on top. The returned stop function closes the
+// client, stops the replicas and shuts the shard's network.
+func replicatedCoordShard(user string, shard, window int) (coord.Service, func(), error) {
+	ids := []int{0, 1, 2, 3}
+	cfg := smr.Config{ReplicaIDs: ids, Model: smr.ByzantineFaults}
+	net := smr.NewNetwork()
+	replicas := make([]*smr.Replica, 0, len(ids))
+	stop := func() {
+		for _, r := range replicas {
+			r.Stop()
+		}
+		net.Close()
+	}
+	for _, id := range ids {
+		r, err := smr.NewReplica(id, cfg, smr.NewBatchApplication(depspace.NewSpace()), net)
+		if err != nil {
+			stop()
+			return nil, nil, fmt.Errorf("scfs: building coordination shard %d: %w", shard, err)
+		}
+		r.Start()
+		replicas = append(replicas, r)
+	}
+	cli := smr.NewClient(fmt.Sprintf("%s-coord-%d", user, shard), cfg, net)
+	if window > 0 {
+		cli.MaxInflight = window
+	}
+	svc := coord.NewDepSpaceService(depspace.NewClient(smr.NewCoalescer(cli), user, nil))
+	return svc, func() { cli.Close(); stop() }, nil
 }

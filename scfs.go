@@ -151,6 +151,7 @@ type FS struct {
 	metrics *telemetry.Registry
 	tracer  *telemetry.Tracer
 	debug   *debugServer
+	cleanup func() // stops build-owned resources (coordination replica groups)
 }
 
 // New mounts an SCFS file system. With no options it assembles a fully
@@ -166,15 +167,18 @@ func New(ctx context.Context, opts ...Option) (*FS, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	agent, tel, err := cfg.build(ctx)
+	agent, tel, cleanup, err := cfg.build(ctx)
 	if err != nil {
 		return nil, err
 	}
-	m := &FS{agent: agent, metrics: tel.metrics, tracer: tel.tracer}
+	m := &FS{agent: agent, metrics: tel.metrics, tracer: tel.tracer, cleanup: cleanup}
 	if cfg.debugSet {
 		dbg, err := startDebugServer(cfg.debugAddr, m)
 		if err != nil {
 			_ = agent.Unmount(context.Background())
+			if cleanup != nil {
+				cleanup()
+			}
 			return nil, err
 		}
 		m.debug = dbg
@@ -259,7 +263,13 @@ func (m *FS) Unmount(ctx context.Context) error {
 	if m.debug != nil {
 		m.debug.shutdown(ctx)
 	}
-	return m.agent.Unmount(ctx)
+	err := m.agent.Unmount(ctx)
+	if m.cleanup != nil {
+		// The final flush may still have needed coordination, so the replica
+		// groups stop only after the agent is down. Idempotent.
+		m.cleanup()
+	}
+	return err
 }
 
 // Close is Unmount, under the name Go readers expect on a resource.
