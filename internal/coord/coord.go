@@ -22,11 +22,17 @@ type ACL struct {
 	Writers []string
 }
 
-// Record is one stored metadata entry.
+// Record is one stored metadata entry. ACL is the access policy stored with
+// the record, populated by backends that enforce ACLs (DepSpace); backends
+// without server-side ACLs (the znode backend) leave it zero. Carrying it in
+// reads lets record-by-record moves — the sharded router's cross-shard
+// RenamePrefix — re-store each record under its original policy instead of
+// silently widening access.
 type Record struct {
 	Key     string
 	Value   []byte
 	Version uint64
+	ACL     ACL
 }
 
 // Sentinel errors shared by all coordination backends.

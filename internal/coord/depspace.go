@@ -37,6 +37,10 @@ func dsACL(a ACL) depspace.ACL {
 	return depspace.ACL{Owner: a.Owner, Readers: a.Readers, Writers: a.Writers}
 }
 
+func fromDSACL(a depspace.ACL) ACL {
+	return ACL{Owner: a.Owner, Readers: a.Readers, Writers: a.Writers}
+}
+
 func encodePayload(v []byte) string { return base64.StdEncoding.EncodeToString(v) }
 
 func decodePayload(s string) ([]byte, error) { return base64.StdEncoding.DecodeString(s) }
@@ -67,7 +71,7 @@ func (d *DepSpaceService) GetMetadata(ctx context.Context, key string) (Record, 
 	if err != nil {
 		return Record{}, fmt.Errorf("coord: corrupt metadata payload for %q: %w", key, err)
 	}
-	return Record{Key: key, Value: val, Version: e.Version}, nil
+	return Record{Key: key, Value: val, Version: e.Version, ACL: fromDSACL(e.ACL)}, nil
 }
 
 // PutMetadata implements Service.
@@ -117,7 +121,7 @@ func (d *DepSpaceService) ListMetadata(ctx context.Context, prefix string) ([]Re
 		if err != nil {
 			continue
 		}
-		out = append(out, Record{Key: key, Value: val, Version: e.Version})
+		out = append(out, Record{Key: key, Value: val, Version: e.Version, ACL: fromDSACL(e.ACL)})
 	}
 	return out, nil
 }

@@ -152,7 +152,7 @@ func (z *ZKService) RenamePrefix(ctx context.Context, oldPrefix, newPrefix strin
 			continue
 		}
 		newKey := newPrefix + strings.TrimPrefix(r.Key, oldPrefix)
-		if _, err := z.PutMetadata(ctx, newKey, r.Value, ACL{}); err != nil {
+		if _, err := z.PutMetadata(ctx, newKey, r.Value, r.ACL); err != nil {
 			return count, err
 		}
 		if err := z.DeleteMetadata(ctx, r.Key); err != nil {

@@ -190,8 +190,9 @@ func renameMatches(key, oldPrefix string) bool {
 // record may exist under BOTH keys (copied but not yet deleted), and the rest
 // are untouched under their old keys; the returned count is k. Re-issuing the
 // same rename is safe and completes the move (already-moved records no longer
-// match oldPrefix). Backend-enforced ACLs are not carried across shards by a
-// move (the same limitation as the znode backend's record-by-record rename).
+// match oldPrefix). Each copy re-stores the record under the ACL the source
+// shard reported (coord.Record.ACL), so backend-enforced access policies
+// survive the move on backends that expose them.
 func (s *Service) RenamePrefix(ctx context.Context, oldPrefix, newPrefix string) (int, error) {
 	if s.mode == SubtreeMode {
 		src, dst := s.ShardFor(oldPrefix), s.ShardFor(newPrefix)
@@ -209,7 +210,7 @@ func (s *Service) RenamePrefix(ctx context.Context, oldPrefix, newPrefix string)
 			continue
 		}
 		newKey := newPrefix + strings.TrimPrefix(r.Key, oldPrefix)
-		if _, err := s.shard(newKey).PutMetadata(ctx, newKey, r.Value, coord.ACL{}); err != nil {
+		if _, err := s.shard(newKey).PutMetadata(ctx, newKey, r.Value, r.ACL); err != nil {
 			return count, fmt.Errorf("metashard: rename copy of %q: %w", r.Key, err)
 		}
 		if err := s.shard(r.Key).DeleteMetadata(ctx, r.Key); err != nil {

@@ -278,6 +278,50 @@ func TestRenamePartialFailureContract(t *testing.T) {
 	}
 }
 
+// TestCrossShardRenamePreservesACLs pins the access-policy fix: the
+// record-by-record cross-shard move must re-store each record under the ACL
+// the source shard reported, not a blank (world-accessible) one.
+func TestCrossShardRenamePreservesACLs(t *testing.T) {
+	spaces := []*depspace.Space{depspace.NewSpace(), depspace.NewSpace(), depspace.NewSpace()}
+	asPrincipal := func(who string) *Service {
+		shards := make([]coord.Service, len(spaces))
+		for i, sp := range spaces {
+			shards[i] = coord.NewDepSpaceService(depspace.NewClient(&depspace.LocalInvoker{Space: sp}, who, nil))
+		}
+		s, err := New(shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	owner := asPrincipal("agent")
+	intruder := asPrincipal("mallory")
+
+	acl := coord.ACL{Owner: "agent"}
+	const total = 10
+	for i := 0; i < total; i++ {
+		if _, err := owner.PutMetadata(bg, fmt.Sprintf("sec/f%02d", i), []byte("v"), acl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := owner.RenamePrefix(bg, "sec", "prot"); err != nil || n != total {
+		t.Fatalf("rename = %d, %v (want %d, nil)", n, err, total)
+	}
+	for i := 0; i < total; i++ {
+		key := fmt.Sprintf("prot/f%02d", i)
+		rec, err := owner.GetMetadata(bg, key)
+		if err != nil {
+			t.Fatalf("owner get %s: %v", key, err)
+		}
+		if rec.ACL.Owner != "agent" {
+			t.Fatalf("record %s lost its ACL in the move: owner = %q, want %q", key, rec.ACL.Owner, "agent")
+		}
+		if _, err := intruder.GetMetadata(bg, key); err == nil {
+			t.Fatalf("record %s became readable by another principal after the cross-shard move", key)
+		}
+	}
+}
+
 func TestSubtreeListTargetsOneShard(t *testing.T) {
 	s := newSharded(t, 4, WithSubtreePartition())
 	acl := coord.ACL{Owner: "agent"}

@@ -49,6 +49,15 @@ func DecodeBatch(b []byte) ([][]byte, bool) {
 		return nil, true
 	}
 	b = b[sz:]
+	// The count is untrusted until checked against the payload: every op
+	// needs at least its one-byte length varint, so a count exceeding the
+	// remaining bytes is malformed. Rejecting it here also bounds the
+	// preallocation below — a forged count must not panic make() inside
+	// Application.Execute, where every replica would crash on the same
+	// ordered command.
+	if n > uint64(len(b)) {
+		return nil, true
+	}
 	ops := make([][]byte, 0, n)
 	for i := uint64(0); i < n; i++ {
 		l, sz := binary.Uvarint(b)
@@ -131,9 +140,12 @@ type Coalescer struct {
 	full     chan struct{} // signaled when the queue reaches MaxBatch
 }
 
-// batchItem is one queued operation and its reply slot.
+// batchItem is one queued operation and its reply slot. ctx is the
+// submitter's context; the flush aborts only when every item's context is
+// done (see flush), so it must be retained past the submitter's return.
 type batchItem struct {
 	op     []byte
+	ctx    context.Context
 	done   chan struct{}
 	result []byte
 	err    error
@@ -153,15 +165,15 @@ func (c *Coalescer) maxBatch() int {
 
 // Invoke implements the invoker shape shared by the coordination clients.
 // Cancelling ctx abandons the wait for the reply; as with a lost reply, the
-// operation may still execute. The flusher invokes the batch under its own
-// ctx: a follower's cancellation never aborts the batch, and a flusher's
-// cancellation fails the batch's items with the flusher's ctx error (they
-// were never sent).
+// operation may still execute. The batch itself is invoked under a context
+// detached from any single caller — one caller's cancellation (flusher or
+// follower) never fails the other queued operations; the invocation is
+// abandoned only once every participant's context is done.
 func (c *Coalescer) Invoke(ctx context.Context, op []byte) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	item := &batchItem{op: op, done: make(chan struct{})}
+	item := &batchItem{op: op, ctx: ctx, done: make(chan struct{})}
 	c.mu.Lock()
 	c.queue = append(c.queue, item)
 	leader := !c.flushing
@@ -208,17 +220,42 @@ func (c *Coalescer) Invoke(ctx context.Context, op []byte) ([]byte, error) {
 	c.full = nil
 	c.mu.Unlock()
 
-	c.flush(ctx, batch)
-	return item.result, item.err
+	// The flush runs in its own goroutine so a flusher whose ctx is already
+	// cancelled (or cancels mid-invocation) abandons its wait like any
+	// follower, while the batch completes for the other submitters.
+	go c.flush(batch)
+	select {
+	case <-item.done:
+		return item.result, item.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // flush issues one generation of queued operations and distributes replies.
-func (c *Coalescer) flush(ctx context.Context, batch []*batchItem) {
-	switch len(batch) {
-	case 0:
+// The invocation runs under a context detached from every individual caller,
+// cancelled only once all batch items' contexts are done — at that point
+// nobody is waiting for the replies and the invocation may be abandoned.
+func (c *Coalescer) flush(batch []*batchItem) {
+	if len(batch) == 0 {
 		return
-	case 1:
-		batch[0].result, batch[0].err = c.Inv.Invoke(ctx, batch[0].op)
+	}
+	fctx, cancel := context.WithCancel(context.Background())
+	stop := make(chan struct{})
+	go func() {
+		defer cancel()
+		for _, it := range batch {
+			select {
+			case <-it.ctx.Done():
+			case <-stop:
+				return
+			}
+		}
+	}()
+	defer close(stop)
+
+	if len(batch) == 1 {
+		batch[0].result, batch[0].err = c.Inv.Invoke(fctx, batch[0].op)
 		close(batch[0].done)
 		return
 	}
@@ -226,7 +263,7 @@ func (c *Coalescer) flush(ctx context.Context, batch []*batchItem) {
 	for i, it := range batch {
 		ops[i] = it.op
 	}
-	reply, err := c.Inv.Invoke(ctx, EncodeBatch(ops))
+	reply, err := c.Inv.Invoke(fctx, EncodeBatch(ops))
 	if err == nil {
 		replies, isBatch := DecodeBatch(reply)
 		if !isBatch || len(replies) != len(batch) {

@@ -31,7 +31,7 @@ type Replica struct {
 	instances  map[uint64]*instance
 	pending    map[string]pendingReq
 	lastReply  map[string]*clientRecord
-	vcVotes    map[int]map[int]bool
+	vcVotes    map[int]*viewChangeTally
 
 	// Checkpointing.
 	lastCheckpointSeq uint64
@@ -143,6 +143,21 @@ type instance struct {
 	sentPrep bool
 	sentComm bool
 	executed bool
+	// prepared is sticky: it records that (seq, digest) once reached the
+	// prepare quorum, and survives the vote-map reset at a view change. It is
+	// what a VIEW-CHANGE message certifies — the request may have committed
+	// somewhere, so its sequence-number assignment must be preserved.
+	prepared bool
+}
+
+// viewChangeTally accumulates one prospective view's VIEW-CHANGE votes: who
+// voted, the prepared certificates they carried, and the highest executed
+// prefix any voter reported. The certificates and maxExec are what the new
+// leader needs to fill the log without contradicting prior views (onNewView).
+type viewChangeTally struct {
+	votes   map[int]bool
+	certs   map[uint64]preparedCert
+	maxExec uint64
 }
 
 // NewReplica creates a replica and registers it with the network. Call Start
@@ -174,7 +189,7 @@ func NewReplica(id int, cfg Config, app Application, net *Network) (*Replica, er
 		instances: make(map[uint64]*instance),
 		pending:   make(map[string]pendingReq),
 		lastReply: make(map[string]*clientRecord),
-		vcVotes:   make(map[int]map[int]bool),
+		vcVotes:   make(map[int]*viewChangeTally),
 	}
 	net.registerReplica(id, r.inbox)
 	return r, nil
@@ -433,9 +448,12 @@ func (r *Replica) maybeAdvance(seq uint64) {
 		return
 	}
 	quorum := r.cfg.Model.QuorumSize(r.cfg.N())
-	if inst.hasReq && !inst.sentComm && len(inst.prepares) >= quorum {
-		inst.sentComm = true
-		r.broadcast(message{Type: msgCommit, From: r.id, View: r.view, Seq: seq, Digest: inst.digest})
+	if inst.hasReq && len(inst.prepares) >= quorum {
+		inst.prepared = true
+		if !inst.sentComm {
+			inst.sentComm = true
+			r.broadcast(message{Type: msgCommit, From: r.id, View: r.view, Seq: seq, Digest: inst.digest})
+		}
 	}
 	r.executeReady()
 }
@@ -473,26 +491,26 @@ func (r *Replica) executeReady() {
 			r.lastReply[req.ClientID] = rec
 		}
 		rec.observeLow(req.LowID)
-		if rec.stale(req.ReqID) {
-			// Below the client's resolution floor: the request may already
-			// have executed (and its reply was pruned), so neither
-			// re-executing nor replying is safe — and the client declared it
-			// resolved. The instance stays (executed, unapplied) until the
-			// checkpoint prune so lagging replicas can still be repaired past
-			// this sequence number.
-			continue
-		}
 		result, executedBefore := rec.recall(req.ReqID)
 		if !executedBefore {
-			// Not yet executed (a recalled reply means this request was
-			// re-proposed after a view change): apply it and record the reply.
+			// Apply unconditionally: whether a committed command executes must
+			// be a pure function of the ordered log, never of the client's
+			// resolution floor — the floor rides on retransmissions and
+			// advances at different replicas at different times, so gating
+			// execution on it would let replicas diverge on the same sequence
+			// number. The floor's only jobs are pruning stored replies and
+			// muting the reply send below; at-most-once across instances is
+			// guarded at proposal time instead (onRequest, onViewChange and
+			// onNewView all refuse to re-propose a resolved request).
 			result = r.app.Execute(req.Op)
 			rec.record(req.ReqID, result)
 			r.statsMu.Lock()
 			r.executed++
 			r.statsMu.Unlock()
 		}
-		r.sendReply(req, result)
+		if !rec.stale(req.ReqID) {
+			r.sendReply(req, result)
+		}
 		// Executed instances are retained until the next checkpoint: the
 		// leader can re-drive them for lagging replicas (see onPrePrepare).
 		if r.lastExec-r.lastCheckpointSeq >= uint64(r.cfg.CheckpointInterval) {
@@ -570,6 +588,17 @@ func (r *Replica) viewChangeMsg(newView int) message {
 		pend = append(pend, p.req)
 	}
 	sort.Slice(pend, func(i, j int) bool { return pend[i].key() < pend[j].key() })
+	// Certify every unexecuted instance that reached the prepare quorum: its
+	// request may have committed at other replicas, so the new leader must
+	// re-propose it at this exact sequence number. Executed instances need no
+	// certificate — LastExec tells the leader to leave that prefix alone.
+	var certs []preparedCert
+	for seq, inst := range r.instances {
+		if inst.hasReq && !inst.executed && inst.prepared {
+			certs = append(certs, preparedCert{Seq: seq, Digest: inst.digest, Req: inst.req})
+		}
+	}
+	sort.Slice(certs, func(i, j int) bool { return certs[i].Seq < certs[j].Seq })
 	return message{
 		Type:       msgViewChange,
 		From:       r.id,
@@ -577,6 +606,7 @@ func (r *Replica) viewChangeMsg(newView int) message {
 		LastExec:   r.lastExec,
 		HighestSeq: r.highestSeq,
 		Pending:    pend,
+		Prepared:   certs,
 	}
 }
 
@@ -591,12 +621,24 @@ func (r *Replica) onViewChange(m message) {
 		}
 		return
 	}
-	votes, ok := r.vcVotes[m.View]
+	tally, ok := r.vcVotes[m.View]
 	if !ok {
-		votes = make(map[int]bool)
-		r.vcVotes[m.View] = votes
+		tally = &viewChangeTally{votes: make(map[int]bool), certs: make(map[uint64]preparedCert)}
+		r.vcVotes[m.View] = tally
 	}
-	votes[m.From] = true
+	tally.votes[m.From] = true
+	if m.LastExec > tally.maxExec {
+		tally.maxExec = m.LastExec
+	}
+	// Collect the prepared certificates the vote carries. Correct replicas
+	// cannot certify different digests for one sequence number (both would
+	// need prepare quorums, which intersect in a correct replica that accepts
+	// only one digest per instance), so first-seen wins.
+	for _, cert := range m.Prepared {
+		if _, ok := tally.certs[cert.Seq]; !ok {
+			tally.certs[cert.Seq] = cert
+		}
+	}
 	// Learn the highest sequence number assigned anywhere in the vote quorum,
 	// so a new leader knows how far its gap filling must reach.
 	if m.HighestSeq > r.highestSeq {
@@ -620,12 +662,12 @@ func (r *Replica) onViewChange(m message) {
 	// which means at least one correct replica is ahead of us and views
 	// would otherwise scatter without ever assembling a quorum in any one.
 	f := r.cfg.Model.MaxFaults(r.cfg.N())
-	if !votes[r.id] && (m.View == r.view+1 || len(votes) > f) {
-		votes[r.id] = true
+	if !tally.votes[r.id] && (m.View == r.view+1 || len(tally.votes) > f) {
+		tally.votes[r.id] = true
 		r.broadcast(r.viewChangeMsg(m.View))
 	}
 	quorum := r.cfg.Model.QuorumSize(r.cfg.N())
-	if len(votes) >= quorum && r.cfg.LeaderFor(m.View) == r.id {
+	if len(tally.votes) >= quorum && r.cfg.LeaderFor(m.View) == r.id {
 		// We are the leader of the new view: announce it.
 		r.broadcast(message{Type: msgNewView, From: r.id, View: m.View, LastExec: r.lastExec})
 	}
@@ -638,40 +680,64 @@ func (r *Replica) onNewView(m message) {
 	r.view = m.View
 	r.setViewSnapshot(r.view)
 	r.lastLeaderSeen = time.Now()
-	// Drop in-flight instances above the last executed command; the new
-	// leader re-proposes pending requests with fresh sequence numbers.
-	for seq := range r.instances {
-		if !r.instances[seq].executed {
+	// Drop unprepared in-flight instances — nothing can have committed at
+	// their sequence numbers, so the new leader is free to reassign them.
+	// Prepared instances are retained as local certificates (their request
+	// may have committed elsewhere, and a later view change must still be
+	// able to certify them), but their vote maps are reset: prepares and
+	// commits are only comparable within one view's proposal, and the commits
+	// a null fill at the same sequence number would attract must not count
+	// toward a conflicting retained request.
+	for seq, inst := range r.instances {
+		switch {
+		case inst.executed:
+		case inst.prepared:
+			inst.prepares = make(map[int]bool)
+			inst.commits = make(map[int]bool)
+			inst.sentPrep = false
+			inst.sentComm = false
+		default:
 			delete(r.instances, seq)
 		}
 	}
 	if r.nextSeq <= r.highestSeq {
 		r.nextSeq = r.highestSeq + 1
 	}
+	tally := r.vcVotes[m.View]
 	for v := range r.vcVotes {
 		if v <= m.View {
 			delete(r.vcVotes, v)
 		}
 	}
 	if r.isLeader() {
-		// Execution is strictly in sequence order, and the unexecuted
-		// instances just dropped leave holes between lastExec and the highest
-		// sequence number the previous views assigned — holes nothing will
-		// ever fill, wedging the log forever. Re-propose the pending requests
-		// into those holes first (deterministic order), fill any holes left
-		// over with null commands (the PBFT null-request rule), and give
-		// whatever pending remains fresh sequence numbers.
-		keys := make([]string, 0, len(r.pending))
-		for k := range r.pending {
-			keys = append(keys, k)
+		// Execution is strictly in sequence order, and the instances dropped
+		// above leave holes between lastExec and the highest sequence number
+		// the previous views assigned — holes nothing will ever fill, wedging
+		// the log forever. Fill them by the PBFT new-view rule: a sequence
+		// number with a prepared certificate in the view-change quorum gets
+		// its certified request re-proposed (the request may have committed
+		// there, so any other assignment could contradict an executed
+		// replica); a genuinely unprepared hole gets a null command. Sequence
+		// numbers at or below the highest executed prefix reported by the
+		// quorum are left alone entirely — they were executed somewhere, this
+		// replica may be behind, and state transfer (not re-proposal) is what
+		// repairs an executed prefix.
+		certs := map[uint64]preparedCert{}
+		base := r.lastExec
+		if tally != nil {
+			certs = tally.certs
+			if tally.maxExec > base {
+				base = tally.maxExec
+			}
 		}
-		sort.Strings(keys)
-		i := 0
-		for seq := r.lastExec + 1; seq <= r.highestSeq; seq++ {
-			var req request // null command unless a pending request fills it
-			if i < len(keys) {
-				req = r.pending[keys[i]].req
-				i++
+		for seq := base + 1; seq <= r.highestSeq; seq++ {
+			var req request // null command unless a certificate pins this slot
+			if cert, ok := certs[seq]; ok {
+				req = cert.Req
+			} else if inst, ok := r.instances[seq]; ok && inst.hasReq && !inst.executed && inst.prepared {
+				// Our own retained certificate; it may predate our vote's
+				// inclusion in the tally.
+				req = inst.req
 			}
 			r.broadcast(message{
 				Type:   msgPrePrepare,
@@ -682,8 +748,23 @@ func (r *Replica) onNewView(m message) {
 				Req:    req,
 			})
 		}
-		for ; i < len(keys); i++ {
-			r.propose(r.pending[keys[i]].req)
+		// Whatever pending remains uncertified gets fresh sequence numbers —
+		// except requests the client already resolved: their replies may be
+		// pruned, so re-proposing them could re-execute a completed command
+		// (propose skips the certified ones above via their live instances).
+		keys := make([]string, 0, len(r.pending))
+		for k := range r.pending {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			p := r.pending[k]
+			rec := r.lastReply[p.req.ClientID]
+			if _, done := rec.recall(p.req.ReqID); done || rec.stale(p.req.ReqID) {
+				delete(r.pending, k)
+				continue
+			}
+			r.propose(p.req)
 		}
 	} else {
 		// Restart liveness accounting in the new view.

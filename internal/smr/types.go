@@ -207,10 +207,27 @@ type message struct {
 	HighestSeq uint64
 	Checkpoint []byte
 	Pending    []request
+	// Prepared carries the sender's prepared certificates in a VIEW-CHANGE
+	// message, so the new leader re-proposes certified requests at their
+	// original sequence numbers (the PBFT new-view rule) instead of guessing
+	// an assignment that could contradict what other replicas committed.
+	Prepared []preparedCert
 	// State transfer support: the sender's client reply records as of the
 	// checkpoint, so the receiver can keep deduplicating retransmissions after
 	// jumping over the executions it missed.
 	ClientReplies map[string]clientReplySnapshot
+}
+
+// preparedCert certifies that an instance reached the prepare quorum at the
+// sender: a pre-prepare plus matching prepares for (Seq, Digest). Any request
+// that committed anywhere was prepared at a quorum, so every view-change
+// quorum intersects that prepare quorum in at least one correct replica —
+// collecting the certificates of a view-change quorum is enough for the new
+// leader to learn every sequence-number assignment it must preserve.
+type preparedCert struct {
+	Seq    uint64
+	Digest string
+	Req    request
 }
 
 // clientReplySnapshot carries one client's reply record in a state transfer.
