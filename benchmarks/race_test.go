@@ -1,0 +1,8 @@
+//go:build race
+
+package benchmarks
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-footprint assertions are gated on it because detector shadow
+// memory skews per-path allocation totals.
+const raceEnabled = true

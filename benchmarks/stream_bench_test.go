@@ -174,6 +174,18 @@ func TestStreamedWriteMemoryFootprint(t *testing.T) {
 	t.Logf("whole-object: %.1f MiB allocated, ~%.1f MiB peak heap growth", mib(wholeAlloc), mib(wholePeak))
 	t.Logf("streamed:     %.1f MiB allocated, ~%.1f MiB peak heap growth", mib(streamAlloc), mib(streamPeak))
 
+	if raceEnabled {
+		// The race detector instruments every allocation with shadow
+		// state, inflating the streamed path (many small pooled buffers
+		// crossing goroutines) far more than the whole-object path (a few
+		// large slabs) — the 25% ratio measures the allocator, not the
+		// pipeline, under -race. Both paths still ran above, so the
+		// pipeline itself stays race-checked; only the ratio assertion is
+		// meaningless here.
+		t.Skipf("skipping allocation-ratio assertion under -race (ratio %.1f%% reflects detector shadow memory)",
+			100*float64(streamAlloc)/float64(wholeAlloc))
+	}
+
 	if ratio := float64(streamAlloc) / float64(wholeAlloc); ratio >= 0.25 {
 		t.Fatalf("streamed write allocated %.1f%% of the whole-object path (%.1f of %.1f MiB), want < 25%%",
 			100*ratio, mib(streamAlloc), mib(wholeAlloc))

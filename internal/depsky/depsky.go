@@ -100,11 +100,24 @@ type VersionInfo struct {
 // Chunked reports whether the version uses the v2 chunked layout.
 func (v *VersionInfo) Chunked() bool { return v.ChunkSize > 0 }
 
+// MaxChunkSize is the largest chunk a v2 version may declare (256 MiB); a
+// wire-protocol constant, not a tuning knob. Writers clamp their configured
+// chunk size to it; readers reject metadata beyond it. The cap is what
+// bounds a reader's allocations against forged metadata: VersionInfo is
+// JSON from possibly-corrupt clouds, and before certification or the
+// end-to-end hash check its Size/ChunkSize fields are attacker-chosen. With
+// the cap, reassembling a forged variant can allocate at most
+// len(ChunkHashes) x MaxChunkSize — linear in metadata bytes the attacker
+// must actually store — instead of any 17-byte JSON integer commanding a
+// terabyte make().
+const MaxChunkSize = 256 << 20
+
 // validChunking reports whether the chunk geometry is internally
 // consistent. Readers check it before slicing buffers by chunk arithmetic,
-// so metadata from a corrupt cloud can fail a read but never panic it.
+// so metadata from a corrupt cloud can fail a read but never panic it (nor
+// size an unbounded allocation — see MaxChunkSize).
 func (v *VersionInfo) validChunking() bool {
-	if v.ChunkSize <= 0 || v.Size < 0 || v.ChunkCount < 0 {
+	if v.ChunkSize <= 0 || v.ChunkSize > MaxChunkSize || v.Size < 0 || v.ChunkCount < 0 {
 		return false
 	}
 	wantChunks := (v.Size + v.ChunkSize - 1) / v.ChunkSize
@@ -213,7 +226,8 @@ type Options struct {
 	// Prefix namespaces every object written by this manager.
 	Prefix string
 	// ChunkSize is the plaintext bytes per chunk for streamed writes
-	// (WriteFrom). Defaults to stream.DefaultChunkSize (1 MiB).
+	// (WriteFrom). Defaults to stream.DefaultChunkSize (1 MiB); values
+	// above MaxChunkSize are clamped to it (wire-protocol cap).
 	ChunkSize int
 	// WriteWindow bounds the number of chunks simultaneously resident in
 	// the streaming write pipeline. Defaults to stream.DefaultWindow.
@@ -1079,7 +1093,16 @@ func (m *Manager) tryDecode(blocks []*block, info VersionInfo, scratch *decodeSc
 		return nil, fmt.Errorf("depsky: recovering key: %w", err)
 	}
 	// The ciphertext length is the plaintext length plus the IV prefix.
+	// info.Size is wire-decoded metadata that is only proven honest by the
+	// DataHash check at the end of this function — it must not size an
+	// allocation before then. The shards actually fetched bound it: a join
+	// can never yield more than DataShards full shards of ciphertext, so a
+	// forged Size is rejected here for bytes instead of panicking (or OOMing)
+	// make() below (the DecodeBatch bug class, metadata edition).
 	cipherLen := info.Size + seccrypto.CiphertextOverhead
+	if maxJoin := m.coder.DataShards * shardSize; info.Size < 0 || cipherLen < 0 || cipherLen > maxJoin {
+		return nil, fmt.Errorf("%w: metadata size %d inconsistent with %d fetched shard bytes", ErrIntegrity, info.Size, maxJoin)
+	}
 	ciphertext := scratch.get(cipherLen)
 	if err := m.coder.JoinInto(ciphertext, shards, cipherLen); err != nil {
 		return nil, fmt.Errorf("depsky: joining shards: %w", err)

@@ -1,0 +1,73 @@
+package depsky
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestForgedMetadataSizeBounded pins the metadata edition of the
+// DecodeBatch bug class (and the untrustedalloc invariant): VersionInfo is
+// JSON from possibly-corrupt clouds, so a forged Size must be rejected
+// against the bytes actually fetched — before it sizes an allocation — not
+// discovered by an OOM inside make(). A terabyte Size costs the attacker
+// ~17 bytes of JSON; the genuine shards on the honest clouds bound what a
+// join can ever produce.
+func TestForgedMetadataSizeBounded(t *testing.T) {
+	_, m := newManager(t, ProtocolCA)
+	data := bytes.Repeat([]byte{0xAB}, 4096)
+	info, err := m.Write(bg, "u", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	forged := info
+	forged.Size = 1 << 40 // 1 TiB claimed, 4 KiB stored
+	if _, err := m.readVersion(bg, "u", forged); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("forged Size: err = %v, want ErrIntegrity", err)
+	}
+
+	negative := info
+	negative.Size = -1
+	if _, err := m.readVersion(bg, "u", negative); err == nil {
+		t.Fatal("negative Size: want error, got nil")
+	}
+
+	// The genuine metadata still reads back fine.
+	got, err := m.readVersion(bg, "u", info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+// TestChunkSizeWireCap: the v2 chunk geometry is attacker-chosen until
+// certification, and readChunkedVersion preallocates the reassembly buffer
+// from it. MaxChunkSize is the wire cap that keeps that allocation linear
+// in the metadata the attacker must actually store: a single-chunk variant
+// declaring a huge ChunkSize must fail validation, and the writer clamps
+// its configured chunk size so it can never emit versions readers reject.
+func TestChunkSizeWireCap(t *testing.T) {
+	huge := VersionInfo{Number: 1, Size: 1 << 40, ChunkSize: 1 << 40, ChunkCount: 1,
+		ChunkHashes: [][]string{nil}, Protocol: ProtocolCA}
+	if huge.validChunking() {
+		t.Fatal("ChunkSize beyond the wire cap accepted")
+	}
+	_, m := newChunkedManager(t, ProtocolCA, 2048)
+	if _, err := m.readChunkedVersion(bg, "u", huge); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("err = %v, want ErrIntegrity", err)
+	}
+
+	atCap := VersionInfo{Number: 1, Size: MaxChunkSize, ChunkSize: MaxChunkSize, ChunkCount: 1,
+		ChunkHashes: [][]string{nil}, Protocol: ProtocolCA}
+	if !atCap.validChunking() {
+		t.Fatal("ChunkSize at the wire cap rejected")
+	}
+
+	m.opts.ChunkSize = MaxChunkSize + 1
+	if got := m.chunkSize(); got != MaxChunkSize {
+		t.Fatalf("writer chunk size = %d, want clamped to %d", got, MaxChunkSize)
+	}
+}

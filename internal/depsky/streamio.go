@@ -30,12 +30,15 @@ import (
 	"scfs/internal/telemetry"
 )
 
-// chunkSize returns the configured streamed-write chunk size.
+// chunkSize returns the configured streamed-write chunk size, clamped to
+// the wire-protocol cap (readers reject metadata declaring more, so a
+// larger configured value would write unreadable versions).
 func (m *Manager) chunkSize() int {
-	if m.opts.ChunkSize > 0 {
-		return m.opts.ChunkSize
+	cs := m.opts.ChunkSize
+	if cs <= 0 {
+		return stream.DefaultChunkSize
 	}
-	return stream.DefaultChunkSize
+	return min(cs, MaxChunkSize)
 }
 
 // writeWindow returns the configured bound on in-flight chunks.
@@ -275,6 +278,7 @@ func (m *Manager) newChunkReader(ctx context.Context, f stream.Fetcher) *stream.
 	opts := stream.ReaderOptions{
 		Readahead:   pol.Readahead,
 		MaxParallel: pol.Limits.MaxParallelChunks,
+		//scfslint:ignore ctxdiscipline value-only base for prefetches; cancellation comes from the reader lifetime and trigger ctx
 		BaseContext: iopolicy.With(context.Background(), pol),
 	}
 	if m.ins != nil {

@@ -1,0 +1,179 @@
+// Package analysis is a dependency-free miniature of the
+// golang.org/x/tools/go/analysis framework: just enough surface (Analyzer,
+// Pass, Diagnostic) to write this repo's project-invariant analyzers against,
+// without pulling x/tools into the module. The shapes mirror x/tools
+// deliberately — if the dependency ever becomes acceptable, each analyzer
+// ports by swapping the import.
+//
+// An analyzer inspects one type-checked package at a time and reports
+// diagnostics. Suppression is explicit and auditable: a comment of the form
+//
+//	//scfslint:ignore <analyzer> <reason>
+//
+// on the flagged line or the line above it silences that analyzer at that
+// site. The reason is mandatory — a bare ignore is itself a diagnostic.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run applies the analyzer to one package. It reports findings via
+	// pass.Reportf and returns an error only for internal failures (a
+	// clean package returns nil with no diagnostics).
+	Run func(*Pass) error
+}
+
+// Pass carries one package's parsed and type-checked representation through
+// an analyzer run, exactly like an x/tools analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// Position resolves the diagnostic's file position.
+func (d Diagnostic) Position(fset *token.FileSet) token.Position {
+	return fset.Position(d.Pos)
+}
+
+// Reportf records a finding.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      pos,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies one analyzer to one package and returns its diagnostics with
+// //scfslint:ignore suppressions already applied, sorted by position.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	pass := &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	ig := collectIgnores(fset, files)
+	kept := pass.diags[:0]
+	for _, d := range pass.diags {
+		if !ig.matches(a.Name, fset.Position(d.Pos)) {
+			kept = append(kept, d)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Pos < kept[j].Pos })
+	return kept, nil
+}
+
+// ignoreKey locates one directive: suppressing diagnostics of one analyzer
+// on one line of one file.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+type ignoreSet map[ignoreKey]bool
+
+// collectIgnores scans comments for //scfslint:ignore directives. A
+// directive suppresses the named analyzer on its own line and the line
+// directly below (so it can sit above the flagged statement).
+func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
+	ig := ignoreSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "scfslint:ignore") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "scfslint:ignore"))
+				if len(fields) == 0 {
+					continue // malformed: no analyzer named; never matches
+				}
+				pos := fset.Position(c.Pos())
+				ig[ignoreKey{pos.Filename, pos.Line, fields[0]}] = true
+			}
+		}
+	}
+	return ig
+}
+
+func (ig ignoreSet) matches(analyzer string, pos token.Position) bool {
+	return ig[ignoreKey{pos.Filename, pos.Line, analyzer}] ||
+		ig[ignoreKey{pos.Filename, pos.Line - 1, analyzer}]
+}
+
+// PkgIs reports whether pkg is the project package identified by name: its
+// package name matches and its import path is either exactly name (fixture
+// packages in analyzer tests) or ends in "/"+name (the real module layout,
+// e.g. scfs/internal/telemetry). Analyzers use it so the same matching logic
+// covers production packages and testdata fixtures.
+func PkgIs(pkg *types.Package, name string) bool {
+	if pkg == nil {
+		return false
+	}
+	return pkg.Name() == name &&
+		(pkg.Path() == name || strings.HasSuffix(pkg.Path(), "/"+name))
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+// Most invariants bind library code only; tests may take shortcuts.
+func IsTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// FuncFor walks up the enclosing-node stack captured by WithStack and
+// returns the innermost enclosing function node (FuncDecl or FuncLit).
+func FuncFor(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// WithStack walks every node of every file, invoking fn with the node and
+// the stack of its ancestors (outermost first, node last). Returning false
+// from fn prunes the walk below the node.
+func WithStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if !fn(n, stack) {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,236 @@
+// Package analysistest runs a scfslint analyzer over fixture packages and
+// checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest without the dependency.
+//
+// Fixtures live under <testdata>/src/<importpath>/*.go. A fixture file marks
+// expected diagnostics with a comment on the offending line:
+//
+//	ops := make([][]byte, 0, n) // want `untrusted length`
+//
+// The quoted string is a regular expression matched against the diagnostic
+// message; several may follow one // want. Lines without a want comment must
+// produce no diagnostics. Fixture imports resolve first against sibling
+// fixture packages (so a fixture can declare a fake "telemetry" package),
+// then against the real standard library via compiled export data.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"scfs/internal/lint/analysis"
+	"scfs/internal/lint/loader"
+)
+
+// Run applies the analyzer to each named fixture package under
+// testdata/src and reports mismatches against the // want comments through
+// t.Errorf.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	src := filepath.Join(testdata, "src")
+	ld := newFixtureLoader(src)
+	for _, path := range pkgpaths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", path, err)
+			continue
+		}
+		diags, err := analysis.Run(a, ld.fset, pkg.files, pkg.types, pkg.info)
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		checkWants(t, ld.fset, pkg.files, diags)
+	}
+}
+
+// checkWants compares diagnostics against the fixture's want comments.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*wantExpect{}
+	for _, f := range files {
+		filename := fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, w := range parseWants(t, c.Text) {
+					pos := fset.Position(c.Pos())
+					wants[key{filename, pos.Line}] = append(wants[key{filename, pos.Line}], w)
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := d.Position(fset)
+		k := key{pos.Filename, pos.Line}
+		matched := false
+		for _, w := range wants[k] {
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", filepath.Base(k.file), k.line, w.re)
+			}
+		}
+	}
+}
+
+type wantExpect struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// parseWants extracts the quoted regexes from a // want comment.
+func parseWants(t *testing.T, comment string) []*wantExpect {
+	t.Helper()
+	text := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
+	if !strings.HasPrefix(text, "want ") {
+		return nil
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, "want "))
+	var out []*wantExpect
+	for rest != "" {
+		if rest[0] != '"' && rest[0] != '`' {
+			t.Errorf("malformed want comment: %s", comment)
+			return out
+		}
+		lit, remainder, err := scanString(rest)
+		if err != nil {
+			t.Errorf("malformed want comment %q: %v", comment, err)
+			return out
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			t.Errorf("bad want regexp %q: %v", lit, err)
+		} else {
+			out = append(out, &wantExpect{re: re})
+		}
+		rest = strings.TrimSpace(remainder)
+	}
+	return out
+}
+
+// scanString consumes one leading Go string literal (quoted or backquoted)
+// and returns its value and the remainder.
+func scanString(s string) (value, rest string, err error) {
+	quote := s[0]
+	for i := 1; i < len(s); i++ {
+		switch {
+		case quote == '"' && s[i] == '\\':
+			i++
+		case s[i] == quote:
+			v, err := strconv.Unquote(s[:i+1])
+			return v, s[i+1:], err
+		}
+	}
+	return "", "", fmt.Errorf("unterminated string literal")
+}
+
+// fixturePkg is one parsed, type-checked fixture package.
+type fixturePkg struct {
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+// fixtureLoader resolves fixture packages under a src root, with standard
+// library imports served from compiled export data. Fixture packages may
+// import each other by their path under src (e.g. "telemetry").
+type fixtureLoader struct {
+	src     string
+	fset    *token.FileSet
+	pkgs    map[string]*fixturePkg
+	exports map[string]string
+	gc      types.Importer
+}
+
+func newFixtureLoader(src string) *fixtureLoader {
+	ld := &fixtureLoader{src: src, fset: token.NewFileSet(), pkgs: map[string]*fixturePkg{}}
+	return ld
+}
+
+func (ld *fixtureLoader) load(path string) (*fixturePkg, error) {
+	if p, ok := ld.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(ld.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := loader.NewInfo()
+	conf := types.Config{
+		Importer: importerFunc(func(ipath string) (*types.Package, error) { return ld.importPkg(ipath) }),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %w", path, err)
+	}
+	p := &fixturePkg{files: files, types: tpkg, info: info}
+	ld.pkgs[path] = p
+	return p, nil
+}
+
+// importPkg resolves one import from a fixture file: fixture-local packages
+// win over the standard library so fixtures can fake project packages.
+func (ld *fixtureLoader) importPkg(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if st, err := os.Stat(filepath.Join(ld.src, filepath.FromSlash(path))); err == nil && st.IsDir() {
+		p, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.types, nil
+	}
+	if ld.gc == nil {
+		exp, err := loader.StdExports()
+		if err != nil {
+			return nil, err
+		}
+		ld.exports = exp
+		ld.gc = loader.ExportImporter(ld.fset, exp)
+	}
+	return ld.gc.Import(path)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

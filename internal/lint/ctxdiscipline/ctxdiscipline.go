@@ -1,0 +1,125 @@
+// Package ctxdiscipline enforces the repo's context contract below the
+// scfs facade.
+//
+// The whole stack is context-first (PR 3): cancellation must flow from the
+// caller down through every quorum fan-out, and a context conjured out of
+// thin air in a library breaks that chain. The Coalescer bug from the PR 8
+// review is the canonical failure: a batch flush tied to one caller's
+// context cancelled every participant's operation when that one caller gave
+// up. The few legitimate detached contexts (lifecycle roots held by an
+// agent with a Stop method, a flush that must outlive its trigger) are
+// exactly the places that deserve a written justification, which is what
+// the //scfslint:ignore directive provides.
+//
+// Rules, applied to non-test files of every package below the facade (the
+// root scfs package is the facade and is exempt):
+//
+//  1. no context.Background() / context.TODO() calls;
+//  2. a function that takes a context.Context takes it as its first
+//     parameter (interface methods included);
+//  3. no context.Context fields in structs — contexts are arguments, not
+//     state. A struct that genuinely is a request carrier (an inflight
+//     table entry, a queued batch item) documents itself with an ignore
+//     directive at the field.
+package ctxdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+
+	"scfs/internal/lint/analysis"
+)
+
+// Analyzer enforces the context contract.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxdiscipline",
+	Doc:  "no detached contexts below the facade; ctx is the first parameter; no ctx struct fields",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Path() == "scfs" {
+		return nil // the facade owns the root contexts
+	}
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CallExpr:
+				checkDetached(pass, node)
+			case *ast.FuncDecl:
+				checkParamOrder(pass, node.Type)
+			case *ast.InterfaceType:
+				for _, m := range node.Methods.List {
+					if ft, ok := m.Type.(*ast.FuncType); ok {
+						checkParamOrder(pass, ft)
+					}
+				}
+			case *ast.FuncLit:
+				// Literals inherit their context from the enclosing scope;
+				// a ctx parameter on a literal is unusual but legal in any
+				// position (e.g. matching a callback signature).
+			case *ast.StructType:
+				checkCtxField(pass, node)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDetached flags context.Background() and context.TODO().
+func checkDetached(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+		return
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+		return
+	}
+	pass.Reportf(call.Pos(), "context.%s() below the facade detaches this call chain from cancellation; thread the caller's ctx (or justify the detachment with a scfslint:ignore directive)", sel.Sel.Name)
+}
+
+// checkParamOrder flags context.Context parameters that are not first.
+func checkParamOrder(pass *analysis.Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isCtxType(pass, field.Type) && pos > 0 {
+			pass.Reportf(field.Pos(), "context.Context must be the first parameter")
+		}
+		pos += n
+	}
+}
+
+// checkCtxField flags context.Context struct fields.
+func checkCtxField(pass *analysis.Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if isCtxType(pass, field.Type) {
+			pass.Reportf(field.Pos(), "context.Context stored in a struct; pass ctx as an argument (request-carrier structs justify the field with a scfslint:ignore directive)")
+		}
+	}
+}
+
+// isCtxType reports whether the expression's type is context.Context.
+func isCtxType(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,19 @@
+package ctxdiscipline_test
+
+import (
+	"testing"
+
+	"scfs/internal/lint/analysistest"
+	"scfs/internal/lint/ctxdiscipline"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxdiscipline.Analyzer, "ctx")
+}
+
+// TestFacadeExempt pins the exemption: the root scfs package is the facade
+// and may own root contexts (the fixture package is literally named scfs
+// and calls context.Background with no expected diagnostics).
+func TestFacadeExempt(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxdiscipline.Analyzer, "scfs")
+}

@@ -1,0 +1,54 @@
+// Fixture for the ctxdiscipline analyzer: detached contexts, parameter
+// order, and contexts stored in structs.
+package ctx
+
+import "context"
+
+// detached conjures contexts out of thin air below the facade.
+func detached() {
+	ctx := context.Background() // want `context.Background\(\) below the facade`
+	_ = ctx
+	_ = context.TODO() // want `context.TODO\(\) below the facade`
+}
+
+// threaded receives and passes its context: clean.
+func threaded(ctx context.Context) error {
+	return blocking(ctx, "x")
+}
+
+func blocking(ctx context.Context, arg string) error {
+	_ = arg
+	return ctx.Err()
+}
+
+// ctxSecond takes its context in the wrong position.
+func ctxSecond(name string, ctx context.Context) { // want `context.Context must be the first parameter`
+	_ = name
+	_ = ctx
+}
+
+// Iface methods follow the same contract.
+type Iface interface {
+	Good(ctx context.Context, path string) error
+	Bad(path string, ctx context.Context) error // want `context.Context must be the first parameter`
+}
+
+// holder stores a context as state.
+type holder struct {
+	ctx context.Context // want `context.Context stored in a struct`
+}
+
+// carrier is an approved request carrier: the directive documents why.
+type carrier struct {
+	//scfslint:ignore ctxdiscipline fixture: request-carrier struct binding one call's ctx across an io seam
+	ctx context.Context
+}
+
+// justifiedDetach is a documented lifecycle root.
+func justifiedDetach() context.Context {
+	//scfslint:ignore ctxdiscipline fixture: lifecycle root cancelled by Stop
+	return context.Background()
+}
+
+var _ = holder{}
+var _ = carrier{}

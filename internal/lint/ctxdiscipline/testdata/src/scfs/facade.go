@@ -1,0 +1,9 @@
+// Fixture: the root scfs package IS the facade — it owns the root
+// contexts, so the detached-context rule does not apply here.
+package scfs
+
+import "context"
+
+func Mount() context.Context {
+	return context.Background() // facade-exempt: no diagnostic expected
+}

@@ -1,0 +1,208 @@
+// Package goroutinecancel flags goroutines with no reachable cancellation
+// or completion signal.
+//
+// The scenario harness hunts goroutine leaks dynamically (every chaos run
+// settles the goroutine count before and after); this analyzer catches the
+// same class statically at the spawn site. A goroutine in library code must
+// be joinable or cancellable: it should either observe a context, select on
+// a done/stop channel, hand completion to a WaitGroup, or call into a
+// function that takes a context. A bare `go func() { ch <- compute() }()`
+// is exactly the PR 3 leak class — it parks forever when the receiver gives
+// up first.
+//
+// Accepted cancellation/completion evidence inside the spawned function
+// (or, for a named same-package function, inside its body — one level
+// deep):
+//
+//   - any reference to a context.Context value;
+//   - any channel receive, range-over-channel, select, or close;
+//   - any reference to a sync.WaitGroup (bounded fan-out joined by Wait);
+//   - a call to a function whose first parameter is a context.Context.
+//
+// A goroutine with none of these has no path by which Stop, Unmount or a
+// caller's cancellation can reach it; either thread a signal through it or
+// justify it with a //scfslint:ignore directive.
+package goroutinecancel
+
+import (
+	"go/ast"
+	"go/types"
+
+	"scfs/internal/lint/analysis"
+)
+
+// Analyzer flags goroutines unreachable from any cancellation path.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutinecancel",
+	Doc:  "every goroutine in library code must be reachable from a ctx/done/Stop cancellation path",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Bodies of same-package named functions, for one-level-deep lookup
+	// when the go statement spawns `go c.flush(batch)` style calls.
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			gostmt, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !cancellable(pass, gostmt.Call, decls, 2) {
+				pass.Reportf(gostmt.Pos(), "goroutine has no reachable cancellation signal (no ctx, done channel, WaitGroup, or ctx-taking callee); Stop/Unmount cannot reclaim it")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// cancellable reports whether the spawned call exhibits any accepted
+// cancellation/completion evidence. depth bounds same-package body lookups.
+func cancellable(pass *analysis.Pass, call *ast.CallExpr, decls map[types.Object]*ast.FuncDecl, depth int) bool {
+	// Evidence in the arguments (passing a ctx or channel into the call).
+	for _, arg := range call.Args {
+		if isCtx(pass, arg) || isChan(pass, arg) {
+			return true
+		}
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		return bodyHasSignal(pass, fun.Body, decls, depth)
+	default:
+		obj := calleeObj(pass, call)
+		if obj == nil {
+			return false
+		}
+		if fd, ok := decls[obj]; ok && depth > 0 {
+			return bodyHasSignal(pass, fd.Body, decls, depth-1)
+		}
+		// Cross-package callee: accept it only if it takes a context.
+		return calleeTakesCtx(obj)
+	}
+}
+
+// bodyHasSignal scans a function body for cancellation evidence.
+func bodyHasSignal(pass *analysis.Pass, body *ast.BlockStmt, decls map[types.Object]*ast.FuncDecl, depth int) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			// Channel receive <-ch (close-of-done and work-queue drain).
+			if node.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isChan(pass, node.X) {
+				found = true
+			}
+		case *ast.Ident:
+			if isCtx(pass, node) || isWaitGroupRef(pass, node) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if id, ok := node.Fun.(*ast.Ident); ok && id.Name == "close" && pass.TypesInfo.Uses[id] == types.Universe.Lookup("close") {
+				found = true
+				return false
+			}
+			if obj := calleeObj(pass, node); obj != nil {
+				if calleeTakesCtx(obj) {
+					found = true
+					return false
+				}
+				if fd, ok := decls[obj]; ok && depth > 0 && bodyHasSignal(pass, fd.Body, decls, depth-1) {
+					found = true
+					return false
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isCtx reports whether the expression is a context.Context value.
+func isCtx(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isChan reports whether the expression has channel type.
+func isChan(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, ok = tv.Type.Underlying().(*types.Chan)
+	return ok
+}
+
+// isWaitGroupRef reports whether the identifier denotes (or selects from) a
+// sync.WaitGroup.
+func isWaitGroupRef(pass *analysis.Pass, id *ast.Ident) bool {
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return false
+	}
+	t := obj.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	o := named.Obj()
+	return o.Name() == "WaitGroup" && o.Pkg() != nil && o.Pkg().Path() == "sync"
+}
+
+// calleeTakesCtx reports whether the callee's first parameter is a
+// context.Context.
+func calleeTakesCtx(obj types.Object) bool {
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return false
+	}
+	named, ok := sig.Params().At(0).Type().(*types.Named)
+	if !ok {
+		return false
+	}
+	o := named.Obj()
+	return o.Name() == "Context" && o.Pkg() != nil && o.Pkg().Path() == "context"
+}
+
+// calleeObj resolves the called function's object.
+func calleeObj(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[fun.Sel]
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package goroutinecancel_test
+
+import (
+	"testing"
+
+	"scfs/internal/lint/analysistest"
+	"scfs/internal/lint/goroutinecancel"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", goroutinecancel.Analyzer, "goroutines")
+}

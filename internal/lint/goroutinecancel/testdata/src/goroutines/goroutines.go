@@ -1,0 +1,99 @@
+// Fixture for the goroutinecancel analyzer: every goroutine must be
+// reachable from a cancellation or completion path.
+package goroutines
+
+import (
+	"context"
+	"sync"
+)
+
+type server struct {
+	stop chan struct{}
+	jobs chan int
+}
+
+// leakySend is the PR 3 leak class: parks forever on the send when the
+// receiver gives up first, and nothing can cancel it.
+func leakySend(ch chan int) {
+	go func() { // want `goroutine has no reachable cancellation signal`
+		ch <- compute()
+	}()
+}
+
+// leakyCall spawns a cross-package callee with no context.
+func leakyCall(s string) {
+	go print(s) // want `goroutine has no reachable cancellation signal`
+}
+
+// selectWithCtx races the send against cancellation: clean.
+func selectWithCtx(ctx context.Context, ch chan int) {
+	go func() {
+		select {
+		case ch <- compute():
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// drainUntilClosed ranges over a channel closed by Stop: clean.
+func (s *server) drainUntilClosed() {
+	go func() {
+		for j := range s.jobs {
+			_ = j
+		}
+	}()
+}
+
+// waitsOnDone receives from a done channel: clean.
+func (s *server) waitsOnDone() {
+	go func() {
+		<-s.stop
+	}()
+}
+
+// ctxArg passes the context into the spawned call: clean.
+func ctxArg(ctx context.Context) {
+	go worker(ctx)
+}
+
+func worker(ctx context.Context) { <-ctx.Done() }
+
+// samePackageBody: the callee has no ctx parameter, but its body blocks on
+// the stop channel — found by the one-level-deep same-package lookup.
+func (s *server) samePackageBody() {
+	go s.loop()
+}
+
+func (s *server) loop() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		case j := <-s.jobs:
+			_ = j
+		}
+	}
+}
+
+// boundedJoin hands completion to a WaitGroup: clean.
+func boundedJoin(parts []int) {
+	var wg sync.WaitGroup
+	for range parts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = compute()
+		}()
+	}
+	wg.Wait()
+}
+
+// justified documents a deliberate fire-and-forget.
+func justified() {
+	//scfslint:ignore goroutinecancel fixture: process-lifetime goroutine by design
+	go func() {
+		_ = compute()
+	}()
+}
+
+func compute() int { return 42 }

@@ -1,0 +1,12 @@
+package metriclabels_test
+
+import (
+	"testing"
+
+	"scfs/internal/lint/analysistest"
+	"scfs/internal/lint/metriclabels"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", metriclabels.Analyzer, "metrics")
+}

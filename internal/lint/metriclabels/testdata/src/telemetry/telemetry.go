@@ -1,0 +1,7 @@
+// Fixture stand-in for scfs/internal/telemetry: the analyzer matches the
+// package by name + path suffix, so this fake exercises the same code path
+// as the real registry.
+package telemetry
+
+// Name composes a labeled metric name (fixture copy of the real signature).
+func Name(base string, kv ...string) string { return base }

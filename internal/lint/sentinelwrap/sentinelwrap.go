@@ -1,0 +1,160 @@
+// Package sentinelwrap enforces error-wrapping discipline at fmt.Errorf
+// call sites.
+//
+// The resilience layer classifies per-cloud failures by unwrapping to the
+// canonical internal/cloud sentinels (ErrUnavailable, ErrThrottled, ...),
+// and the facade promises errors.Is(err, fs.ErrNotExist) works through
+// every layer. Both break silently when an intermediate layer formats an
+// error with %v or %s instead of %w: the text survives, the unwrap chain
+// does not — retries stop firing, breakers stop opening, and callers start
+// string-matching. The analyzer makes the chain mechanical: an error value
+// given to fmt.Errorf must be wrapped with %w.
+//
+// A deliberate chain break (hiding an internal sentinel from a public
+// boundary) is legitimate but rare enough to justify itself with a
+// //scfslint:ignore directive.
+package sentinelwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"scfs/internal/lint/analysis"
+)
+
+// Analyzer enforces %w wrapping of error arguments to fmt.Errorf.
+var Analyzer = &analysis.Analyzer{
+	Name: "sentinelwrap",
+	Doc:  "error values passed to fmt.Errorf must be wrapped with %w so errors.Is keeps working across layers",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isFmtErrorf(pass, call) || len(call.Args) == 0 {
+				return true
+			}
+			format, ok := constantString(pass, call.Args[0])
+			if !ok {
+				// A non-constant format with error arguments cannot be
+				// verified; demand a constant format at such sites.
+				for _, arg := range call.Args[1:] {
+					if isErrorArg(pass, arg, errType) {
+						pass.Reportf(call.Pos(), "fmt.Errorf with a non-constant format and an error argument; use a constant format so %%w wrapping is checkable")
+						break
+					}
+				}
+				return true
+			}
+			checkVerbs(pass, call, format, errType)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkVerbs walks the format string, pairing verbs with arguments, and
+// flags error-typed arguments consumed by any verb other than %w.
+func checkVerbs(pass *analysis.Pass, call *ast.CallExpr, format string, errType *types.Interface) {
+	args := call.Args[1:]
+	next := 0 // next implicit argument index
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		// Flags.
+		for i < len(format) && strings.IndexByte("+-# 0", format[i]) >= 0 {
+			i++
+		}
+		// Width (possibly '*', consuming an arg).
+		for i < len(format) && (format[i] == '*' || isDigit(format[i])) {
+			if format[i] == '*' {
+				next++
+			}
+			i++
+		}
+		// Precision.
+		if i < len(format) && format[i] == '.' {
+			i++
+			for i < len(format) && (format[i] == '*' || isDigit(format[i])) {
+				if format[i] == '*' {
+					next++
+				}
+				i++
+			}
+		}
+		// Explicit argument index %[n].
+		if i < len(format) && format[i] == '[' {
+			j := i + 1
+			num := 0
+			for j < len(format) && isDigit(format[j]) {
+				num = num*10 + int(format[j]-'0')
+				j++
+			}
+			if j < len(format) && format[j] == ']' && num > 0 {
+				next = num - 1
+				i = j + 1
+			}
+		}
+		if i >= len(format) {
+			break
+		}
+		verb := format[i]
+		argIdx := next
+		next++
+		if argIdx >= len(args) {
+			continue // vet's business, not ours
+		}
+		if verb != 'w' && isErrorArg(pass, args[argIdx], errType) {
+			pass.Reportf(args[argIdx].Pos(), "error formatted with %%%c breaks the errors.Is/As chain (resilience classification, facade sentinels); wrap it with %%w", verb)
+		}
+	}
+}
+
+func isFmtErrorf(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt"
+}
+
+// isErrorArg reports whether the argument's static type implements error.
+func isErrorArg(pass *analysis.Pass, arg ast.Expr, errType *types.Interface) bool {
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if basic, ok := t.Underlying().(*types.Basic); ok && basic.Kind() == types.UntypedNil {
+		return false
+	}
+	return types.Implements(t, errType) || types.Implements(types.NewPointer(t), errType)
+}
+
+// constantString extracts a compile-time constant string value.
+func constantString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }

@@ -1,0 +1,12 @@
+package sentinelwrap_test
+
+import (
+	"testing"
+
+	"scfs/internal/lint/analysistest"
+	"scfs/internal/lint/sentinelwrap"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", sentinelwrap.Analyzer, "wrap")
+}

@@ -1,0 +1,109 @@
+// Fixture for the untrustedalloc analyzer. decodeBatchForged reproduces
+// the exact PR 8 DecodeBatch bug: a forged varint count reaching make().
+package untrusted
+
+import "encoding/binary"
+
+// decodeBatchForged is the original buggy DecodeBatch shape: the count n is
+// wire-decoded and never bounded before it sizes the allocation and drives
+// the append loop. A peer sending a forged count panics make() on every
+// replica executing the ordered command.
+func decodeBatchForged(b []byte) [][]byte {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil
+	}
+	b = b[sz:]
+	ops := make([][]byte, 0, n)      // want `make sized by untrusted length "n"`
+	for i := uint64(0); i < n; i++ { // want `loop appends up to untrusted count "n"`
+		l, lsz := binary.Uvarint(b)
+		if lsz <= 0 || uint64(len(b)-lsz) < l {
+			return nil
+		}
+		b = b[lsz:]
+		ops = append(ops, b[:l:l])
+		b = b[l:]
+	}
+	return ops
+}
+
+// decodeBatchBounded is the fixed shape: the count is checked against the
+// remaining payload before any allocation, so both sinks are clean.
+func decodeBatchBounded(b []byte) [][]byte {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil
+	}
+	b = b[sz:]
+	if n > uint64(len(b)) {
+		return nil
+	}
+	ops := make([][]byte, 0, n)
+	for i := uint64(0); i < n; i++ {
+		l, lsz := binary.Uvarint(b)
+		if lsz <= 0 || uint64(len(b)-lsz) < l {
+			return nil
+		}
+		b = b[lsz:]
+		ops = append(ops, b[:l:l])
+		b = b[l:]
+	}
+	return ops
+}
+
+// fixedWidthUnbounded reads a frame-header length and allocates without a
+// bound: the ByteOrder accessors are sources too.
+func fixedWidthUnbounded(data []byte) []byte {
+	if len(data) < 4 {
+		return nil
+	}
+	payloadLen := int(binary.BigEndian.Uint32(data))
+	buf := make([]byte, payloadLen) // want `make sized by untrusted length "payloadLen"`
+	copy(buf, data[4:])
+	return buf
+}
+
+// fixedWidthBounded checks the decoded length against the frame before
+// allocating.
+func fixedWidthBounded(data []byte) []byte {
+	if len(data) < 4 {
+		return nil
+	}
+	payloadLen := int(binary.BigEndian.Uint32(data))
+	if payloadLen < 0 || payloadLen > len(data)-4 {
+		return nil
+	}
+	buf := make([]byte, payloadLen)
+	copy(buf, data[4:])
+	return buf
+}
+
+// minClamped bounds the untrusted count at the use site with min().
+func minClamped(b []byte) []int {
+	n, _ := binary.Uvarint(b)
+	return make([]int, min(int(n), len(b)))
+}
+
+// taintFlowsThroughArithmetic: deriving a size from a tainted value keeps
+// the taint.
+func taintFlowsThroughArithmetic(b []byte) []byte {
+	count, _ := binary.Uvarint(b)
+	total := int(count) * 8
+	return make([]byte, total) // want `make sized by untrusted length "total"`
+}
+
+// justified is flagged logic with an explicit, audited suppression.
+func justified(b []byte) []byte {
+	n, _ := binary.Uvarint(b)
+	//scfslint:ignore untrustedalloc fixture: demonstrates the suppression directive
+	return make([]byte, n)
+}
+
+// trustedSizes never touches the wire; local lengths stay clean.
+func trustedSizes(items []string) []string {
+	out := make([]string, 0, len(items))
+	for _, it := range items {
+		out = append(out, it)
+	}
+	return out
+}

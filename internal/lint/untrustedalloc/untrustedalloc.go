@@ -1,0 +1,327 @@
+// Package untrustedalloc flags allocations sized by wire-decoded data that
+// were not bounded against the remaining payload first.
+//
+// This is the DecodeBatch bug class from the PR 8 review: a forged varint
+// count in a batch envelope reached make() and panicked inside
+// Application.Execute — on every replica at once, because the command was
+// totally ordered. The paper's fault model (SCFS over untrusted clouds,
+// BFT-replicated coordination) makes every decoder a trust boundary: any
+// byte a peer or a cloud hands back may be adversarial, so a length or
+// count read off the wire must be dominated by a bound check (typically
+// against len(remaining payload)) before it sizes an allocation or drives
+// an append loop.
+//
+// Detection is an intra-function taint walk:
+//
+//   - sources: encoding/binary reads (Uvarint, Varint, ReadUvarint,
+//     ReadVarint, and the ByteOrder Uint16/32/64 accessors);
+//   - propagation: assignments, conversions and arithmetic that mention a
+//     tainted variable taint the destination;
+//   - sanitizers: an if-condition comparing the tainted variable (against
+//     anything — the reviewer checks the bound is meaningful, the analyzer
+//     checks it exists), or a min() call at the use site;
+//   - sinks: make() whose length or capacity mentions unsanitized taint,
+//     and for-loops bounded by unsanitized taint whose body appends.
+//
+// The check is deliberately syntactic about what counts as a bound: any
+// dominating comparison clears the variable. The invariant it enforces is
+// "you cannot forget to think about the bound", not "the bound is right".
+package untrustedalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"scfs/internal/lint/analysis"
+)
+
+// Analyzer flags unbounded allocations from wire-decoded sizes.
+var Analyzer = &analysis.Analyzer{
+	Name: "untrustedalloc",
+	Doc:  "make/append sized by wire-decoded data must be bounded against the payload first",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, fn.Body)
+				}
+				return false // nested FuncLits are walked by checkFunc
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFunc runs the taint walk over one function body (function literals
+// nested inside share the walk: their bodies are part of the same tree and
+// close over the same variables).
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	tainted := map[types.Object]bool{}
+
+	// Seed + propagate to fixpoint. The loop re-walks assignments until no
+	// new variable gains taint; bodies are small, so quadratic is fine.
+	for {
+		grew := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				grew = propagateAssign(pass, st.Lhs, st.Rhs, tainted) || grew
+			case *ast.DeclStmt:
+				if gd, ok := st.Decl.(*ast.GenDecl); ok {
+					for _, spec := range gd.Specs {
+						if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) > 0 {
+							lhs := make([]ast.Expr, len(vs.Names))
+							for i, name := range vs.Names {
+								lhs[i] = name
+							}
+							grew = propagateAssign(pass, lhs, vs.Values, tainted) || grew
+						}
+					}
+				}
+			}
+			return true
+		})
+		if !grew {
+			break
+		}
+	}
+	if len(tainted) == 0 {
+		return
+	}
+
+	// Sanitize positions: any if-condition mentioning a tainted variable in
+	// a comparison clears it from that position on. Positions give a cheap
+	// dominance approximation that matches the decoder idiom (check, then
+	// allocate); a check in a dead branch below the make would not fool a
+	// reviewer and is not worth flow analysis here.
+	sanitizedAt := map[types.Object][]token.Pos{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifst, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		ast.Inspect(ifst.Cond, func(c ast.Node) bool {
+			be, ok := c.(*ast.BinaryExpr)
+			if !ok || !isComparison(be.Op) {
+				return true
+			}
+			for obj := range mentions(pass, be, tainted) {
+				sanitizedAt[obj] = append(sanitizedAt[obj], ifst.Pos())
+			}
+			return true
+		})
+		return true
+	})
+	cleared := func(obj types.Object, use token.Pos) bool {
+		for _, p := range sanitizedAt[obj] {
+			if p < use {
+				return true
+			}
+		}
+		return false
+	}
+	dirty := func(e ast.Expr) types.Object {
+		if inMinCall(e) {
+			return nil
+		}
+		for obj := range mentions(pass, e, tainted) {
+			if !cleared(obj, e.Pos()) {
+				return obj
+			}
+		}
+		return nil
+	}
+
+	// Sinks.
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := st.Fun.(*ast.Ident); ok && id.Name == "make" && pass.TypesInfo.Uses[id] == types.Universe.Lookup("make") {
+				for _, arg := range st.Args[1:] {
+					if obj := dirty(arg); obj != nil {
+						pass.Reportf(st.Pos(), "make sized by untrusted length %q decoded from the wire; bound it against the remaining payload first", obj.Name())
+						break
+					}
+				}
+			}
+		case *ast.ForStmt:
+			be, ok := st.Cond.(*ast.BinaryExpr)
+			if !ok || !isComparison(be.Op) || !containsAppend(st.Body) {
+				return true
+			}
+			if obj := dirty(be); obj != nil {
+				pass.Reportf(st.Pos(), "loop appends up to untrusted count %q decoded from the wire; bound it against the remaining payload first", obj.Name())
+			}
+		}
+		return true
+	})
+}
+
+// propagateAssign taints LHS variables whose RHS is a wire-decode source or
+// mentions already-tainted variables. Returns whether the taint set grew.
+func propagateAssign(pass *analysis.Pass, lhs, rhs []ast.Expr, tainted map[types.Object]bool) bool {
+	grew := false
+	taintLhs := func(e ast.Expr) {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj != nil && !tainted[obj] {
+			tainted[obj] = true
+			grew = true
+		}
+	}
+	if len(lhs) > 1 && len(rhs) == 1 {
+		// Tuple assignment from one call: n, sz := binary.Uvarint(b).
+		// Only the decoded value (first result) is untrusted; the consumed
+		// byte count is bounded by the varint encoding itself.
+		if call, ok := rhs[0].(*ast.CallExpr); ok && isVarintSource(pass, call) {
+			taintLhs(lhs[0])
+		}
+		return grew
+	}
+	for i, r := range rhs {
+		if i >= len(lhs) {
+			break
+		}
+		if isSource(pass, r) || len(mentions(pass, r, tainted)) > 0 {
+			taintLhs(lhs[i])
+		}
+	}
+	return grew
+}
+
+// mentions returns the tainted objects referenced anywhere inside e.
+func mentions(pass *analysis.Pass, e ast.Expr, tainted map[types.Object]bool) map[types.Object]bool {
+	found := map[types.Object]bool{}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && tainted[obj] {
+				found[obj] = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSource reports whether e (or any subexpression) reads an integer off
+// the wire via encoding/binary.
+func isSource(pass *analysis.Pass, e ast.Expr) bool {
+	src := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && (isVarintSource(pass, call) || isByteOrderRead(pass, call)) {
+			src = true
+			return false
+		}
+		return true
+	})
+	return src
+}
+
+// isVarintSource matches binary.Uvarint / Varint / ReadUvarint / ReadVarint.
+func isVarintSource(pass *analysis.Pass, call *ast.CallExpr) bool {
+	obj := calleeObj(pass, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "encoding/binary" {
+		return false
+	}
+	switch obj.Name() {
+	case "Uvarint", "Varint", "ReadUvarint", "ReadVarint":
+		return true
+	}
+	return false
+}
+
+// isByteOrderRead matches fixed-width reads through a binary.ByteOrder
+// (binary.BigEndian.Uint32(...) and friends).
+func isByteOrderRead(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Uint16", "Uint32", "Uint64":
+	default:
+		return false
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return false
+	}
+	recv := selection.Recv()
+	if named, ok := recv.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == "encoding/binary" {
+			return true
+		}
+	}
+	// binary.ByteOrder interface values.
+	if iface, ok := recv.Underlying().(*types.Interface); ok && iface.NumMethods() > 0 {
+		if m := selection.Obj(); m.Pkg() != nil && m.Pkg().Path() == "encoding/binary" {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeObj resolves the object a call's function expression names.
+func calleeObj(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// inMinCall reports whether e is an argument of a min() builtin call — a
+// use-site clamp that bounds the value without an if statement.
+func inMinCall(e ast.Expr) bool {
+	clamped := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "min" {
+				clamped = true
+				return false
+			}
+		}
+		return true
+	})
+	return clamped
+}
+
+func isComparison(op token.Token) bool {
+	switch op {
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		return true
+	}
+	return false
+}
+
+func containsAppend(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,16 @@
+package untrustedalloc_test
+
+import (
+	"testing"
+
+	"scfs/internal/lint/analysistest"
+	"scfs/internal/lint/untrustedalloc"
+)
+
+// TestAnalyzer runs the fixture suite, including the regression fixture
+// reproducing the PR 8 DecodeBatch forged-count bug (decodeBatchForged):
+// the analyzer must flag the unbounded make and the append loop, and must
+// stay quiet on the bounded rewrite that shipped as the fix.
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", untrustedalloc.Analyzer, "untrusted")
+}

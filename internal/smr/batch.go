@@ -144,7 +144,8 @@ type Coalescer struct {
 // submitter's context; the flush aborts only when every item's context is
 // done (see flush), so it must be retained past the submitter's return.
 type batchItem struct {
-	op     []byte
+	op []byte
+	//scfslint:ignore ctxdiscipline request-carrier: flush aborts only when every participant's ctx is done
 	ctx    context.Context
 	done   chan struct{}
 	result []byte
@@ -240,6 +241,9 @@ func (c *Coalescer) flush(batch []*batchItem) {
 	if len(batch) == 0 {
 		return
 	}
+	// Detached on purpose (the PR 8 review fix): tying the flush to any one
+	// caller's ctx cancelled every participant's op when that caller quit.
+	//scfslint:ignore ctxdiscipline batch flush must outlive individual callers; cancelled when all participants are done
 	fctx, cancel := context.WithCancel(context.Background())
 	stop := make(chan struct{})
 	go func() {

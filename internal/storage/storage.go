@@ -204,7 +204,7 @@ func (s *SingleCloud) ReadVersion(ctx context.Context, fileID, hash string) ([]b
 	if s.key != nil {
 		dec, err := seccrypto.Decrypt(s.key, payload)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrIntegrity, err)
+			return nil, fmt.Errorf("%w: %w", ErrIntegrity, err)
 		}
 		data = dec
 	}

@@ -285,6 +285,9 @@ func (tr *Tracer) record(t *Trace) {
 		slog.Duration("verdict", t.VerdictLatency()),
 		slog.Any("spans", t.Describe()),
 	)
+	// The trace is already finished when it is logged; slog.Handler wants a
+	// ctx only for handler-internal values, and no caller remains to cancel.
+	//scfslint:ignore ctxdiscipline post-completion log emission has no caller context
 	_ = h.Handle(context.Background(), rec)
 }
 
