@@ -246,6 +246,16 @@ var pairRules = []pairRule{
 		metric: func(b bench) float64 { return b.NsOp }, what: "ns/op",
 		maxRatio: 0.8,
 	},
+	// PR 10 acceptance, metadata-plane observability. The fully instrumented
+	// storm — metrics, end-to-end tracing (facade, smr, shard spans), and
+	// the always-on flight recorder — must cost at most 5% ns/op over the
+	// identical uninstrumented sharded plane: the always-on tail recorder
+	// only earns its keep if nobody ever wants to turn it off.
+	{
+		num: "BenchmarkMetadataStorm/Sharded4Telemetry", den: "BenchmarkMetadataStorm/Sharded4",
+		metric: func(b bench) float64 { return b.NsOp }, what: "ns/op",
+		maxRatio: 1.05,
+	},
 }
 
 // load parses one BENCH_*.json report.

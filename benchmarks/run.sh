@@ -28,7 +28,9 @@ go test -run '^$' -bench 'BenchmarkDepSkyHedgedRead/(Hedged|HedgedTelemetry)$' \
 # is the session count, capped at 1024) and enough operations per session
 # for the coalescer to reach steady state, and the pipelining pair needs the
 # serialized leg to run long enough to amortize group startup. Re-measure
-# both at fixed iteration counts.
+# both at fixed iteration counts. The storm pattern also covers the
+# Sharded4Telemetry leg, whose 1.05x ns/op benchguard ceiling pins the cost
+# of full metadata-plane instrumentation (tracing + flight recorder).
 go test -run '^$' -bench 'BenchmarkSMRPipeline' -benchmem -benchtime 2000x ./benchmarks | tee -a "$raw"
 go test -run '^$' -bench 'BenchmarkMetadataStorm' -benchmem -benchtime 20000x ./benchmarks | tee -a "$raw"
 

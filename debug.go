@@ -40,6 +40,8 @@ func startDebugServer(addr string, m *FS) (*debugServer, error) {
 		fmt.Fprintln(w, "  /metrics       Prometheus text exposition")
 		fmt.Fprintln(w, "  /debug/stats   mount stats as JSON (counters, telemetry, spend)")
 		fmt.Fprintln(w, "  /debug/traces  recent operation traces (?n=32)")
+		fmt.Fprintln(w, "  /debug/slow    slowest retained traces per operation class")
+		fmt.Fprintln(w, "  /debug/flight  flight recorder stats and fault-flagged traces")
 		fmt.Fprintln(w, "  /debug/pprof/  runtime profiles")
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -65,6 +67,56 @@ func startDebugServer(addr string, m *FS) (*debugServer, error) {
 			fmt.Fprintf(w, "%s %s dur=%s verdict=%s\n", t.Op, t.Unit, t.Duration(), t.VerdictLatency())
 			for _, line := range t.Describe() {
 				fmt.Fprintf(w, "  %s\n", line)
+			}
+		}
+	})
+	writeTrace := func(w http.ResponseWriter, t *Trace) {
+		verdict := ""
+		if v := t.VerdictLatency(); v > 0 {
+			verdict = fmt.Sprintf(" verdict=%s", v)
+		}
+		suffix := ""
+		if err := t.Err(); err != nil {
+			suffix += " err=" + err.Error()
+		}
+		if n := t.Dropped(); n > 0 {
+			suffix += fmt.Sprintf(" dropped=%d", n)
+		}
+		fmt.Fprintf(w, "%s %s %s dur=%s%s%s\n", t.ID, t.Op, t.Unit, t.Duration(), verdict, suffix)
+		for _, line := range t.Describe() {
+			fmt.Fprintf(w, "  %s\n", line)
+		}
+	}
+	mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if m.flight == nil {
+			fmt.Fprintln(w, "flight recorder disabled (mount WithFlightRecorder)")
+			return
+		}
+		for _, class := range m.flight.Classes() {
+			fmt.Fprintf(w, "== %s (slowest first)\n", class)
+			for _, t := range m.flight.Slowest(class) {
+				writeTrace(w, t)
+			}
+		}
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if m.flight == nil {
+			fmt.Fprintln(w, "flight recorder disabled (mount WithFlightRecorder)")
+			return
+		}
+		st := m.flight.Stats()
+		fmt.Fprintf(w, "seen=%d admitted=%d evicted=%d retained=%d spans=%d/%d\n",
+			st.Seen, st.Admitted, st.Evicted, st.Retained, st.Spans, st.SpanBudget)
+		for _, class := range m.flight.Classes() {
+			flagged := m.flight.Flagged(class)
+			if len(flagged) == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "== %s (flagged, newest first)\n", class)
+			for _, t := range flagged {
+				writeTrace(w, t)
 			}
 		}
 	})

@@ -47,8 +47,10 @@ func (m *Manager) policyFor(ctx context.Context) iopolicy.Policy {
 // Only successes reach the tracker (and the latency histogram): failures
 // return fast and would make a broken cloud look attractive. The counters
 // see every attempt, split by outcome — cancellations (quorum verdicts
-// cutting down stragglers) are kept apart from provider errors.
-func (m *Manager) observeRPC(i int, op iopolicy.Op, start time.Time, err error) {
+// cutting down stragglers) are kept apart from provider errors. A traced
+// attempt attaches its trace ID to the latency bucket it lands in, linking
+// the histogram's tail to the flight-recorded trace that explains it.
+func (m *Manager) observeRPC(ctx context.Context, i int, op iopolicy.Op, start time.Time, err error) {
 	d := time.Since(start)
 	if err == nil {
 		m.tracker.Observe(i, op, d)
@@ -58,7 +60,7 @@ func (m *Manager) observeRPC(i int, op iopolicy.Op, start time.Time, err error) 
 		switch {
 		case err == nil:
 			ins.rpcOK[i][class].Inc()
-			ins.rpcLat[i][class].Observe(d)
+			ins.rpcLat[i][class].ObserveExemplar(d, telemetry.FromContext(ctx).ExemplarID())
 		case resilience.Ignorable(err):
 			ins.rpcCancel[i][class].Inc()
 		default:

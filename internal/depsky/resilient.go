@@ -94,7 +94,7 @@ func (m *Manager) timedCloudCall(ctx context.Context, pol iopolicy.Policy, i int
 	return m.cloudCall(ctx, pol, i, op, func(ctx context.Context) error {
 		start := time.Now()
 		err := fn(ctx)
-		m.observeRPC(i, op, start, err)
+		m.observeRPC(ctx, i, op, start, err)
 		return err
 	})
 }

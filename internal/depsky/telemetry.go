@@ -166,7 +166,7 @@ func (m *Manager) recordSpan(tr *telemetry.Trace, kind string, i int, start time
 	}
 	tr.Record(telemetry.Span{
 		Name:    kind,
-		Cloud:   m.cloudName(i),
+		Target:  m.cloudName(i),
 		Start:   start,
 		Dur:     time.Since(start),
 		Outcome: spanOutcome(err),
@@ -186,7 +186,7 @@ func (m *Manager) recordGated(tr *telemetry.Trace, kind string, i int, hedged bo
 	if hedged {
 		out = telemetry.SpanSuppressed
 	}
-	tr.Record(telemetry.Span{Name: kind, Cloud: m.cloudName(i), Outcome: out, Hedged: hedged})
+	tr.Record(telemetry.Span{Name: kind, Target: m.cloudName(i), Outcome: out, Hedged: hedged})
 }
 
 // ProviderUsage is one cloud's metered consumption priced under the

@@ -51,20 +51,25 @@ type Tenant struct {
 
 // tenantState is a Tenant plus its runtime artifacts: the admission
 // semaphore and the telemetry instruments, resolved once at construction.
+// Error responses are split by cause: errCanceled counts 5xx responses
+// whose request context was already dead (the client hung up mid-read —
+// not the backend's fault), errBackend the genuine backend failures.
 type tenantState struct {
-	cfg      Tenant
-	sem      chan struct{}
-	requests *telemetry.Counter
-	rejected *telemetry.Counter
-	errors   *telemetry.Counter
-	inflight *telemetry.Gauge
-	latency  *telemetry.Histogram
+	cfg         Tenant
+	sem         chan struct{}
+	requests    *telemetry.Counter
+	rejected    *telemetry.Counter
+	errCanceled *telemetry.Counter
+	errBackend  *telemetry.Counter
+	inflight    *telemetry.Gauge
+	latency     *telemetry.Histogram
 }
 
 // Gateway is an http.Handler multiplexing tenants over one mount.
 type Gateway struct {
 	mnt     Mount
 	reg     *telemetry.Registry
+	tracer  *telemetry.Tracer
 	tenants map[string]*tenantState
 }
 
@@ -73,11 +78,26 @@ type Option func(*Gateway)
 
 // WithTelemetry records per-tenant instruments into reg:
 // gateway_requests_total{tenant}, gateway_rejected_total{tenant},
-// gateway_errors_total{tenant}, gateway_inflight{tenant} and
-// gateway_latency_ns{tenant}.
+// gateway_errors_total{tenant,cause} (cause="canceled" for client
+// disconnects, "backend" for genuine failures), gateway_inflight{tenant}
+// and gateway_latency_ns{tenant}.
 func WithTelemetry(reg *telemetry.Registry) Option {
 	return func(g *Gateway) { g.reg = reg }
 }
+
+// WithTracer gives the gateway a request tracer: every admitted request
+// starts (or, with an incoming W3C traceparent header, joins) a trace that
+// the mount's layers fill with smr, shard-routing and per-cloud RPC spans,
+// and the response carries the trace's ID in an X-SCFS-Trace header so a
+// tenant can quote the exact trace its slow request produced.
+func WithTracer(tr *telemetry.Tracer) Option {
+	return func(g *Gateway) { g.tracer = tr }
+}
+
+// errBackendFailure is the operation-level error recorded on the trace of
+// a 5xx response the backend caused (file server errors surface as status
+// codes, not error values).
+var errBackendFailure = errors.New("gateway: backend failure")
 
 // New builds a gateway serving the given tenants over mnt.
 func New(mnt Mount, tenants []Tenant, opts ...Option) (*Gateway, error) {
@@ -103,13 +123,14 @@ func New(mnt Mount, tenants []Tenant, opts ...Option) (*Gateway, error) {
 			n = DefaultMaxInflight
 		}
 		g.tenants[t.Name] = &tenantState{
-			cfg:      t,
-			sem:      make(chan struct{}, n),
-			requests: g.reg.Counter(telemetry.Name("gateway_requests_total", "tenant", t.Name)),
-			rejected: g.reg.Counter(telemetry.Name("gateway_rejected_total", "tenant", t.Name)),
-			errors:   g.reg.Counter(telemetry.Name("gateway_errors_total", "tenant", t.Name)),
-			inflight: g.reg.Gauge(telemetry.Name("gateway_inflight", "tenant", t.Name)),
-			latency:  g.reg.Histogram(telemetry.Name("gateway_latency_ns", "tenant", t.Name)),
+			cfg:         t,
+			sem:         make(chan struct{}, n),
+			requests:    g.reg.Counter(telemetry.Name("gateway_requests_total", "tenant", t.Name)),
+			rejected:    g.reg.Counter(telemetry.Name("gateway_rejected_total", "tenant", t.Name)),
+			errCanceled: g.reg.Counter(telemetry.Name("gateway_errors_total", "tenant", t.Name, "cause", "canceled")),
+			errBackend:  g.reg.Counter(telemetry.Name("gateway_errors_total", "tenant", t.Name, "cause", "backend")),
+			inflight:    g.reg.Gauge(telemetry.Name("gateway_inflight", "tenant", t.Name)),
+			latency:     g.reg.Histogram(telemetry.Name("gateway_latency_ns", "tenant", t.Name)),
 		}
 	}
 	return g, nil
@@ -150,13 +171,30 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	t.inflight.Add(1)
 	defer t.inflight.Add(-1)
 	start := time.Now()
-	defer func() { t.latency.Observe(time.Since(start)) }()
 
-	fsys := g.mnt.IOFS(r.Context())
+	// One trace per admitted request, joining the caller's distributed
+	// trace when the request carries a W3C traceparent header; the mount's
+	// layers (smr invocations, shard routing, per-cloud RPCs) fill it
+	// through the request context. The ID goes back in a response header
+	// (set now: headers cannot follow the first body byte).
+	op := "http.get"
+	if r.Method == http.MethodHead {
+		op = "http.head"
+	}
+	tid, _ := telemetry.ParseTraceparent(r.Header.Get("traceparent"))
+	ctx, trace := g.tracer.StartID(r.Context(), op, r.URL.Path, tid)
+	if trace != nil {
+		w.Header().Set("X-SCFS-Trace", trace.ID.String())
+	}
+	defer func() { t.latency.ObserveExemplar(time.Since(start), trace.ExemplarID()) }()
+	defer trace.Finish()
+
+	fsys := g.mnt.IOFS(ctx)
 	if root := t.cfg.Root; root != "" && root != "." {
 		sub, err := fs.Sub(fsys, root)
 		if err != nil {
-			t.errors.Inc()
+			t.errBackend.Inc()
+			trace.SetError(err)
 			http.Error(w, "tenant root unavailable", http.StatusInternalServerError)
 			return
 		}
@@ -166,12 +204,34 @@ func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// Strip the tenant segment and let net/http do the heavy lifting:
 	// http.FS exposes the adapter's io.Seeker/io.ReaderAt files, which is
 	// what makes Range requests and 206 responses work.
-	r2 := r.Clone(r.Context())
+	r2 := r.Clone(ctx)
 	r2.URL.Path = "/" + rest
 	sw := &statusWriter{ResponseWriter: w}
 	http.FileServer(http.FS(fsys)).ServeHTTP(sw, r2)
 	if sw.status >= 500 {
-		t.errors.Inc()
+		// Split the error cause: a request whose own context died mid-serve
+		// is the client disconnecting, not a backend failure — alerting on
+		// the two together pages operators for tenants' flaky networks.
+		if cerr := r.Context().Err(); cerr != nil {
+			t.errCanceled.Inc()
+			trace.SetError(cerr)
+		} else {
+			t.errBackend.Inc()
+			trace.SetError(errBackendFailure)
+		}
+	}
+	if trace != nil {
+		outc := telemetry.SpanOK
+		if sw.status >= 500 {
+			outc = telemetry.SpanError
+		}
+		trace.Record(telemetry.Span{
+			Name:    op,
+			Target:  t.cfg.Name,
+			Start:   start,
+			Dur:     time.Since(start),
+			Outcome: outc,
+		})
 	}
 }
 

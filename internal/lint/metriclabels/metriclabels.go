@@ -18,11 +18,19 @@
 //
 // Growing the vocabulary is a one-line change to AllowedKeys made in code
 // review, which is exactly the point.
+//
+// The same discipline applies to trace span names: telemetry.Span{Name: ...}
+// composite literals must use fixed strings ("smr.invoke", "shard.route"),
+// with the variable detail (shard number, cloud name, trigger) in the Target
+// field — a Sprintf-built span name makes trace grouping and the flight
+// recorder's per-class retention unbounded, exactly like a Sprintf-built
+// metric name.
 package metriclabels
 
 import (
 	"go/ast"
 	"go/constant"
+	"go/types"
 	"sort"
 	"strings"
 
@@ -38,6 +46,7 @@ var AllowedKeys = map[string]bool{
 	"backend": true, // coordination backend: depspace / zk / smr
 	"tenant":  true, // gateway tenant (bounded by gateway configuration)
 	"result":  true, // cache result: hit / miss
+	"cause":   true, // gateway error cause: canceled / backend
 }
 
 // Analyzer bounds metric-name cardinality at telemetry.Name call sites.
@@ -53,11 +62,16 @@ func run(pass *analysis.Pass) error {
 			continue
 		}
 		ast.Inspect(file, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok || !isTelemetryName(pass, call) {
-				return true
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if isTelemetryName(pass, n) {
+					checkCall(pass, n)
+				}
+			case *ast.CompositeLit:
+				if isSpanLit(pass, n) {
+					checkSpanLit(pass, n)
+				}
 			}
-			checkCall(pass, call)
 			return true
 		})
 	}
@@ -155,6 +169,53 @@ func isSprintf(pass *analysis.Pass, call *ast.CallExpr) bool {
 	}
 	obj := pass.TypesInfo.Uses[sel.Sel]
 	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "fmt"
+}
+
+// isSpanLit matches composite literals of the telemetry package's Span type
+// (the real scfs/internal/telemetry or a fixture package named telemetry).
+func isSpanLit(pass *analysis.Pass, cl *ast.CompositeLit) bool {
+	tv, ok := pass.TypesInfo.Types[cl]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok || named.Obj().Name() != "Span" {
+		return false
+	}
+	return analysis.PkgIs(named.Obj().Pkg(), "telemetry")
+}
+
+// checkSpanLit enforces the span-name vocabulary on telemetry.Span
+// literals: Name is the span *kind* and must be a fixed string; the flight
+// recorder and trace grouping key on it, so a Sprintf-built name is the
+// trace-side twin of a Sprintf-built metric name.
+func checkSpanLit(pass *analysis.Pass, cl *ast.CompositeLit) {
+	for _, elt := range cl.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok || key.Name != "Name" {
+			continue
+		}
+		if _, ok := constantString(pass, kv.Value); ok {
+			return
+		}
+		switch v := kv.Value.(type) {
+		case *ast.CallExpr:
+			pass.Reportf(kv.Value.Pos(), "telemetry span name built by a function call; use a fixed name and put the dynamic part in Target")
+		case *ast.BinaryExpr:
+			pass.Reportf(kv.Value.Pos(), "telemetry span name built by concatenation; use a fixed name and put the dynamic part in Target")
+		case *ast.Ident:
+			if assignedFromSprintf(pass, v) {
+				pass.Reportf(kv.Value.Pos(), "telemetry span name assigned from fmt.Sprintf; use a fixed name and put the dynamic part in Target")
+			}
+		default:
+			pass.Reportf(kv.Value.Pos(), "telemetry span name must be a fixed string")
+		}
+		return
+	}
 }
 
 // isTelemetryName matches calls to the telemetry package's Name function

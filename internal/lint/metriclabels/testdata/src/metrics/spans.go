@@ -1,0 +1,32 @@
+// Fixture for the span-name half of the metriclabels analyzer: the Name of
+// a telemetry.Span literal is the span kind and must be a fixed string;
+// dynamic detail (shard numbers, cloud names, flush triggers) belongs in
+// Target.
+package metrics
+
+import (
+	"fmt"
+
+	"telemetry"
+)
+
+const spanKind = "smr.invoke"
+
+func cleanSpans(shardName string) {
+	_ = telemetry.Span{Name: "shard.route", Target: shardName}
+	_ = telemetry.Span{Name: spanKind}
+	_ = telemetry.Span{Name: "smr." + "batch"} // constant folding: still fixed
+	_ = telemetry.Span{Target: shardName}      // no name at all: nothing to check
+}
+
+func throughSpanHelper(kind string) {
+	// A helper parameter threading a literal is accepted, like metric bases.
+	_ = telemetry.Span{Name: kind, Target: "c0"}
+}
+
+func flaggedSpans(shard int, cloudName string) {
+	_ = telemetry.Span{Name: fmt.Sprintf("shard-%d", shard)} // want `span name built by a function call`
+	_ = telemetry.Span{Name: "rpc." + cloudName}             // want `span name built by concatenation`
+	kind := fmt.Sprintf("shard-%d.route", shard)
+	_ = telemetry.Span{Name: kind, Target: "x"} // want `span name assigned from fmt.Sprintf`
+}

@@ -5,3 +5,10 @@ package telemetry
 
 // Name composes a labeled metric name (fixture copy of the real signature).
 func Name(base string, kv ...string) string { return base }
+
+// Span is the fixture copy of the real trace span: Name is the span kind
+// (a fixed vocabulary), Target carries the variable detail.
+type Span struct {
+	Name   string
+	Target string
+}

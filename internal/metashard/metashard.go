@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"scfs/internal/coord"
+	"scfs/internal/telemetry"
 )
 
 // Mode selects the partition function.
@@ -41,6 +42,9 @@ const (
 type Service struct {
 	shards []coord.Service
 	mode   Mode
+	// names are the per-shard span targets ("shard-0", ...), formatted once
+	// at construction so the routing hot path never builds strings.
+	names []string
 }
 
 var _ coord.Service = (*Service)(nil)
@@ -61,11 +65,25 @@ func New(shards []coord.Service, opts ...Option) (*Service, error) {
 	if len(shards) == 0 {
 		return nil, errors.New("metashard: at least one shard is required")
 	}
-	s := &Service{shards: shards, mode: HashMode}
+	s := &Service{shards: shards, mode: HashMode, names: make([]string, len(shards))}
+	for i := range shards {
+		s.names[i] = fmt.Sprintf("shard-%d", i)
+	}
 	for _, o := range opts {
 		o(s)
 	}
 	return s, nil
+}
+
+// routeSpan records the routing decision of one single-shard operation on
+// the request's trace: which shard the key hashed to. A no-op for
+// untraced requests (one context lookup).
+func (s *Service) routeSpan(ctx context.Context, i int) {
+	tr := telemetry.FromContext(ctx)
+	if tr == nil {
+		return
+	}
+	tr.Record(telemetry.Span{Name: "shard.route", Target: s.names[i], Outcome: telemetry.SpanOK})
 }
 
 // Shards returns the number of backends.
@@ -101,24 +119,32 @@ func (s *Service) shard(key string) coord.Service { return s.shards[s.ShardFor(k
 
 // GetMetadata implements coord.Service.
 func (s *Service) GetMetadata(ctx context.Context, key string) (coord.Record, error) {
-	return s.shard(key).GetMetadata(ctx, key)
+	i := s.ShardFor(key)
+	s.routeSpan(ctx, i)
+	return s.shards[i].GetMetadata(ctx, key)
 }
 
 // PutMetadata implements coord.Service.
 func (s *Service) PutMetadata(ctx context.Context, key string, value []byte, acl coord.ACL) (uint64, error) {
-	return s.shard(key).PutMetadata(ctx, key, value, acl)
+	i := s.ShardFor(key)
+	s.routeSpan(ctx, i)
+	return s.shards[i].PutMetadata(ctx, key, value, acl)
 }
 
 // CasMetadata implements coord.Service. Because routing is a pure function of
 // the key, every CAS on one key lands on the same shard, so the backend's
 // compare-and-swap retains its linearizable conflict detection.
 func (s *Service) CasMetadata(ctx context.Context, key string, value []byte, expectedVersion uint64, acl coord.ACL) (uint64, error) {
-	return s.shard(key).CasMetadata(ctx, key, value, expectedVersion, acl)
+	i := s.ShardFor(key)
+	s.routeSpan(ctx, i)
+	return s.shards[i].CasMetadata(ctx, key, value, expectedVersion, acl)
 }
 
 // DeleteMetadata implements coord.Service.
 func (s *Service) DeleteMetadata(ctx context.Context, key string) error {
-	return s.shard(key).DeleteMetadata(ctx, key)
+	i := s.ShardFor(key)
+	s.routeSpan(ctx, i)
+	return s.shards[i].DeleteMetadata(ctx, key)
 }
 
 // listTargets returns the shards a prefix listing must consult. In
@@ -141,12 +167,18 @@ func (s *Service) listTargets(prefix string) []coord.Service {
 func (s *Service) ListMetadata(ctx context.Context, prefix string) ([]coord.Record, error) {
 	targets := s.listTargets(prefix)
 	if len(targets) == 1 {
+		s.routeSpan(ctx, s.ShardFor(prefix))
 		out, err := targets[0].ListMetadata(ctx, prefix)
 		if err != nil {
 			return nil, fmt.Errorf("metashard: list on shard %d: %w", s.ShardFor(prefix), err)
 		}
 		sort.Slice(out, func(a, b int) bool { return out[a].Key < out[b].Key })
 		return out, nil
+	}
+	tr := telemetry.FromContext(ctx)
+	var fanStart time.Time
+	if tr != nil {
+		fanStart = time.Now()
 	}
 	results := make([][]coord.Record, len(targets))
 	errs := make([]error, len(targets))
@@ -160,11 +192,30 @@ func (s *Service) ListMetadata(ctx context.Context, prefix string) ([]coord.Reco
 	}
 	wg.Wait()
 	var out []coord.Record
+	merr := error(nil)
 	for i := range targets {
 		if errs[i] != nil {
-			return nil, fmt.Errorf("metashard: list on shard %d: %w", i, errs[i])
+			merr = fmt.Errorf("metashard: list on shard %d: %w", i, errs[i])
+			break
 		}
 		out = append(out, results[i]...)
+	}
+	if tr != nil {
+		outc := telemetry.SpanOK
+		if merr != nil {
+			outc = telemetry.SpanError
+		}
+		tr.Record(telemetry.Span{
+			Name:    "shard.fanout",
+			Start:   fanStart,
+			Dur:     time.Since(fanStart),
+			Outcome: outc,
+			Err:     merr,
+			Ops:     len(targets),
+		})
+	}
+	if merr != nil {
+		return nil, merr
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Key < out[b].Key })
 	return out, nil
@@ -197,6 +248,7 @@ func (s *Service) RenamePrefix(ctx context.Context, oldPrefix, newPrefix string)
 	if s.mode == SubtreeMode {
 		src, dst := s.ShardFor(oldPrefix), s.ShardFor(newPrefix)
 		if src == dst {
+			s.routeSpan(ctx, src)
 			return s.shards[src].RenamePrefix(ctx, oldPrefix, newPrefix)
 		}
 	}
@@ -224,12 +276,16 @@ func (s *Service) RenamePrefix(ctx context.Context, oldPrefix, newPrefix string)
 // TryLock implements coord.Service; locks route by name like metadata keys,
 // so one lock name always resolves to one backend.
 func (s *Service) TryLock(ctx context.Context, name, owner string, ttl time.Duration) error {
-	return s.shard(name).TryLock(ctx, name, owner, ttl)
+	i := s.ShardFor(name)
+	s.routeSpan(ctx, i)
+	return s.shards[i].TryLock(ctx, name, owner, ttl)
 }
 
 // Unlock implements coord.Service.
 func (s *Service) Unlock(ctx context.Context, name, owner string) error {
-	return s.shard(name).Unlock(ctx, name, owner)
+	i := s.ShardFor(name)
+	s.routeSpan(ctx, i)
+	return s.shards[i].Unlock(ctx, name, owner)
 }
 
 // Stats implements coord.Service, summing the access counters of every shard.

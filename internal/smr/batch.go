@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"scfs/internal/telemetry"
 )
 
 // Batching lets the metadata plane amortize coordination round trips:
@@ -143,6 +145,9 @@ type Coalescer struct {
 // batchItem is one queued operation and its reply slot. ctx is the
 // submitter's context; the flush aborts only when every item's context is
 // done (see flush), so it must be retained past the submitter's return.
+// trace/enq carry the submitter's telemetry trace and enqueue time: the
+// flush runs under a detached context the trace cannot ride, so batch and
+// consensus spans are recorded onto each participant's trace explicitly.
 type batchItem struct {
 	op []byte
 	//scfslint:ignore ctxdiscipline request-carrier: flush aborts only when every participant's ctx is done
@@ -150,6 +155,8 @@ type batchItem struct {
 	done   chan struct{}
 	result []byte
 	err    error
+	trace  *telemetry.Trace
+	enq    time.Time
 }
 
 // NewCoalescer creates a coalescing layer over inv.
@@ -175,6 +182,9 @@ func (c *Coalescer) Invoke(ctx context.Context, op []byte) ([]byte, error) {
 		return nil, err
 	}
 	item := &batchItem{op: op, ctx: ctx, done: make(chan struct{})}
+	if tr := telemetry.FromContext(ctx); tr != nil {
+		item.trace, item.enq = tr, time.Now()
+	}
 	c.mu.Lock()
 	c.queue = append(c.queue, item)
 	leader := !c.flushing
@@ -199,7 +209,9 @@ func (c *Coalescer) Invoke(ctx context.Context, op []byte) ([]byte, error) {
 		}
 	}
 
-	// Flusher: linger briefly so concurrent submitters coalesce.
+	// Flusher: linger briefly so concurrent submitters coalesce. The chosen
+	// wakeup is the batch's flush trigger, surfaced on its telemetry spans.
+	trigger := "immediate"
 	if d := c.MaxDelay; d >= 0 {
 		if d == 0 {
 			d = 200 * time.Microsecond
@@ -207,10 +219,13 @@ func (c *Coalescer) Invoke(ctx context.Context, op []byte) ([]byte, error) {
 		timer := time.NewTimer(d)
 		select {
 		case <-timer.C:
+			trigger = "timer"
 		case <-full:
 			timer.Stop()
+			trigger = "full"
 		case <-ctx.Done():
 			timer.Stop()
+			trigger = "abort"
 		}
 	}
 
@@ -224,7 +239,7 @@ func (c *Coalescer) Invoke(ctx context.Context, op []byte) ([]byte, error) {
 	// The flush runs in its own goroutine so a flusher whose ctx is already
 	// cancelled (or cancels mid-invocation) abandons its wait like any
 	// follower, while the batch completes for the other submitters.
-	go c.flush(batch)
+	go c.flush(batch, trigger)
 	select {
 	case <-item.done:
 		return item.result, item.err
@@ -237,7 +252,15 @@ func (c *Coalescer) Invoke(ctx context.Context, op []byte) ([]byte, error) {
 // The invocation runs under a context detached from every individual caller,
 // cancelled only once all batch items' contexts are done — at that point
 // nobody is waiting for the replies and the invocation may be abandoned.
-func (c *Coalescer) flush(batch []*batchItem) {
+//
+// Because the flush context carries no trace, the flush records telemetry
+// for its participants directly: every traced participant gets an
+// "smr.batch" span (how the batch flushed, how many ops it carried, how
+// long this op lingered in the queue) and — when the underlying invoker is
+// a StatsInvoker — an "smr.invoke" span with the consensus round trip's
+// pipeline statistics. Spans are recorded before the reply is published,
+// so a participant still waiting sees them on its trace before it finishes.
+func (c *Coalescer) flush(batch []*batchItem, trigger string) {
 	if len(batch) == 0 {
 		return
 	}
@@ -258,8 +281,68 @@ func (c *Coalescer) flush(batch []*batchItem) {
 	}()
 	defer close(stop)
 
+	traced := false
+	for _, it := range batch {
+		if it.trace != nil {
+			traced = true
+			break
+		}
+	}
+	var (
+		fstart time.Time
+		st     *InvokeStats
+	)
+	if traced {
+		fstart = time.Now()
+	}
+	invoke := func(op []byte) ([]byte, error) {
+		if traced {
+			if si, ok := c.Inv.(StatsInvoker); ok {
+				st = &InvokeStats{}
+				return si.InvokeWithStats(fctx, op, st)
+			}
+		}
+		return c.Inv.Invoke(fctx, op)
+	}
+	record := func(err error) {
+		if !traced {
+			return
+		}
+		rtt := time.Since(fstart)
+		out := invokeOutcome(err)
+		for _, it := range batch {
+			if it.trace == nil {
+				continue
+			}
+			it.trace.Record(telemetry.Span{
+				Name:    "smr.batch",
+				Target:  trigger,
+				Start:   fstart,
+				Dur:     rtt,
+				Outcome: out,
+				Err:     err,
+				Ops:     len(batch),
+				Wait:    fstart.Sub(it.enq),
+			})
+			if st != nil {
+				it.trace.Record(telemetry.Span{
+					Name:       "smr.invoke",
+					Start:      fstart,
+					Dur:        rtt,
+					Outcome:    out,
+					Err:        err,
+					Wait:       st.Window,
+					Vote:       st.Vote,
+					Retries:    st.Retries,
+					ViewChange: st.ViewChange,
+				})
+			}
+		}
+	}
+
 	if len(batch) == 1 {
-		batch[0].result, batch[0].err = c.Inv.Invoke(fctx, batch[0].op)
+		batch[0].result, batch[0].err = invoke(batch[0].op)
+		record(batch[0].err)
 		close(batch[0].done)
 		return
 	}
@@ -267,7 +350,7 @@ func (c *Coalescer) flush(batch []*batchItem) {
 	for i, it := range batch {
 		ops[i] = it.op
 	}
-	reply, err := c.Inv.Invoke(fctx, EncodeBatch(ops))
+	reply, err := invoke(EncodeBatch(ops))
 	if err == nil {
 		replies, isBatch := DecodeBatch(reply)
 		if !isBatch || len(replies) != len(batch) {
@@ -283,6 +366,7 @@ func (c *Coalescer) flush(batch []*batchItem) {
 			it.err = err
 		}
 	}
+	record(err)
 	for _, it := range batch {
 		close(it.done)
 	}

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"scfs/internal/telemetry"
 )
 
 // DefaultMaxInflight is the pipelining window of a client that does not set
@@ -46,6 +48,11 @@ type Client struct {
 	nextID  uint64
 	pending map[uint64]*pendingCall
 
+	// maxView is the highest replica view any reply has reported — the
+	// client's monotonic observation of the group's view changes. An
+	// invocation that sees it grow while in flight crossed a view change.
+	maxView atomic.Int64
+
 	windowOnce sync.Once
 	window     chan struct{}
 
@@ -57,12 +64,43 @@ type Client struct {
 
 // pendingCall is one in-flight invocation. votes and results are owned by
 // the receiver goroutine; result/err are published to the waiter by the
-// close of done.
+// close of done. The vote-timing fields (first, voteDur) are written by
+// the receiver only while the call is pending and read by the waiter only
+// after done closes, so the close is their publication barrier; they are
+// only tracked when stats is set, keeping the untraced path clock-free.
 type pendingCall struct {
-	done chan struct{}
+	done  chan struct{}
+	stats bool
 	// votes maps result digests to the set of replicas that reported them.
-	votes  map[string]map[int]bool
-	result []byte
+	votes   map[string]map[int]bool
+	result  []byte
+	first   time.Time
+	voteDur time.Duration
+}
+
+// InvokeStats reports how one invocation moved through the pipeline:
+// where it waited, how often it retransmitted, how long the reply vote
+// took, and whether the replica group changed views while it was in
+// flight. Filled by InvokeWithStats; the Coalescer uses it to record
+// consensus spans on behalf of batch participants whose contexts never
+// reach the client.
+type InvokeStats struct {
+	// Window is how long the invocation waited for a pipelining slot.
+	Window time.Duration
+	// Vote is the latency from the first reply to the reply quorum.
+	Vote time.Duration
+	// Retries counts retransmissions of the request.
+	Retries int
+	// ViewChange reports whether the group's view advanced while the
+	// invocation was in flight (a leader was suspected and replaced).
+	ViewChange bool
+}
+
+// StatsInvoker is an Invoker that can report per-invocation pipeline
+// statistics. *Client implements it; wrappers that cannot (test doubles,
+// counting shims) are used via plain Invoke.
+type StatsInvoker interface {
+	InvokeWithStats(ctx context.Context, op []byte, st *InvokeStats) ([]byte, error)
 }
 
 // ErrTimeout is returned when the group does not answer in time.
@@ -109,8 +147,8 @@ func (c *Client) initWindow() {
 }
 
 // register tags a new invocation and makes it visible to the receiver.
-func (c *Client) register() (uint64, *pendingCall) {
-	call := &pendingCall{done: make(chan struct{})}
+func (c *Client) register(stats bool) (uint64, *pendingCall) {
+	call := &pendingCall{done: make(chan struct{}), stats: stats}
 	c.mu.Lock()
 	c.nextID++
 	id := c.nextID
@@ -166,9 +204,20 @@ func (c *Client) receive() {
 		case <-c.closeCh:
 			return
 		case r := <-c.inbox:
+			// Track the highest view any reply reports, monotonically: in-flight
+			// invocations compare against it to detect crossed view changes.
+			for {
+				cur := c.maxView.Load()
+				if int64(r.View) <= cur || c.maxView.CompareAndSwap(cur, int64(r.View)) {
+					break
+				}
+			}
 			call := c.lookup(r.ReqID)
 			if call == nil {
 				continue // stale reply for a completed or abandoned request
+			}
+			if call.stats && call.first.IsZero() {
+				call.first = time.Now()
 			}
 			key := string(r.Result)
 			if call.votes == nil {
@@ -180,6 +229,9 @@ func (c *Client) receive() {
 			call.votes[key][r.Replica] = true
 			if len(call.votes[key]) >= needed {
 				call.result = cloneBytes(r.Result)
+				if call.stats {
+					call.voteDur = time.Since(call.first)
+				}
 				c.forget(r.ReqID)
 				close(call.done)
 			}
@@ -190,8 +242,55 @@ func (c *Client) receive() {
 // Invoke submits op for total ordering and returns the agreed result.
 // Cancelling ctx abandons the invocation promptly with ctx.Err(); the
 // command may still execute at the replicas (an abandoned request is
-// indistinguishable from a lost reply).
+// indistinguishable from a lost reply). A context carrying a telemetry
+// trace gets an "smr.invoke" span recording the invocation's pipeline
+// statistics — window wait, retransmissions, vote latency, crossed view
+// changes (direct callers only; the Coalescer invokes under a detached
+// context and records spans for its participants itself, via
+// InvokeWithStats).
 func (c *Client) Invoke(ctx context.Context, op []byte) ([]byte, error) {
+	tr := telemetry.FromContext(ctx)
+	if tr == nil {
+		return c.invoke(ctx, op, nil)
+	}
+	var st InvokeStats
+	start := time.Now()
+	out, err := c.invoke(ctx, op, &st)
+	tr.Record(telemetry.Span{
+		Name:       "smr.invoke",
+		Target:     c.id,
+		Start:      start,
+		Dur:        time.Since(start),
+		Outcome:    invokeOutcome(err),
+		Err:        err,
+		Wait:       st.Window,
+		Vote:       st.Vote,
+		Retries:    st.Retries,
+		ViewChange: st.ViewChange,
+	})
+	return out, err
+}
+
+// InvokeWithStats is Invoke, filling st (when non-nil) with the
+// invocation's pipeline statistics instead of recording a span. It
+// implements StatsInvoker.
+func (c *Client) InvokeWithStats(ctx context.Context, op []byte, st *InvokeStats) ([]byte, error) {
+	return c.invoke(ctx, op, st)
+}
+
+// invokeOutcome classifies an invocation error for its span.
+func invokeOutcome(err error) telemetry.SpanOutcome {
+	switch {
+	case err == nil:
+		return telemetry.SpanOK
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		return telemetry.SpanCanceled
+	default:
+		return telemetry.SpanError
+	}
+}
+
+func (c *Client) invoke(ctx context.Context, op []byte, st *InvokeStats) ([]byte, error) {
 	if c.closed.Load() {
 		return nil, fmt.Errorf("%w (%s)", ErrClosed, c.id)
 	}
@@ -202,6 +301,10 @@ func (c *Client) Invoke(ctx context.Context, op []byte) ([]byte, error) {
 	c.recvOnce.Do(func() { go c.receive() })
 
 	// Acquire a pipelining window slot.
+	var acquire time.Time
+	if st != nil {
+		acquire = time.Now()
+	}
 	select {
 	case c.window <- struct{}{}:
 	case <-ctx.Done():
@@ -211,8 +314,18 @@ func (c *Client) Invoke(ctx context.Context, op []byte) ([]byte, error) {
 	}
 	defer func() { <-c.window }()
 
-	reqID, call := c.register()
+	reqID, call := c.register(st != nil)
 	defer c.forget(reqID)
+
+	retries := 0
+	if st != nil {
+		st.Window = time.Since(acquire)
+		viewStart := c.maxView.Load()
+		defer func() {
+			st.Retries = retries
+			st.ViewChange = c.maxView.Load() > viewStart
+		}()
+	}
 
 	msg := message{Type: msgRequest, From: -1, FromCli: c.id,
 		Req: request{ClientID: c.id, ReqID: reqID, LowID: c.lowID(), Op: op}}
@@ -232,10 +345,14 @@ func (c *Client) Invoke(ctx context.Context, op []byte) ([]byte, error) {
 	for {
 		select {
 		case <-call.done:
+			if st != nil {
+				st.Vote = call.voteDur
+			}
 			return call.result, nil
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		case <-retry.C:
+			retries++
 			msg.Req.LowID = c.lowID() // refresh the cumulative ack
 			c.net.Broadcast(msg)
 			if interval < 16*c.RetryInterval {

@@ -95,6 +95,10 @@ type Histogram struct {
 	count  atomic.Int64
 	sum    atomic.Int64 // nanoseconds
 	bucket [histBuckets]atomic.Int64
+	// exemplar holds, per bucket, the compact trace ID (TraceID.Short) of
+	// the most recent traced observation that landed there — the link from
+	// "the p99 bucket grew" to the flight-recorded trace that explains it.
+	exemplar [histBuckets]atomic.Uint64
 }
 
 // bucketIndex maps a nanosecond duration to its bucket.
@@ -120,13 +124,26 @@ func BucketUpperNanos(i int) int64 {
 
 // Observe records one duration.
 func (h *Histogram) Observe(d time.Duration) {
+	h.ObserveExemplar(d, 0)
+}
+
+// ObserveExemplar records one duration and, when exemplar is non-zero,
+// attaches it to the duration's bucket as the bucket's latest exemplar
+// (last-write-wins; pass Trace.ExemplarID, which is 0 for untraced
+// operations). One atomic store over Observe — cheap enough to call
+// unconditionally on traced paths.
+func (h *Histogram) ObserveExemplar(d time.Duration, exemplar uint64) {
 	if h == nil {
 		return
 	}
 	ns := int64(d)
+	i := bucketIndex(ns)
 	h.count.Add(1)
 	h.sum.Add(ns)
-	h.bucket[bucketIndex(ns)].Add(1)
+	h.bucket[i].Add(1)
+	if exemplar != 0 {
+		h.exemplar[i].Store(exemplar)
+	}
 }
 
 // snapshot captures the histogram's current contents.
@@ -136,6 +153,7 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	s.SumNanos = h.sum.Load()
 	for i := range h.bucket {
 		s.Buckets[i] = h.bucket[i].Load()
+		s.Exemplars[i] = h.exemplar[i].Load()
 	}
 	return s
 }
@@ -304,6 +322,10 @@ type HistogramSnapshot struct {
 	Count    int64              `json:"count"`
 	SumNanos int64              `json:"sum_nanos"`
 	Buckets  [histBuckets]int64 `json:"buckets"`
+	// Exemplars carries, per bucket, the compact trace ID of the latest
+	// traced observation (0 = none) — look the full trace up in the flight
+	// recorder or trace ring by its ID suffix.
+	Exemplars [histBuckets]uint64 `json:"exemplars,omitempty"`
 }
 
 // Quantile estimates the q-quantile (0 < q <= 1) from the bucket counts,
@@ -334,12 +356,16 @@ func (h HistogramSnapshot) Mean() time.Duration {
 	return time.Duration(h.SumNanos / h.Count)
 }
 
-// merge adds o's contents into h.
+// merge adds o's contents into h. Exemplars are last-write-wins like the
+// live histogram: o's exemplar replaces h's where o has one.
 func (h HistogramSnapshot) merge(o HistogramSnapshot) HistogramSnapshot {
 	h.Count += o.Count
 	h.SumNanos += o.SumNanos
 	for i := range h.Buckets {
 		h.Buckets[i] += o.Buckets[i]
+		if o.Exemplars[i] != 0 {
+			h.Exemplars[i] = o.Exemplars[i]
+		}
 	}
 	return h
 }

@@ -72,13 +72,13 @@ func TestQuorumCancellationSpans(t *testing.T) {
 			if !fast {
 				<-fanCtx.Done() // straggler: cut down by the verdict
 				FromContext(fanCtx).Record(Span{
-					Name: "block.get", Cloud: "c", Start: start,
+					Name: "block.get", Target: "c", Start: start,
 					Dur: time.Since(start), Outcome: SpanCanceled, Err: fanCtx.Err(),
 				})
 				return
 			}
 			FromContext(fanCtx).Record(Span{
-				Name: "block.get", Cloud: "c", Start: start,
+				Name: "block.get", Target: "c", Start: start,
 				Dur: time.Since(start), Outcome: SpanOK,
 			})
 			results <- i
@@ -167,7 +167,7 @@ func TestEventLogHandler(t *testing.T) {
 	h := &collectHandler{}
 	tr.SetHandler(h)
 	_, trace := tr.Start(context.Background(), "write", "/w")
-	trace.Record(Span{Name: "block.put", Cloud: "c0", Outcome: SpanOK, Dur: time.Millisecond})
+	trace.Record(Span{Name: "block.put", Target: "c0", Outcome: SpanOK, Dur: time.Millisecond})
 	trace.SetVerdict(500 * time.Microsecond)
 	trace.Finish()
 	trace.Finish() // idempotent: one event only

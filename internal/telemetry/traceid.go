@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"strings"
+	"sync/atomic"
+)
+
+// TraceID identifies one trace across process boundaries: 16 bytes, hex
+// encoded on the wire — the shape W3C Trace Context gives trace-id, so a
+// gateway can join a caller's distributed trace and hand the ID back in a
+// response header. The zero value is "no ID" (W3C reserves the all-zero
+// trace-id as invalid).
+type TraceID [16]byte
+
+// Process-unique ID generation: the high half is fixed at process start
+// (random when the OS provides it), the low half is a counter. NewTraceID
+// is then two loads and an atomic add — no allocation, cheap enough for
+// every traced operation.
+var (
+	traceIDHi uint64
+	traceIDLo atomic.Uint64
+)
+
+func init() {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err == nil {
+		traceIDHi = binary.BigEndian.Uint64(b[:8])
+		traceIDLo.Store(binary.BigEndian.Uint64(b[8:]))
+	}
+	if traceIDHi == 0 {
+		traceIDHi = 0x5cf5<<32 | 0x1d
+	}
+}
+
+// NewTraceID returns a fresh process-unique trace ID.
+func NewTraceID() TraceID {
+	var id TraceID
+	binary.BigEndian.PutUint64(id[:8], traceIDHi)
+	binary.BigEndian.PutUint64(id[8:], traceIDLo.Add(1))
+	return id
+}
+
+// IsZero reports whether the ID is unset (the invalid all-zero ID).
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// Short returns the low 8 bytes of the ID — the compact form histogram
+// exemplars store (0 only for the zero ID, modulo a vanishing counter
+// coincidence).
+func (id TraceID) Short() uint64 { return binary.BigEndian.Uint64(id[8:]) }
+
+// String returns the 32-character lowercase hex form.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// ParseTraceID parses the 32-character hex form. The all-zero ID is
+// rejected (invalid per W3C Trace Context).
+func ParseTraceID(s string) (TraceID, bool) {
+	var id TraceID
+	if len(s) != 2*len(id) {
+		return TraceID{}, false
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil || id.IsZero() {
+		return TraceID{}, false
+	}
+	return id, true
+}
+
+// ParseTraceparent extracts the trace ID from a W3C traceparent header
+// value: "00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>". Future
+// versions are accepted as long as the first two fields keep their shape
+// (the spec requires that); version 0xff is reserved-invalid.
+func ParseTraceparent(h string) (TraceID, bool) {
+	parts := strings.SplitN(strings.TrimSpace(h), "-", 4)
+	if len(parts) != 4 || len(parts[0]) != 2 || len(parts[2]) != 16 || len(parts[3]) < 2 {
+		return TraceID{}, false
+	}
+	if parts[0] == "ff" {
+		return TraceID{}, false
+	}
+	if _, err := hex.DecodeString(parts[0]); err != nil {
+		return TraceID{}, false
+	}
+	return ParseTraceID(parts[1])
+}
+
+// Traceparent renders the ID as an outgoing traceparent header value,
+// reusing the ID's low half as the parent span ID (this package tracks
+// span parentage implicitly, by recording order).
+func (id TraceID) Traceparent() string {
+	return "00-" + id.String() + "-" + hex.EncodeToString(id[8:]) + "-01"
+}

@@ -67,6 +67,7 @@ type config struct {
 	metrics   bool
 	tracing   bool
 	traceCap  int
+	flight    bool
 	eventLog  slog.Handler
 	debugAddr string
 	debugSet  bool
@@ -210,6 +211,21 @@ func WithTracing(capacity int) Option {
 	return func(c *config) { c.tracing, c.traceCap = true, capacity }
 }
 
+// WithFlightRecorder keeps exemplar traces past the tracer's recency ring:
+// the slowest traces of every operation class plus every errored,
+// breaker-skipped or view-change-crossing operation, within a bounded span
+// budget — so when a tail-latency spike is noticed minutes later, the traces
+// explaining it are still there. Latency histograms gain exemplar trace IDs
+// linking their tail buckets to the retained traces. Implies WithTracing;
+// read it back with FS.FlightRecorder, or over HTTP via /debug/slow and
+// /debug/flight on mounts that also use WithDebugServer.
+func WithFlightRecorder() Option {
+	return func(c *config) {
+		c.flight = true
+		c.tracing = true
+	}
+}
+
 // WithEventLog streams one structured record per completed operation trace
 // to the given slog handler (op, unit, duration, verdict latency, spans).
 // Implies WithTracing if no capacity was set.
@@ -223,14 +239,16 @@ func WithEventLog(h slog.Handler) Option {
 // WithDebugServer serves the mount's runtime introspection over HTTP on
 // addr (use ":0" for an ephemeral port, read it back with FS.DebugAddr):
 // GET /metrics in Prometheus text format, /debug/stats as JSON,
-// /debug/traces as recent operation traces, and the net/http/pprof
-// profiles under /debug/pprof/. Implies WithMetrics and WithTracing. The
-// server is shut down by Close/Unmount.
+// /debug/traces as recent operation traces, /debug/slow and /debug/flight
+// as the flight recorder's retained exemplars, and the net/http/pprof
+// profiles under /debug/pprof/. Implies WithMetrics, WithTracing and
+// WithFlightRecorder. The server is shut down by Close/Unmount.
 func WithDebugServer(addr string) Option {
 	return func(c *config) {
 		c.debugAddr, c.debugSet = addr, true
 		c.metrics = true
 		c.tracing = true
+		c.flight = true
 	}
 }
 
@@ -239,6 +257,7 @@ func WithDebugServer(addr string) Option {
 type mountTelemetry struct {
 	metrics *telemetry.Registry
 	tracer  *telemetry.Tracer
+	flight  *telemetry.FlightRecorder
 }
 
 // build assembles the provider, coordination and storage stack and mounts
@@ -254,6 +273,10 @@ func (c *config) build(ctx context.Context) (*core.Agent, mountTelemetry, func()
 		tel.tracer = telemetry.NewTracer(c.traceCap)
 		if c.eventLog != nil {
 			tel.tracer.SetHandler(c.eventLog)
+		}
+		if c.flight {
+			tel.flight = telemetry.NewFlightRecorder(0, 0, 0)
+			tel.tracer.SetRecorder(tel.flight)
 		}
 	}
 	if c.f < 1 {

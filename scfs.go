@@ -88,6 +88,17 @@ type (
 	Trace = telemetry.Trace
 	// Span is one per-cloud RPC attempt inside a Trace.
 	Span = telemetry.Span
+	// TraceID is a trace's wire identity (W3C trace-id shaped); the
+	// gateway propagates it via traceparent/X-SCFS-Trace headers.
+	TraceID = telemetry.TraceID
+	// Tracer is the mount's request tracer (see WithTracing and
+	// FS.Tracer); the gateway package accepts one via gateway.WithTracer.
+	Tracer = telemetry.Tracer
+	// FlightRecorder retains exemplar traces — the slow tail and every
+	// faulted operation (see WithFlightRecorder and FS.FlightRecorder).
+	FlightRecorder = telemetry.FlightRecorder
+	// FlightStats summarizes a FlightRecorder's retention activity.
+	FlightStats = telemetry.FlightStats
 )
 
 // Open flags.
@@ -150,6 +161,7 @@ type FS struct {
 	agent   *core.Agent
 	metrics *telemetry.Registry
 	tracer  *telemetry.Tracer
+	flight  *telemetry.FlightRecorder
 	debug   *debugServer
 	cleanup func() // stops build-owned resources (coordination replica groups)
 }
@@ -171,7 +183,7 @@ func New(ctx context.Context, opts ...Option) (*FS, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &FS{agent: agent, metrics: tel.metrics, tracer: tel.tracer, cleanup: cleanup}
+	m := &FS{agent: agent, metrics: tel.metrics, tracer: tel.tracer, flight: tel.flight, cleanup: cleanup}
 	if cfg.debugSet {
 		dbg, err := startDebugServer(cfg.debugAddr, m)
 		if err != nil {
@@ -202,6 +214,27 @@ func (m *FS) Stats() Stats { return m.agent.Stats() }
 // WithTracing (or WithDebugServer).
 func (m *FS) Traces(n int) []*Trace { return m.tracer.Recent(n) }
 
+// Tracer returns the mount's request tracer, or nil unless the mount was
+// built WithTracing (or WithDebugServer) — hand it to gateway.WithTracer
+// so HTTP requests join the mount's traces.
+func (m *FS) Tracer() *Tracer { return m.tracer }
+
+// FlightRecorder returns the mount's flight recorder, or nil unless the
+// mount was built WithFlightRecorder (or WithDebugServer). Where Traces
+// holds the most *recent* operations, the recorder holds the most
+// *exemplary* ones: the slowest of each operation class and everything
+// that erred, hit an open breaker, or crossed a view change.
+func (m *FS) FlightRecorder() *FlightRecorder { return m.flight }
+
+// traced starts a facade-level trace for one metadata operation. An
+// operation arriving with a trace already on its context — a gateway
+// request, an io/fs walk inside a traced read — joins it instead (tr is
+// then nil and its SetError/Finish no-op), so exactly one trace covers
+// each client-visible operation.
+func (m *FS) traced(ctx context.Context, op, unit string) (context.Context, *telemetry.Trace) {
+	return m.tracer.Start(ctx, op, unit)
+}
+
 // DebugAddr returns the listen address of the mount's debug server, or ""
 // when WithDebugServer was not used. With WithDebugServer(":0") this is how
 // the ephemeral port is discovered.
@@ -218,42 +251,84 @@ func (m *FS) DebugAddr() string {
 // WithReadPreference shape the open's quorum reads (pass a WithPolicy
 // context to the handle's ReadAt to hedge individual reads).
 func (m *FS) Open(ctx context.Context, path string, flags OpenFlag, opts ...CallOption) (Handle, error) {
-	return m.agent.Open(callCtx(ctx, opts), path, flags)
+	ctx, tr := m.traced(callCtx(ctx, opts), "open", path)
+	h, err := m.agent.Open(ctx, path, flags)
+	tr.SetError(err)
+	tr.Finish()
+	return h, err
 }
 
 // Mkdir creates a directory (parents must exist).
-func (m *FS) Mkdir(ctx context.Context, path string) error { return m.agent.Mkdir(ctx, path) }
+func (m *FS) Mkdir(ctx context.Context, path string) error {
+	ctx, tr := m.traced(ctx, "mkdir", path)
+	err := m.agent.Mkdir(ctx, path)
+	tr.SetError(err)
+	tr.Finish()
+	return err
+}
 
 // Rmdir removes an empty directory.
-func (m *FS) Rmdir(ctx context.Context, path string) error { return m.agent.Rmdir(ctx, path) }
+func (m *FS) Rmdir(ctx context.Context, path string) error {
+	ctx, tr := m.traced(ctx, "rmdir", path)
+	err := m.agent.Rmdir(ctx, path)
+	tr.SetError(err)
+	tr.Finish()
+	return err
+}
 
 // Unlink removes a file (its versions are reclaimed by the garbage
 // collector).
-func (m *FS) Unlink(ctx context.Context, path string) error { return m.agent.Unlink(ctx, path) }
+func (m *FS) Unlink(ctx context.Context, path string) error {
+	ctx, tr := m.traced(ctx, "unlink", path)
+	err := m.agent.Unlink(ctx, path)
+	tr.SetError(err)
+	tr.Finish()
+	return err
+}
 
 // Rename moves a file or directory (and its subtree).
 func (m *FS) Rename(ctx context.Context, oldPath, newPath string) error {
-	return m.agent.Rename(ctx, oldPath, newPath)
+	ctx, tr := m.traced(ctx, "rename", oldPath)
+	err := m.agent.Rename(ctx, oldPath, newPath)
+	tr.SetError(err)
+	tr.Finish()
+	return err
 }
 
 // Stat returns metadata for a path.
 func (m *FS) Stat(ctx context.Context, path string) (FileInfo, error) {
-	return m.agent.Stat(ctx, path)
+	ctx, tr := m.traced(ctx, "stat", path)
+	fi, err := m.agent.Stat(ctx, path)
+	tr.SetError(err)
+	tr.Finish()
+	return fi, err
 }
 
 // ReadDir lists a directory.
 func (m *FS) ReadDir(ctx context.Context, path string) ([]FileInfo, error) {
-	return m.agent.ReadDir(ctx, path)
+	ctx, tr := m.traced(ctx, "readdir", path)
+	out, err := m.agent.ReadDir(ctx, path)
+	tr.SetError(err)
+	tr.Finish()
+	return out, err
 }
 
 // SetFacl grants or revokes a user's permission on a path.
 func (m *FS) SetFacl(ctx context.Context, path, user string, perm Permission) error {
-	return m.agent.SetFacl(ctx, path, user, perm)
+	ctx, tr := m.traced(ctx, "setfacl", path)
+	err := m.agent.SetFacl(ctx, path, user, perm)
+	tr.SetError(err)
+	tr.Finish()
+	return err
 }
 
 // GetFacl returns the ACL entries of a path.
 func (m *FS) GetFacl(ctx context.Context, path string) ([]ACLEntry, error) {
-	return m.agent.GetFacl(ctx, path)
+	ctx, tr := m.traced(ctx, "getfacl", path)
+	out, err := m.agent.GetFacl(ctx, path)
+	tr.SetError(err)
+	tr.Finish()
+	return out, err
 }
 
 // Unmount flushes all state and releases resources (including the debug
